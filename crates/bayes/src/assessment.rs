@@ -1,0 +1,229 @@
+//! The assessor's questions, answered with posteriors.
+//!
+//! §5 frames assessment as confidence statements `P(Θ ≤ bound) = α`.
+//! After operational evidence those statements should come from the
+//! posterior; this module provides them plus the planning question every
+//! licensing schedule needs: *how much failure-free operation buys a given
+//! claim?*
+
+use crate::error::BayesError;
+use crate::prior::PfdPrior;
+use crate::update::{observe, PfdPosterior};
+
+/// Posterior one-sided confidence bound: smallest `b` with
+/// `P(Θ ≤ b | evidence) ≥ confidence`.
+///
+/// # Errors
+///
+/// Propagates [`PfdPosterior::quantile`] validation.
+pub fn posterior_bound(posterior: &PfdPosterior, confidence: f64) -> Result<f64, BayesError> {
+    posterior.quantile(confidence)
+}
+
+/// Result of a demands-for-claim search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClaimPlan {
+    /// Failure-free demands required.
+    pub demands: u64,
+    /// The posterior bound achieved at that point.
+    pub achieved_bound: f64,
+}
+
+/// Finds the smallest number of **failure-free** demands `t` such that the
+/// posterior bound at `confidence` drops to `target` or below.
+///
+/// Monotonicity of the posterior bound in `t` lets us search by doubling
+/// then bisection, so the cost is `O(log t)` posterior evaluations.
+///
+/// # Errors
+///
+/// [`BayesError::InvalidConfig`] for a non-positive target;
+/// [`BayesError::ClaimUnreachable`] if even `max_demands` failure-free
+/// demands do not reach the target (e.g. the prior denies it);
+/// propagated update errors otherwise.
+///
+/// ```
+/// use divrel_bayes::{assessment::demands_for_claim, prior::PfdPrior};
+/// use divrel_model::FaultModel;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = FaultModel::uniform(5, 0.1, 1e-3)?;
+/// let prior = PfdPrior::exact_single(&model)?;
+/// let plan = demands_for_claim(&prior, 1e-3, 0.99, 10_000_000)?;
+/// assert!(plan.achieved_bound <= 1e-3);
+/// // And one demand fewer would not have sufficed:
+/// # Ok(())
+/// # }
+/// ```
+pub fn demands_for_claim(
+    prior: &PfdPrior,
+    target: f64,
+    confidence: f64,
+    max_demands: u64,
+) -> Result<ClaimPlan, BayesError> {
+    if target <= 0.0 || !target.is_finite() {
+        return Err(BayesError::InvalidConfig(format!(
+            "target bound {target} must be positive"
+        )));
+    }
+    let bound_at = |t: u64| -> Result<f64, BayesError> {
+        posterior_bound(&observe(prior, 0, t)?, confidence)
+    };
+    if bound_at(0)? <= target {
+        return Ok(ClaimPlan {
+            demands: 0,
+            achieved_bound: bound_at(0)?,
+        });
+    }
+    // Exponential search for an upper bracket.
+    let mut hi = 1u64;
+    while bound_at(hi)? > target {
+        if hi >= max_demands {
+            return Err(BayesError::ClaimUnreachable {
+                target,
+                tried: max_demands,
+            });
+        }
+        hi = hi.saturating_mul(2).min(max_demands);
+    }
+    let mut lo = hi / 2; // bound_at(lo) > target (or lo == 0 handled above)
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if bound_at(mid)? <= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(ClaimPlan {
+        demands: hi,
+        achieved_bound: bound_at(hi)?,
+    })
+}
+
+/// Side-by-side posterior assessment of a single version and a 1-out-of-2
+/// pair given the *same* per-system evidence — the Bayesian counterpart of
+/// the paper's §5.1 comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiversityComparison {
+    /// Posterior bound for the single version.
+    pub single_bound: f64,
+    /// Posterior bound for the pair.
+    pub pair_bound: f64,
+    /// `single_bound / pair_bound` (∞ if the pair bound is 0).
+    pub gain: f64,
+}
+
+/// Computes posterior bounds for a single version and a 1oo2 pair of the
+/// same process after each has seen `t` failure-free demands.
+///
+/// # Errors
+///
+/// Propagates prior/update/quantile errors.
+pub fn compare_diversity(
+    model: &divrel_model::FaultModel,
+    t: u64,
+    confidence: f64,
+) -> Result<DiversityComparison, BayesError> {
+    let single = posterior_bound(&observe(&PfdPrior::exact_single(model)?, 0, t)?, confidence)?;
+    let pair = posterior_bound(&observe(&PfdPrior::exact_pair(model)?, 0, t)?, confidence)?;
+    let gain = if pair > 0.0 {
+        single / pair
+    } else if single > 0.0 {
+        f64::INFINITY
+    } else {
+        1.0
+    };
+    Ok(DiversityComparison {
+        single_bound: single,
+        pair_bound: pair,
+        gain,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divrel_model::FaultModel;
+
+    fn model() -> FaultModel {
+        FaultModel::uniform(5, 0.1, 1e-3).unwrap()
+    }
+
+    #[test]
+    fn bound_decreases_with_evidence() {
+        let prior = PfdPrior::exact_single(&model()).unwrap();
+        let mut prev = f64::INFINITY;
+        for t in [0u64, 100, 1_000, 10_000, 100_000] {
+            let b = posterior_bound(&observe(&prior, 0, t).unwrap(), 0.99).unwrap();
+            assert!(b <= prev + 1e-15, "t={t}: {b} > {prev}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn demands_for_claim_is_minimal() {
+        let prior = PfdPrior::exact_single(&model()).unwrap();
+        let plan = demands_for_claim(&prior, 1e-3, 0.99, 100_000_000).unwrap();
+        assert!(plan.achieved_bound <= 1e-3);
+        assert!(plan.demands > 0);
+        // One fewer demand must miss the target.
+        let before = posterior_bound(
+            &observe(&prior, 0, plan.demands - 1).unwrap(),
+            0.99,
+        )
+        .unwrap();
+        assert!(before > 1e-3);
+    }
+
+    #[test]
+    fn trivial_claims_need_no_evidence() {
+        let prior = PfdPrior::exact_single(&model()).unwrap();
+        let plan = demands_for_claim(&prior, 0.5, 0.99, 1000).unwrap();
+        assert_eq!(plan.demands, 0);
+    }
+
+    #[test]
+    fn unreachable_claims_are_reported() {
+        // A Beta prior has no atom at zero: some targets need enormous t.
+        let prior = PfdPrior::Beta(
+            divrel_numerics::beta_dist::Beta::new(1.0, 10.0).unwrap(),
+        );
+        let e = demands_for_claim(&prior, 1e-9, 0.99, 1_000).unwrap_err();
+        assert!(matches!(e, BayesError::ClaimUnreachable { .. }));
+        assert!(demands_for_claim(&prior, -1.0, 0.99, 1000).is_err());
+    }
+
+    #[test]
+    fn pair_reaches_claims_sooner_than_single() {
+        // The Bayesian restatement of the paper's core message: for the
+        // same target and evidence budget, diversity needs less operation.
+        let m = model();
+        let prior1 = PfdPrior::exact_single(&m).unwrap();
+        let prior2 = PfdPrior::exact_pair(&m).unwrap();
+        let plan1 = demands_for_claim(&prior1, 1e-3, 0.99, 100_000_000).unwrap();
+        let plan2 = demands_for_claim(&prior2, 1e-3, 0.99, 100_000_000).unwrap();
+        assert!(
+            plan2.demands < plan1.demands,
+            "pair {} vs single {}",
+            plan2.demands,
+            plan1.demands
+        );
+    }
+
+    #[test]
+    fn compare_diversity_reports_gain() {
+        let c = compare_diversity(&model(), 1_000, 0.99).unwrap();
+        assert!(c.pair_bound <= c.single_bound);
+        assert!(c.gain >= 1.0);
+    }
+
+    #[test]
+    fn compare_diversity_handles_zero_bounds() {
+        // With overwhelming evidence both bounds collapse to 0 (all mass on
+        // the perfect atom) and the gain degenerates to 1.
+        let c = compare_diversity(&model(), 50_000_000, 0.99).unwrap();
+        assert_eq!(c.single_bound, 0.0);
+        assert_eq!(c.pair_bound, 0.0);
+        assert_eq!(c.gain, 1.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Decision-theoretic acceptance: should the system be fielded?
+//!
+//! The paper's introduction frames the assessor's task as deciding
+//! "whether a specific diverse system is dependable enough for
+//! operation". A confidence bound answers *what we believe*; a decision
+//! needs *what it costs to be wrong*. This module closes that gap with a
+//! standard expected-loss treatment over the PFD posterior:
+//!
+//! * fielding the system incurs `cost_per_failure × E[Θ] × demands` of
+//!   expected accident loss over the licensing period,
+//! * rejecting it incurs the fixed `rejection_cost` (backfit, delay, or
+//!   the risk of the alternative).
+//!
+//! Because the loss is linear in Θ, only the posterior *mean* matters
+//! for the optimal decision — an attractive robustness property the
+//! module exploits and the tests verify. A risk-averse variant weights
+//! the tail via a posterior quantile instead.
+
+use crate::error::BayesError;
+use crate::update::PfdPosterior;
+
+/// The economic frame for an acceptance decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionStakes {
+    /// Loss per failure on demand (accident cost), in arbitrary units.
+    pub cost_per_failure: f64,
+    /// Demands expected over the licensing period.
+    pub demands: u64,
+    /// Loss of rejecting the system (same units).
+    pub rejection_cost: f64,
+}
+
+impl DecisionStakes {
+    /// Validates the stakes.
+    ///
+    /// # Errors
+    ///
+    /// [`BayesError::InvalidConfig`] for negative or non-finite costs.
+    pub fn validate(&self) -> Result<(), BayesError> {
+        if !self.cost_per_failure.is_finite() || self.cost_per_failure < 0.0 {
+            return Err(BayesError::InvalidConfig(format!(
+                "cost_per_failure {} must be finite and >= 0",
+                self.cost_per_failure
+            )));
+        }
+        if !self.rejection_cost.is_finite() || self.rejection_cost < 0.0 {
+            return Err(BayesError::InvalidConfig(format!(
+                "rejection_cost {} must be finite and >= 0",
+                self.rejection_cost
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The assessor's verdict with its expected losses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Expected loss of fielding the system.
+    pub accept_loss: f64,
+    /// Loss of rejecting it.
+    pub reject_loss: f64,
+    /// `true` if fielding minimises expected loss.
+    pub accept: bool,
+    /// The PFD at which the two options break even for these stakes.
+    pub break_even_pfd: f64,
+}
+
+/// Expected-loss decision using the posterior **mean** PFD (the Bayes
+/// rule for linear loss).
+///
+/// # Errors
+///
+/// Propagates [`DecisionStakes::validate`].
+///
+/// ```
+/// use divrel_bayes::decision::{decide, DecisionStakes};
+/// use divrel_bayes::prior::PfdPrior;
+/// use divrel_bayes::update::observe;
+/// use divrel_model::FaultModel;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = FaultModel::uniform(10, 0.1, 1e-3)?;
+/// let post = observe(&PfdPrior::exact_pair(&model)?, 0, 50_000)?;
+/// let stakes = DecisionStakes {
+///     cost_per_failure: 1e6,
+///     demands: 10_000,
+///     rejection_cost: 5e4,
+/// };
+/// let d = decide(&post, stakes)?;
+/// assert!(d.accept); // strong evidence + diverse pair → field it
+/// # Ok(())
+/// # }
+/// ```
+pub fn decide(posterior: &PfdPosterior, stakes: DecisionStakes) -> Result<Decision, BayesError> {
+    stakes.validate()?;
+    let exposure = stakes.cost_per_failure * stakes.demands as f64;
+    let accept_loss = posterior.mean() * exposure;
+    let break_even_pfd = if exposure > 0.0 {
+        stakes.rejection_cost / exposure
+    } else {
+        f64::INFINITY
+    };
+    Ok(Decision {
+        accept_loss,
+        reject_loss: stakes.rejection_cost,
+        accept: accept_loss <= stakes.rejection_cost,
+        break_even_pfd,
+    })
+}
+
+/// Risk-averse variant: judges the system by a posterior *quantile*
+/// (e.g. the 99th percentile PFD) instead of the mean — the
+/// "confidence-bound" culture of §5 expressed as a decision rule.
+///
+/// # Errors
+///
+/// Propagates validation and quantile errors.
+pub fn decide_risk_averse(
+    posterior: &PfdPosterior,
+    stakes: DecisionStakes,
+    confidence: f64,
+) -> Result<Decision, BayesError> {
+    stakes.validate()?;
+    let pfd = posterior.quantile(confidence)?;
+    let exposure = stakes.cost_per_failure * stakes.demands as f64;
+    let accept_loss = pfd * exposure;
+    let break_even_pfd = if exposure > 0.0 {
+        stakes.rejection_cost / exposure
+    } else {
+        f64::INFINITY
+    };
+    Ok(Decision {
+        accept_loss,
+        reject_loss: stakes.rejection_cost,
+        accept: accept_loss <= stakes.rejection_cost,
+        break_even_pfd,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prior::PfdPrior;
+    use crate::update::observe;
+    use divrel_model::FaultModel;
+
+    fn posterior(t: u64) -> PfdPosterior {
+        let m = FaultModel::uniform(8, 0.15, 2e-3).expect("valid");
+        observe(&PfdPrior::exact_single(&m).expect("ok"), 0, t).expect("ok")
+    }
+
+    fn stakes(rejection: f64) -> DecisionStakes {
+        DecisionStakes {
+            cost_per_failure: 1e6,
+            demands: 10_000,
+            rejection_cost: rejection,
+        }
+    }
+
+    #[test]
+    fn evidence_flips_the_decision() {
+        // Cheap rejection + weak evidence → reject; strong evidence →
+        // accept the same system at the same stakes.
+        let s = stakes(1e5);
+        let weak = decide(&posterior(0), s).unwrap();
+        assert!(!weak.accept, "prior mean loss {}", weak.accept_loss);
+        let strong = decide(&posterior(2_000_000), s).unwrap();
+        assert!(strong.accept, "posterior mean loss {}", strong.accept_loss);
+    }
+
+    #[test]
+    fn break_even_is_consistent() {
+        let s = stakes(1e5);
+        let d = decide(&posterior(1_000), s).unwrap();
+        assert!((d.break_even_pfd - 1e5 / 1e10).abs() < 1e-18);
+        // The decision is exactly "posterior mean vs break-even".
+        let post = posterior(1_000);
+        assert_eq!(d.accept, post.mean() <= d.break_even_pfd);
+    }
+
+    #[test]
+    fn risk_averse_is_more_conservative_for_continuous_posteriors() {
+        // For a Beta posterior the 99% quantile exceeds the mean, so the
+        // tail rule charges a higher accept-loss. (For discrete posteriors
+        // with a large mass at Θ = 0 the quantile can sit BELOW the mean —
+        // the tail rule is a different risk attitude, not a uniformly
+        // stricter one; that behaviour is exercised below.)
+        let s = stakes(2e4);
+        let beta_post = observe(
+            &PfdPrior::Beta(divrel_numerics::beta_dist::Beta::new(2.0, 200.0).expect("ok")),
+            0,
+            1_000,
+        )
+        .expect("ok");
+        let mean_rule = decide(&beta_post, s).unwrap();
+        let tail_rule = decide_risk_averse(&beta_post, s, 0.99).unwrap();
+        assert!(tail_rule.accept_loss > mean_rule.accept_loss);
+
+        // Discrete posterior dominated by the perfect atom: the 99%
+        // quantile is exactly 0 while the mean is positive.
+        let discrete = posterior(300_000);
+        let tail = decide_risk_averse(&discrete, s, 0.99).unwrap();
+        assert_eq!(tail.accept_loss, 0.0);
+        assert!(decide(&discrete, s).unwrap().accept_loss >= 0.0);
+    }
+
+    #[test]
+    fn diversity_changes_the_verdict() {
+        // The paper's practical payoff in one assertion: at stakes where a
+        // single version is rejected, the 1oo2 pair from the SAME process
+        // and the SAME evidence is accepted.
+        let m = FaultModel::uniform(8, 0.15, 2e-3).expect("valid");
+        let t = 500;
+        let s = stakes(3e6); // break-even PFD 3e-4
+        let single = decide(
+            &observe(&PfdPrior::exact_single(&m).expect("ok"), 0, t).expect("ok"),
+            s,
+        )
+        .unwrap();
+        let pair = decide(
+            &observe(&PfdPrior::exact_pair(&m).expect("ok"), 0, t).expect("ok"),
+            s,
+        )
+        .unwrap();
+        assert!(!single.accept, "single accept-loss {}", single.accept_loss);
+        assert!(pair.accept, "pair accept-loss {}", pair.accept_loss);
+    }
+
+    #[test]
+    fn zero_exposure_always_accepts() {
+        let d = decide(
+            &posterior(0),
+            DecisionStakes {
+                cost_per_failure: 0.0,
+                demands: 0,
+                rejection_cost: 1.0,
+            },
+        )
+        .unwrap();
+        assert!(d.accept);
+        assert!(d.break_even_pfd.is_infinite());
+    }
+
+    #[test]
+    fn validation() {
+        let bad = DecisionStakes {
+            cost_per_failure: -1.0,
+            demands: 1,
+            rejection_cost: 0.0,
+        };
+        assert!(decide(&posterior(0), bad).is_err());
+        let bad2 = DecisionStakes {
+            cost_per_failure: 1.0,
+            demands: 1,
+            rejection_cost: f64::NAN,
+        };
+        assert!(decide(&posterior(0), bad2).is_err());
+        assert!(decide_risk_averse(&posterior(0), stakes(1.0), 0.0).is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type for the Bayesian layer.
+
+use std::fmt;
+
+/// Errors produced by priors, updates and assessments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BayesError {
+    /// Evidence was inconsistent (e.g. more failures than demands).
+    BadEvidence {
+        /// Failures claimed.
+        failures: u64,
+        /// Demands claimed.
+        demands: u64,
+    },
+    /// The posterior is degenerate (e.g. all prior mass excluded by the
+    /// evidence).
+    DegeneratePosterior(&'static str),
+    /// The requested claim cannot be reached within the search budget.
+    ClaimUnreachable {
+        /// The bound that was requested.
+        target: f64,
+        /// The largest number of demands tried.
+        tried: u64,
+    },
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+    /// Propagated model error.
+    Model(divrel_model::ModelError),
+    /// Propagated numerics error.
+    Numerics(divrel_numerics::NumericsError),
+}
+
+impl fmt::Display for BayesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BayesError::BadEvidence { failures, demands } => {
+                write!(f, "{failures} failures cannot occur in {demands} demands")
+            }
+            BayesError::DegeneratePosterior(msg) => write!(f, "degenerate posterior: {msg}"),
+            BayesError::ClaimUnreachable { target, tried } => write!(
+                f,
+                "claim bound {target} unreachable within {tried} failure-free demands"
+            ),
+            BayesError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            BayesError::Model(e) => write!(f, "model error: {e}"),
+            BayesError::Numerics(e) => write!(f, "numerics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BayesError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BayesError::Model(e) => Some(e),
+            BayesError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<divrel_model::ModelError> for BayesError {
+    fn from(e: divrel_model::ModelError) -> Self {
+        BayesError::Model(e)
+    }
+}
+
+impl From<divrel_numerics::NumericsError> for BayesError {
+    fn from(e: divrel_numerics::NumericsError) -> Self {
+        BayesError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        use std::error::Error;
+        assert!(BayesError::BadEvidence {
+            failures: 5,
+            demands: 3
+        }
+        .to_string()
+        .contains("5 failures"));
+        assert!(BayesError::DegeneratePosterior("x").to_string().contains("x"));
+        assert!(BayesError::ClaimUnreachable {
+            target: 1e-9,
+            tried: 100
+        }
+        .to_string()
+        .contains("unreachable within 100"));
+        assert!(BayesError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        assert!(BayesError::from(divrel_model::ModelError::EmptyModel)
+            .source()
+            .is_some());
+        assert!(
+            BayesError::from(divrel_numerics::NumericsError::EmptyData("d"))
+                .source()
+                .is_some()
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! # divrel-bayes
+//!
+//! Bayesian assessment on top of the fault-creation model.
+//!
+//! The paper closes with: "it would seem a good idea to apply a family of
+//! prior distributions for a product's reliability parameters that are
+//! based on this plausible physical model rather than chosen, as is
+//! frequently the case, for computational convenience only" (§7, citing
+//! \[14\]). This crate implements exactly that:
+//!
+//! * [`prior::PfdPrior`] — priors over the PFD of a version or a
+//!   1-out-of-2 pair: the **exact discrete prior** induced by the fault
+//!   model, and the **moment-matched Beta** convenience prior for
+//!   comparison (§6.2 warns the two can disagree);
+//! * [`update`] — posterior inference from operational evidence
+//!   (`s` failures in `t` demands): exact discrete posteriors, conjugate
+//!   Beta posteriors, and an approximate factorised **per-fault** update
+//!   that returns a new [`divrel_model::FaultModel`];
+//! * [`assessment`] — the assessor's questions: posterior confidence
+//!   bounds, and "how many failure-free demands until I can claim X?".
+//!
+//! ```
+//! use divrel_bayes::{assessment::posterior_bound, prior::PfdPrior, update::observe};
+//! use divrel_model::FaultModel;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = FaultModel::uniform(6, 0.1, 1e-3)?;
+//! let prior = PfdPrior::exact_pair(&model)?;
+//! // 10 000 failure-free demands on the 1oo2 system:
+//! let post = observe(&prior, 0, 10_000)?;
+//! let b99 = posterior_bound(&post, 0.99)?;
+//! assert!(b99 < 1e-2);
+//! # Ok(())
+//! # }
+//! ```
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod assessment;
+pub mod decision;
+pub mod error;
+pub mod prior;
+pub mod update;
+
+pub use error::BayesError;
+pub use prior::PfdPrior;
+pub use update::PfdPosterior;

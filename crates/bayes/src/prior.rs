@@ -1,0 +1,211 @@
+//! Priors over the probability of failure on demand.
+//!
+//! Two families, deliberately side by side:
+//!
+//! * [`PfdPrior::Discrete`] — the **physically grounded** prior: the exact
+//!   distribution of `Θ₁` or `Θ₂` induced by the fault-creation model
+//!   (what the paper's conclusions advocate);
+//! * [`PfdPrior::Beta`] — the **convenience** prior: a Beta distribution
+//!   moment-matched to the same mean and variance (what practice often
+//!   uses; §6.2 warns that "pessimistic priors might accidentally produce
+//!   optimistic posteriors", so the comparison matters).
+
+use crate::error::BayesError;
+use divrel_model::distribution::PfdDistribution;
+use divrel_model::FaultModel;
+use divrel_numerics::beta_dist::Beta;
+use divrel_numerics::weighted_sum::Atom;
+
+/// A prior distribution over a system's PFD.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PfdPrior {
+    /// Exact discrete prior: atoms of the model-induced PFD distribution.
+    Discrete(Vec<Atom>),
+    /// Moment-matched Beta prior.
+    Beta(Beta),
+}
+
+impl PfdPrior {
+    /// Exact prior for a single version's PFD.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution construction errors.
+    pub fn exact_single(model: &FaultModel) -> Result<Self, BayesError> {
+        Ok(PfdPrior::Discrete(
+            PfdDistribution::single(model)?.exact().atoms().to_vec(),
+        ))
+    }
+
+    /// Exact prior for a 1-out-of-2 pair's PFD.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution construction errors.
+    pub fn exact_pair(model: &FaultModel) -> Result<Self, BayesError> {
+        Ok(PfdPrior::Discrete(
+            PfdDistribution::pair(model)?.exact().atoms().to_vec(),
+        ))
+    }
+
+    /// Exact prior for a `k`-version system's PFD.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution construction errors.
+    pub fn exact_k(model: &FaultModel, k: u32) -> Result<Self, BayesError> {
+        Ok(PfdPrior::Discrete(
+            PfdDistribution::new(model, k)?.exact().atoms().to_vec(),
+        ))
+    }
+
+    /// Convenience Beta prior moment-matched to the model's `k`-version
+    /// PFD moments.
+    ///
+    /// # Errors
+    ///
+    /// [`BayesError::Numerics`] if the moments are not Beta-feasible
+    /// (e.g. zero variance).
+    pub fn beta_matched(model: &FaultModel, k: u32) -> Result<Self, BayesError> {
+        let mean = model.mean_pfd(k);
+        let var = model.var_pfd(k);
+        Ok(PfdPrior::Beta(Beta::from_mean_variance(mean, var)?))
+    }
+
+    /// Creates a discrete prior from explicit atoms.
+    ///
+    /// # Errors
+    ///
+    /// [`BayesError::InvalidConfig`] if atoms are empty, unnormalised,
+    /// carry negative mass, or lie outside `[0, 1]`.
+    pub fn from_atoms(atoms: Vec<Atom>) -> Result<Self, BayesError> {
+        if atoms.is_empty() {
+            return Err(BayesError::InvalidConfig("no atoms".into()));
+        }
+        let mut total = 0.0;
+        for a in &atoms {
+            if !(0.0..=1.0).contains(&a.value) || !a.value.is_finite() {
+                return Err(BayesError::InvalidConfig(format!(
+                    "atom value {} outside [0, 1]",
+                    a.value
+                )));
+            }
+            if a.mass < 0.0 || !a.mass.is_finite() {
+                return Err(BayesError::InvalidConfig(format!(
+                    "atom mass {} invalid",
+                    a.mass
+                )));
+            }
+            total += a.mass;
+        }
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(BayesError::InvalidConfig(format!(
+                "atom masses sum to {total}, expected 1"
+            )));
+        }
+        Ok(PfdPrior::Discrete(atoms))
+    }
+
+    /// Prior mean PFD.
+    pub fn mean(&self) -> f64 {
+        match self {
+            PfdPrior::Discrete(atoms) => atoms.iter().map(|a| a.value * a.mass).sum(),
+            PfdPrior::Beta(b) => b.mean(),
+        }
+    }
+
+    /// Prior `P(Θ ≤ x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        match self {
+            PfdPrior::Discrete(atoms) => atoms
+                .iter()
+                .take_while(|a| a.value <= x)
+                .map(|a| a.mass)
+                .sum::<f64>()
+                .min(1.0),
+            PfdPrior::Beta(b) => b.cdf(x),
+        }
+    }
+
+    /// Prior probability that the system is perfect (`Θ = 0`).
+    ///
+    /// Always 0 for a Beta prior — one concrete way the convenience prior
+    /// misrepresents the physical model, which assigns positive mass to
+    /// fault-free systems (§4).
+    pub fn prob_perfect(&self) -> f64 {
+        match self {
+            PfdPrior::Discrete(atoms) => atoms
+                .iter()
+                .find(|a| a.value == 0.0)
+                .map(|a| a.mass)
+                .unwrap_or(0.0),
+            PfdPrior::Beta(_) => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> FaultModel {
+        FaultModel::from_params(&[0.2, 0.1, 0.05], &[0.01, 0.02, 0.005]).unwrap()
+    }
+
+    #[test]
+    fn exact_priors_match_model_moments() {
+        let m = model();
+        let p1 = PfdPrior::exact_single(&m).unwrap();
+        assert!((p1.mean() - m.mean_pfd_single()).abs() < 1e-14);
+        let p2 = PfdPrior::exact_pair(&m).unwrap();
+        assert!((p2.mean() - m.mean_pfd_pair()).abs() < 1e-14);
+        let pk = PfdPrior::exact_k(&m, 3).unwrap();
+        assert!((pk.mean() - m.mean_pfd(3)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn beta_prior_matches_moments_but_denies_perfection() {
+        let m = model();
+        let b = PfdPrior::beta_matched(&m, 1).unwrap();
+        assert!((b.mean() - m.mean_pfd_single()).abs() < 1e-10);
+        assert_eq!(b.prob_perfect(), 0.0);
+        // The exact prior gives the §4 fault-free probability.
+        let d = PfdPrior::exact_single(&m).unwrap();
+        assert!((d.prob_perfect() - m.prob_fault_free_single()).abs() < 1e-12);
+        assert!(d.prob_perfect() > 0.5);
+    }
+
+    #[test]
+    fn from_atoms_validation() {
+        use divrel_numerics::weighted_sum::Atom;
+        assert!(PfdPrior::from_atoms(vec![]).is_err());
+        assert!(PfdPrior::from_atoms(vec![Atom { value: 1.5, mass: 1.0 }]).is_err());
+        assert!(PfdPrior::from_atoms(vec![Atom { value: 0.5, mass: -1.0 }]).is_err());
+        assert!(PfdPrior::from_atoms(vec![Atom { value: 0.5, mass: 0.7 }]).is_err());
+        let ok = PfdPrior::from_atoms(vec![
+            Atom { value: 0.0, mass: 0.5 },
+            Atom { value: 0.1, mass: 0.5 },
+        ]);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn cdf_of_both_families() {
+        let m = model();
+        let d = PfdPrior::exact_single(&m).unwrap();
+        assert_eq!(d.cdf(-0.1), 0.0);
+        assert!((d.cdf(1.0) - 1.0).abs() < 1e-12);
+        assert!(d.cdf(0.0) > 0.5); // big atom at zero
+        let b = PfdPrior::beta_matched(&m, 1).unwrap();
+        assert_eq!(b.cdf(0.0), 0.0);
+        assert_eq!(b.cdf(1.0), 1.0);
+        let mid = b.cdf(m.mean_pfd_single());
+        assert!(mid > 0.0 && mid < 1.0);
+    }
+
+    #[test]
+    fn beta_matching_fails_for_degenerate_models() {
+        let m = FaultModel::from_params(&[1.0], &[0.5]).unwrap(); // zero variance
+        assert!(PfdPrior::beta_matched(&m, 1).is_err());
+    }
+}

@@ -1,0 +1,369 @@
+//! Posterior inference from operational evidence.
+//!
+//! Evidence is Bernoulli: `s` failures observed in `t` demands. For a
+//! discrete prior `{(θₐ, wₐ)}` the exact posterior is
+//!
+//! ```text
+//! wₐ' ∝ wₐ · θₐˢ · (1 − θₐ)^{t−s}
+//! ```
+//!
+//! (with `0⁰ = 1`, so the perfect-system atom survives failure-free
+//! evidence and is annihilated by any failure). For a Beta prior the
+//! update is conjugate. [`factored_fault_posterior`] additionally updates
+//! the *fault model itself* after failure-free operation, using the
+//! factorised likelihood `Π(1−qᵢ)^t` per present fault — an approximation
+//! to the exact `(1−Σqᵢ)^t` that is accurate when `Σqᵢ` is small (the
+//! §5 "many small faults" regime) and conservative otherwise.
+
+use crate::error::BayesError;
+use crate::prior::PfdPrior;
+use divrel_model::{FaultModel, PotentialFault};
+use divrel_numerics::beta_dist::Beta;
+use divrel_numerics::weighted_sum::Atom;
+
+/// A posterior over the PFD, same representations as the prior.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PfdPosterior {
+    /// Exact discrete posterior.
+    Discrete(Vec<Atom>),
+    /// Conjugate Beta posterior.
+    Beta(Beta),
+}
+
+/// Updates a prior with `failures` failures in `demands` demands.
+///
+/// # Errors
+///
+/// [`BayesError::BadEvidence`] if `failures > demands`;
+/// [`BayesError::DegeneratePosterior`] if the evidence annihilates every
+/// atom of a discrete prior (e.g. failures observed under a prior that is
+/// certain the system is perfect).
+///
+/// ```
+/// use divrel_bayes::{prior::PfdPrior, update::observe};
+/// use divrel_model::FaultModel;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = FaultModel::uniform(4, 0.2, 0.01)?;
+/// let prior = PfdPrior::exact_single(&model)?;
+/// let post = observe(&prior, 0, 5_000)?;
+/// // Failure-free operation raises the probability of perfection.
+/// assert!(post.prob_perfect() > prior.prob_perfect());
+/// # Ok(())
+/// # }
+/// ```
+pub fn observe(prior: &PfdPrior, failures: u64, demands: u64) -> Result<PfdPosterior, BayesError> {
+    if failures > demands {
+        return Err(BayesError::BadEvidence { failures, demands });
+    }
+    match prior {
+        PfdPrior::Discrete(atoms) => {
+            let survivals = demands - failures;
+            let mut out = Vec::with_capacity(atoms.len());
+            let mut total = 0.0_f64;
+            // Work with log-likelihood to survive large t.
+            let mut best_log = f64::NEG_INFINITY;
+            let logs: Vec<Option<f64>> = atoms
+                .iter()
+                .map(|a| {
+                    let theta = a.value;
+                    if a.mass == 0.0 {
+                        return None;
+                    }
+                    // 0^0 = 1 conventions:
+                    if theta == 0.0 && failures > 0 {
+                        return None;
+                    }
+                    if theta == 1.0 && survivals > 0 {
+                        return None;
+                    }
+                    let mut ll = a.mass.ln();
+                    if failures > 0 {
+                        ll += failures as f64 * theta.ln();
+                    }
+                    if survivals > 0 {
+                        ll += survivals as f64 * (-theta).ln_1p();
+                    }
+                    best_log = best_log.max(ll);
+                    Some(ll)
+                })
+                .collect();
+            if best_log == f64::NEG_INFINITY {
+                return Err(BayesError::DegeneratePosterior(
+                    "evidence excludes every prior atom",
+                ));
+            }
+            for (a, ll) in atoms.iter().zip(logs) {
+                if let Some(ll) = ll {
+                    let w = (ll - best_log).exp();
+                    if w > 0.0 {
+                        out.push(Atom {
+                            value: a.value,
+                            mass: w,
+                        });
+                        total += w;
+                    }
+                }
+            }
+            for a in &mut out {
+                a.mass /= total;
+            }
+            Ok(PfdPosterior::Discrete(out))
+        }
+        PfdPrior::Beta(b) => Ok(PfdPosterior::Beta(b.update(failures, demands)?)),
+    }
+}
+
+impl PfdPosterior {
+    /// Posterior mean PFD.
+    pub fn mean(&self) -> f64 {
+        match self {
+            PfdPosterior::Discrete(atoms) => atoms.iter().map(|a| a.value * a.mass).sum(),
+            PfdPosterior::Beta(b) => b.mean(),
+        }
+    }
+
+    /// Posterior `P(Θ ≤ x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        match self {
+            PfdPosterior::Discrete(atoms) => atoms
+                .iter()
+                .take_while(|a| a.value <= x)
+                .map(|a| a.mass)
+                .sum::<f64>()
+                .min(1.0),
+            PfdPosterior::Beta(b) => b.cdf(x),
+        }
+    }
+
+    /// Posterior probability the system is perfect.
+    pub fn prob_perfect(&self) -> f64 {
+        match self {
+            PfdPosterior::Discrete(atoms) => atoms
+                .iter()
+                .find(|a| a.value == 0.0)
+                .map(|a| a.mass)
+                .unwrap_or(0.0),
+            PfdPosterior::Beta(_) => 0.0,
+        }
+    }
+
+    /// Smallest `b` with `P(Θ ≤ b) ≥ confidence`.
+    ///
+    /// # Errors
+    ///
+    /// [`BayesError::InvalidConfig`] unless `0 < confidence < 1`;
+    /// numerics errors from the Beta quantile.
+    pub fn quantile(&self, confidence: f64) -> Result<f64, BayesError> {
+        if !(confidence > 0.0 && confidence < 1.0) {
+            return Err(BayesError::InvalidConfig(format!(
+                "confidence {confidence} not in (0, 1)"
+            )));
+        }
+        match self {
+            PfdPosterior::Discrete(atoms) => {
+                let mut acc = 0.0;
+                for a in atoms {
+                    acc += a.mass;
+                    if acc + 1e-15 >= confidence {
+                        return Ok(a.value);
+                    }
+                }
+                Ok(atoms.last().map(|a| a.value).unwrap_or(0.0))
+            }
+            PfdPosterior::Beta(b) => Ok(b.quantile(confidence)?),
+        }
+    }
+}
+
+/// Factorised per-fault posterior after `t` **failure-free** demands:
+/// every fault's presence probability shrinks to
+///
+/// ```text
+/// pᵢ' = pᵢ(1−qᵢ)ᵗ / (1 − pᵢ + pᵢ(1−qᵢ)ᵗ)
+/// ```
+///
+/// Faults with large failure regions are "tested out" quickly; faults with
+/// tiny regions barely move — which is why failure-free operation alone
+/// can never establish ultra-high reliability (the paper's motivating
+/// problem).
+///
+/// The factorisation approximates the exact likelihood `(1−Σᵢ∈S qᵢ)ᵗ` by
+/// `Πᵢ∈S (1−qᵢ)ᵗ`; exact when at most one fault is present, and accurate
+/// to `O(t·qᵢqⱼ)` generally.
+///
+/// # Errors
+///
+/// Propagates model reconstruction errors (cannot occur for valid inputs).
+pub fn factored_fault_posterior(model: &FaultModel, t: u64) -> Result<FaultModel, BayesError> {
+    let faults = model
+        .faults()
+        .iter()
+        .map(|f| {
+            let p = f.p();
+            let q = f.q();
+            // (1-q)^t in log space.
+            let surv = (t as f64 * (-q).ln_1p()).exp();
+            let p_new = if p == 0.0 {
+                0.0
+            } else {
+                p * surv / (1.0 - p + p * surv)
+            };
+            PotentialFault::new(p_new, q)
+        })
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(BayesError::from)?;
+    FaultModel::new(faults).map_err(BayesError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model() -> FaultModel {
+        FaultModel::from_params(&[0.3, 0.1], &[0.01, 0.001]).unwrap()
+    }
+
+    #[test]
+    fn failure_free_evidence_improves_beliefs() {
+        let prior = PfdPrior::exact_single(&model()).unwrap();
+        let post = observe(&prior, 0, 2_000).unwrap();
+        assert!(post.mean() < prior.mean());
+        assert!(post.prob_perfect() > prior.prob_perfect());
+        // More evidence, stronger belief.
+        let post2 = observe(&prior, 0, 20_000).unwrap();
+        assert!(post2.mean() < post.mean());
+        assert!(post2.prob_perfect() > post.prob_perfect());
+    }
+
+    #[test]
+    fn failures_kill_the_perfect_atom() {
+        let prior = PfdPrior::exact_single(&model()).unwrap();
+        let post = observe(&prior, 1, 100).unwrap();
+        assert_eq!(post.prob_perfect(), 0.0);
+        assert!(post.mean() > 0.0);
+    }
+
+    #[test]
+    fn posterior_is_normalised() {
+        let prior = PfdPrior::exact_single(&model()).unwrap();
+        for (s, t) in [(0u64, 0u64), (0, 1000), (2, 500), (10, 10)] {
+            let post = observe(&prior, s, t).unwrap();
+            if let PfdPosterior::Discrete(atoms) = post {
+                let total: f64 = atoms.iter().map(|a| a.mass).sum();
+                assert!((total - 1.0).abs() < 1e-12, "s={s}, t={t}");
+            } else {
+                panic!("expected discrete posterior");
+            }
+        }
+    }
+
+    #[test]
+    fn no_evidence_is_identity() {
+        let prior = PfdPrior::exact_single(&model()).unwrap();
+        let post = observe(&prior, 0, 0).unwrap();
+        assert!((post.mean() - prior.mean()).abs() < 1e-14);
+        assert!((post.prob_perfect() - prior.prob_perfect()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn bad_and_degenerate_evidence() {
+        let prior = PfdPrior::exact_single(&model()).unwrap();
+        assert!(matches!(
+            observe(&prior, 5, 3),
+            Err(BayesError::BadEvidence { .. })
+        ));
+        // A prior certain of perfection cannot explain a failure.
+        let perfect = PfdPrior::from_atoms(vec![Atom { value: 0.0, mass: 1.0 }]).unwrap();
+        assert!(matches!(
+            observe(&perfect, 1, 10),
+            Err(BayesError::DegeneratePosterior(_))
+        ));
+        // A prior certain of Θ=1 cannot explain a success.
+        let broken = PfdPrior::from_atoms(vec![Atom { value: 1.0, mass: 1.0 }]).unwrap();
+        assert!(observe(&broken, 0, 1).is_err());
+        assert!(observe(&broken, 5, 5).is_ok());
+    }
+
+    #[test]
+    fn beta_conjugate_update() {
+        let prior = PfdPrior::Beta(Beta::new(1.0, 99.0).unwrap());
+        let post = observe(&prior, 2, 100).unwrap();
+        if let PfdPosterior::Beta(b) = post {
+            assert!((b.alpha() - 3.0).abs() < 1e-12);
+            assert!((b.beta() - 197.0).abs() < 1e-12);
+        } else {
+            panic!("expected beta posterior");
+        }
+    }
+
+    #[test]
+    fn large_t_is_numerically_stable() {
+        let prior = PfdPrior::exact_single(&model()).unwrap();
+        let post = observe(&prior, 0, 10_000_000).unwrap();
+        // Essentially all mass on the perfect atom.
+        assert!(post.prob_perfect() > 0.999);
+        assert!(post.mean() < 1e-6);
+        let b = post.quantile(0.99).unwrap();
+        assert!(b.is_finite());
+    }
+
+    #[test]
+    fn quantile_validation_and_values() {
+        let prior = PfdPrior::exact_single(&model()).unwrap();
+        let post = observe(&prior, 0, 100).unwrap();
+        assert!(post.quantile(0.0).is_err());
+        assert!(post.quantile(1.0).is_err());
+        let q50 = post.quantile(0.5).unwrap();
+        let q99 = post.quantile(0.99).unwrap();
+        assert!(q50 <= q99);
+    }
+
+    #[test]
+    fn factored_posterior_shrinks_big_faults_fastest() {
+        let m = FaultModel::from_params(&[0.3, 0.3], &[0.01, 1e-6]).unwrap();
+        let post = factored_fault_posterior(&m, 10_000).unwrap();
+        let p_big = post.faults()[0].p();
+        let p_small = post.faults()[1].p();
+        // The big-region fault would have shown itself: (1-0.01)^10000 ≈ 0.
+        assert!(p_big < 1e-20);
+        // The tiny-region fault is barely updated: (1-1e-6)^1e4 ≈ 0.99.
+        assert!((p_small - 0.2975).abs() < 0.002);
+        // q values are untouched.
+        assert_eq!(post.faults()[0].q(), 0.01);
+    }
+
+    #[test]
+    fn factored_posterior_with_zero_t_is_identity() {
+        let m = model();
+        let post = factored_fault_posterior(&m, 0).unwrap();
+        assert_eq!(post, m);
+    }
+
+    proptest! {
+        #[test]
+        fn posterior_mean_never_exceeds_prior_mean_on_perfect_evidence(
+            ps in proptest::collection::vec(0.01..0.9f64, 1..6),
+            t in 1u64..50_000
+        ) {
+            let qs = vec![0.01; ps.len()];
+            let m = FaultModel::from_params(&ps, &qs).unwrap();
+            let prior = PfdPrior::exact_single(&m).unwrap();
+            let post = observe(&prior, 0, t).unwrap();
+            prop_assert!(post.mean() <= prior.mean() + 1e-12);
+        }
+
+        #[test]
+        fn factored_posterior_probabilities_shrink(
+            ps in proptest::collection::vec(0.01..0.99f64, 1..6),
+            t in 0u64..100_000
+        ) {
+            let qs = vec![0.001; ps.len()];
+            let m = FaultModel::from_params(&ps, &qs).unwrap();
+            let post = factored_fault_posterior(&m, t).unwrap();
+            for (before, after) in m.faults().iter().zip(post.faults()) {
+                prop_assert!(after.p() <= before.p() + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Criterion benchmarks for the exact PFD distribution machinery:
+//! enumeration vs lattice, Poisson–binomial DP, normal quantiles and the
+//! quality certificates.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use divrel_model::distribution::PfdDistribution;
+use divrel_model::FaultModel;
+use divrel_numerics::berry_esseen::bernoulli_sum_bound;
+use divrel_numerics::normal::standard_quantile;
+use divrel_numerics::poisson_binomial::PoissonBinomial;
+use divrel_numerics::weighted_sum::WeightedBernoulliSum;
+
+fn terms_of_size(n: usize) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|i| {
+            (
+                0.05 + 0.2 * ((i % 7) as f64 / 6.0),
+                (0.8 / n as f64) * (0.5 + (i % 3) as f64 * 0.25),
+            )
+        })
+        .collect()
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("weighted_sum_enumerate");
+    for n in [8usize, 14, 20] {
+        let terms = terms_of_size(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &terms, |b, t| {
+            b.iter(|| black_box(WeightedBernoulliSum::enumerate(t).expect("valid terms")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lattice(c: &mut Criterion) {
+    let mut g = c.benchmark_group("weighted_sum_lattice");
+    g.sample_size(20);
+    for n in [64usize, 512, 4096] {
+        let terms = terms_of_size(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &terms, |b, t| {
+            b.iter(|| {
+                black_box(WeightedBernoulliSum::lattice(t, 1 << 14).expect("valid terms"))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_poisson_binomial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("poisson_binomial");
+    for n in [64usize, 512, 2048] {
+        let ps: Vec<f64> = (0..n).map(|i| 0.01 + 0.4 * ((i % 9) as f64 / 8.0)).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &ps, |b, p| {
+            b.iter(|| black_box(PoissonBinomial::new(p).expect("valid probabilities")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_certificates(c: &mut Criterion) {
+    let m = FaultModel::from_params(
+        &(0..16).map(|i| 0.1 + 0.02 * i as f64).collect::<Vec<_>>(),
+        &[0.01; 16],
+    )
+    .expect("valid parameters");
+    c.bench_function("pfd_distribution/build_single_n16", |b| {
+        b.iter(|| black_box(PfdDistribution::single(&m).expect("constructible")))
+    });
+    let d = PfdDistribution::single(&m).expect("constructible");
+    c.bench_function("pfd_distribution/ks_distance_n16", |b| {
+        b.iter(|| black_box(d.ks_distance_to_normal()))
+    });
+    let terms = terms_of_size(1024);
+    c.bench_function("berry_esseen/n1024", |b| {
+        b.iter(|| black_box(bernoulli_sum_bound(&terms).expect("valid terms")))
+    });
+    c.bench_function("normal/standard_quantile", |b| {
+        b.iter(|| black_box(standard_quantile(black_box(0.99)).expect("in range")))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_enumeration,
+    bench_lattice,
+    bench_poisson_binomial,
+    bench_certificates
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benchmarks for the analytic model layer: moments, bounds,
+//! fault-free probabilities, improvement gradients.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use divrel_model::improvement::{risk_ratio_gradient, ProportionalFamily};
+use divrel_model::FaultModel;
+
+fn model_of_size(n: usize) -> FaultModel {
+    let ps: Vec<f64> = (0..n).map(|i| 0.01 + 0.3 * ((i % 17) as f64 / 16.0)).collect();
+    let qs: Vec<f64> = (0..n).map(|i| (0.9 / n as f64) * (0.2 + (i % 5) as f64 * 0.2)).collect();
+    FaultModel::from_params(&ps, &qs).expect("valid parameters")
+}
+
+fn bench_moments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("moments");
+    for n in [16usize, 256, 4096] {
+        let m = model_of_size(n);
+        g.bench_with_input(BenchmarkId::new("mean_and_var_pair", n), &m, |b, m| {
+            b.iter(|| {
+                black_box(m.mean_pfd_pair());
+                black_box(m.var_pfd_pair());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fault_free(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fault_free");
+    for n in [16usize, 256, 4096] {
+        let m = model_of_size(n);
+        g.bench_with_input(BenchmarkId::new("risk_ratio", n), &m, |b, m| {
+            b.iter(|| black_box(m.risk_ratio().expect("non-degenerate")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gradient(c: &mut Criterion) {
+    let mut g = c.benchmark_group("improvement");
+    for n in [16usize, 256, 4096] {
+        let m = model_of_size(n);
+        g.bench_with_input(BenchmarkId::new("risk_ratio_gradient", n), &m, |b, m| {
+            b.iter(|| black_box(risk_ratio_gradient(m).expect("non-degenerate")))
+        });
+    }
+    let fam = ProportionalFamily::new(
+        (0..256).map(|i| 0.01 + 0.002 * (i % 50) as f64).collect(),
+        vec![1e-3; 256],
+    )
+    .expect("valid family");
+    g.bench_function("d_risk_ratio_dk_n256", |b| {
+        b.iter(|| black_box(fam.d_risk_ratio_dk(0.7).expect("in range")))
+    });
+    g.finish();
+}
+
+fn bench_bounds(c: &mut Criterion) {
+    let m = model_of_size(1024);
+    c.bench_function("bounds/eq11_eq12_n1024", |b| {
+        b.iter(|| {
+            black_box(m.pair_bound_from_moments(2.33));
+            black_box(m.pair_bound_from_bound(2.33));
+        })
+    });
+}
+
+criterion_group!(benches, bench_moments, bench_fault_free, bench_gradient, bench_bounds);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Criterion benchmarks for the simulation substrates: version sampling,
+//! Monte-Carlo experiments, demand-space queries, plant stepping and
+//! Bayesian updates.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use divrel_bayes::{prior::PfdPrior, update::observe};
+use divrel_demand::mapping::FaultRegionMap;
+use divrel_demand::profile::Profile;
+use divrel_demand::region::Region;
+use divrel_demand::space::GridSpace2D;
+use divrel_demand::version::ProgramVersion;
+use divrel_devsim::{
+    experiment::MonteCarloExperiment, factory::VersionFactory, process::FaultIntroduction,
+};
+use divrel_model::FaultModel;
+use divrel_protection::{
+    adjudicator::Adjudicator, channel::Channel, plant::Plant, simulation,
+    system::ProtectionSystem,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn model_of_size(n: usize) -> FaultModel {
+    let ps: Vec<f64> = (0..n).map(|i| 0.01 + 0.3 * ((i % 17) as f64 / 16.0)).collect();
+    let qs: Vec<f64> = (0..n).map(|_| 0.9 / n as f64).collect();
+    FaultModel::from_params(&ps, &qs).expect("valid parameters")
+}
+
+fn bench_factory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("devsim_factory");
+    for n in [16usize, 256] {
+        let f = VersionFactory::new(model_of_size(n), FaultIntroduction::Independent)
+            .expect("valid factory");
+        g.bench_with_input(BenchmarkId::new("sample_pair", n), &f, |b, f| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(f.sample_pair(&mut rng)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("devsim_experiment");
+    g.sample_size(10);
+    let m = model_of_size(32);
+    g.bench_function("mc_10k_pairs_single_thread", |b| {
+        b.iter(|| {
+            black_box(
+                MonteCarloExperiment::new(m.clone(), FaultIntroduction::Independent)
+                    .samples(10_000)
+                    .threads(1)
+                    .seed(1)
+                    .run()
+                    .expect("runs"),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_demand_space(c: &mut Criterion) {
+    let space = GridSpace2D::new(200, 200).expect("valid space");
+    let profile = Profile::uniform(&space);
+    let regions: Vec<Region> = (0..32)
+        .map(|i| {
+            let x = (i * 6) as u32 % 180;
+            let y = (i * 11) as u32 % 180;
+            Region::rect(x, y, x + 12, y + 12)
+        })
+        .collect();
+    let map = FaultRegionMap::new(space, regions).expect("valid map");
+    c.bench_function("demand/q_values_32_regions", |b| {
+        b.iter(|| black_box(map.q_values(&profile)))
+    });
+    let set: Vec<usize> = (0..32).collect();
+    c.bench_function("demand/union_pfd_32_regions", |b| {
+        b.iter(|| black_box(map.union_pfd(&set, &profile).expect("in range")))
+    });
+    c.bench_function("demand/profile_sample", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(profile.sample(&mut rng)))
+    });
+}
+
+fn bench_protection(c: &mut Criterion) {
+    let space = GridSpace2D::new(100, 100).expect("valid space");
+    let profile = Profile::uniform(&space);
+    let map = FaultRegionMap::new(
+        space,
+        vec![Region::rect(0, 0, 9, 9), Region::rect(5, 5, 14, 14)],
+    )
+    .expect("valid map");
+    let sys = ProtectionSystem::new(
+        vec![
+            Channel::new("A", ProgramVersion::new(vec![true, false])),
+            Channel::new("B", ProgramVersion::new(vec![false, true])),
+        ],
+        Adjudicator::OneOutOfN,
+        map,
+    )
+    .expect("valid system");
+    let plant = Plant::with_demand_rate(profile, 0.2).expect("valid plant");
+    let mut g = c.benchmark_group("protection");
+    g.sample_size(20);
+    g.bench_function("run_100k_steps", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| black_box(simulation::run(&plant, &sys, 100_000, &mut rng).expect("runs")))
+    });
+    g.finish();
+}
+
+fn bench_bayes(c: &mut Criterion) {
+    let m = model_of_size(18);
+    let prior = PfdPrior::exact_single(&m).expect("constructible");
+    c.bench_function("bayes/observe_exact_prior_n18", |b| {
+        b.iter(|| black_box(observe(&prior, 0, 10_000).expect("valid evidence")))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_factory,
+    bench_monte_carlo,
+    bench_demand_space,
+    bench_protection,
+    bench_bayes
+);
+criterion_main!(benches);

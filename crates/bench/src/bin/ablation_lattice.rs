@@ -1,0 +1,22 @@
+//! Standalone runner for `divrel_bench::experiments::lattice_ablation`.
+
+use divrel_bench::experiments::lattice_ablation;
+use divrel_bench::Context;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let ctx = if smoke {
+        let mut c = Context::new();
+        c.scale = 0.02;
+        c
+    } else {
+        Context::new()
+    };
+    match lattice_ablation::run(&ctx) {
+        Ok(summary) => println!("{}", summary.to_console()),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

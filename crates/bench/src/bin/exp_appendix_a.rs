@@ -1,0 +1,24 @@
+//! Standalone runner for experiment E5.
+//!
+//! See `divrel_bench::experiments::appendix_a` for what it reproduces.
+
+use divrel_bench::experiments::appendix_a;
+use divrel_bench::Context;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let ctx = if smoke {
+        let mut c = Context::new();
+        c.scale = 0.02;
+        c
+    } else {
+        Context::new()
+    };
+    match appendix_a::run(&ctx) {
+        Ok(summary) => println!("{}", summary.to_console()),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

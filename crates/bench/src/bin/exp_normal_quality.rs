@@ -1,0 +1,24 @@
+//! Standalone runner for experiment E12.
+//!
+//! See `divrel_bench::experiments::normal_quality` for what it reproduces.
+
+use divrel_bench::experiments::normal_quality;
+use divrel_bench::Context;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let ctx = if smoke {
+        let mut c = Context::new();
+        c.scale = 0.02;
+        c
+    } else {
+        Context::new()
+    };
+    match normal_quality::run(&ctx) {
+        Ok(summary) => println!("{}", summary.to_console()),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Shared experiment context and reporting types.
+
+use divrel_report::ArtifactSink;
+use std::path::PathBuf;
+
+/// Configuration shared by every experiment.
+#[derive(Debug, Clone)]
+pub struct Context {
+    /// Root directory for artifacts (`results/` by default).
+    pub results_root: PathBuf,
+    /// Base RNG seed; experiments derive their own streams from it.
+    pub seed: u64,
+    /// Scale factor for Monte-Carlo sample counts (1.0 = full size;
+    /// smaller for smoke tests).
+    pub scale: f64,
+}
+
+impl Context {
+    /// Default context: `results/`, seed 2001 (the paper's year), full
+    /// sample sizes.
+    pub fn new() -> Self {
+        Context {
+            results_root: PathBuf::from("results"),
+            seed: 2001,
+            scale: 1.0,
+        }
+    }
+
+    /// A fast configuration for tests: tiny samples in a temp directory.
+    pub fn smoke() -> Self {
+        Context {
+            results_root: std::env::temp_dir().join(format!(
+                "divrel-smoke-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            )),
+            seed: 2001,
+            scale: 0.02,
+        }
+    }
+
+    /// Scales a nominal sample count (minimum 1000 to keep statistics
+    /// meaningful even in smoke mode).
+    pub fn samples(&self, nominal: usize) -> usize {
+        ((nominal as f64 * self.scale) as usize).max(1000)
+    }
+
+    /// Opens the artifact sink for an experiment id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn sink(&self, experiment_id: &str) -> std::io::Result<ArtifactSink> {
+        ArtifactSink::new(&self.results_root, experiment_id)
+    }
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        Context::new()
+    }
+}
+
+/// What an experiment hands back for display and for EXPERIMENTS.md.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Experiment id (e.g. "E7").
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Full markdown report (tables included).
+    pub report: String,
+    /// One-line verdict, e.g. "paper values reproduced (max rel. diff 0.3%)".
+    pub verdict: String,
+}
+
+impl Summary {
+    /// Renders the summary for stdout.
+    pub fn to_console(&self) -> String {
+        format!(
+            "== {} — {} ==\n{}\nVERDICT: {}\n",
+            self.id, self.title, self.report, self.verdict
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_context() {
+        let c = Context::new();
+        assert_eq!(c.seed, 2001);
+        assert_eq!(c.scale, 1.0);
+        assert_eq!(c.samples(10_000), 10_000);
+        assert_eq!(Context::default().seed, c.seed);
+    }
+
+    #[test]
+    fn smoke_context_scales_down_with_floor() {
+        let c = Context::smoke();
+        assert_eq!(c.samples(1_000_000), 20_000);
+        assert_eq!(c.samples(100), 1000); // floor
+    }
+
+    #[test]
+    fn sink_creates_directories() {
+        let c = Context::smoke();
+        let sink = c.sink("TEST").unwrap();
+        assert!(sink.dir().exists());
+        std::fs::remove_dir_all(&c.results_root).ok();
+    }
+
+    #[test]
+    fn summary_console_format() {
+        let s = Summary {
+            id: "E7",
+            title: "beta",
+            report: "body".into(),
+            verdict: "ok".into(),
+        };
+        let out = s.to_console();
+        assert!(out.contains("E7"));
+        assert!(out.contains("VERDICT: ok"));
+    }
+}

@@ -1,0 +1,102 @@
+//! E4 — §4.1, eq (10): the risk ratio `P(N₂>0)/P(N₁>0) ≤ 1`.
+//!
+//! Regenerates the ratio across model families, confirms the bound, shows
+//! the footnote-5 success ratio `Π(1+pᵢ)` moving the *opposite* way, and
+//! cross-checks a Monte-Carlo estimate on the safety workload.
+
+use crate::context::{Context, Summary};
+use crate::experiments::{workloads, ExpResult};
+use divrel_devsim::{experiment::MonteCarloExperiment, process::FaultIntroduction};
+use divrel_model::FaultModel;
+use divrel_report::fmt::sig;
+use divrel_report::Table;
+
+/// Runs E4.
+///
+/// # Errors
+///
+/// Propagates artifact-IO, model and simulation errors.
+pub fn run(ctx: &Context) -> ExpResult {
+    let sink = ctx.sink("E4-fault-free")?;
+    let mut t = Table::new([
+        "model",
+        "P(N1>0)",
+        "P(N2>0)",
+        "risk ratio (eq 10)",
+        "success ratio Π(1+p)",
+    ]);
+    let mut all_below_one = true;
+    let cases: Vec<(String, FaultModel)> = vec![
+        ("safety (n=6)".into(), workloads::safety_model()),
+        ("geometric (n=18)".into(), workloads::geometric_model()),
+        ("many-small (n=400)".into(), workloads::many_small_model()),
+        (
+            "uniform p=0.1 (n=10)".into(),
+            FaultModel::uniform(10, 0.1, 0.01)?,
+        ),
+        (
+            "uniform p=0.01 (n=100)".into(),
+            FaultModel::uniform(100, 0.01, 1e-3)?,
+        ),
+        (
+            "uniform p=1e-4 (n=1000)".into(),
+            FaultModel::uniform(1000, 1e-4, 1e-4)?,
+        ),
+    ];
+    for (name, m) in &cases {
+        let ratio = m.risk_ratio()?;
+        all_below_one &= ratio <= 1.0 + 1e-12;
+        t.row([
+            name.clone(),
+            sig(m.risk_any_fault_single(), 4),
+            sig(m.risk_any_fault_pair(), 4),
+            sig(ratio, 4),
+            sig(m.success_ratio(), 6),
+        ]);
+    }
+    // Monte-Carlo cross-check on the safety model.
+    let m = workloads::safety_model();
+    let mc = MonteCarloExperiment::new(m.clone(), FaultIntroduction::Independent)
+        .samples(ctx.samples(400_000))
+        .seed(ctx.seed)
+        .run()?;
+    let analytic = m.risk_ratio()?;
+    let empirical = mc.risk_ratio.unwrap_or(f64::NAN);
+    sink.write_table("risk_ratios", &t)?;
+    let report = format!(
+        "Eq (10) risk ratios (≤ 1 always) and footnote-5 success ratios (≥ 1 \
+         always):\n{}\nMonte-Carlo cross-check on the safety model: analytic \
+         ratio {} vs sampled {} (95% CI on P(N2>0): [{}, {}]).",
+        t.to_markdown(),
+        sig(analytic, 4),
+        sig(empirical, 4),
+        sig(mc.risk_pair_ci.lo, 4),
+        sig(mc.risk_pair_ci.hi, 4),
+    );
+    let verdict = if all_below_one && (analytic - empirical).abs() < 0.05 {
+        "eq (10) ratio ≤ 1 on every family; Monte Carlo agrees with the \
+         analytic ratio"
+            .to_string()
+    } else {
+        "UNEXPECTED: ratio above 1 or MC disagreement".to_string()
+    };
+    Ok(Summary {
+        id: "E4",
+        title: "Section 4.1 eq (10) risk ratio",
+        report,
+        verdict,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_confirms_bound() {
+        let ctx = Context::smoke();
+        let s = run(&ctx).unwrap();
+        assert!(s.verdict.contains("eq (10)"), "{}", s.verdict);
+        std::fs::remove_dir_all(&ctx.results_root).ok();
+    }
+}

@@ -1,0 +1,130 @@
+//! E2/E3 — the §3.1 lemmas.
+//!
+//! * Lemma (4): `µ₂ ≤ p_max·µ₁` — verified on a sweep of random models
+//!   and reported as the achieved ratio `µ₂/(p_max µ₁)` (1.0 = tight).
+//! * Lemma (9): `σ₂ ≤ sqrt(p_max(1+p_max))·σ₁` — same treatment.
+//! * The §3.1.2 threshold: `p²(1−p²) ≤ p(1−p)` iff `p ≤ (√5−1)/2 =
+//!   0.618033987…` — verified by locating the crossing numerically.
+
+use crate::context::{Context, Summary};
+use crate::experiments::ExpResult;
+use divrel_model::bounds::VARIANCE_MONOTONE_THRESHOLD;
+use divrel_model::FaultModel;
+use divrel_numerics::roots::bisect;
+use divrel_report::fmt::sig;
+use divrel_report::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_model(rng: &mut StdRng, n: usize, p_cap: f64) -> FaultModel {
+    let ps: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * p_cap).collect();
+    let qs: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 0.9 / n as f64).collect();
+    FaultModel::from_params(&ps, &qs).expect("generated parameters are valid")
+}
+
+/// Runs E2/E3.
+///
+/// # Errors
+///
+/// Propagates artifact-IO and model errors.
+pub fn run(ctx: &Context) -> ExpResult {
+    let sink = ctx.sink("E2-E3-lemmas")?;
+    let mut rng = StdRng::seed_from_u64(ctx.seed);
+    let trials = ctx.samples(20_000);
+    let mut lemma4_violations = 0usize;
+    let mut lemma9_violations = 0usize;
+    let mut tightest4 = 0.0_f64;
+    let mut tightest9 = 0.0_f64;
+    for _ in 0..trials {
+        let n = rng.gen_range(1..=30);
+        let p_cap = *[0.05, 0.2, 0.6, 1.0]
+            .get(rng.gen_range(0..4))
+            .expect("index in range");
+        let m = random_model(&mut rng, n, p_cap);
+        let mu_ratio = if m.mean_pair_upper_bound() > 0.0 {
+            m.mean_pfd_pair() / m.mean_pair_upper_bound()
+        } else {
+            0.0
+        };
+        if mu_ratio > 1.0 + 1e-12 {
+            lemma4_violations += 1;
+        }
+        tightest4 = tightest4.max(mu_ratio);
+        let sd_ratio = if m.std_pair_upper_bound() > 0.0 {
+            m.std_pfd_pair() / m.std_pair_upper_bound()
+        } else {
+            0.0
+        };
+        if sd_ratio > 1.0 + 1e-12 {
+            lemma9_violations += 1;
+        }
+        tightest9 = tightest9.max(sd_ratio);
+    }
+    // The 0.618 threshold, located from the defining inequality.
+    let crossing = bisect(
+        |p| p * p * (1.0 - p * p) - p * (1.0 - p),
+        0.1,
+        0.99,
+        1e-14,
+        200,
+    )?;
+    let mut t = Table::new(["check", "paper claim", "measured", "verdict"]);
+    t.row([
+        format!("lemma (4) on {trials} random models"),
+        "µ2 ≤ p_max·µ1 always".to_string(),
+        format!("{lemma4_violations} violations, tightest ratio {}", sig(tightest4, 4)),
+        if lemma4_violations == 0 { "holds" } else { "FAILS" }.to_string(),
+    ]);
+    t.row([
+        format!("lemma (9) on {trials} random models"),
+        "σ2 ≤ sqrt(p_max(1+p_max))·σ1 always".to_string(),
+        format!("{lemma9_violations} violations, tightest ratio {}", sig(tightest9, 4)),
+        if lemma9_violations == 0 { "holds" } else { "FAILS" }.to_string(),
+    ]);
+    t.row([
+        "variance-monotone threshold".to_string(),
+        "0.618033987".to_string(),
+        sig(crossing, 9),
+        if (crossing - VARIANCE_MONOTONE_THRESHOLD).abs() < 1e-9 {
+            "matches (√5−1)/2"
+        } else {
+            "FAILS"
+        }
+        .to_string(),
+    ]);
+    sink.write_table("lemmas", &t)?;
+    let report = format!("Section 3.1 lemma checks:\n{}", t.to_markdown());
+    let verdict = if lemma4_violations == 0 && lemma9_violations == 0 {
+        format!(
+            "both lemmas hold on every random model; threshold located at {} \
+             (paper prints 0.618033987)",
+            sig(crossing, 9)
+        )
+    } else {
+        "LEMMA VIOLATION OBSERVED — investigate".to_string()
+    };
+    Ok(Summary {
+        id: "E2-E3",
+        title: "Section 3.1 lemmas (4) and (9)",
+        report,
+        verdict,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_holds() {
+        let ctx = Context::smoke();
+        let s = run(&ctx).unwrap();
+        assert!(s.verdict.contains("both lemmas hold"));
+        std::fs::remove_dir_all(&ctx.results_root).ok();
+    }
+
+    #[test]
+    fn threshold_constant_is_golden_ratio_conjugate() {
+        assert!((VARIANCE_MONOTONE_THRESHOLD - (5.0_f64.sqrt() - 1.0) / 2.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,70 @@
+//! One module per reproduced paper artifact. See the crate docs for the
+//! index.
+
+pub mod appendix_a;
+pub mod appendix_b;
+pub mod beta_ccf;
+pub mod beta_factor;
+pub mod bound_conjectures;
+pub mod el_bridge;
+pub mod ensemble_uncertainty;
+pub mod failure_regions;
+pub mod fault_free;
+pub mod forced_diversity;
+pub mod functional_diversity;
+pub mod knight_leveson;
+pub mod lattice_ablation;
+pub mod lemmas;
+pub mod moments;
+pub mod normal_quality;
+pub mod protection_f1;
+pub mod sensitivity;
+pub mod testing_effects;
+pub mod worked_example;
+
+/// Shared result type for experiment runners.
+pub type ExpResult = Result<crate::context::Summary, Box<dyn std::error::Error>>;
+
+/// The fault models used as standard workloads across experiments, so
+/// results are comparable between tables.
+pub mod workloads {
+    use divrel_model::FaultModel;
+
+    /// A small heterogeneous model (n = 6): the "safety-system" regime of
+    /// §4 — few, individually unlikely faults.
+    pub fn safety_model() -> FaultModel {
+        FaultModel::from_params(
+            &[0.10, 0.07, 0.05, 0.03, 0.02, 0.01],
+            &[0.004, 0.010, 0.002, 0.020, 0.006, 0.030],
+        )
+        .expect("static parameters are valid")
+    }
+
+    /// A larger geometric model (n = 18): mixed fault likelihoods and
+    /// region sizes, still enumerable exactly.
+    pub fn geometric_model() -> FaultModel {
+        FaultModel::geometric(18, 0.30, 0.82, 0.02, 0.85).expect("static parameters are valid")
+    }
+
+    /// The §5 regime: very many faults with small failure regions
+    /// (n = 400), handled by the lattice distribution.
+    pub fn many_small_model() -> FaultModel {
+        let ps: Vec<f64> = (0..400).map(|i| 0.02 + 0.18 * ((i % 13) as f64 / 12.0)).collect();
+        let qs: Vec<f64> = (0..400).map(|i| 2e-5 + 1e-5 * ((i % 7) as f64)).collect();
+        FaultModel::from_params(&ps, &qs).expect("static parameters are valid")
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn workloads_are_well_formed() {
+            assert_eq!(safety_model().len(), 6);
+            assert!(safety_model().respects_q_budget());
+            assert_eq!(geometric_model().len(), 18);
+            assert_eq!(many_small_model().len(), 400);
+            assert!(many_small_model().p_max() <= 0.2);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! E13–E15 — §6: what happens when the model's assumptions are violated.
+//!
+//! * **E13 (§6.1, correlated mistakes)** — replay the Monte-Carlo
+//!   development process under positive (common-cause) and negative
+//!   (antithetic) within-version correlation, marginals held fixed, and
+//!   measure which model predictions survive: the means do (exactly),
+//!   the variance and fault-free probabilities do not.
+//! * **E14 (§6.2, overlapping failure regions)** — build overlapping
+//!   regions in a real demand space and quantify the model's pessimism:
+//!   the modelled `Σqᵢ` PFD always upper-bounds the true union PFD.
+//! * **E15 (§6.3, many-to-one fault→region mapping)** — several mistakes
+//!   creating the same region: the region's presence probability
+//!   approaches the *sum* of the mistake probabilities, so an assessor
+//!   equating it with `max pⱼ` underestimates `p_max`.
+
+use crate::context::{Context, Summary};
+use crate::experiments::ExpResult;
+use divrel_demand::mapping::FaultRegionMap;
+use divrel_demand::profile::Profile;
+use divrel_demand::region::Region;
+use divrel_demand::space::GridSpace2D;
+use divrel_devsim::{experiment::MonteCarloExperiment, process::FaultIntroduction};
+use divrel_model::FaultModel;
+use divrel_report::fmt::sig;
+use divrel_report::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs E13–E15.
+///
+/// # Errors
+///
+/// Propagates artifact-IO, model, demand-space and simulation errors.
+pub fn run(ctx: &Context) -> ExpResult {
+    let sink = ctx.sink("E13-E15-sensitivity")?;
+
+    // ---- E13: correlated fault introduction --------------------------
+    let m = FaultModel::uniform(6, 0.2, 0.01)?;
+    let samples = ctx.samples(200_000);
+    let mut t13 = Table::new([
+        "introduction model",
+        "µ1 (model: 0.012)",
+        "µ2 (model: 0.0024)",
+        "σ1 (model)",
+        "P(N1=0) (model)",
+        "P(N2=0) (model)",
+    ]);
+    let intro_cases = [
+        ("independent (paper §2.2)", FaultIntroduction::Independent),
+        (
+            "common-cause λ=0.5",
+            FaultIntroduction::CommonCause { lambda: 0.5 },
+        ),
+        (
+            "common-cause λ=1.0",
+            FaultIntroduction::CommonCause { lambda: 1.0 },
+        ),
+        (
+            "antithetic λ=1.0",
+            FaultIntroduction::Antithetic { lambda: 1.0 },
+        ),
+    ];
+    let mut means_invariant = true;
+    let mut shape_moved = false;
+    let mut indep_ff1 = 0.0;
+    for (i, (name, intro)) in intro_cases.iter().enumerate() {
+        let r = MonteCarloExperiment::new(m.clone(), *intro)
+            .samples(samples)
+            .seed(ctx.seed + i as u64)
+            .run()?;
+        means_invariant &= (r.single.mean_pfd - m.mean_pfd_single()).abs() < 8e-4
+            && (r.pair.mean_pfd - m.mean_pfd_pair()).abs() < 4e-4;
+        if i == 0 {
+            indep_ff1 = r.single.fault_free_rate;
+        } else if (r.single.fault_free_rate - indep_ff1).abs() > 0.03 {
+            shape_moved = true;
+        }
+        t13.row([
+            name.to_string(),
+            sig(r.single.mean_pfd, 3),
+            sig(r.pair.mean_pfd, 3),
+            sig(r.single.std_pfd, 3),
+            sig(r.single.fault_free_rate, 3),
+            sig(r.pair.fault_free_rate, 3),
+        ]);
+    }
+
+    // ---- E14: overlapping failure regions -----------------------------
+    let space = GridSpace2D::new(60, 60)?;
+    let profile = Profile::uniform(&space);
+    let mut rng = StdRng::seed_from_u64(ctx.seed);
+    let mut regions = Vec::new();
+    for _ in 0..8 {
+        let x0 = rng.gen_range(0..45u32);
+        let y0 = rng.gen_range(0..45u32);
+        let w = rng.gen_range(4..14u32);
+        let h = rng.gen_range(4..14u32);
+        regions.push(Region::rect(x0, y0, (x0 + w).min(59), (y0 + h).min(59)));
+    }
+    let map = FaultRegionMap::new(space, regions)?;
+    let overlap = map.total_overlap_mass(&profile);
+    let mut t14 = Table::new([
+        "fault set",
+        "true PFD (union)",
+        "modelled PFD (Σq)",
+        "pessimism",
+    ]);
+    let mut always_pessimistic = true;
+    for set in [
+        vec![0usize, 1],
+        vec![0, 1, 2, 3],
+        vec![2, 4, 6],
+        (0..8).collect::<Vec<_>>(),
+    ] {
+        let union = map.union_pfd(&set, &profile)?;
+        let sum = map.sum_pfd(&set, &profile)?;
+        always_pessimistic &= sum + 1e-12 >= union;
+        t14.row([
+            format!("{set:?}"),
+            sig(union, 4),
+            sig(sum, 4),
+            sig(sum - union, 3),
+        ]);
+    }
+
+    // ---- E15: many-to-one fault→region mapping ------------------------
+    let mut t15 = Table::new([
+        "mistakes sharing one region",
+        "each p",
+        "naive p_max (max pⱼ)",
+        "true region presence 1−Π(1−pⱼ)",
+        "underestimation factor",
+    ]);
+    let mut worst_factor = 0.0_f64;
+    for (count, p) in [(2usize, 0.10), (3, 0.10), (5, 0.05), (10, 0.02)] {
+        let ps = vec![p; count];
+        let groups = vec![(0..count).collect::<Vec<_>>()];
+        let res = FaultRegionMap::grouped_region_presence(&ps, &groups)?;
+        let (presence, max_p) = res[0];
+        let factor = presence / max_p;
+        worst_factor = worst_factor.max(factor);
+        t15.row([
+            count.to_string(),
+            sig(p, 2),
+            sig(max_p, 2),
+            sig(presence, 4),
+            sig(factor, 3),
+        ]);
+    }
+
+    sink.write_table("e13_correlation", &t13)?;
+    sink.write_table("e14_overlap", &t14)?;
+    sink.write_table("e15_many_to_one", &t15)?;
+    let report = format!(
+        "E13 — correlated mistakes (marginals fixed; analytic model: µ1 = \
+         {}, µ2 = {}, σ1 = {}, P(N1=0) = {}, P(N2=0) = {}):\n{}\nMean PFDs \
+         are invariant to within-version correlation (the versions are still \
+         developed independently), while σ and the fault-free probabilities \
+         shift — the paper's mean-level results survive §6.1 violations, its \
+         distributional ones do not.\n\nE14 — overlapping regions (total \
+         double-counted mass {}):\n{}\nThe model's Σq semantics never \
+         understate the true union PFD: §6.2's 'pessimistic assumption, \
+         usually well-accepted' is confirmed.\n\nE15 — many-to-one mappings:\n{}\n\
+         With 10 mistakes of p = 0.02 sharing a region, the region is present \
+         with probability {} — {}× what an assessor using max pⱼ would \
+         assume (§6.3's underestimation risk).",
+        sig(m.mean_pfd_single(), 3),
+        sig(m.mean_pfd_pair(), 3),
+        sig(m.std_pfd_single(), 3),
+        sig(m.prob_fault_free_single(), 3),
+        sig(m.prob_fault_free_pair(), 3),
+        t13.to_markdown(),
+        sig(overlap, 3),
+        t14.to_markdown(),
+        t15.to_markdown(),
+        sig(1.0 - 0.98_f64.powi(10), 4),
+        sig(worst_factor, 3),
+    );
+    let ok = means_invariant && shape_moved && always_pessimistic && worst_factor > 5.0;
+    let verdict = if ok {
+        "§6 sensitivity reproduced: means robust to correlation, Σq semantics \
+         pessimistic under overlap, max-p assessors underestimate shared \
+         regions by up to the group size"
+            .to_string()
+    } else {
+        format!(
+            "means_invariant: {means_invariant}, shape_moved: {shape_moved}, \
+             pessimistic: {always_pessimistic}, worst factor: {worst_factor}"
+        )
+    };
+    Ok(Summary {
+        id: "E13-E15",
+        title: "Section 6 assumption sensitivity",
+        report,
+        verdict,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_reproduces_sensitivity() {
+        let ctx = Context::smoke();
+        let s = run(&ctx).unwrap();
+        assert!(s.verdict.contains("sensitivity reproduced"), "{}", s.verdict);
+        std::fs::remove_dir_all(&ctx.results_root).ok();
+    }
+}

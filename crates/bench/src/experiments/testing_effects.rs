@@ -1,0 +1,115 @@
+//! E18 — the effect of testing on the gain from diversity (§4.2.3 / \[13\]).
+//!
+//! Operational testing transforms the process non-proportionally
+//! (`pᵢ(t) = pᵢ(1−qᵢ)ᵗ`): exactly the §4.2.1 single-class improvement
+//! writ large. The experiment sweeps campaign length and shows the
+//! three-phase trajectory of the eq (10) risk ratio — improve, erode
+//! (the \[13\] window), improve again — while absolute reliability
+//! improves monotonically throughout. A Monte-Carlo scrubbing simulation
+//! cross-checks the closed form.
+
+use crate::context::{Context, Summary};
+use crate::experiments::ExpResult;
+use divrel_devsim::testing::{empirical_delivered_rates, testing_sweep, TestingCampaign};
+use divrel_model::FaultModel;
+use divrel_report::fmt::sig;
+use divrel_report::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs E18.
+///
+/// # Errors
+///
+/// Propagates artifact-IO, model and simulation errors.
+pub fn run(ctx: &Context) -> ExpResult {
+    let sink = ctx.sink("E18-testing-effects")?;
+    // One big-region fault and one small-region fault: the configuration
+    // where the erosion window is cleanest.
+    let model = FaultModel::from_params(&[0.4, 0.4], &[0.01, 1e-5])?;
+    let grid: Vec<u64> = vec![0, 50, 100, 200, 350, 500, 1_000, 5_000, 50_000, 500_000];
+    let sweep = testing_sweep(&model, &grid)?;
+    let mut t = Table::new([
+        "test demands t",
+        "E[PFD] single",
+        "E[PFD] 1oo2",
+        "risk ratio (eq 10)",
+    ]);
+    for e in &sweep {
+        t.row([
+            e.demands.to_string(),
+            sig(e.mean_pfd_single, 3),
+            sig(e.mean_pfd_pair, 3),
+            e.risk_ratio.map(|r| sig(r, 4)).unwrap_or_else(|| "—".into()),
+        ]);
+    }
+    // Phase detection.
+    let r: Vec<f64> = sweep.iter().filter_map(|e| e.risk_ratio).collect();
+    let improves_early = r[3] < r[0]; // t=200 vs t=0
+    let erodes_mid = r[5] > r[3] + 0.005; // t=500 vs t=200
+    let improves_late = *r.last().unwrap_or(&1.0) < r[5];
+    let reliability_monotone = sweep
+        .windows(2)
+        .all(|w| w[1].mean_pfd_single <= w[0].mean_pfd_single + 1e-18);
+
+    // Monte-Carlo cross-check of delivered fault rates at t = 200.
+    let mut rng = StdRng::seed_from_u64(ctx.seed);
+    let samples = ctx.samples(100_000);
+    let rates = empirical_delivered_rates(&model, TestingCampaign::new(200), samples, &mut rng)?;
+    let delivered = TestingCampaign::new(200).delivered_model(&model)?;
+    let mut mc_ok = true;
+    for (rate, fault) in rates.iter().zip(delivered.faults()) {
+        let sigma = (fault.p() * (1.0 - fault.p()) / samples as f64).sqrt();
+        mc_ok &= (rate - fault.p()).abs() < 6.0 * sigma + 1e-4;
+    }
+    sink.write_table("testing_sweep", &t)?;
+    let report = format!(
+        "Testing campaign sweep on p = [0.4, 0.4], q = [0.01, 1e-5]:\n{}\n\
+         Three phases of the relative gain: early testing scrubs the \
+         big-region fault toward its Appendix-A stationary point (ratio \
+         {} → {}), pushing past it ERODES the gain ({} → {} — the [13] \
+         window), and long campaigns finally scrub the small-region fault \
+         too ({} at t = 500k). Absolute reliability improves monotonically \
+         the whole time. Monte-Carlo delivered-fault rates at t = 200 match \
+         the closed form ({} samples).",
+        t.to_markdown(),
+        sig(r[0], 4),
+        sig(r[3], 4),
+        sig(r[3], 4),
+        sig(r[5], 4),
+        sig(*r.last().unwrap_or(&f64::NAN), 4),
+        samples,
+    );
+    let ok = improves_early && erodes_mid && improves_late && reliability_monotone && mc_ok;
+    let verdict = if ok {
+        "the [13] effect reproduced and sharpened: the diversity gain is \
+         non-monotone in testing duration (improve → erode → improve) while \
+         absolute reliability only improves; MC matches the closed form"
+            .to_string()
+    } else {
+        format!(
+            "phases: early {improves_early}, erosion {erodes_mid}, late \
+             {improves_late}; reliability monotone {reliability_monotone}; \
+             MC {mc_ok}"
+        )
+    };
+    Ok(Summary {
+        id: "E18",
+        title: "Testing effects on the diversity gain",
+        report,
+        verdict,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_shows_three_phases() {
+        let ctx = Context::smoke();
+        let s = run(&ctx).unwrap();
+        assert!(s.verdict.contains("non-monotone"), "{}", s.verdict);
+        std::fs::remove_dir_all(&ctx.results_root).ok();
+    }
+}

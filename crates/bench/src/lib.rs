@@ -1,0 +1,107 @@
+//! # divrel-bench
+//!
+//! The reproduction harness: one experiment module per table/figure/result
+//! of Popov & Strigini (DSN 2001), each regenerating the paper's artifact
+//! and reporting paper-value vs measured-value side by side.
+//!
+//! | ID | Paper artifact | Module |
+//! |----|----------------|--------|
+//! | E1 | §3 eq (1)–(3) moment formulas vs Monte Carlo | [`experiments::moments`] |
+//! | E2/E3 | §3.1 lemmas (4) and (9) | [`experiments::lemmas`] |
+//! | E4 | §4.1 eq (10) risk ratio | [`experiments::fault_free`] |
+//! | E5 | §4.2.1 + Appendix A gain reversal | [`experiments::appendix_a`] |
+//! | E6 | §4.2.2 + Appendix B monotonicity | [`experiments::appendix_b`] |
+//! | E7 | §5.1 β-factor table | [`experiments::beta_factor`] |
+//! | E8 | §5.1 worked example | [`experiments::worked_example`] |
+//! | E9–E11 | §5.2 conjectures | [`experiments::bound_conjectures`] |
+//! | E12 | §5 normal-approximation quality | [`experiments::normal_quality`] |
+//! | E13–E15 | §6 assumption sensitivity | [`experiments::sensitivity`] |
+//! | E16 | §7 Knight–Leveson qualitative check | [`experiments::knight_leveson`] |
+//! | F1 | Fig 1 protection system in operation | [`experiments::protection_f1`] |
+//! | F2 | Fig 2 failure regions | [`experiments::failure_regions`] |
+//!
+//! Run everything with `cargo run -p divrel-bench --release --bin
+//! all_experiments`; each experiment also has its own binary.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod context;
+pub mod experiments;
+
+pub use context::{Context, Summary};
+
+/// An experiment entry point: takes the shared context, returns a summary.
+pub type Runner = fn(&Context) -> Result<Summary, Box<dyn std::error::Error>>;
+
+/// A registry entry: `(id, title, runner)`.
+pub type RegistryEntry = (&'static str, &'static str, Runner);
+
+/// All experiments in paper order.
+pub fn registry() -> Vec<RegistryEntry> {
+    vec![
+        ("E1", "Eq (1)-(3) moments vs Monte Carlo", experiments::moments::run),
+        ("E2-E3", "Section 3.1 lemmas (4) and (9)", experiments::lemmas::run),
+        ("E4", "Section 4.1 eq (10) risk ratio", experiments::fault_free::run),
+        ("E5", "Appendix A gain reversal", experiments::appendix_a::run),
+        ("E6", "Appendix B proportional monotonicity", experiments::appendix_b::run),
+        ("E7", "Section 5.1 beta-factor table", experiments::beta_factor::run),
+        ("E8", "Section 5.1 worked example", experiments::worked_example::run),
+        (
+            "E9-E11",
+            "Section 5.2 conjectures",
+            experiments::bound_conjectures::run,
+        ),
+        (
+            "E12",
+            "Normal approximation quality",
+            experiments::normal_quality::run,
+        ),
+        (
+            "E13-E15",
+            "Section 6 assumption sensitivity",
+            experiments::sensitivity::run,
+        ),
+        (
+            "E16",
+            "Section 7 Knight-Leveson check",
+            experiments::knight_leveson::run,
+        ),
+        ("F1", "Fig 1 protection system", experiments::protection_f1::run),
+        ("F2", "Fig 2 failure regions", experiments::failure_regions::run),
+        (
+            "E17",
+            "Forced diversity and 1-out-of-N",
+            experiments::forced_diversity::run,
+        ),
+        (
+            "E18",
+            "Testing effects on the diversity gain",
+            experiments::testing_effects::run,
+        ),
+        (
+            "E19",
+            "Eckhardt-Lee difficulty-function bridge",
+            experiments::el_bridge::run,
+        ),
+        (
+            "E20",
+            "Functional diversity continuum",
+            experiments::functional_diversity::run,
+        ),
+        (
+            "E21",
+            "Implied IEC beta-factor",
+            experiments::beta_ccf::run,
+        ),
+        (
+            "E22",
+            "Epistemic parameter uncertainty",
+            experiments::ensemble_uncertainty::run,
+        ),
+        (
+            "A1",
+            "Lattice resolution ablation",
+            experiments::lattice_ablation::run,
+        ),
+    ]
+}

@@ -1,0 +1,273 @@
+//! The Eckhardt–Lee "difficulty function" induced by the fault model.
+//!
+//! §2.1 of the paper notes its construction "is essentially the basis of
+//! the models used in \[3\] (Eckhardt & Lee) and \[4\] (Littlewood &
+//! Miller)". The EL model works at the demand level: the *difficulty*
+//! `θ(x)` of demand `x` is the probability that a randomly developed
+//! version fails on `x`, and the key EL results are
+//!
+//! * `E[Θ₁] = E_X[θ(X)]`,
+//! * `E[Θ₂] = E_X[θ(X)²] ≥ (E_X[θ(X)])²` — diverse pairs are *worse* than
+//!   the independence assumption predicts, by exactly `Var_X(θ(X))`.
+//!
+//! The fault-creation model *induces* a difficulty function:
+//! `θ(x) = 1 − Π_{i : x ∈ Rᵢ} (1 − pᵢ)`. This module computes it and
+//! thereby connects the two model families executably. It also exposes
+//! the fact that under **overlapping** regions the demand-level pair PFD
+//! `E[θ²]` is the *correct* value, while the core model's common-fault
+//! sum `Σ pᵢ²qᵢ` is only exact for non-overlapping regions — the §6.2
+//! assumption made measurable at the pair level.
+
+use crate::error::DemandError;
+use crate::mapping::FaultRegionMap;
+use crate::profile::Profile;
+
+/// The difficulty function of a fault→region map under given introduction
+/// probabilities: per demand cell, the probability a random version fails
+/// there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DifficultyFunction {
+    theta: Vec<f64>,
+}
+
+impl DifficultyFunction {
+    /// Computes `θ(x) = 1 − Π_{i: x∈Rᵢ}(1−pᵢ)` for every cell of the
+    /// map's space.
+    ///
+    /// # Errors
+    ///
+    /// [`DemandError::Mismatch`] if `ps.len() != map.len()`;
+    /// [`DemandError::InvalidWeights`] for non-probability entries.
+    pub fn from_map(map: &FaultRegionMap, ps: &[f64]) -> Result<Self, DemandError> {
+        if ps.len() != map.len() {
+            return Err(DemandError::Mismatch(format!(
+                "{} probabilities for {} regions",
+                ps.len(),
+                map.len()
+            )));
+        }
+        for &p in ps {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(DemandError::InvalidWeights(format!(
+                    "probability {p} out of range"
+                )));
+            }
+        }
+        let n_cells = map.space().cell_count();
+        // Accumulate log(1-p) per covered cell, then θ = 1 - exp(sum).
+        let mut log_none = vec![0.0_f64; n_cells];
+        let mut certain = vec![false; n_cells];
+        for (region, &p) in map.regions().iter().zip(ps) {
+            if p == 0.0 {
+                continue;
+            }
+            for idx in region.cell_indices(map.space()) {
+                if p == 1.0 {
+                    certain[idx] = true;
+                } else {
+                    log_none[idx] += (-p).ln_1p();
+                }
+            }
+        }
+        let theta = log_none
+            .iter()
+            .zip(&certain)
+            .map(|(&l, &c)| if c { 1.0 } else { -l.exp_m1() })
+            .collect();
+        Ok(DifficultyFunction { theta })
+    }
+
+    /// The difficulty of the demand at linear cell index `idx` (0 outside).
+    pub fn theta_at(&self, idx: usize) -> f64 {
+        self.theta.get(idx).copied().unwrap_or(0.0)
+    }
+
+    /// The full difficulty vector in row-major cell order.
+    pub fn values(&self) -> &[f64] {
+        &self.theta
+    }
+
+    /// EL single-version mean PFD: `E_X[θ(X)]` under `profile`.
+    ///
+    /// # Errors
+    ///
+    /// [`DemandError::Mismatch`] if the profile's space size differs.
+    pub fn mean_single(&self, profile: &Profile) -> Result<f64, DemandError> {
+        self.expect_same_space(profile)?;
+        Ok(profile
+            .probs()
+            .iter()
+            .zip(&self.theta)
+            .map(|(w, t)| w * t)
+            .sum())
+    }
+
+    /// EL 1-out-of-2 mean PFD: `E_X[θ(X)²]` — exact at the demand level
+    /// even when failure regions overlap.
+    ///
+    /// # Errors
+    ///
+    /// [`DemandError::Mismatch`] if the profile's space size differs.
+    pub fn mean_pair(&self, profile: &Profile) -> Result<f64, DemandError> {
+        self.expect_same_space(profile)?;
+        Ok(profile
+            .probs()
+            .iter()
+            .zip(&self.theta)
+            .map(|(w, t)| w * t * t)
+            .sum())
+    }
+
+    /// EL k-version mean PFD: `E_X[θ(X)ᵏ]`.
+    ///
+    /// # Errors
+    ///
+    /// [`DemandError::Mismatch`] on space mismatch or `k == 0`.
+    pub fn mean_k(&self, profile: &Profile, k: u32) -> Result<f64, DemandError> {
+        if k == 0 {
+            return Err(DemandError::Mismatch("k must be >= 1".into()));
+        }
+        self.expect_same_space(profile)?;
+        Ok(profile
+            .probs()
+            .iter()
+            .zip(&self.theta)
+            .map(|(w, t)| w * t.powi(k as i32))
+            .sum())
+    }
+
+    /// The EL "variance of difficulty" `Var_X(θ(X))` — exactly how much
+    /// worse than the independence prediction a diverse pair is:
+    /// `E[Θ₂] = (E[Θ₁])² + Var(θ)`.
+    ///
+    /// # Errors
+    ///
+    /// [`DemandError::Mismatch`] if the profile's space size differs.
+    pub fn difficulty_variance(&self, profile: &Profile) -> Result<f64, DemandError> {
+        let m = self.mean_single(profile)?;
+        Ok(self.mean_pair(profile)? - m * m)
+    }
+
+    fn expect_same_space(&self, profile: &Profile) -> Result<(), DemandError> {
+        if profile.space().cell_count() != self.theta.len() {
+            return Err(DemandError::Mismatch(format!(
+                "profile over {} cells, difficulty over {}",
+                profile.space().cell_count(),
+                self.theta.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Region;
+    use crate::space::GridSpace2D;
+
+    fn disjoint_setup() -> (FaultRegionMap, Profile, Vec<f64>) {
+        let space = GridSpace2D::new(10, 10).unwrap();
+        let profile = Profile::uniform(&space);
+        let map = FaultRegionMap::new(
+            space,
+            vec![Region::rect(0, 0, 1, 1), Region::rect(5, 5, 7, 7)],
+        )
+        .unwrap();
+        (map, profile, vec![0.3, 0.1])
+    }
+
+    #[test]
+    fn construction_validates() {
+        let (map, _, _) = disjoint_setup();
+        assert!(DifficultyFunction::from_map(&map, &[0.3]).is_err());
+        assert!(DifficultyFunction::from_map(&map, &[0.3, 1.5]).is_err());
+        assert!(DifficultyFunction::from_map(&map, &[0.3, 0.1]).is_ok());
+    }
+
+    #[test]
+    fn theta_values_on_disjoint_regions() {
+        let (map, _, ps) = disjoint_setup();
+        let d = DifficultyFunction::from_map(&map, &ps).unwrap();
+        // Inside region 0: θ = p0; inside region 1: θ = p1; outside: 0.
+        let space = map.space();
+        let idx0 = space.index_of(crate::space::Demand::new(0, 0)).unwrap();
+        let idx1 = space.index_of(crate::space::Demand::new(6, 6)).unwrap();
+        let idx_out = space.index_of(crate::space::Demand::new(9, 0)).unwrap();
+        assert!((d.theta_at(idx0) - 0.3).abs() < 1e-12);
+        assert!((d.theta_at(idx1) - 0.1).abs() < 1e-12);
+        assert_eq!(d.theta_at(idx_out), 0.0);
+        assert_eq!(d.theta_at(10_000), 0.0);
+    }
+
+    #[test]
+    fn el_means_match_fault_model_when_regions_disjoint() {
+        let (map, profile, ps) = disjoint_setup();
+        let d = DifficultyFunction::from_map(&map, &ps).unwrap();
+        let model = map.to_fault_model(&ps, &profile).unwrap();
+        assert!(
+            (d.mean_single(&profile).unwrap() - model.mean_pfd_single()).abs() < 1e-12
+        );
+        assert!((d.mean_pair(&profile).unwrap() - model.mean_pfd_pair()).abs() < 1e-12);
+        assert!((d.mean_k(&profile, 3).unwrap() - model.mean_pfd(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn el_inequality_pair_worse_than_independence() {
+        let (map, profile, ps) = disjoint_setup();
+        let d = DifficultyFunction::from_map(&map, &ps).unwrap();
+        let m1 = d.mean_single(&profile).unwrap();
+        let m2 = d.mean_pair(&profile).unwrap();
+        assert!(m2 >= m1 * m1, "EL inequality violated: {m2} < {}", m1 * m1);
+        // And the gap is exactly Var(θ).
+        assert!((d.difficulty_variance(&profile).unwrap() - (m2 - m1 * m1)).abs() < 1e-15);
+        assert!(d.difficulty_variance(&profile).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn overlap_separates_el_from_common_fault_sum() {
+        // Overlapping regions: the demand-level pair PFD exceeds the core
+        // model's common-fault sum, because both versions can fail on x
+        // via DIFFERENT faults.
+        let space = GridSpace2D::new(10, 10).unwrap();
+        let profile = Profile::uniform(&space);
+        let map = FaultRegionMap::new(
+            space,
+            vec![Region::rect(0, 0, 4, 4), Region::rect(2, 2, 6, 6)],
+        )
+        .unwrap();
+        let ps = [0.4, 0.4];
+        let d = DifficultyFunction::from_map(&map, &ps).unwrap();
+        let el_pair = d.mean_pair(&profile).unwrap();
+        let model = map.to_fault_model(&ps, &profile).unwrap();
+        let core_pair = model.mean_pfd_pair();
+        assert!(
+            el_pair > core_pair,
+            "expected demand-level pair PFD {el_pair} > common-fault sum {core_pair}"
+        );
+        // Single-version means also differ: the core model double-counts
+        // the overlap (pessimistic), EL does not.
+        let el_single = d.mean_single(&profile).unwrap();
+        assert!(el_single < model.mean_pfd_single());
+    }
+
+    #[test]
+    fn certain_fault_saturates_theta() {
+        let space = GridSpace2D::new(4, 4).unwrap();
+        let map = FaultRegionMap::new(space, vec![Region::rect(0, 0, 3, 3)]).unwrap();
+        let d = DifficultyFunction::from_map(&map, &[1.0]).unwrap();
+        assert!(d.values().iter().all(|&t| t == 1.0));
+    }
+
+    #[test]
+    fn space_mismatch_detected() {
+        let (map, _, ps) = disjoint_setup();
+        let d = DifficultyFunction::from_map(&map, &ps).unwrap();
+        let other_space = GridSpace2D::new(3, 3).unwrap();
+        let other_profile = Profile::uniform(&other_space);
+        assert!(d.mean_single(&other_profile).is_err());
+        assert!(d.mean_k(&other_profile, 2).is_err());
+        let (_, profile, _) = disjoint_setup();
+        assert!(d.mean_k(&profile, 0).is_err());
+    }
+}

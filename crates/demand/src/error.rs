@@ -1,0 +1,69 @@
+//! Error type for the demand-space crate.
+
+use std::fmt;
+
+/// Errors produced by demand-space operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DemandError {
+    /// A space dimension was zero.
+    EmptySpace,
+    /// A demand or region coordinate lies outside the space.
+    OutOfBounds {
+        /// Human-readable description of the offending object.
+        what: String,
+    },
+    /// Profile weights were invalid (negative, non-finite, or all zero).
+    InvalidWeights(String),
+    /// The operation received inconsistent arguments.
+    Mismatch(String),
+    /// A propagated model-crate error.
+    Model(divrel_model::ModelError),
+}
+
+impl fmt::Display for DemandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DemandError::EmptySpace => write!(f, "demand space dimensions must be non-zero"),
+            DemandError::OutOfBounds { what } => write!(f, "out of bounds: {what}"),
+            DemandError::InvalidWeights(msg) => write!(f, "invalid profile weights: {msg}"),
+            DemandError::Mismatch(msg) => write!(f, "inconsistent arguments: {msg}"),
+            DemandError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DemandError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DemandError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<divrel_model::ModelError> for DemandError {
+    fn from(e: divrel_model::ModelError) -> Self {
+        DemandError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        assert!(DemandError::EmptySpace.to_string().contains("non-zero"));
+        assert!(DemandError::OutOfBounds { what: "point (5,5)".into() }
+            .to_string()
+            .contains("(5,5)"));
+        assert!(DemandError::InvalidWeights("all zero".into())
+            .to_string()
+            .contains("all zero"));
+        let inner = divrel_model::ModelError::EmptyModel;
+        let e = DemandError::from(inner);
+        assert!(e.source().is_some());
+        assert!(DemandError::EmptySpace.source().is_none());
+    }
+}

@@ -1,0 +1,135 @@
+//! ASCII rendering of failure regions — the executable counterpart of the
+//! paper's Fig 2.
+//!
+//! Fig 2 shows "an example of failure regions in a two-dimensional demand
+//! space". [`render_regions`] reproduces that picture for any region set:
+//! each region is drawn with its own digit/letter, overlaps with `*`, and
+//! empty space with `·`. Experiment F2 emits this for the README and
+//! EXPERIMENTS.md.
+
+use crate::region::Region;
+use crate::space::{Demand, GridSpace2D};
+
+/// Characters used for the first regions; later regions wrap around.
+const GLYPHS: &[u8] = b"123456789abcdefghijklmnopqrstuvwxyz";
+
+/// Renders the regions over the space as an ASCII raster.
+///
+/// Rows are printed top-to-bottom with `var2` decreasing, matching the
+/// usual plot orientation of Fig 2. Cells covered by more than one region
+/// show `*`; untouched cells show `·`.
+///
+/// ```
+/// use divrel_demand::{region::Region, render::render_regions, space::GridSpace2D};
+/// let space = GridSpace2D::new(4, 3)?;
+/// let art = render_regions(&space, &[Region::rect(0, 0, 1, 1)]);
+/// let lines: Vec<&str> = art.lines().collect();
+/// assert_eq!(lines[2], "11··"); // bottom row (var2 = 0)
+/// assert_eq!(lines[0], "····"); // top row (var2 = 2)
+/// # Ok::<(), divrel_demand::DemandError>(())
+/// ```
+pub fn render_regions(space: &GridSpace2D, regions: &[Region]) -> String {
+    let mut out = String::with_capacity((space.nx() as usize + 1) * space.ny() as usize);
+    for y in (0..space.ny()).rev() {
+        for x in 0..space.nx() {
+            let d = Demand::new(x, y);
+            let mut covering = regions
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.contains(d))
+                .map(|(i, _)| i);
+            let glyph = match (covering.next(), covering.next()) {
+                (None, _) => '·',
+                (Some(i), None) => GLYPHS[i % GLYPHS.len()] as char,
+                (Some(_), Some(_)) => '*',
+            };
+            out.push(glyph);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders with a legend listing each region's glyph and cell count —
+/// the format used by experiment F2.
+pub fn render_with_legend(space: &GridSpace2D, regions: &[Region]) -> String {
+    let mut out = render_regions(space, regions);
+    out.push('\n');
+    for (i, r) in regions.iter().enumerate() {
+        let glyph = GLYPHS[i % GLYPHS.len()] as char;
+        out.push_str(&format!(
+            "{glyph}: {} cells ({})\n",
+            r.cell_count(space),
+            region_kind(r)
+        ));
+    }
+    out
+}
+
+fn region_kind(r: &Region) -> &'static str {
+    match r {
+        Region::Rect { .. } => "rectangle",
+        Region::Points(_) => "point set",
+        Region::Lattice { .. } => "point/line array",
+        Region::Union(_) => "union",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rect_and_empty_cells() {
+        let s = GridSpace2D::new(5, 3).unwrap();
+        let art = render_regions(&s, &[Region::rect(1, 0, 2, 1)]);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "·····"); // y = 2
+        assert_eq!(lines[1], "·11··"); // y = 1
+        assert_eq!(lines[2], "·11··"); // y = 0
+    }
+
+    #[test]
+    fn overlap_is_starred() {
+        let s = GridSpace2D::new(3, 1).unwrap();
+        let art = render_regions(
+            &s,
+            &[Region::rect(0, 0, 1, 0), Region::rect(1, 0, 2, 0)],
+        );
+        assert_eq!(art.trim_end(), "1*2");
+    }
+
+    #[test]
+    fn lattice_renders_as_separate_points() {
+        let s = GridSpace2D::new(7, 1).unwrap();
+        let art = render_regions(&s, &[Region::lattice(0, 0, 3, 0, 3)]);
+        assert_eq!(art.trim_end(), "1··1··1");
+    }
+
+    #[test]
+    fn legend_lists_regions() {
+        let s = GridSpace2D::new(6, 6).unwrap();
+        let art = render_with_legend(
+            &s,
+            &[
+                Region::rect(0, 0, 1, 1),
+                Region::lattice(3, 3, 1, 1, 2),
+            ],
+        );
+        assert!(art.contains("1: 4 cells (rectangle)"));
+        assert!(art.contains("2: 2 cells (point/line array)"));
+    }
+
+    #[test]
+    fn many_regions_wrap_glyphs() {
+        let s = GridSpace2D::new(40, 1).unwrap();
+        let regions: Vec<Region> = (0..36)
+            .map(|i| Region::points([Demand::new(i, 0)]))
+            .collect();
+        let art = render_regions(&s, &regions);
+        // Region 35 wraps to glyph index 0 -> '1'.
+        assert_eq!(art.chars().next().unwrap(), '1');
+        assert_eq!(art.chars().nth(35).unwrap(), '1');
+    }
+}

@@ -1,0 +1,202 @@
+//! The demand space — paper §2.1.
+//!
+//! A *demand* "occurs when the controlled system enters a state that
+//! requires the intervention of the protection system"; demands differ in
+//! the details of that state. The paper's Fig 2 pictures the simplest
+//! concrete case — each demand a single reading of two input variables —
+//! and that is what [`GridSpace2D`] realises: a finite grid of
+//! `nx × ny` cells, one per distinguishable demand.
+
+use crate::error::DemandError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One demand: a reading of two input variables, quantised to grid cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Demand {
+    /// First sensed variable (grid column).
+    pub var1: u32,
+    /// Second sensed variable (grid row).
+    pub var2: u32,
+}
+
+impl Demand {
+    /// Creates a demand from raw variable readings.
+    pub fn new(var1: u32, var2: u32) -> Self {
+        Demand { var1, var2 }
+    }
+}
+
+impl fmt::Display for Demand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.var1, self.var2)
+    }
+}
+
+/// A finite two-dimensional demand space of `nx × ny` cells.
+///
+/// ```
+/// use divrel_demand::space::{Demand, GridSpace2D};
+/// let s = GridSpace2D::new(10, 20)?;
+/// assert_eq!(s.cell_count(), 200);
+/// assert!(s.contains(Demand::new(9, 19)));
+/// assert!(!s.contains(Demand::new(10, 0)));
+/// # Ok::<(), divrel_demand::DemandError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GridSpace2D {
+    nx: u32,
+    ny: u32,
+}
+
+impl GridSpace2D {
+    /// Creates a space with `nx` columns and `ny` rows.
+    ///
+    /// # Errors
+    ///
+    /// [`DemandError::EmptySpace`] if either dimension is zero.
+    pub fn new(nx: u32, ny: u32) -> Result<Self, DemandError> {
+        if nx == 0 || ny == 0 {
+            return Err(DemandError::EmptySpace);
+        }
+        Ok(GridSpace2D { nx, ny })
+    }
+
+    /// Number of columns (range of `var1`).
+    pub fn nx(&self) -> u32 {
+        self.nx
+    }
+
+    /// Number of rows (range of `var2`).
+    pub fn ny(&self) -> u32 {
+        self.ny
+    }
+
+    /// Total number of distinguishable demands.
+    pub fn cell_count(&self) -> usize {
+        self.nx as usize * self.ny as usize
+    }
+
+    /// Whether the demand lies within this space.
+    pub fn contains(&self, d: Demand) -> bool {
+        d.var1 < self.nx && d.var2 < self.ny
+    }
+
+    /// Row-major linear index of a demand.
+    ///
+    /// # Errors
+    ///
+    /// [`DemandError::OutOfBounds`] if the demand is outside the space.
+    pub fn index_of(&self, d: Demand) -> Result<usize, DemandError> {
+        if !self.contains(d) {
+            return Err(DemandError::OutOfBounds {
+                what: format!("demand {d} in {self}"),
+            });
+        }
+        Ok(d.var2 as usize * self.nx as usize + d.var1 as usize)
+    }
+
+    /// The demand at a row-major linear index.
+    ///
+    /// # Errors
+    ///
+    /// [`DemandError::OutOfBounds`] if `index >= cell_count()`.
+    pub fn demand_at(&self, index: usize) -> Result<Demand, DemandError> {
+        if index >= self.cell_count() {
+            return Err(DemandError::OutOfBounds {
+                what: format!("index {index} in {self}"),
+            });
+        }
+        Ok(Demand {
+            var1: (index % self.nx as usize) as u32,
+            var2: (index / self.nx as usize) as u32,
+        })
+    }
+
+    /// Iterator over all demands in row-major order.
+    pub fn demands(&self) -> impl Iterator<Item = Demand> + '_ {
+        let nx = self.nx;
+        (0..self.cell_count()).map(move |i| Demand {
+            var1: (i % nx as usize) as u32,
+            var2: (i / nx as usize) as u32,
+        })
+    }
+}
+
+impl fmt::Display for GridSpace2D {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GridSpace2D({}×{})", self.nx, self.ny)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_rejects_empty() {
+        assert!(GridSpace2D::new(0, 5).is_err());
+        assert!(GridSpace2D::new(5, 0).is_err());
+        assert!(GridSpace2D::new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn containment_and_counts() {
+        let s = GridSpace2D::new(3, 4).unwrap();
+        assert_eq!(s.cell_count(), 12);
+        assert_eq!(s.nx(), 3);
+        assert_eq!(s.ny(), 4);
+        assert!(s.contains(Demand::new(0, 0)));
+        assert!(s.contains(Demand::new(2, 3)));
+        assert!(!s.contains(Demand::new(3, 0)));
+        assert!(!s.contains(Demand::new(0, 4)));
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let s = GridSpace2D::new(5, 7).unwrap();
+        for i in 0..s.cell_count() {
+            let d = s.demand_at(i).unwrap();
+            assert_eq!(s.index_of(d).unwrap(), i);
+        }
+        assert!(s.demand_at(35).is_err());
+        assert!(s.index_of(Demand::new(5, 0)).is_err());
+    }
+
+    #[test]
+    fn demands_iterator_covers_space_once() {
+        let s = GridSpace2D::new(4, 3).unwrap();
+        let all: Vec<Demand> = s.demands().collect();
+        assert_eq!(all.len(), 12);
+        let unique: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(unique.len(), 12);
+        assert_eq!(all[0], Demand::new(0, 0));
+        assert_eq!(all[11], Demand::new(3, 2));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Demand::new(1, 2).to_string(), "(1, 2)");
+        assert!(GridSpace2D::new(2, 2).unwrap().to_string().contains("2×2"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = GridSpace2D::new(10, 10).unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: GridSpace2D = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    proptest! {
+        #[test]
+        fn index_bijection(nx in 1u32..50, ny in 1u32..50, x in 0u32..50, y in 0u32..50) {
+            let s = GridSpace2D::new(nx, ny).unwrap();
+            let d = Demand::new(x % nx, y % ny);
+            let i = s.index_of(d).unwrap();
+            prop_assert_eq!(s.demand_at(i).unwrap(), d);
+            prop_assert!(i < s.cell_count());
+        }
+    }
+}

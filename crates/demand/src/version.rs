@@ -1,0 +1,268 @@
+//! Program versions as fault sets over a demand space.
+//!
+//! §2.2: "Developing versions for a given application under a regime of
+//! separate development means choosing, randomly and independently,
+//! possible subsets of this set of possible faults." A [`ProgramVersion`]
+//! is such a subset, made executable: it can be asked whether it fails on
+//! a given demand, and its true PFD is the profile measure of the union of
+//! its failure regions.
+
+use crate::error::DemandError;
+use crate::mapping::FaultRegionMap;
+use crate::profile::Profile;
+use crate::space::Demand;
+use std::fmt;
+
+/// A delivered program version: the subset of potential faults it contains.
+///
+/// ```
+/// use divrel_demand::{
+///     mapping::FaultRegionMap, profile::Profile, region::Region,
+///     space::{Demand, GridSpace2D}, version::ProgramVersion,
+/// };
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let space = GridSpace2D::new(10, 10)?;
+/// let profile = Profile::uniform(&space);
+/// let map = FaultRegionMap::new(space, vec![Region::rect(0, 0, 4, 4)])?;
+///
+/// let faulty = ProgramVersion::new(vec![true]);
+/// assert!(faulty.fails_on(&map, Demand::new(2, 2))?);
+/// assert!(!faulty.fails_on(&map, Demand::new(9, 9))?);
+/// assert!((faulty.true_pfd(&map, &profile)? - 0.25).abs() < 1e-12);
+///
+/// let perfect = ProgramVersion::new(vec![false]);
+/// assert_eq!(perfect.true_pfd(&map, &profile)?, 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProgramVersion {
+    present: Vec<bool>,
+}
+
+impl ProgramVersion {
+    /// Creates a version from a presence flag per potential fault.
+    pub fn new(present: Vec<bool>) -> Self {
+        ProgramVersion { present }
+    }
+
+    /// A fault-free version over `n` potential faults.
+    pub fn fault_free(n: usize) -> Self {
+        ProgramVersion {
+            present: vec![false; n],
+        }
+    }
+
+    /// Creates a version from the indices of its faults.
+    pub fn from_fault_indices(n: usize, indices: &[usize]) -> Result<Self, DemandError> {
+        let mut present = vec![false; n];
+        for &i in indices {
+            *present.get_mut(i).ok_or_else(|| DemandError::OutOfBounds {
+                what: format!("fault index {i} of {n}"),
+            })? = true;
+        }
+        Ok(ProgramVersion { present })
+    }
+
+    /// Presence flags, one per potential fault.
+    pub fn present(&self) -> &[bool] {
+        &self.present
+    }
+
+    /// Indices of the faults this version contains.
+    pub fn fault_indices(&self) -> Vec<usize> {
+        self.present
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+            .collect()
+    }
+
+    /// Number of faults in the version.
+    pub fn fault_count(&self) -> usize {
+        self.present.iter().filter(|&&b| b).count()
+    }
+
+    /// Whether the version contains no fault at all.
+    pub fn is_fault_free(&self) -> bool {
+        self.fault_count() == 0
+    }
+
+    /// Whether this version fails on `demand`: true iff the demand lies in
+    /// the failure region of any fault the version contains.
+    ///
+    /// # Errors
+    ///
+    /// [`DemandError::Mismatch`] if the version's length differs from the
+    /// map's fault count.
+    pub fn fails_on(&self, map: &FaultRegionMap, demand: Demand) -> Result<bool, DemandError> {
+        self.check_len(map)?;
+        Ok(self
+            .present
+            .iter()
+            .zip(map.regions())
+            .any(|(&b, r)| b && r.contains(demand)))
+    }
+
+    /// The version's **true** PFD: profile measure of the union of its
+    /// regions (overlaps counted once).
+    ///
+    /// # Errors
+    ///
+    /// [`DemandError::Mismatch`] on length mismatch.
+    pub fn true_pfd(&self, map: &FaultRegionMap, profile: &Profile) -> Result<f64, DemandError> {
+        self.check_len(map)?;
+        map.union_pfd(&self.fault_indices(), profile)
+    }
+
+    /// The version's PFD as the core model computes it: `Σ qᵢ` over
+    /// present faults (over-counts overlap — §6.2).
+    ///
+    /// # Errors
+    ///
+    /// [`DemandError::Mismatch`] on length mismatch.
+    pub fn modelled_pfd(
+        &self,
+        map: &FaultRegionMap,
+        profile: &Profile,
+    ) -> Result<f64, DemandError> {
+        self.check_len(map)?;
+        map.sum_pfd(&self.fault_indices(), profile)
+    }
+
+    /// The set of faults common to this version and `other` — what a
+    /// 1-out-of-2 pair actually shares.
+    pub fn common_faults(&self, other: &ProgramVersion) -> Vec<usize> {
+        self.present
+            .iter()
+            .zip(&other.present)
+            .enumerate()
+            .filter_map(|(i, (&a, &b))| (a && b).then_some(i))
+            .collect()
+    }
+
+    /// The 1-out-of-2 pair of this version and `other` as a pseudo-version
+    /// containing exactly their common faults (the pair fails only where
+    /// both fail, which under the 1-to-1 mapping is the common-fault
+    /// region union).
+    pub fn pair_with(&self, other: &ProgramVersion) -> ProgramVersion {
+        let n = self.present.len().max(other.present.len());
+        let mut present = vec![false; n];
+        for i in self.common_faults(other) {
+            present[i] = true;
+        }
+        ProgramVersion { present }
+    }
+
+    fn check_len(&self, map: &FaultRegionMap) -> Result<(), DemandError> {
+        if self.present.len() != map.len() {
+            return Err(DemandError::Mismatch(format!(
+                "version has {} fault flags, map has {} regions",
+                self.present.len(),
+                map.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ProgramVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ProgramVersion({} of {} faults)",
+            self.fault_count(),
+            self.present.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Region;
+    use crate::space::GridSpace2D;
+
+    fn setup() -> (FaultRegionMap, Profile) {
+        let space = GridSpace2D::new(10, 10).unwrap();
+        let profile = Profile::uniform(&space);
+        let map = FaultRegionMap::new(
+            space,
+            vec![
+                Region::rect(0, 0, 1, 1),
+                Region::rect(1, 1, 2, 2),
+                Region::points([Demand::new(9, 9)]),
+            ],
+        )
+        .unwrap();
+        (map, profile)
+    }
+
+    #[test]
+    fn construction_helpers() {
+        let v = ProgramVersion::from_fault_indices(5, &[1, 3]).unwrap();
+        assert_eq!(v.fault_indices(), vec![1, 3]);
+        assert_eq!(v.fault_count(), 2);
+        assert!(!v.is_fault_free());
+        assert!(ProgramVersion::fault_free(4).is_fault_free());
+        assert!(ProgramVersion::from_fault_indices(3, &[5]).is_err());
+    }
+
+    #[test]
+    fn failure_evaluation() {
+        let (map, _) = setup();
+        let v = ProgramVersion::new(vec![true, false, false]);
+        assert!(v.fails_on(&map, Demand::new(0, 0)).unwrap());
+        assert!(v.fails_on(&map, Demand::new(1, 1)).unwrap());
+        assert!(!v.fails_on(&map, Demand::new(2, 2)).unwrap());
+        let wrong_len = ProgramVersion::new(vec![true]);
+        assert!(wrong_len.fails_on(&map, Demand::new(0, 0)).is_err());
+    }
+
+    #[test]
+    fn true_pfd_vs_modelled_pfd() {
+        let (map, profile) = setup();
+        // Faults 0 and 1 overlap at (1,1): union 7 cells, sum 8 cells.
+        let v = ProgramVersion::new(vec![true, true, false]);
+        let true_pfd = v.true_pfd(&map, &profile).unwrap();
+        let modelled = v.modelled_pfd(&map, &profile).unwrap();
+        assert!((true_pfd - 0.07).abs() < 1e-12);
+        assert!((modelled - 0.08).abs() < 1e-12);
+        assert!(true_pfd <= modelled);
+    }
+
+    #[test]
+    fn fault_free_version_never_fails() {
+        let (map, profile) = setup();
+        let v = ProgramVersion::fault_free(3);
+        for d in [Demand::new(0, 0), Demand::new(9, 9), Demand::new(5, 5)] {
+            assert!(!v.fails_on(&map, d).unwrap());
+        }
+        assert_eq!(v.true_pfd(&map, &profile).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn common_faults_and_pairing() {
+        let a = ProgramVersion::new(vec![true, true, false]);
+        let b = ProgramVersion::new(vec![false, true, true]);
+        assert_eq!(a.common_faults(&b), vec![1]);
+        let pair = a.pair_with(&b);
+        assert_eq!(pair.fault_indices(), vec![1]);
+        // The pair's PFD is the common-fault region measure.
+        let (map, profile) = setup();
+        assert!((pair.true_pfd(&map, &profile).unwrap() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_with_disjoint_versions_is_fault_free() {
+        let a = ProgramVersion::new(vec![true, false]);
+        let b = ProgramVersion::new(vec![false, true]);
+        assert!(a.pair_with(&b).is_fault_free());
+    }
+
+    #[test]
+    fn display_summarises() {
+        let v = ProgramVersion::new(vec![true, false, true]);
+        assert!(v.to_string().contains("2 of 3"));
+    }
+}

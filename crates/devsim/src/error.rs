@@ -1,0 +1,77 @@
+//! Error type for the development-process simulator.
+
+use std::fmt;
+
+/// Errors produced by the Monte-Carlo layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DevSimError {
+    /// A configuration parameter was invalid (message explains which).
+    InvalidConfig(String),
+    /// Not enough samples were requested for the statistic to be defined.
+    TooFewSamples {
+        /// Samples requested.
+        got: usize,
+        /// Minimum required.
+        need: usize,
+    },
+    /// A propagated model error.
+    Model(divrel_model::ModelError),
+    /// A propagated numerics error.
+    Numerics(divrel_numerics::NumericsError),
+}
+
+impl fmt::Display for DevSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DevSimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DevSimError::TooFewSamples { got, need } => {
+                write!(f, "need at least {need} samples, got {got}")
+            }
+            DevSimError::Model(e) => write!(f, "model error: {e}"),
+            DevSimError::Numerics(e) => write!(f, "numerics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DevSimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DevSimError::Model(e) => Some(e),
+            DevSimError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<divrel_model::ModelError> for DevSimError {
+    fn from(e: divrel_model::ModelError) -> Self {
+        DevSimError::Model(e)
+    }
+}
+
+impl From<divrel_numerics::NumericsError> for DevSimError {
+    fn from(e: divrel_numerics::NumericsError) -> Self {
+        DevSimError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error;
+        assert!(DevSimError::InvalidConfig("bad lambda".into())
+            .to_string()
+            .contains("bad lambda"));
+        assert!(DevSimError::TooFewSamples { got: 1, need: 2 }
+            .to_string()
+            .contains("at least 2"));
+        let m = DevSimError::from(divrel_model::ModelError::EmptyModel);
+        assert!(m.source().is_some());
+        let n = DevSimError::from(divrel_numerics::NumericsError::EmptyData("x"));
+        assert!(n.source().is_some());
+        assert!(DevSimError::InvalidConfig(String::new()).source().is_none());
+    }
+}

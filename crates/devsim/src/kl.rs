@@ -1,0 +1,254 @@
+//! Synthetic replication of the Knight–Leveson experiment — paper §7.
+//!
+//! The paper's only empirical check: "in the Knight and Leveson experiment
+//! \[2, 16, 17\] diversity reduced not only the sample mean of the PFD of
+//! the 27 program versions produced, but also – greatly – its standard
+//! deviation. … On the other hand, the data do not fit (nor would we expect
+//! them to fit, given the few faults observed) a normal approximation."
+//!
+//! We cannot redistribute the original data, so [`KnightLevesonExperiment`]
+//! replays the protocol inside the fault-creation model: develop
+//! `n_versions` independent versions, measure every version's PFD and every
+//! one of the `C(n, 2)` pairs' PFDs, and report exactly the §7 statistics —
+//! sample means, sample standard deviations, their reduction factors, and a
+//! KS test of normality of the version PFDs.
+
+use crate::error::DevSimError;
+use crate::factory::VersionFactory;
+use crate::process::FaultIntroduction;
+use divrel_model::FaultModel;
+use divrel_numerics::descriptive::Moments;
+use divrel_numerics::ks::{ks_test, KsTest};
+use divrel_numerics::normal::Normal;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The number of versions in the original Knight–Leveson experiment.
+pub const KL_VERSION_COUNT: usize = 27;
+
+/// Configuration of a synthetic N-version experiment.
+#[derive(Debug, Clone)]
+pub struct KnightLevesonExperiment {
+    model: FaultModel,
+    introduction: FaultIntroduction,
+    n_versions: usize,
+    seed: u64,
+}
+
+/// Results of one synthetic N-version experiment.
+#[derive(Debug, Clone)]
+pub struct KlResult {
+    /// PFD of each developed version.
+    pub version_pfds: Vec<f64>,
+    /// PFD of every unordered pair (1-out-of-2 semantics).
+    pub pair_pfds: Vec<f64>,
+    /// Sample mean of version PFDs.
+    pub single_mean: f64,
+    /// Sample standard deviation of version PFDs.
+    pub single_std: f64,
+    /// Sample mean of pair PFDs.
+    pub pair_mean: f64,
+    /// Sample standard deviation of pair PFDs.
+    pub pair_std: f64,
+    /// KS test of the version PFDs against a fitted normal, if the sample
+    /// is non-degenerate (the §7 observation that KL data "do not fit" a
+    /// normal).
+    pub normality: Option<KsTest>,
+}
+
+impl KlResult {
+    /// Factor by which pairing reduced the sample mean
+    /// (`single_mean / pair_mean`); `None` when the pair mean is zero.
+    pub fn mean_reduction(&self) -> Option<f64> {
+        (self.pair_mean > 0.0).then(|| self.single_mean / self.pair_mean)
+    }
+
+    /// Factor by which pairing reduced the sample standard deviation;
+    /// `None` when the pair std is zero.
+    pub fn std_reduction(&self) -> Option<f64> {
+        (self.pair_std > 0.0).then(|| self.single_std / self.pair_std)
+    }
+
+    /// §7's qualitative claim: diversity reduced both the mean and the
+    /// standard deviation.
+    pub fn diversity_reduced_mean_and_std(&self) -> bool {
+        self.pair_mean <= self.single_mean && self.pair_std <= self.single_std
+    }
+}
+
+impl KnightLevesonExperiment {
+    /// Creates the experiment with the historical 27 versions.
+    pub fn new(model: FaultModel) -> Self {
+        KnightLevesonExperiment {
+            model,
+            introduction: FaultIntroduction::Independent,
+            n_versions: KL_VERSION_COUNT,
+            seed: 0,
+        }
+    }
+
+    /// Overrides the number of versions.
+    pub fn versions(mut self, n: usize) -> Self {
+        self.n_versions = n;
+        self
+    }
+
+    /// Overrides the fault-introduction model (e.g. to replay under §6.1
+    /// correlation).
+    pub fn introduction(mut self, intro: FaultIntroduction) -> Self {
+        self.introduction = intro;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Develops the versions and measures all versions and pairs.
+    ///
+    /// # Errors
+    ///
+    /// [`DevSimError::TooFewSamples`] for fewer than 2 versions; factory
+    /// validation errors otherwise.
+    pub fn run(&self) -> Result<KlResult, DevSimError> {
+        if self.n_versions < 2 {
+            return Err(DevSimError::TooFewSamples {
+                got: self.n_versions,
+                need: 2,
+            });
+        }
+        let factory = VersionFactory::new(self.model.clone(), self.introduction)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let versions: Vec<_> = (0..self.n_versions)
+            .map(|_| factory.sample_version(&mut rng))
+            .collect();
+        let version_pfds: Vec<f64> = versions.iter().map(|v| v.pfd).collect();
+        let q: Vec<f64> = self.model.q_values().collect();
+        let mut pair_pfds = Vec::with_capacity(self.n_versions * (self.n_versions - 1) / 2);
+        for i in 0..versions.len() {
+            for j in (i + 1)..versions.len() {
+                let pfd: f64 = q
+                    .iter()
+                    .enumerate()
+                    .filter(|(f, _)| versions[i].present[*f] && versions[j].present[*f])
+                    .map(|(_, &qv)| qv)
+                    .sum();
+                pair_pfds.push(pfd);
+            }
+        }
+        let singles: Moments = version_pfds.iter().copied().collect();
+        let pairs: Moments = pair_pfds.iter().copied().collect();
+        let single_mean = singles.mean().map_err(DevSimError::from)?;
+        let single_std = singles.sample_std_dev().map_err(DevSimError::from)?;
+        let pair_mean = pairs.mean().map_err(DevSimError::from)?;
+        let pair_std = pairs.sample_std_dev().map_err(DevSimError::from)?;
+        let normality = if single_std > 0.0 {
+            Normal::new(single_mean, single_std)
+                .ok()
+                .and_then(|n| ks_test(&version_pfds, |x| n.cdf(x)).ok())
+        } else {
+            None
+        };
+        Ok(KlResult {
+            version_pfds,
+            pair_pfds,
+            single_mean,
+            single_std,
+            pair_mean,
+            pair_std,
+            normality,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> FaultModel {
+        // Few moderately likely faults, as in a student experiment.
+        FaultModel::from_params(
+            &[0.3, 0.2, 0.15, 0.1, 0.05],
+            &[0.002, 0.005, 0.001, 0.01, 0.02],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shapes_and_counts() {
+        let r = KnightLevesonExperiment::new(model()).seed(1).run().unwrap();
+        assert_eq!(r.version_pfds.len(), 27);
+        assert_eq!(r.pair_pfds.len(), 27 * 26 / 2);
+    }
+
+    #[test]
+    fn section7_qualitative_check_holds_across_seeds() {
+        // Diversity should reduce both mean and std dev in the typical run;
+        // check a majority of seeds to avoid flakiness from a single draw.
+        let mut holds = 0;
+        for seed in 0..20 {
+            let r = KnightLevesonExperiment::new(model()).seed(seed).run().unwrap();
+            if r.diversity_reduced_mean_and_std() {
+                holds += 1;
+            }
+        }
+        assert!(holds >= 18, "only {holds}/20 seeds showed the reduction");
+    }
+
+    #[test]
+    fn reduction_factors() {
+        let r = KnightLevesonExperiment::new(model()).seed(3).run().unwrap();
+        if let Some(f) = r.mean_reduction() {
+            assert!(f >= 1.0, "mean reduction factor {f} < 1");
+        }
+        if let Some(f) = r.std_reduction() {
+            assert!(f >= 1.0, "std reduction factor {f} < 1");
+        }
+    }
+
+    #[test]
+    fn few_faults_break_normality() {
+        // §7: with few faults the PFD sample should NOT fit a normal.
+        let sparse = FaultModel::from_params(&[0.4, 0.2], &[0.01, 0.03]).unwrap();
+        let r = KnightLevesonExperiment::new(sparse)
+            .versions(100)
+            .seed(11)
+            .run()
+            .unwrap();
+        let ks = r.normality.expect("non-degenerate sample expected");
+        assert!(
+            ks.p_value < 0.01,
+            "normal fit unexpectedly good: p = {}",
+            ks.p_value
+        );
+    }
+
+    #[test]
+    fn degenerate_sample_has_no_normality_test() {
+        let certain = FaultModel::uniform(2, 0.0, 0.1).unwrap();
+        let r = KnightLevesonExperiment::new(certain).seed(0).run().unwrap();
+        assert!(r.normality.is_none());
+        assert_eq!(r.mean_reduction(), None);
+        assert_eq!(r.std_reduction(), None);
+        assert!(r.diversity_reduced_mean_and_std());
+    }
+
+    #[test]
+    fn too_few_versions_rejected() {
+        let e = KnightLevesonExperiment::new(model())
+            .versions(1)
+            .run()
+            .unwrap_err();
+        assert!(matches!(e, DevSimError::TooFewSamples { .. }));
+    }
+
+    #[test]
+    fn reproducible_per_seed() {
+        let a = KnightLevesonExperiment::new(model()).seed(9).run().unwrap();
+        let b = KnightLevesonExperiment::new(model()).seed(9).run().unwrap();
+        assert_eq!(a.version_pfds, b.version_pfds);
+        assert_eq!(a.pair_pfds, b.pair_pfds);
+    }
+}

@@ -1,0 +1,272 @@
+//! The effect of testing/debugging on the gain from diversity.
+//!
+//! §4.2.3 cites Djambazov & Popov \[13\]: "A similar observation on the
+//! effect of fault removal on the reliability gain given by fault
+//! tolerance has been reported in \[13\]". This module makes that effect
+//! executable: an **operational testing campaign** of `t` test demands
+//! (drawn from the operational profile) detects a present fault `i` on
+//! each demand with probability `qᵢ`; detected faults are removed before
+//! delivery (perfect debugging).
+//!
+//! Analytically, testing transforms the process: a fault survives into
+//! the *delivered* version iff it was introduced AND escaped every test
+//! demand, so
+//!
+//! ```text
+//! pᵢ(t) = pᵢ · (1 − qᵢ)ᵗ
+//! ```
+//!
+//! This is exactly the **non-proportional** process-improvement move of
+//! §4.2.1: big-region faults are scrubbed fast, small-region faults
+//! barely at all — so extended testing pushes the fault mix toward the
+//! regime where the *relative* gain from diversity erodes (the \[13\]
+//! observation), even as absolute reliability improves monotonically.
+//! The Monte-Carlo simulator cross-checks the closed form.
+
+use crate::error::DevSimError;
+use crate::factory::VersionFactory;
+use crate::process::FaultIntroduction;
+use divrel_model::{FaultModel, ModelError, PotentialFault};
+use rand::Rng;
+
+/// An operational testing campaign applied to every version before
+/// delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestingCampaign {
+    /// Number of test demands drawn from the operational profile.
+    pub demands: u64,
+}
+
+impl TestingCampaign {
+    /// A campaign of `demands` operational test demands.
+    pub fn new(demands: u64) -> Self {
+        TestingCampaign { demands }
+    }
+
+    /// The delivered-fault model after testing: `pᵢ(t) = pᵢ(1−qᵢ)ᵗ`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model reconstruction errors (cannot occur for a valid
+    /// input model).
+    pub fn delivered_model(&self, model: &FaultModel) -> Result<FaultModel, ModelError> {
+        let faults = model
+            .faults()
+            .iter()
+            .map(|f| {
+                let survive = (self.demands as f64 * (-f.q()).ln_1p()).exp();
+                PotentialFault::new(f.p() * survive, f.q())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        FaultModel::new(faults)
+    }
+
+    /// Simulates the campaign on one sampled fault set: each present
+    /// fault is detected (and removed) with probability `1−(1−qᵢ)ᵗ`.
+    ///
+    /// The detection draws are independent per fault, which matches the
+    /// delivered-model closed form exactly (each fault's survival is
+    /// `(1−qᵢ)ᵗ` regardless of the others under the non-overlap
+    /// assumption, since a demand in region `i` reveals fault `i`).
+    pub fn scrub_version<R: Rng + ?Sized>(
+        &self,
+        model: &FaultModel,
+        present: &mut [bool],
+        rng: &mut R,
+    ) {
+        for (flag, fault) in present.iter_mut().zip(model.faults()) {
+            if *flag {
+                let survive = (self.demands as f64 * (-fault.q()).ln_1p()).exp();
+                if rng.gen::<f64>() >= survive {
+                    *flag = false;
+                }
+            }
+        }
+    }
+}
+
+/// One row of a testing-effect sweep: the state of the process after `t`
+/// test demands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestingEffect {
+    /// Test demands applied.
+    pub demands: u64,
+    /// Mean PFD of a delivered single version.
+    pub mean_pfd_single: f64,
+    /// Mean PFD of a delivered 1-out-of-2 pair.
+    pub mean_pfd_pair: f64,
+    /// Eq (10) risk ratio of the delivered process (`None` when the
+    /// delivered process is fault-free with certainty).
+    pub risk_ratio: Option<f64>,
+}
+
+/// Sweeps the analytic testing effect over a grid of campaign lengths.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn testing_sweep(
+    model: &FaultModel,
+    demand_grid: &[u64],
+) -> Result<Vec<TestingEffect>, DevSimError> {
+    demand_grid
+        .iter()
+        .map(|&t| {
+            let delivered = TestingCampaign::new(t).delivered_model(model)?;
+            Ok(TestingEffect {
+                demands: t,
+                mean_pfd_single: delivered.mean_pfd_single(),
+                mean_pfd_pair: delivered.mean_pfd_pair(),
+                risk_ratio: delivered.risk_ratio().ok(),
+            })
+        })
+        .collect()
+}
+
+/// Monte-Carlo cross-check: samples `samples` versions, scrubs each with
+/// the campaign, and returns the empirical delivered fault rate per fault.
+///
+/// # Errors
+///
+/// Propagates factory construction errors;
+/// [`DevSimError::TooFewSamples`] for zero samples.
+pub fn empirical_delivered_rates<R: Rng + ?Sized>(
+    model: &FaultModel,
+    campaign: TestingCampaign,
+    samples: usize,
+    rng: &mut R,
+) -> Result<Vec<f64>, DevSimError> {
+    if samples == 0 {
+        return Err(DevSimError::TooFewSamples { got: 0, need: 1 });
+    }
+    let factory = VersionFactory::new(model.clone(), FaultIntroduction::Independent)?;
+    let mut counts = vec![0u64; model.len()];
+    for _ in 0..samples {
+        let mut v = factory.sample_version(rng).present;
+        campaign.scrub_version(model, &mut v, rng);
+        for (c, &b) in counts.iter_mut().zip(&v) {
+            if b {
+                *c += 1;
+            }
+        }
+    }
+    Ok(counts.iter().map(|&c| c as f64 / samples as f64).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> FaultModel {
+        // One big-region fault, one small-region fault.
+        FaultModel::from_params(&[0.4, 0.4], &[0.01, 1e-5]).expect("valid")
+    }
+
+    #[test]
+    fn delivered_model_closed_form() {
+        let m = model();
+        let t = 1_000u64;
+        let d = TestingCampaign::new(t).delivered_model(&m).expect("ok");
+        let want0 = 0.4 * 0.99_f64.powi(1000);
+        let want1 = 0.4 * (1.0 - 1e-5_f64).powi(1000);
+        assert!((d.faults()[0].p() - want0).abs() < 1e-12);
+        assert!((d.faults()[1].p() - want1).abs() < 1e-12);
+        // q values untouched.
+        assert_eq!(d.faults()[0].q(), 0.01);
+    }
+
+    #[test]
+    fn zero_demand_campaign_is_identity() {
+        let m = model();
+        let d = TestingCampaign::new(0).delivered_model(&m).expect("ok");
+        assert_eq!(d, m);
+    }
+
+    #[test]
+    fn testing_always_improves_absolute_reliability() {
+        let m = model();
+        let sweep =
+            testing_sweep(&m, &[0, 10, 100, 1_000, 10_000, 100_000]).expect("ok");
+        for w in sweep.windows(2) {
+            assert!(w[1].mean_pfd_single <= w[0].mean_pfd_single + 1e-18);
+            assert!(w[1].mean_pfd_pair <= w[0].mean_pfd_pair + 1e-18);
+        }
+    }
+
+    #[test]
+    fn testing_makes_the_relative_gain_non_monotone() {
+        // The [13] observation, sharpened: the eq (10) risk ratio is
+        // NON-MONOTONE in testing duration. Early testing scrubs the
+        // big-region fault toward its Appendix-A stationary point
+        // (ratio improves); pushing past it ERODES the relative gain for
+        // a window; eventually the surviving small-region fault is
+        // scrubbed too and the ratio falls again. Absolute reliability
+        // improves monotonically throughout.
+        let m = model();
+        let sweep = testing_sweep(&m, &[0, 200, 500, 50_000]).expect("ok");
+        let r: Vec<f64> = sweep.iter().map(|e| e.risk_ratio.expect("risky")).collect();
+        assert!(r[1] < r[0], "early testing improves the gain: {r:?}");
+        assert!(
+            r[2] > r[1] + 0.01,
+            "the erosion window must appear: {r:?}"
+        );
+        assert!(r[3] < r[2], "long-run testing improves the gain again: {r:?}");
+        // Meanwhile absolute reliability never regresses.
+        for w in sweep.windows(2) {
+            assert!(w[1].mean_pfd_single <= w[0].mean_pfd_single);
+            assert!(w[1].mean_pfd_pair <= w[0].mean_pfd_pair);
+        }
+    }
+
+    #[test]
+    fn testing_effect_is_nonproportional() {
+        let m = model();
+        let d = TestingCampaign::new(10_000).delivered_model(&m).expect("ok");
+        let shrink0 = d.faults()[0].p() / m.faults()[0].p();
+        let shrink1 = d.faults()[1].p() / m.faults()[1].p();
+        // Big-region fault essentially gone; small-region fault ~unchanged.
+        assert!(shrink0 < 1e-20);
+        assert!(shrink1 > 0.9);
+    }
+
+    #[test]
+    fn monte_carlo_matches_closed_form() {
+        let m = model();
+        let campaign = TestingCampaign::new(100);
+        let mut rng = StdRng::seed_from_u64(17);
+        let rates = empirical_delivered_rates(&m, campaign, 60_000, &mut rng).expect("ok");
+        let d = campaign.delivered_model(&m).expect("ok");
+        for (i, (&rate, fault)) in rates.iter().zip(d.faults()).enumerate() {
+            let sigma = (fault.p() * (1.0 - fault.p()) / 60_000.0).sqrt();
+            assert!(
+                (rate - fault.p()).abs() < 6.0 * sigma + 1e-4,
+                "fault {i}: empirical {rate} vs analytic {}",
+                fault.p()
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_rates_validation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(
+            empirical_delivered_rates(&model(), TestingCampaign::new(10), 0, &mut rng).is_err()
+        );
+    }
+
+    #[test]
+    fn scrub_only_removes_present_faults() {
+        let m = model();
+        let campaign = TestingCampaign::new(1_000_000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut none_present = vec![false, false];
+        campaign.scrub_version(&m, &mut none_present, &mut rng);
+        assert_eq!(none_present, vec![false, false]);
+        // The big-q fault is removed essentially surely at t = 1e6.
+        let mut both = vec![true, true];
+        campaign.scrub_version(&m, &mut both, &mut rng);
+        assert!(!both[0]);
+    }
+}

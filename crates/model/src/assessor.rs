@@ -1,0 +1,341 @@
+//! The assessor's workflow — paper §5.1 applied to safety-integrity-level
+//! claims.
+//!
+//! §5 motivates its confidence-bound machinery with the practice of
+//! standards that "map reliability requirements for software into 'Safety
+//! Integrity Levels' (SILs), and SILs into recommended development and V&V
+//! practices". This module implements that mapping (IEC 61508 low-demand
+//! PFD bands) and the paper's assessor question: *given evidence about a
+//! single version produced by this process, what should I believe about a
+//! 1-out-of-2 system produced by the same process?*
+
+use crate::bounds::{beta_factor, pair_bound_from_single_bound};
+use crate::error::ModelError;
+use std::fmt;
+
+/// IEC 61508-style safety integrity levels for low-demand operation,
+/// defined by bands of average probability of failure on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sil {
+    /// PFD in `[10⁻², 10⁻¹)`.
+    Sil1,
+    /// PFD in `[10⁻³, 10⁻²)`.
+    Sil2,
+    /// PFD in `[10⁻⁴, 10⁻³)`.
+    Sil3,
+    /// PFD in `[10⁻⁵, 10⁻⁴)`.
+    Sil4,
+}
+
+impl Sil {
+    /// The half-open PFD band `[lo, hi)` defining this SIL.
+    pub fn band(&self) -> (f64, f64) {
+        match self {
+            Sil::Sil1 => (1e-2, 1e-1),
+            Sil::Sil2 => (1e-3, 1e-2),
+            Sil::Sil3 => (1e-4, 1e-3),
+            Sil::Sil4 => (1e-5, 1e-4),
+        }
+    }
+
+    /// The strongest SIL claimable for a demonstrated PFD *upper bound*:
+    /// the level whose band contains the bound (or better).
+    ///
+    /// Returns `None` if the bound is ≥ 10⁻¹ (no SIL claimable) — bounds
+    /// below 10⁻⁵ still claim SIL 4, the strongest level defined.
+    ///
+    /// ```
+    /// use divrel_model::assessor::Sil;
+    /// assert_eq!(Sil::from_pfd_bound(5e-3), Some(Sil::Sil2));
+    /// assert_eq!(Sil::from_pfd_bound(1e-6), Some(Sil::Sil4));
+    /// assert_eq!(Sil::from_pfd_bound(0.5), None);
+    /// ```
+    pub fn from_pfd_bound(bound: f64) -> Option<Sil> {
+        if !bound.is_finite() || bound < 0.0 {
+            return None;
+        }
+        if bound < 1e-4 {
+            Some(Sil::Sil4)
+        } else if bound < 1e-3 {
+            Some(Sil::Sil3)
+        } else if bound < 1e-2 {
+            Some(Sil::Sil2)
+        } else if bound < 1e-1 {
+            Some(Sil::Sil1)
+        } else {
+            None
+        }
+    }
+
+    /// Numeric level (1–4).
+    pub fn level(&self) -> u8 {
+        match self {
+            Sil::Sil1 => 1,
+            Sil::Sil2 => 2,
+            Sil::Sil3 => 3,
+            Sil::Sil4 => 4,
+        }
+    }
+}
+
+impl fmt::Display for Sil {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SIL {}", self.level())
+    }
+}
+
+/// Evidence an assessor holds about a *single version* produced by the
+/// development process under assessment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SingleVersionEvidence {
+    /// A one-sided confidence bound: `P(Θ₁ ≤ bound) ≥ confidence`.
+    Bound {
+        /// The PFD bound.
+        bound: f64,
+        /// The confidence attached to it.
+        confidence: f64,
+    },
+    /// Estimates of the process's mean and standard deviation of PFD.
+    Moments {
+        /// Estimated `µ₁`.
+        mu: f64,
+        /// Estimated `σ₁`.
+        sigma: f64,
+    },
+}
+
+/// The assessor's derived claim about a 1-out-of-2 system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairClaim {
+    /// Confidence level of the claim.
+    pub confidence: f64,
+    /// The PFD bound for a single version at that confidence.
+    pub single_bound: f64,
+    /// The PFD bound for the pair at the same confidence (eq 11 when
+    /// moments are available, eq 12 otherwise).
+    pub pair_bound: f64,
+    /// The guaranteed improvement factor actually used
+    /// (`single_bound / pair_bound`).
+    pub improvement_factor: f64,
+    /// SIL claimable for the single version, if any.
+    pub single_sil: Option<Sil>,
+    /// SIL claimable for the pair, if any.
+    pub pair_sil: Option<Sil>,
+}
+
+/// Derives the 1-out-of-2 claim from single-version evidence plus a
+/// credible bound on `p_max` — the paper's §5.1 assessor move.
+///
+/// With [`SingleVersionEvidence::Moments`], eq (11) is used (tighter);
+/// with [`SingleVersionEvidence::Bound`], eq (12). In both cases the claim
+/// holds at the evidence's confidence level.
+///
+/// # Errors
+///
+/// [`ModelError::InvalidProbability`] for `p_max ∉ [0, 1]` or a confidence
+/// outside `(0, 1)`; [`ModelError::Degenerate`] for negative evidence
+/// values.
+///
+/// ```
+/// use divrel_model::assessor::{assess_pair, SingleVersionEvidence, Sil};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // The paper's §5.1 example: µ1 = 0.01, σ1 = 0.001, 84% confidence,
+/// // p_max = 0.1 — the pair gains an order of magnitude.
+/// let claim = assess_pair(
+///     SingleVersionEvidence::Moments { mu: 0.01, sigma: 0.001 },
+///     0.1,
+///     0.8413447460685429,
+/// )?;
+/// assert_eq!(claim.single_sil, Some(Sil::Sil1));
+/// assert_eq!(claim.pair_sil, Some(Sil::Sil2));
+/// # Ok(())
+/// # }
+/// ```
+pub fn assess_pair(
+    evidence: SingleVersionEvidence,
+    p_max: f64,
+    confidence: f64,
+) -> Result<PairClaim, ModelError> {
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(ModelError::InvalidProbability(confidence));
+    }
+    let (single_bound, pair_bound) = match evidence {
+        SingleVersionEvidence::Bound { bound, confidence: c } => {
+            if (c - confidence).abs() > 1e-12 {
+                return Err(ModelError::Degenerate(
+                    "evidence confidence must match the requested claim confidence",
+                ));
+            }
+            (bound, pair_bound_from_single_bound(bound, p_max)?)
+        }
+        SingleVersionEvidence::Moments { mu, sigma } => {
+            if mu < 0.0 || sigma < 0.0 || !mu.is_finite() || !sigma.is_finite() {
+                return Err(ModelError::Degenerate("negative single-version moments"));
+            }
+            let k = divrel_numerics::normal::k_factor(confidence)?;
+            let single = mu + k * sigma;
+            let pair = p_max * mu + k * beta_factor(p_max)? * sigma;
+            (single, pair)
+        }
+    };
+    let improvement_factor = if pair_bound > 0.0 {
+        single_bound / pair_bound
+    } else {
+        f64::INFINITY
+    };
+    Ok(PairClaim {
+        confidence,
+        single_bound,
+        pair_bound,
+        improvement_factor,
+        single_sil: Sil::from_pfd_bound(single_bound),
+        pair_sil: Sil::from_pfd_bound(pair_bound),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sil_band_edges() {
+        assert_eq!(Sil::from_pfd_bound(9.99e-2), Some(Sil::Sil1));
+        assert_eq!(Sil::from_pfd_bound(1e-2), Some(Sil::Sil1));
+        assert_eq!(Sil::from_pfd_bound(9.9e-3), Some(Sil::Sil2));
+        assert_eq!(Sil::from_pfd_bound(1e-4), Some(Sil::Sil3));
+        assert_eq!(Sil::from_pfd_bound(9.9e-5), Some(Sil::Sil4));
+        assert_eq!(Sil::from_pfd_bound(0.0), Some(Sil::Sil4));
+        assert_eq!(Sil::from_pfd_bound(0.1), None);
+        assert_eq!(Sil::from_pfd_bound(f64::NAN), None);
+        assert_eq!(Sil::from_pfd_bound(-1.0), None);
+    }
+
+    #[test]
+    fn sil_bands_are_contiguous() {
+        let sils = [Sil::Sil1, Sil::Sil2, Sil::Sil3, Sil::Sil4];
+        for w in sils.windows(2) {
+            let (lo_hi, _) = (w[0].band(), w[1].band());
+            assert!((w[1].band().1 - lo_hi.0).abs() < 1e-18);
+        }
+        assert_eq!(Sil::Sil3.level(), 3);
+        assert_eq!(Sil::Sil4.to_string(), "SIL 4");
+    }
+
+    #[test]
+    fn sil_ordering() {
+        assert!(Sil::Sil4 > Sil::Sil1);
+        assert!(Sil::Sil2 < Sil::Sil3);
+    }
+
+    #[test]
+    fn paper_example_moments_claim() {
+        let claim = assess_pair(
+            SingleVersionEvidence::Moments {
+                mu: 0.01,
+                sigma: 0.001,
+            },
+            0.1,
+            0.841_344_746_068_542_9, // k = 1
+        )
+        .unwrap();
+        assert!((claim.single_bound - 0.011).abs() < 1e-9);
+        assert!((claim.pair_bound - 0.001_331_66).abs() < 1e-6);
+        assert!(claim.improvement_factor > 8.0);
+        assert_eq!(claim.single_sil, Some(Sil::Sil1));
+        assert_eq!(claim.pair_sil, Some(Sil::Sil2));
+    }
+
+    #[test]
+    fn bound_evidence_uses_eq12() {
+        let claim = assess_pair(
+            SingleVersionEvidence::Bound {
+                bound: 0.011,
+                confidence: 0.99,
+            },
+            0.1,
+            0.99,
+        )
+        .unwrap();
+        // eq (12): beta * bound = 0.33166 * 0.011 ≈ 0.003648
+        assert!((claim.pair_bound - 0.003_648_3).abs() < 1e-6);
+        assert_eq!(claim.pair_sil, Some(Sil::Sil2));
+        // Mismatched confidence is rejected.
+        assert!(assess_pair(
+            SingleVersionEvidence::Bound {
+                bound: 0.011,
+                confidence: 0.95,
+            },
+            0.1,
+            0.99,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn ten_fold_gain_at_pmax_one_percent() {
+        // §5.1: p_max = 0.01 gives a 10-fold improvement in any bound.
+        let claim = assess_pair(
+            SingleVersionEvidence::Bound {
+                bound: 1e-3,
+                confidence: 0.99,
+            },
+            0.01,
+            0.99,
+        )
+        .unwrap();
+        assert!((claim.improvement_factor - 9.950_371_9).abs() < 1e-4);
+        // A bound of exactly 1e-3 is the *edge* of the SIL3 band, so only
+        // SIL2 is claimable; the pair lands just above 1e-4, hence SIL3.
+        assert_eq!(claim.single_sil, Some(Sil::Sil2));
+        assert_eq!(claim.pair_sil, Some(Sil::Sil3));
+        // A strictly better single-version bound upgrades both claims.
+        let better = assess_pair(
+            SingleVersionEvidence::Bound {
+                bound: 9e-4,
+                confidence: 0.99,
+            },
+            0.01,
+            0.99,
+        )
+        .unwrap();
+        assert_eq!(better.single_sil, Some(Sil::Sil3));
+        assert_eq!(better.pair_sil, Some(Sil::Sil4));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(assess_pair(
+            SingleVersionEvidence::Moments { mu: -1.0, sigma: 0.1 },
+            0.1,
+            0.99
+        )
+        .is_err());
+        assert!(assess_pair(
+            SingleVersionEvidence::Moments { mu: 0.01, sigma: 0.001 },
+            1.5,
+            0.99
+        )
+        .is_err());
+        assert!(assess_pair(
+            SingleVersionEvidence::Moments { mu: 0.01, sigma: 0.001 },
+            0.1,
+            1.0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn zero_pair_bound_gives_infinite_factor() {
+        let claim = assess_pair(
+            SingleVersionEvidence::Bound {
+                bound: 0.0,
+                confidence: 0.99,
+            },
+            0.1,
+            0.99,
+        )
+        .unwrap();
+        assert!(claim.improvement_factor.is_infinite());
+        assert_eq!(claim.pair_sil, Some(Sil::Sil4));
+    }
+}

@@ -1,0 +1,385 @@
+//! Assessor-grade bounds — paper §3.1 (lemmas on means and standard
+//! deviations) and §5.1 (confidence bounds under the normal approximation).
+//!
+//! The practical power of the paper is that these bounds require only
+//! `p_max` — an upper bound on the probability of the *most likely* fault —
+//! which an assessor can credibly estimate from process evidence, rather
+//! than the full, unknowable `2n` parameters.
+//!
+//! | Result | Formula | Paper |
+//! |---|---|---|
+//! | Mean bound | `µ₂ ≤ p_max · µ₁` | eq (4) |
+//! | Std-dev bound | `σ₂ < sqrt(p_max(1+p_max)) · σ₁` | eq (9) |
+//! | Bound from moments | `µ₂+kσ₂ ≤ p_max µ₁ + k·β·σ₁` | eq (11) |
+//! | Bound from a bound | `µ₂+kσ₂ < β·(µ₁+kσ₁)` | eq (12) |
+//!
+//! where `β = sqrt(p_max(1+p_max))` is the guaranteed **β-factor**
+//! (common-cause reduction factor) tabulated in §5.1.
+
+use crate::error::ModelError;
+use crate::fault::FaultModel;
+use divrel_numerics::normal::k_factor;
+
+/// The threshold `(√5 − 1)/2 ≈ 0.618` below which `p²(1−p²) ≤ p(1−p)`
+/// holds, guaranteeing every variance summand shrinks for the pair
+/// (paper §3.1.2).
+pub const VARIANCE_MONOTONE_THRESHOLD: f64 = 0.618_033_988_749_894_9;
+
+/// The guaranteed β-factor `sqrt(p_max(1 + p_max))` (paper §5.1): any
+/// one-sided confidence bound on the PFD of a single version, multiplied by
+/// this factor, bounds the PFD of a 1-out-of-2 pair at the same confidence.
+///
+/// # Errors
+///
+/// [`ModelError::InvalidProbability`] unless `0 ≤ p_max ≤ 1`.
+///
+/// ```
+/// use divrel_model::bounds::beta_factor;
+/// // The paper's table: 0.5 → 0.866, 0.1 → 0.332, 0.01 → 0.100.
+/// assert!((beta_factor(0.5)? - 0.866).abs() < 5e-4);
+/// assert!((beta_factor(0.1)? - 0.332).abs() < 5e-4);
+/// assert!((beta_factor(0.01)? - 0.100).abs() < 5e-4);
+/// # Ok::<(), divrel_model::ModelError>(())
+/// ```
+pub fn beta_factor(p_max: f64) -> Result<f64, ModelError> {
+    if !(0.0..=1.0).contains(&p_max) || !p_max.is_finite() {
+        return Err(ModelError::InvalidProbability(p_max));
+    }
+    Ok((p_max * (1.0 + p_max)).sqrt())
+}
+
+/// Generalised β-factor for a 1-out-of-`k` system of `k` independent
+/// versions: `sqrt(p_max^{k-1} (1 + p_max + … + p_max^{k-1}))`.
+///
+/// Derivation mirrors eq (9): each variance summand
+/// `pᵏ(1−pᵏ)q² = p^{k−1}·(1+p+…+p^{k−1})·p(1−p)q²` is bounded by the
+/// corresponding factor at `p_max`. Reduces to the paper's factor at
+/// `k = 2`.
+///
+/// # Errors
+///
+/// [`ModelError::InvalidProbability`] unless `0 ≤ p_max ≤ 1`;
+/// [`ModelError::Degenerate`] for `k == 0`.
+pub fn beta_factor_k(p_max: f64, k: u32) -> Result<f64, ModelError> {
+    if !(0.0..=1.0).contains(&p_max) || !p_max.is_finite() {
+        return Err(ModelError::InvalidProbability(p_max));
+    }
+    if k == 0 {
+        return Err(ModelError::Degenerate("beta factor for k = 0 versions"));
+    }
+    let geom: f64 = (0..k).map(|i| p_max.powi(i as i32)).sum();
+    Ok((p_max.powi(k as i32 - 1) * geom).sqrt())
+}
+
+/// Rows of the paper's §5.1 table: `(p_max, beta_factor(p_max))`.
+///
+/// # Errors
+///
+/// [`ModelError::InvalidProbability`] if any entry is not a probability.
+pub fn beta_factor_table(p_maxes: &[f64]) -> Result<Vec<(f64, f64)>, ModelError> {
+    p_maxes
+        .iter()
+        .map(|&p| Ok((p, beta_factor(p)?)))
+        .collect()
+}
+
+/// A one-sided confidence statement about a PFD: `P(Θ ≤ value) ≥ confidence`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceBound {
+    /// The confidence level (e.g. 0.99).
+    pub confidence: f64,
+    /// The standard-normal multiplier `k` with `Φ(k) = confidence`.
+    pub k: f64,
+    /// The bound on the PFD.
+    pub value: f64,
+}
+
+impl FaultModel {
+    /// Lemma (4): the guaranteed upper bound `p_max · µ₁` on the mean PFD
+    /// of a 1-out-of-2 pair.
+    pub fn mean_pair_upper_bound(&self) -> f64 {
+        self.p_max() * self.mean_pfd_single()
+    }
+
+    /// Lemma (9): the guaranteed upper bound
+    /// `sqrt(p_max(1+p_max)) · σ₁` on the standard deviation of the pair's
+    /// PFD.
+    pub fn std_pair_upper_bound(&self) -> f64 {
+        // p_max of a valid model is always within [0, 1].
+        (self.p_max() * (1.0 + self.p_max())).sqrt() * self.std_pfd_single()
+    }
+
+    /// Whether every fault satisfies `pᵢ ≤ (√5−1)/2`, the condition under
+    /// which §3.1.2 proves each variance summand of the pair is smaller
+    /// than the single version's.
+    pub fn variance_monotone_condition_holds(&self) -> bool {
+        self.p_values().all(|p| p <= VARIANCE_MONOTONE_THRESHOLD)
+    }
+
+    /// The `µ + kσ` bound for a single version under the normal
+    /// approximation (§5).
+    pub fn normal_bound_single(&self, k: f64) -> f64 {
+        self.mean_pfd_single() + k * self.std_pfd_single()
+    }
+
+    /// The *exact-moment* `µ₂ + kσ₂` bound for the pair under the normal
+    /// approximation. Requires full parameter knowledge; the point of
+    /// eq (11)/(12) is to avoid needing it.
+    pub fn normal_bound_pair(&self, k: f64) -> f64 {
+        self.mean_pfd_pair() + k * self.std_pfd_pair()
+    }
+
+    /// Eq (11): bound on `µ₂ + kσ₂` from the single-version *moments* and
+    /// `p_max` only: `p_max·µ₁ + k·sqrt(p_max(1+p_max))·σ₁`.
+    pub fn pair_bound_from_moments(&self, k: f64) -> f64 {
+        let pm = self.p_max();
+        pm * self.mean_pfd_single()
+            + k * (pm * (1.0 + pm)).sqrt() * self.std_pfd_single()
+    }
+
+    /// Eq (12): bound on `µ₂ + kσ₂` from a single-version *bound* and
+    /// `p_max` only: `sqrt(p_max(1+p_max)) · (µ₁ + kσ₁)`.
+    pub fn pair_bound_from_bound(&self, k: f64) -> f64 {
+        (self.p_max() * (1.0 + self.p_max())).sqrt() * self.normal_bound_single(k)
+    }
+}
+
+/// Eq (12) in the form an assessor uses when the model parameters are
+/// unknown: given any one-sided confidence bound `bound_single` on the PFD
+/// of a single version and a credible `p_max`, returns the same-confidence
+/// bound for the 1-out-of-2 pair.
+///
+/// # Errors
+///
+/// [`ModelError::InvalidProbability`] unless `p_max ∈ [0, 1]`;
+/// [`ModelError::Degenerate`] for a negative single-version bound.
+///
+/// ```
+/// use divrel_model::bounds::pair_bound_from_single_bound;
+/// // p_max = 0.01 gives the 10-fold improvement highlighted in §5.1.
+/// let b2 = pair_bound_from_single_bound(1e-3, 0.01)?;
+/// assert!((b2 - 1.0049e-4).abs() < 1e-7);
+/// # Ok::<(), divrel_model::ModelError>(())
+/// ```
+pub fn pair_bound_from_single_bound(bound_single: f64, p_max: f64) -> Result<f64, ModelError> {
+    if bound_single < 0.0 || !bound_single.is_finite() {
+        return Err(ModelError::Degenerate("negative single-version bound"));
+    }
+    Ok(beta_factor(p_max)? * bound_single)
+}
+
+/// Eq (11) in assessor form: given estimates of the single-version moments
+/// `(µ₁, σ₁)`, a `p_max`, and a confidence level, returns the pair's
+/// confidence bound `p_max µ₁ + k β σ₁` with `k = Φ⁻¹(confidence)`.
+///
+/// # Errors
+///
+/// [`ModelError::InvalidProbability`] unless `p_max ∈ [0, 1]`;
+/// [`ModelError::Degenerate`] for negative moments; numerical errors from
+/// the quantile for `confidence ∉ (0, 1)`.
+///
+/// ```
+/// use divrel_model::bounds::pair_bound_from_single_moments;
+/// // Paper §5.1 worked example: µ1 = 0.01, σ1 = 0.001, 84% (k≈1), p_max = 0.1:
+/// // bound ≈ 0.001 + 0.33·0.001 ≈ 0.00133 ("0.001" in the paper's rounding).
+/// let b = pair_bound_from_single_moments(0.01, 0.001, 0.1, 0.8413447460685429)?;
+/// assert!((b - 0.0013316).abs() < 1e-6);
+/// # Ok::<(), divrel_model::ModelError>(())
+/// ```
+pub fn pair_bound_from_single_moments(
+    mu1: f64,
+    sigma1: f64,
+    p_max: f64,
+    confidence: f64,
+) -> Result<f64, ModelError> {
+    if mu1 < 0.0 || sigma1 < 0.0 || !mu1.is_finite() || !sigma1.is_finite() {
+        return Err(ModelError::Degenerate("negative single-version moments"));
+    }
+    let k = k_factor(confidence)?;
+    Ok(p_max * mu1 + k * beta_factor(p_max)? * sigma1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn example() -> FaultModel {
+        FaultModel::from_params(&[0.1, 0.4, 0.02, 0.35], &[0.02, 0.005, 0.3, 0.001]).unwrap()
+    }
+
+    #[test]
+    fn paper_table_section_5_1() {
+        // pmax -> sqrt(pmax(1+pmax)): 0.5 -> 0.866, 0.1 -> 0.332, 0.01 -> 0.100.
+        let rows = beta_factor_table(&[0.5, 0.1, 0.01]).unwrap();
+        assert!((rows[0].1 - 0.866_025_4).abs() < 1e-6);
+        assert!((rows[1].1 - 0.331_662_5).abs() < 1e-6);
+        assert!((rows[2].1 - 0.100_498_8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn beta_factor_asymptote() {
+        // For small p_max, beta ≈ sqrt(p_max) (paper: "clearly ≈ sqrt(pmax)").
+        for pm in [1e-4, 1e-6] {
+            assert!((beta_factor(pm).unwrap() / pm.sqrt() - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn beta_factor_rejects_bad_input() {
+        assert!(beta_factor(-0.1).is_err());
+        assert!(beta_factor(1.1).is_err());
+        assert!(beta_factor(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn beta_factor_k_reduces_to_paper_at_two() {
+        for pm in [0.01, 0.1, 0.5, 0.9] {
+            assert!(
+                (beta_factor_k(pm, 2).unwrap() - beta_factor(pm).unwrap()).abs() < 1e-15,
+                "pm={pm}"
+            );
+        }
+        // k = 1 gives no reduction: factor 1.
+        assert!((beta_factor_k(0.3, 1).unwrap() - 1.0).abs() < 1e-15);
+        assert!(beta_factor_k(0.3, 0).is_err());
+    }
+
+    #[test]
+    fn beta_factor_k_bounds_k_version_sigma() {
+        let m = example();
+        for k in 1..5u32 {
+            let bound = beta_factor_k(m.p_max(), k).unwrap() * m.std_pfd_single();
+            assert!(
+                m.std_pfd(k) <= bound + 1e-15,
+                "k={k}: sigma_k={} bound={bound}",
+                m.std_pfd(k)
+            );
+        }
+    }
+
+    #[test]
+    fn lemma4_holds_with_equality_cases() {
+        let m = example();
+        assert!(m.mean_pfd_pair() <= m.mean_pair_upper_bound() + 1e-18);
+        // Equality when all p are identical.
+        let u = FaultModel::uniform(5, 0.2, 0.01).unwrap();
+        assert!((u.mean_pfd_pair() - u.mean_pair_upper_bound()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lemma9_holds() {
+        let m = example();
+        assert!(m.std_pfd_pair() <= m.std_pair_upper_bound() + 1e-18);
+    }
+
+    #[test]
+    fn variance_monotone_threshold_is_root() {
+        // p²(1−p²) = p(1−p) exactly at the threshold.
+        let t = VARIANCE_MONOTONE_THRESHOLD;
+        assert!((t * t * (1.0 - t * t) - t * (1.0 - t)).abs() < 1e-14);
+        // Below: pair variance summand smaller; above: larger.
+        let below = 0.5_f64;
+        assert!(below.powi(2) * (1.0 - below.powi(2)) < below * (1.0 - below));
+        let above = 0.7_f64;
+        assert!(above.powi(2) * (1.0 - above.powi(2)) > above * (1.0 - above));
+    }
+
+    #[test]
+    fn variance_monotone_condition_detection() {
+        assert!(example().variance_monotone_condition_holds());
+        let hot = FaultModel::from_params(&[0.7], &[0.1]).unwrap();
+        assert!(!hot.variance_monotone_condition_holds());
+    }
+
+    #[test]
+    fn eq11_dominates_exact_pair_bound() {
+        let m = example();
+        for k in [0.0, 1.0, 2.33, 3.0] {
+            assert!(
+                m.normal_bound_pair(k) <= m.pair_bound_from_moments(k) + 1e-15,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn eq12_dominates_eq11() {
+        // Paper: eq (12) is "slightly looser" than eq (11).
+        let m = example();
+        for k in [0.5, 1.0, 2.33, 3.0] {
+            assert!(
+                m.pair_bound_from_moments(k) <= m.pair_bound_from_bound(k) + 1e-15,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_worked_example_section_5_1() {
+        // µ1 = 0.01, σ1 = 0.001, 84% confidence (k = 1), p_max = 0.1.
+        // Single bound: 0.011. Eq (11): ≈ 0.00133 (paper: "0.001").
+        // Eq (12): ≈ 0.00365 (paper: "0.004").
+        let k = 1.0_f64;
+        let mu1 = 0.01_f64;
+        let s1 = 0.001_f64;
+        let pm = 0.1_f64;
+        let single = mu1 + k * s1;
+        assert!((single - 0.011).abs() < 1e-15);
+        let eq11 = pm * mu1 + k * beta_factor(pm).unwrap() * s1;
+        assert!((eq11 - 0.001_331_662_5).abs() < 1e-8);
+        let eq12 = beta_factor(pm).unwrap() * single;
+        assert!((eq12 - 0.003_648_287_3).abs() < 1e-8);
+        // The paper reports these as 0.001 and 0.004 after rounding.
+        assert_eq!(format!("{eq11:.3}"), "0.001");
+        assert_eq!(format!("{eq12:.3}"), "0.004");
+    }
+
+    #[test]
+    fn assessor_form_functions() {
+        let b2 = pair_bound_from_single_bound(0.01, 0.01).unwrap();
+        assert!((b2 - 0.001_004_987_6).abs() < 1e-9);
+        assert!(pair_bound_from_single_bound(-1.0, 0.1).is_err());
+        assert!(pair_bound_from_single_bound(0.1, 1.5).is_err());
+
+        let b = pair_bound_from_single_moments(0.01, 0.001, 0.1, 0.99).unwrap();
+        // k(0.99) ≈ 2.3263; bound = 0.001 + 2.3263*0.33166*0.001 ≈ 0.0017716
+        assert!((b - 0.001_771_6).abs() < 1e-6);
+        assert!(pair_bound_from_single_moments(-0.01, 0.001, 0.1, 0.99).is_err());
+        assert!(pair_bound_from_single_moments(0.01, 0.001, 0.1, 1.5).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn lemma4_universal(
+            params in proptest::collection::vec((0.0..=1.0f64, 0.0..0.2f64), 1..20)
+        ) {
+            let (ps, qs): (Vec<f64>, Vec<f64>) = params.iter().copied().unzip();
+            let m = FaultModel::from_params(&ps, &qs).unwrap();
+            prop_assert!(m.mean_pfd_pair() <= m.mean_pair_upper_bound() + 1e-15);
+        }
+
+        #[test]
+        fn lemma9_universal(
+            params in proptest::collection::vec((0.0..=1.0f64, 0.0..0.2f64), 1..20)
+        ) {
+            let (ps, qs): (Vec<f64>, Vec<f64>) = params.iter().copied().unzip();
+            let m = FaultModel::from_params(&ps, &qs).unwrap();
+            prop_assert!(m.std_pfd_pair() <= m.std_pair_upper_bound() + 1e-15);
+        }
+
+        #[test]
+        fn bound_chain_eq11_eq12(
+            params in proptest::collection::vec((0.0..=1.0f64, 0.0..0.2f64), 1..20),
+            k in 0.0..4.0f64
+        ) {
+            let (ps, qs): (Vec<f64>, Vec<f64>) = params.iter().copied().unzip();
+            let m = FaultModel::from_params(&ps, &qs).unwrap();
+            let exact = m.normal_bound_pair(k);
+            let eq11 = m.pair_bound_from_moments(k);
+            let eq12 = m.pair_bound_from_bound(k);
+            prop_assert!(exact <= eq11 + 1e-12);
+            prop_assert!(eq11 <= eq12 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! The bridge to the IEC-style β-factor common-cause model.
+//!
+//! §5.1: "being able to trust such a reduction factor ('β-factor' value)
+//! would already be a practical advantage in many safety assessments."
+//! Industrial practice (IEC 61508 and its kin) models a redundant
+//! channel pair by declaring a fraction `β` of each channel's failure
+//! probability to be *common cause*:
+//!
+//! ```text
+//! PFD_sys ≈ β·PFD_ch + ((1−β)·PFD_ch)²
+//! ```
+//!
+//! with `β` picked from engineering checklists. The fault-creation model
+//! *derives* the quantity those checklists guess at: the fraction of a
+//! channel's mean failure probability that is shared with an
+//! independently developed partner is
+//!
+//! ```text
+//! β_implied = E[Θ₂] / E[Θ₁] = Σpᵢ²qᵢ / Σpᵢqᵢ
+//! ```
+//!
+//! and lemma (4) turns into the assessor-grade guarantee
+//! `β_implied ≤ p_max`. This module computes the implied β, evaluates
+//! the IEC approximation against the model's exact pair PFD, and exposes
+//! the checklist-vs-model comparison the paper invites.
+
+use crate::error::ModelError;
+use crate::fault::FaultModel;
+
+/// The β implied by the fault-creation model: the fraction of a random
+/// version's mean PFD that is common with an independently developed
+/// partner, `E[Θ₂]/E[Θ₁]`.
+///
+/// Lemma (4) guarantees `implied_beta ≤ p_max`.
+///
+/// # Errors
+///
+/// [`ModelError::Degenerate`] when the single-version mean PFD is zero.
+///
+/// ```
+/// use divrel_model::ccf::implied_beta;
+/// use divrel_model::FaultModel;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let m = FaultModel::uniform(10, 0.05, 1e-3)?;
+/// let beta = implied_beta(&m)?;
+/// assert!((beta - 0.05).abs() < 1e-12); // homogeneous p: beta = p
+/// assert!(beta <= m.p_max());
+/// # Ok(())
+/// # }
+/// ```
+pub fn implied_beta(model: &FaultModel) -> Result<f64, ModelError> {
+    let mu1 = model.mean_pfd_single();
+    if mu1 == 0.0 {
+        return Err(ModelError::Degenerate(
+            "implied beta undefined for a process that introduces no failures",
+        ));
+    }
+    Ok(model.mean_pfd_pair() / mu1)
+}
+
+/// The IEC-style β-factor approximation of a 1-out-of-2 system's PFD:
+/// `β·pfd_channel + ((1−β)·pfd_channel)²`.
+///
+/// # Errors
+///
+/// [`ModelError::InvalidProbability`] unless both arguments lie in
+/// `[0, 1]`.
+pub fn iec_system_pfd(pfd_channel: f64, beta: f64) -> Result<f64, ModelError> {
+    for v in [pfd_channel, beta] {
+        if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+            return Err(ModelError::InvalidProbability(v));
+        }
+    }
+    Ok(beta * pfd_channel + ((1.0 - beta) * pfd_channel).powi(2))
+}
+
+/// Comparison of the checklist approach with the model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BetaComparison {
+    /// The model-implied β = µ₂/µ₁.
+    pub implied_beta: f64,
+    /// Lemma (4)'s guaranteed ceiling on it (`p_max`).
+    pub beta_ceiling: f64,
+    /// The model's exact mean pair PFD (`µ₂`).
+    pub exact_pair_pfd: f64,
+    /// What the IEC formula predicts when fed the implied β.
+    pub iec_pair_pfd: f64,
+    /// What the IEC formula predicts with a checklist β.
+    pub checklist_pair_pfd: f64,
+    /// The checklist β used for the last field.
+    pub checklist_beta: f64,
+}
+
+/// Evaluates the IEC β-factor treatment against the fault-creation model.
+///
+/// `checklist_beta` is the value an engineer would pick from tables
+/// (IEC 61508-6 suggests 0.01–0.1 for hardware; software diversity has no
+/// agreed table — the paper's point).
+///
+/// # Errors
+///
+/// Propagates [`implied_beta`] and [`iec_system_pfd`] validation.
+pub fn compare_with_checklist(
+    model: &FaultModel,
+    checklist_beta: f64,
+) -> Result<BetaComparison, ModelError> {
+    let beta = implied_beta(model)?;
+    let mu1 = model.mean_pfd_single();
+    Ok(BetaComparison {
+        implied_beta: beta,
+        beta_ceiling: model.p_max(),
+        exact_pair_pfd: model.mean_pfd_pair(),
+        iec_pair_pfd: iec_system_pfd(mu1, beta)?,
+        checklist_pair_pfd: iec_system_pfd(mu1, checklist_beta)?,
+        checklist_beta,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn homogeneous_model_beta_is_p() {
+        let m = FaultModel::uniform(20, 0.08, 1e-3).expect("valid");
+        assert!((implied_beta(&m).expect("ok") - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_beta_weights_by_mean_contribution() {
+        // beta = Σp²q / Σpq — dominated by the faults that matter.
+        let m = FaultModel::from_params(&[0.5, 0.01], &[0.001, 0.1]).expect("valid");
+        let want = (0.25 * 0.001 + 1e-4 * 0.1) / (0.5 * 0.001 + 0.01 * 0.1);
+        assert!((implied_beta(&m).expect("ok") - want).abs() < 1e-12);
+        // Far below p_max here: the likely fault has a tiny region.
+        assert!(implied_beta(&m).expect("ok") < 0.2);
+    }
+
+    #[test]
+    fn degenerate_model_rejected() {
+        let m = FaultModel::uniform(3, 0.0, 0.1).expect("valid");
+        assert!(implied_beta(&m).is_err());
+    }
+
+    #[test]
+    fn iec_formula_and_validation() {
+        // β = 1 degenerates to the channel PFD; β = 0 to independence.
+        assert!((iec_system_pfd(0.01, 1.0).expect("ok") - 0.01).abs() < 1e-15);
+        assert!((iec_system_pfd(0.01, 0.0).expect("ok") - 1e-4).abs() < 1e-15);
+        assert!(iec_system_pfd(1.5, 0.1).is_err());
+        assert!(iec_system_pfd(0.1, -0.1).is_err());
+    }
+
+    #[test]
+    fn iec_with_implied_beta_tracks_exact_pair_pfd() {
+        let m = FaultModel::from_params(
+            &[0.2, 0.1, 0.05, 0.15],
+            &[0.004, 0.01, 0.02, 0.002],
+        )
+        .expect("valid");
+        let c = compare_with_checklist(&m, 0.05).expect("ok");
+        // β·µ1 IS µ2 by construction; the quadratic term is the only gap.
+        assert!((c.iec_pair_pfd - c.exact_pair_pfd).abs() < (m.mean_pfd_single()).powi(2));
+        assert!(c.implied_beta <= c.beta_ceiling + 1e-15);
+    }
+
+    #[test]
+    fn optimistic_checklist_underestimates() {
+        // A checklist β of 1% against a process whose implied β is ~10%:
+        // the checklist prediction is roughly 10× optimistic — the
+        // paper's warning about intuition-driven diversity credit.
+        let m = FaultModel::uniform(30, 0.1, 1e-3).expect("valid");
+        let c = compare_with_checklist(&m, 0.01).expect("ok");
+        assert!((c.implied_beta - 0.1).abs() < 1e-12);
+        assert!(c.checklist_pair_pfd < c.exact_pair_pfd / 5.0);
+    }
+
+    proptest! {
+        #[test]
+        fn implied_beta_never_exceeds_pmax(
+            params in proptest::collection::vec((0.001..=1.0f64, 0.001..0.1f64), 1..15)
+        ) {
+            let (ps, qs): (Vec<f64>, Vec<f64>) = params.iter().copied().unzip();
+            let m = FaultModel::from_params(&ps, &qs).expect("valid");
+            let beta = implied_beta(&m).expect("non-degenerate");
+            prop_assert!(beta <= m.p_max() + 1e-12);
+            prop_assert!(beta >= 0.0);
+            // And the IEC formula with the implied beta is never below µ2.
+            let iec = iec_system_pfd(m.mean_pfd_single().min(1.0), beta).expect("ok");
+            prop_assert!(iec + 1e-15 >= m.mean_pfd_pair());
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! The full PFD distribution and its normal approximation — paper §5.
+//!
+//! §5 approximates the distribution of `Θ` by a normal with the eq (1)–(3)
+//! moments, to make confidence statements `P(Θ ≤ µ+kσ) = α`. The paper
+//! concedes it "will not know in practice how good an approximation it is".
+//! [`PfdDistribution`] answers that: it carries
+//!
+//! * the **exact** distribution (subset enumeration or rigorous lattice),
+//! * the **normal approximation** with the analytic moments, and
+//! * two quality certificates — the a-priori **Berry–Esseen bound** and the
+//!   a-posteriori **Kolmogorov–Smirnov distance** between the two.
+
+use crate::error::ModelError;
+use crate::fault::FaultModel;
+use divrel_numerics::berry_esseen::bernoulli_sum_bound;
+use divrel_numerics::ks::sup_distance_to_cdf;
+use divrel_numerics::normal::Normal;
+use divrel_numerics::weighted_sum::WeightedBernoulliSum;
+
+/// The distribution of the PFD of a `k`-version system under the
+/// fault-creation model.
+///
+/// ```
+/// use divrel_model::{distribution::PfdDistribution, FaultModel};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = FaultModel::uniform(12, 0.2, 0.005)?;
+/// let single = PfdDistribution::single(&model)?;
+/// let pair = PfdDistribution::pair(&model)?;
+///
+/// // 99% confidence bounds, exact (no CLT needed):
+/// let b1 = single.exact_bound(0.99)?;
+/// let b2 = pair.exact_bound(0.99)?;
+/// assert!(b2 <= b1);
+///
+/// // How trustworthy would §5's normal reasoning be here?
+/// let cert = single.berry_esseen_bound().unwrap();
+/// assert!(cert > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PfdDistribution {
+    k: u32,
+    exact: WeightedBernoulliSum,
+    approx: Option<Normal>,
+    berry_esseen: Option<f64>,
+}
+
+impl PfdDistribution {
+    /// Builds the distribution for a system requiring a common fault across
+    /// `k` independently developed versions (`k = 1`: single version;
+    /// `k = 2`: the paper's 1-out-of-2 pair).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Degenerate`] for `k == 0`; numerical construction
+    /// errors otherwise.
+    pub fn new(model: &FaultModel, k: u32) -> Result<Self, ModelError> {
+        if k == 0 {
+            return Err(ModelError::Degenerate("PFD distribution for k = 0 versions"));
+        }
+        let terms = model.terms(k);
+        let exact = WeightedBernoulliSum::auto(&terms)?;
+        let mu = model.mean_pfd(k);
+        let var = model.var_pfd(k);
+        let approx = if var > 0.0 {
+            Some(Normal::new(mu, var.sqrt())?)
+        } else {
+            None
+        };
+        let berry_esseen = bernoulli_sum_bound(&terms).ok();
+        Ok(PfdDistribution {
+            k,
+            exact,
+            approx,
+            berry_esseen,
+        })
+    }
+
+    /// Distribution of `Θ₁` (single version).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::new`].
+    pub fn single(model: &FaultModel) -> Result<Self, ModelError> {
+        Self::new(model, 1)
+    }
+
+    /// Distribution of `Θ₂` (1-out-of-2 pair).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::new`].
+    pub fn pair(model: &FaultModel) -> Result<Self, ModelError> {
+        Self::new(model, 2)
+    }
+
+    /// Number of versions `k` the distribution refers to.
+    pub fn versions(&self) -> u32 {
+        self.k
+    }
+
+    /// The exact distribution of the PFD.
+    pub fn exact(&self) -> &WeightedBernoulliSum {
+        &self.exact
+    }
+
+    /// The §5 normal approximation, if defined (`None` when the PFD has
+    /// zero variance, e.g. every `pᵢ ∈ {0, 1}`).
+    pub fn normal_approximation(&self) -> Option<Normal> {
+        self.approx
+    }
+
+    /// A-priori Berry–Esseen certificate: an upper bound on the sup-norm
+    /// distance between the standardised exact law and the standard
+    /// normal. `None` when the PFD is deterministic.
+    pub fn berry_esseen_bound(&self) -> Option<f64> {
+        self.berry_esseen
+    }
+
+    /// A-posteriori quality: the actual sup-distance between the exact CDF
+    /// and the normal approximation's CDF. `None` when there is no
+    /// approximation.
+    pub fn ks_distance_to_normal(&self) -> Option<f64> {
+        self.approx
+            .map(|n| sup_distance_to_cdf(&self.exact, |x| n.cdf(x)))
+    }
+
+    /// Exact one-sided confidence bound: the smallest PFD value `b` with
+    /// `P(Θ ≤ b) ≥ confidence`. No normal approximation involved.
+    ///
+    /// # Errors
+    ///
+    /// Numerical domain errors for `confidence ∉ (0, 1]`.
+    pub fn exact_bound(&self, confidence: f64) -> Result<f64, ModelError> {
+        Ok(self.exact.quantile(confidence)?)
+    }
+
+    /// §5 bound under the normal approximation: `µ + kσ` with
+    /// `k = Φ⁻¹(confidence)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Degenerate`] when no approximation exists; numerical
+    /// errors for `confidence ∉ (0, 1)`.
+    pub fn normal_bound(&self, confidence: f64) -> Result<f64, ModelError> {
+        let n = self.approx.ok_or(ModelError::Degenerate(
+            "normal approximation undefined for zero-variance PFD",
+        ))?;
+        Ok(n.quantile(confidence)?)
+    }
+
+    /// `P(Θ ≤ x)` under the exact law.
+    pub fn cdf(&self, x: f64) -> f64 {
+        self.exact.cdf(x)
+    }
+
+    /// `P(Θ = 0)` — the probability of a fault-free (or common-fault-free)
+    /// system; connects §5 back to §4.
+    pub fn prob_zero_pfd(&self) -> f64 {
+        self.exact.mass_at_zero()
+    }
+
+    /// Mean of the exact distribution (equals eq (1) up to lattice error).
+    pub fn mean(&self) -> f64 {
+        self.exact.mean()
+    }
+
+    /// Standard deviation of the exact distribution (equals eq (2)–(3) up
+    /// to lattice error).
+    pub fn std_dev(&self) -> f64 {
+        self.exact.std_dev()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> FaultModel {
+        FaultModel::from_params(
+            &[0.3, 0.2, 0.15, 0.1, 0.25, 0.05],
+            &[0.004, 0.01, 0.002, 0.02, 0.006, 0.03],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = PfdDistribution::pair(&model()).unwrap();
+        assert_eq!(d.versions(), 2);
+        assert!(d.normal_approximation().is_some());
+        assert!(d.berry_esseen_bound().is_some());
+        assert!(PfdDistribution::new(&model(), 0).is_err());
+    }
+
+    #[test]
+    fn exact_moments_match_analytic() {
+        let m = model();
+        let d1 = PfdDistribution::single(&m).unwrap();
+        assert!((d1.mean() - m.mean_pfd_single()).abs() < 1e-14);
+        assert!((d1.std_dev() - m.std_pfd_single()).abs() < 1e-14);
+        let d2 = PfdDistribution::pair(&m).unwrap();
+        assert!((d2.mean() - m.mean_pfd_pair()).abs() < 1e-14);
+        assert!((d2.std_dev() - m.std_pfd_pair()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn prob_zero_matches_fault_free_section4() {
+        let m = model();
+        let d1 = PfdDistribution::single(&m).unwrap();
+        assert!((d1.prob_zero_pfd() - m.prob_fault_free_single()).abs() < 1e-13);
+        let d2 = PfdDistribution::pair(&m).unwrap();
+        assert!((d2.prob_zero_pfd() - m.prob_fault_free_pair()).abs() < 1e-13);
+    }
+
+    #[test]
+    fn exact_bounds_are_monotone_in_confidence() {
+        let d = PfdDistribution::single(&model()).unwrap();
+        let mut prev = 0.0;
+        for c in [0.5, 0.9, 0.99, 0.999] {
+            let b = d.exact_bound(c).unwrap();
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn pair_bound_not_worse_than_single() {
+        let m = model();
+        let d1 = PfdDistribution::single(&m).unwrap();
+        let d2 = PfdDistribution::pair(&m).unwrap();
+        for c in [0.9, 0.99, 0.999] {
+            assert!(d2.exact_bound(c).unwrap() <= d1.exact_bound(c).unwrap());
+        }
+    }
+
+    #[test]
+    fn ks_distance_dominated_by_berry_esseen() {
+        let d = PfdDistribution::single(&model()).unwrap();
+        let ks = d.ks_distance_to_normal().unwrap();
+        let be = d.berry_esseen_bound().unwrap();
+        assert!(ks <= be + 1e-12, "KS {ks} exceeds BE certificate {be}");
+    }
+
+    #[test]
+    fn zero_variance_model_has_no_approximation() {
+        let m = FaultModel::from_params(&[1.0, 0.0], &[0.01, 0.02]).unwrap();
+        let d = PfdDistribution::single(&m).unwrap();
+        assert!(d.normal_approximation().is_none());
+        assert!(d.berry_esseen_bound().is_none());
+        assert!(d.ks_distance_to_normal().is_none());
+        assert!(d.normal_bound(0.99).is_err());
+        // Exact bound still works: the PFD is deterministically 0.01.
+        assert!((d.exact_bound(0.99).unwrap() - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normal_bound_approaches_exact_for_many_faults() {
+        // 18 identical moderate faults: CLT is decent; bounds should agree
+        // within a few lattice/CLT epsilons.
+        let m = FaultModel::uniform(18, 0.4, 0.01).unwrap();
+        let d = PfdDistribution::single(&m).unwrap();
+        let e = d.exact_bound(0.99).unwrap();
+        let n = d.normal_bound(0.99).unwrap();
+        assert!(
+            (e - n).abs() / e < 0.15,
+            "exact {e} vs normal {n}: CLT too far off"
+        );
+    }
+
+    #[test]
+    fn large_model_uses_lattice_and_stays_consistent() {
+        let m = FaultModel::uniform(200, 0.1, 0.001).unwrap();
+        let d = PfdDistribution::pair(&m).unwrap();
+        // Lattice mean within rigorous error bound of analytic mean.
+        let err = d.exact().value_error_bound();
+        assert!((d.mean() - m.mean_pfd_pair()).abs() <= err + 1e-12);
+        assert!(d.cdf(1.0) > 0.999_999);
+    }
+}

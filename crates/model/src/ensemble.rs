@@ -1,0 +1,271 @@
+//! Epistemic uncertainty over the model parameters themselves.
+//!
+//! §6.3: "assessors will derive beliefs about these parameters from their
+//! own experience of faults found, or mistakes detected, in circumstances
+//! considered similar" — i.e. the `(pᵢ, qᵢ)` vector is itself uncertain.
+//! A [`ModelEnsemble`] represents that belief as a weighted mixture of
+//! candidate fault models and propagates it correctly:
+//!
+//! * predictive mean PFD is the weighted mean of the members' means;
+//! * predictive *variance* adds the between-model spread to the
+//!   within-model variance (law of total variance) — the part a naive
+//!   single-model analysis silently drops;
+//! * fault-free probabilities and risk ratios mix linearly in probability
+//!   (not in ratio!), which is why the ensemble's risk ratio is *not* the
+//!   weighted mean of the members' ratios.
+
+use crate::error::ModelError;
+use crate::fault::FaultModel;
+use std::fmt;
+
+/// A weighted mixture of candidate fault models representing assessor
+/// uncertainty about the development process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelEnsemble {
+    members: Vec<(f64, FaultModel)>,
+}
+
+impl ModelEnsemble {
+    /// Creates an ensemble from `(weight, model)` pairs; weights are
+    /// normalised internally.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::EmptyModel`] for an empty ensemble;
+    /// [`ModelError::InvalidProbability`] for negative/non-finite weights
+    /// or an all-zero weight vector.
+    pub fn new(members: Vec<(f64, FaultModel)>) -> Result<Self, ModelError> {
+        if members.is_empty() {
+            return Err(ModelError::EmptyModel);
+        }
+        let mut total = 0.0;
+        for (w, _) in &members {
+            if !w.is_finite() || *w < 0.0 {
+                return Err(ModelError::InvalidProbability(*w));
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(ModelError::InvalidProbability(0.0));
+        }
+        Ok(ModelEnsemble {
+            members: members
+                .into_iter()
+                .map(|(w, m)| (w / total, m))
+                .collect(),
+        })
+    }
+
+    /// Equal-weight ensemble.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::EmptyModel`] for empty input.
+    pub fn uniform(models: Vec<FaultModel>) -> Result<Self, ModelError> {
+        let n = models.len();
+        ModelEnsemble::new(models.into_iter().map(|m| (1.0 / n as f64, m)).collect())
+    }
+
+    /// The normalised `(weight, model)` members.
+    pub fn members(&self) -> &[(f64, FaultModel)] {
+        &self.members
+    }
+
+    /// Number of candidate models.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ensemble is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Predictive mean PFD of a `k`-version system:
+    /// `Σ wⱼ E[Θₖ | modelⱼ]`.
+    pub fn mean_pfd(&self, k: u32) -> f64 {
+        self.members.iter().map(|(w, m)| w * m.mean_pfd(k)).sum()
+    }
+
+    /// Predictive variance by the law of total variance:
+    /// `E[Var(Θₖ|M)] + Var(E[Θₖ|M])`.
+    pub fn var_pfd(&self, k: u32) -> f64 {
+        let mixture_mean = self.mean_pfd(k);
+        let within: f64 = self.members.iter().map(|(w, m)| w * m.var_pfd(k)).sum();
+        let between: f64 = self
+            .members
+            .iter()
+            .map(|(w, m)| {
+                let d = m.mean_pfd(k) - mixture_mean;
+                w * d * d
+            })
+            .sum();
+        within + between
+    }
+
+    /// The between-model component of [`Self::var_pfd`] — the epistemic
+    /// part a single-model analysis drops.
+    pub fn epistemic_var_pfd(&self, k: u32) -> f64 {
+        let mixture_mean = self.mean_pfd(k);
+        self.members
+            .iter()
+            .map(|(w, m)| {
+                let d = m.mean_pfd(k) - mixture_mean;
+                w * d * d
+            })
+            .sum()
+    }
+
+    /// Predictive probability that a `k`-version system has no (common)
+    /// fault: mixes linearly in probability.
+    pub fn prob_fault_free(&self, k: u32) -> f64 {
+        self.members
+            .iter()
+            .map(|(w, m)| w * m.prob_fault_free(k))
+            .sum()
+    }
+
+    /// Predictive eq (10) risk ratio: the ratio of the *mixed* risks
+    /// `P(N₂>0)/P(N₁>0)` — **not** the weighted mean of the members'
+    /// ratios, which would be wrong (ratios do not mix linearly).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Degenerate`] if no member can introduce a fault.
+    pub fn risk_ratio(&self) -> Result<f64, ModelError> {
+        let risk1: f64 = self
+            .members
+            .iter()
+            .map(|(w, m)| w * m.risk_any_fault_single())
+            .sum();
+        if risk1 == 0.0 {
+            return Err(ModelError::Degenerate(
+                "risk ratio undefined when no member introduces faults",
+            ));
+        }
+        let risk2: f64 = self
+            .members
+            .iter()
+            .map(|(w, m)| w * m.risk_any_fault_pair())
+            .sum();
+        Ok(risk2 / risk1)
+    }
+
+    /// The worst (largest) `p_max` across members — the conservative value
+    /// an assessor should feed into the §5.1 bounds when unsure which
+    /// member describes reality.
+    pub fn p_max_worst_case(&self) -> f64 {
+        self.members
+            .iter()
+            .map(|(_, m)| m.p_max())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for ModelEnsemble {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ModelEnsemble({} members, E[PFD1]={:.3e})",
+            self.len(),
+            self.mean_pfd(1)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimist() -> FaultModel {
+        FaultModel::uniform(10, 0.02, 1e-3).expect("valid")
+    }
+
+    fn pessimist() -> FaultModel {
+        FaultModel::uniform(10, 0.2, 1e-3).expect("valid")
+    }
+
+    #[test]
+    fn construction_and_normalisation() {
+        let e = ModelEnsemble::new(vec![(2.0, optimist()), (6.0, pessimist())]).unwrap();
+        assert_eq!(e.len(), 2);
+        assert!((e.members()[0].0 - 0.25).abs() < 1e-15);
+        assert!((e.members()[1].0 - 0.75).abs() < 1e-15);
+        assert!(ModelEnsemble::new(vec![]).is_err());
+        assert!(ModelEnsemble::new(vec![(-1.0, optimist())]).is_err());
+        assert!(ModelEnsemble::new(vec![(0.0, optimist())]).is_err());
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn degenerate_single_member_matches_model() {
+        let m = pessimist();
+        let e = ModelEnsemble::uniform(vec![m.clone()]).unwrap();
+        for k in 1..=3u32 {
+            assert!((e.mean_pfd(k) - m.mean_pfd(k)).abs() < 1e-15);
+            assert!((e.var_pfd(k) - m.var_pfd(k)).abs() < 1e-15);
+            assert!((e.prob_fault_free(k) - m.prob_fault_free(k)).abs() < 1e-15);
+        }
+        assert_eq!(e.epistemic_var_pfd(1), 0.0);
+        assert!(
+            (e.risk_ratio().unwrap() - m.risk_ratio().unwrap()).abs() < 1e-15
+        );
+    }
+
+    #[test]
+    fn predictive_mean_interpolates() {
+        let e = ModelEnsemble::uniform(vec![optimist(), pessimist()]).unwrap();
+        let mean = e.mean_pfd(1);
+        assert!(mean > optimist().mean_pfd_single());
+        assert!(mean < pessimist().mean_pfd_single());
+        assert!(
+            (mean - 0.5 * (optimist().mean_pfd_single() + pessimist().mean_pfd_single())).abs()
+                < 1e-15
+        );
+    }
+
+    #[test]
+    fn total_variance_exceeds_average_within_variance() {
+        let e = ModelEnsemble::uniform(vec![optimist(), pessimist()]).unwrap();
+        let within =
+            0.5 * (optimist().var_pfd_single() + pessimist().var_pfd_single());
+        assert!(e.var_pfd(1) > within);
+        assert!((e.var_pfd(1) - within - e.epistemic_var_pfd(1)).abs() < 1e-18);
+        assert!(e.epistemic_var_pfd(1) > 0.0);
+    }
+
+    #[test]
+    fn risk_ratio_is_not_the_mean_of_ratios() {
+        let e = ModelEnsemble::uniform(vec![optimist(), pessimist()]).unwrap();
+        let mixed = e.risk_ratio().unwrap();
+        let mean_of_ratios = 0.5
+            * (optimist().risk_ratio().unwrap() + pessimist().risk_ratio().unwrap());
+        assert!(
+            (mixed - mean_of_ratios).abs() > 1e-3,
+            "mixing in ratio space would have been wrong: {mixed} vs {mean_of_ratios}"
+        );
+        // The mixed ratio is dominated by the pessimist (who contributes
+        // almost all the fault risk).
+        assert!(mixed > mean_of_ratios);
+        assert!(mixed <= 1.0);
+    }
+
+    #[test]
+    fn worst_case_pmax() {
+        let e = ModelEnsemble::uniform(vec![optimist(), pessimist()]).unwrap();
+        assert!((e.p_max_worst_case() - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn risk_ratio_degenerate() {
+        let zero = FaultModel::uniform(2, 0.0, 0.1).expect("valid");
+        let e = ModelEnsemble::uniform(vec![zero]).unwrap();
+        assert!(e.risk_ratio().is_err());
+    }
+
+    #[test]
+    fn display_summarises() {
+        let e = ModelEnsemble::uniform(vec![optimist()]).unwrap();
+        assert!(e.to_string().contains("1 members"));
+    }
+}

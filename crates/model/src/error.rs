@@ -1,0 +1,88 @@
+//! Error type for the model crate.
+
+use divrel_numerics::NumericsError;
+use std::fmt;
+
+/// Errors produced when constructing or analysing fault models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A value that must be a probability was outside `[0, 1]`.
+    InvalidProbability(f64),
+    /// A fault model must contain at least one potential fault.
+    EmptyModel,
+    /// The sum of failure-region probabilities exceeded 1 while the builder
+    /// was asked to enforce the paper's non-overlap budget (§6.2 notes
+    /// `Σqᵢ ≤ 1` is implied by non-overlapping regions).
+    QBudgetExceeded {
+        /// The offending total `Σ qᵢ`.
+        total: f64,
+    },
+    /// The requested quantity is undefined for this model (e.g. a risk
+    /// ratio when every `pᵢ` is zero).
+    Degenerate(&'static str),
+    /// An underlying numerical routine failed.
+    Numerics(NumericsError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidProbability(p) => {
+                write!(f, "probability must lie in [0, 1], got {p}")
+            }
+            ModelError::EmptyModel => write!(f, "fault model must contain at least one fault"),
+            ModelError::QBudgetExceeded { total } => write!(
+                f,
+                "failure-region probabilities sum to {total} > 1, violating the non-overlap budget"
+            ),
+            ModelError::Degenerate(what) => write!(f, "undefined for this model: {what}"),
+            ModelError::Numerics(e) => write!(f, "numerical error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericsError> for ModelError {
+    fn from(e: NumericsError) -> Self {
+        ModelError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ModelError::InvalidProbability(1.5).to_string().contains("1.5"));
+        assert!(ModelError::EmptyModel.to_string().contains("at least one"));
+        assert!(ModelError::QBudgetExceeded { total: 1.2 }
+            .to_string()
+            .contains("1.2"));
+        assert!(ModelError::Degenerate("risk ratio").to_string().contains("risk ratio"));
+        let inner = NumericsError::EmptyData("x");
+        assert!(ModelError::from(inner).to_string().contains("numerical"));
+    }
+
+    #[test]
+    fn source_chains_numerics_errors() {
+        use std::error::Error;
+        let e = ModelError::Numerics(NumericsError::EmptyData("x"));
+        assert!(e.source().is_some());
+        assert!(ModelError::EmptyModel.source().is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_bounds<E: std::error::Error + Send + Sync>() {}
+        assert_bounds::<ModelError>();
+    }
+}

@@ -1,0 +1,508 @@
+//! Potential faults and fault models (paper §2.2).
+//!
+//! A [`PotentialFault`] is one of the mistakes "the whole development
+//! process" may make: it carries the probability `p` of surviving into a
+//! delivered version and the probability `q` that an operational demand
+//! lands in its failure region. A [`FaultModel`] is the fixed universe
+//! `{F₁ … Fₙ}` of such faults for one application.
+
+use crate::error::ModelError;
+use crate::probability::Probability;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One potential fault `Fᵢ`: a (mistake → failure region) pair.
+///
+/// * `p` — probability that the mistake is made *and* survives inspection,
+///   testing and debugging into the delivered version (§2.2: a mistake "of
+///   the whole development process").
+/// * `q` — probability that a demand drawn from the operational profile
+///   falls in the fault's failure region (its contribution to the PFD).
+///
+/// ```
+/// use divrel_model::PotentialFault;
+/// let f = PotentialFault::new(0.1, 1e-4)?;
+/// assert_eq!(f.p(), 0.1);
+/// assert_eq!(f.q(), 1e-4);
+/// # Ok::<(), divrel_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PotentialFault {
+    p: Probability,
+    q: Probability,
+}
+
+impl PotentialFault {
+    /// Creates a potential fault from raw probabilities.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidProbability`] if either argument lies outside
+    /// `[0, 1]`.
+    pub fn new(p: f64, q: f64) -> Result<Self, ModelError> {
+        Ok(PotentialFault {
+            p: Probability::new(p)?,
+            q: Probability::new(q)?,
+        })
+    }
+
+    /// Creates a potential fault from validated probabilities.
+    pub fn from_probabilities(p: Probability, q: Probability) -> Self {
+        PotentialFault { p, q }
+    }
+
+    /// Probability the fault is present in a randomly developed version.
+    pub fn p(&self) -> f64 {
+        self.p.value()
+    }
+
+    /// Probability a random demand hits the fault's failure region.
+    pub fn q(&self) -> f64 {
+        self.q.value()
+    }
+
+    /// Probability the fault is common to all of `k` independently
+    /// developed versions: `p^k`.
+    pub fn p_common(&self, k: u32) -> f64 {
+        self.p.powi(k).value()
+    }
+
+    /// This fault's contribution to the mean PFD of a `k`-version system:
+    /// `p^k · q` (eq 1 with `k = 1, 2`).
+    pub fn mean_contribution(&self, k: u32) -> f64 {
+        self.p_common(k) * self.q()
+    }
+
+    /// This fault's contribution to the PFD *variance* of a `k`-version
+    /// system: `p^k (1 − p^k) q²` (eq 2).
+    pub fn variance_contribution(&self, k: u32) -> f64 {
+        let pk = self.p_common(k);
+        pk * (1.0 - pk) * self.q() * self.q()
+    }
+}
+
+impl fmt::Display for PotentialFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault(p={}, q={})", self.p, self.q)
+    }
+}
+
+/// The fixed universe of potential faults `{F₁, …, Fₙ}` for an application
+/// developed under a given process (paper §2.2).
+///
+/// Invariants enforced at construction:
+/// * at least one fault,
+/// * all parameters in `[0, 1]` (via [`PotentialFault`]).
+///
+/// The paper's non-overlapping-failure-region assumption additionally
+/// implies `Σ qᵢ ≤ 1`; that check is optional (see
+/// [`FaultModelBuilder::enforce_q_budget`]) because §6.2 explicitly
+/// discusses operating the model outside it as a pessimistic approximation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultModel {
+    faults: Vec<PotentialFault>,
+}
+
+impl FaultModel {
+    /// Creates a model from a non-empty list of faults.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::EmptyModel`] if `faults` is empty.
+    pub fn new(faults: Vec<PotentialFault>) -> Result<Self, ModelError> {
+        if faults.is_empty() {
+            return Err(ModelError::EmptyModel);
+        }
+        Ok(FaultModel { faults })
+    }
+
+    /// Creates a model from parallel slices of `p` and `q` values.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::EmptyModel`] for empty input,
+    /// [`ModelError::InvalidProbability`] for out-of-range values, and
+    /// [`ModelError::Degenerate`] if the slices have different lengths.
+    pub fn from_params(ps: &[f64], qs: &[f64]) -> Result<Self, ModelError> {
+        if ps.len() != qs.len() {
+            return Err(ModelError::Degenerate("p and q slices differ in length"));
+        }
+        let faults = ps
+            .iter()
+            .zip(qs)
+            .map(|(&p, &q)| PotentialFault::new(p, q))
+            .collect::<Result<Vec<_>, _>>()?;
+        FaultModel::new(faults)
+    }
+
+    /// A model of `n` identical faults — the simplest parametric family,
+    /// used throughout the paper's qualitative arguments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates probability validation; `n == 0` yields
+    /// [`ModelError::EmptyModel`].
+    pub fn uniform(n: usize, p: f64, q: f64) -> Result<Self, ModelError> {
+        let fault = PotentialFault::new(p, q)?;
+        FaultModel::new(vec![fault; n])
+    }
+
+    /// A geometric family: fault `i` has `p = p0·rp^i`, `q = q0·rq^i`
+    /// (clamped to 1). Models a process whose faults range from likely to
+    /// rare and from large to small failure regions — the "very many
+    /// possible faults, many with small qᵢ" regime of §5.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::EmptyModel`] for `n == 0`;
+    /// [`ModelError::InvalidProbability`] if `p0`, `q0`, or the ratios are
+    /// negative, or if a computed parameter exceeds 1.
+    pub fn geometric(
+        n: usize,
+        p0: f64,
+        p_ratio: f64,
+        q0: f64,
+        q_ratio: f64,
+    ) -> Result<Self, ModelError> {
+        if p_ratio < 0.0 || !p_ratio.is_finite() {
+            return Err(ModelError::InvalidProbability(p_ratio));
+        }
+        if q_ratio < 0.0 || !q_ratio.is_finite() {
+            return Err(ModelError::InvalidProbability(q_ratio));
+        }
+        let mut faults = Vec::with_capacity(n);
+        let mut p = p0;
+        let mut q = q0;
+        for _ in 0..n {
+            faults.push(PotentialFault::new(p, q)?);
+            p *= p_ratio;
+            q *= q_ratio;
+        }
+        FaultModel::new(faults)
+    }
+
+    /// A bimodal "few large, many small" family: `n_large` faults with
+    /// `(p_large, q_large)` and `n_small` faults with `(p_small, q_small)`.
+    /// This is the structure §6.1 suggests for approximating positively
+    /// correlated mistakes (merge them into fewer, larger faults).
+    ///
+    /// # Errors
+    ///
+    /// Propagates probability validation; an entirely empty model yields
+    /// [`ModelError::EmptyModel`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn bimodal(
+        n_large: usize,
+        p_large: f64,
+        q_large: f64,
+        n_small: usize,
+        p_small: f64,
+        q_small: f64,
+    ) -> Result<Self, ModelError> {
+        let large = PotentialFault::new(p_large, q_large)?;
+        let small = PotentialFault::new(p_small, q_small)?;
+        let mut faults = vec![large; n_large];
+        faults.extend(std::iter::repeat_n(small, n_small));
+        FaultModel::new(faults)
+    }
+
+    /// Starts a builder for incremental construction.
+    pub fn builder() -> FaultModelBuilder {
+        FaultModelBuilder::new()
+    }
+
+    /// The faults in the model.
+    pub fn faults(&self) -> &[PotentialFault] {
+        &self.faults
+    }
+
+    /// Number of potential faults `n`.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the model is empty (never true for a constructed model).
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Iterator over `pᵢ` values.
+    pub fn p_values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.faults.iter().map(|f| f.p())
+    }
+
+    /// Iterator over `qᵢ` values.
+    pub fn q_values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.faults.iter().map(|f| f.q())
+    }
+
+    /// `p_max = max{p₁, …, pₙ}` — the linchpin of the paper's
+    /// assessor-grade bounds (§3.1.1).
+    pub fn p_max(&self) -> f64 {
+        self.p_values().fold(0.0, f64::max)
+    }
+
+    /// `Σ qᵢ` — under the non-overlap assumption this cannot exceed 1.
+    pub fn total_q(&self) -> f64 {
+        self.q_values().sum()
+    }
+
+    /// Whether the model respects the non-overlap budget `Σ qᵢ ≤ 1`.
+    pub fn respects_q_budget(&self) -> bool {
+        self.total_q() <= 1.0 + 1e-12
+    }
+
+    /// `(p^k, q)` pairs for a `k`-version system — the Bernoulli terms of
+    /// the PFD sum handed to the numerics layer.
+    pub fn terms(&self, k: u32) -> Vec<(f64, f64)> {
+        self.faults.iter().map(|f| (f.p_common(k), f.q())).collect()
+    }
+
+    /// Returns a model with every `pᵢ` multiplied by `scale` — the
+    /// proportional process-improvement family of §4.2.2 (`pᵢ = k·bᵢ`).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidProbability`] if a scaled value leaves `[0, 1]`.
+    pub fn scale_p(&self, scale: f64) -> Result<FaultModel, ModelError> {
+        let faults = self
+            .faults
+            .iter()
+            .map(|f| PotentialFault::new(f.p() * scale, f.q()))
+            .collect::<Result<Vec<_>, _>>()?;
+        FaultModel::new(faults)
+    }
+
+    /// Returns a model with fault `index`'s `p` replaced — the single-fault
+    /// process-improvement move of §4.2.1.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Degenerate`] for an out-of-range index;
+    /// [`ModelError::InvalidProbability`] for an out-of-range value.
+    pub fn with_p(&self, index: usize, new_p: f64) -> Result<FaultModel, ModelError> {
+        if index >= self.faults.len() {
+            return Err(ModelError::Degenerate("fault index out of range"));
+        }
+        let mut faults = self.faults.clone();
+        faults[index] = PotentialFault::new(new_p, faults[index].q())?;
+        FaultModel::new(faults)
+    }
+}
+
+impl fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FaultModel(n={}, p_max={:.4}, Σq={:.4})",
+            self.len(),
+            self.p_max(),
+            self.total_q()
+        )
+    }
+}
+
+/// Incremental builder for [`FaultModel`] (C-BUILDER).
+///
+/// ```
+/// use divrel_model::FaultModel;
+///
+/// let model = FaultModel::builder()
+///     .fault(0.1, 1e-3)
+///     .fault(0.05, 2e-3)
+///     .enforce_q_budget(true)
+///     .build()?;
+/// assert_eq!(model.len(), 2);
+/// # Ok::<(), divrel_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultModelBuilder {
+    faults: Vec<(f64, f64)>,
+    enforce_q_budget: bool,
+}
+
+impl FaultModelBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        FaultModelBuilder::default()
+    }
+
+    /// Adds a fault with introduction probability `p` and failure-region
+    /// probability `q`. Validation happens at [`Self::build`].
+    pub fn fault(&mut self, p: f64, q: f64) -> &mut Self {
+        self.faults.push((p, q));
+        self
+    }
+
+    /// Adds `count` identical faults.
+    pub fn faults(&mut self, count: usize, p: f64, q: f64) -> &mut Self {
+        self.faults.extend(std::iter::repeat_n((p, q), count));
+        self
+    }
+
+    /// If set, `build` rejects models whose `Σ qᵢ` exceeds 1 (the paper's
+    /// non-overlap budget, §6.2). Off by default, matching the paper's own
+    /// willingness to use the model pessimistically outside the budget.
+    pub fn enforce_q_budget(&mut self, enforce: bool) -> &mut Self {
+        self.enforce_q_budget = enforce;
+        self
+    }
+
+    /// Validates and constructs the model.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::EmptyModel`], [`ModelError::InvalidProbability`], or
+    /// [`ModelError::QBudgetExceeded`] when enforcement is enabled.
+    pub fn build(&self) -> Result<FaultModel, ModelError> {
+        let faults = self
+            .faults
+            .iter()
+            .map(|&(p, q)| PotentialFault::new(p, q))
+            .collect::<Result<Vec<_>, _>>()?;
+        let model = FaultModel::new(faults)?;
+        if self.enforce_q_budget && !model.respects_q_budget() {
+            return Err(ModelError::QBudgetExceeded {
+                total: model.total_q(),
+            });
+        }
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn potential_fault_contributions() {
+        let f = PotentialFault::new(0.1, 0.01).unwrap();
+        assert!((f.p_common(1) - 0.1).abs() < 1e-15);
+        assert!((f.p_common(2) - 0.01).abs() < 1e-15);
+        assert!((f.mean_contribution(1) - 0.001).abs() < 1e-15);
+        assert!((f.mean_contribution(2) - 1e-4).abs() < 1e-18);
+        assert!((f.variance_contribution(1) - 0.1 * 0.9 * 1e-4).abs() < 1e-18);
+        assert!((f.variance_contribution(2) - 0.01 * 0.99 * 1e-4).abs() < 1e-18);
+    }
+
+    #[test]
+    fn fault_rejects_invalid_probabilities() {
+        assert!(PotentialFault::new(-0.1, 0.5).is_err());
+        assert!(PotentialFault::new(0.5, 1.5).is_err());
+        assert!(PotentialFault::new(f64::NAN, 0.5).is_err());
+    }
+
+    #[test]
+    fn model_requires_at_least_one_fault() {
+        assert_eq!(FaultModel::new(vec![]).unwrap_err(), ModelError::EmptyModel);
+        assert!(FaultModel::uniform(0, 0.1, 0.1).is_err());
+    }
+
+    #[test]
+    fn from_params_checks_lengths() {
+        assert!(FaultModel::from_params(&[0.1, 0.2], &[0.01]).is_err());
+        let m = FaultModel::from_params(&[0.1, 0.2], &[0.01, 0.02]).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!((m.p_max() - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn uniform_family() {
+        let m = FaultModel::uniform(5, 0.1, 0.02).unwrap();
+        assert_eq!(m.len(), 5);
+        assert!((m.total_q() - 0.1).abs() < 1e-15);
+        assert!(m.respects_q_budget());
+        assert!((m.p_max() - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn geometric_family() {
+        let m = FaultModel::geometric(4, 0.4, 0.5, 0.1, 0.1).unwrap();
+        let ps: Vec<f64> = m.p_values().collect();
+        assert!((ps[0] - 0.4).abs() < 1e-15);
+        assert!((ps[3] - 0.05).abs() < 1e-15);
+        let qs: Vec<f64> = m.q_values().collect();
+        assert!((qs[3] - 1e-4).abs() < 1e-15);
+        assert!(FaultModel::geometric(3, 0.4, 2.0, 0.1, 1.0).is_err()); // p grows past 1? 0.4,0.8,1.6 -> error
+        assert!(FaultModel::geometric(3, 0.4, -1.0, 0.1, 1.0).is_err());
+    }
+
+    #[test]
+    fn bimodal_family() {
+        let m = FaultModel::bimodal(2, 0.3, 0.05, 10, 0.01, 0.001).unwrap();
+        assert_eq!(m.len(), 12);
+        assert!((m.p_max() - 0.3).abs() < 1e-15);
+        assert!((m.total_q() - (2.0 * 0.05 + 10.0 * 0.001)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_full_flow() {
+        let m = FaultModel::builder()
+            .fault(0.2, 0.3)
+            .faults(3, 0.1, 0.1)
+            .build()
+            .unwrap();
+        assert_eq!(m.len(), 4);
+        assert!((m.total_q() - 0.6).abs() < 1e-12);
+
+        // Budget enforcement rejects Σq > 1.
+        let err = FaultModel::builder()
+            .fault(0.2, 0.7)
+            .fault(0.2, 0.7)
+            .enforce_q_budget(true)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::QBudgetExceeded { .. }));
+
+        // Same model passes without enforcement (paper §6.2 pessimism).
+        assert!(FaultModel::builder()
+            .fault(0.2, 0.7)
+            .fault(0.2, 0.7)
+            .build()
+            .is_ok());
+
+        assert!(FaultModelBuilder::new().build().is_err());
+    }
+
+    #[test]
+    fn terms_expose_k_version_parameters() {
+        let m = FaultModel::from_params(&[0.5, 0.1], &[0.01, 0.02]).unwrap();
+        let t1 = m.terms(1);
+        assert_eq!(t1, vec![(0.5, 0.01), (0.1, 0.02)]);
+        let t2 = m.terms(2);
+        assert!((t2[0].0 - 0.25).abs() < 1e-15);
+        assert!((t2[1].0 - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scale_p_and_with_p() {
+        let m = FaultModel::from_params(&[0.4, 0.2], &[0.1, 0.1]).unwrap();
+        let half = m.scale_p(0.5).unwrap();
+        let ps: Vec<f64> = half.p_values().collect();
+        assert!((ps[0] - 0.2).abs() < 1e-15 && (ps[1] - 0.1).abs() < 1e-15);
+        assert!(m.scale_p(3.0).is_err()); // 1.2 out of range
+
+        let edited = m.with_p(1, 0.05).unwrap();
+        assert!((edited.faults()[1].p() - 0.05).abs() < 1e-15);
+        assert_eq!(edited.faults()[0], m.faults()[0]);
+        assert!(m.with_p(5, 0.1).is_err());
+        assert!(m.with_p(0, 1.5).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = FaultModel::uniform(3, 0.25, 0.1).unwrap();
+        let s = m.to_string();
+        assert!(s.contains("n=3"));
+        let f = PotentialFault::new(0.1, 0.2).unwrap();
+        assert!(f.to_string().contains("p=0.1"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = FaultModel::from_params(&[0.1, 0.2], &[0.01, 0.02]).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: FaultModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

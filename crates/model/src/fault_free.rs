@@ -1,0 +1,230 @@
+//! The fault-free regime — paper §4.
+//!
+//! For very high-quality software (e.g. nuclear protection systems) the
+//! plausible events are "no fault" and "one fault"; the measure of interest
+//! is the probability of having **no fault at all** (single version) or
+//! **no common fault** (1-out-of-2 pair). §4.1 compares the *risks*:
+//!
+//! ```text
+//! P(N₂ > 0)        1 − Π(1 − pᵢ²)
+//! ─────────   =    ───────────────   ≤ 1            (eq 10)
+//! P(N₁ > 0)        1 − Π(1 − pᵢ)
+//! ```
+//!
+//! Smaller ratio = larger gain from diversity. Footnote 5 explains why the
+//! *success* ratio `P(N₂=0)/P(N₁=0) = Π(1+pᵢ)` is the wrong measure for
+//! practitioners (it hides large changes in small risks); both are provided.
+//!
+//! All products are computed in log-space (via `divrel-numerics`) so the
+//! tiny risks typical of safety systems do not round away.
+
+use crate::error::ModelError;
+use crate::fault::FaultModel;
+use divrel_numerics::special::{prob_any, prob_none};
+
+impl FaultModel {
+    /// `P(N_k = 0) = Π(1 − pᵢᵏ)` — probability that `k` independently
+    /// developed versions share no common fault (`k = 1`: the version is
+    /// fault-free).
+    pub fn prob_fault_free(&self, k: u32) -> f64 {
+        // p values are validated, so prob_none cannot fail.
+        prob_none(self.faults().iter().map(|f| f.p_common(k)))
+            .expect("validated probabilities")
+    }
+
+    /// `P(N₁ = 0) = Π(1 − pᵢ)`.
+    pub fn prob_fault_free_single(&self) -> f64 {
+        self.prob_fault_free(1)
+    }
+
+    /// `P(N₂ = 0) = Π(1 − pᵢ²)`.
+    pub fn prob_fault_free_pair(&self) -> f64 {
+        self.prob_fault_free(2)
+    }
+
+    /// `P(N_k > 0) = 1 − Π(1 − pᵢᵏ)` — the *risk* of at least one
+    /// (common) fault, computed stably for small risks.
+    pub fn risk_any_fault(&self, k: u32) -> f64 {
+        prob_any(self.faults().iter().map(|f| f.p_common(k)))
+            .expect("validated probabilities")
+    }
+
+    /// `P(N₁ > 0)`.
+    pub fn risk_any_fault_single(&self) -> f64 {
+        self.risk_any_fault(1)
+    }
+
+    /// `P(N₂ > 0)`.
+    pub fn risk_any_fault_pair(&self) -> f64 {
+        self.risk_any_fault(2)
+    }
+
+    /// Eq (10): the risk ratio `P(N₂ > 0) / P(N₁ > 0) ≤ 1`.
+    ///
+    /// The smaller the ratio, the greater the advantage of diversity.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Degenerate`] if every `pᵢ` is zero (no risk to
+    /// compare).
+    ///
+    /// ```
+    /// use divrel_model::FaultModel;
+    /// let m = FaultModel::uniform(1, 0.1, 0.01)?;
+    /// // Single fault: ratio = p²/p = p.
+    /// assert!((m.risk_ratio()? - 0.1).abs() < 1e-12);
+    /// # Ok::<(), divrel_model::ModelError>(())
+    /// ```
+    pub fn risk_ratio(&self) -> Result<f64, ModelError> {
+        self.risk_ratio_k(2)
+    }
+
+    /// Generalised eq (10) for a 1-out-of-`k` system:
+    /// `P(N_k > 0) / P(N₁ > 0)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Degenerate`] if every `pᵢ` is zero, or `k == 0`.
+    pub fn risk_ratio_k(&self, k: u32) -> Result<f64, ModelError> {
+        if k == 0 {
+            return Err(ModelError::Degenerate("risk ratio for k = 0 versions"));
+        }
+        let denom = self.risk_any_fault_single();
+        if denom == 0.0 {
+            return Err(ModelError::Degenerate(
+                "risk ratio undefined when all fault probabilities are zero",
+            ));
+        }
+        Ok(self.risk_any_fault(k) / denom)
+    }
+
+    /// Footnote 5: the success ratio `P(N₂=0)/P(N₁=0) = Π(1 + pᵢ) ≥ 1`.
+    ///
+    /// The paper warns this measure *increases* when any `pᵢ` increases and
+    /// hides large relative changes in the (small) risks; it is provided for
+    /// completeness and for reproducing the footnote.
+    pub fn success_ratio(&self) -> f64 {
+        // Π(1+pᵢ) computed in log space for robustness with many faults.
+        let log_sum: f64 = self.p_values().map(|p| p.ln_1p()).sum();
+        log_sum.exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_fault_closed_forms() {
+        let m = FaultModel::uniform(1, 0.3, 0.1).unwrap();
+        assert!((m.prob_fault_free_single() - 0.7).abs() < 1e-15);
+        assert!((m.prob_fault_free_pair() - 0.91).abs() < 1e-15);
+        assert!((m.risk_any_fault_single() - 0.3).abs() < 1e-15);
+        assert!((m.risk_any_fault_pair() - 0.09).abs() < 1e-15);
+        assert!((m.risk_ratio().unwrap() - 0.3).abs() < 1e-14);
+        assert!((m.success_ratio() - 1.3).abs() < 1e-14);
+    }
+
+    #[test]
+    fn two_fault_hand_computation() {
+        let m = FaultModel::from_params(&[0.1, 0.2], &[0.01, 0.01]).unwrap();
+        let p_ff1 = 0.9 * 0.8;
+        let p_ff2 = (1.0 - 0.01) * (1.0 - 0.04);
+        assert!((m.prob_fault_free_single() - p_ff1).abs() < 1e-15);
+        assert!((m.prob_fault_free_pair() - p_ff2).abs() < 1e-15);
+        let ratio = (1.0 - p_ff2) / (1.0 - p_ff1);
+        assert!((m.risk_ratio().unwrap() - ratio).abs() < 1e-14);
+        assert!((m.success_ratio() - 1.1 * 1.2).abs() < 1e-14);
+    }
+
+    #[test]
+    fn tiny_probabilities_do_not_round_away() {
+        // p = 1e-9 each across 100 faults: risk1 ≈ 1e-7, risk2 ≈ 1e-16.
+        let m = FaultModel::uniform(100, 1e-9, 1e-6).unwrap();
+        let r1 = m.risk_any_fault_single();
+        let r2 = m.risk_any_fault_pair();
+        assert!((r1 - 1e-7).abs() / 1e-7 < 1e-6);
+        assert!((r2 - 1e-16).abs() / 1e-16 < 1e-6);
+        let ratio = m.risk_ratio().unwrap();
+        assert!((ratio - 1e-9).abs() / 1e-9 < 1e-5);
+    }
+
+    #[test]
+    fn risk_ratio_degenerate_cases() {
+        let m = FaultModel::uniform(3, 0.0, 0.1).unwrap();
+        assert!(m.risk_ratio().is_err());
+        let m = FaultModel::uniform(2, 0.5, 0.1).unwrap();
+        assert!(m.risk_ratio_k(0).is_err());
+    }
+
+    #[test]
+    fn risk_ratio_k_decreases_with_k() {
+        let m = FaultModel::from_params(&[0.3, 0.1, 0.05], &[0.1, 0.1, 0.1]).unwrap();
+        let mut prev = 1.0 + 1e-12;
+        for k in 1..6 {
+            let r = m.risk_ratio_k(k).unwrap();
+            assert!(r <= prev, "k={k}: {r} > {prev}");
+            prev = r;
+        }
+        // k = 1 is exactly 1 by definition.
+        assert!((m.risk_ratio_k(1).unwrap() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn certain_fault_dominates() {
+        let m = FaultModel::from_params(&[1.0, 0.1], &[0.1, 0.1]).unwrap();
+        assert_eq!(m.prob_fault_free_single(), 0.0);
+        assert_eq!(m.prob_fault_free_pair(), 0.0);
+        assert_eq!(m.risk_any_fault_single(), 1.0);
+        assert!((m.risk_ratio().unwrap() - 1.0).abs() < 1e-15);
+    }
+
+    proptest! {
+        #[test]
+        fn eq10_ratio_never_exceeds_one(
+            ps in proptest::collection::vec(0.0..=1.0f64, 1..30)
+        ) {
+            prop_assume!(ps.iter().any(|&p| p > 0.0));
+            let qs = vec![0.01; ps.len()];
+            let m = FaultModel::from_params(&ps, &qs).unwrap();
+            let r = m.risk_ratio().unwrap();
+            prop_assert!(r <= 1.0 + 1e-12, "ratio {r}");
+            prop_assert!(r >= 0.0);
+        }
+
+        #[test]
+        fn footnote5_success_ratio_at_least_one(
+            ps in proptest::collection::vec(0.0..=1.0f64, 1..30)
+        ) {
+            let qs = vec![0.01; ps.len()];
+            let m = FaultModel::from_params(&ps, &qs).unwrap();
+            prop_assert!(m.success_ratio() >= 1.0 - 1e-12);
+            // And it equals Π(1+pᵢ) (footnote 5's closed form).
+            let direct: f64 = ps.iter().map(|p| 1.0 + p).product();
+            prop_assert!((m.success_ratio() - direct).abs() < 1e-9 * direct);
+        }
+
+        #[test]
+        fn fault_free_probs_are_consistent(
+            ps in proptest::collection::vec(0.0..=1.0f64, 1..25)
+        ) {
+            let qs = vec![0.01; ps.len()];
+            let m = FaultModel::from_params(&ps, &qs).unwrap();
+            for k in 1..4u32 {
+                let pf = m.prob_fault_free(k);
+                let risk = m.risk_any_fault(k);
+                prop_assert!((pf + risk - 1.0).abs() < 1e-10);
+            }
+        }
+
+        #[test]
+        fn pair_is_never_riskier_than_single(
+            ps in proptest::collection::vec(0.0..=1.0f64, 1..25)
+        ) {
+            let qs = vec![0.01; ps.len()];
+            let m = FaultModel::from_params(&ps, &qs).unwrap();
+            prop_assert!(m.risk_any_fault_pair() <= m.risk_any_fault_single() + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! Forced diversity — the paper's declared extension (§1, §7).
+//!
+//! The paper analyses *non-forced* diversity (both versions developed by
+//! the same kind of process) "as a worst-case analysis for the many real
+//! systems in which 'forced' and 'functional' diversity are used", and
+//! lists "further study of the cases of 'forced' … diversity" as a
+//! desirable extension. This module supplies it within the same
+//! fault-creation framework:
+//!
+//! Two **different** development processes A and B (different methods,
+//! notations, tools) give fault `i` *different* survival probabilities
+//! `pᵢᴬ` and `pᵢᴮ`. Separate development still means independent
+//! sampling, so fault `i` is common to the pair with probability
+//! `pᵢᴬ·pᵢᴮ`, and every §3–§4 quantity generalises by substituting that
+//! product for `pᵢ²`.
+//!
+//! The headline theorem (`forced_beats_unforced_*` tests): by AM–GM,
+//! `pᵢᴬpᵢᴮ ≤ ((pᵢᴬ+pᵢᴮ)/2)²` — a forced-diverse pair is **never worse**
+//! (in mean PFD and in common-fault risk) than an unforced pair built
+//! from two copies of the *averaged* process, with equality only when
+//! the processes do not actually differ. This makes precise the paper's
+//! intuition that its results are a worst case for forced diversity.
+
+use crate::error::ModelError;
+use crate::fault::FaultModel;
+use crate::probability::Probability;
+use divrel_numerics::special::{prob_any, prob_none};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One potential fault under two different development processes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForcedFault {
+    p_a: Probability,
+    p_b: Probability,
+    q: Probability,
+}
+
+impl ForcedFault {
+    /// Creates a fault with per-process survival probabilities and a
+    /// failure-region probability.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidProbability`] for out-of-range parameters.
+    pub fn new(p_a: f64, p_b: f64, q: f64) -> Result<Self, ModelError> {
+        Ok(ForcedFault {
+            p_a: Probability::new(p_a)?,
+            p_b: Probability::new(p_b)?,
+            q: Probability::new(q)?,
+        })
+    }
+
+    /// Survival probability under process A.
+    pub fn p_a(&self) -> f64 {
+        self.p_a.value()
+    }
+
+    /// Survival probability under process B.
+    pub fn p_b(&self) -> f64 {
+        self.p_b.value()
+    }
+
+    /// Failure-region probability.
+    pub fn q(&self) -> f64 {
+        self.q.value()
+    }
+
+    /// Probability the fault is common to an (A, B) pair: `pᴬ·pᴮ`.
+    pub fn p_common(&self) -> f64 {
+        self.p_a.value() * self.p_b.value()
+    }
+}
+
+/// A fault model for a pair developed by two different processes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForcedDiversityModel {
+    faults: Vec<ForcedFault>,
+}
+
+impl ForcedDiversityModel {
+    /// Creates a model from a non-empty fault list.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::EmptyModel`] for empty input.
+    pub fn new(faults: Vec<ForcedFault>) -> Result<Self, ModelError> {
+        if faults.is_empty() {
+            return Err(ModelError::EmptyModel);
+        }
+        Ok(ForcedDiversityModel { faults })
+    }
+
+    /// Creates a model from parallel parameter slices.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Degenerate`] on length mismatch;
+    /// [`ModelError::InvalidProbability`] on bad values;
+    /// [`ModelError::EmptyModel`] on empty input.
+    pub fn from_params(pa: &[f64], pb: &[f64], qs: &[f64]) -> Result<Self, ModelError> {
+        if pa.len() != pb.len() || pa.len() != qs.len() {
+            return Err(ModelError::Degenerate("parameter slices differ in length"));
+        }
+        let faults = pa
+            .iter()
+            .zip(pb)
+            .zip(qs)
+            .map(|((&a, &b), &q)| ForcedFault::new(a, b, q))
+            .collect::<Result<Vec<_>, _>>()?;
+        ForcedDiversityModel::new(faults)
+    }
+
+    /// Builds the non-forced (same-process) model of the paper from a
+    /// single process: `pᴬ = pᴮ = p`.
+    pub fn unforced(model: &FaultModel) -> Self {
+        ForcedDiversityModel {
+            faults: model
+                .faults()
+                .iter()
+                .map(|f| ForcedFault {
+                    p_a: Probability::new_clamped(f.p()).expect("validated"),
+                    p_b: Probability::new_clamped(f.p()).expect("validated"),
+                    q: Probability::new_clamped(f.q()).expect("validated"),
+                })
+                .collect(),
+        }
+    }
+
+    /// The faults.
+    pub fn faults(&self) -> &[ForcedFault] {
+        &self.faults
+    }
+
+    /// Number of potential faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the model is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Process A alone, as a standard [`FaultModel`].
+    ///
+    /// # Errors
+    ///
+    /// Cannot fail for a constructed model; signature mirrors validation.
+    pub fn process_a(&self) -> Result<FaultModel, ModelError> {
+        FaultModel::from_params(
+            &self.faults.iter().map(ForcedFault::p_a).collect::<Vec<_>>(),
+            &self.faults.iter().map(ForcedFault::q).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Process B alone, as a standard [`FaultModel`].
+    ///
+    /// # Errors
+    ///
+    /// Cannot fail for a constructed model; signature mirrors validation.
+    pub fn process_b(&self) -> Result<FaultModel, ModelError> {
+        FaultModel::from_params(
+            &self.faults.iter().map(ForcedFault::p_b).collect::<Vec<_>>(),
+            &self.faults.iter().map(ForcedFault::q).collect::<Vec<_>>(),
+        )
+    }
+
+    /// The *averaged* unforced reference: a single process with
+    /// `p = (pᴬ+pᴮ)/2` per fault — what you would get by blending the two
+    /// methodologies into one shop and developing both versions with it.
+    ///
+    /// # Errors
+    ///
+    /// Cannot fail for a constructed model; signature mirrors validation.
+    pub fn averaged_process(&self) -> Result<FaultModel, ModelError> {
+        FaultModel::from_params(
+            &self
+                .faults
+                .iter()
+                .map(|f| (f.p_a() + f.p_b()) / 2.0)
+                .collect::<Vec<_>>(),
+            &self.faults.iter().map(ForcedFault::q).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Mean PFD of the forced-diverse pair: `Σ pᵢᴬpᵢᴮ qᵢ` (eq 1
+    /// generalised).
+    pub fn mean_pfd_pair(&self) -> f64 {
+        self.faults.iter().map(|f| f.p_common() * f.q()).sum()
+    }
+
+    /// PFD variance of the pair: `Σ pᵢᴬpᵢᴮ(1−pᵢᴬpᵢᴮ) qᵢ²`.
+    pub fn var_pfd_pair(&self) -> f64 {
+        self.faults
+            .iter()
+            .map(|f| {
+                let pc = f.p_common();
+                pc * (1.0 - pc) * f.q() * f.q()
+            })
+            .sum()
+    }
+
+    /// Probability the pair shares no fault: `Π(1 − pᵢᴬpᵢᴮ)` (§4
+    /// generalised).
+    pub fn prob_no_common_fault(&self) -> f64 {
+        prob_none(self.faults.iter().map(ForcedFault::p_common)).expect("validated probabilities")
+    }
+
+    /// Risk of at least one common fault.
+    pub fn risk_common_fault(&self) -> f64 {
+        prob_any(self.faults.iter().map(ForcedFault::p_common)).expect("validated probabilities")
+    }
+
+    /// Eq (10) generalised: `P(common fault) / P(process-A version has a
+    /// fault)` — the gain over fielding a single version from the better
+    /// understood process A.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Degenerate`] if process A is fault-free with
+    /// certainty.
+    pub fn risk_ratio_vs_a(&self) -> Result<f64, ModelError> {
+        let denom = self.process_a()?.risk_any_fault_single();
+        if denom == 0.0 {
+            return Err(ModelError::Degenerate(
+                "risk ratio undefined when process A cannot introduce faults",
+            ));
+        }
+        Ok(self.risk_common_fault() / denom)
+    }
+}
+
+impl fmt::Display for ForcedDiversityModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ForcedDiversityModel(n={}, E[PFD pair]={:.3e})",
+            self.len(),
+            self.mean_pfd_pair()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn example() -> ForcedDiversityModel {
+        ForcedDiversityModel::from_params(
+            &[0.30, 0.05, 0.20],
+            &[0.10, 0.25, 0.20],
+            &[0.01, 0.02, 0.005],
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(ForcedDiversityModel::new(vec![]).is_err());
+        assert!(ForcedDiversityModel::from_params(&[0.1], &[0.1, 0.2], &[0.01]).is_err());
+        assert!(ForcedDiversityModel::from_params(&[1.5], &[0.1], &[0.01]).is_err());
+        assert_eq!(example().len(), 3);
+        assert!(!example().is_empty());
+    }
+
+    #[test]
+    fn generalised_moments() {
+        let m = example();
+        let want: f64 = 0.30 * 0.10 * 0.01 + 0.05 * 0.25 * 0.02 + 0.20 * 0.20 * 0.005;
+        assert!((m.mean_pfd_pair() - want).abs() < 1e-15);
+        let want_var: f64 = [0.03_f64, 0.0125, 0.04]
+            .iter()
+            .zip([0.01_f64, 0.02, 0.005])
+            .map(|(&pc, q)| pc * (1.0 - pc) * q * q)
+            .sum();
+        assert!((m.var_pfd_pair() - want_var).abs() < 1e-16);
+    }
+
+    #[test]
+    fn unforced_reduces_to_paper_model() {
+        let base = FaultModel::from_params(&[0.2, 0.1], &[0.01, 0.02]).expect("valid");
+        let forced = ForcedDiversityModel::unforced(&base);
+        assert!((forced.mean_pfd_pair() - base.mean_pfd_pair()).abs() < 1e-15);
+        assert!(
+            (forced.prob_no_common_fault() - base.prob_fault_free_pair()).abs() < 1e-15
+        );
+        assert!(
+            (forced.risk_ratio_vs_a().expect("ok") - base.risk_ratio().expect("ok")).abs()
+                < 1e-15
+        );
+    }
+
+    #[test]
+    fn process_projections() {
+        let m = example();
+        let a = m.process_a().expect("ok");
+        let b = m.process_b().expect("ok");
+        assert!((a.p_max() - 0.30).abs() < 1e-15);
+        assert!((b.p_max() - 0.25).abs() < 1e-15);
+        let avg = m.averaged_process().expect("ok");
+        assert!((avg.faults()[0].p() - 0.20).abs() < 1e-15);
+        assert!((avg.faults()[1].p() - 0.15).abs() < 1e-15);
+    }
+
+    #[test]
+    fn forced_beats_unforced_mean_pfd() {
+        // AM-GM per fault: pA·pB ≤ ((pA+pB)/2)².
+        let m = example();
+        let unforced_avg = m.averaged_process().expect("ok");
+        assert!(m.mean_pfd_pair() <= unforced_avg.mean_pfd_pair() + 1e-15);
+        // Strict when processes differ on some fault with q > 0.
+        assert!(m.mean_pfd_pair() < unforced_avg.mean_pfd_pair());
+        // Equality when they do not differ.
+        let same = ForcedDiversityModel::from_params(&[0.2], &[0.2], &[0.01]).expect("ok");
+        assert!(
+            (same.mean_pfd_pair() - same.averaged_process().expect("ok").mean_pfd_pair()).abs()
+                < 1e-15
+        );
+    }
+
+    #[test]
+    fn forced_beats_unforced_common_fault_risk() {
+        let m = example();
+        let unforced_avg = m.averaged_process().expect("ok");
+        assert!(m.risk_common_fault() <= unforced_avg.risk_any_fault_pair() + 1e-15);
+        assert!(m.prob_no_common_fault() + 1e-15 >= unforced_avg.prob_fault_free_pair());
+    }
+
+    #[test]
+    fn degenerate_risk_ratio() {
+        let m = ForcedDiversityModel::from_params(&[0.0], &[0.5], &[0.1]).expect("ok");
+        assert!(m.risk_ratio_vs_a().is_err());
+        assert_eq!(m.risk_common_fault(), 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert!(example().to_string().contains("n=3"));
+    }
+
+    proptest! {
+        #[test]
+        fn am_gm_theorem_universal(
+            params in proptest::collection::vec(
+                (0.0..=1.0f64, 0.0..=1.0f64, 0.0..0.1f64), 1..10
+            )
+        ) {
+            let (pa, rest): (Vec<f64>, Vec<(f64, f64)>) =
+                params.iter().map(|&(a, b, q)| (a, (b, q))).unzip();
+            let (pb, qs): (Vec<f64>, Vec<f64>) = rest.into_iter().unzip();
+            let forced = ForcedDiversityModel::from_params(&pa, &pb, &qs).expect("valid");
+            let avg = forced.averaged_process().expect("valid");
+            prop_assert!(forced.mean_pfd_pair() <= avg.mean_pfd_pair() + 1e-12);
+            prop_assert!(forced.risk_common_fault() <= avg.risk_any_fault_pair() + 1e-12);
+        }
+
+        #[test]
+        fn pair_never_riskier_than_either_process(
+            params in proptest::collection::vec(
+                (0.0..=1.0f64, 0.0..=1.0f64, 0.0..0.1f64), 1..10
+            )
+        ) {
+            let (pa, rest): (Vec<f64>, Vec<(f64, f64)>) =
+                params.iter().map(|&(a, b, q)| (a, (b, q))).unzip();
+            let (pb, qs): (Vec<f64>, Vec<f64>) = rest.into_iter().unzip();
+            let m = ForcedDiversityModel::from_params(&pa, &pb, &qs).expect("valid");
+            let a = m.process_a().expect("valid");
+            let b = m.process_b().expect("valid");
+            prop_assert!(m.mean_pfd_pair() <= a.mean_pfd_single() + 1e-12);
+            prop_assert!(m.mean_pfd_pair() <= b.mean_pfd_single() + 1e-12);
+            prop_assert!(m.risk_common_fault() <= a.risk_any_fault_single() + 1e-12);
+            prop_assert!(m.risk_common_fault() <= b.risk_any_fault_single() + 1e-12);
+        }
+    }
+}

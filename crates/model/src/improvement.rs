@@ -1,0 +1,614 @@
+//! Effects of process improvement on the gain from diversity — paper §4.2
+//! and Appendices A & B.
+//!
+//! "Process improvement" means decreasing fault probabilities `pᵢ`. The
+//! paper studies two stylised moves and reaches opposite conclusions:
+//!
+//! 1. **Single-fault improvement** (§4.2.1, Appendix A): decreasing *one*
+//!    `pᵢ` can **reduce** the gain from diversity (increase the risk ratio
+//!    of eq 10). In the two-fault case the ratio, as a function of one
+//!    parameter, has a single interior minimum — the *stationary point* —
+//!    below which further improvement of that fault hurts the relative
+//!    gain.
+//! 2. **Proportional improvement** (§4.2.2, Appendix B): writing
+//!    `pᵢ = k·bᵢ` and decreasing the common factor `k` always *increases*
+//!    the gain (the ratio is non-decreasing in `k`).
+//!
+//! ## Corrected closed form (reproduction note)
+//!
+//! Setting `∂/∂p₁ [(p₁²+p₂²−p₁²p₂²)/(p₁+p₂−p₁p₂)] = 0` yields the
+//! quadratic `(1−p₂²)p₁² + 2p₂(1+p₂)p₁ − p₂² = 0`, whose unique positive
+//! root is
+//!
+//! ```text
+//! p1z = p₂·(sqrt(2(1+p₂)) − (1+p₂)) / (1 − p₂²)
+//! ```
+//!
+//! This root **is** the minimiser (verified numerically in the tests below
+//! and in experiment E5) and satisfies `p1z < p₂` — whereas the paper's
+//! printed root (garbled in the available text) is claimed to satisfy
+//! `p1z > p₂`. The qualitative theorem (a reversal exists; reducing an
+//! already-small fault probability reduces the gain) is confirmed exactly.
+//! Both forms are provided so the discrepancy itself is reproducible.
+
+use crate::error::ModelError;
+use crate::fault::FaultModel;
+
+/// Analytic gradient of the eq (10) risk ratio with respect to every `pᵢ`.
+///
+/// With `A = Π(1−pⱼ²)`, `B = Π(1−pⱼ)`, `f = 1−A`, `g = 1−B`:
+///
+/// ```text
+/// ∂(f/g)/∂pᵢ = (2pᵢ·Aᵢ·g − f·Bᵢ) / g²
+/// ```
+///
+/// where `Aᵢ`, `Bᵢ` are the leave-one-out products. Computed with
+/// prefix/suffix products in `O(n)` and cross-checked against central
+/// differences in the tests.
+///
+/// A **negative** component means decreasing that `pᵢ` *increases* the
+/// ratio — i.e. *reduces* the gain from diversity (the §4.2.1 reversal).
+///
+/// # Errors
+///
+/// [`ModelError::Degenerate`] if every `pᵢ` is zero (ratio undefined).
+pub fn risk_ratio_gradient(model: &FaultModel) -> Result<Vec<f64>, ModelError> {
+    let ps: Vec<f64> = model.p_values().collect();
+    if ps.iter().all(|&p| p == 0.0) {
+        return Err(ModelError::Degenerate(
+            "risk ratio undefined when all fault probabilities are zero",
+        ));
+    }
+    let n = ps.len();
+    let leave_one_out = |terms: &[f64]| -> Vec<f64> {
+        // prefix[i] = Π_{j<i} terms[j]; suffix[i] = Π_{j>i} terms[j].
+        let mut prefix = vec![1.0; n + 1];
+        for i in 0..n {
+            prefix[i + 1] = prefix[i] * terms[i];
+        }
+        let mut suffix = vec![1.0; n + 1];
+        for i in (0..n).rev() {
+            suffix[i] = suffix[i + 1] * terms[i];
+        }
+        (0..n).map(|i| prefix[i] * suffix[i + 1]).collect()
+    };
+    let one_minus_p: Vec<f64> = ps.iter().map(|p| 1.0 - p).collect();
+    let one_minus_p2: Vec<f64> = ps.iter().map(|p| 1.0 - p * p).collect();
+    let b_i = leave_one_out(&one_minus_p);
+    let a_i = leave_one_out(&one_minus_p2);
+    let big_a: f64 = one_minus_p2.iter().product();
+    let big_b: f64 = one_minus_p.iter().product();
+    let f = 1.0 - big_a;
+    let g = 1.0 - big_b;
+    Ok((0..n)
+        .map(|i| (2.0 * ps[i] * a_i[i] * g - f * b_i[i]) / (g * g))
+        .collect())
+}
+
+/// The corrected Appendix-A stationary point for the two-fault model: the
+/// value of `p₁` at which `∂/∂p₁` of the risk ratio vanishes, given the
+/// other fault's probability `p₂`.
+///
+/// Below this value the derivative is negative — decreasing `p₁` further
+/// *increases* the ratio (reduces the diversity gain).
+///
+/// # Errors
+///
+/// [`ModelError::InvalidProbability`] unless `0 < p₂ < 1`.
+///
+/// ```
+/// use divrel_model::improvement::two_fault_stationary_point;
+/// let p1z = two_fault_stationary_point(0.5)?;
+/// assert!((p1z - 0.15470053837925146).abs() < 1e-12);
+/// // Note: p1z < p2, contradicting the paper's printed claim — see module docs.
+/// assert!(p1z < 0.5);
+/// # Ok::<(), divrel_model::ModelError>(())
+/// ```
+pub fn two_fault_stationary_point(p2: f64) -> Result<f64, ModelError> {
+    if !(p2 > 0.0 && p2 < 1.0) {
+        return Err(ModelError::InvalidProbability(p2));
+    }
+    Ok(p2 * ((2.0 * (1.0 + p2)).sqrt() - (1.0 + p2)) / (1.0 - p2 * p2))
+}
+
+/// The stationary-point formula **as printed in the paper's Appendix A**
+/// (to the extent the garbled typesetting can be read):
+/// `p1z = (p₂ + p₂·sqrt((2+p₂)(1+2p₂))) / (2(1−p₂))`.
+///
+/// Kept verbatim so experiment E5 can demonstrate that it does *not*
+/// coincide with the true minimiser computed independently — see the module
+/// documentation. Do not use this for analysis.
+///
+/// # Errors
+///
+/// [`ModelError::InvalidProbability`] unless `0 < p₂ < 1`.
+pub fn paper_printed_stationary_point(p2: f64) -> Result<f64, ModelError> {
+    if !(p2 > 0.0 && p2 < 1.0) {
+        return Err(ModelError::InvalidProbability(p2));
+    }
+    Ok((p2 + p2 * ((2.0 + p2) * (1.0 + 2.0 * p2)).sqrt()) / (2.0 * (1.0 - p2)))
+}
+
+/// The two-fault risk ratio `R(p₁, p₂)` of Appendix A in closed form:
+/// `(p₁² + p₂² − p₁²p₂²) / (p₁ + p₂ − p₁p₂)`.
+///
+/// # Errors
+///
+/// [`ModelError::InvalidProbability`] for parameters outside `[0, 1]`;
+/// [`ModelError::Degenerate`] if both are zero.
+pub fn two_fault_ratio(p1: f64, p2: f64) -> Result<f64, ModelError> {
+    for p in [p1, p2] {
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(ModelError::InvalidProbability(p));
+        }
+    }
+    let g = p1 + p2 - p1 * p2;
+    if g == 0.0 {
+        return Err(ModelError::Degenerate(
+            "two-fault ratio undefined at p1 = p2 = 0",
+        ));
+    }
+    Ok((p1 * p1 + p2 * p2 - p1 * p1 * p2 * p2) / g)
+}
+
+/// A proportional process-improvement family (paper §4.2.2, Appendix B):
+/// `pᵢ(k) = k·bᵢ`, with process quality improving as `k` decreases.
+///
+/// ```
+/// use divrel_model::improvement::ProportionalFamily;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fam = ProportionalFamily::new(vec![0.4, 0.2, 0.1], vec![0.01, 0.02, 0.05])?;
+/// // Appendix B: the risk ratio is non-decreasing in k.
+/// let r_lo = fam.risk_ratio_at(0.2)?;
+/// let r_hi = fam.risk_ratio_at(0.9)?;
+/// assert!(r_lo <= r_hi);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProportionalFamily {
+    base: Vec<f64>,
+    q: Vec<f64>,
+}
+
+impl ProportionalFamily {
+    /// Creates the family from base probabilities `bᵢ` (the `k = 1` model)
+    /// and failure-region probabilities `qᵢ`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::EmptyModel`] for empty input;
+    /// [`ModelError::InvalidProbability`] for out-of-range values;
+    /// [`ModelError::Degenerate`] for mismatched lengths or all-zero `bᵢ`.
+    pub fn new(base: Vec<f64>, q: Vec<f64>) -> Result<Self, ModelError> {
+        if base.is_empty() {
+            return Err(ModelError::EmptyModel);
+        }
+        if base.len() != q.len() {
+            return Err(ModelError::Degenerate("base and q slices differ in length"));
+        }
+        for &b in &base {
+            if !(0.0..=1.0).contains(&b) || !b.is_finite() {
+                return Err(ModelError::InvalidProbability(b));
+            }
+        }
+        for &qq in &q {
+            if !(0.0..=1.0).contains(&qq) || !qq.is_finite() {
+                return Err(ModelError::InvalidProbability(qq));
+            }
+        }
+        if base.iter().all(|&b| b == 0.0) {
+            return Err(ModelError::Degenerate("all base probabilities are zero"));
+        }
+        Ok(ProportionalFamily { base, q })
+    }
+
+    /// The base probabilities `bᵢ`.
+    pub fn base(&self) -> &[f64] {
+        &self.base
+    }
+
+    /// The largest admissible `k` (so that every `k·bᵢ ≤ 1`).
+    pub fn max_scale(&self) -> f64 {
+        let b_max = self.base.iter().cloned().fold(0.0, f64::max);
+        1.0 / b_max
+    }
+
+    /// Instantiates the fault model at process quality `k`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidProbability`] if `k·bᵢ` leaves `[0, 1]` for
+    /// some `i` (i.e. `k` negative or above [`Self::max_scale`]).
+    pub fn model_at(&self, k: f64) -> Result<FaultModel, ModelError> {
+        let ps: Vec<f64> = self.base.iter().map(|b| b * k).collect();
+        FaultModel::from_params(&ps, &self.q)
+    }
+
+    /// The eq (10) risk ratio at process quality `k`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::model_at`]; [`ModelError::Degenerate`] at
+    /// `k = 0`.
+    pub fn risk_ratio_at(&self, k: f64) -> Result<f64, ModelError> {
+        self.model_at(k)?.risk_ratio()
+    }
+
+    /// Analytic derivative `d/dk` of the risk ratio at `k`, via the chain
+    /// rule on the leave-one-out products. Appendix B proves this is
+    /// non-negative for all admissible parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::model_at`]; [`ModelError::Degenerate`] at
+    /// `k = 0`.
+    pub fn d_risk_ratio_dk(&self, k: f64) -> Result<f64, ModelError> {
+        let model = self.model_at(k)?;
+        let grad = risk_ratio_gradient(&model)?;
+        // dR/dk = Σᵢ (∂R/∂pᵢ)·bᵢ.
+        Ok(grad.iter().zip(&self.base).map(|(g, b)| g * b).sum())
+    }
+
+    /// Sweeps the risk ratio over a `k` grid: returns `(k, ratio)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::risk_ratio_at`];
+    /// [`ModelError::Degenerate`] for an empty or non-increasing grid.
+    pub fn sweep(&self, ks: &[f64]) -> Result<Vec<(f64, f64)>, ModelError> {
+        if ks.is_empty() {
+            return Err(ModelError::Degenerate("empty k grid"));
+        }
+        ks.iter().map(|&k| Ok((k, self.risk_ratio_at(k)?))).collect()
+    }
+
+    /// Checks Appendix B empirically on a grid: returns the largest
+    /// observed *decrease* of the ratio between consecutive grid points
+    /// (0.0 when perfectly monotone).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::sweep`].
+    pub fn max_monotonicity_violation(&self, ks: &[f64]) -> Result<f64, ModelError> {
+        let pts = self.sweep(ks)?;
+        let mut worst = 0.0_f64;
+        for w in pts.windows(2) {
+            let (k0, r0) = w[0];
+            let (k1, r1) = w[1];
+            if k1 > k0 && r1 < r0 {
+                worst = worst.max(r0 - r1);
+            }
+        }
+        Ok(worst)
+    }
+}
+
+/// The Appendix-A stationary point for fault `index` of an arbitrary
+/// `n`-fault model: the value of `pᵢ` at which `∂(risk ratio)/∂pᵢ`
+/// vanishes, holding every other parameter fixed.
+///
+/// Below the returned value the derivative is negative — further
+/// improvement of that one fault *erodes* the relative gain from
+/// diversity. Returns `None` when the derivative does not change sign on
+/// `(0, 1)` (no interior reversal for this fault: e.g. it is the only
+/// fault, where the ratio is simply `pᵢ`).
+///
+/// Solved by bisection on the analytic gradient
+/// ([`risk_ratio_gradient`]); for the two-fault case this agrees with the
+/// closed form [`two_fault_stationary_point`] (see tests).
+///
+/// # Errors
+///
+/// [`ModelError::Degenerate`] for an out-of-range index or a model where
+/// the ratio is undefined with `pᵢ` perturbed (all other `p` zero).
+pub fn stationary_point_for_fault(
+    model: &FaultModel,
+    index: usize,
+) -> Result<Option<f64>, ModelError> {
+    if index >= model.len() {
+        return Err(ModelError::Degenerate("fault index out of range"));
+    }
+    let others_alive = model
+        .faults()
+        .iter()
+        .enumerate()
+        .any(|(j, f)| j != index && f.p() > 0.0);
+    if !others_alive {
+        // Single effective fault: ratio = pᵢ, strictly increasing, no
+        // interior stationary point.
+        return Ok(None);
+    }
+    let grad_i = |p: f64| -> f64 {
+        let m = model
+            .with_p(index, p)
+            .expect("probability within (0, 1) by construction");
+        risk_ratio_gradient(&m).expect("other faults keep the ratio defined")[index]
+    };
+    const LO: f64 = 1e-9;
+    const HI: f64 = 1.0 - 1e-9;
+    let g_lo = grad_i(LO);
+    let g_hi = grad_i(HI);
+    if g_lo.signum() == g_hi.signum() {
+        return Ok(None);
+    }
+    let root = divrel_numerics::roots::bisect(grad_i, LO, HI, 1e-12, 200)?;
+    Ok(Some(root))
+}
+
+/// Result of sweeping a single fault's probability (the §4.2.1 move) while
+/// holding the rest of the model fixed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SingleFaultSweep {
+    /// The index of the varied fault.
+    pub index: usize,
+    /// `(pᵢ, risk ratio)` pairs along the sweep.
+    pub points: Vec<(f64, f64)>,
+    /// Location of the minimal ratio found on the grid, if interior.
+    pub grid_minimum: Option<(f64, f64)>,
+}
+
+/// Sweeps fault `index`'s probability over `values`, recording the eq (10)
+/// risk ratio. Used by experiment E5 to exhibit the gain reversal.
+///
+/// # Errors
+///
+/// [`ModelError::Degenerate`] for a bad index or empty grid;
+/// [`ModelError::InvalidProbability`] for out-of-range sweep values;
+/// propagated ratio errors otherwise.
+pub fn sweep_single_fault(
+    model: &FaultModel,
+    index: usize,
+    values: &[f64],
+) -> Result<SingleFaultSweep, ModelError> {
+    if values.is_empty() {
+        return Err(ModelError::Degenerate("empty sweep grid"));
+    }
+    let mut points = Vec::with_capacity(values.len());
+    for &v in values {
+        let m = model.with_p(index, v)?;
+        points.push((v, m.risk_ratio()?));
+    }
+    let mut grid_minimum = None;
+    if points.len() >= 3 {
+        let (mut best_i, mut best) = (0usize, f64::INFINITY);
+        for (i, &(_, r)) in points.iter().enumerate() {
+            if r < best {
+                best = r;
+                best_i = i;
+            }
+        }
+        if best_i > 0 && best_i + 1 < points.len() {
+            grid_minimum = Some(points[best_i]);
+        }
+    }
+    Ok(SingleFaultSweep {
+        index,
+        points,
+        grid_minimum,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divrel_numerics::roots::{central_derivative, golden_min};
+
+    #[test]
+    fn gradient_matches_central_differences() {
+        let m = FaultModel::from_params(&[0.3, 0.1, 0.05], &[0.1, 0.1, 0.1]).unwrap();
+        let grad = risk_ratio_gradient(&m).unwrap();
+        for (i, &g) in grad.iter().enumerate() {
+            let num = central_derivative(
+                |p| m.with_p(i, p).unwrap().risk_ratio().unwrap(),
+                m.faults()[i].p(),
+                1e-6,
+            );
+            assert!(
+                (g - num).abs() < 1e-6,
+                "i={i}: analytic {g} vs numeric {num}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_rejects_all_zero_model() {
+        let m = FaultModel::uniform(3, 0.0, 0.1).unwrap();
+        assert!(risk_ratio_gradient(&m).is_err());
+    }
+
+    #[test]
+    fn two_fault_ratio_closed_form_matches_model() {
+        for (p1, p2) in [(0.1, 0.5), (0.3, 0.3), (0.9, 0.05)] {
+            let direct = two_fault_ratio(p1, p2).unwrap();
+            let m = FaultModel::from_params(&[p1, p2], &[0.1, 0.1]).unwrap();
+            assert!((direct - m.risk_ratio().unwrap()).abs() < 1e-13);
+        }
+        assert!(two_fault_ratio(0.0, 0.0).is_err());
+        assert!(two_fault_ratio(1.5, 0.1).is_err());
+    }
+
+    #[test]
+    fn stationary_point_is_the_minimiser() {
+        // For several p2, the closed form must agree with a golden-section
+        // minimisation of the exact ratio.
+        for p2 in [0.05, 0.1, 0.3, 0.5, 0.7, 0.9] {
+            let closed = two_fault_stationary_point(p2).unwrap();
+            let (numeric, _) = golden_min(
+                |p1| two_fault_ratio(p1, p2).unwrap(),
+                1e-9,
+                1.0,
+                1e-13,
+                300,
+            )
+            .unwrap();
+            assert!(
+                (closed - numeric).abs() < 1e-6,
+                "p2={p2}: closed {closed} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn stationary_point_satisfies_quadratic() {
+        // (1−p2²)p1² + 2p2(1+p2)p1 − p2² = 0 at the root.
+        for p2 in [0.1, 0.25, 0.5, 0.8] {
+            let p1 = two_fault_stationary_point(p2).unwrap();
+            let resid = (1.0 - p2 * p2) * p1 * p1 + 2.0 * p2 * (1.0 + p2) * p1 - p2 * p2;
+            assert!(resid.abs() < 1e-14, "p2={p2}: residual {resid}");
+        }
+    }
+
+    #[test]
+    fn corrected_root_is_below_p2_paper_printed_root_is_not_the_minimiser() {
+        // Documents the reproduction finding: our root is the minimiser and
+        // lies below p2; the paper's printed expression exceeds p2 (and can
+        // even exceed 1) and does not zero the derivative.
+        for p2 in [0.1, 0.3, 0.5] {
+            let ours = two_fault_stationary_point(p2).unwrap();
+            let papers = paper_printed_stationary_point(p2).unwrap();
+            assert!(ours < p2, "p2={p2}: corrected root {ours} should be < p2");
+            assert!(papers > p2, "p2={p2}: printed root {papers} should be > p2");
+            // Derivative at the printed root is NOT zero (when in range).
+            if papers < 1.0 {
+                let m = FaultModel::from_params(&[papers, p2], &[0.1, 0.1]).unwrap();
+                let grad = risk_ratio_gradient(&m).unwrap();
+                assert!(grad[0].abs() > 1e-3, "p2={p2}");
+            }
+        }
+    }
+
+    #[test]
+    fn reversal_exists_reducing_small_p_hurts_gain() {
+        // §4.2.1's counterintuitive conclusion, concretely: with p1 = 0.5
+        // fixed, reducing p2 below the stationary point increases the
+        // ratio, i.e. erodes the gain from diversity.
+        let p1 = 0.5;
+        let p2z = two_fault_stationary_point(p1).unwrap(); // symmetry: vary 2nd
+        let at_star = two_fault_ratio(p1, p2z).unwrap();
+        let below = two_fault_ratio(p1, p2z / 4.0).unwrap();
+        let above = two_fault_ratio(p1, (p2z * 2.0).min(0.99)).unwrap();
+        assert!(below > at_star, "reducing p2 below p2z must raise the ratio");
+        assert!(above > at_star, "p2z must be a minimum");
+        // And the limit p2 -> 0 recovers the single-fault ratio p1.
+        let limit = two_fault_ratio(p1, 1e-12).unwrap();
+        assert!((limit - p1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stationary_point_rejects_bad_input() {
+        assert!(two_fault_stationary_point(0.0).is_err());
+        assert!(two_fault_stationary_point(1.0).is_err());
+        assert!(paper_printed_stationary_point(-0.5).is_err());
+    }
+
+    #[test]
+    fn proportional_family_construction_errors() {
+        assert!(ProportionalFamily::new(vec![], vec![]).is_err());
+        assert!(ProportionalFamily::new(vec![0.1], vec![0.1, 0.2]).is_err());
+        assert!(ProportionalFamily::new(vec![1.5], vec![0.1]).is_err());
+        assert!(ProportionalFamily::new(vec![0.1], vec![-0.1]).is_err());
+        assert!(ProportionalFamily::new(vec![0.0, 0.0], vec![0.1, 0.1]).is_err());
+    }
+
+    #[test]
+    fn appendix_b_monotone_in_k() {
+        let fam = ProportionalFamily::new(
+            vec![0.4, 0.25, 0.1, 0.05, 0.3],
+            vec![0.01, 0.02, 0.05, 0.1, 0.005],
+        )
+        .unwrap();
+        let ks: Vec<f64> = (1..=100).map(|i| i as f64 / 100.0 * fam.max_scale().min(2.4)).collect();
+        let violation = fam.max_monotonicity_violation(&ks).unwrap();
+        assert_eq!(violation, 0.0, "Appendix B violated by {violation}");
+    }
+
+    #[test]
+    fn appendix_b_derivative_non_negative() {
+        let fam =
+            ProportionalFamily::new(vec![0.5, 0.2, 0.05], vec![0.1, 0.1, 0.1]).unwrap();
+        for i in 1..=19 {
+            let k = i as f64 / 10.0; // up to max_scale = 2.0
+            let d = fam.d_risk_ratio_dk(k).unwrap();
+            assert!(d >= -1e-12, "k={k}: dR/dk = {d} < 0");
+            // Cross-check against central differences.
+            let num = central_derivative(|kk| fam.risk_ratio_at(kk).unwrap(), k, 1e-6);
+            assert!((d - num).abs() < 1e-5, "k={k}: {d} vs {num}");
+        }
+    }
+
+    #[test]
+    fn proportional_family_model_at_limits() {
+        let fam = ProportionalFamily::new(vec![0.5, 0.25], vec![0.1, 0.1]).unwrap();
+        assert!((fam.max_scale() - 2.0).abs() < 1e-15);
+        assert!(fam.model_at(2.0).is_ok());
+        assert!(fam.model_at(2.1).is_err());
+        assert!(fam.model_at(-0.1).is_err());
+        assert!(fam.risk_ratio_at(0.0).is_err()); // all p zero
+        assert!(fam.sweep(&[]).is_err());
+    }
+
+    #[test]
+    fn general_stationary_point_matches_two_fault_closed_form() {
+        for p2 in [0.1, 0.3, 0.5, 0.8] {
+            let m = FaultModel::from_params(&[0.5, p2], &[0.01, 0.01]).unwrap();
+            let closed = two_fault_stationary_point(p2).unwrap();
+            let general = stationary_point_for_fault(&m, 0)
+                .unwrap()
+                .expect("interior root expected");
+            assert!(
+                (general - closed).abs() < 1e-8,
+                "p2={p2}: general {general} vs closed {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn general_stationary_point_on_five_fault_model() {
+        let m = FaultModel::from_params(
+            &[0.4, 0.3, 0.2, 0.1, 0.04],
+            &[0.01, 0.01, 0.01, 0.01, 0.01],
+        )
+        .unwrap();
+        let p5z = stationary_point_for_fault(&m, 4)
+            .unwrap()
+            .expect("interior root expected");
+        // Must agree with the grid minimum located by the sweep (~0.08).
+        assert!((p5z - 0.08).abs() < 0.01, "p5z = {p5z}");
+        // And the gradient changes sign across it.
+        let g = |p: f64| {
+            risk_ratio_gradient(&m.with_p(4, p).unwrap()).unwrap()[4]
+        };
+        assert!(g(p5z * 0.5) < 0.0);
+        assert!(g((p5z * 1.5).min(0.99)) > 0.0);
+    }
+
+    #[test]
+    fn stationary_point_edge_cases() {
+        // Lone fault: ratio = p, no interior stationary point.
+        let lone = FaultModel::from_params(&[0.3], &[0.1]).unwrap();
+        assert_eq!(stationary_point_for_fault(&lone, 0).unwrap(), None);
+        // Other faults all zero: same situation.
+        let dead = FaultModel::from_params(&[0.3, 0.0], &[0.1, 0.1]).unwrap();
+        assert_eq!(stationary_point_for_fault(&dead, 0).unwrap(), None);
+        // Bad index.
+        assert!(stationary_point_for_fault(&lone, 3).is_err());
+    }
+
+    #[test]
+    fn single_fault_sweep_locates_reversal() {
+        // Base model: one big fault (p=0.5), sweep the second fault.
+        let m = FaultModel::from_params(&[0.5, 0.3], &[0.05, 0.05]).unwrap();
+        let grid: Vec<f64> = (1..=200).map(|i| i as f64 / 200.0).collect();
+        let sweep = sweep_single_fault(&m, 1, &grid).unwrap();
+        assert_eq!(sweep.points.len(), 200);
+        let (p_star, _) = sweep.grid_minimum.expect("interior minimum expected");
+        let closed = two_fault_stationary_point(0.5).unwrap();
+        assert!(
+            (p_star - closed).abs() < 0.01,
+            "grid minimum {p_star} vs closed form {closed}"
+        );
+        assert!(sweep_single_fault(&m, 5, &grid).is_err());
+        assert!(sweep_single_fault(&m, 0, &[]).is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! # divrel-model
+//!
+//! The core contribution of Popov & Strigini (DSN 2001): a probabilistic
+//! model of the **fault creation process** for independently developed
+//! software versions, and of the reliability of 1-out-of-2 diverse systems
+//! built from them.
+//!
+//! ## The model (paper §2)
+//!
+//! A fixed universe of `n` *potential faults* exists for the application.
+//! The `i`-th fault:
+//!
+//! * is introduced into a randomly developed version with probability `pᵢ`
+//!   (independently across faults — "the design team tosses dice"), and
+//! * if present, contributes `qᵢ` to the version's probability of failure
+//!   on demand (PFD): `qᵢ` is the operational-profile measure of the
+//!   fault's failure region in the demand space.
+//!
+//! Separate development means a fault is common to both members of a
+//! 1-out-of-2 pair with probability `pᵢ²`. Failure regions are assumed
+//! non-overlapping, so PFDs add across faults.
+//!
+//! ## What the crate computes
+//!
+//! * [`moments`] — eq (1)–(3): mean/variance of the PFD of a version
+//!   (`Θ₁`), a pair (`Θ₂`), and generally a `k`-version adjudicated stack.
+//! * [`bounds`] — §3.1 lemmas (`µ₂ ≤ p_max µ₁`,
+//!   `σ₂ ≤ sqrt(p_max(1+p_max)) σ₁`) and the §5.1 confidence-bound
+//!   formulas (11)/(12) an assessor can use with *only* a bound on `p_max`.
+//! * [`fault_free`] — §4: probabilities of zero faults / zero common
+//!   faults, and the risk ratio `P(N₂>0)/P(N₁>0)` (eq 10).
+//! * [`improvement`] — §4.2 and Appendices A & B: how process improvement
+//!   (reducing the `pᵢ`) changes the gain from diversity, including the
+//!   counterintuitive gain-reversal and its corrected closed form.
+//! * [`distribution`] — §5: the exact PFD distribution, its normal
+//!   approximation, and certificates (Berry–Esseen, KS) for the
+//!   approximation quality.
+//! * [`assessor`] — the §5.1 assessor workflow mapped onto IEC
+//!   61508-style safety integrity levels.
+//!
+//! ## Example
+//!
+//! ```
+//! use divrel_model::{FaultModel, PotentialFault};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = FaultModel::new(vec![
+//!     PotentialFault::new(0.10, 1e-3)?,
+//!     PotentialFault::new(0.02, 1e-2)?,
+//! ])?;
+//! // Eq (1): µ1 = Σ pᵢqᵢ, µ2 = Σ pᵢ²qᵢ
+//! assert!((model.mean_pfd_single() - (0.10 * 1e-3 + 0.02 * 1e-2)).abs() < 1e-18);
+//! assert!(model.mean_pfd_pair() <= model.p_max() * model.mean_pfd_single());
+//! # Ok(())
+//! # }
+//! ```
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod assessor;
+pub mod bounds;
+pub mod ccf;
+pub mod distribution;
+pub mod ensemble;
+pub mod error;
+pub mod fault;
+pub mod fault_free;
+pub mod forced;
+pub mod improvement;
+pub mod moments;
+pub mod probability;
+pub mod system;
+
+pub use error::ModelError;
+pub use fault::{FaultModel, FaultModelBuilder, PotentialFault};
+pub use probability::Probability;
+pub use system::DiverseSystem;

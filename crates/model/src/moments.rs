@@ -1,0 +1,198 @@
+//! Moments of the PFD distribution — paper §3, equations (1)–(3).
+//!
+//! In the model, the PFD of a system is a sum of independent contributions,
+//! one per potential fault: fault `i` contributes `qᵢ` with probability
+//! `pᵢᵏ` (present in all `k` independently developed versions) and `0`
+//! otherwise. Means and variances therefore add:
+//!
+//! * `E[Θₖ]  = Σ pᵢᵏ qᵢ`
+//! * `σ²(Θₖ) = Σ pᵢᵏ (1 − pᵢᵏ) qᵢ²`
+//!
+//! with `k = 1` (single version) and `k = 2` (1-out-of-2 pair) the cases
+//! the paper studies.
+
+use crate::fault::FaultModel;
+
+impl FaultModel {
+    /// `E[Θₖ] = Σ pᵢᵏ qᵢ` — mean PFD of a system whose failures require
+    /// the same fault in `k` independent versions (eq 1 generalised).
+    pub fn mean_pfd(&self, k: u32) -> f64 {
+        self.faults().iter().map(|f| f.mean_contribution(k)).sum()
+    }
+
+    /// `µ₁ = E[Θ₁] = Σ pᵢ qᵢ` (eq 1, single version).
+    pub fn mean_pfd_single(&self) -> f64 {
+        self.mean_pfd(1)
+    }
+
+    /// `µ₂ = E[Θ₂] = Σ pᵢ² qᵢ` (eq 1, 1-out-of-2 pair).
+    pub fn mean_pfd_pair(&self) -> f64 {
+        self.mean_pfd(2)
+    }
+
+    /// `σ²(Θₖ) = Σ pᵢᵏ(1−pᵢᵏ) qᵢ²` (eq 2 generalised).
+    pub fn var_pfd(&self, k: u32) -> f64 {
+        self.faults()
+            .iter()
+            .map(|f| f.variance_contribution(k))
+            .sum()
+    }
+
+    /// `σ²(Θ₁) = Σ pᵢ(1−pᵢ) qᵢ²` (eq 2/5).
+    pub fn var_pfd_single(&self) -> f64 {
+        self.var_pfd(1)
+    }
+
+    /// `σ²(Θ₂) = Σ pᵢ²(1−pᵢ²) qᵢ²` (eq 2/6).
+    pub fn var_pfd_pair(&self) -> f64 {
+        self.var_pfd(2)
+    }
+
+    /// `σ(Θₖ)` — standard deviation of the PFD.
+    pub fn std_pfd(&self, k: u32) -> f64 {
+        self.var_pfd(k).sqrt()
+    }
+
+    /// `σ₁ = σ(Θ₁)`.
+    pub fn std_pfd_single(&self) -> f64 {
+        self.std_pfd(1)
+    }
+
+    /// `σ₂ = σ(Θ₂)`.
+    pub fn std_pfd_pair(&self) -> f64 {
+        self.std_pfd(2)
+    }
+
+    /// Expected number of faults in a single version, `E[N₁] = Σ pᵢ`.
+    pub fn mean_fault_count(&self, k: u32) -> f64 {
+        self.faults().iter().map(|f| f.p_common(k)).sum()
+    }
+
+    /// Third absolute central moment sum `Σ E|Xᵢ−E Xᵢ|³` of the PFD terms
+    /// of a `k`-version system — the numerator of the Berry–Esseen
+    /// certificate used by [`crate::distribution`].
+    pub fn third_abs_moment_sum(&self, k: u32) -> f64 {
+        self.faults()
+            .iter()
+            .map(|f| {
+                divrel_numerics::berry_esseen::third_abs_central_moment(f.p_common(k), f.q())
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::fault::FaultModel;
+    use proptest::prelude::*;
+
+    fn example() -> FaultModel {
+        FaultModel::from_params(&[0.1, 0.4, 0.02, 0.9], &[0.02, 0.005, 0.3, 0.001]).unwrap()
+    }
+
+    #[test]
+    fn eq1_means() {
+        let m = example();
+        let mu1: f64 = [0.1 * 0.02, 0.4 * 0.005, 0.02 * 0.3, 0.9 * 0.001]
+            .iter()
+            .sum();
+        let mu2: f64 = [
+            0.01 * 0.02,
+            0.16 * 0.005,
+            0.0004 * 0.3,
+            0.81 * 0.001,
+        ]
+        .iter()
+        .sum();
+        assert!((m.mean_pfd_single() - mu1).abs() < 1e-15);
+        assert!((m.mean_pfd_pair() - mu2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eq2_variances() {
+        let m = example();
+        let v1: f64 = [
+            0.1 * 0.9 * 0.02 * 0.02,
+            0.4 * 0.6 * 0.005 * 0.005,
+            0.02 * 0.98 * 0.3 * 0.3,
+            0.9 * 0.1 * 0.001 * 0.001,
+        ]
+        .iter()
+        .sum();
+        assert!((m.var_pfd_single() - v1).abs() < 1e-16);
+        assert!((m.std_pfd_single() - v1.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pair_mean_is_smaller() {
+        let m = example();
+        assert!(m.mean_pfd_pair() < m.mean_pfd_single());
+    }
+
+    #[test]
+    fn k_version_mean_decreases_with_k() {
+        let m = example();
+        let mut prev = m.mean_pfd(1);
+        for k in 2..6 {
+            let cur = m.mean_pfd(k);
+            assert!(cur <= prev + 1e-18, "k={k}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn fault_count_mean() {
+        let m = example();
+        assert!((m.mean_fault_count(1) - (0.1 + 0.4 + 0.02 + 0.9)).abs() < 1e-15);
+        assert!((m.mean_fault_count(2) - (0.01 + 0.16 + 0.0004 + 0.81)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn third_moment_sum_positive_for_mixed_models() {
+        let m = example();
+        assert!(m.third_abs_moment_sum(1) > 0.0);
+        assert!(m.third_abs_moment_sum(2) > 0.0);
+    }
+
+    #[test]
+    fn extreme_p_values_have_zero_variance_contribution() {
+        let m = FaultModel::from_params(&[0.0, 1.0], &[0.5, 0.5]).unwrap();
+        assert_eq!(m.var_pfd_single(), 0.0);
+        assert!((m.mean_pfd_single() - 0.5).abs() < 1e-15);
+        assert!((m.mean_pfd_pair() - 0.5).abs() < 1e-15);
+    }
+
+    proptest! {
+        #[test]
+        fn moments_match_enumeration(
+            params in proptest::collection::vec((0.0..=1.0f64, 0.0..0.1f64), 1..10)
+        ) {
+            let (ps, qs): (Vec<f64>, Vec<f64>) = params.iter().copied().unzip();
+            let m = FaultModel::from_params(&ps, &qs).unwrap();
+            // Enumerate the full distribution and compare moments.
+            let d = divrel_numerics::WeightedBernoulliSum::enumerate(&m.terms(1)).unwrap();
+            prop_assert!((d.mean() - m.mean_pfd_single()).abs() < 1e-10);
+            prop_assert!((d.variance() - m.var_pfd_single()).abs() < 1e-10);
+            let d2 = divrel_numerics::WeightedBernoulliSum::enumerate(&m.terms(2)).unwrap();
+            prop_assert!((d2.mean() - m.mean_pfd_pair()).abs() < 1e-10);
+            prop_assert!((d2.variance() - m.var_pfd_pair()).abs() < 1e-10);
+        }
+
+        #[test]
+        fn el_lm_inequality_mean_pair_at_least_product(
+            params in proptest::collection::vec((0.0..=1.0f64, 0.0..0.05f64), 1..12)
+        ) {
+            // The EL/LM conclusion the paper re-derives (§2.2): the average
+            // PFD of a pair is at least the product of the averages —
+            // independence of *versions* would give µ1², reality gives
+            // µ2 = Σ pᵢ²qᵢ ≥ ... (Cauchy-Schwarz-type bound with Σqᵢ ≤ 1).
+            let (ps, qs): (Vec<f64>, Vec<f64>) = params.iter().copied().unzip();
+            let total_q: f64 = qs.iter().sum();
+            prop_assume!(total_q <= 1.0 && total_q > 0.0);
+            let m = FaultModel::from_params(&ps, &qs).unwrap();
+            // With Σq ≤ 1, E[Θ²-version] ≥ (E[Θ single])² by Jensen on the
+            // measure weighted by qᵢ.
+            prop_assert!(m.mean_pfd_pair() + 1e-12 >= m.mean_pfd_single().powi(2));
+        }
+    }
+}

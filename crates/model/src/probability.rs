@@ -1,0 +1,220 @@
+//! A validated probability newtype.
+//!
+//! Every parameter of the fault-creation model is a probability (`pᵢ`, the
+//! chance a fault is introduced; `qᵢ`, the chance a random demand hits its
+//! failure region). Wrapping `f64` in [`Probability`] pushes validation to
+//! the construction boundary so that the analysis code can assume `[0, 1]`
+//! throughout (C-NEWTYPE / C-VALIDATE).
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A probability: an `f64` guaranteed to be finite and within `[0, 1]`.
+///
+/// ```
+/// use divrel_model::Probability;
+///
+/// let p = Probability::new(0.25)?;
+/// assert_eq!(p.value(), 0.25);
+/// assert_eq!(p.complement().value(), 0.75);
+/// assert!(Probability::new(1.5).is_err());
+/// # Ok::<(), divrel_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Probability(f64);
+
+impl Probability {
+    /// The impossible event.
+    pub const ZERO: Probability = Probability(0.0);
+    /// The certain event.
+    pub const ONE: Probability = Probability(1.0);
+
+    /// Validates and wraps a raw value.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidProbability`] if `value` is NaN, infinite, or
+    /// outside `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, ModelError> {
+        if value.is_finite() && (0.0..=1.0).contains(&value) {
+            Ok(Probability(value))
+        } else {
+            Err(ModelError::InvalidProbability(value))
+        }
+    }
+
+    /// The raw value in `[0, 1]`.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+
+    /// `1 − p`, the probability of the complementary event.
+    pub fn complement(&self) -> Probability {
+        Probability(1.0 - self.0)
+    }
+
+    /// `p²` — the probability that an independent pair of developments both
+    /// make the same mistake (the paper's central quantity for 1oo2).
+    pub fn squared(&self) -> Probability {
+        Probability(self.0 * self.0)
+    }
+
+    /// `p^k` — common-mistake probability across `k` independent
+    /// developments.
+    pub fn powi(&self, k: u32) -> Probability {
+        Probability(self.0.powi(k as i32))
+    }
+
+    /// Product of two probabilities (probability of two independent events
+    /// both occurring).
+    pub fn and(&self, other: Probability) -> Probability {
+        Probability(self.0 * other.0)
+    }
+
+    /// Probability of at least one of two independent events:
+    /// `1 − (1−a)(1−b)`.
+    pub fn or_independent(&self, other: Probability) -> Probability {
+        Probability(1.0 - (1.0 - self.0) * (1.0 - other.0))
+    }
+
+    /// Whether this probability is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Whether this probability is exactly one.
+    pub fn is_one(&self) -> bool {
+        self.0 == 1.0
+    }
+
+    /// Clamped constructor: saturates out-of-range finite values to the
+    /// nearest bound instead of failing. Useful when a downstream
+    /// computation produces `1 + 1e-17`-style round-off.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidProbability`] only for NaN/infinite input.
+    pub fn new_clamped(value: f64) -> Result<Self, ModelError> {
+        if value.is_finite() {
+            Ok(Probability(value.clamp(0.0, 1.0)))
+        } else {
+            Err(ModelError::InvalidProbability(value))
+        }
+    }
+}
+
+impl fmt::Display for Probability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl TryFrom<f64> for Probability {
+    type Error = ModelError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Probability::new(value)
+    }
+}
+
+impl From<Probability> for f64 {
+    fn from(p: Probability) -> f64 {
+        p.0
+    }
+}
+
+impl Default for Probability {
+    fn default() -> Self {
+        Probability::ZERO
+    }
+}
+
+// Probabilities are totally ordered because NaN is excluded at construction.
+impl Eq for Probability {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Probability {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Probability::new(0.0).is_ok());
+        assert!(Probability::new(1.0).is_ok());
+        assert!(Probability::new(0.5).is_ok());
+        assert!(Probability::new(-0.001).is_err());
+        assert!(Probability::new(1.001).is_err());
+        assert!(Probability::new(f64::NAN).is_err());
+        assert!(Probability::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn clamped_construction() {
+        assert_eq!(Probability::new_clamped(1.0 + 1e-17).unwrap(), Probability::ONE);
+        assert_eq!(Probability::new_clamped(-1e-17).unwrap(), Probability::ZERO);
+        assert!(Probability::new_clamped(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn algebra() {
+        let p = Probability::new(0.2).unwrap();
+        let q = Probability::new(0.5).unwrap();
+        assert!((p.complement().value() - 0.8).abs() < 1e-15);
+        assert!((p.squared().value() - 0.04).abs() < 1e-15);
+        assert!((p.powi(3).value() - 0.008).abs() < 1e-15);
+        assert!((p.and(q).value() - 0.1).abs() < 1e-15);
+        assert!((p.or_independent(q).value() - 0.6).abs() < 1e-15);
+        assert!(Probability::ZERO.is_zero());
+        assert!(Probability::ONE.is_one());
+    }
+
+    #[test]
+    fn conversions() {
+        let p: Probability = 0.3_f64.try_into().unwrap();
+        let raw: f64 = p.into();
+        assert_eq!(raw, 0.3);
+        let bad: Result<Probability, _> = 2.0_f64.try_into();
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = [Probability::new(0.9).unwrap(),
+            Probability::new(0.1).unwrap(),
+            Probability::new(0.5).unwrap()];
+        v.sort();
+        assert_eq!(v[0].value(), 0.1);
+        assert_eq!(v[2].value(), 0.9);
+        assert_eq!(v.iter().max().unwrap().value(), 0.9);
+    }
+
+    #[test]
+    fn display_shows_value() {
+        assert_eq!(Probability::new(0.25).unwrap().to_string(), "0.25");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = Probability::new(0.125).unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(json, "0.125");
+        let back: Probability = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+        // Invalid values are rejected at deserialisation time.
+        let bad: Result<Probability, _> = serde_json::from_str("1.5");
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Probability::default(), Probability::ZERO);
+    }
+}

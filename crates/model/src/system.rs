@@ -1,0 +1,216 @@
+//! System-level views: a single version, the paper's 1-out-of-2 pair, and
+//! the 1-out-of-`k` generalisation.
+//!
+//! [`DiverseSystem`] packages a [`FaultModel`] with a number of
+//! independently developed channels and exposes every § of the paper's
+//! analysis through one coherent interface: moments (§3), fault-free
+//! probabilities (§4), and distributions/bounds (§5). A 1-out-of-`k`
+//! system fails on a demand only if **all** `k` versions fail on it, which
+//! in the model means a fault common to all `k` versions — probability
+//! `pᵢᵏ` per fault (the paper treats `k = 2`; larger `k` is the natural
+//! extension mentioned with "forced diversity" left for future work).
+
+use crate::distribution::PfdDistribution;
+use crate::error::ModelError;
+use crate::fault::FaultModel;
+use std::fmt;
+
+/// A diverse system: `k` independently developed versions of the same
+/// specification behind a perfect 1-out-of-`k` adjudicator.
+///
+/// ```
+/// use divrel_model::{DiverseSystem, FaultModel};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = FaultModel::uniform(10, 0.1, 0.005)?;
+/// let single = DiverseSystem::single_version(model.clone());
+/// let pair = DiverseSystem::one_out_of_two(model);
+///
+/// assert!(pair.mean_pfd() < single.mean_pfd());
+/// assert!(pair.prob_fault_free() > single.prob_fault_free());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiverseSystem {
+    model: FaultModel,
+    channels: u32,
+}
+
+impl DiverseSystem {
+    /// Creates a system with `channels` independently developed versions.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Degenerate`] for `channels == 0`.
+    pub fn new(model: FaultModel, channels: u32) -> Result<Self, ModelError> {
+        if channels == 0 {
+            return Err(ModelError::Degenerate("a system needs at least one channel"));
+        }
+        Ok(DiverseSystem { model, channels })
+    }
+
+    /// A single (non-diverse) version.
+    pub fn single_version(model: FaultModel) -> Self {
+        DiverseSystem { model, channels: 1 }
+    }
+
+    /// The paper's 1-out-of-2 protection configuration (Fig 1).
+    pub fn one_out_of_two(model: FaultModel) -> Self {
+        DiverseSystem { model, channels: 2 }
+    }
+
+    /// The underlying fault model.
+    pub fn model(&self) -> &FaultModel {
+        &self.model
+    }
+
+    /// Number of independently developed channels.
+    pub fn channels(&self) -> u32 {
+        self.channels
+    }
+
+    /// Mean PFD `E[Θ_k] = Σ pᵢᵏqᵢ` (eq 1).
+    pub fn mean_pfd(&self) -> f64 {
+        self.model.mean_pfd(self.channels)
+    }
+
+    /// PFD variance (eq 2).
+    pub fn var_pfd(&self) -> f64 {
+        self.model.var_pfd(self.channels)
+    }
+
+    /// PFD standard deviation.
+    pub fn std_pfd(&self) -> f64 {
+        self.model.std_pfd(self.channels)
+    }
+
+    /// Probability that the system has no (common) fault at all (§4).
+    pub fn prob_fault_free(&self) -> f64 {
+        self.model.prob_fault_free(self.channels)
+    }
+
+    /// Risk of at least one (common) fault, `P(N_k > 0)` (§4).
+    pub fn risk_any_fault(&self) -> f64 {
+        self.model.risk_any_fault(self.channels)
+    }
+
+    /// Full PFD distribution with §5 normal approximation and certificates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PfdDistribution::new`].
+    pub fn pfd_distribution(&self) -> Result<PfdDistribution, ModelError> {
+        PfdDistribution::new(&self.model, self.channels)
+    }
+
+    /// The diversity gain over a single version in mean PFD:
+    /// `E[Θ₁] / E[Θ_k]` (large is good).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Degenerate`] when the system's mean PFD is zero.
+    pub fn mean_gain(&self) -> Result<f64, ModelError> {
+        let own = self.mean_pfd();
+        if own == 0.0 {
+            return Err(ModelError::Degenerate(
+                "mean gain undefined: system mean PFD is zero",
+            ));
+        }
+        Ok(self.model.mean_pfd_single() / own)
+    }
+
+    /// The §4 risk-ratio gain `P(N_k>0)/P(N₁>0)` (small is good).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FaultModel::risk_ratio_k`].
+    pub fn risk_ratio(&self) -> Result<f64, ModelError> {
+        self.model.risk_ratio_k(self.channels)
+    }
+}
+
+impl fmt::Display for DiverseSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DiverseSystem(channels={}, n={}, E[PFD]={:.3e})",
+            self.channels,
+            self.model.len(),
+            self.mean_pfd()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> FaultModel {
+        FaultModel::from_params(&[0.2, 0.1, 0.05], &[0.01, 0.02, 0.005]).unwrap()
+    }
+
+    #[test]
+    fn constructors() {
+        let s = DiverseSystem::single_version(model());
+        assert_eq!(s.channels(), 1);
+        let p = DiverseSystem::one_out_of_two(model());
+        assert_eq!(p.channels(), 2);
+        let k3 = DiverseSystem::new(model(), 3).unwrap();
+        assert_eq!(k3.channels(), 3);
+        assert!(DiverseSystem::new(model(), 0).is_err());
+    }
+
+    #[test]
+    fn delegation_matches_model() {
+        let m = model();
+        let s = DiverseSystem::single_version(m.clone());
+        assert_eq!(s.mean_pfd(), m.mean_pfd_single());
+        assert_eq!(s.var_pfd(), m.var_pfd_single());
+        assert_eq!(s.prob_fault_free(), m.prob_fault_free_single());
+        let p = DiverseSystem::one_out_of_two(m.clone());
+        assert_eq!(p.mean_pfd(), m.mean_pfd_pair());
+        assert_eq!(p.risk_any_fault(), m.risk_any_fault_pair());
+    }
+
+    #[test]
+    fn gains_improve_with_channels() {
+        let m = model();
+        let mut prev_mean = f64::INFINITY;
+        let mut prev_risk = f64::INFINITY;
+        for k in 1..5 {
+            let s = DiverseSystem::new(m.clone(), k).unwrap();
+            assert!(s.mean_pfd() <= prev_mean);
+            assert!(s.risk_any_fault() <= prev_risk);
+            prev_mean = s.mean_pfd();
+            prev_risk = s.risk_any_fault();
+        }
+    }
+
+    #[test]
+    fn mean_gain_and_risk_ratio() {
+        let m = model();
+        let p = DiverseSystem::one_out_of_two(m.clone());
+        let g = p.mean_gain().unwrap();
+        assert!((g - m.mean_pfd_single() / m.mean_pfd_pair()).abs() < 1e-12);
+        assert!(g > 1.0);
+        let rr = p.risk_ratio().unwrap();
+        assert!((rr - m.risk_ratio().unwrap()).abs() < 1e-15);
+
+        let zero = FaultModel::uniform(2, 0.0, 0.1).unwrap();
+        assert!(DiverseSystem::one_out_of_two(zero).mean_gain().is_err());
+    }
+
+    #[test]
+    fn distribution_round_trip() {
+        let p = DiverseSystem::one_out_of_two(model());
+        let d = p.pfd_distribution().unwrap();
+        assert_eq!(d.versions(), 2);
+        assert!((d.mean() - p.mean_pfd()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn display_mentions_channels() {
+        let p = DiverseSystem::one_out_of_two(model());
+        assert!(p.to_string().contains("channels=2"));
+    }
+}

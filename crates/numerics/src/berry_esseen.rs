@@ -1,0 +1,160 @@
+//! Berry–Esseen bound for sums of independent, non-identically distributed
+//! random variables.
+//!
+//! §5 of the paper approximates the PFD distribution by a normal via the
+//! CLT and admits: *"As this is an asymptotic result, we will not know in
+//! practice how good an approximation it is in a specific case."* For a sum
+//! of independent bounded terms we actually **can** know: the Berry–Esseen
+//! theorem bounds the sup-distance between the standardised sum's CDF and
+//! the standard normal CDF by `C · Σ E|Xᵢ−µᵢ|³ / s³`, where
+//! `s² = Σ Var(Xᵢ)` and `C ≤ 0.5600` (Shevtsova 2010, non-i.i.d. case).
+//!
+//! This module computes that certificate for the paper's fault sums, so an
+//! assessor can decide *a priori* whether §5's normal reasoning is safe for
+//! a given fault model.
+
+use crate::error::{domain, NumericsError};
+
+/// The best published constant for the non-identically-distributed
+/// Berry–Esseen inequality (Shevtsova, 2010).
+pub const BERRY_ESSEEN_CONSTANT: f64 = 0.5600;
+
+/// Computes the Berry–Esseen bound for `Θ = Σ qᵢ·Bernoulli(pᵢ)`.
+///
+/// For a Bernoulli term `X = q·B(p)`:
+/// * `E X = pq`, `Var X = p(1−p)q²`,
+/// * `E|X−EX|³ = q³·p(1−p)·(p² + (1−p)²)`.
+///
+/// The returned value bounds `sup_x |P((Θ−µ)/s ≤ x) − Φ(x)|`.
+///
+/// # Errors
+///
+/// [`NumericsError::DomainError`] if a probability is outside `[0, 1]`, a
+/// weight is negative, or the total variance is zero (the standardised sum
+/// is undefined).
+///
+/// ```
+/// use divrel_numerics::berry_esseen::bernoulli_sum_bound;
+///
+/// // Many comparable faults → certificate is small.
+/// let terms: Vec<(f64, f64)> = (0..1000).map(|_| (0.3, 1e-4)).collect();
+/// let bound = bernoulli_sum_bound(&terms).unwrap();
+/// assert!(bound < 0.05, "bound = {bound}");
+///
+/// // A single fault → the certificate honestly reports the CLT is useless.
+/// let bound1 = bernoulli_sum_bound(&[(0.3, 1e-4)]).unwrap();
+/// assert!(bound1 > 0.5);
+/// ```
+pub fn bernoulli_sum_bound(terms: &[(f64, f64)]) -> Result<f64, NumericsError> {
+    let mut var_sum = 0.0_f64;
+    let mut rho_sum = 0.0_f64;
+    for &(p, q) in terms {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(domain(format!("probability must lie in [0, 1], got {p}")));
+        }
+        if !q.is_finite() || q < 0.0 {
+            return Err(domain(format!("weight must be finite and >= 0, got {q}")));
+        }
+        let v = p * (1.0 - p) * q * q;
+        var_sum += v;
+        // Third absolute central moment of q*Bernoulli(p):
+        // with prob p: |q - pq|^3 = q^3 (1-p)^3; with prob (1-p): (pq)^3.
+        rho_sum += q * q * q * (p * (1.0 - p).powi(3) + (1.0 - p) * p.powi(3));
+    }
+    if var_sum == 0.0 {
+        return Err(domain(
+            "Berry–Esseen bound undefined for zero-variance sum (no random term)",
+        ));
+    }
+    Ok(BERRY_ESSEEN_CONSTANT * rho_sum / var_sum.powf(1.5))
+}
+
+/// Convenience: third absolute central moment of a single `q·Bernoulli(p)`
+/// term, `E|X−EX|³ = q³·p(1−p)·((1−p)² + p²)`.
+///
+/// ```
+/// use divrel_numerics::berry_esseen::third_abs_central_moment;
+/// let m = third_abs_central_moment(0.5, 2.0);
+/// // 8 * 0.25 * (0.25 + 0.25) = 1.0
+/// assert!((m - 1.0).abs() < 1e-15);
+/// ```
+pub fn third_abs_central_moment(p: f64, q: f64) -> f64 {
+    q * q * q * (p * (1.0 - p).powi(3) + (1.0 - p) * p.powi(3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ks::sup_distance_to_cdf;
+    use crate::normal::Normal;
+    use crate::weighted_sum::WeightedBernoulliSum;
+
+    #[test]
+    fn third_moment_brute_force() {
+        for p in [0.1_f64, 0.5, 0.9] {
+            for q in [0.5_f64, 1.0, 3.0] {
+                let mean: f64 = p * q;
+                let brute = p * (q - mean).abs().powi(3) + (1.0 - p) * mean.powi(3);
+                let got = third_abs_central_moment(p, q);
+                assert!((got - brute).abs() < 1e-12, "p={p}, q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn bound_decreases_with_n_for_iid_terms() {
+        // For iid terms the bound scales as 1/sqrt(n).
+        let mk = |n: usize| -> f64 {
+            let terms: Vec<(f64, f64)> = (0..n).map(|_| (0.3, 0.01)).collect();
+            bernoulli_sum_bound(&terms).unwrap()
+        };
+        let b10 = mk(10);
+        let b40 = mk(40);
+        let b160 = mk(160);
+        assert!(b40 < b10 && b160 < b40);
+        // 1/sqrt(n) scaling: quadrupling n halves the bound.
+        assert!((b40 / b10 - 0.5).abs() < 0.01);
+        assert!((b160 / b40 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn bound_actually_dominates_true_distance() {
+        // The certificate must be an upper bound on the true sup-distance
+        // between the exact standardised law and the standard normal.
+        let terms: Vec<(f64, f64)> = (0..16)
+            .map(|i| (0.2 + 0.04 * (i as f64 % 5.0), 0.01 + 0.001 * i as f64))
+            .collect();
+        let exact = WeightedBernoulliSum::enumerate(&terms).unwrap();
+        let approx = Normal::new(exact.mean(), exact.std_dev()).unwrap();
+        let true_dist = sup_distance_to_cdf(&exact, |x| approx.cdf(x));
+        let bound = bernoulli_sum_bound(&terms).unwrap();
+        assert!(
+            true_dist <= bound + 1e-12,
+            "true distance {true_dist} exceeds certificate {bound}"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        assert!(bernoulli_sum_bound(&[]).is_err());
+        assert!(bernoulli_sum_bound(&[(0.0, 0.1)]).is_err()); // zero variance
+        assert!(bernoulli_sum_bound(&[(1.0, 0.1)]).is_err()); // zero variance
+        assert!(bernoulli_sum_bound(&[(0.5, 0.0)]).is_err()); // zero variance
+        assert!(bernoulli_sum_bound(&[(1.2, 0.1)]).is_err());
+        assert!(bernoulli_sum_bound(&[(0.5, -1.0)]).is_err());
+    }
+
+    #[test]
+    fn heterogeneous_weights_raise_the_bound() {
+        // One dominant fault keeps the sum far from normal: the certificate
+        // should reflect that even with many faults present.
+        let mut terms: Vec<(f64, f64)> = (0..100).map(|_| (0.3, 1e-5)).collect();
+        let balanced = bernoulli_sum_bound(&terms).unwrap();
+        terms.push((0.3, 0.05)); // dominant q
+        let dominated = bernoulli_sum_bound(&terms).unwrap();
+        assert!(
+            dominated > 5.0 * balanced,
+            "dominated {dominated} vs balanced {balanced}"
+        );
+    }
+}

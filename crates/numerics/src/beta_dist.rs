@@ -1,0 +1,305 @@
+//! The Beta distribution.
+//!
+//! Used by `divrel-bayes` as a conjugate prior/posterior family for the
+//! probability of failure on demand, and to moment-match the fault-creation
+//! model's PFD distribution (§6.2 of the paper warns that priors chosen
+//! "for computational convenience only" can be misleading — we provide both
+//! the convenient Beta family and the exact discrete prior so they can be
+//! compared).
+
+use crate::error::{domain, NumericsError};
+use crate::roots::newton_bracketed;
+use crate::special::{beta_inc, ln_gamma};
+
+/// A Beta(α, β) distribution on `[0, 1]`.
+///
+/// ```
+/// use divrel_numerics::beta_dist::Beta;
+///
+/// let b = Beta::new(2.0, 5.0).unwrap();
+/// assert!((b.mean() - 2.0 / 7.0).abs() < 1e-15);
+/// let med = b.quantile(0.5).unwrap();
+/// assert!((b.cdf(med) - 0.5).abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    alpha: f64,
+    beta: f64,
+}
+
+impl Beta {
+    /// Creates a Beta distribution with shape parameters `alpha, beta > 0`.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::DomainError`] if either parameter is not finite and
+    /// positive.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, NumericsError> {
+        if !alpha.is_finite() || !beta.is_finite() || alpha <= 0.0 || beta <= 0.0 {
+            return Err(domain(format!(
+                "beta parameters must be finite and > 0, got alpha={alpha}, beta={beta}"
+            )));
+        }
+        Ok(Beta { alpha, beta })
+    }
+
+    /// Moment-matches a Beta distribution to a given mean and variance.
+    ///
+    /// Solves `mean = α/(α+β)`, `var = αβ/((α+β)²(α+β+1))`.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::DomainError`] unless `0 < mean < 1` and
+    /// `0 < var < mean(1−mean)` (the feasibility condition for a Beta).
+    pub fn from_mean_variance(mean: f64, var: f64) -> Result<Self, NumericsError> {
+        if !(mean > 0.0 && mean < 1.0) {
+            return Err(domain(format!(
+                "moment matching requires 0 < mean < 1, got {mean}"
+            )));
+        }
+        let limit = mean * (1.0 - mean);
+        if !(var > 0.0 && var < limit) {
+            return Err(domain(format!(
+                "moment matching requires 0 < var < mean(1-mean) = {limit}, got {var}"
+            )));
+        }
+        let nu = limit / var - 1.0;
+        Beta::new(mean * nu, (1.0 - mean) * nu)
+    }
+
+    /// Shape parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Shape parameter β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Mean `α/(α+β)`.
+    pub fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Variance `αβ/((α+β)²(α+β+1))`.
+    pub fn variance(&self) -> f64 {
+        let s = self.alpha + self.beta;
+        self.alpha * self.beta / (s * s * (s + 1.0))
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Probability density at `x ∈ (0, 1)` (0 outside).
+    pub fn pdf(&self, x: f64) -> f64 {
+        if !(0.0..=1.0).contains(&x) {
+            return 0.0;
+        }
+        if x == 0.0 {
+            return if self.alpha < 1.0 {
+                f64::INFINITY
+            } else if self.alpha == 1.0 {
+                self.beta
+            } else {
+                0.0
+            };
+        }
+        if x == 1.0 {
+            return if self.beta < 1.0 {
+                f64::INFINITY
+            } else if self.beta == 1.0 {
+                self.alpha
+            } else {
+                0.0
+            };
+        }
+        let ln_b = ln_gamma(self.alpha + self.beta).unwrap_or(0.0)
+            - ln_gamma(self.alpha).unwrap_or(0.0)
+            - ln_gamma(self.beta).unwrap_or(0.0);
+        (ln_b + (self.alpha - 1.0) * x.ln() + (self.beta - 1.0) * (1.0 - x).ln()).exp()
+    }
+
+    /// Cumulative distribution function `P(X ≤ x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        if x >= 1.0 {
+            return 1.0;
+        }
+        beta_inc(self.alpha, self.beta, x).unwrap_or(f64::NAN)
+    }
+
+    /// Quantile (inverse CDF): the `x` with `P(X ≤ x) = p`.
+    ///
+    /// Newton iteration on the regularised incomplete beta, safeguarded by
+    /// bisection.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::DomainError`] unless `0 < p < 1`.
+    pub fn quantile(&self, p: f64) -> Result<f64, NumericsError> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(domain(format!("quantile requires 0 < p < 1, got {p}")));
+        }
+        newton_bracketed(
+            |x| {
+                let x = x.clamp(1e-300, 1.0 - 1e-16);
+                (self.cdf(x) - p, self.pdf(x))
+            },
+            0.0,
+            1.0,
+            1e-14,
+            200,
+        )
+    }
+
+    /// Bayesian update for Bernoulli evidence: `s` failures in `t` demands
+    /// gives posterior `Beta(α + s, β + (t − s))`.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::DomainError`] if `s > t`.
+    pub fn update(&self, failures: u64, demands: u64) -> Result<Beta, NumericsError> {
+        if failures > demands {
+            return Err(domain(format!(
+                "failures ({failures}) cannot exceed demands ({demands})"
+            )));
+        }
+        Beta::new(
+            self.alpha + failures as f64,
+            self.beta + (demands - failures) as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uniform_special_case() {
+        let b = Beta::new(1.0, 1.0).unwrap();
+        assert_eq!(b.mean(), 0.5);
+        for x in [0.1, 0.4, 0.77] {
+            assert!((b.cdf(x) - x).abs() < 1e-13);
+            assert!((b.pdf(x) - 1.0).abs() < 1e-12);
+        }
+        assert!((b.quantile(0.3).unwrap() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_formulas() {
+        let b = Beta::new(3.0, 7.0).unwrap();
+        assert!((b.mean() - 0.3).abs() < 1e-15);
+        assert!((b.variance() - (3.0 * 7.0) / (100.0 * 11.0)).abs() < 1e-15);
+        assert!((b.std_dev() - b.variance().sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn moment_matching_round_trip() {
+        let b = Beta::from_mean_variance(0.01, 1e-6).unwrap();
+        assert!((b.mean() - 0.01).abs() < 1e-12);
+        assert!((b.variance() - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moment_matching_rejects_infeasible() {
+        assert!(Beta::from_mean_variance(0.5, 0.25).is_err()); // var == mean(1-mean)
+        assert!(Beta::from_mean_variance(0.5, 0.3).is_err());
+        assert!(Beta::from_mean_variance(0.0, 0.1).is_err());
+        assert!(Beta::from_mean_variance(0.5, 0.0).is_err());
+    }
+
+    #[test]
+    fn cdf_quantile_round_trip() {
+        let b = Beta::new(0.5, 2.5).unwrap();
+        for p in [0.01, 0.1, 0.5, 0.9, 0.999] {
+            let x = b.quantile(p).unwrap();
+            assert!((b.cdf(x) - p).abs() < 1e-9, "p={p} x={x}");
+        }
+    }
+
+    #[test]
+    fn scipy_reference_values() {
+        // I_0.2(2,5) = P(Binomial(6, 0.2) >= 2) = 0.34464 exactly.
+        let b = Beta::new(2.0, 5.0).unwrap();
+        assert!((b.cdf(0.2) - 0.344_64).abs() < 1e-10);
+        let q = b.quantile(0.95).unwrap();
+        assert!((b.cdf(q) - 0.95).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pdf_edge_behaviour() {
+        let b = Beta::new(0.5, 0.5).unwrap();
+        assert!(b.pdf(0.0).is_infinite());
+        assert!(b.pdf(1.0).is_infinite());
+        let b = Beta::new(2.0, 2.0).unwrap();
+        assert_eq!(b.pdf(0.0), 0.0);
+        assert_eq!(b.pdf(1.0), 0.0);
+        assert_eq!(b.pdf(-0.1), 0.0);
+        assert_eq!(b.pdf(1.1), 0.0);
+        let b = Beta::new(1.0, 3.0).unwrap();
+        assert_eq!(b.pdf(0.0), 3.0);
+    }
+
+    #[test]
+    fn bayesian_update_shifts_mass_toward_evidence() {
+        let prior = Beta::new(1.0, 1.0).unwrap();
+        // 0 failures in 100 demands: posterior concentrates near 0.
+        let post = prior.update(0, 100).unwrap();
+        assert!(post.mean() < 0.02);
+        assert!(post.cdf(0.05) > 0.99);
+        // Failures push it back up.
+        let post2 = prior.update(50, 100).unwrap();
+        assert!((post2.mean() - 0.5).abs() < 0.01);
+        assert!(prior.update(5, 3).is_err());
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        assert!(Beta::new(0.0, 1.0).is_err());
+        assert!(Beta::new(1.0, -2.0).is_err());
+        assert!(Beta::new(f64::INFINITY, 1.0).is_err());
+        assert!(Beta::new(1.0, 1.0).unwrap().quantile(0.0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn cdf_is_monotone(a in 0.2..10.0f64, b in 0.2..10.0f64) {
+            let d = Beta::new(a, b).unwrap();
+            let mut prev = 0.0;
+            for i in 1..50 {
+                let x = i as f64 / 50.0;
+                let c = d.cdf(x);
+                prop_assert!(c + 1e-12 >= prev);
+                prev = c;
+            }
+        }
+
+        #[test]
+        fn quantile_round_trips(a in 0.3..8.0f64, b in 0.3..8.0f64, p in 0.01..0.99f64) {
+            let d = Beta::new(a, b).unwrap();
+            let x = d.quantile(p).unwrap();
+            prop_assert!((d.cdf(x) - p).abs() < 1e-7);
+        }
+
+        #[test]
+        fn update_posterior_mean_between_prior_and_mle(
+            s in 0u64..50, extra in 0u64..50
+        ) {
+            let t = s + extra;
+            prop_assume!(t > 0);
+            let prior = Beta::new(2.0, 18.0).unwrap();
+            let post = prior.update(s, t).unwrap();
+            let mle = s as f64 / t as f64;
+            let lo = prior.mean().min(mle) - 1e-12;
+            let hi = prior.mean().max(mle) + 1e-12;
+            prop_assert!(post.mean() >= lo && post.mean() <= hi);
+        }
+    }
+}

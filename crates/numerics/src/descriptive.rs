@@ -1,0 +1,493 @@
+//! Descriptive statistics: running moments, quantiles, ECDF, histograms.
+//!
+//! Used by the Monte-Carlo layer (`divrel-devsim`) to summarise sampled PFD
+//! values, and by the Knight–Leveson replication (§7) which compares sample
+//! means and standard deviations of single versions against pairs.
+
+use crate::error::NumericsError;
+
+/// Single-pass accumulator of mean, variance, skewness and kurtosis using
+/// the numerically stable Welford/West update.
+///
+/// ```
+/// use divrel_numerics::descriptive::Moments;
+///
+/// let mut m = Moments::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     m.push(x);
+/// }
+/// assert_eq!(m.count(), 8);
+/// assert!((m.mean().unwrap() - 5.0).abs() < 1e-12);
+/// assert!((m.population_variance().unwrap() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+}
+
+impl Moments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Moments::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        let n1 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n1;
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0)
+            + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Moments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let na = self.n as f64;
+        let nb = other.n as f64;
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let delta2 = delta * delta;
+        let delta3 = delta2 * delta;
+        let delta4 = delta2 * delta2;
+        let mean = self.mean + delta * nb / n;
+        let m2 = self.m2 + other.m2 + delta2 * na * nb / n;
+        let m3 = self.m3
+            + other.m3
+            + delta3 * na * nb * (na - nb) / (n * n)
+            + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
+        let m4 = self.m4
+            + other.m4
+            + delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n)
+            + 6.0 * delta2 * (na * na * other.m2 + nb * nb * self.m2) / (n * n)
+            + 4.0 * delta * (na * other.m3 - nb * self.m3) / n;
+        self.n += other.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.m4 = m4;
+    }
+
+    /// Number of observations pushed so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::EmptyData`] if no observations were pushed.
+    pub fn mean(&self) -> Result<f64, NumericsError> {
+        if self.n == 0 {
+            return Err(NumericsError::EmptyData("Moments::mean"));
+        }
+        Ok(self.mean)
+    }
+
+    /// Unbiased sample variance (divisor `n − 1`).
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::EmptyData`] if fewer than two observations were
+    /// pushed.
+    pub fn sample_variance(&self) -> Result<f64, NumericsError> {
+        if self.n < 2 {
+            return Err(NumericsError::EmptyData("Moments::sample_variance"));
+        }
+        Ok(self.m2 / (self.n as f64 - 1.0))
+    }
+
+    /// Population variance (divisor `n`).
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::EmptyData`] if no observations were pushed.
+    pub fn population_variance(&self) -> Result<f64, NumericsError> {
+        if self.n == 0 {
+            return Err(NumericsError::EmptyData("Moments::population_variance"));
+        }
+        Ok(self.m2 / self.n as f64)
+    }
+
+    /// Unbiased sample standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::sample_variance`].
+    pub fn sample_std_dev(&self) -> Result<f64, NumericsError> {
+        Ok(self.sample_variance()?.sqrt())
+    }
+
+    /// Sample skewness `g₁ = (m₃/n) / (m₂/n)^{3/2}`.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::EmptyData`] if fewer than two observations, or
+    /// [`NumericsError::DomainError`] if the variance is zero.
+    pub fn skewness(&self) -> Result<f64, NumericsError> {
+        if self.n < 2 {
+            return Err(NumericsError::EmptyData("Moments::skewness"));
+        }
+        if self.m2 == 0.0 {
+            return Err(crate::error::domain("skewness undefined for zero variance"));
+        }
+        let n = self.n as f64;
+        Ok((self.m3 / n) / (self.m2 / n).powf(1.5))
+    }
+
+    /// Sample excess kurtosis `g₂ = (m₄/n)/(m₂/n)² − 3`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::skewness`].
+    pub fn excess_kurtosis(&self) -> Result<f64, NumericsError> {
+        if self.n < 2 {
+            return Err(NumericsError::EmptyData("Moments::excess_kurtosis"));
+        }
+        if self.m2 == 0.0 {
+            return Err(crate::error::domain("kurtosis undefined for zero variance"));
+        }
+        let n = self.n as f64;
+        Ok((self.m4 / n) / (self.m2 / n).powi(2) - 3.0)
+    }
+}
+
+impl FromIterator<f64> for Moments {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut m = Moments::new();
+        for x in iter {
+            m.push(x);
+        }
+        m
+    }
+}
+
+impl Extend<f64> for Moments {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// Empirical cumulative distribution function over a sample.
+///
+/// ```
+/// use divrel_numerics::descriptive::Ecdf;
+///
+/// let e = Ecdf::new(vec![3.0, 1.0, 2.0]).unwrap();
+/// assert_eq!(e.eval(0.5), 0.0);
+/// assert!((e.eval(1.0) - 1.0 / 3.0).abs() < 1e-15);
+/// assert_eq!(e.eval(3.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF, sorting the sample.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::EmptyData`] for an empty sample,
+    /// [`NumericsError::DomainError`] if the sample contains NaN.
+    pub fn new(mut sample: Vec<f64>) -> Result<Self, NumericsError> {
+        if sample.is_empty() {
+            return Err(NumericsError::EmptyData("Ecdf::new"));
+        }
+        if sample.iter().any(|x| x.is_nan()) {
+            return Err(crate::error::domain("ECDF sample contains NaN"));
+        }
+        sample.sort_by(|a, b| a.total_cmp(b));
+        Ok(Ecdf { sorted: sample })
+    }
+
+    /// Fraction of the sample `≤ x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the count of elements <= x.
+        let cnt = self.sorted.partition_point(|&v| v <= x);
+        cnt as f64 / self.sorted.len() as f64
+    }
+
+    /// The sorted sample underlying the ECDF.
+    pub fn sorted_sample(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Empirical quantile (type-1 / inverse-CDF definition).
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::DomainError`] unless `0 < p <= 1`.
+    pub fn quantile(&self, p: f64) -> Result<f64, NumericsError> {
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(crate::error::domain(format!(
+                "quantile requires 0 < p <= 1, got {p}"
+            )));
+        }
+        let n = self.sorted.len();
+        let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+        Ok(self.sorted[idx])
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true for a constructed ECDF).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi]`.
+///
+/// Out-of-range observations are counted in saturating edge bins so no data
+/// is silently dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins spanning `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::DomainError`] if `lo >= hi` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, NumericsError> {
+        let well_formed = lo.is_finite() && hi.is_finite() && lo < hi;
+        if !well_formed {
+            return Err(crate::error::domain(format!(
+                "histogram requires finite lo < hi, got [{lo}, {hi}]"
+            )));
+        }
+        if bins == 0 {
+            return Err(crate::error::domain("histogram requires >= 1 bin"));
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        })
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let idx = if x <= self.lo {
+            0
+        } else if x >= self.hi {
+            bins - 1
+        } else {
+            (((x - self.lo) / (self.hi - self.lo)) * bins as f64) as usize
+        };
+        self.counts[idx.min(bins - 1)] += 1;
+        self.total += 1;
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Normalised density estimate for bin `i` (integrates to ~1).
+    pub fn density(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts[i] as f64 / (self.total as f64 * w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn moments_match_two_pass_reference() {
+        let data = [1.5, 2.5, 2.5, 2.75, 3.25, 4.75];
+        let m: Moments = data.iter().copied().collect();
+        let mean: f64 = data.iter().sum::<f64>() / data.len() as f64;
+        let var: f64 =
+            data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (data.len() as f64 - 1.0);
+        assert!((m.mean().unwrap() - mean).abs() < 1e-14);
+        assert!((m.sample_variance().unwrap() - var).abs() < 1e-14);
+    }
+
+    #[test]
+    fn moments_skewness_of_symmetric_data_is_zero() {
+        let m: Moments = [-2.0, -1.0, 0.0, 1.0, 2.0].into_iter().collect();
+        assert!(m.skewness().unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_skewness_sign() {
+        let right_skewed: Moments = [1.0, 1.0, 1.0, 1.0, 10.0].into_iter().collect();
+        assert!(right_skewed.skewness().unwrap() > 0.0);
+        let left_skewed: Moments = [-10.0, 1.0, 1.0, 1.0, 1.0].into_iter().collect();
+        assert!(left_skewed.skewness().unwrap() < 0.0);
+    }
+
+    #[test]
+    fn moments_empty_and_degenerate_errors() {
+        let m = Moments::new();
+        assert!(m.mean().is_err());
+        assert!(m.sample_variance().is_err());
+        let mut m = Moments::new();
+        m.push(1.0);
+        assert!(m.mean().is_ok());
+        assert!(m.sample_variance().is_err());
+        m.push(1.0);
+        assert!(m.skewness().is_err()); // zero variance
+    }
+
+    #[test]
+    fn moments_merge_equals_sequential() {
+        let a_data = [1.0, 2.0, 3.0, 4.0];
+        let b_data = [10.0, 20.0, 0.5];
+        let mut a: Moments = a_data.into_iter().collect();
+        let b: Moments = b_data.into_iter().collect();
+        a.merge(&b);
+        let all: Moments = a_data.into_iter().chain(b_data).collect();
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean().unwrap() - all.mean().unwrap()).abs() < 1e-12);
+        assert!(
+            (a.sample_variance().unwrap() - all.sample_variance().unwrap()).abs() < 1e-12
+        );
+        assert!((a.skewness().unwrap() - all.skewness().unwrap()).abs() < 1e-10);
+        assert!(
+            (a.excess_kurtosis().unwrap() - all.excess_kurtosis().unwrap()).abs() < 1e-10
+        );
+    }
+
+    #[test]
+    fn moments_merge_with_empty() {
+        let mut a = Moments::new();
+        let b: Moments = [5.0, 6.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        let mut c: Moments = [5.0, 6.0].into_iter().collect();
+        c.merge(&Moments::new());
+        assert_eq!(c.count(), 2);
+    }
+
+    #[test]
+    fn ecdf_step_values() {
+        let e = Ecdf::new(vec![1.0, 2.0, 2.0, 3.0]).unwrap();
+        assert_eq!(e.eval(0.0), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(2.5), 0.75);
+        assert_eq!(e.eval(10.0), 1.0);
+        assert_eq!(e.len(), 4);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn ecdf_quantiles() {
+        let e = Ecdf::new((1..=100).map(f64::from).collect()).unwrap();
+        assert_eq!(e.quantile(0.5).unwrap(), 50.0);
+        assert_eq!(e.quantile(0.99).unwrap(), 99.0);
+        assert_eq!(e.quantile(1.0).unwrap(), 100.0);
+        assert_eq!(e.quantile(0.01).unwrap(), 1.0);
+        assert!(e.quantile(0.0).is_err());
+    }
+
+    #[test]
+    fn ecdf_rejects_bad_input() {
+        assert!(Ecdf::new(vec![]).is_err());
+        assert!(Ecdf::new(vec![1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn histogram_bins_and_density() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        for x in [0.1, 0.3, 0.3, 0.6, 0.9, 1.5, -0.5] {
+            h.push(x);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.counts(), &[2, 2, 1, 2]); // -0.5 -> bin 0, 1.5 -> bin 3
+        let sum: f64 = (0..4).map(|i| h.density(i) * 0.25).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((h.bin_center(0) - 0.125).abs() < 1e-15);
+    }
+
+    #[test]
+    fn histogram_rejects_bad_configuration() {
+        assert!(Histogram::new(1.0, 0.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn ecdf_is_monotone(mut xs in proptest::collection::vec(-100.0..100.0f64, 1..50)) {
+            xs.sort_by(|a, b| a.total_cmp(b));
+            let e = Ecdf::new(xs.clone()).unwrap();
+            let mut prev = 0.0;
+            for x in &xs {
+                let v = e.eval(*x);
+                prop_assert!(v >= prev - 1e-12);
+                prev = v;
+            }
+        }
+
+        #[test]
+        fn welford_matches_naive(xs in proptest::collection::vec(-1e3..1e3f64, 2..60)) {
+            let m: Moments = xs.iter().copied().collect();
+            let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+            let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+                / (xs.len() as f64 - 1.0);
+            prop_assert!((m.mean().unwrap() - mean).abs() < 1e-8);
+            prop_assert!((m.sample_variance().unwrap() - var).abs() < 1e-6 * var.max(1.0));
+        }
+
+        #[test]
+        fn histogram_conserves_count(xs in proptest::collection::vec(-10.0..10.0f64, 0..100)) {
+            let mut h = Histogram::new(-1.0, 1.0, 7).unwrap();
+            for x in &xs {
+                h.push(*x);
+            }
+            prop_assert_eq!(h.total(), xs.len() as u64);
+            prop_assert_eq!(h.counts().iter().sum::<u64>(), xs.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type shared across the numerics crate.
+
+use std::fmt;
+
+/// Errors produced by numerical routines in this crate.
+///
+/// All public fallible functions in `divrel-numerics` return this type, so
+/// that callers can propagate numerical failures with `?` without inspecting
+/// crate internals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericsError {
+    /// An argument was outside the mathematical domain of the function.
+    ///
+    /// The payload describes the violated requirement, e.g.
+    /// `"probability must lie in [0, 1], got 1.5"`.
+    DomainError(String),
+    /// An iterative algorithm failed to converge within its iteration budget.
+    NoConvergence {
+        /// Human-readable name of the algorithm that failed.
+        algorithm: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// A bracketing method was handed an interval that does not bracket a
+    /// root (the function has the same sign at both ends).
+    NoBracket {
+        /// Left end of the supplied interval.
+        lo: f64,
+        /// Right end of the supplied interval.
+        hi: f64,
+    },
+    /// An operation required a non-empty data set but received an empty one.
+    EmptyData(&'static str),
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::DomainError(msg) => write!(f, "domain error: {msg}"),
+            NumericsError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} failed to converge after {iterations} iterations"),
+            NumericsError::NoBracket { lo, hi } => {
+                write!(f, "interval [{lo}, {hi}] does not bracket a root")
+            }
+            NumericsError::EmptyData(what) => write!(f, "empty data passed to {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NumericsError {}
+
+/// Convenience constructor for [`NumericsError::DomainError`].
+pub(crate) fn domain(msg: impl Into<String>) -> NumericsError {
+    NumericsError::DomainError(msg.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NumericsError::DomainError("probability out of range".into());
+        assert!(e.to_string().contains("probability out of range"));
+        let e = NumericsError::NoConvergence {
+            algorithm: "newton",
+            iterations: 42,
+        };
+        assert!(e.to_string().contains("newton"));
+        assert!(e.to_string().contains("42"));
+        let e = NumericsError::NoBracket { lo: 0.0, hi: 1.0 };
+        assert!(e.to_string().contains("bracket"));
+        let e = NumericsError::EmptyData("mean");
+        assert!(e.to_string().contains("mean"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<NumericsError>();
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            NumericsError::EmptyData("x"),
+            NumericsError::EmptyData("x")
+        );
+        assert_ne!(
+            NumericsError::NoBracket { lo: 0.0, hi: 1.0 },
+            NumericsError::NoBracket { lo: 0.0, hi: 2.0 }
+        );
+    }
+}

@@ -1,0 +1,338 @@
+//! The normal (Gaussian) distribution.
+//!
+//! §5 of the paper approximates the distribution of the probability of
+//! failure on demand (PFD) of a version or a 1-out-of-2 pair by a normal
+//! distribution and reasons about one-sided confidence bounds of the form
+//! `µ + kσ`. This module provides the pdf/cdf/quantile machinery behind
+//! those statements, including the paper's own worked conversions
+//! (`P(Θ ≤ µ+3σ) = 0.99865003`, 99% ↔ `k = 2.33`).
+//!
+//! The quantile uses Acklam's rational approximation refined by one Halley
+//! step against the Cody-based CDF, giving near machine precision.
+
+use crate::error::{domain, NumericsError};
+use crate::special::{erfc, SQRT_2PI};
+
+/// A normal distribution with mean `mu` and standard deviation `sigma`.
+///
+/// ```
+/// use divrel_numerics::normal::Normal;
+///
+/// let n = Normal::new(0.01, 0.001).unwrap();
+/// // An 84% one-sided bound is ≈ µ + 1σ (paper §5.1 example).
+/// let b = n.quantile(0.8413447460685429).unwrap();
+/// assert!((b - 0.011).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DomainError`] if `sigma <= 0` or either
+    /// parameter is not finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, NumericsError> {
+        if !mu.is_finite() || !sigma.is_finite() {
+            return Err(domain(format!(
+                "normal parameters must be finite, got mu={mu}, sigma={sigma}"
+            )));
+        }
+        if sigma <= 0.0 {
+            return Err(domain(format!("normal sigma must be > 0, got {sigma}")));
+        }
+        Ok(Normal { mu, sigma })
+    }
+
+    /// The standard normal distribution (`µ = 0`, `σ = 1`).
+    pub fn standard() -> Self {
+        Normal { mu: 0.0, sigma: 1.0 }
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    /// Standard deviation of the distribution.
+    pub fn std_dev(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Probability density function at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * SQRT_2PI)
+    }
+
+    /// Cumulative distribution function `P(X ≤ x)`.
+    ///
+    /// Computed via `erfc` so that both tails retain full relative accuracy.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        0.5 * erfc(-z / std::f64::consts::SQRT_2)
+    }
+
+    /// Survival function `P(X > x) = 1 - cdf(x)`, accurate in the right tail.
+    pub fn sf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        0.5 * erfc(z / std::f64::consts::SQRT_2)
+    }
+
+    /// Quantile (inverse CDF): the `x` with `P(X ≤ x) = p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DomainError`] unless `0 < p < 1`.
+    pub fn quantile(&self, p: f64) -> Result<f64, NumericsError> {
+        Ok(self.mu + self.sigma * standard_quantile(p)?)
+    }
+
+    /// One-sided upper confidence bound at `confidence`, i.e. the value `b`
+    /// with `P(X ≤ b) = confidence`. This is the paper's `µ + kσ` with
+    /// `k = quantile(confidence)` of the standard normal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DomainError`] unless `0 < confidence < 1`.
+    pub fn upper_bound(&self, confidence: f64) -> Result<f64, NumericsError> {
+        self.quantile(confidence)
+    }
+}
+
+impl Default for Normal {
+    fn default() -> Self {
+        Normal::standard()
+    }
+}
+
+// Acklam's inverse normal CDF coefficients.
+const ACK_A: [f64; 6] = [
+    -3.969_683_028_665_376e1,
+    2.209_460_984_245_205e2,
+    -2.759_285_104_469_687e2,
+    1.383_577_518_672_69e2,
+    -3.066_479_806_614_716e1,
+    2.506_628_277_459_239,
+];
+const ACK_B: [f64; 5] = [
+    -5.447_609_879_822_406e1,
+    1.615_858_368_580_409e2,
+    -1.556_989_798_598_866e2,
+    6.680_131_188_771_972e1,
+    -1.328_068_155_288_572e1,
+];
+const ACK_C: [f64; 6] = [
+    -7.784_894_002_430_293e-3,
+    -3.223_964_580_411_365e-1,
+    -2.400_758_277_161_838,
+    -2.549_732_539_343_734,
+    4.374_664_141_464_968,
+    2.938_163_982_698_783,
+];
+const ACK_D: [f64; 4] = [
+    7.784_695_709_041_462e-3,
+    3.224_671_290_700_398e-1,
+    2.445_134_137_142_996,
+    3.754_408_661_907_416,
+];
+
+/// Quantile of the **standard** normal distribution.
+///
+/// Acklam's approximation (relative error < 1.15e-9) polished with one
+/// Halley iteration against the high-precision CDF, which brings the result
+/// to ~1 ulp for all practically representable `p`.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::DomainError`] unless `0 < p < 1`.
+///
+/// ```
+/// use divrel_numerics::normal::standard_quantile;
+/// let k99 = standard_quantile(0.99).unwrap();
+/// assert!((k99 - 2.3263478740408408).abs() < 1e-12);
+/// ```
+pub fn standard_quantile(p: f64) -> Result<f64, NumericsError> {
+    if !(p > 0.0 && p < 1.0) {
+        return Err(domain(format!("quantile requires 0 < p < 1, got {p}")));
+    }
+    const P_LOW: f64 = 0.02425;
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((ACK_C[0] * q + ACK_C[1]) * q + ACK_C[2]) * q + ACK_C[3]) * q + ACK_C[4]) * q
+            + ACK_C[5])
+            / ((((ACK_D[0] * q + ACK_D[1]) * q + ACK_D[2]) * q + ACK_D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((ACK_A[0] * r + ACK_A[1]) * r + ACK_A[2]) * r + ACK_A[3]) * r + ACK_A[4]) * r
+            + ACK_A[5])
+            * q
+            / (((((ACK_B[0] * r + ACK_B[1]) * r + ACK_B[2]) * r + ACK_B[3]) * r + ACK_B[4]) * r
+                + 1.0)
+    } else {
+        let q = (-2.0 * (-p).ln_1p()).sqrt();
+        -(((((ACK_C[0] * q + ACK_C[1]) * q + ACK_C[2]) * q + ACK_C[3]) * q + ACK_C[4]) * q
+            + ACK_C[5])
+            / ((((ACK_D[0] * q + ACK_D[1]) * q + ACK_D[2]) * q + ACK_D[3]) * q + 1.0)
+    };
+    // One Halley refinement step against the accurate CDF.
+    let std = Normal::standard();
+    let e = std.cdf(x) - p;
+    let u = e * SQRT_2PI * (0.5 * x * x).exp();
+    Ok(x - u / (1.0 + x * u / 2.0))
+}
+
+/// Converts a one-sided confidence level into the paper's `k` factor such
+/// that `P(Θ ≤ µ + kσ) = confidence` under the normal approximation.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::DomainError`] unless `0 < confidence < 1`.
+///
+/// ```
+/// use divrel_numerics::normal::k_factor;
+/// // Paper §5: "the 99% confidence level corresponds to ϑ = µ + 2.33σ".
+/// assert!((k_factor(0.99).unwrap() - 2.33).abs() < 5e-3);
+/// ```
+pub fn k_factor(confidence: f64) -> Result<f64, NumericsError> {
+    standard_quantile(confidence)
+}
+
+/// Converts a `k` factor into the one-sided confidence level it guarantees:
+/// `P(Θ ≤ µ + kσ)` under the normal approximation.
+///
+/// ```
+/// use divrel_numerics::normal::confidence_of_k;
+/// // Paper §5: P(Θ ≤ µ+3σ) = 0.99865003.
+/// assert!((confidence_of_k(3.0) - 0.99865003).abs() < 1e-7);
+/// ```
+pub fn confidence_of_k(k: f64) -> f64 {
+    Normal::standard().cdf(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// High-precision standard normal CDF values (mpmath).
+    const CDF_TABLE: &[(f64, f64)] = &[
+        (-5.0, 2.866515718791939e-7),
+        (-3.0, 1.349898031630095e-3),
+        (-1.0, 0.15865525393145705),
+        (0.0, 0.5),
+        (0.5, 0.6914624612740131),
+        (1.0, 0.8413447460685429),
+        (2.0, 0.9772498680518208),
+        (3.0, 0.9986501019683699),
+        (5.0, 0.9999997133484281),
+    ];
+
+    #[test]
+    fn cdf_matches_reference() {
+        let n = Normal::standard();
+        for &(x, want) in CDF_TABLE {
+            let got = n.cdf(x);
+            assert!(
+                (got - want).abs() < 1e-15 + 1e-13 * want,
+                "cdf({x}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn sf_is_accurate_in_right_tail() {
+        let n = Normal::standard();
+        // sf(10) = 7.619853024160526e-24 (mpmath)
+        let got = n.sf(10.0);
+        assert!((got / 7.619_853_024_160_526e-24 - 1.0).abs() < 1e-11);
+    }
+
+    #[test]
+    fn quantile_round_trips_cdf() {
+        let n = Normal::standard();
+        for p in [1e-12, 1e-6, 0.01, 0.3, 0.5, 0.9, 0.99, 1.0 - 1e-9] {
+            let x = n.quantile(p).unwrap();
+            assert!((n.cdf(x) - p).abs() < 1e-14 + 1e-12 * p, "p={p}, x={x}");
+        }
+    }
+
+    #[test]
+    fn quantile_reference_values() {
+        // scipy.stats.norm.ppf reference values.
+        let cases = [
+            (0.99, 2.3263478740408408),
+            (0.95, 1.6448536269514722),
+            (0.975, 1.959963984540054),
+            (0.5, 0.0),
+            (0.0013498980316300945, -3.0),
+        ];
+        for (p, want) in cases {
+            let got = standard_quantile(p).unwrap();
+            assert!((got - want).abs() < 1e-12, "p={p}: got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn paper_section5_constants() {
+        // P(Θ ≤ µ+3σ) = 0.99865003 as printed in the paper.
+        assert!((confidence_of_k(3.0) - 0.998_650_03).abs() < 1e-7);
+        // 99% corresponds to k = 2.33 (paper rounds to 2 decimals).
+        assert!((k_factor(0.99).unwrap() - 2.33).abs() < 0.005);
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf_difference() {
+        // Trapezoid integration of the pdf over [-1, 2] vs cdf difference.
+        let n = Normal::new(0.3, 1.7).unwrap();
+        let (a, b) = (-1.0, 2.0);
+        let steps = 20_000;
+        let h = (b - a) / steps as f64;
+        let mut integral = 0.5 * (n.pdf(a) + n.pdf(b));
+        for i in 1..steps {
+            integral += n.pdf(a + i as f64 * h);
+        }
+        integral *= h;
+        let want = n.cdf(b) - n.cdf(a);
+        assert!((integral - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_distribution_behaves() {
+        let n = Normal::new(0.01, 0.001).unwrap();
+        assert_eq!(n.mean(), 0.01);
+        assert_eq!(n.std_dev(), 0.001);
+        // 84.134...% bound is µ + 1σ.
+        let b = n.upper_bound(0.841_344_746_068_542_9).unwrap();
+        assert!((b - 0.011).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::standard().quantile(0.0).is_err());
+        assert!(Normal::standard().quantile(1.0).is_err());
+        assert!(Normal::standard().quantile(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn default_is_standard() {
+        assert_eq!(Normal::default(), Normal::standard());
+    }
+
+    #[test]
+    fn quantile_symmetry() {
+        for p in [0.001, 0.1, 0.25, 0.4] {
+            let lo = standard_quantile(p).unwrap();
+            let hi = standard_quantile(1.0 - p).unwrap();
+            assert!((lo + hi).abs() < 1e-11, "p={p}: {lo} vs {hi}");
+        }
+    }
+}

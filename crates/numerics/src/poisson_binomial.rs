@@ -1,0 +1,255 @@
+//! The Poisson–binomial distribution: the number of successes among
+//! independent Bernoulli trials with *heterogeneous* probabilities.
+//!
+//! In the paper this is the distribution of `N₁` (the number of faults in a
+//! randomly chosen version, success probability `pᵢ` per potential fault)
+//! and of `N₂` (the number of *common* faults in a 1-out-of-2 pair, success
+//! probability `pᵢ²`). §4 reasons about `P(N₁ > 0)` and `P(N₂ > 0)`; this
+//! module provides the full distribution so those and richer queries
+//! (e.g. `P(N = 1)`, expected counts) are exact.
+
+use crate::error::{domain, NumericsError};
+
+/// Exact distribution of `Σᵢ Bernoulli(pᵢ)` for independent trials.
+///
+/// Built by dynamic-programming convolution in `O(n²)` time and `O(n)`
+/// space, which is exact (no FFT round-off concerns) and fast for the model
+/// sizes the paper contemplates (`n` up to a few thousands).
+///
+/// ```
+/// use divrel_numerics::poisson_binomial::PoissonBinomial;
+///
+/// let pb = PoissonBinomial::new(&[0.5, 0.5]).unwrap();
+/// assert!((pb.pmf(0) - 0.25).abs() < 1e-15);
+/// assert!((pb.pmf(1) - 0.5).abs() < 1e-15);
+/// assert!((pb.pmf(2) - 0.25).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoissonBinomial {
+    probs: Vec<f64>,
+    pmf: Vec<f64>,
+}
+
+impl PoissonBinomial {
+    /// Builds the distribution from success probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DomainError`] if any probability lies
+    /// outside `[0, 1]`.
+    pub fn new(probs: &[f64]) -> Result<Self, NumericsError> {
+        for &p in probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(domain(format!("probability must lie in [0, 1], got {p}")));
+            }
+        }
+        let mut pmf = vec![0.0; probs.len() + 1];
+        pmf[0] = 1.0;
+        for (k, &p) in probs.iter().enumerate() {
+            // After processing k+1 trials, indices 0..=k+1 are live.
+            for j in (1..=k + 1).rev() {
+                pmf[j] = pmf[j] * (1.0 - p) + pmf[j - 1] * p;
+            }
+            pmf[0] *= 1.0 - p;
+        }
+        Ok(PoissonBinomial {
+            probs: probs.to_vec(),
+            pmf,
+        })
+    }
+
+    /// Number of trials `n`.
+    pub fn trials(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// The success probabilities the distribution was built from.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Probability mass `P(N = k)`. Zero for `k > n`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        self.pmf.get(k).copied().unwrap_or(0.0)
+    }
+
+    /// The full probability mass vector `P(N = 0), …, P(N = n)`.
+    pub fn pmf_vec(&self) -> &[f64] {
+        &self.pmf
+    }
+
+    /// Cumulative probability `P(N ≤ k)`.
+    pub fn cdf(&self, k: usize) -> f64 {
+        let upto = k.min(self.probs.len());
+        let s: f64 = self.pmf[..=upto].iter().sum();
+        s.min(1.0)
+    }
+
+    /// Survival probability `P(N > k)`.
+    ///
+    /// `sf(0)` is the paper's `P(N > 0)` — the *risk* of at least one fault
+    /// (§4.1). Computed stably from the small masses rather than as
+    /// `1 - cdf` when that is more accurate.
+    pub fn sf(&self, k: usize) -> f64 {
+        if k >= self.probs.len() {
+            return 0.0;
+        }
+        let tail: f64 = self.pmf[k + 1..].iter().sum();
+        // The DP computes each mass to near full precision, so summing the
+        // tail directly avoids the cancellation in 1 - cdf(k).
+        tail.min(1.0)
+    }
+
+    /// Mean `E[N] = Σ pᵢ`.
+    pub fn mean(&self) -> f64 {
+        self.probs.iter().sum()
+    }
+
+    /// Variance `Var[N] = Σ pᵢ(1−pᵢ)`.
+    pub fn variance(&self) -> f64 {
+        self.probs.iter().map(|p| p * (1.0 - p)).sum()
+    }
+
+    /// Probability of *no* success, `P(N = 0) = Π(1−pᵢ)`.
+    pub fn none(&self) -> f64 {
+        self.pmf[0]
+    }
+
+    /// Most probable count (smallest mode if ties).
+    pub fn mode(&self) -> usize {
+        let mut best = 0;
+        for (k, &m) in self.pmf.iter().enumerate() {
+            if m > self.pmf[best] {
+                best = k;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn binomial_pmf(n: usize, k: usize, p: f64) -> f64 {
+        let mut c = 1.0;
+        for i in 0..k {
+            c = c * (n - i) as f64 / (i + 1) as f64;
+        }
+        c * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32)
+    }
+
+    #[test]
+    fn homogeneous_case_is_binomial() {
+        let p = 0.3;
+        let n = 12;
+        let pb = PoissonBinomial::new(&vec![p; n]).unwrap();
+        for k in 0..=n {
+            let want = binomial_pmf(n, k, p);
+            assert!(
+                (pb.pmf(k) - want).abs() < 1e-13,
+                "k={k}: {} vs {want}",
+                pb.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_distribution_is_point_mass_at_zero() {
+        let pb = PoissonBinomial::new(&[]).unwrap();
+        assert_eq!(pb.trials(), 0);
+        assert_eq!(pb.pmf(0), 1.0);
+        assert_eq!(pb.pmf(1), 0.0);
+        assert_eq!(pb.cdf(0), 1.0);
+        assert_eq!(pb.sf(0), 0.0);
+    }
+
+    #[test]
+    fn deterministic_trials() {
+        let pb = PoissonBinomial::new(&[1.0, 1.0, 0.0]).unwrap();
+        assert_eq!(pb.pmf(2), 1.0);
+        assert_eq!(pb.pmf(0), 0.0);
+        assert_eq!(pb.mode(), 2);
+    }
+
+    #[test]
+    fn heterogeneous_hand_computed() {
+        let pb = PoissonBinomial::new(&[0.1, 0.5]).unwrap();
+        assert!((pb.pmf(0) - 0.45).abs() < 1e-15);
+        assert!((pb.pmf(1) - (0.1 * 0.5 + 0.9 * 0.5)).abs() < 1e-15);
+        assert!((pb.pmf(2) - 0.05).abs() < 1e-15);
+    }
+
+    #[test]
+    fn moments_match_formulas() {
+        let p = [0.1, 0.2, 0.7, 0.01];
+        let pb = PoissonBinomial::new(&p).unwrap();
+        let mean_enum: f64 = (0..=4).map(|k| k as f64 * pb.pmf(k)).sum();
+        assert!((pb.mean() - mean_enum).abs() < 1e-13);
+        let var_enum: f64 = (0..=4)
+            .map(|k| (k as f64 - pb.mean()).powi(2) * pb.pmf(k))
+            .sum();
+        assert!((pb.variance() - var_enum).abs() < 1e-13);
+    }
+
+    #[test]
+    fn sf_zero_matches_prob_any() {
+        let p = [0.01, 0.02, 0.005];
+        let pb = PoissonBinomial::new(&p).unwrap();
+        let want = crate::special::prob_any(p.iter().copied()).unwrap();
+        assert!((pb.sf(0) - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rejects_invalid_probability() {
+        assert!(PoissonBinomial::new(&[0.5, 1.5]).is_err());
+        assert!(PoissonBinomial::new(&[-0.1]).is_err());
+        assert!(PoissonBinomial::new(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn large_n_remains_normalised() {
+        let probs: Vec<f64> = (0..2000).map(|i| (i as f64 % 97.0 + 1.0) / 500.0).collect();
+        let pb = PoissonBinomial::new(&probs).unwrap();
+        let total: f64 = pb.pmf_vec().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!((pb.cdf(2000) - 1.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn pmf_is_normalised(probs in proptest::collection::vec(0.0..=1.0f64, 0..40)) {
+            let pb = PoissonBinomial::new(&probs).unwrap();
+            let total: f64 = pb.pmf_vec().iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-10);
+        }
+
+        #[test]
+        fn cdf_is_monotone(probs in proptest::collection::vec(0.0..=1.0f64, 1..30)) {
+            let pb = PoissonBinomial::new(&probs).unwrap();
+            let mut prev = 0.0;
+            for k in 0..=probs.len() {
+                let c = pb.cdf(k);
+                prop_assert!(c + 1e-12 >= prev);
+                prev = c;
+            }
+        }
+
+        #[test]
+        fn sf_complements_cdf(probs in proptest::collection::vec(0.0..=1.0f64, 1..30), k in 0usize..30) {
+            let pb = PoissonBinomial::new(&probs).unwrap();
+            let k = k.min(probs.len());
+            prop_assert!((pb.cdf(k) + pb.sf(k) - 1.0).abs() < 1e-10);
+        }
+
+        #[test]
+        fn squaring_probs_reduces_risk(probs in proptest::collection::vec(0.0..=1.0f64, 1..25)) {
+            // P(N₂ > 0) ≤ P(N₁ > 0): the heart of the paper's eq (10).
+            let single = PoissonBinomial::new(&probs).unwrap();
+            let squared: Vec<f64> = probs.iter().map(|p| p * p).collect();
+            let pair = PoissonBinomial::new(&squared).unwrap();
+            prop_assert!(pair.sf(0) <= single.sf(0) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! Root finding and one-dimensional minimisation.
+//!
+//! Used by the model crate to locate the Appendix-A gain-reversal
+//! stationary points numerically (cross-checking the closed form), to invert
+//! CDFs, and by the Bayesian crate to solve "demands required for a claim".
+
+use crate::error::NumericsError;
+
+/// Default tolerance on the argument for the solvers in this module.
+pub const DEFAULT_XTOL: f64 = 1e-12;
+/// Default iteration budget for the solvers in this module.
+pub const DEFAULT_MAX_ITER: usize = 200;
+
+/// Finds a root of `f` in `[lo, hi]` by bisection.
+///
+/// Robust and derivative-free; linear convergence. The interval must
+/// bracket a root (`f(lo)` and `f(hi)` of opposite sign, or either equal to
+/// zero).
+///
+/// # Errors
+///
+/// * [`NumericsError::NoBracket`] if the interval does not bracket a root.
+/// * [`NumericsError::DomainError`] if `lo >= hi` or either bound is not
+///   finite.
+///
+/// ```
+/// use divrel_numerics::roots::bisect;
+/// let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-14, 200).unwrap();
+/// assert!((root - 2.0_f64.sqrt()).abs() < 1e-12);
+/// ```
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    xtol: f64,
+    max_iter: usize,
+) -> Result<f64, NumericsError> {
+    if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+        return Err(NumericsError::DomainError(format!(
+            "bisect requires finite lo < hi, got [{lo}, {hi}]"
+        )));
+    }
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericsError::NoBracket { lo, hi });
+    }
+    for _ in 0..max_iter {
+        let mid = 0.5 * (a + b);
+        let fm = f(mid);
+        if fm == 0.0 || (b - a) < xtol {
+            return Ok(mid);
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    Ok(0.5 * (a + b))
+}
+
+/// Brent-style root finder: bisection safeguarded with inverse quadratic
+/// interpolation and the secant method. Superlinear convergence with the
+/// robustness of bisection.
+///
+/// # Errors
+///
+/// Same conditions as [`bisect`].
+///
+/// ```
+/// use divrel_numerics::roots::brent;
+/// let root = brent(|x| x.cos() - x, 0.0, 1.0, 1e-14, 100).unwrap();
+/// assert!((root - 0.7390851332151607).abs() < 1e-12);
+/// ```
+pub fn brent<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    xtol: f64,
+    max_iter: usize,
+) -> Result<f64, NumericsError> {
+    if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+        return Err(NumericsError::DomainError(format!(
+            "brent requires finite lo < hi, got [{lo}, {hi}]"
+        )));
+    }
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericsError::NoBracket { lo, hi });
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+    for _ in 0..max_iter {
+        if fb == 0.0 || (b - a).abs() < xtol {
+            return Ok(b);
+        }
+        let s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+        let cond_range = {
+            let lo_lim = (3.0 * a + b) / 4.0;
+            let (lo_lim, hi_lim) = if lo_lim < b { (lo_lim, b) } else { (b, lo_lim) };
+            s < lo_lim || s > hi_lim
+        };
+        let cond_slow = if mflag {
+            (s - b).abs() >= (b - c).abs() / 2.0
+        } else {
+            (s - b).abs() >= (c - d).abs() / 2.0
+        };
+        let s = if cond_range || cond_slow {
+            mflag = true;
+            0.5 * (a + b)
+        } else {
+            mflag = false;
+            s
+        };
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Ok(b)
+}
+
+/// Newton–Raphson iteration with a bisection fallback bracket.
+///
+/// `f` must return `(value, derivative)`. If a Newton step leaves the
+/// bracket `[lo, hi]` or the derivative vanishes, the step falls back to
+/// bisection, so convergence is guaranteed for a bracketing interval.
+///
+/// # Errors
+///
+/// Same conditions as [`bisect`].
+///
+/// ```
+/// use divrel_numerics::roots::newton_bracketed;
+/// let root = newton_bracketed(|x| (x * x - 3.0, 2.0 * x), 0.0, 3.0, 1e-14, 100).unwrap();
+/// assert!((root - 3.0_f64.sqrt()).abs() < 1e-13);
+/// ```
+pub fn newton_bracketed<F: FnMut(f64) -> (f64, f64)>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    xtol: f64,
+    max_iter: usize,
+) -> Result<f64, NumericsError> {
+    if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+        return Err(NumericsError::DomainError(format!(
+            "newton_bracketed requires finite lo < hi, got [{lo}, {hi}]"
+        )));
+    }
+    let mut a = lo;
+    let mut b = hi;
+    let (fa, _) = f(a);
+    let (fb, _) = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericsError::NoBracket { lo, hi });
+    }
+    let mut x = 0.5 * (a + b);
+    for _ in 0..max_iter {
+        let (fx, dfx) = f(x);
+        if fx == 0.0 {
+            return Ok(x);
+        }
+        // Maintain the bracket.
+        if fx.signum() == fa.signum() {
+            a = x;
+        } else {
+            b = x;
+        }
+        let newton = if dfx != 0.0 { x - fx / dfx } else { f64::NAN };
+        x = if newton.is_finite() && newton > a && newton < b {
+            newton
+        } else {
+            0.5 * (a + b)
+        };
+        if (b - a) < xtol {
+            return Ok(x);
+        }
+    }
+    Ok(x)
+}
+
+/// Golden-section search for the minimiser of a unimodal function on
+/// `[lo, hi]`.
+///
+/// Returns `(argmin, min_value)`.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::DomainError`] if `lo >= hi` or a bound is not
+/// finite.
+///
+/// Near a smooth minimum the attainable accuracy in `x` is limited to about
+/// `sqrt(f64::EPSILON)` times the problem scale, because function values
+/// become indistinguishable there.
+///
+/// ```
+/// use divrel_numerics::roots::golden_min;
+/// let (x, v) = golden_min(|x| (x - 0.3) * (x - 0.3) + 1.0, -1.0, 2.0, 1e-10, 200).unwrap();
+/// assert!((x - 0.3).abs() < 1e-6);
+/// assert!((v - 1.0).abs() < 1e-12);
+/// ```
+pub fn golden_min<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    xtol: f64,
+    max_iter: usize,
+) -> Result<(f64, f64), NumericsError> {
+    if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+        return Err(NumericsError::DomainError(format!(
+            "golden_min requires finite lo < hi, got [{lo}, {hi}]"
+        )));
+    }
+    const INV_PHI: f64 = 0.618_033_988_749_894_9; // (sqrt(5)-1)/2
+    let mut a = lo;
+    let mut b = hi;
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    for _ in 0..max_iter {
+        if (b - a).abs() < xtol {
+            break;
+        }
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - INV_PHI * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + INV_PHI * (b - a);
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    let v = f(x);
+    Ok((x, v))
+}
+
+/// Central-difference numerical derivative of `f` at `x` with step `h`.
+///
+/// Used to cross-check the analytic derivatives of the paper's Appendix A.
+///
+/// ```
+/// use divrel_numerics::roots::central_derivative;
+/// let d = central_derivative(|x| x * x, 3.0, 1e-6);
+/// assert!((d - 6.0).abs() < 1e-8);
+/// ```
+pub fn central_derivative<F: FnMut(f64) -> f64>(mut f: F, x: f64, h: f64) -> f64 {
+    (f(x + h) - f(x - h)) / (2.0 * h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_simple_roots() {
+        let r = bisect(|x| x - 1.0, 0.0, 5.0, 1e-13, 200).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+        let r = bisect(|x| x.exp() - 2.0, 0.0, 1.0, 1e-13, 200).unwrap();
+        assert!((r - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisect_detects_missing_bracket() {
+        let e = bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100).unwrap_err();
+        assert!(matches!(e, NumericsError::NoBracket { .. }));
+    }
+
+    #[test]
+    fn bisect_accepts_root_at_endpoint() {
+        let r = bisect(|x| x, 0.0, 1.0, 1e-12, 100).unwrap();
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_interval() {
+        assert!(bisect(|x| x, 1.0, 0.0, 1e-12, 10).is_err());
+        assert!(bisect(|x| x, f64::NEG_INFINITY, 0.0, 1e-12, 10).is_err());
+    }
+
+    #[test]
+    fn brent_matches_bisect_with_fewer_evaluations() {
+        let mut count_brent = 0usize;
+        let root = brent(
+            |x| {
+                count_brent += 1;
+                x.powi(3) - 2.0 * x - 5.0
+            },
+            2.0,
+            3.0,
+            1e-14,
+            100,
+        )
+        .unwrap();
+        // Classic Brent test function; root ≈ 2.0945514815423265.
+        assert!((root - 2.094_551_481_542_326_5).abs() < 1e-12);
+        assert!(count_brent < 60, "brent used {count_brent} evaluations");
+    }
+
+    #[test]
+    fn brent_handles_flat_regions() {
+        let root = brent(|x| if x < 1.0 { -1.0 } else { x - 1.0 }, 0.0, 3.0, 1e-12, 200).unwrap();
+        assert!((root - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn newton_bracketed_converges_quadratically() {
+        let mut evals = 0usize;
+        let r = newton_bracketed(
+            |x| {
+                evals += 1;
+                (x * x - 2.0, 2.0 * x)
+            },
+            0.0,
+            2.0,
+            1e-15,
+            100,
+        )
+        .unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-14);
+        assert!(evals < 30);
+    }
+
+    #[test]
+    fn newton_bracketed_survives_zero_derivative() {
+        // f(x) = x^3 has zero derivative at 0 but the bracket saves us.
+        let r = newton_bracketed(|x| (x * x * x, 3.0 * x * x), -1.0, 2.0, 1e-12, 200).unwrap();
+        assert!(r.abs() < 1e-6);
+    }
+
+    #[test]
+    fn golden_min_on_paper_like_ratio() {
+        // Minimise the two-fault ratio from Appendix A with p2 = 0.5:
+        // R(p1) = (0.75 p1^2 + 0.25) / (0.5 p1 + 0.5); analytic argmin
+        // p1z = p2 (sqrt(2(1+p2)) - (1+p2)) / (1 - p2^2) ≈ 0.154700538.
+        let p2: f64 = 0.5;
+        let ratio = |p1: f64| {
+            (p1 * p1 + p2 * p2 - p1 * p1 * p2 * p2) / (p1 + p2 - p1 * p2)
+        };
+        let (x, _) = golden_min(ratio, 1e-6, 1.0, 1e-12, 300).unwrap();
+        let want = p2 * ((2.0 * (1.0 + p2)).sqrt() - (1.0 + p2)) / (1.0 - p2 * p2);
+        assert!((x - want).abs() < 1e-7, "got {x}, want {want}");
+    }
+
+    #[test]
+    fn golden_min_rejects_bad_interval() {
+        assert!(golden_min(|x| x, 2.0, 1.0, 1e-10, 100).is_err());
+    }
+
+    #[test]
+    fn central_derivative_accuracy() {
+        let d = central_derivative(|x| x.sin(), 1.0, 1e-5);
+        assert!((d - 1.0_f64.cos()).abs() < 1e-9);
+    }
+}

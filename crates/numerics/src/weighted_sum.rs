@@ -1,0 +1,474 @@
+//! Exact distribution of a weighted sum of independent Bernoulli variables.
+//!
+//! The paper's central random variable is the probability of failure on
+//! demand of a version (or pair): `Θ = Σᵢ qᵢ·Bernoulli(pᵢ)` (§3). §5
+//! replaces this distribution by a normal approximation; this module
+//! computes it **exactly** so that the quality of that approximation can be
+//! measured (experiment E12) and so small-`n` systems can be assessed
+//! without the CLT at all.
+//!
+//! Two representations are provided behind one type:
+//!
+//! * **Atom enumeration** — all `2ⁿ` subset sums, merged; exact, for
+//!   `n ≤ MAX_ENUMERATION_FAULTS`.
+//! * **Lattice convolution** — masses binned on a uniform grid; each fault
+//!   convolved in turn. The value of each atom can shift by at most half a
+//!   grid cell per fault, giving the rigorous error bound
+//!   `|value error| ≤ n·Δ/2` reported by [`WeightedBernoulliSum::value_error_bound`].
+
+use crate::error::{domain, NumericsError};
+
+/// Largest `n` for which exact subset enumeration is used by
+/// [`WeightedBernoulliSum::auto`].
+pub const MAX_ENUMERATION_FAULTS: usize = 20;
+
+/// Default number of lattice cells used by [`WeightedBernoulliSum::auto`]
+/// for large models.
+pub const DEFAULT_LATTICE_CELLS: usize = 1 << 16;
+
+/// A single (value, probability) atom of a discrete distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Atom {
+    /// The value carried by this atom.
+    pub value: f64,
+    /// The probability mass on this atom.
+    pub mass: f64,
+}
+
+/// How the distribution was computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Exact subset enumeration with atom merging.
+    Enumeration,
+    /// Grid-based convolution with the stated number of cells.
+    Lattice {
+        /// Number of cells in the grid.
+        cells: usize,
+    },
+}
+
+/// Exact (or rigorously-bounded lattice) distribution of
+/// `Σ qᵢ·Bernoulli(pᵢ)`.
+///
+/// ```
+/// use divrel_numerics::weighted_sum::WeightedBernoulliSum;
+///
+/// // Two faults: p = 0.5/0.5, q = 0.1/0.2.
+/// let d = WeightedBernoulliSum::enumerate(&[(0.5, 0.1), (0.5, 0.2)]).unwrap();
+/// assert_eq!(d.atoms().len(), 4); // 0, 0.1, 0.2, 0.3
+/// assert!((d.mean() - 0.15).abs() < 1e-15);
+/// assert!((d.cdf(0.15) - 0.5).abs() < 1e-12); // P(Θ ≤ 0.15) = P({}, {q1})
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedBernoulliSum {
+    atoms: Vec<Atom>,
+    method: Method,
+    n: usize,
+    grid_step: f64,
+}
+
+impl WeightedBernoulliSum {
+    /// Builds the exact distribution by subset enumeration.
+    ///
+    /// Each input pair is `(pᵢ, qᵢ)`: probability the term is present, and
+    /// its weight. Complexity is `O(2ⁿ log 2ⁿ)`; intended for
+    /// `n ≤ ~22`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DomainError`] if a probability is outside
+    /// `[0, 1]`, a weight is negative/non-finite, or `n` is large enough to
+    /// exhaust memory (`n > 26`).
+    pub fn enumerate(terms: &[(f64, f64)]) -> Result<Self, NumericsError> {
+        validate_terms(terms)?;
+        if terms.len() > 26 {
+            return Err(domain(format!(
+                "enumeration of {} faults would create 2^{} atoms; use lattice()",
+                terms.len(),
+                terms.len()
+            )));
+        }
+        // Iteratively convolve: list of atoms doubles per term, then merge.
+        let mut atoms = vec![Atom { value: 0.0, mass: 1.0 }];
+        for &(p, q) in terms {
+            let mut next = Vec::with_capacity(atoms.len() * 2);
+            for a in &atoms {
+                if 1.0 - p > 0.0 {
+                    next.push(Atom {
+                        value: a.value,
+                        mass: a.mass * (1.0 - p),
+                    });
+                }
+                if p > 0.0 {
+                    next.push(Atom {
+                        value: a.value + q,
+                        mass: a.mass * p,
+                    });
+                }
+            }
+            atoms = merge_atoms(next);
+        }
+        Ok(WeightedBernoulliSum {
+            atoms,
+            method: Method::Enumeration,
+            n: terms.len(),
+            grid_step: 0.0,
+        })
+    }
+
+    /// Builds a lattice (gridded) approximation with `cells` grid cells
+    /// spanning `[0, Σ qᵢ]`.
+    ///
+    /// Exact in probability, approximate in *value*: every atom's value is
+    /// within [`Self::value_error_bound`] of its true position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DomainError`] for invalid terms or
+    /// `cells < 2`.
+    pub fn lattice(terms: &[(f64, f64)], cells: usize) -> Result<Self, NumericsError> {
+        validate_terms(terms)?;
+        if cells < 2 {
+            return Err(domain(format!("lattice requires >= 2 cells, got {cells}")));
+        }
+        let total: f64 = terms.iter().map(|&(_, q)| q).sum();
+        if total == 0.0 {
+            return Ok(WeightedBernoulliSum {
+                atoms: vec![Atom { value: 0.0, mass: 1.0 }],
+                method: Method::Lattice { cells },
+                n: terms.len(),
+                grid_step: 0.0,
+            });
+        }
+        let step = total / (cells - 1) as f64;
+        let mut grid = vec![0.0_f64; cells];
+        grid[0] = 1.0;
+        let mut top = 0usize; // highest occupied index, to skip trailing zeros
+        for &(p, q) in terms {
+            let shift = (q / step).round() as usize;
+            let new_top = (top + shift).min(cells - 1);
+            if p > 0.0 {
+                // Walk down so each source cell is read before being written.
+                for j in (0..=top).rev() {
+                    let moved = grid[j] * p;
+                    grid[j] -= moved;
+                    let dst = (j + shift).min(cells - 1);
+                    grid[dst] += moved;
+                }
+            }
+            top = new_top;
+        }
+        let atoms: Vec<Atom> = grid
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m > 0.0)
+            .map(|(i, &m)| Atom {
+                value: i as f64 * step,
+                mass: m,
+            })
+            .collect();
+        Ok(WeightedBernoulliSum {
+            atoms,
+            method: Method::Lattice { cells },
+            n: terms.len(),
+            grid_step: step,
+        })
+    }
+
+    /// Chooses [`Self::enumerate`] for small models and [`Self::lattice`]
+    /// (with [`DEFAULT_LATTICE_CELLS`]) otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the constructor errors.
+    pub fn auto(terms: &[(f64, f64)]) -> Result<Self, NumericsError> {
+        if terms.len() <= MAX_ENUMERATION_FAULTS {
+            Self::enumerate(terms)
+        } else {
+            Self::lattice(terms, DEFAULT_LATTICE_CELLS)
+        }
+    }
+
+    /// The atoms of the distribution, sorted by value, masses summing to 1.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// How the distribution was computed.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// Number of Bernoulli terms the sum was built from.
+    pub fn terms(&self) -> usize {
+        self.n
+    }
+
+    /// Rigorous bound on how far any atom's reported value can be from its
+    /// true value. Zero for enumeration; `n·Δ/2` for a lattice with grid
+    /// step `Δ`.
+    pub fn value_error_bound(&self) -> f64 {
+        match self.method {
+            Method::Enumeration => 0.0,
+            Method::Lattice { .. } => self.n as f64 * self.grid_step / 2.0,
+        }
+    }
+
+    /// Mean of the distribution (computed from the atoms).
+    pub fn mean(&self) -> f64 {
+        self.atoms.iter().map(|a| a.value * a.mass).sum()
+    }
+
+    /// Variance of the distribution (computed from the atoms).
+    pub fn variance(&self) -> f64 {
+        let m = self.mean();
+        self.atoms
+            .iter()
+            .map(|a| (a.value - m) * (a.value - m) * a.mass)
+            .sum()
+    }
+
+    /// Standard deviation of the distribution.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// `P(Θ ≤ x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let mut acc = 0.0;
+        for a in &self.atoms {
+            if a.value <= x {
+                acc += a.mass;
+            } else {
+                break;
+            }
+        }
+        acc.min(1.0)
+    }
+
+    /// `P(Θ > x)`, summed from the tail for accuracy at small masses.
+    pub fn sf(&self, x: f64) -> f64 {
+        let mut acc = 0.0;
+        for a in self.atoms.iter().rev() {
+            if a.value > x {
+                acc += a.mass;
+            } else {
+                break;
+            }
+        }
+        acc.min(1.0)
+    }
+
+    /// Smallest value `v` with `P(Θ ≤ v) ≥ p` (generalised inverse CDF).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DomainError`] unless `0 < p <= 1`.
+    pub fn quantile(&self, p: f64) -> Result<f64, NumericsError> {
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(domain(format!("quantile requires 0 < p <= 1, got {p}")));
+        }
+        let mut acc = 0.0;
+        for a in &self.atoms {
+            acc += a.mass;
+            if acc + 1e-15 >= p {
+                return Ok(a.value);
+            }
+        }
+        Ok(self.atoms.last().map(|a| a.value).unwrap_or(0.0))
+    }
+
+    /// Probability that the sum is exactly zero (no term present), i.e. the
+    /// paper's `P(PFD = 0)` when all weights are positive.
+    pub fn mass_at_zero(&self) -> f64 {
+        self.atoms
+            .first()
+            .filter(|a| a.value == 0.0)
+            .map(|a| a.mass)
+            .unwrap_or(0.0)
+    }
+}
+
+fn validate_terms(terms: &[(f64, f64)]) -> Result<(), NumericsError> {
+    for &(p, q) in terms {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(domain(format!("probability must lie in [0, 1], got {p}")));
+        }
+        if !q.is_finite() || q < 0.0 {
+            return Err(domain(format!("weight must be finite and >= 0, got {q}")));
+        }
+    }
+    Ok(())
+}
+
+/// Sorts atoms by value and merges equal values (within one ulp scale).
+fn merge_atoms(mut atoms: Vec<Atom>) -> Vec<Atom> {
+    atoms.sort_by(|a, b| a.value.total_cmp(&b.value));
+    let mut out: Vec<Atom> = Vec::with_capacity(atoms.len());
+    for a in atoms {
+        match out.last_mut() {
+            Some(last) if (last.value - a.value).abs() <= f64::EPSILON * last.value.abs() => {
+                last.mass += a.mass;
+            }
+            _ => out.push(a),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_term_distribution() {
+        let d = WeightedBernoulliSum::enumerate(&[(0.3, 0.05)]).unwrap();
+        assert_eq!(d.atoms().len(), 2);
+        assert!((d.mass_at_zero() - 0.7).abs() < 1e-15);
+        assert!((d.mean() - 0.015).abs() < 1e-15);
+        assert!((d.variance() - 0.3 * 0.7 * 0.05 * 0.05).abs() < 1e-15);
+    }
+
+    #[test]
+    fn moments_match_paper_formulas() {
+        // Eq (1)-(2): E = Σ p q, Var = Σ p(1-p) q².
+        let terms = [(0.1, 0.02), (0.4, 0.005), (0.02, 0.3), (0.9, 0.001)];
+        let d = WeightedBernoulliSum::enumerate(&terms).unwrap();
+        let mean: f64 = terms.iter().map(|&(p, q)| p * q).sum();
+        let var: f64 = terms.iter().map(|&(p, q)| p * (1.0 - p) * q * q).sum();
+        assert!((d.mean() - mean).abs() < 1e-15);
+        assert!((d.variance() - var).abs() < 1e-15);
+    }
+
+    #[test]
+    fn equal_weights_merge_atoms() {
+        // Two faults with identical q: values {0, q, 2q} => 3 atoms not 4.
+        let d = WeightedBernoulliSum::enumerate(&[(0.5, 0.1), (0.5, 0.1)]).unwrap();
+        assert_eq!(d.atoms().len(), 3);
+        assert!((d.atoms()[1].mass - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cdf_and_sf_are_complementary() {
+        let d = WeightedBernoulliSum::enumerate(&[(0.2, 0.1), (0.7, 0.03), (0.01, 0.5)]).unwrap();
+        for x in [-1.0, 0.0, 0.05, 0.13, 0.6, 1.0] {
+            assert!((d.cdf(x) + d.sf(x) - 1.0).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn quantile_is_generalised_inverse() {
+        let d = WeightedBernoulliSum::enumerate(&[(0.5, 0.1), (0.5, 0.2)]).unwrap();
+        // Masses: 0 -> .25, 0.1 -> .25, 0.2 -> .25, 0.3 -> .25
+        assert_eq!(d.quantile(0.25).unwrap(), 0.0);
+        assert_eq!(d.quantile(0.26).unwrap(), 0.1);
+        assert_eq!(d.quantile(0.75).unwrap(), 0.2);
+        assert!((d.quantile(1.0).unwrap() - 0.3).abs() < 1e-15);
+        assert!(d.quantile(0.0).is_err());
+        assert!(d.quantile(1.1).is_err());
+    }
+
+    #[test]
+    fn lattice_agrees_with_enumeration() {
+        let terms: Vec<(f64, f64)> = (0..10)
+            .map(|i| (0.05 + 0.03 * i as f64, 0.002 + 0.0011 * i as f64))
+            .collect();
+        let exact = WeightedBernoulliSum::enumerate(&terms).unwrap();
+        let grid = WeightedBernoulliSum::lattice(&terms, 1 << 14).unwrap();
+        assert!((exact.mean() - grid.mean()).abs() < grid.value_error_bound() + 1e-12);
+        // CDF agreement at probe points away from atom boundaries.
+        for x in [0.0005, 0.004, 0.009, 0.02] {
+            let e = exact.cdf(x);
+            let g_lo = grid.cdf(x - grid.value_error_bound());
+            let g_hi = grid.cdf(x + grid.value_error_bound());
+            assert!(
+                g_lo - 1e-12 <= e && e <= g_hi + 1e-12,
+                "x={x}: exact {e} not in [{g_lo}, {g_hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn lattice_handles_zero_total_weight() {
+        let d = WeightedBernoulliSum::lattice(&[(0.5, 0.0), (0.2, 0.0)], 100).unwrap();
+        assert_eq!(d.atoms().len(), 1);
+        assert_eq!(d.mean(), 0.0);
+    }
+
+    #[test]
+    fn auto_switches_methods() {
+        let small: Vec<(f64, f64)> = (0..5).map(|_| (0.1, 0.01)).collect();
+        assert_eq!(
+            WeightedBernoulliSum::auto(&small).unwrap().method(),
+            Method::Enumeration
+        );
+        let big: Vec<(f64, f64)> = (0..30).map(|_| (0.1, 0.01)).collect();
+        assert!(matches!(
+            WeightedBernoulliSum::auto(&big).unwrap().method(),
+            Method::Lattice { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        assert!(WeightedBernoulliSum::enumerate(&[(1.5, 0.1)]).is_err());
+        assert!(WeightedBernoulliSum::enumerate(&[(0.5, -0.1)]).is_err());
+        assert!(WeightedBernoulliSum::lattice(&[(0.5, 0.1)], 1).is_err());
+        let too_many: Vec<(f64, f64)> = (0..30).map(|_| (0.5, 0.01)).collect();
+        assert!(WeightedBernoulliSum::enumerate(&too_many).is_err());
+    }
+
+    #[test]
+    fn mass_at_zero_matches_product() {
+        let terms = [(0.2, 0.1), (0.3, 0.2), (0.05, 0.02)];
+        let d = WeightedBernoulliSum::enumerate(&terms).unwrap();
+        let want: f64 = terms.iter().map(|&(p, _)| 1.0 - p).product();
+        assert!((d.mass_at_zero() - want).abs() < 1e-15);
+    }
+
+    proptest! {
+        #[test]
+        fn atoms_are_normalised_and_sorted(
+            terms in proptest::collection::vec((0.0..=1.0f64, 0.0..0.2f64), 0..12)
+        ) {
+            let d = WeightedBernoulliSum::enumerate(&terms).unwrap();
+            let total: f64 = d.atoms().iter().map(|a| a.mass).sum();
+            prop_assert!((total - 1.0).abs() < 1e-10);
+            for w in d.atoms().windows(2) {
+                prop_assert!(w[0].value < w[1].value);
+            }
+        }
+
+        #[test]
+        fn enumeration_moments_match_formulas(
+            terms in proptest::collection::vec((0.0..=1.0f64, 0.0..0.2f64), 1..12)
+        ) {
+            let d = WeightedBernoulliSum::enumerate(&terms).unwrap();
+            let mean: f64 = terms.iter().map(|&(p, q)| p * q).sum();
+            let var: f64 = terms.iter().map(|&(p, q)| p * (1.0 - p) * q * q).sum();
+            prop_assert!((d.mean() - mean).abs() < 1e-10);
+            prop_assert!((d.variance() - var).abs() < 1e-10);
+        }
+
+        #[test]
+        fn lattice_mass_is_conserved(
+            terms in proptest::collection::vec((0.0..=1.0f64, 0.0..0.2f64), 1..40),
+            cells in 16usize..4096
+        ) {
+            let d = WeightedBernoulliSum::lattice(&terms, cells).unwrap();
+            let total: f64 = d.atoms().iter().map(|a| a.mass).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn quantile_cdf_consistency(
+            terms in proptest::collection::vec((0.01..=0.99f64, 0.001..0.2f64), 1..10),
+            p in 0.01..1.0f64
+        ) {
+            let d = WeightedBernoulliSum::enumerate(&terms).unwrap();
+            let v = d.quantile(p).unwrap();
+            prop_assert!(d.cdf(v) + 1e-9 >= p);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Output adjudication.
+//!
+//! The paper studies "the simplest possible diverse-redundant
+//! configuration: two versions, with perfect adjudication (simple 'OR'
+//! combination of binary outputs, giving a '1-out-of-2' diverse system)".
+//! For a protection function, OR-ing trip signals means the system trips if
+//! *any* channel trips — it fails only when **all** channels fail.
+//! [`Adjudicator::AllOutOfN`] (AND) and majority voting are included for
+//! comparison experiments (spurious-trip analyses take the opposite view,
+//! which is why real systems care about 2oo3).
+
+use crate::error::ProtectionError;
+use std::fmt;
+
+/// How channel trip decisions are combined into a system decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Adjudicator {
+    /// OR: trip if any channel trips (the paper's 1-out-of-2, generalised
+    /// to 1-out-of-N).
+    OneOutOfN,
+    /// AND: trip only if every channel trips (2-out-of-2 style).
+    AllOutOfN,
+    /// Majority vote; requires an odd channel count.
+    Majority,
+}
+
+impl Adjudicator {
+    /// Validates the adjudicator against a channel count.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtectionError::NoChannels`] for zero channels;
+    /// [`ProtectionError::BadChannelCount`] for majority voting over an
+    /// even count.
+    pub fn validate(&self, channels: usize) -> Result<(), ProtectionError> {
+        if channels == 0 {
+            return Err(ProtectionError::NoChannels);
+        }
+        if *self == Adjudicator::Majority && channels.is_multiple_of(2) {
+            return Err(ProtectionError::BadChannelCount {
+                got: channels,
+                need: "an odd number of",
+            });
+        }
+        Ok(())
+    }
+
+    /// Combines per-channel trip decisions into the system decision.
+    ///
+    /// An empty slice yields `false` (no channel, no trip); constructed
+    /// systems never pass one.
+    pub fn decide(&self, trips: &[bool]) -> bool {
+        match self {
+            Adjudicator::OneOutOfN => trips.iter().any(|&t| t),
+            Adjudicator::AllOutOfN => !trips.is_empty() && trips.iter().all(|&t| t),
+            Adjudicator::Majority => {
+                let yes = trips.iter().filter(|&&t| t).count();
+                yes * 2 > trips.len()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Adjudicator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Adjudicator::OneOutOfN => "1-out-of-N (OR)",
+            Adjudicator::AllOutOfN => "N-out-of-N (AND)",
+            Adjudicator::Majority => "majority",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_out_of_n_is_or() {
+        let a = Adjudicator::OneOutOfN;
+        assert!(a.decide(&[true, false]));
+        assert!(a.decide(&[false, true]));
+        assert!(a.decide(&[true, true]));
+        assert!(!a.decide(&[false, false]));
+        assert!(!a.decide(&[]));
+    }
+
+    #[test]
+    fn all_out_of_n_is_and() {
+        let a = Adjudicator::AllOutOfN;
+        assert!(a.decide(&[true, true]));
+        assert!(!a.decide(&[true, false]));
+        assert!(!a.decide(&[]));
+    }
+
+    #[test]
+    fn majority_votes() {
+        let a = Adjudicator::Majority;
+        assert!(a.decide(&[true, true, false]));
+        assert!(!a.decide(&[true, false, false]));
+        assert!(a.decide(&[true, true, true]));
+        assert!(!a.decide(&[false, false, false]));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Adjudicator::OneOutOfN.validate(0).is_err());
+        assert!(Adjudicator::OneOutOfN.validate(2).is_ok());
+        assert!(Adjudicator::Majority.validate(2).is_err());
+        assert!(Adjudicator::Majority.validate(3).is_ok());
+        assert!(Adjudicator::AllOutOfN.validate(4).is_ok());
+    }
+
+    #[test]
+    fn display_names() {
+        assert!(Adjudicator::OneOutOfN.to_string().contains("OR"));
+        assert!(Adjudicator::Majority.to_string().contains("majority"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Protection channels.
+//!
+//! A channel is one computation lane of Fig 1: it senses the plant state
+//! (a demand) and decides whether to command a shut-down. The channel runs
+//! a [`ProgramVersion`]; it fails to trip exactly when the demand lies in a
+//! failure region of a fault that version contains.
+
+use crate::error::ProtectionError;
+use crate::sensing::SensorView;
+use divrel_demand::mapping::FaultRegionMap;
+use divrel_demand::space::Demand;
+use divrel_demand::version::ProgramVersion;
+use std::fmt;
+
+/// One protection channel running one program version behind its sensors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Channel {
+    name: String,
+    version: ProgramVersion,
+    view: SensorView,
+}
+
+impl Channel {
+    /// Creates a channel that senses the plant state directly (the
+    /// paper's worst case of no functional diversity).
+    pub fn new(name: impl Into<String>, version: ProgramVersion) -> Self {
+        Channel {
+            name: name.into(),
+            version,
+            view: SensorView::Identity,
+        }
+    }
+
+    /// Creates a functionally diverse channel: its software receives the
+    /// plant state through `view` (different sensed variables,
+    /// calibration, or instrumentation resolution).
+    pub fn with_view(
+        name: impl Into<String>,
+        version: ProgramVersion,
+        view: SensorView,
+    ) -> Self {
+        Channel {
+            name: name.into(),
+            version,
+            view,
+        }
+    }
+
+    /// The channel's name (for logs and reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The program version the channel runs.
+    pub fn version(&self) -> &ProgramVersion {
+        &self.version
+    }
+
+    /// The channel's sensor view.
+    pub fn view(&self) -> SensorView {
+        self.view
+    }
+
+    /// Responds to a demand: `true` = trip (correct), `false` = failure to
+    /// trip. The plant state is first mapped through the channel's sensor
+    /// view.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtectionError::Demand`] if the version and map disagree on the
+    /// fault count.
+    pub fn trips_on(&self, map: &FaultRegionMap, demand: Demand) -> Result<bool, ProtectionError> {
+        let seen = self.view.apply(demand, map.space());
+        Ok(!self.version.fails_on(map, seen)?)
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Channel({}, {}, view={})", self.name, self.version, self.view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divrel_demand::region::Region;
+    use divrel_demand::space::GridSpace2D;
+
+    fn map() -> FaultRegionMap {
+        let space = GridSpace2D::new(10, 10).unwrap();
+        FaultRegionMap::new(space, vec![Region::rect(0, 0, 2, 2)]).unwrap()
+    }
+
+    #[test]
+    fn faulty_channel_fails_in_region() {
+        let m = map();
+        let c = Channel::new("A", ProgramVersion::new(vec![true]));
+        assert!(!c.trips_on(&m, Demand::new(1, 1)).unwrap());
+        assert!(c.trips_on(&m, Demand::new(5, 5)).unwrap());
+    }
+
+    #[test]
+    fn perfect_channel_always_trips() {
+        let m = map();
+        let c = Channel::new("B", ProgramVersion::new(vec![false]));
+        for d in [Demand::new(0, 0), Demand::new(1, 1), Demand::new(9, 9)] {
+            assert!(c.trips_on(&m, d).unwrap());
+        }
+    }
+
+    #[test]
+    fn mismatched_version_is_an_error() {
+        let m = map();
+        let c = Channel::new("C", ProgramVersion::new(vec![true, false]));
+        assert!(c.trips_on(&m, Demand::new(0, 0)).is_err());
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let c = Channel::new("alpha", ProgramVersion::fault_free(3));
+        assert_eq!(c.name(), "alpha");
+        assert_eq!(c.version().fault_count(), 0);
+        assert_eq!(c.view(), SensorView::Identity);
+        assert!(c.to_string().contains("alpha"));
+    }
+
+    #[test]
+    fn functional_diversity_changes_where_a_channel_fails() {
+        // Region covers the lower-left corner; the swapped-axes channel
+        // fails on the *mirrored* demands instead.
+        let space = GridSpace2D::new(10, 10).unwrap();
+        let m = FaultRegionMap::new(space, vec![Region::rect(0, 0, 2, 0)]).unwrap();
+        let direct = Channel::new("A", ProgramVersion::new(vec![true]));
+        let swapped = Channel::with_view(
+            "B",
+            ProgramVersion::new(vec![true]),
+            SensorView::SwapAxes,
+        );
+        // (2, 0) lies in the region: direct fails, swapped sees (0, 2)
+        // which is outside, so it trips.
+        assert!(!direct.trips_on(&m, Demand::new(2, 0)).unwrap());
+        assert!(swapped.trips_on(&m, Demand::new(2, 0)).unwrap());
+        // (0, 2) is outside: direct trips, swapped sees (2, 0) and fails.
+        assert!(direct.trips_on(&m, Demand::new(0, 2)).unwrap());
+        assert!(!swapped.trips_on(&m, Demand::new(0, 2)).unwrap());
+        // (0, 0) is fixed under the swap: both fail together.
+        assert!(!direct.trips_on(&m, Demand::new(0, 0)).unwrap());
+        assert!(!swapped.trips_on(&m, Demand::new(0, 0)).unwrap());
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for the protection-system crate.
+
+use std::fmt;
+
+/// Errors produced by the protection substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtectionError {
+    /// A system needs at least one channel.
+    NoChannels,
+    /// The adjudicator cannot operate on this channel count (e.g. majority
+    /// voting over an even count).
+    BadChannelCount {
+        /// What was configured.
+        got: usize,
+        /// What the adjudicator needs.
+        need: &'static str,
+    },
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+    /// A propagated demand-space error.
+    Demand(divrel_demand::DemandError),
+}
+
+impl fmt::Display for ProtectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtectionError::NoChannels => write!(f, "protection system needs >= 1 channel"),
+            ProtectionError::BadChannelCount { got, need } => {
+                write!(f, "adjudicator needs {need} channels, got {got}")
+            }
+            ProtectionError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ProtectionError::Demand(e) => write!(f, "demand-space error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtectionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtectionError::Demand(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<divrel_demand::DemandError> for ProtectionError {
+    fn from(e: divrel_demand::DemandError) -> Self {
+        ProtectionError::Demand(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        assert!(ProtectionError::NoChannels.to_string().contains("channel"));
+        assert!(ProtectionError::BadChannelCount { got: 2, need: "an odd number of" }
+            .to_string()
+            .contains("odd"));
+        assert!(ProtectionError::InvalidConfig("rate".into())
+            .to_string()
+            .contains("rate"));
+        let e = ProtectionError::from(divrel_demand::DemandError::EmptySpace);
+        assert!(e.source().is_some());
+        assert!(ProtectionError::NoChannels.source().is_none());
+    }
+}

@@ -1,0 +1,212 @@
+//! Operational history: what an assessor can actually observe.
+//!
+//! The paper's conclusions point to "combining this kind of models with
+//! inference from observations during a specific project" — this module
+//! records those observations. An [`OperationLog`] counts demands and
+//! failures (system-level and per-channel) and exposes the statistics the
+//! Bayesian layer consumes: total demands, failure counts, and the length
+//! of the current failure-free streak.
+
+use divrel_model::ModelError;
+use std::fmt;
+
+/// A running log of operational experience of a protection system.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OperationLog {
+    steps: u64,
+    demands: u64,
+    system_failures: u64,
+    channel_failures: Vec<u64>,
+    failure_free_streak: u64,
+}
+
+impl OperationLog {
+    /// Creates an empty log for a system with `channels` channels.
+    pub fn new(channels: usize) -> Self {
+        OperationLog {
+            channel_failures: vec![0; channels],
+            ..OperationLog::default()
+        }
+    }
+
+    /// Records a quiet step (no demand).
+    pub fn record_quiet(&mut self) {
+        self.steps += 1;
+    }
+
+    /// Records a demand with the system decision and per-channel trips.
+    pub fn record_demand(&mut self, tripped: bool, channel_trips: &[bool]) {
+        self.steps += 1;
+        self.demands += 1;
+        for (i, &t) in channel_trips.iter().enumerate() {
+            if !t {
+                if let Some(c) = self.channel_failures.get_mut(i) {
+                    *c += 1;
+                }
+            }
+        }
+        if tripped {
+            self.failure_free_streak += 1;
+        } else {
+            self.system_failures += 1;
+            self.failure_free_streak = 0;
+        }
+    }
+
+    /// Total simulation steps observed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Total demands observed.
+    pub fn demands(&self) -> u64 {
+        self.demands
+    }
+
+    /// Total system failures (failures to trip on a demand).
+    pub fn system_failures(&self) -> u64 {
+        self.system_failures
+    }
+
+    /// Failures per channel.
+    pub fn channel_failures(&self) -> &[u64] {
+        &self.channel_failures
+    }
+
+    /// Demands since the last system failure (the whole log if none).
+    pub fn failure_free_streak(&self) -> u64 {
+        self.failure_free_streak
+    }
+
+    /// Maximum-likelihood estimate of the system PFD.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Degenerate`] if no demand has been observed.
+    pub fn pfd_estimate(&self) -> Result<f64, ModelError> {
+        if self.demands == 0 {
+            return Err(ModelError::Degenerate("no demands observed"));
+        }
+        Ok(self.system_failures as f64 / self.demands as f64)
+    }
+
+    /// Maximum-likelihood PFD estimate for one channel.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Degenerate`] for no demands or a bad index.
+    pub fn channel_pfd_estimate(&self, channel: usize) -> Result<f64, ModelError> {
+        if self.demands == 0 {
+            return Err(ModelError::Degenerate("no demands observed"));
+        }
+        let fails = self
+            .channel_failures
+            .get(channel)
+            .ok_or(ModelError::Degenerate("channel index out of range"))?;
+        Ok(*fails as f64 / self.demands as f64)
+    }
+
+    /// Merges another log (e.g. from a parallel shard) into this one.
+    /// Streak information is taken from `other` (the later shard).
+    pub fn merge(&mut self, other: &OperationLog) {
+        self.steps += other.steps;
+        self.demands += other.demands;
+        self.system_failures += other.system_failures;
+        if self.channel_failures.len() < other.channel_failures.len() {
+            self.channel_failures.resize(other.channel_failures.len(), 0);
+        }
+        for (i, &c) in other.channel_failures.iter().enumerate() {
+            self.channel_failures[i] += c;
+        }
+        self.failure_free_streak = if other.system_failures > 0 {
+            other.failure_free_streak
+        } else {
+            self.failure_free_streak + other.failure_free_streak
+        };
+    }
+}
+
+impl fmt::Display for OperationLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "OperationLog({} steps, {} demands, {} system failures)",
+            self.steps, self.demands, self.system_failures
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_and_estimates() {
+        let mut log = OperationLog::new(2);
+        log.record_quiet();
+        log.record_demand(true, &[true, true]);
+        log.record_demand(true, &[false, true]); // channel 0 fails, masked
+        log.record_demand(false, &[false, false]); // system failure
+        log.record_demand(true, &[true, true]);
+        assert_eq!(log.steps(), 5);
+        assert_eq!(log.demands(), 4);
+        assert_eq!(log.system_failures(), 1);
+        assert_eq!(log.channel_failures(), &[2, 1]);
+        assert_eq!(log.failure_free_streak(), 1);
+        assert!((log.pfd_estimate().unwrap() - 0.25).abs() < 1e-15);
+        assert!((log.channel_pfd_estimate(0).unwrap() - 0.5).abs() < 1e-15);
+        assert!((log.channel_pfd_estimate(1).unwrap() - 0.25).abs() < 1e-15);
+        assert!(log.channel_pfd_estimate(5).is_err());
+    }
+
+    #[test]
+    fn empty_log_has_no_estimates() {
+        let log = OperationLog::new(2);
+        assert!(log.pfd_estimate().is_err());
+        assert!(log.channel_pfd_estimate(0).is_err());
+        assert_eq!(log.failure_free_streak(), 0);
+    }
+
+    #[test]
+    fn streak_resets_on_failure() {
+        let mut log = OperationLog::new(1);
+        log.record_demand(true, &[true]);
+        log.record_demand(true, &[true]);
+        assert_eq!(log.failure_free_streak(), 2);
+        log.record_demand(false, &[false]);
+        assert_eq!(log.failure_free_streak(), 0);
+        log.record_demand(true, &[true]);
+        assert_eq!(log.failure_free_streak(), 1);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = OperationLog::new(2);
+        a.record_demand(true, &[true, true]);
+        a.record_demand(false, &[false, false]);
+        a.record_demand(true, &[true, true]); // streak 1
+        let mut b = OperationLog::new(2);
+        b.record_demand(true, &[false, true]);
+        b.record_demand(true, &[true, true]); // streak 2, no failures
+        a.merge(&b);
+        assert_eq!(a.demands(), 5);
+        assert_eq!(a.system_failures(), 1);
+        // a contributed [1, 1] (the double failure), b contributed [1, 0].
+        assert_eq!(a.channel_failures(), &[2, 1]);
+        assert_eq!(a.failure_free_streak(), 3); // 1 + 2
+
+        // Merge where the later shard saw a failure: streak comes from it.
+        let mut c = OperationLog::new(2);
+        c.record_demand(false, &[false, false]);
+        c.record_demand(true, &[true, true]);
+        a.merge(&c);
+        assert_eq!(a.failure_free_streak(), 1);
+    }
+
+    #[test]
+    fn display_summarises() {
+        let mut log = OperationLog::new(1);
+        log.record_demand(false, &[false]);
+        assert!(log.to_string().contains("1 system failures"));
+    }
+}

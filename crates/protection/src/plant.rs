@@ -1,0 +1,245 @@
+//! The controlled plant: the source of demands.
+//!
+//! §2.1: "A demand occurs when the controlled system enters a state that
+//! requires the intervention of the protection system." Two plant models
+//! are provided:
+//!
+//! * [`Plant::with_demand_rate`] — each step is a demand with a fixed
+//!   probability, and the demand's detail (the sensed state variables) is
+//!   drawn from an operational [`Profile`]. This realises the paper's
+//!   demand-space semantics exactly.
+//! * [`Plant::trajectory`] — the two sensed variables perform a bounded
+//!   random walk; a demand occurs whenever the state enters a configured
+//!   *trip set*, and the demand value is the state itself. This produces a
+//!   physically-flavoured, autocorrelated demand stream whose *induced*
+//!   profile is an emergent property, used to stress the assumption that
+//!   demands are profile-i.i.d.
+
+use crate::error::ProtectionError;
+use divrel_demand::profile::Profile;
+use divrel_demand::region::Region;
+use divrel_demand::space::{Demand, GridSpace2D};
+use rand::Rng;
+
+/// What the plant did in one simulation step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlantEvent {
+    /// Nothing requiring protection happened.
+    Quiet,
+    /// The plant entered a state requiring protection.
+    Demand(Demand),
+}
+
+/// A stochastic plant emitting demands.
+#[derive(Debug, Clone)]
+pub struct Plant {
+    kind: PlantKind,
+}
+
+#[derive(Debug, Clone)]
+enum PlantKind {
+    Rate {
+        profile: Profile,
+        demand_rate: f64,
+    },
+    Trajectory {
+        space: GridSpace2D,
+        trip_set: Region,
+        step: u32,
+    },
+}
+
+impl Plant {
+    /// A memoryless plant: every step is a demand with probability
+    /// `demand_rate`, its value drawn from `profile`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtectionError::InvalidConfig`] unless `0 < demand_rate <= 1`.
+    pub fn with_demand_rate(profile: Profile, demand_rate: f64) -> Result<Self, ProtectionError> {
+        if !(demand_rate > 0.0 && demand_rate <= 1.0) {
+            return Err(ProtectionError::InvalidConfig(format!(
+                "demand rate {demand_rate} not in (0, 1]"
+            )));
+        }
+        Ok(Plant {
+            kind: PlantKind::Rate {
+                profile,
+                demand_rate,
+            },
+        })
+    }
+
+    /// A random-walk plant over `space`: the state starts at the centre
+    /// and moves up to `step` cells per tick in each coordinate (clamped
+    /// to the space); entering `trip_set` raises a demand at the current
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtectionError::InvalidConfig`] for `step == 0`;
+    /// [`ProtectionError::Demand`] if the trip set leaves the space.
+    pub fn trajectory(
+        space: GridSpace2D,
+        trip_set: Region,
+        step: u32,
+    ) -> Result<Self, ProtectionError> {
+        if step == 0 {
+            return Err(ProtectionError::InvalidConfig(
+                "trajectory step must be >= 1".into(),
+            ));
+        }
+        trip_set.validate_within(&space)?;
+        Ok(Plant {
+            kind: PlantKind::Trajectory {
+                space,
+                trip_set,
+                step,
+            },
+        })
+    }
+
+    /// The demand space the plant's demands live in.
+    pub fn space(&self) -> &GridSpace2D {
+        match &self.kind {
+            PlantKind::Rate { profile, .. } => profile.space(),
+            PlantKind::Trajectory { space, .. } => space,
+        }
+    }
+
+    /// Runs the plant for one step from `state`, returning the new state
+    /// and the event. For the rate plant the state is ignored and returned
+    /// unchanged.
+    pub fn step<R: Rng + ?Sized>(&self, state: Demand, rng: &mut R) -> (Demand, PlantEvent) {
+        match &self.kind {
+            PlantKind::Rate {
+                profile,
+                demand_rate,
+            } => {
+                if rng.gen::<f64>() < *demand_rate {
+                    (state, PlantEvent::Demand(profile.sample(rng)))
+                } else {
+                    (state, PlantEvent::Quiet)
+                }
+            }
+            PlantKind::Trajectory {
+                space,
+                trip_set,
+                step,
+            } => {
+                let walk = |v: u32, max: u32, rng: &mut R| -> u32 {
+                    let delta = rng.gen_range(-(*step as i64)..=*step as i64);
+                    (v as i64 + delta).clamp(0, max as i64 - 1) as u32
+                };
+                let next = Demand::new(
+                    walk(state.var1, space.nx(), rng),
+                    walk(state.var2, space.ny(), rng),
+                );
+                let event = if trip_set.contains(next) {
+                    PlantEvent::Demand(next)
+                } else {
+                    PlantEvent::Quiet
+                };
+                (next, event)
+            }
+        }
+    }
+
+    /// A sensible initial state: the centre of the space.
+    pub fn initial_state(&self) -> Demand {
+        let s = self.space();
+        Demand::new(s.nx() / 2, s.ny() / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rate_plant_validation() {
+        let s = GridSpace2D::new(10, 10).unwrap();
+        let p = Profile::uniform(&s);
+        assert!(Plant::with_demand_rate(p.clone(), 0.0).is_err());
+        assert!(Plant::with_demand_rate(p.clone(), 1.5).is_err());
+        assert!(Plant::with_demand_rate(p, 1.0).is_ok());
+    }
+
+    #[test]
+    fn rate_plant_demand_frequency() {
+        let s = GridSpace2D::new(10, 10).unwrap();
+        let plant = Plant::with_demand_rate(Profile::uniform(&s), 0.25).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut state = plant.initial_state();
+        let mut demands = 0;
+        let n = 40_000;
+        for _ in 0..n {
+            let (next, ev) = plant.step(state, &mut rng);
+            state = next;
+            if matches!(ev, PlantEvent::Demand(_)) {
+                demands += 1;
+            }
+        }
+        let rate = demands as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn rate_plant_demands_follow_profile() {
+        let s = GridSpace2D::new(2, 1).unwrap();
+        let profile = Profile::from_weights(&s, vec![0.9, 0.1]).unwrap();
+        let plant = Plant::with_demand_rate(profile, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut left = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if let (_, PlantEvent::Demand(d)) = plant.step(Demand::new(0, 0), &mut rng) {
+                if d.var1 == 0 {
+                    left += 1;
+                }
+            }
+        }
+        assert!((left as f64 / n as f64 - 0.9).abs() < 0.01);
+    }
+
+    #[test]
+    fn trajectory_plant_validation() {
+        let s = GridSpace2D::new(10, 10).unwrap();
+        assert!(Plant::trajectory(s, Region::rect(0, 0, 2, 2), 0).is_err());
+        assert!(Plant::trajectory(s, Region::rect(0, 0, 12, 2), 1).is_err());
+        assert!(Plant::trajectory(s, Region::rect(0, 0, 2, 2), 1).is_ok());
+    }
+
+    #[test]
+    fn trajectory_stays_in_space_and_trips_in_trip_set() {
+        let s = GridSpace2D::new(20, 20).unwrap();
+        let trip = Region::rect(0, 0, 3, 3);
+        let plant = Plant::trajectory(s, trip.clone(), 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut state = plant.initial_state();
+        let mut demand_count = 0;
+        for _ in 0..20_000 {
+            let (next, ev) = plant.step(state, &mut rng);
+            assert!(s.contains(next), "state {next} left the space");
+            match ev {
+                PlantEvent::Demand(d) => {
+                    assert!(trip.contains(d), "demand {d} outside trip set");
+                    assert_eq!(d, next);
+                    demand_count += 1;
+                }
+                PlantEvent::Quiet => assert!(!trip.contains(next)),
+            }
+            state = next;
+        }
+        assert!(demand_count > 0, "random walk never hit the trip set");
+    }
+
+    #[test]
+    fn initial_state_is_centre() {
+        let s = GridSpace2D::new(10, 30).unwrap();
+        let plant = Plant::trajectory(s, Region::rect(0, 0, 1, 1), 1).unwrap();
+        assert_eq!(plant.initial_state(), Demand::new(5, 15));
+    }
+}

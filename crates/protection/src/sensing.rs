@@ -1,0 +1,222 @@
+//! Functional diversity: channels that sense different state variables.
+//!
+//! Fig 1's caption: "In reality, the two channels usually sense different
+//! state variables and may use different actuators… We study the limiting
+//! worst case in which this functional diversity does not apply," citing
+//! \[8\] for why functional diversity "should be studied as part of a
+//! continuum of diversity arrangement". This module supplies the
+//! continuum: a [`SensorView`] maps the *plant* state to the demand each
+//! channel's software actually sees. Two channels running even the *same*
+//! program version stop failing together when their views map a plant
+//! state into different cells — functional diversity as geometry.
+
+use crate::error::ProtectionError;
+use divrel_demand::space::{Demand, GridSpace2D};
+use std::fmt;
+
+/// How a channel's sensors transform the plant state into the channel's
+/// own demand coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Default)]
+pub enum SensorView {
+    /// The channel sees the plant state as-is (the paper's worst case).
+    #[default]
+    Identity,
+    /// The channel samples the two variables in the opposite roles
+    /// (e.g. channel A trips on pressure-vs-temperature, channel B on
+    /// temperature-vs-pressure).
+    SwapAxes,
+    /// Coarser instrumentation: readings quantised by integer factors
+    /// (values are truncated to the cell's representative).
+    Coarsen {
+        /// Quantisation factor for `var1` (≥ 1).
+        fx: u32,
+        /// Quantisation factor for `var2` (≥ 1).
+        fy: u32,
+    },
+    /// Calibration offset: readings shifted by `(dx, dy)`, saturating at
+    /// the space boundary.
+    Offset {
+        /// Shift applied to `var1`.
+        dx: i32,
+        /// Shift applied to `var2`.
+        dy: i32,
+    },
+    /// Failed instrumentation: the channel's sensors are stuck and report
+    /// the same state regardless of the plant. Failure-injection variant:
+    /// the software evaluates the stuck reading, so a channel stuck
+    /// *inside* one of its failure regions fails every demand
+    /// (fail-danger), while one stuck in a cell its software handles
+    /// correctly trips on every demand (fail-safe instrumentation —
+    /// spurious trips are outside this model's scope).
+    Stuck {
+        /// The reading reported for `var1` forever.
+        at_var1: u32,
+        /// The reading reported for `var2` forever.
+        at_var2: u32,
+    },
+}
+
+impl SensorView {
+    /// Validates the view against a demand space.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtectionError::InvalidConfig`] for zero coarsening factors, or
+    /// a swap view over a non-square space.
+    pub fn validate(&self, space: &GridSpace2D) -> Result<(), ProtectionError> {
+        match self {
+            SensorView::Identity | SensorView::Offset { .. } => Ok(()),
+            SensorView::Stuck { at_var1, at_var2 } => {
+                if *at_var1 < space.nx() && *at_var2 < space.ny() {
+                    Ok(())
+                } else {
+                    Err(ProtectionError::InvalidConfig(format!(
+                        "stuck reading ({at_var1}, {at_var2}) outside {space}"
+                    )))
+                }
+            }
+            SensorView::SwapAxes => {
+                if space.nx() == space.ny() {
+                    Ok(())
+                } else {
+                    Err(ProtectionError::InvalidConfig(format!(
+                        "swap-axes view needs a square space, got {space}"
+                    )))
+                }
+            }
+            SensorView::Coarsen { fx, fy } => {
+                if *fx >= 1 && *fy >= 1 {
+                    Ok(())
+                } else {
+                    Err(ProtectionError::InvalidConfig(
+                        "coarsening factors must be >= 1".into(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Maps a plant state to the demand the channel's software receives.
+    ///
+    /// The result always lies within `space` (saturating where needed),
+    /// modelling sensors that clip rather than fail at range ends.
+    pub fn apply(&self, plant_state: Demand, space: &GridSpace2D) -> Demand {
+        let clamp = |x: i64, max: u32| -> u32 { x.clamp(0, max as i64 - 1) as u32 };
+        match *self {
+            SensorView::Identity => plant_state,
+            SensorView::SwapAxes => Demand::new(
+                clamp(plant_state.var2 as i64, space.nx()),
+                clamp(plant_state.var1 as i64, space.ny()),
+            ),
+            SensorView::Coarsen { fx, fy } => Demand::new(
+                (plant_state.var1 / fx) * fx,
+                (plant_state.var2 / fy) * fy,
+            ),
+            SensorView::Offset { dx, dy } => Demand::new(
+                clamp(plant_state.var1 as i64 + dx as i64, space.nx()),
+                clamp(plant_state.var2 as i64 + dy as i64, space.ny()),
+            ),
+            SensorView::Stuck { at_var1, at_var2 } => Demand::new(
+                clamp(at_var1 as i64, space.nx()),
+                clamp(at_var2 as i64, space.ny()),
+            ),
+        }
+    }
+}
+
+
+impl fmt::Display for SensorView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SensorView::Identity => write!(f, "identity"),
+            SensorView::SwapAxes => write!(f, "swap-axes"),
+            SensorView::Coarsen { fx, fy } => write!(f, "coarsen({fx}×{fy})"),
+            SensorView::Offset { dx, dy } => write!(f, "offset({dx}, {dy})"),
+            SensorView::Stuck { at_var1, at_var2 } => write!(f, "stuck({at_var1}, {at_var2})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> GridSpace2D {
+        GridSpace2D::new(10, 10).unwrap()
+    }
+
+    #[test]
+    fn identity_is_default_and_transparent() {
+        assert_eq!(SensorView::default(), SensorView::Identity);
+        let d = Demand::new(3, 7);
+        assert_eq!(SensorView::Identity.apply(d, &space()), d);
+    }
+
+    #[test]
+    fn swap_axes() {
+        let v = SensorView::SwapAxes;
+        assert_eq!(v.apply(Demand::new(3, 7), &space()), Demand::new(7, 3));
+        assert!(v.validate(&space()).is_ok());
+        let rect = GridSpace2D::new(10, 20).unwrap();
+        assert!(v.validate(&rect).is_err());
+    }
+
+    #[test]
+    fn coarsen_quantises() {
+        let v = SensorView::Coarsen { fx: 4, fy: 2 };
+        assert_eq!(v.apply(Demand::new(5, 5), &space()), Demand::new(4, 4));
+        assert_eq!(v.apply(Demand::new(3, 1), &space()), Demand::new(0, 0));
+        assert!(v.validate(&space()).is_ok());
+        assert!(SensorView::Coarsen { fx: 0, fy: 1 }.validate(&space()).is_err());
+    }
+
+    #[test]
+    fn offset_saturates() {
+        let v = SensorView::Offset { dx: 3, dy: -2 };
+        assert_eq!(v.apply(Demand::new(5, 5), &space()), Demand::new(8, 3));
+        assert_eq!(v.apply(Demand::new(9, 0), &space()), Demand::new(9, 0));
+        let big = SensorView::Offset { dx: 100, dy: -100 };
+        assert_eq!(big.apply(Demand::new(5, 5), &space()), Demand::new(9, 0));
+        assert!(v.validate(&space()).is_ok());
+    }
+
+    #[test]
+    fn mapped_demands_stay_in_space() {
+        let s = space();
+        for view in [
+            SensorView::Identity,
+            SensorView::SwapAxes,
+            SensorView::Coarsen { fx: 3, fy: 7 },
+            SensorView::Offset { dx: -4, dy: 9 },
+            SensorView::Stuck { at_var1: 9, at_var2: 0 },
+        ] {
+            for d in s.demands() {
+                assert!(s.contains(view.apply(d, &s)), "{view} left the space");
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_sensor_ignores_the_plant() {
+        let v = SensorView::Stuck { at_var1: 4, at_var2: 6 };
+        for d in [Demand::new(0, 0), Demand::new(9, 9), Demand::new(4, 6)] {
+            assert_eq!(v.apply(d, &space()), Demand::new(4, 6));
+        }
+        assert!(v.validate(&space()).is_ok());
+        assert!(SensorView::Stuck { at_var1: 10, at_var2: 0 }
+            .validate(&space())
+            .is_err());
+        assert!(SensorView::Stuck { at_var1: 0, at_var2: 3 }
+            .to_string()
+            .contains("stuck(0, 3)"));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SensorView::Identity.to_string(), "identity");
+        assert_eq!(SensorView::SwapAxes.to_string(), "swap-axes");
+        assert!(SensorView::Coarsen { fx: 2, fy: 2 }.to_string().contains("2×2"));
+        assert!(SensorView::Offset { dx: 1, dy: -1 }.to_string().contains("1, -1"));
+    }
+}

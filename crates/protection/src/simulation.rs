@@ -1,0 +1,219 @@
+//! Driving a protection system against a plant.
+//!
+//! [`run`] executes the Fig 1 loop: the plant evolves; when it raises a
+//! demand, the channels respond, the adjudicator combines, and the log
+//! records. This is the operational-testing path used by experiment F1 to
+//! compare observed PFDs against the model's analytic predictions, and by
+//! the Bayesian layer to generate the evidence it updates on.
+
+use crate::error::ProtectionError;
+use crate::history::OperationLog;
+use crate::plant::{Plant, PlantEvent};
+use crate::system::ProtectionSystem;
+use rand::Rng;
+
+/// Runs the plant/system loop for `steps` ticks, returning the operation
+/// log.
+///
+/// # Errors
+///
+/// Propagates [`ProtectionSystem::respond`] errors (impossible for a
+/// validated system).
+pub fn run<R: Rng + ?Sized>(
+    plant: &Plant,
+    system: &ProtectionSystem,
+    steps: u64,
+    rng: &mut R,
+) -> Result<OperationLog, ProtectionError> {
+    let mut log = OperationLog::new(system.channels().len());
+    let mut state = plant.initial_state();
+    for _ in 0..steps {
+        let (next, event) = plant.step(state, rng);
+        state = next;
+        match event {
+            PlantEvent::Quiet => log.record_quiet(),
+            PlantEvent::Demand(d) => {
+                let resp = system.respond(d)?;
+                log.record_demand(resp.tripped, &resp.channel_trips);
+            }
+        }
+    }
+    Ok(log)
+}
+
+/// Runs until `demands` demands have been observed (with a step safety
+/// cap), for experiments that need a fixed evidence size.
+///
+/// # Errors
+///
+/// [`ProtectionError::InvalidConfig`] if the cap is hit before enough
+/// demands occurred; propagated response errors otherwise.
+pub fn run_until_demands<R: Rng + ?Sized>(
+    plant: &Plant,
+    system: &ProtectionSystem,
+    demands: u64,
+    max_steps: u64,
+    rng: &mut R,
+) -> Result<OperationLog, ProtectionError> {
+    let mut log = OperationLog::new(system.channels().len());
+    let mut state = plant.initial_state();
+    let mut steps = 0u64;
+    while log.demands() < demands {
+        if steps >= max_steps {
+            return Err(ProtectionError::InvalidConfig(format!(
+                "only {} of {} demands after {max_steps} steps",
+                log.demands(),
+                demands
+            )));
+        }
+        let (next, event) = plant.step(state, rng);
+        state = next;
+        steps += 1;
+        match event {
+            PlantEvent::Quiet => log.record_quiet(),
+            PlantEvent::Demand(d) => {
+                let resp = system.respond(d)?;
+                log.record_demand(resp.tripped, &resp.channel_trips);
+            }
+        }
+    }
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjudicator::Adjudicator;
+    use crate::channel::Channel;
+    use divrel_demand::mapping::FaultRegionMap;
+    use divrel_demand::profile::Profile;
+    use divrel_demand::region::Region;
+    use divrel_demand::space::GridSpace2D;
+    use divrel_demand::version::ProgramVersion;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Plant, ProtectionSystem, Profile) {
+        let space = GridSpace2D::new(20, 20).unwrap();
+        let profile = Profile::uniform(&space);
+        let map = FaultRegionMap::new(
+            space,
+            vec![Region::rect(0, 0, 3, 3), Region::rect(2, 2, 5, 5)],
+        )
+        .unwrap();
+        let system = ProtectionSystem::new(
+            vec![
+                Channel::new("A", ProgramVersion::new(vec![true, false])),
+                Channel::new("B", ProgramVersion::new(vec![false, true])),
+            ],
+            Adjudicator::OneOutOfN,
+            map,
+        )
+        .unwrap();
+        let plant = Plant::with_demand_rate(profile.clone(), 0.3).unwrap();
+        (plant, system, profile)
+    }
+
+    #[test]
+    fn observed_pfd_converges_to_true_pfd() {
+        let (plant, system, profile) = setup();
+        let truth = system.true_pfd(&profile).unwrap();
+        // Overlap of the two 16-cell regions is 2x2 = 4 cells of 400.
+        assert!((truth - 0.01).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(1);
+        let log = run(&plant, &system, 400_000, &mut rng).unwrap();
+        let observed = log.pfd_estimate().unwrap();
+        // ~120k demands; binomial std err ~ sqrt(0.01*0.99/120000) ≈ 2.9e-4.
+        assert!(
+            (observed - truth).abs() < 6.0 * (truth * (1.0 - truth) / 120_000.0).sqrt(),
+            "observed {observed} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn channel_pfds_match_their_regions() {
+        let (plant, system, profile) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let log = run(&plant, &system, 200_000, &mut rng).unwrap();
+        // Each channel's failure region is 16 cells of 400 = 0.04.
+        for ch in 0..2 {
+            let est = log.channel_pfd_estimate(ch).unwrap();
+            assert!((est - 0.04).abs() < 0.005, "channel {ch}: {est}");
+        }
+        let _ = profile;
+    }
+
+    #[test]
+    fn run_until_demands_reaches_target() {
+        let (plant, system, _) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let log = run_until_demands(&plant, &system, 500, 1_000_000, &mut rng).unwrap();
+        assert_eq!(log.demands(), 500);
+        // Cap enforcement.
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(run_until_demands(&plant, &system, 500, 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn stuck_sensor_failure_injection() {
+        // 1oo2 where channel B carries a fault and channel A's sensor is
+        // stuck INSIDE A's failure region: A fails every demand
+        // (fail-danger), so protection degrades to channel B alone and
+        // the system fails exactly on B's region.
+        let space = GridSpace2D::new(20, 20).unwrap();
+        let profile = Profile::uniform(&space);
+        let map = FaultRegionMap::new(
+            space,
+            vec![Region::rect(0, 0, 3, 3), Region::rect(10, 10, 13, 13)],
+        )
+        .unwrap();
+        let sys = ProtectionSystem::new(
+            vec![
+                Channel::with_view(
+                    "A",
+                    ProgramVersion::new(vec![true, false]),
+                    crate::sensing::SensorView::Stuck { at_var1: 1, at_var2: 1 },
+                ),
+                Channel::new("B", ProgramVersion::new(vec![false, true])),
+            ],
+            Adjudicator::OneOutOfN,
+            map,
+        )
+        .unwrap();
+        // System PFD = measure of B's region = 16/400.
+        assert!((sys.true_pfd(&profile).unwrap() - 0.04).abs() < 1e-12);
+        // With a healthy channel A the intersection is empty.
+        let healthy = ProtectionSystem::new(
+            vec![
+                Channel::new("A", ProgramVersion::new(vec![true, false])),
+                Channel::new("B", ProgramVersion::new(vec![false, true])),
+            ],
+            Adjudicator::OneOutOfN,
+            sys.map().clone(),
+        )
+        .unwrap();
+        assert_eq!(healthy.true_pfd(&profile).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn trajectory_plant_end_to_end() {
+        let space = GridSpace2D::new(30, 30).unwrap();
+        let map = FaultRegionMap::new(space, vec![Region::rect(0, 0, 2, 2)]).unwrap();
+        let system = ProtectionSystem::new(
+            vec![
+                Channel::new("A", ProgramVersion::new(vec![true])),
+                Channel::new("B", ProgramVersion::new(vec![false])),
+            ],
+            Adjudicator::OneOutOfN,
+            map,
+        )
+        .unwrap();
+        let plant = Plant::trajectory(space, Region::rect(0, 0, 6, 6), 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let log = run(&plant, &system, 50_000, &mut rng).unwrap();
+        assert!(log.demands() > 0);
+        // Channel B is perfect, so the 1oo2 system never fails.
+        assert_eq!(log.system_failures(), 0);
+        assert_eq!(log.failure_free_streak(), log.demands());
+    }
+}

@@ -1,0 +1,349 @@
+//! The assembled protection system: channels behind an adjudicator.
+
+use crate::adjudicator::Adjudicator;
+use crate::channel::Channel;
+use crate::error::ProtectionError;
+use divrel_demand::mapping::FaultRegionMap;
+use divrel_demand::profile::Profile;
+use divrel_demand::space::Demand;
+use std::fmt;
+
+/// The system's response to one demand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemResponse {
+    /// Per-channel trip decisions, in channel order.
+    pub channel_trips: Vec<bool>,
+    /// The adjudicated system decision.
+    pub tripped: bool,
+}
+
+/// A plant protection system (Fig 1): `k` channels whose trip outputs are
+/// combined by an adjudicator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtectionSystem {
+    channels: Vec<Channel>,
+    adjudicator: Adjudicator,
+    map: FaultRegionMap,
+}
+
+impl ProtectionSystem {
+    /// Assembles a system.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtectionError::NoChannels`] / [`ProtectionError::BadChannelCount`]
+    /// from adjudicator validation; [`ProtectionError::Demand`] if any
+    /// channel's version length disagrees with the map.
+    pub fn new(
+        channels: Vec<Channel>,
+        adjudicator: Adjudicator,
+        map: FaultRegionMap,
+    ) -> Result<Self, ProtectionError> {
+        adjudicator.validate(channels.len())?;
+        for c in &channels {
+            c.view().validate(map.space())?;
+            if c.version().present().len() != map.len() {
+                return Err(ProtectionError::Demand(
+                    divrel_demand::DemandError::Mismatch(format!(
+                        "channel {} has {} fault flags, map has {} regions",
+                        c.name(),
+                        c.version().present().len(),
+                        map.len()
+                    )),
+                ));
+            }
+        }
+        Ok(ProtectionSystem {
+            channels,
+            adjudicator,
+            map,
+        })
+    }
+
+    /// The channels.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// The adjudicator.
+    pub fn adjudicator(&self) -> Adjudicator {
+        self.adjudicator
+    }
+
+    /// The fault → region map the channels are evaluated against.
+    pub fn map(&self) -> &FaultRegionMap {
+        &self.map
+    }
+
+    /// Responds to a demand.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtectionError::Demand`] on version/map inconsistencies (cannot
+    /// occur for a validated system).
+    pub fn respond(&self, demand: Demand) -> Result<SystemResponse, ProtectionError> {
+        let mut channel_trips = Vec::with_capacity(self.channels.len());
+        for c in &self.channels {
+            channel_trips.push(c.trips_on(&self.map, demand)?);
+        }
+        let tripped = self.adjudicator.decide(&channel_trips);
+        Ok(SystemResponse {
+            channel_trips,
+            tripped,
+        })
+    }
+
+    /// The system's **true** PFD under `profile`: the profile mass of the
+    /// demand set on which the adjudicated output fails. For the OR
+    /// adjudicator this is the measure of the intersection of the
+    /// channels' failure sets — the geometric counterpart of the paper's
+    /// common-fault PFD.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::respond`].
+    pub fn true_pfd(&self, profile: &Profile) -> Result<f64, ProtectionError> {
+        let mut pfd = 0.0;
+        for d in self.map.space().demands() {
+            if !self.respond(d)?.tripped {
+                pfd += profile.prob(d);
+            }
+        }
+        Ok(pfd)
+    }
+}
+
+impl fmt::Display for ProtectionSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ProtectionSystem({} channels, {})",
+            self.channels.len(),
+            self.adjudicator
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divrel_demand::region::Region;
+    use divrel_demand::space::GridSpace2D;
+    use divrel_demand::version::ProgramVersion;
+
+    fn map() -> FaultRegionMap {
+        let space = GridSpace2D::new(10, 10).unwrap();
+        FaultRegionMap::new(
+            space,
+            vec![Region::rect(0, 0, 1, 1), Region::rect(1, 1, 2, 2)],
+        )
+        .unwrap()
+    }
+
+    fn two_channel_system() -> ProtectionSystem {
+        ProtectionSystem::new(
+            vec![
+                Channel::new("A", ProgramVersion::new(vec![true, false])),
+                Channel::new("B", ProgramVersion::new(vec![false, true])),
+            ],
+            Adjudicator::OneOutOfN,
+            map(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(ProtectionSystem::new(vec![], Adjudicator::OneOutOfN, map()).is_err());
+        let short = Channel::new("X", ProgramVersion::new(vec![true]));
+        assert!(ProtectionSystem::new(vec![short], Adjudicator::OneOutOfN, map()).is_err());
+        assert!(ProtectionSystem::new(
+            vec![
+                Channel::new("A", ProgramVersion::fault_free(2)),
+                Channel::new("B", ProgramVersion::fault_free(2)),
+            ],
+            Adjudicator::Majority,
+            map()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn or_adjudication_masks_single_channel_faults() {
+        let sys = two_channel_system();
+        // (0,0): only A fails -> B trips -> system trips.
+        let r = sys.respond(Demand::new(0, 0)).unwrap();
+        assert_eq!(r.channel_trips, vec![false, true]);
+        assert!(r.tripped);
+        // (1,1): A fails (region 0) and B fails (region 1) -> system fails.
+        let r = sys.respond(Demand::new(1, 1)).unwrap();
+        assert_eq!(r.channel_trips, vec![false, false]);
+        assert!(!r.tripped);
+        // (5,5): nobody fails.
+        let r = sys.respond(Demand::new(5, 5)).unwrap();
+        assert!(r.tripped);
+    }
+
+    #[test]
+    fn true_pfd_is_intersection_measure() {
+        let sys = two_channel_system();
+        let profile = Profile::uniform(sys.map().space());
+        // Regions intersect only at (1,1): 1 cell of 100.
+        let pfd = sys.true_pfd(&profile).unwrap();
+        assert!((pfd - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn and_adjudicator_fails_if_any_channel_fails() {
+        let sys = ProtectionSystem::new(
+            vec![
+                Channel::new("A", ProgramVersion::new(vec![true, false])),
+                Channel::new("B", ProgramVersion::new(vec![false, true])),
+            ],
+            Adjudicator::AllOutOfN,
+            map(),
+        )
+        .unwrap();
+        let profile = Profile::uniform(sys.map().space());
+        // Union of the regions: 4 + 4 - 1 = 7 cells.
+        let pfd = sys.true_pfd(&profile).unwrap();
+        assert!((pfd - 0.07).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_channels_gain_nothing() {
+        // Two copies of the same faulty version: OR adjudication does not
+        // help — the system PFD equals the version PFD. (The degenerate
+        // case diversity exists to avoid.)
+        let v = ProgramVersion::new(vec![true, true]);
+        let sys = ProtectionSystem::new(
+            vec![Channel::new("A", v.clone()), Channel::new("B", v)],
+            Adjudicator::OneOutOfN,
+            map(),
+        )
+        .unwrap();
+        let profile = Profile::uniform(sys.map().space());
+        let pfd = sys.true_pfd(&profile).unwrap();
+        assert!((pfd - 0.07).abs() < 1e-12); // union of both regions
+    }
+
+    #[test]
+    fn display_and_accessors() {
+        let sys = two_channel_system();
+        assert_eq!(sys.channels().len(), 2);
+        assert_eq!(sys.adjudicator(), Adjudicator::OneOutOfN);
+        assert!(sys.to_string().contains("2 channels"));
+    }
+
+    mod properties {
+        use super::*;
+        use divrel_demand::space::Demand;
+        use proptest::prelude::*;
+
+        /// Random region within a 12×12 space.
+        fn arb_region() -> impl Strategy<Value = Region> {
+            (0u32..10, 0u32..10, 1u32..4, 1u32..4).prop_map(|(x, y, w, h)| {
+                Region::rect(x, y, (x + w).min(11), (y + h).min(11))
+            })
+        }
+
+        fn arb_versions() -> impl Strategy<Value = (Vec<bool>, Vec<bool>)> {
+            (
+                proptest::collection::vec(proptest::bool::ANY, 3),
+                proptest::collection::vec(proptest::bool::ANY, 3),
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn or_pfd_never_exceeds_any_channel(
+                regions in proptest::collection::vec(arb_region(), 3),
+                (pa, pb) in arb_versions()
+            ) {
+                let space = GridSpace2D::new(12, 12).expect("valid");
+                let profile = Profile::uniform(&space);
+                let map = FaultRegionMap::new(space, regions).expect("valid");
+                let va = ProgramVersion::new(pa);
+                let vb = ProgramVersion::new(pb);
+                let sys = ProtectionSystem::new(
+                    vec![
+                        Channel::new("A", va.clone()),
+                        Channel::new("B", vb.clone()),
+                    ],
+                    Adjudicator::OneOutOfN,
+                    map.clone(),
+                )
+                .expect("valid");
+                let pfd = sys.true_pfd(&profile).expect("ok");
+                prop_assert!(pfd <= va.true_pfd(&map, &profile).expect("ok") + 1e-12);
+                prop_assert!(pfd <= vb.true_pfd(&map, &profile).expect("ok") + 1e-12);
+            }
+
+            #[test]
+            fn adjudicator_ordering_or_below_majority_below_and(
+                regions in proptest::collection::vec(arb_region(), 3),
+                (pa, pb) in arb_versions(),
+                pc in proptest::collection::vec(proptest::bool::ANY, 3)
+            ) {
+                let space = GridSpace2D::new(12, 12).expect("valid");
+                let profile = Profile::uniform(&space);
+                let map = FaultRegionMap::new(space, regions).expect("valid");
+                let mk = |adj: Adjudicator| {
+                    ProtectionSystem::new(
+                        vec![
+                            Channel::new("A", ProgramVersion::new(pa.clone())),
+                            Channel::new("B", ProgramVersion::new(pb.clone())),
+                            Channel::new("C", ProgramVersion::new(pc.clone())),
+                        ],
+                        adj,
+                        map.clone(),
+                    )
+                    .expect("valid")
+                    .true_pfd(&profile)
+                    .expect("ok")
+                };
+                let or = mk(Adjudicator::OneOutOfN);
+                let maj = mk(Adjudicator::Majority);
+                let and = mk(Adjudicator::AllOutOfN);
+                prop_assert!(or <= maj + 1e-12, "or {or} > majority {maj}");
+                prop_assert!(maj <= and + 1e-12, "majority {maj} > and {and}");
+            }
+
+            #[test]
+            fn response_is_consistent_with_true_pfd_support(
+                regions in proptest::collection::vec(arb_region(), 2),
+                (pa, pb) in (
+                    proptest::collection::vec(proptest::bool::ANY, 2),
+                    proptest::collection::vec(proptest::bool::ANY, 2),
+                )
+            ) {
+                let space = GridSpace2D::new(12, 12).expect("valid");
+                let profile = Profile::uniform(&space);
+                let map = FaultRegionMap::new(space, regions).expect("valid");
+                let sys = ProtectionSystem::new(
+                    vec![
+                        Channel::new("A", ProgramVersion::new(pa)),
+                        Channel::new("B", ProgramVersion::new(pb)),
+                    ],
+                    Adjudicator::OneOutOfN,
+                    map,
+                )
+                .expect("valid");
+                // true_pfd equals the measure of the demands where respond()
+                // says "no trip" — recomputed by brute force.
+                let mut brute = 0.0;
+                for y in 0..12u32 {
+                    for x in 0..12u32 {
+                        let d = Demand::new(x, y);
+                        if !sys.respond(d).expect("ok").tripped {
+                            brute += profile.prob(d);
+                        }
+                    }
+                }
+                prop_assert!((sys.true_pfd(&profile).expect("ok") - brute).abs() < 1e-12);
+            }
+        }
+    }
+}

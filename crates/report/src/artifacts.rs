@@ -1,0 +1,131 @@
+//! Result-directory plumbing: `results/<experiment-id>/{name}.{md,csv,json}`.
+
+use crate::table::Table;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Writes experiment artifacts under a root directory, one subdirectory
+/// per experiment id.
+///
+/// ```no_run
+/// use divrel_report::{ArtifactSink, Table};
+/// # fn main() -> std::io::Result<()> {
+/// let sink = ArtifactSink::new("results", "E7-beta-factor")?;
+/// let mut t = Table::new(["p_max", "beta"]);
+/// t.row(["0.5", "0.866"]);
+/// sink.write_table("beta_factor", &t)?;
+/// sink.write_text("notes", "matches the paper's table exactly\n")?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArtifactSink {
+    dir: PathBuf,
+}
+
+impl ArtifactSink {
+    /// Creates (or reuses) `root/experiment_id/`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn new(root: impl AsRef<Path>, experiment_id: &str) -> io::Result<Self> {
+        let dir = root.as_ref().join(experiment_id);
+        fs::create_dir_all(&dir)?;
+        Ok(ArtifactSink { dir })
+    }
+
+    /// The directory artifacts are written to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writes `name.md`, `name.csv` and `name.json` renderings of a table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-write failures.
+    pub fn write_table(&self, name: &str, table: &Table) -> io::Result<()> {
+        fs::write(self.dir.join(format!("{name}.md")), table.to_markdown())?;
+        fs::write(self.dir.join(format!("{name}.csv")), table.to_csv())?;
+        fs::write(self.dir.join(format!("{name}.json")), table.to_json())?;
+        Ok(())
+    }
+
+    /// Writes a free-form text artifact `name.txt`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-write failures.
+    pub fn write_text(&self, name: &str, content: &str) -> io::Result<()> {
+        fs::write(self.dir.join(format!("{name}.txt")), content)
+    }
+
+    /// Writes a JSON artifact `name.json` from any serialisable value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialisation and file-write failures.
+    pub fn write_json<T: serde::Serialize>(&self, name: &str, value: &T) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(value)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        fs::write(self.dir.join(format!("{name}.json")), json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "divrel-report-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn writes_all_renderings() {
+        let root = tmp_root();
+        let sink = ArtifactSink::new(&root, "E7").unwrap();
+        let mut t = Table::new(["a"]);
+        t.row(["1"]);
+        sink.write_table("t", &t).unwrap();
+        assert!(sink.dir().join("t.md").exists());
+        assert!(sink.dir().join("t.csv").exists());
+        assert!(sink.dir().join("t.json").exists());
+        let csv = fs::read_to_string(sink.dir().join("t.csv")).unwrap();
+        assert_eq!(csv, "a\n1\n");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn writes_text_and_json() {
+        let root = tmp_root();
+        let sink = ArtifactSink::new(&root, "E1").unwrap();
+        sink.write_text("note", "hello").unwrap();
+        assert_eq!(
+            fs::read_to_string(sink.dir().join("note.txt")).unwrap(),
+            "hello"
+        );
+        sink.write_json("vals", &vec![1, 2, 3]).unwrap();
+        let v: Vec<i32> =
+            serde_json::from_str(&fs::read_to_string(sink.dir().join("vals.json")).unwrap())
+                .unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn reuses_existing_directory() {
+        let root = tmp_root();
+        let a = ArtifactSink::new(&root, "X").unwrap();
+        let b = ArtifactSink::new(&root, "X").unwrap();
+        assert_eq!(a.dir(), b.dir());
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

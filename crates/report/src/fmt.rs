@@ -1,0 +1,112 @@
+//! Numeric formatting shared by every experiment report.
+
+/// Formats a value with `sig` significant figures, using scientific
+/// notation outside `[1e-3, 1e4)`.
+///
+/// ```
+/// use divrel_report::fmt::sig;
+/// assert_eq!(sig(0.0123456, 3), "0.0123");
+/// assert_eq!(sig(1234.5678, 4), "1235");
+/// assert_eq!(sig(1.5e-7, 3), "1.50e-7");
+/// assert_eq!(sig(0.0, 3), "0");
+/// ```
+pub fn sig(x: f64, sig: usize) -> String {
+    if x == 0.0 {
+        return "0".into();
+    }
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    let mag = x.abs().log10().floor();
+    if !(-3.0..4.0).contains(&mag) {
+        let digits = sig.saturating_sub(1);
+        let s = format!("{:.*e}", digits, x);
+        return s;
+    }
+    let decimals = (sig as i64 - 1 - mag as i64).max(0) as usize;
+    format!("{x:.decimals$}")
+}
+
+/// Formats a probability/ratio as a percentage with the given decimals.
+///
+/// ```
+/// use divrel_report::fmt::percent;
+/// assert_eq!(percent(0.25, 1), "25.0%");
+/// ```
+pub fn percent(x: f64, decimals: usize) -> String {
+    format!("{:.*}%", decimals, x * 100.0)
+}
+
+/// Formats a ratio as a multiplicative factor, e.g. `9.95×`.
+///
+/// ```
+/// use divrel_report::fmt::factor;
+/// assert_eq!(factor(9.95), "9.95×");
+/// assert_eq!(factor(f64::INFINITY), "∞");
+/// ```
+pub fn factor(x: f64) -> String {
+    if x.is_infinite() {
+        return "∞".into();
+    }
+    format!("{x:.2}×")
+}
+
+/// Relative difference `|a−b| / max(|a|, |b|)`; 0 when both are 0.
+///
+/// Used to report measured-vs-paper deviations in EXPERIMENTS.md.
+///
+/// ```
+/// use divrel_report::fmt::rel_diff;
+/// assert!((rel_diff(0.1, 0.11) - 0.0909).abs() < 1e-3);
+/// assert_eq!(rel_diff(0.0, 0.0), 0.0);
+/// ```
+pub fn rel_diff(a: f64, b: f64) -> f64 {
+    let denom = a.abs().max(b.abs());
+    if denom == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sig_figures_mid_range() {
+        assert_eq!(sig(0.866, 3), "0.866");
+        assert_eq!(sig(0.33166, 3), "0.332");
+        assert_eq!(sig(0.1004987, 3), "0.100");
+        assert_eq!(sig(12.345, 3), "12.3");
+        assert_eq!(sig(9999.0, 2), "9999"); // no negative decimals
+    }
+
+    #[test]
+    fn sig_scientific_for_extremes() {
+        assert_eq!(sig(1.2345e-5, 3), "1.23e-5");
+        assert_eq!(sig(9.87e8, 2), "9.9e8");
+        assert_eq!(sig(-4.2e-9, 2), "-4.2e-9");
+    }
+
+    #[test]
+    fn sig_handles_non_finite() {
+        assert_eq!(sig(f64::INFINITY, 3), "inf");
+        assert_eq!(sig(f64::NAN, 3), "NaN");
+    }
+
+    #[test]
+    fn percent_and_factor() {
+        assert_eq!(percent(0.0123, 2), "1.23%");
+        assert_eq!(factor(1.0), "1.00×");
+        assert_eq!(factor(f64::INFINITY), "∞");
+    }
+
+    #[test]
+    fn rel_diff_properties() {
+        assert_eq!(rel_diff(5.0, 5.0), 0.0);
+        assert!((rel_diff(1.0, 2.0) - 0.5).abs() < 1e-15);
+        assert_eq!(rel_diff(1.0, 2.0), rel_diff(2.0, 1.0));
+        assert_eq!(rel_diff(0.0, 1.0), 1.0);
+    }
+}

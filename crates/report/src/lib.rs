@@ -1,0 +1,35 @@
+//! # divrel-report
+//!
+//! Result tables and serialisation for the `divrel` experiment harness.
+//!
+//! Every experiment binary in `divrel-bench` regenerates one of the
+//! paper's tables or figures and must report it three ways: pretty
+//! markdown on stdout (for EXPERIMENTS.md), CSV (for plotting), and JSON
+//! (for machine comparison against the paper's values). This crate is that
+//! plumbing:
+//!
+//! * [`table::Table`] — a typed column/row table with alignment-aware
+//!   markdown and CSV rendering;
+//! * [`fmt`] — numeric formatting helpers (significant figures,
+//!   scientific notation) shared by all experiments;
+//! * [`artifacts::ArtifactSink`] — the `results/` directory layout, one
+//!   subdirectory per experiment id.
+//!
+//! ```
+//! use divrel_report::table::Table;
+//!
+//! let mut t = Table::new(["p_max", "beta factor"]);
+//! t.row(["0.5", "0.866"]);
+//! t.row(["0.1", "0.332"]);
+//! let md = t.to_markdown();
+//! assert!(md.contains("| p_max | beta factor |"));
+//! ```
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod artifacts;
+pub mod fmt;
+pub mod table;
+
+pub use artifacts::ArtifactSink;
+pub use table::Table;

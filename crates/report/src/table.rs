@@ -1,0 +1,203 @@
+//! A small typed table with markdown and CSV rendering.
+
+use serde::Serialize;
+
+/// A table of string cells with a fixed header.
+///
+/// Rows shorter than the header are padded with empty cells; longer rows
+/// are truncated — the table always stays rectangular.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The header cells.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders as an aligned GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let widths: Vec<usize> = (0..self.header.len())
+            .map(|c| {
+                self.rows
+                    .iter()
+                    .map(|r| r[c].chars().count())
+                    .chain(std::iter::once(self.header[c].chars().count()))
+                    .max()
+                    .unwrap_or(1)
+                    .max(1)
+            })
+            .collect();
+        let mut out = String::new();
+        let emit_row = |out: &mut String, cells: &[String]| {
+            out.push('|');
+            for (c, w) in cells.iter().zip(&widths) {
+                out.push(' ');
+                out.push_str(c);
+                for _ in c.chars().count()..*w {
+                    out.push(' ');
+                }
+                out.push_str(" |");
+            }
+            out.push('\n');
+        };
+        emit_row(&mut out, &self.header);
+        out.push('|');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('|');
+        }
+        out.push('\n');
+        for r in &self.rows {
+            emit_row(&mut out, r);
+        }
+        out
+    }
+
+    /// Renders as RFC-4180-style CSV (quoting cells containing commas,
+    /// quotes or newlines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            let mut first = true;
+            for c in cells {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                if c.contains([',', '"', '\n']) {
+                    out.push('"');
+                    out.push_str(&c.replace('"', "\"\""));
+                    out.push('"');
+                } else {
+                    out.push_str(c);
+                }
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.header);
+        for r in &self.rows {
+            emit(&mut out, r);
+        }
+        out
+    }
+
+    /// Serialises to pretty JSON (header + rows).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["alpha", "1"]);
+        t.row(["beta-longer", "2.5"]);
+        t
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.header(), &["name".to_string(), "value".to_string()]);
+        assert_eq!(t.rows()[1][0], "beta-longer");
+    }
+
+    #[test]
+    fn rows_are_padded_and_truncated() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+        t.row(["x", "y", "z-dropped"]);
+        assert_eq!(t.rows()[0], vec!["only-one".to_string(), String::new()]);
+        assert_eq!(t.rows()[1], vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn markdown_is_aligned() {
+        let md = sample().to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("| name"));
+        assert!(lines[1].starts_with("|--"));
+        // All lines have equal width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "{md}");
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["plain", "has,comma"]);
+        t.row(["has\"quote", "multi\nline"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+        assert!(csv.contains("\"multi\nline\""));
+        assert!(csv.starts_with("a,b\n"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let t = sample();
+        let json = t.to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["header"][0], "name");
+        assert_eq!(v["rows"][1][1], "2.5");
+    }
+
+    #[test]
+    fn empty_table_renders() {
+        let t = Table::new(["x"]);
+        assert!(t.is_empty());
+        let md = t.to_markdown();
+        assert_eq!(md.lines().count(), 2);
+        assert_eq!(t.to_csv(), "x\n");
+    }
+}

@@ -1,0 +1,66 @@
+//! A synthetic Knight–Leveson experiment — §7's empirical check, replayed.
+//!
+//! Develops 27 versions of the same specification under the fault-creation
+//! model, forms all 351 1-out-of-2 pairs, and reports the statistics §7
+//! extracted from the original experiment: diversity reduced the sample
+//! mean of the PFD *and (greatly) its standard deviation*, while the
+//! version PFDs do not fit a normal distribution.
+//!
+//! Run with: `cargo run --example knight_leveson`
+
+use divrel::devsim::kl::KnightLevesonExperiment;
+use divrel::model::FaultModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A student-experiment-flavoured fault model: a handful of plausible
+    // specification misreadings with assorted failure-region sizes.
+    let model = FaultModel::from_params(
+        &[0.35, 0.25, 0.18, 0.12, 0.08, 0.05, 0.03],
+        &[0.0008, 0.0025, 0.0005, 0.0060, 0.0012, 0.0150, 0.0040],
+    )?;
+    println!("Fault model: {model}");
+    println!(
+        "population-level predictions: µ1 = {:.3e}, µ2 = {:.3e}\n",
+        model.mean_pfd_single(),
+        model.mean_pfd_pair()
+    );
+
+    for seed in [1u64, 2, 3] {
+        let result = KnightLevesonExperiment::new(model.clone()).seed(seed).run()?;
+        println!("replication {seed} — 27 versions, {} pairs:", result.pair_pfds.len());
+        println!(
+            "  versions: mean PFD {:.3e}, σ {:.3e}",
+            result.single_mean, result.single_std
+        );
+        println!(
+            "  pairs:    mean PFD {:.3e}, σ {:.3e}",
+            result.pair_mean, result.pair_std
+        );
+        match (result.mean_reduction(), result.std_reduction()) {
+            (Some(m), Some(s)) => println!(
+                "  diversity reduced the mean {m:.1}× and the std dev {s:.1}× \
+                 — the §7 pattern"
+            ),
+            _ => println!("  pairs were entirely failure-free in this replication"),
+        }
+        if let Some(ks) = result.normality {
+            println!(
+                "  KS test of version PFDs vs fitted normal: D = {:.3}, p = {:.4} {}",
+                ks.statistic,
+                ks.p_value,
+                if ks.p_value < 0.05 {
+                    "→ normality rejected (as §7 observed for the real data)"
+                } else {
+                    "→ not rejected in this replication"
+                }
+            );
+        }
+        println!();
+    }
+    println!(
+        "§7: \"diversity reduced not only the sample mean of the PFD of the \
+         27 program\nversions produced, but also – greatly – its standard \
+         deviation\" — reproduced."
+    );
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! A safety case for a 1-out-of-2 protection system — the paper's §5.1
+//! assessor workflow plus the Bayesian follow-up its conclusions call for.
+//!
+//! Scenario: a regulator must decide whether a dual-channel protection
+//! system reaches SIL 3 (PFD < 10⁻³). Evidence: the developer's process
+//! history supports µ₁ = 0.01, σ₁ = 0.001 for single versions, and the
+//! assessor is prepared to believe `p_max ≤ 0.1` (no single mistake
+//! survives the process with more than 10% probability).
+//!
+//! Run with: `cargo run --example safety_case`
+
+use divrel::bayes::assessment::{compare_diversity, demands_for_claim};
+use divrel::bayes::prior::PfdPrior;
+use divrel::model::assessor::{assess_pair, Sil, SingleVersionEvidence};
+use divrel::model::FaultModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Step 1: the paper's §5.1 move ----------------------------------
+    let confidence = 0.99;
+    let claim = assess_pair(
+        SingleVersionEvidence::Moments {
+            mu: 0.01,
+            sigma: 0.001,
+        },
+        0.1,
+        confidence,
+    )?;
+    println!("§5.1 claim derivation at {:.0}% confidence:", confidence * 100.0);
+    println!(
+        "  single version: PFD ≤ {:.4}   → {}",
+        claim.single_bound,
+        claim
+            .single_sil
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "no SIL".into())
+    );
+    println!(
+        "  1oo2 system:    PFD ≤ {:.4}   → {}   ({:.1}× better)",
+        claim.pair_bound,
+        claim
+            .pair_sil
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "no SIL".into()),
+        claim.improvement_factor
+    );
+    println!(
+        "  (Diversity bought {} with NO new evidence — only the p_max belief.)",
+        claim.pair_sil.map(|s| s.to_string()).unwrap_or_default()
+    );
+
+    // --- Step 2: how much operation until SIL 3? -------------------------
+    // Model the process explicitly: many small faults consistent with the
+    // moment evidence above.
+    let model = FaultModel::uniform(100, 0.1, 1e-3)?;
+    println!(
+        "\nExplicit process model: n = 100 potential faults, p = 0.1, q = 1e-3"
+    );
+    println!(
+        "  (µ1 = {:.3}, σ1 = {:.4} — consistent with the claimed evidence)",
+        model.mean_pfd_single(),
+        model.std_pfd_single()
+    );
+    let sil3 = Sil::Sil3.band().1; // PFD < 1e-3
+    for (label, prior) in [
+        ("single version", PfdPrior::exact_single(&model)?),
+        ("1oo2 system", PfdPrior::exact_pair(&model)?),
+    ] {
+        match demands_for_claim(&prior, sil3, confidence, 200_000_000) {
+            Ok(plan) => println!(
+                "  {label}: needs {} failure-free demands for SIL 3 \
+                 (posterior bound {:.2e})",
+                plan.demands, plan.achieved_bound
+            ),
+            Err(e) => println!("  {label}: SIL 3 unreachable ({e})"),
+        }
+    }
+
+    // --- Step 3: the gain after shared operational exposure --------------
+    println!("\nPosterior bounds after equal failure-free exposure:");
+    for t in [0u64, 1_000, 10_000, 100_000] {
+        let c = compare_diversity(&model, t, confidence)?;
+        println!(
+            "  t = {t:>7}: single ≤ {:.2e}, 1oo2 ≤ {:.2e}  (gain {:.1}×)",
+            c.single_bound, c.pair_bound, c.gain
+        );
+    }
+    println!(
+        "\nNote how the diversity gain is largest exactly when evidence is \
+         scarce — the situation safety assessment is stuck with."
+    );
+    Ok(())
+}

@@ -1,0 +1,256 @@
+//! `divrel` — a command-line assessor for diverse-system reliability.
+//!
+//! Wraps the paper's assessor-facing results into a tool a regulator or
+//! project engineer can run directly:
+//!
+//! ```text
+//! divrel beta   --pmax 0.01
+//! divrel assess --pmax 0.1 --mu 0.01 --sigma 0.001 --confidence 0.99
+//! divrel assess --pmax 0.1 --bound 0.011 --confidence 0.99
+//! divrel plan   --n 100 --p 0.1 --q 1e-3 --target 1e-3 --confidence 0.99
+//! divrel reversal --p2 0.5
+//! ```
+//!
+//! No external CLI dependency: arguments are `--key value` pairs parsed
+//! by hand, and every failure path prints usage with an explanation.
+
+use divrel::bayes::assessment::demands_for_claim;
+use divrel::bayes::prior::PfdPrior;
+use divrel::model::assessor::{assess_pair, Sil, SingleVersionEvidence};
+use divrel::model::bounds::beta_factor;
+use divrel::model::improvement::{two_fault_ratio, two_fault_stationary_point};
+use divrel::model::FaultModel;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+divrel — assessor tooling for 1-out-of-2 diverse systems
+(Popov & Strigini, DSN 2001)
+
+USAGE:
+  divrel beta     --pmax <p>
+      The guaranteed confidence-bound reduction factor sqrt(pmax(1+pmax)).
+
+  divrel assess   --pmax <p> --confidence <c>
+                  (--mu <m> --sigma <s> | --bound <b>)
+      Derive the 1oo2 PFD bound and SIL claim from single-version
+      evidence (eq 11 with moments, eq 12 with a bound).
+
+  divrel plan     --n <faults> --p <p> --q <q> --target <pfd>
+                  --confidence <c> [--pair]
+      Failure-free demands needed to claim `PFD <= target` at the given
+      confidence, under the exact model prior (uniform fault model).
+
+  divrel reversal --p2 <p>
+      The Appendix-A stationary point: improving the other fault below
+      this value reduces the gain from diversity.
+";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = &args[i];
+        if let Some(name) = key.strip_prefix("--") {
+            if name == "pair" {
+                map.insert(name.to_string(), "true".to_string());
+                i += 1;
+                continue;
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("missing value for --{name}"))?;
+            map.insert(name.to_string(), value.clone());
+            i += 2;
+        } else {
+            return Err(format!("unexpected argument: {key}"));
+        }
+    }
+    Ok(map)
+}
+
+fn get_f64(flags: &HashMap<String, String>, name: &str) -> Result<f64, String> {
+    flags
+        .get(name)
+        .ok_or_else(|| format!("missing required flag --{name}"))?
+        .parse::<f64>()
+        .map_err(|e| format!("--{name}: {e}"))
+}
+
+fn cmd_beta(flags: &HashMap<String, String>) -> Result<(), String> {
+    let pmax = get_f64(flags, "pmax")?;
+    let beta = beta_factor(pmax).map_err(|e| e.to_string())?;
+    println!("p_max                      : {pmax}");
+    println!("beta factor sqrt(p(1+p))   : {beta:.6}");
+    println!("guaranteed 1oo2 improvement: {:.2}x", 1.0 / beta);
+    println!("(any single-version PFD bound, multiplied by the beta factor,");
+    println!(" bounds the 1oo2 pair's PFD at the same confidence — eq 12)");
+    Ok(())
+}
+
+fn cmd_assess(flags: &HashMap<String, String>) -> Result<(), String> {
+    let pmax = get_f64(flags, "pmax")?;
+    let confidence = get_f64(flags, "confidence")?;
+    let evidence = if flags.contains_key("bound") {
+        SingleVersionEvidence::Bound {
+            bound: get_f64(flags, "bound")?,
+            confidence,
+        }
+    } else {
+        SingleVersionEvidence::Moments {
+            mu: get_f64(flags, "mu")?,
+            sigma: get_f64(flags, "sigma")?,
+        }
+    };
+    let claim = assess_pair(evidence, pmax, confidence).map_err(|e| e.to_string())?;
+    let sil = |s: Option<Sil>| s.map(|s| s.to_string()).unwrap_or_else(|| "none".into());
+    println!("confidence           : {:.1}%", confidence * 100.0);
+    println!("single-version bound : {:.6}  (SIL claim: {})", claim.single_bound, sil(claim.single_sil));
+    println!("1oo2 pair bound      : {:.6}  (SIL claim: {})", claim.pair_bound, sil(claim.pair_sil));
+    println!("improvement factor   : {:.2}x", claim.improvement_factor);
+    Ok(())
+}
+
+fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
+    let n = get_f64(flags, "n")? as usize;
+    let p = get_f64(flags, "p")?;
+    let q = get_f64(flags, "q")?;
+    let target = get_f64(flags, "target")?;
+    let confidence = get_f64(flags, "confidence")?;
+    let pair = flags.contains_key("pair");
+    let model = FaultModel::uniform(n, p, q).map_err(|e| e.to_string())?;
+    let prior = if pair {
+        PfdPrior::exact_pair(&model)
+    } else {
+        PfdPrior::exact_single(&model)
+    }
+    .map_err(|e| e.to_string())?;
+    println!(
+        "model: n = {n}, p = {p}, q = {q}  ({})",
+        if pair { "1oo2 pair" } else { "single version" }
+    );
+    println!("prior mean PFD       : {:.3e}", prior.mean());
+    println!("prior P(perfect)     : {:.4}", prior.prob_perfect());
+    match demands_for_claim(&prior, target, confidence, 2_000_000_000) {
+        Ok(plan) => {
+            println!(
+                "failure-free demands for PFD <= {target} at {:.1}% confidence: {}",
+                confidence * 100.0,
+                plan.demands
+            );
+            println!("posterior bound then : {:.3e}", plan.achieved_bound);
+        }
+        Err(e) => println!("claim unreachable: {e}"),
+    }
+    Ok(())
+}
+
+fn cmd_reversal(flags: &HashMap<String, String>) -> Result<(), String> {
+    let p2 = get_f64(flags, "p2")?;
+    let p1z = two_fault_stationary_point(p2).map_err(|e| e.to_string())?;
+    println!("other fault's probability p2  : {p2}");
+    println!("stationary point p1z          : {p1z:.6}");
+    println!("ratio at the stationary point : {:.4}", two_fault_ratio(p1z, p2).map_err(|e| e.to_string())?);
+    println!("ratio if p1 -> 0              : {:.4}", two_fault_ratio(1e-12, p2).map_err(|e| e.to_string())?);
+    println!("(improving fault 1 below p1z makes diversity relatively LESS");
+    println!(" valuable, even though the system keeps getting safer — §4.2.1)");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[&str]) -> HashMap<String, String> {
+        parse_flags(&pairs.iter().map(|s| s.to_string()).collect::<Vec<_>>()).expect("parses")
+    }
+
+    #[test]
+    fn parse_flags_accepts_key_value_pairs() {
+        let f = flags(&["--pmax", "0.1", "--confidence", "0.99"]);
+        assert_eq!(f["pmax"], "0.1");
+        assert_eq!(f["confidence"], "0.99");
+    }
+
+    #[test]
+    fn parse_flags_handles_boolean_pair_flag() {
+        let f = flags(&["--pair", "--n", "10"]);
+        assert_eq!(f["pair"], "true");
+        assert_eq!(f["n"], "10");
+    }
+
+    #[test]
+    fn parse_flags_rejects_malformed_input() {
+        let args: Vec<String> = vec!["--pmax".into()];
+        assert!(parse_flags(&args).is_err());
+        let args: Vec<String> = vec!["loose".into()];
+        assert!(parse_flags(&args).is_err());
+    }
+
+    #[test]
+    fn get_f64_validates() {
+        let f = flags(&["--pmax", "0.1", "--bad", "abc"]);
+        assert_eq!(get_f64(&f, "pmax").expect("parses"), 0.1);
+        assert!(get_f64(&f, "bad").is_err());
+        assert!(get_f64(&f, "missing").is_err());
+    }
+
+    #[test]
+    fn commands_run_with_valid_flags() {
+        assert!(cmd_beta(&flags(&["--pmax", "0.01"])).is_ok());
+        assert!(cmd_assess(&flags(&[
+            "--pmax", "0.1", "--mu", "0.01", "--sigma", "0.001", "--confidence", "0.99"
+        ]))
+        .is_ok());
+        assert!(cmd_assess(&flags(&[
+            "--pmax", "0.1", "--bound", "0.011", "--confidence", "0.99"
+        ]))
+        .is_ok());
+        assert!(cmd_reversal(&flags(&["--p2", "0.5"])).is_ok());
+        assert!(cmd_plan(&flags(&[
+            "--n", "10", "--p", "0.1", "--q", "0.01", "--target", "0.01", "--confidence",
+            "0.99"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn commands_reject_bad_flags() {
+        assert!(cmd_beta(&flags(&["--pmax", "1.5"])).is_err());
+        assert!(cmd_reversal(&flags(&["--p2", "0"])).is_err());
+        assert!(cmd_assess(&flags(&["--pmax", "0.1", "--confidence", "0.99"])).is_err());
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "beta" => cmd_beta(&flags),
+        "assess" => cmd_assess(&flags),
+        "plan" => cmd_plan(&flags),
+        "reversal" => cmd_reversal(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command: {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # divrel — the reliability of diverse systems
+//!
+//! A faithful, executable reproduction of **Popov & Strigini, "The
+//! Reliability of Diverse Systems: a Contribution using Modelling of the
+//! Fault Creation Process" (DSN 2001)**, packaged as a production-quality
+//! Rust workspace.
+//!
+//! This facade crate re-exports every sub-crate under a stable set of
+//! module names so applications can depend on a single crate:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`model`] | `divrel-model` | the paper's fault-creation model (core contribution) |
+//! | [`numerics`] | `divrel-numerics` | special functions, distributions, statistics |
+//! | [`demand`] | `divrel-demand` | demand spaces, failure regions, operational profiles |
+//! | [`devsim`] | `divrel-devsim` | Monte-Carlo simulation of the development process |
+//! | [`protection`] | `divrel-protection` | 1-out-of-2 plant protection substrate |
+//! | [`bayes`] | `divrel-bayes` | Bayesian assessment & inference on the model |
+//! | [`report`] | `divrel-report` | result tables and serialisation |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use divrel::model::{FaultModel, PotentialFault};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Three potential faults: (introduction probability, failure-region size)
+//! let model = FaultModel::new(vec![
+//!     PotentialFault::new(0.10, 1e-3)?,
+//!     PotentialFault::new(0.05, 5e-4)?,
+//!     PotentialFault::new(0.01, 1e-2)?,
+//! ])?;
+//!
+//! // Paper eq (1): mean PFD of one version and of a 1-out-of-2 pair.
+//! let mu1 = model.mean_pfd_single();
+//! let mu2 = model.mean_pfd_pair();
+//! assert!(mu2 < mu1);
+//!
+//! // Paper eq (4): the assessor-grade guaranteed improvement factor.
+//! assert!(mu2 <= model.p_max() * mu1 + 1e-15);
+//! # Ok(())
+//! # }
+//! ```
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub use divrel_bayes as bayes;
+pub use divrel_demand as demand;
+pub use divrel_devsim as devsim;
+pub use divrel_model as model;
+pub use divrel_numerics as numerics;
+pub use divrel_protection as protection;
+pub use divrel_report as report;

@@ -1,0 +1,130 @@
+//! Integration: the full assessor workflow — model prior, operational
+//! evidence from the protection simulator, posterior claims.
+
+use divrel::bayes::assessment::{demands_for_claim, posterior_bound};
+use divrel::bayes::prior::PfdPrior;
+use divrel::bayes::update::{factored_fault_posterior, observe};
+use divrel::demand::{
+    mapping::FaultRegionMap, profile::Profile, region::Region, space::GridSpace2D,
+    version::ProgramVersion,
+};
+use divrel::model::FaultModel;
+use divrel::protection::{
+    adjudicator::Adjudicator, channel::Channel, plant::Plant, simulation,
+    system::ProtectionSystem,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn evidence_from_operation_feeds_the_posterior() {
+    // Geometry and a fault-free pair of versions: operation produces
+    // failure-free demands which the Bayesian layer consumes.
+    let space = GridSpace2D::new(30, 30).expect("valid space");
+    let profile = Profile::uniform(&space);
+    let map =
+        FaultRegionMap::new(space, vec![Region::rect(0, 0, 5, 5)]).expect("valid regions");
+    let sys = ProtectionSystem::new(
+        vec![
+            Channel::new("A", ProgramVersion::new(vec![true])),
+            Channel::new("B", ProgramVersion::new(vec![false])),
+        ],
+        Adjudicator::OneOutOfN,
+        map,
+    )
+    .expect("valid system");
+    let plant = Plant::with_demand_rate(profile, 0.5).expect("valid plant");
+    let mut rng = StdRng::seed_from_u64(11);
+    let log = simulation::run(&plant, &sys, 50_000, &mut rng).expect("runs");
+    assert_eq!(log.system_failures(), 0);
+    let t = log.failure_free_streak();
+    assert!(t > 20_000);
+
+    // Assessor's model of the process that produced the channels.
+    let model = FaultModel::uniform(10, 0.2, 0.04).expect("valid model");
+    let prior = PfdPrior::exact_pair(&model).expect("constructible");
+    let post = observe(&prior, 0, t).expect("valid evidence");
+    let b_before = posterior_bound(&observe(&prior, 0, 0).expect("ok"), 0.99).expect("ok");
+    let b_after = posterior_bound(&post, 0.99).expect("ok");
+    assert!(
+        b_after < b_before,
+        "evidence must tighten the bound: {b_after} !< {b_before}"
+    );
+}
+
+#[test]
+fn white_box_and_black_box_updates_agree_on_the_mean() {
+    // For failure-free evidence, the factored per-fault posterior's
+    // implied mean PFD should approximate the exact discrete posterior's
+    // mean (they use slightly different likelihoods; small q => close).
+    let model = FaultModel::uniform(6, 0.2, 1e-3).expect("valid model");
+    let t = 5_000u64;
+    let exact = observe(&PfdPrior::exact_single(&model).expect("ok"), 0, t).expect("ok");
+    let factored = factored_fault_posterior(&model, t).expect("ok");
+    let exact_mean = exact.mean();
+    let factored_mean = factored.mean_pfd_single();
+    assert!(
+        (exact_mean - factored_mean).abs() / exact_mean.max(1e-12) < 0.05,
+        "exact {exact_mean} vs factored {factored_mean}"
+    );
+}
+
+#[test]
+fn physically_grounded_prior_beats_convenience_prior_on_perfection() {
+    let model = FaultModel::uniform(8, 0.1, 1e-3).expect("valid model");
+    let exact = PfdPrior::exact_single(&model).expect("ok");
+    let beta = PfdPrior::beta_matched(&model, 1).expect("ok");
+    // Same first two moments...
+    assert!((exact.mean() - beta.mean()).abs() < 1e-9);
+    // ...but only the physical prior admits perfection, so with large
+    // failure-free evidence its bound can reach 0 while Beta's cannot.
+    let t = 10_000_000;
+    let post_exact = observe(&exact, 0, t).expect("ok");
+    let post_beta = observe(&beta, 0, t).expect("ok");
+    let b_exact = posterior_bound(&post_exact, 0.99).expect("ok");
+    let b_beta = posterior_bound(&post_beta, 0.99).expect("ok");
+    assert_eq!(b_exact, 0.0);
+    assert!(b_beta > 0.0);
+}
+
+#[test]
+fn pair_claims_need_less_operation_than_single_claims() {
+    let model = FaultModel::uniform(50, 0.08, 2e-3).expect("valid model");
+    let target = 1e-3;
+    let single = demands_for_claim(
+        &PfdPrior::exact_single(&model).expect("ok"),
+        target,
+        0.99,
+        500_000_000,
+    )
+    .expect("reachable");
+    let pair = demands_for_claim(
+        &PfdPrior::exact_pair(&model).expect("ok"),
+        target,
+        0.99,
+        500_000_000,
+    )
+    .expect("reachable");
+    assert!(
+        pair.demands < single.demands,
+        "pair {} !< single {}",
+        pair.demands,
+        single.demands
+    );
+}
+
+#[test]
+fn failures_shift_both_prior_families_up() {
+    let model = FaultModel::uniform(8, 0.1, 5e-3).expect("valid model");
+    for prior in [
+        PfdPrior::exact_single(&model).expect("ok"),
+        PfdPrior::beta_matched(&model, 1).expect("ok"),
+    ] {
+        let clean = observe(&prior, 0, 1_000).expect("ok");
+        let dirty = observe(&prior, 5, 1_000).expect("ok");
+        assert!(dirty.mean() > clean.mean());
+        let b_clean = posterior_bound(&clean, 0.99).expect("ok");
+        let b_dirty = posterior_bound(&dirty, 0.99).expect("ok");
+        assert!(b_dirty >= b_clean);
+    }
+}

@@ -1,0 +1,184 @@
+//! Integration: the paper's future-work extensions, exercised together —
+//! forced diversity, functional diversity, the EL bridge, testing effects,
+//! the implied IEC β, and the decision layer.
+
+use divrel::bayes::decision::{decide, DecisionStakes};
+use divrel::bayes::prior::PfdPrior;
+use divrel::bayes::update::observe;
+use divrel::demand::difficulty::DifficultyFunction;
+use divrel::demand::{
+    mapping::FaultRegionMap, profile::Profile, region::Region, space::GridSpace2D,
+    version::ProgramVersion,
+};
+use divrel::devsim::testing::{testing_sweep, TestingCampaign};
+use divrel::model::ccf::{compare_with_checklist, implied_beta};
+use divrel::model::forced::ForcedDiversityModel;
+use divrel::model::improvement::stationary_point_for_fault;
+use divrel::model::FaultModel;
+use divrel::protection::{
+    adjudicator::Adjudicator, channel::Channel, sensing::SensorView, system::ProtectionSystem,
+};
+
+#[test]
+fn forced_diversity_composes_with_the_assessment_stack() {
+    // Two different processes; the pair prior from the forced model's
+    // common-fault probabilities must be usable for inference exactly
+    // like the unforced one.
+    let forced = ForcedDiversityModel::from_params(
+        &[0.30, 0.05, 0.20],
+        &[0.10, 0.25, 0.20],
+        &[0.01, 0.02, 0.005],
+    )
+    .expect("valid");
+    // Common-fault probabilities as a standard model for the pair.
+    let pair_as_model = FaultModel::from_params(
+        &forced
+            .faults()
+            .iter()
+            .map(|f| f.p_common())
+            .collect::<Vec<_>>(),
+        &forced.faults().iter().map(|f| f.q()).collect::<Vec<_>>(),
+    )
+    .expect("valid");
+    assert!((pair_as_model.mean_pfd_single() - forced.mean_pfd_pair()).abs() < 1e-15);
+    let prior = PfdPrior::exact_single(&pair_as_model).expect("ok");
+    assert!((prior.prob_perfect() - forced.prob_no_common_fault()).abs() < 1e-12);
+    let post = observe(&prior, 0, 10_000).expect("ok");
+    assert!(post.mean() < prior.mean());
+}
+
+#[test]
+fn testing_then_reversal_diagnosis() {
+    // Test a process, then ask the Appendix-A question about the
+    // delivered mix: where is the stationary point of the surviving
+    // small-region fault?
+    let model = FaultModel::from_params(&[0.4, 0.4], &[0.01, 1e-5]).expect("valid");
+    let delivered = TestingCampaign::new(2_000).delivered_model(&model).expect("ok");
+    // The big-region fault is essentially gone.
+    assert!(delivered.faults()[0].p() < 1e-8);
+    // The survivor's stationary point: with its partner dead, there is no
+    // interior reversal left — the sweep should report None.
+    assert_eq!(
+        stationary_point_for_fault(&delivered, 1).expect("ok"),
+        None
+    );
+    // Whereas before testing both faults had interior stationary points.
+    assert!(stationary_point_for_fault(&model, 0).expect("ok").is_some());
+    assert!(stationary_point_for_fault(&model, 1).expect("ok").is_some());
+    // And the sweep shows the ratio history was non-monotone.
+    let sweep = testing_sweep(&model, &[0, 200, 500]).expect("ok");
+    let r: Vec<f64> = sweep.iter().filter_map(|e| e.risk_ratio).collect();
+    assert!(r[1] < r[0] && r[2] > r[1]);
+}
+
+#[test]
+fn implied_beta_respects_forced_diversity_advantage() {
+    // The implied β of the unforced averaged process upper-bounds the
+    // forced pair's µ-ratio: forced diversity means MORE diversity credit
+    // than the β model grants the averaged process.
+    let forced = ForcedDiversityModel::from_params(
+        &[0.4, 0.3, 0.1],
+        &[0.1, 0.2, 0.4],
+        &[0.01, 0.01, 0.01],
+    )
+    .expect("valid");
+    let avg = forced.averaged_process().expect("ok");
+    let beta_unforced = implied_beta(&avg).expect("ok");
+    let beta_forced = forced.mean_pfd_pair() / avg.mean_pfd_single();
+    assert!(beta_forced <= beta_unforced + 1e-15);
+    // And the checklist comparison runs end to end.
+    let cmp = compare_with_checklist(&avg, 0.05).expect("ok");
+    assert!(cmp.implied_beta <= cmp.beta_ceiling + 1e-15);
+}
+
+#[test]
+fn functional_diversity_feeds_the_decision_layer() {
+    // Identical software on both channels; the sensing arrangement alone
+    // decides whether the system passes an expected-loss review.
+    let space = GridSpace2D::new(40, 40).expect("valid");
+    let profile = Profile::uniform(&space);
+    let map = FaultRegionMap::new(space, vec![Region::rect(2, 20, 9, 27)]).expect("valid");
+    let version = ProgramVersion::new(vec![true]);
+    let same = ProtectionSystem::new(
+        vec![
+            Channel::new("A", version.clone()),
+            Channel::new("B", version.clone()),
+        ],
+        Adjudicator::OneOutOfN,
+        map.clone(),
+    )
+    .expect("valid");
+    let diverse = ProtectionSystem::new(
+        vec![
+            Channel::new("A", version.clone()),
+            Channel::with_view("B", version.clone(), SensorView::SwapAxes),
+        ],
+        Adjudicator::OneOutOfN,
+        map.clone(),
+    )
+    .expect("valid");
+    let pfd_same = same.true_pfd(&profile).expect("ok");
+    let pfd_diverse = diverse.true_pfd(&profile).expect("ok");
+    assert!(pfd_diverse < pfd_same);
+    // Decision at stakes calibrated between the two PFDs.
+    let stakes = DecisionStakes {
+        cost_per_failure: 1e6,
+        demands: 10_000,
+        rejection_cost: 1e8, // break-even PFD 0.01
+    };
+    let as_prior = |pfd: f64| {
+        PfdPrior::from_atoms(vec![divrel::numerics::weighted_sum::Atom {
+            value: pfd,
+            mass: 1.0,
+        }])
+        .expect("valid atom")
+    };
+    let d_same = decide(&observe(&as_prior(pfd_same), 0, 0).expect("ok"), stakes).expect("ok");
+    let d_div = decide(&observe(&as_prior(pfd_diverse), 0, 0).expect("ok"), stakes).expect("ok");
+    assert!(!d_same.accept, "same sensing PFD {pfd_same}");
+    assert!(d_div.accept, "diverse sensing PFD {pfd_diverse}");
+}
+
+#[test]
+fn el_difficulty_explains_the_pair_gap_on_real_geometry() {
+    // Build geometry with overlap, then reconcile the three pair PFDs:
+    // common-fault sum ≤ demand-level EL value, and the EL value is what
+    // the executable system machinery actually exhibits.
+    let space = GridSpace2D::new(30, 30).expect("valid");
+    let profile = Profile::uniform(&space);
+    let map = FaultRegionMap::new(
+        space,
+        vec![Region::rect(0, 0, 9, 9), Region::rect(5, 5, 14, 14)],
+    )
+    .expect("valid");
+    let ps = [0.5, 0.5];
+    let model = map.to_fault_model(&ps, &profile).expect("ok");
+    let d = DifficultyFunction::from_map(&map, &ps).expect("ok");
+    let el_pair = d.mean_pair(&profile).expect("ok");
+    assert!(model.mean_pfd_pair() < el_pair);
+    // Exhaustive check of the EL value against the version distribution:
+    // average the deployed pair PFD over all four fault-set combinations
+    // per version (p = 0.5 each ⇒ each subset has probability 1/4).
+    let subsets: [Vec<usize>; 4] = [vec![], vec![0], vec![1], vec![0, 1]];
+    let mut acc = 0.0;
+    for a in &subsets {
+        for b in &subsets {
+            let va = ProgramVersion::from_fault_indices(2, a).expect("ok");
+            let vb = ProgramVersion::from_fault_indices(2, b).expect("ok");
+            // Pair fails on x iff both fail on x: measure of intersection.
+            let mut pfd = 0.0;
+            for (i, cell) in map.space().demands().enumerate() {
+                let _ = i;
+                if va.fails_on(&map, cell).expect("ok") && vb.fails_on(&map, cell).expect("ok")
+                {
+                    pfd += profile.prob(cell);
+                }
+            }
+            acc += pfd / 16.0;
+        }
+    }
+    assert!(
+        (acc - el_pair).abs() < 1e-10,
+        "exhaustive population mean {acc} vs EL {el_pair}"
+    );
+}

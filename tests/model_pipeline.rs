@@ -1,0 +1,107 @@
+//! Integration: demand-space geometry → fault model → analytic layer →
+//! exact distribution, checked for mutual consistency.
+
+use divrel::demand::{
+    mapping::FaultRegionMap, profile::Profile, region::Region, space::GridSpace2D,
+};
+use divrel::model::distribution::PfdDistribution;
+use divrel::model::DiverseSystem;
+
+fn geometry() -> (FaultRegionMap, Profile) {
+    let space = GridSpace2D::new(50, 50).expect("valid space");
+    let profile = Profile::uniform(&space);
+    let map = FaultRegionMap::new(
+        space,
+        vec![
+            Region::rect(0, 0, 4, 4),
+            Region::rect(10, 10, 16, 13),
+            Region::lattice(30, 30, 2, 0, 9),
+            Region::rect(40, 0, 44, 9),
+        ],
+    )
+    .expect("valid regions");
+    (map, profile)
+}
+
+#[test]
+fn geometry_to_model_to_moments() {
+    let (map, profile) = geometry();
+    let ps = [0.2, 0.1, 0.3, 0.05];
+    let model = map.to_fault_model(&ps, &profile).expect("bridge works");
+    // q values are cell counts / 2500.
+    let expected_q = [25.0 / 2500.0, 28.0 / 2500.0, 9.0 / 2500.0, 50.0 / 2500.0];
+    for (fault, want) in model.faults().iter().zip(expected_q) {
+        assert!((fault.q() - want).abs() < 1e-12);
+    }
+    // Eq (1) through the geometry.
+    let mu1: f64 = ps.iter().zip(expected_q).map(|(p, q)| p * q).sum();
+    assert!((model.mean_pfd_single() - mu1).abs() < 1e-12);
+}
+
+#[test]
+fn exact_distribution_agrees_with_fault_free_section() {
+    let (map, profile) = geometry();
+    let model = map
+        .to_fault_model(&[0.2, 0.1, 0.3, 0.05], &profile)
+        .expect("bridge works");
+    let d1 = PfdDistribution::single(&model).expect("constructible");
+    let d2 = PfdDistribution::pair(&model).expect("constructible");
+    assert!((d1.prob_zero_pfd() - model.prob_fault_free_single()).abs() < 1e-12);
+    assert!((d2.prob_zero_pfd() - model.prob_fault_free_pair()).abs() < 1e-12);
+    // Distribution moments match the analytic layer.
+    assert!((d1.mean() - model.mean_pfd_single()).abs() < 1e-14);
+    assert!((d2.std_dev() - model.std_pfd_pair()).abs() < 1e-14);
+}
+
+#[test]
+fn k_version_systems_are_consistent_across_layers() {
+    let (map, profile) = geometry();
+    let model = map
+        .to_fault_model(&[0.5, 0.4, 0.3, 0.2], &profile)
+        .expect("bridge works");
+    let mut prev_mean = f64::INFINITY;
+    for k in 1..=4u32 {
+        let sys = DiverseSystem::new(model.clone(), k).expect("valid system");
+        let dist = sys.pfd_distribution().expect("constructible");
+        assert!((sys.mean_pfd() - dist.mean()).abs() < 1e-12, "k={k}");
+        assert!(sys.mean_pfd() < prev_mean, "k={k}: mean must fall with k");
+        prev_mean = sys.mean_pfd();
+        // Risk ratio generalisation matches the distribution's zero mass.
+        assert!(
+            (sys.prob_fault_free() - dist.prob_zero_pfd()).abs() < 1e-12,
+            "k={k}"
+        );
+    }
+}
+
+#[test]
+fn model_sum_is_pessimistic_vs_union_for_every_subset() {
+    let (map, profile) = geometry();
+    // All subsets of 4 faults.
+    for mask in 0u32..16 {
+        let set: Vec<usize> = (0..4).filter(|i| mask & (1 << i) != 0).collect();
+        let union = map.union_pfd(&set, &profile).expect("in range");
+        let sum = map.sum_pfd(&set, &profile).expect("in range");
+        assert!(
+            union <= sum + 1e-12,
+            "mask {mask:#06b}: union {union} > sum {sum}"
+        );
+    }
+}
+
+#[test]
+fn overlapping_geometry_shows_gap_between_layers() {
+    let space = GridSpace2D::new(20, 20).expect("valid space");
+    let profile = Profile::uniform(&space);
+    let map = FaultRegionMap::new(
+        space,
+        vec![Region::rect(0, 0, 9, 9), Region::rect(5, 5, 14, 14)],
+    )
+    .expect("valid regions");
+    let union = map.union_pfd(&[0, 1], &profile).expect("in range");
+    let sum = map.sum_pfd(&[0, 1], &profile).expect("in range");
+    // 100 + 100 - 25 overlapping cells of 400.
+    assert!((union - 175.0 / 400.0).abs() < 1e-12);
+    assert!((sum - 200.0 / 400.0).abs() < 1e-12);
+    assert!(map.total_overlap_mass(&profile) > 0.0);
+}

@@ -1,0 +1,130 @@
+//! Integration: the paper's headline numbers and theorems, asserted
+//! end-to-end through the public facade. These are the checks EXPERIMENTS.md
+//! summarises; failing any of them means the reproduction regressed.
+
+use divrel::model::bounds::{
+    beta_factor, pair_bound_from_single_bound, pair_bound_from_single_moments,
+    VARIANCE_MONOTONE_THRESHOLD,
+};
+use divrel::model::improvement::{
+    two_fault_ratio, two_fault_stationary_point, ProportionalFamily,
+};
+use divrel::model::FaultModel;
+use divrel::numerics::normal::{confidence_of_k, k_factor};
+
+#[test]
+fn section_5_1_beta_factor_table() {
+    // | pmax | sqrt(pmax(1+pmax)) |: 0.5 -> 0.866, 0.1 -> 0.332, 0.01 -> 0.100
+    assert!((beta_factor(0.5).expect("valid") - 0.866).abs() < 5e-4);
+    assert!((beta_factor(0.1).expect("valid") - 0.332).abs() < 5e-4);
+    assert!((beta_factor(0.01).expect("valid") - 0.100).abs() < 5e-4);
+}
+
+#[test]
+fn section_5_constants() {
+    // P(Θ ≤ µ+3σ) = 0.99865003 and 99% ⇔ k = 2.33.
+    assert!((confidence_of_k(3.0) - 0.998_650_03).abs() < 1e-7);
+    assert!((k_factor(0.99).expect("valid") - 2.33).abs() < 0.005);
+}
+
+#[test]
+fn section_5_1_worked_example() {
+    // µ1 = 0.01, σ1 = 0.001, k = 1, pmax = 0.1: 0.011 / "0.001" / "0.004".
+    let conf84 = 0.841_344_746_068_542_9;
+    let single = 0.011_f64;
+    let eq11 = pair_bound_from_single_moments(0.01, 0.001, 0.1, conf84).expect("valid");
+    let eq12 = pair_bound_from_single_bound(single, 0.1).expect("valid");
+    assert_eq!(format!("{eq11:.3}"), "0.001");
+    assert_eq!(format!("{eq12:.3}"), "0.004");
+    assert!(eq11 < eq12);
+    assert!((single / eq11) > 8.0, "order-of-magnitude improvement");
+}
+
+#[test]
+fn section_3_1_lemmas_on_a_grid_of_models() {
+    for n in [1usize, 3, 7, 15] {
+        for scale in [0.01, 0.1, 0.5, 1.0] {
+            let ps: Vec<f64> = (1..=n).map(|i| scale * i as f64 / n as f64).collect();
+            let qs: Vec<f64> = (1..=n).map(|i| 0.5 * i as f64 / (n * n) as f64).collect();
+            let m = FaultModel::from_params(&ps, &qs).expect("valid");
+            assert!(m.mean_pfd_pair() <= m.mean_pair_upper_bound() + 1e-15);
+            assert!(m.std_pfd_pair() <= m.std_pair_upper_bound() + 1e-15);
+        }
+    }
+    // The 0.618 threshold is exactly where the variance summand flips.
+    let t = VARIANCE_MONOTONE_THRESHOLD;
+    assert!((t * t * (1.0 - t * t) - t * (1.0 - t)).abs() < 1e-14);
+}
+
+#[test]
+fn section_4_1_eq_10_bound() {
+    for n in [1usize, 5, 50] {
+        for p in [1e-6, 1e-3, 0.1, 0.5, 0.99] {
+            let m = FaultModel::uniform(n, p, 0.9 / n as f64).expect("valid");
+            let r = m.risk_ratio().expect("non-degenerate");
+            assert!(r <= 1.0 + 1e-12, "n={n}, p={p}: ratio {r}");
+            assert!(m.success_ratio() >= 1.0 - 1e-12);
+        }
+    }
+}
+
+#[test]
+fn appendix_a_reversal_and_corrected_root() {
+    for p2 in [0.1, 0.3, 0.5, 0.8] {
+        let p1z = two_fault_stationary_point(p2).expect("valid");
+        // Our root zeroes the quadratic (1-p2²)p1² + 2p2(1+p2)p1 - p2².
+        let resid = (1.0 - p2 * p2) * p1z * p1z + 2.0 * p2 * (1.0 + p2) * p1z - p2 * p2;
+        assert!(resid.abs() < 1e-13);
+        // It is an interior minimum of the ratio.
+        let at = two_fault_ratio(p1z, p2).expect("valid");
+        let lo = two_fault_ratio(p1z * 0.5, p2).expect("valid");
+        let hi = two_fault_ratio((p1z * 2.0).min(0.999), p2).expect("valid");
+        assert!(lo > at && hi > at, "p2={p2}");
+        // Reproduction finding: the true root sits BELOW p2.
+        assert!(p1z < p2);
+    }
+}
+
+#[test]
+fn appendix_b_monotone_for_deterministic_families() {
+    let fam = ProportionalFamily::new(
+        vec![0.35, 0.22, 0.18, 0.09, 0.02, 0.44],
+        vec![0.01, 0.03, 0.002, 0.08, 0.15, 0.004],
+    )
+    .expect("valid");
+    let ks: Vec<f64> = (1..=150)
+        .map(|i| i as f64 / 150.0 * fam.max_scale().min(2.2))
+        .collect();
+    assert_eq!(
+        fam.max_monotonicity_violation(&ks).expect("computable"),
+        0.0
+    );
+    for &k in &[0.2, 0.7, 1.3, 2.0] {
+        assert!(fam.d_risk_ratio_dk(k).expect("in range") >= -1e-12);
+    }
+}
+
+#[test]
+fn ten_fold_gain_at_one_percent_pmax() {
+    // §5.1: "The last line gives us a 10-fold improvement, from using
+    // diversity, in any confidence bound on system PFD."
+    let improvement = 1.0 / beta_factor(0.01).expect("valid");
+    assert!(improvement > 9.9 && improvement < 10.0);
+}
+
+#[test]
+fn el_lm_mean_conclusion_rederived() {
+    // §2.2: "The conclusions of the EL and LM models about the average PFD
+    // of a two-version system (greater than the product of the versions'
+    // average PFDs) are easily re-derived here." — with Σq ≤ 1.
+    for seed in 0..20u64 {
+        let n = (seed % 7 + 1) as usize;
+        let ps: Vec<f64> = (0..n).map(|i| ((seed + i as u64 * 13) % 97) as f64 / 97.0).collect();
+        let qs: Vec<f64> = (0..n).map(|i| ((seed + i as u64 * 7) % 89) as f64 / 89.0 / n as f64).collect();
+        let m = FaultModel::from_params(&ps, &qs).expect("valid");
+        assert!(
+            m.mean_pfd_pair() + 1e-12 >= m.mean_pfd_single().powi(2),
+            "seed {seed}"
+        );
+    }
+}

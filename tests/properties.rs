@@ -1,0 +1,87 @@
+//! Cross-crate property-based tests: invariants that must hold for *any*
+//! fault model, tying the analytic, distributional and simulation layers
+//! together.
+
+use divrel::model::distribution::PfdDistribution;
+use divrel::model::FaultModel;
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = FaultModel> {
+    proptest::collection::vec((0.0..=1.0f64, 0.0..0.1f64), 1..12).prop_map(|params| {
+        let (ps, qs): (Vec<f64>, Vec<f64>) = params.into_iter().unzip();
+        FaultModel::from_params(&ps, &qs).expect("generated parameters are valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pair_dominates_single_everywhere(model in arb_model()) {
+        // Stochastic dominance: for every x, P(Θ2 ≤ x) ≥ P(Θ1 ≤ x).
+        let d1 = PfdDistribution::single(&model).expect("constructible");
+        let d2 = PfdDistribution::pair(&model).expect("constructible");
+        for a in d1.exact().atoms() {
+            prop_assert!(d2.cdf(a.value) + 1e-9 >= d1.cdf(a.value),
+                "dominance fails at {}", a.value);
+        }
+    }
+
+    #[test]
+    fn exact_bounds_tighter_or_equal_for_pair(model in arb_model()) {
+        let d1 = PfdDistribution::single(&model).expect("constructible");
+        let d2 = PfdDistribution::pair(&model).expect("constructible");
+        for c in [0.5, 0.9, 0.99, 0.999] {
+            prop_assert!(
+                d2.exact_bound(c).expect("ok") <= d1.exact_bound(c).expect("ok") + 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn moments_consistent_between_layers(model in arb_model()) {
+        let d1 = PfdDistribution::single(&model).expect("constructible");
+        prop_assert!((d1.mean() - model.mean_pfd_single()).abs() < 1e-10);
+        prop_assert!((d1.std_dev() - model.std_pfd_single()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bounds_chain_eq4_eq9_eq11_eq12(model in arb_model(), k in 0.0..4.0f64) {
+        prop_assert!(model.mean_pfd_pair() <= model.mean_pair_upper_bound() + 1e-15);
+        prop_assert!(model.std_pfd_pair() <= model.std_pair_upper_bound() + 1e-15);
+        prop_assert!(model.normal_bound_pair(k) <= model.pair_bound_from_moments(k) + 1e-12);
+        prop_assert!(model.pair_bound_from_moments(k) <= model.pair_bound_from_bound(k) + 1e-12);
+    }
+
+    #[test]
+    fn fault_free_probabilities_are_coherent(model in arb_model()) {
+        let p1 = model.prob_fault_free_single();
+        let p2 = model.prob_fault_free_pair();
+        prop_assert!((0.0..=1.0).contains(&p1));
+        prop_assert!(p2 + 1e-12 >= p1, "pair should be at least as likely fault-free");
+        prop_assert!((p1 + model.risk_any_fault_single() - 1.0).abs() < 1e-10);
+        // Distribution layer agrees.
+        let d2 = PfdDistribution::pair(&model).expect("constructible");
+        prop_assert!((d2.prob_zero_pfd() - p2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn berry_esseen_dominates_true_ks_distance(model in arb_model()) {
+        let d = PfdDistribution::single(&model).expect("constructible");
+        if let (Some(be), Some(ks)) = (d.berry_esseen_bound(), d.ks_distance_to_normal()) {
+            prop_assert!(ks <= be + 1e-9, "KS {ks} exceeds certificate {be}");
+        }
+    }
+
+    #[test]
+    fn scaling_p_down_improves_every_summary(model in arb_model(), s in 0.1..0.9f64) {
+        let improved = model.scale_p(s).expect("scale below 1 stays valid");
+        prop_assert!(improved.mean_pfd_single() <= model.mean_pfd_single() + 1e-15);
+        prop_assert!(improved.mean_pfd_pair() <= model.mean_pfd_pair() + 1e-15);
+        prop_assert!(
+            improved.prob_fault_free_single() + 1e-12 >= model.prob_fault_free_single()
+        );
+        // ...even though the RELATIVE gain (risk ratio) may get worse —
+        // that is the paper's §4.2 point, checked in the model crate.
+    }
+}

@@ -1,0 +1,188 @@
+//! Integration: the Monte-Carlo development process, the plant protection
+//! loop, and the analytic model must tell one coherent story.
+
+use divrel::demand::{
+    mapping::FaultRegionMap, profile::Profile, region::Region, space::GridSpace2D,
+    version::ProgramVersion,
+};
+use divrel::devsim::{
+    experiment::MonteCarloExperiment, factory::VersionFactory, kl::KnightLevesonExperiment,
+    process::FaultIntroduction,
+};
+use divrel::model::FaultModel;
+use divrel::protection::{
+    adjudicator::Adjudicator, channel::Channel, plant::Plant, simulation,
+    system::ProtectionSystem,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn monte_carlo_reproduces_all_analytic_quantities() {
+    let model = FaultModel::from_params(
+        &[0.25, 0.15, 0.10, 0.05, 0.30],
+        &[0.01, 0.02, 0.002, 0.05, 0.005],
+    )
+    .expect("valid model");
+    let res = MonteCarloExperiment::new(model.clone(), FaultIntroduction::Independent)
+        .samples(150_000)
+        .seed(99)
+        .run()
+        .expect("runs");
+    assert!((res.single.mean_pfd - model.mean_pfd_single()).abs() < 3e-4);
+    assert!((res.pair.mean_pfd - model.mean_pfd_pair()).abs() < 2e-4);
+    assert!((res.single.fault_free_rate - model.prob_fault_free_single()).abs() < 0.005);
+    assert!((res.pair.fault_free_rate - model.prob_fault_free_pair()).abs() < 0.005);
+    let rr = res.risk_ratio.expect("risky model");
+    assert!((rr - model.risk_ratio().expect("non-degenerate")).abs() < 0.02);
+    // Mean fault counts match E[N1] = Σp, E[N2] = Σp².
+    assert!((res.single.mean_fault_count - model.mean_fault_count(1)).abs() < 0.01);
+    assert!((res.pair.mean_fault_count - model.mean_fault_count(2)).abs() < 0.01);
+}
+
+#[test]
+fn sampled_pair_through_protection_stack_matches_expectation() {
+    // End-to-end: geometry → model → sampled versions → Fig 1 system →
+    // operational PFD ≈ geometric intersection.
+    let space = GridSpace2D::new(40, 40).expect("valid space");
+    let profile = Profile::uniform(&space);
+    let map = FaultRegionMap::new(
+        space,
+        vec![
+            Region::rect(0, 0, 7, 7),   // q = 64/1600 = 0.04
+            Region::rect(20, 20, 27, 27), // q = 0.04
+            Region::rect(32, 0, 39, 7),  // q = 0.04
+        ],
+    )
+    .expect("valid regions");
+    let model = map
+        .to_fault_model(&[0.9, 0.8, 0.7], &profile)
+        .expect("bridge works");
+    let factory =
+        VersionFactory::new(model, FaultIntroduction::Independent).expect("valid factory");
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = ProgramVersion::new(factory.sample_version(&mut rng).present);
+    let b = ProgramVersion::new(factory.sample_version(&mut rng).present);
+    let sys = ProtectionSystem::new(
+        vec![Channel::new("A", a.clone()), Channel::new("B", b.clone())],
+        Adjudicator::OneOutOfN,
+        map.clone(),
+    )
+    .expect("valid system");
+    let truth = sys.true_pfd(&profile).expect("computable");
+    // The pair pseudo-version must predict the same PFD (disjoint regions).
+    let pair = a.pair_with(&b);
+    let via_pair = pair.true_pfd(&map, &profile).expect("computable");
+    assert!((truth - via_pair).abs() < 1e-12);
+    // Operation converges to it.
+    let plant = Plant::with_demand_rate(profile.clone(), 0.5).expect("valid plant");
+    let log = simulation::run(&plant, &sys, 300_000, &mut rng).expect("runs");
+    let observed = log.pfd_estimate().expect("demands occurred");
+    let sigma = (truth.max(1e-6) * (1.0 - truth) / log.demands() as f64).sqrt();
+    assert!(
+        (observed - truth).abs() < 6.0 * sigma + 1e-4,
+        "observed {observed} vs truth {truth}"
+    );
+}
+
+#[test]
+fn correlated_processes_break_only_distribution_shape() {
+    let model = FaultModel::uniform(8, 0.15, 0.01).expect("valid model");
+    let indep = MonteCarloExperiment::new(model.clone(), FaultIntroduction::Independent)
+        .samples(80_000)
+        .seed(3)
+        .run()
+        .expect("runs");
+    let pos = MonteCarloExperiment::new(
+        model.clone(),
+        FaultIntroduction::CommonCause { lambda: 0.9 },
+    )
+    .samples(80_000)
+    .seed(3)
+    .run()
+    .expect("runs");
+    let neg = MonteCarloExperiment::new(
+        model.clone(),
+        FaultIntroduction::Antithetic { lambda: 0.9 },
+    )
+    .samples(80_000)
+    .seed(3)
+    .run()
+    .expect("runs");
+    // Means invariant across all three introduction models.
+    for r in [&indep, &pos, &neg] {
+        assert!((r.single.mean_pfd - model.mean_pfd_single()).abs() < 6e-4);
+        assert!((r.pair.mean_pfd - model.mean_pfd_pair()).abs() < 3e-4);
+    }
+    // Shape diverges: positive correlation inflates σ1, negative deflates.
+    assert!(pos.single.std_pfd > indep.single.std_pfd * 1.5);
+    assert!(neg.single.std_pfd < indep.single.std_pfd);
+}
+
+#[test]
+fn kl_experiment_statistics_are_internally_consistent() {
+    let model = FaultModel::from_params(
+        &[0.3, 0.2, 0.1, 0.05],
+        &[0.001, 0.004, 0.01, 0.002],
+    )
+    .expect("valid model");
+    let r = KnightLevesonExperiment::new(model)
+        .versions(30)
+        .seed(5)
+        .run()
+        .expect("runs");
+    assert_eq!(r.version_pfds.len(), 30);
+    assert_eq!(r.pair_pfds.len(), 30 * 29 / 2);
+    // Every pair PFD is dominated by both members' PFDs.
+    let mut idx = 0;
+    for i in 0..30 {
+        for j in (i + 1)..30 {
+            assert!(r.pair_pfds[idx] <= r.version_pfds[i] + 1e-15);
+            assert!(r.pair_pfds[idx] <= r.version_pfds[j] + 1e-15);
+            idx += 1;
+        }
+    }
+    // Sample statistics match a direct recomputation.
+    let mean: f64 = r.version_pfds.iter().sum::<f64>() / 30.0;
+    assert!((r.single_mean - mean).abs() < 1e-14);
+}
+
+#[test]
+fn majority_voting_beats_single_but_not_or_for_protection() {
+    // With disjoint regions and channels holding disjoint fault sets, OR
+    // masks everything, majority masks single-channel faults too.
+    let space = GridSpace2D::new(30, 30).expect("valid space");
+    let profile = Profile::uniform(&space);
+    let map = FaultRegionMap::new(
+        space,
+        vec![
+            Region::rect(0, 0, 5, 5),
+            Region::rect(10, 10, 15, 15),
+            Region::rect(20, 20, 25, 25),
+        ],
+    )
+    .expect("valid regions");
+    let va = ProgramVersion::new(vec![true, false, false]);
+    let vb = ProgramVersion::new(vec![false, true, false]);
+    let vc = ProgramVersion::new(vec![false, false, true]);
+    let or2 = ProtectionSystem::new(
+        vec![Channel::new("A", va.clone()), Channel::new("B", vb.clone())],
+        Adjudicator::OneOutOfN,
+        map.clone(),
+    )
+    .expect("valid system");
+    let maj3 = ProtectionSystem::new(
+        vec![
+            Channel::new("A", va.clone()),
+            Channel::new("B", vb.clone()),
+            Channel::new("C", vc.clone()),
+        ],
+        Adjudicator::Majority,
+        map.clone(),
+    )
+    .expect("valid system");
+    assert_eq!(or2.true_pfd(&profile).expect("computable"), 0.0);
+    assert_eq!(maj3.true_pfd(&profile).expect("computable"), 0.0);
+    // Single channel A alone fails with measure 36/900.
+    assert!((va.true_pfd(&map, &profile).expect("computable") - 0.04).abs() < 1e-12);
+}
