@@ -65,9 +65,8 @@ pub fn demands_for_claim(
             "target bound {target} must be positive"
         )));
     }
-    let bound_at = |t: u64| -> Result<f64, BayesError> {
-        posterior_bound(&observe(prior, 0, t)?, confidence)
-    };
+    let bound_at =
+        |t: u64| -> Result<f64, BayesError> { posterior_bound(&observe(prior, 0, t)?, confidence) };
     if bound_at(0)? <= target {
         return Ok(ClaimPlan {
             demands: 0,
@@ -167,11 +166,7 @@ mod tests {
         assert!(plan.achieved_bound <= 1e-3);
         assert!(plan.demands > 0);
         // One fewer demand must miss the target.
-        let before = posterior_bound(
-            &observe(&prior, 0, plan.demands - 1).unwrap(),
-            0.99,
-        )
-        .unwrap();
+        let before = posterior_bound(&observe(&prior, 0, plan.demands - 1).unwrap(), 0.99).unwrap();
         assert!(before > 1e-3);
     }
 
@@ -185,9 +180,7 @@ mod tests {
     #[test]
     fn unreachable_claims_are_reported() {
         // A Beta prior has no atom at zero: some targets need enormous t.
-        let prior = PfdPrior::Beta(
-            divrel_numerics::beta_dist::Beta::new(1.0, 10.0).unwrap(),
-        );
+        let prior = PfdPrior::Beta(divrel_numerics::beta_dist::Beta::new(1.0, 10.0).unwrap());
         let e = demands_for_claim(&prior, 1e-9, 0.99, 1_000).unwrap_err();
         assert!(matches!(e, BayesError::ClaimUnreachable { .. }));
         assert!(demands_for_claim(&prior, -1.0, 0.99, 1000).is_err());

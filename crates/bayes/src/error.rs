@@ -83,14 +83,18 @@ mod tests {
         }
         .to_string()
         .contains("5 failures"));
-        assert!(BayesError::DegeneratePosterior("x").to_string().contains("x"));
+        assert!(BayesError::DegeneratePosterior("x")
+            .to_string()
+            .contains("x"));
         assert!(BayesError::ClaimUnreachable {
             target: 1e-9,
             tried: 100
         }
         .to_string()
         .contains("unreachable within 100"));
-        assert!(BayesError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        assert!(BayesError::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
         assert!(BayesError::from(divrel_model::ModelError::EmptyModel)
             .source()
             .is_some());

@@ -179,12 +179,30 @@ mod tests {
     fn from_atoms_validation() {
         use divrel_numerics::weighted_sum::Atom;
         assert!(PfdPrior::from_atoms(vec![]).is_err());
-        assert!(PfdPrior::from_atoms(vec![Atom { value: 1.5, mass: 1.0 }]).is_err());
-        assert!(PfdPrior::from_atoms(vec![Atom { value: 0.5, mass: -1.0 }]).is_err());
-        assert!(PfdPrior::from_atoms(vec![Atom { value: 0.5, mass: 0.7 }]).is_err());
+        assert!(PfdPrior::from_atoms(vec![Atom {
+            value: 1.5,
+            mass: 1.0
+        }])
+        .is_err());
+        assert!(PfdPrior::from_atoms(vec![Atom {
+            value: 0.5,
+            mass: -1.0
+        }])
+        .is_err());
+        assert!(PfdPrior::from_atoms(vec![Atom {
+            value: 0.5,
+            mass: 0.7
+        }])
+        .is_err());
         let ok = PfdPrior::from_atoms(vec![
-            Atom { value: 0.0, mass: 0.5 },
-            Atom { value: 0.1, mass: 0.5 },
+            Atom {
+                value: 0.0,
+                mass: 0.5,
+            },
+            Atom {
+                value: 0.1,
+                mass: 0.5,
+            },
         ]);
         assert!(ok.is_ok());
     }

@@ -274,13 +274,21 @@ mod tests {
             Err(BayesError::BadEvidence { .. })
         ));
         // A prior certain of perfection cannot explain a failure.
-        let perfect = PfdPrior::from_atoms(vec![Atom { value: 0.0, mass: 1.0 }]).unwrap();
+        let perfect = PfdPrior::from_atoms(vec![Atom {
+            value: 0.0,
+            mass: 1.0,
+        }])
+        .unwrap();
         assert!(matches!(
             observe(&perfect, 1, 10),
             Err(BayesError::DegeneratePosterior(_))
         ));
         // A prior certain of Θ=1 cannot explain a success.
-        let broken = PfdPrior::from_atoms(vec![Atom { value: 1.0, mass: 1.0 }]).unwrap();
+        let broken = PfdPrior::from_atoms(vec![Atom {
+            value: 1.0,
+            mass: 1.0,
+        }])
+        .unwrap();
         assert!(observe(&broken, 0, 1).is_err());
         assert!(observe(&broken, 5, 5).is_ok());
     }

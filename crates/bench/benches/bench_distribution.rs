@@ -38,9 +38,7 @@ fn bench_lattice(c: &mut Criterion) {
     for n in [64usize, 512, 4096] {
         let terms = terms_of_size(n);
         g.bench_with_input(BenchmarkId::from_parameter(n), &terms, |b, t| {
-            b.iter(|| {
-                black_box(WeightedBernoulliSum::lattice(t, 1 << 14).expect("valid terms"))
-            })
+            b.iter(|| black_box(WeightedBernoulliSum::lattice(t, 1 << 14).expect("valid terms")))
         });
     }
     g.finish();
@@ -49,7 +47,9 @@ fn bench_lattice(c: &mut Criterion) {
 fn bench_poisson_binomial(c: &mut Criterion) {
     let mut g = c.benchmark_group("poisson_binomial");
     for n in [64usize, 512, 2048] {
-        let ps: Vec<f64> = (0..n).map(|i| 0.01 + 0.4 * ((i % 9) as f64 / 8.0)).collect();
+        let ps: Vec<f64> = (0..n)
+            .map(|i| 0.01 + 0.4 * ((i % 9) as f64 / 8.0))
+            .collect();
         g.bench_with_input(BenchmarkId::from_parameter(n), &ps, |b, p| {
             b.iter(|| black_box(PoissonBinomial::new(p).expect("valid probabilities")))
         });

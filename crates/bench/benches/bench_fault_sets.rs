@@ -1,0 +1,146 @@
+//! Before/after Criterion coverage for the bitset fault-set fast path:
+//! reference (seed-semantics) implementations vs the word-packed
+//! `FaultSet` + precomputed-mask paths, across all four crates the fast
+//! path threads through.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use divrel_demand::mapping::FaultRegionMap;
+use divrel_demand::profile::Profile;
+use divrel_demand::region::Region;
+use divrel_demand::space::{Demand, GridSpace2D};
+use divrel_demand::version::ProgramVersion;
+use divrel_devsim::factory::{SampledPair, VersionFactory};
+use divrel_devsim::process::FaultIntroduction;
+use divrel_model::FaultModel;
+use divrel_protection::adjudicator::Adjudicator;
+use divrel_protection::channel::Channel;
+use divrel_protection::plant::Plant;
+use divrel_protection::simulation;
+use divrel_protection::system::ProtectionSystem;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn model_of_size(n: usize) -> FaultModel {
+    let ps: Vec<f64> = (0..n)
+        .map(|i| 0.01 + 0.3 * ((i % 17) as f64 / 16.0))
+        .collect();
+    let qs: Vec<f64> = (0..n).map(|_| 0.9 / n as f64).collect();
+    FaultModel::from_params(&ps, &qs).expect("valid parameters")
+}
+
+fn bench_sample_pair(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fault_sets/sample_pair");
+    for n in [16usize, 64, 256] {
+        let f = VersionFactory::new(model_of_size(n), FaultIntroduction::Independent)
+            .expect("valid factory");
+        g.bench_with_input(BenchmarkId::new("reference", n), &f, |b, f| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(f.sample_pair_reference(&mut rng)))
+        });
+        g.bench_with_input(BenchmarkId::new("bitset", n), &f, |b, f| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut buf = SampledPair::empty(n);
+            b.iter(|| {
+                f.sample_pair_into(&mut rng, &mut buf);
+                black_box(buf.pfd)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fails_on(c: &mut Criterion) {
+    let space = GridSpace2D::new(200, 200).expect("valid space");
+    let regions: Vec<Region> = (0..32)
+        .map(|i| {
+            let x = (i * 6) as u32 % 180;
+            let y = (i * 11) as u32 % 180;
+            Region::rect(x, y, x + 12, y + 12)
+        })
+        .collect();
+    let map = FaultRegionMap::new(space, regions.clone()).expect("valid map");
+    let bools: Vec<bool> = (0..32).map(|i| i % 2 == 0).collect();
+    let version = ProgramVersion::new(bools.clone());
+    let demands: Vec<Demand> = (0..64u32)
+        .map(|i| Demand::new(i * 3 % 200, i * 7 % 200))
+        .collect();
+    let mut g = c.benchmark_group("fault_sets/fails_on");
+    g.bench_function("reference_region_scan", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &d in &demands {
+                if bools.iter().zip(&regions).any(|(&p, r)| p && r.contains(d)) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.bench_function("bitset_mask", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &d in &demands {
+                if version.fails_on(&map, d).expect("in range") {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+
+    let profile = Profile::uniform(map.space());
+    let indices = version.fault_indices();
+    let mut g = c.benchmark_group("fault_sets/true_pfd");
+    g.bench_function("reference_region_union", |b| {
+        b.iter(|| {
+            let parts: Vec<Region> = indices.iter().map(|&i| regions[i].clone()).collect();
+            black_box(Region::union(parts).measure(&profile))
+        })
+    });
+    g.bench_function("bitset_mask", |b| {
+        b.iter(|| black_box(version.true_pfd(&map, &profile).expect("in range")))
+    });
+    g.finish();
+}
+
+fn bench_protection_run(c: &mut Criterion) {
+    let space = GridSpace2D::new(100, 100).expect("valid space");
+    let profile = Profile::uniform(&space);
+    let map = FaultRegionMap::new(
+        space,
+        vec![Region::rect(0, 0, 9, 9), Region::rect(5, 5, 14, 14)],
+    )
+    .expect("valid map");
+    let sys = ProtectionSystem::new(
+        vec![
+            Channel::new("A", ProgramVersion::new(vec![true, false])),
+            Channel::new("B", ProgramVersion::new(vec![false, true])),
+        ],
+        Adjudicator::OneOutOfN,
+        map,
+    )
+    .expect("valid system");
+    let mut g = c.benchmark_group("fault_sets/protection_run_400k_rate_1e3");
+    g.sample_size(10);
+    let plant = Plant::with_demand_rate(profile, 0.001).expect("valid plant");
+    g.bench_function("stepwise", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            black_box(simulation::run_stepwise(&plant, &sys, 400_000, &mut rng).expect("runs"))
+        })
+    });
+    g.bench_function("demand_gaps", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| black_box(simulation::run(&plant, &sys, 400_000, &mut rng).expect("runs")))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sample_pair,
+    bench_fails_on,
+    bench_protection_run
+);
+criterion_main!(benches);

@@ -6,8 +6,12 @@ use divrel_model::improvement::{risk_ratio_gradient, ProportionalFamily};
 use divrel_model::FaultModel;
 
 fn model_of_size(n: usize) -> FaultModel {
-    let ps: Vec<f64> = (0..n).map(|i| 0.01 + 0.3 * ((i % 17) as f64 / 16.0)).collect();
-    let qs: Vec<f64> = (0..n).map(|i| (0.9 / n as f64) * (0.2 + (i % 5) as f64 * 0.2)).collect();
+    let ps: Vec<f64> = (0..n)
+        .map(|i| 0.01 + 0.3 * ((i % 17) as f64 / 16.0))
+        .collect();
+    let qs: Vec<f64> = (0..n)
+        .map(|i| (0.9 / n as f64) * (0.2 + (i % 5) as f64 * 0.2))
+        .collect();
     FaultModel::from_params(&ps, &qs).expect("valid parameters")
 }
 
@@ -65,5 +69,11 @@ fn bench_bounds(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_moments, bench_fault_free, bench_gradient, bench_bounds);
+criterion_group!(
+    benches,
+    bench_moments,
+    bench_fault_free,
+    bench_gradient,
+    bench_bounds
+);
 criterion_main!(benches);

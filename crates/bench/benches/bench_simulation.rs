@@ -14,14 +14,15 @@ use divrel_devsim::{
 };
 use divrel_model::FaultModel;
 use divrel_protection::{
-    adjudicator::Adjudicator, channel::Channel, plant::Plant, simulation,
-    system::ProtectionSystem,
+    adjudicator::Adjudicator, channel::Channel, plant::Plant, simulation, system::ProtectionSystem,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn model_of_size(n: usize) -> FaultModel {
-    let ps: Vec<f64> = (0..n).map(|i| 0.01 + 0.3 * ((i % 17) as f64 / 16.0)).collect();
+    let ps: Vec<f64> = (0..n)
+        .map(|i| 0.01 + 0.3 * ((i % 17) as f64 / 16.0))
+        .collect();
     let qs: Vec<f64> = (0..n).map(|_| 0.9 / n as f64).collect();
     FaultModel::from_params(&ps, &qs).expect("valid parameters")
 }

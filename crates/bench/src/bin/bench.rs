@@ -1,0 +1,337 @@
+//! Before/after benchmark driver: measures the seed's boolean-vector
+//! implementations against the bitset fast path and exports the
+//! results as `BENCH_<tag>.json` (default `BENCH_pr1.json` in the
+//! current directory; override with `DIVREL_BENCH_TAG` / first CLI
+//! argument as the output path).
+//!
+//! The "legacy" sides reproduce the seed algorithms faithfully:
+//! `Vec<bool>` fault sets, one RNG draw per potential fault, per-fault
+//! geometric region tests, and tick-by-tick plant stepping with a
+//! per-demand `Vec<bool>` response.
+
+use divrel_bench::perf::{to_json, Comparison};
+use divrel_demand::mapping::FaultRegionMap;
+use divrel_demand::profile::Profile;
+use divrel_demand::region::Region;
+use divrel_demand::space::{Demand, GridSpace2D};
+use divrel_demand::version::ProgramVersion;
+use divrel_devsim::experiment::MonteCarloExperiment;
+use divrel_devsim::factory::{SampledPair, VersionFactory};
+use divrel_devsim::process::FaultIntroduction;
+use divrel_model::FaultModel;
+use divrel_numerics::descriptive::Moments;
+use divrel_protection::adjudicator::Adjudicator;
+use divrel_protection::channel::Channel;
+use divrel_protection::plant::{Plant, PlantEvent};
+use divrel_protection::simulation;
+use divrel_protection::system::ProtectionSystem;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn model_of_size(n: usize) -> FaultModel {
+    let ps: Vec<f64> = (0..n)
+        .map(|i| 0.01 + 0.3 * ((i % 17) as f64 / 16.0))
+        .collect();
+    let qs: Vec<f64> = (0..n).map(|_| 0.9 / n as f64).collect();
+    FaultModel::from_params(&ps, &qs).expect("valid parameters")
+}
+
+/// The seed's Monte-Carlo shard loop: reference pair sampling with
+/// Welford accumulators.
+fn legacy_mc(factory: &VersionFactory, samples: usize, seed: u64) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut single = Moments::default();
+    let mut pair = Moments::default();
+    for _ in 0..samples {
+        let p = factory.sample_pair_reference(&mut rng);
+        single.push(p.a.pfd);
+        pair.push(p.pfd);
+    }
+    (single.mean().unwrap(), pair.mean().unwrap())
+}
+
+/// The fast shard loop: bitset sampling into a reusable buffer.
+fn fast_mc(factory: &VersionFactory, samples: usize, seed: u64) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut single = Moments::default();
+    let mut pair = Moments::default();
+    let mut buf = SampledPair::empty(factory.model().len());
+    for _ in 0..samples {
+        factory.sample_pair_into(&mut rng, &mut buf);
+        single.push(buf.a.pfd);
+        pair.push(buf.pfd);
+    }
+    (single.mean().unwrap(), pair.mean().unwrap())
+}
+
+/// The seed's `respond`: per-channel, per-fault geometric region tests
+/// plus a fresh `Vec<bool>` per demand.
+fn legacy_respond(
+    versions: &[Vec<bool>],
+    regions: &[Region],
+    adjudicator: Adjudicator,
+    d: Demand,
+) -> (bool, Vec<bool>) {
+    let trips: Vec<bool> = versions
+        .iter()
+        .map(|present| {
+            !present
+                .iter()
+                .zip(regions)
+                .any(|(&b, r)| b && r.contains(d))
+        })
+        .collect();
+    (adjudicator.decide(&trips), trips)
+}
+
+/// The seed's operational loop: one RNG draw per plant tick, legacy
+/// respond per demand.
+fn legacy_protection_run(
+    profile: &Profile,
+    rate: f64,
+    versions: &[Vec<bool>],
+    regions: &[Region],
+    steps: u64,
+    seed: u64,
+) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut demands = 0u64;
+    let mut failures = 0u64;
+    for _ in 0..steps {
+        if rng.gen::<f64>() < rate {
+            let d = profile.sample(&mut rng);
+            demands += 1;
+            let (tripped, trips) = legacy_respond(versions, regions, Adjudicator::OneOutOfN, d);
+            black_box(trips);
+            if !tripped {
+                failures += 1;
+            }
+        }
+    }
+    black_box(demands + failures)
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| {
+        let tag = std::env::var("DIVREL_BENCH_TAG").unwrap_or_else(|_| "pr1".into());
+        format!("BENCH_{tag}.json")
+    });
+    let mut results: Vec<Comparison> = Vec::new();
+
+    // --- devsim_factory/sample_pair ------------------------------------
+    for n in [16usize, 256] {
+        let factory = VersionFactory::new(model_of_size(n), FaultIntroduction::Independent)
+            .expect("valid factory");
+        let mut rng_l = StdRng::seed_from_u64(1);
+        let mut rng_f = StdRng::seed_from_u64(1);
+        let mut buf = SampledPair::empty(n);
+        let c = Comparison::measure(
+            &format!("devsim_factory/sample_pair/{n}"),
+            || {
+                black_box(factory.sample_pair_reference(&mut rng_l));
+            },
+            || {
+                factory.sample_pair_into(&mut rng_f, &mut buf);
+                black_box(buf.pfd);
+            },
+        );
+        println!(
+            "{:<44} {:>10.1} -> {:>9.1} ns  ({:.2}x)",
+            c.name,
+            c.legacy_ns,
+            c.fast_ns,
+            c.speedup()
+        );
+        results.push(c);
+    }
+
+    // --- devsim_experiment/mc_10k_pairs --------------------------------
+    {
+        let factory = VersionFactory::new(model_of_size(32), FaultIntroduction::Independent)
+            .expect("valid factory");
+        // Sanity: both paths reproduce the analytic means (6-sigma MC
+        // bands).
+        let n_check = 50_000;
+        let tol1 = 6.0 * factory.model().std_pfd_single() / (n_check as f64).sqrt();
+        let tol2 = 6.0 * factory.model().std_pfd_pair() / (n_check as f64).sqrt();
+        let (mu1, mu2) = (
+            factory.model().mean_pfd_single(),
+            factory.model().mean_pfd_pair(),
+        );
+        let (l1, l2) = legacy_mc(&factory, n_check, 7);
+        let (f1, f2) = fast_mc(&factory, n_check, 7);
+        assert!((l1 - mu1).abs() < tol1, "legacy single mean {l1} vs {mu1}");
+        assert!((f1 - mu1).abs() < tol1, "fast single mean {f1} vs {mu1}");
+        assert!((l2 - mu2).abs() < tol2, "legacy pair mean {l2} vs {mu2}");
+        assert!((f2 - mu2).abs() < tol2, "fast pair mean {f2} vs {mu2}");
+        let mut seed_l = 0u64;
+        let mut seed_f = 0u64;
+        let c = Comparison::measure(
+            "devsim_experiment/mc_10k_pairs",
+            || {
+                seed_l += 1;
+                black_box(legacy_mc(&factory, 10_000, seed_l));
+            },
+            || {
+                seed_f += 1;
+                black_box(fast_mc(&factory, 10_000, seed_f));
+            },
+        );
+        println!(
+            "{:<44} {:>10.1} -> {:>9.1} ns  ({:.2}x)",
+            c.name,
+            c.legacy_ns,
+            c.fast_ns,
+            c.speedup()
+        );
+        results.push(c);
+
+        // The threaded experiment driver end to end (fast path only —
+        // recorded for the trajectory, not a comparison).
+        let exp = MonteCarloExperiment::new(model_of_size(32), FaultIntroduction::Independent)
+            .samples(10_000)
+            .threads(1)
+            .seed(1);
+        let ns = divrel_bench::perf::time_ns(|| {
+            black_box(exp.run().expect("runs"));
+        });
+        println!(
+            "{:<44} {:>23.1} ns",
+            "devsim_experiment/driver_10k(fast)", ns
+        );
+    }
+
+    // --- protection/run_400k_steps -------------------------------------
+    {
+        let space = GridSpace2D::new(100, 100).expect("valid space");
+        let profile = Profile::uniform(&space);
+        let regions = vec![Region::rect(0, 0, 9, 9), Region::rect(5, 5, 14, 14)];
+        let map = FaultRegionMap::new(space, regions.clone()).expect("valid map");
+        let versions = vec![vec![true, false], vec![false, true]];
+        let system = ProtectionSystem::new(
+            vec![
+                Channel::new("A", ProgramVersion::new(versions[0].clone())),
+                Channel::new("B", ProgramVersion::new(versions[1].clone())),
+            ],
+            Adjudicator::OneOutOfN,
+            map,
+        )
+        .expect("valid system");
+        for (label, rate, steps) in [
+            ("rate0.2/100k", 0.2, 100_000u64),
+            ("rate0.001/400k", 0.001, 400_000u64),
+        ] {
+            let plant = Plant::with_demand_rate(profile.clone(), rate).expect("valid plant");
+            let mut seed = 100u64;
+            let mut seed_f = 100u64;
+            let c = Comparison::measure(
+                &format!("protection/run/{label}"),
+                || {
+                    seed += 1;
+                    black_box(legacy_protection_run(
+                        &profile, rate, &versions, &regions, steps, seed,
+                    ));
+                },
+                || {
+                    seed_f += 1;
+                    let mut rng = StdRng::seed_from_u64(seed_f);
+                    black_box(simulation::run(&plant, &system, steps, &mut rng).expect("runs"));
+                },
+            );
+            println!(
+                "{:<44} {:>10.1} -> {:>9.1} ns  ({:.2}x)",
+                c.name,
+                c.legacy_ns,
+                c.fast_ns,
+                c.speedup()
+            );
+            results.push(c);
+        }
+        // Trajectory plants keep the stepwise loop; record it so the
+        // trajectory is visible in the export too.
+        let plant = Plant::trajectory(space, Region::rect(0, 0, 6, 6), 2).expect("valid plant");
+        let mut s1 = 300u64;
+        let mut s2 = 300u64;
+        let c = Comparison::measure(
+            "protection/run_trajectory/50k",
+            || {
+                s1 += 1;
+                let mut rng = StdRng::seed_from_u64(s1);
+                // Seed loop: legacy respond per demand.
+                let mut state = plant.initial_state();
+                let mut fails = 0u64;
+                for _ in 0..50_000 {
+                    let (next, ev) = plant.step(state, &mut rng);
+                    state = next;
+                    if let PlantEvent::Demand(d) = ev {
+                        let (tripped, trips) =
+                            legacy_respond(&versions, &regions, Adjudicator::OneOutOfN, d);
+                        black_box(trips);
+                        fails += u64::from(!tripped);
+                    }
+                }
+                black_box(fails);
+            },
+            || {
+                s2 += 1;
+                let mut rng = StdRng::seed_from_u64(s2);
+                black_box(simulation::run(&plant, &system, 50_000, &mut rng).expect("runs"));
+            },
+        );
+        println!(
+            "{:<44} {:>10.1} -> {:>9.1} ns  ({:.2}x)",
+            c.name,
+            c.legacy_ns,
+            c.fast_ns,
+            c.speedup()
+        );
+        results.push(c);
+    }
+
+    // --- demand/true_pfd ------------------------------------------------
+    {
+        let space = GridSpace2D::new(200, 200).expect("valid space");
+        let profile = Profile::uniform(&space);
+        let regions: Vec<Region> = (0..32)
+            .map(|i| {
+                let x = (i * 6) as u32 % 180;
+                let y = (i * 11) as u32 % 180;
+                Region::rect(x, y, x + 12, y + 12)
+            })
+            .collect();
+        let map = FaultRegionMap::new(space, regions.clone()).expect("valid map");
+        let version = ProgramVersion::new((0..32).map(|i| i % 2 == 0).collect());
+        let indices = version.fault_indices();
+        let c = Comparison::measure(
+            "demand/true_pfd/32_regions_200x200",
+            || {
+                // Seed algorithm: gather regions, BTreeSet union, measure.
+                let parts: Vec<Region> = indices.iter().map(|&i| regions[i].clone()).collect();
+                black_box(Region::union(parts).measure(&profile));
+            },
+            || {
+                black_box(version.true_pfd(&map, &profile).expect("in range"));
+            },
+        );
+        println!(
+            "{:<44} {:>10.1} -> {:>9.1} ns  ({:.2}x)",
+            c.name,
+            c.legacy_ns,
+            c.fast_ns,
+            c.speedup()
+        );
+        results.push(c);
+    }
+
+    let json = to_json(1, &results);
+    std::fs::write(&out_path, &json).expect("write bench export");
+    println!("\nwrote {out_path}");
+    let below: Vec<&Comparison> = results.iter().filter(|c| c.speedup() < 5.0).collect();
+    if !below.is_empty() {
+        println!("note: {} comparison(s) below 5x:", below.len());
+        for c in below {
+            println!("  {} at {:.2}x", c.name, c.speedup());
+        }
+    }
+}

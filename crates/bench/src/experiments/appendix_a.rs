@@ -51,9 +51,8 @@ pub fn run(ctx: &Context) -> ExpResult {
         )?;
         let grad_root = bisect(
             |p1| {
-                let m =
-                    FaultModel::from_params(&[p1.max(1e-12), p2], &[0.01, 0.01])
-                        .expect("valid probabilities");
+                let m = FaultModel::from_params(&[p1.max(1e-12), p2], &[0.01, 0.01])
+                    .expect("valid probabilities");
                 risk_ratio_gradient(&m).expect("non-degenerate")[0]
             },
             1e-9,
@@ -80,16 +79,17 @@ pub fn run(ctx: &Context) -> ExpResult {
         ]);
     }
     // Part 2: reversal on an n = 5 model — reduce the smallest fault.
-    let base = FaultModel::from_params(
-        &[0.4, 0.3, 0.2, 0.1, 0.04],
-        &[0.01, 0.01, 0.01, 0.01, 0.01],
-    )?;
+    let base =
+        FaultModel::from_params(&[0.4, 0.3, 0.2, 0.1, 0.04], &[0.01, 0.01, 0.01, 0.01, 0.01])?;
     let grid: Vec<f64> = (1..=300).map(|i| i as f64 * 0.3 / 300.0).collect();
     let sweep = sweep_single_fault(&base, 4, &grid)?;
     let (p_star, r_star) = sweep.grid_minimum.ok_or("expected interior minimum")?;
     let r_at_tiny = sweep.points.first().ok_or("empty sweep")?.1;
     let mut t2 = Table::new(["quantity", "value"]);
-    t2.row(["model".to_string(), "p = [0.4, 0.3, 0.2, 0.1, p5], q = 0.01".to_string()]);
+    t2.row([
+        "model".to_string(),
+        "p = [0.4, 0.3, 0.2, 0.1, p5], q = 0.01".to_string(),
+    ]);
     t2.row(["ratio-minimising p5".to_string(), sig(p_star, 4)]);
     t2.row(["ratio at the minimum".to_string(), sig(r_star, 4)]);
     t2.row([
@@ -100,7 +100,11 @@ pub fn run(ctx: &Context) -> ExpResult {
     sink.write_table("five_fault_reversal", &t2)?;
     sink.write_json(
         "sweep_points",
-        &sweep.points.iter().map(|&(p, r)| vec![p, r]).collect::<Vec<_>>(),
+        &sweep
+            .points
+            .iter()
+            .map(|&(p, r)| vec![p, r])
+            .collect::<Vec<_>>(),
     )?;
     let report = format!(
         "Two-fault stationary point p1z (three independent computations) vs \
@@ -145,7 +149,11 @@ mod tests {
     fn smoke_run_confirms_reversal() {
         let ctx = Context::smoke();
         let s = run(&ctx).unwrap();
-        assert!(s.verdict.contains("gain reversal reproduced"), "{}", s.verdict);
+        assert!(
+            s.verdict.contains("gain reversal reproduced"),
+            "{}",
+            s.verdict
+        );
         std::fs::remove_dir_all(&ctx.results_root).ok();
     }
 

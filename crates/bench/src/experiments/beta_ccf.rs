@@ -27,7 +27,10 @@ pub fn run(ctx: &Context) -> ExpResult {
         ("geometric (n=18)", workloads::geometric_model()),
         ("many-small (n=400)", workloads::many_small_model()),
         ("uniform p=0.1", FaultModel::uniform(30, 0.1, 1e-3)?),
-        ("dominant small-region fault", FaultModel::from_params(&[0.5, 0.01], &[0.001, 0.1])?),
+        (
+            "dominant small-region fault",
+            FaultModel::from_params(&[0.5, 0.01], &[0.001, 0.1])?,
+        ),
     ];
     let checklist = 0.05;
     let mut t = Table::new([
@@ -93,7 +96,11 @@ mod tests {
     fn smoke_run_confirms_bridge() {
         let ctx = Context::smoke();
         let s = run(&ctx).unwrap();
-        assert!(s.verdict.contains("lemma 4 in IEC vocabulary"), "{}", s.verdict);
+        assert!(
+            s.verdict.contains("lemma 4 in IEC vocabulary"),
+            "{}",
+            s.verdict
+        );
         std::fs::remove_dir_all(&ctx.results_root).ok();
     }
 }

@@ -48,7 +48,12 @@ pub fn run(ctx: &Context) -> ExpResult {
     let mut sweep = Table::new(["p_max", "beta factor", "sqrt(p_max)", "ratio"]);
     for &pm in &[0.9, 0.5, 0.2, 0.1, 0.05, 0.01, 1e-3, 1e-4, 1e-5, 1e-6] {
         let b = beta_factor(pm)?;
-        sweep.row([sig(pm, 3), sig(b, 5), sig(pm.sqrt(), 5), sig(b / pm.sqrt(), 6)]);
+        sweep.row([
+            sig(pm, 3),
+            sig(b, 5),
+            sig(pm.sqrt(), 5),
+            sig(b / pm.sqrt(), 6),
+        ]);
     }
     sink.write_table("paper_table", &table)?;
     sink.write_table("extended_sweep", &sweep)?;

@@ -55,7 +55,9 @@ pub fn run(ctx: &Context) -> ExpResult {
     for _ in 0..trials {
         let n = rng.gen_range(2..=10);
         let base: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 0.45 + 1e-4).collect();
-        let q: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 0.5 / n as f64 + 1e-6).collect();
+        let q: Vec<f64> = (0..n)
+            .map(|_| rng.gen::<f64>() * 0.5 / n as f64 + 1e-6)
+            .collect();
         for &k in &k_factors {
             let mut prev_gain = f64::INFINITY;
             for step in 1..=20 {

@@ -73,7 +73,14 @@ pub fn run(ctx: &Context) -> ExpResult {
         let el1 = d.mean_single(&profile)?;
         let el2 = d.mean_pair(&profile)?;
         let var = d.difficulty_variance(&profile)?;
-        rows.push((name, el1, model.mean_pfd_single(), el2, model.mean_pfd_pair(), var));
+        rows.push((
+            name,
+            el1,
+            model.mean_pfd_single(),
+            el2,
+            model.mean_pfd_pair(),
+            var,
+        ));
         t.row([
             name.to_string(),
             sig(el1, 4),
@@ -88,7 +95,9 @@ pub fn run(ctx: &Context) -> ExpResult {
     let (_, d_el1, d_m1, d_el2, d_m2, _) = rows[0];
     let (_, o_el1, o_m1, o_el2, o_m2, _) = rows[1];
     let disjoint_agrees = (d_el1 - d_m1).abs() < 1e-12 && (d_el2 - d_m2).abs() < 1e-12;
-    let el_inequality = rows.iter().all(|&(_, e1, _, e2, _, _)| e2 + 1e-15 >= e1 * e1);
+    let el_inequality = rows
+        .iter()
+        .all(|&(_, e1, _, e2, _, _)| e2 + 1e-15 >= e1 * e1);
     let overlap_splits = o_el2 > o_m2 + 1e-6 && o_el1 < o_m1 - 1e-6;
     let report = format!(
         "EL difficulty-function bridge (p = [0.3, 0.25, 0.2], uniform \

@@ -22,14 +22,14 @@ use divrel_report::Table;
 /// The Fig 2-style region set: five regions echoing the paper's sketch.
 pub fn figure_regions() -> Vec<Region> {
     vec![
-        Region::rect(4, 22, 11, 27),           // 1: blob upper-left
-        Region::rect(20, 18, 24, 21),          // 2: smaller blob
+        Region::rect(4, 22, 11, 27),  // 1: blob upper-left
+        Region::rect(20, 18, 24, 21), // 2: smaller blob
         Region::union(vec![
             Region::rect(30, 4, 36, 7),
-            Region::rect(33, 6, 39, 10),       // 3: L-shaped union w/ overlap
+            Region::rect(33, 6, 39, 10), // 3: L-shaped union w/ overlap
         ]),
-        Region::lattice(6, 4, 4, 0, 8),        // 4: dashed horizontal line
-        Region::lattice(24, 14, 2, 2, 7),      // 5: diagonal point array
+        Region::lattice(6, 4, 4, 0, 8),   // 4: dashed horizontal line
+        Region::lattice(24, 14, 2, 2, 7), // 5: diagonal point array
     ]
 }
 
@@ -45,15 +45,17 @@ pub fn run(ctx: &Context) -> ExpResult {
     let art = render_with_legend(&space, &regions);
     let map = FaultRegionMap::new(space, regions.clone())?;
     let uniform = Profile::uniform(&space);
-    let hotspot = Profile::hotspot(
-        &space,
-        &[Demand::new(7, 24), Demand::new(22, 19)],
-        0.4,
-    )?;
+    let hotspot = Profile::hotspot(&space, &[Demand::new(7, 24), Demand::new(22, 19)], 0.4)?;
     let q_uni = map.q_values(&uniform);
     let q_hot = map.q_values(&hotspot);
     let mut t = Table::new(["region", "shape", "cells", "q (uniform)", "q (hotspot)"]);
-    let shapes = ["rectangle", "rectangle", "union (overlapping)", "dashed line", "diagonal array"];
+    let shapes = [
+        "rectangle",
+        "rectangle",
+        "union (overlapping)",
+        "dashed line",
+        "diagonal array",
+    ];
     for (i, r) in regions.iter().enumerate() {
         t.row([
             (i + 1).to_string(),
@@ -68,10 +70,7 @@ pub fn run(ctx: &Context) -> ExpResult {
     // Invariants the figure must satisfy.
     let cells_ok = regions.iter().all(|r| r.validate_within(&space).is_ok());
     let q_sum: f64 = q_uni.iter().sum();
-    let profile_changes_q = q_uni
-        .iter()
-        .zip(&q_hot)
-        .any(|(u, h)| (u - h).abs() > 0.01);
+    let profile_changes_q = q_uni.iter().zip(&q_hot).any(|(u, h)| (u - h).abs() > 0.01);
     let report = format!(
         "Fig 2 rendered over a 44×30 demand space (rows are var2 top-down, \
          '*' marks overlap):\n```\n{}```\nRegion measures under two \

@@ -68,7 +68,10 @@ pub fn run(ctx: &Context) -> ExpResult {
             format!("(0.4+{delta:.2}, 0.4−{delta:.2})"),
             sig(forced.mean_pfd_pair(), 4),
             sig(unforced.mean_pfd_pair(), 4),
-            sig(unforced.mean_pfd_pair() / forced.mean_pfd_pair().max(1e-300), 4),
+            sig(
+                unforced.mean_pfd_pair() / forced.mean_pfd_pair().max(1e-300),
+                4,
+            ),
         ]);
     }
 
@@ -133,7 +136,11 @@ mod tests {
     fn smoke_run_confirms_worst_case_claim() {
         let ctx = Context::smoke();
         let s = run(&ctx).unwrap();
-        assert!(s.verdict.contains("worst-case claim confirmed"), "{}", s.verdict);
+        assert!(
+            s.verdict.contains("worst-case claim confirmed"),
+            "{}",
+            s.verdict
+        );
         std::fs::remove_dir_all(&ctx.results_root).ok();
     }
 }

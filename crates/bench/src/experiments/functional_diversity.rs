@@ -48,9 +48,18 @@ pub fn run(ctx: &Context) -> ExpResult {
     let version = ProgramVersion::new(vec![true]); // the SAME faulty program
     let single_pfd = version.true_pfd(&map, &profile)?;
     let arrangements: Vec<(&str, SensorView)> = vec![
-        ("identical sensing (paper's worst case)", SensorView::Identity),
-        ("calibration offset (6, 0)", SensorView::Offset { dx: 6, dy: 0 }),
-        ("calibration offset (12, 0)", SensorView::Offset { dx: 12, dy: 0 }),
+        (
+            "identical sensing (paper's worst case)",
+            SensorView::Identity,
+        ),
+        (
+            "calibration offset (6, 0)",
+            SensorView::Offset { dx: 6, dy: 0 },
+        ),
+        (
+            "calibration offset (12, 0)",
+            SensorView::Offset { dx: 12, dy: 0 },
+        ),
         ("swapped variables", SensorView::SwapAxes),
     ];
     let mut t = Table::new([
@@ -75,7 +84,11 @@ pub fn run(ctx: &Context) -> ExpResult {
         let mut rng = StdRng::seed_from_u64(ctx.seed + i as u64);
         let log = simulation::run(&plant, &sys, steps, &mut rng)?;
         let observed = log.pfd_estimate().unwrap_or(0.0);
-        let gain = if truth > 0.0 { single_pfd / truth } else { f64::INFINITY };
+        let gain = if truth > 0.0 {
+            single_pfd / truth
+        } else {
+            f64::INFINITY
+        };
         gains.push((truth, observed, gain));
         t.row([
             name.to_string(),

@@ -13,8 +13,8 @@ use crate::experiments::ExpResult;
 use divrel_devsim::kl::KnightLevesonExperiment;
 use divrel_model::FaultModel;
 use divrel_report::fmt::{factor, sig};
-use rand::SeedableRng;
 use divrel_report::Table;
+use rand::SeedableRng;
 
 /// A fault model plausible for a student N-version experiment: a handful
 /// of moderately likely specification-misreading faults with assorted
@@ -84,7 +84,9 @@ pub fn run(ctx: &Context) -> ExpResult {
         &mut boot_rng,
     )?;
     // One representative run for the detailed table.
-    let r = KnightLevesonExperiment::new(model.clone()).seed(ctx.seed).run()?;
+    let r = KnightLevesonExperiment::new(model.clone())
+        .seed(ctx.seed)
+        .run()?;
     let mut t = Table::new(["statistic", "27 versions", "351 pairs", "reduction"]);
     t.row([
         "sample mean PFD".to_string(),
@@ -122,7 +124,9 @@ pub fn run(ctx: &Context) -> ExpResult {
              in {}% of runs",
             reduced_both * 100 / replications,
             factor(med_std),
-            (normal_rejected * 100).checked_div(normal_tested).unwrap_or(0)
+            (normal_rejected * 100)
+                .checked_div(normal_tested)
+                .unwrap_or(0)
         )
     } else {
         format!(

@@ -38,7 +38,7 @@ pub fn run(ctx: &Context) -> ExpResult {
     for _ in 0..trials {
         let n = rng.gen_range(1..=30);
         let p_cap = *[0.05, 0.2, 0.6, 1.0]
-            .get(rng.gen_range(0..4))
+            .get(rng.gen_range(0..4usize))
             .expect("index in range");
         let m = random_model(&mut rng, n, p_cap);
         let mu_ratio = if m.mean_pair_upper_bound() > 0.0 {
@@ -72,14 +72,30 @@ pub fn run(ctx: &Context) -> ExpResult {
     t.row([
         format!("lemma (4) on {trials} random models"),
         "µ2 ≤ p_max·µ1 always".to_string(),
-        format!("{lemma4_violations} violations, tightest ratio {}", sig(tightest4, 4)),
-        if lemma4_violations == 0 { "holds" } else { "FAILS" }.to_string(),
+        format!(
+            "{lemma4_violations} violations, tightest ratio {}",
+            sig(tightest4, 4)
+        ),
+        if lemma4_violations == 0 {
+            "holds"
+        } else {
+            "FAILS"
+        }
+        .to_string(),
     ]);
     t.row([
         format!("lemma (9) on {trials} random models"),
         "σ2 ≤ sqrt(p_max(1+p_max))·σ1 always".to_string(),
-        format!("{lemma9_violations} violations, tightest ratio {}", sig(tightest9, 4)),
-        if lemma9_violations == 0 { "holds" } else { "FAILS" }.to_string(),
+        format!(
+            "{lemma9_violations} violations, tightest ratio {}",
+            sig(tightest9, 4)
+        ),
+        if lemma9_violations == 0 {
+            "holds"
+        } else {
+            "FAILS"
+        }
+        .to_string(),
     ]);
     t.row([
         "variance-monotone threshold".to_string(),

@@ -49,7 +49,9 @@ pub mod workloads {
     /// The §5 regime: very many faults with small failure regions
     /// (n = 400), handled by the lattice distribution.
     pub fn many_small_model() -> FaultModel {
-        let ps: Vec<f64> = (0..400).map(|i| 0.02 + 0.18 * ((i % 13) as f64 / 12.0)).collect();
+        let ps: Vec<f64> = (0..400)
+            .map(|i| 0.02 + 0.18 * ((i % 13) as f64 / 12.0))
+            .collect();
         let qs: Vec<f64> = (0..400).map(|i| 2e-5 + 1e-5 * ((i % 7) as f64)).collect();
         FaultModel::from_params(&ps, &qs).expect("static parameters are valid")
     }

@@ -34,8 +34,12 @@ pub fn run(ctx: &Context) -> ExpResult {
     let mut shrinking = true;
     for &n in &[2usize, 4, 8, 16, 64, 256, 1024, 4096] {
         // Heterogeneous but comparable faults, q scaled to keep Σq fixed.
-        let ps: Vec<f64> = (0..n).map(|i| 0.15 + 0.1 * ((i % 5) as f64 / 4.0)).collect();
-        let qs: Vec<f64> = (0..n).map(|i| (0.8 / n as f64) * (0.5 + (i % 3) as f64 * 0.5)).collect();
+        let ps: Vec<f64> = (0..n)
+            .map(|i| 0.15 + 0.1 * ((i % 5) as f64 / 4.0))
+            .collect();
+        let qs: Vec<f64> = (0..n)
+            .map(|i| (0.8 / n as f64) * (0.5 + (i % 3) as f64 * 0.5))
+            .collect();
         let m = FaultModel::from_params(&ps, &qs)?;
         let d1 = PfdDistribution::single(&m)?;
         let d2 = PfdDistribution::pair(&m)?;

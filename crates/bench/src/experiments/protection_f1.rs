@@ -17,8 +17,7 @@ use divrel_demand::space::GridSpace2D;
 use divrel_demand::version::ProgramVersion;
 use divrel_devsim::{factory::VersionFactory, process::FaultIntroduction};
 use divrel_protection::{
-    adjudicator::Adjudicator, channel::Channel, plant::Plant, simulation,
-    system::ProtectionSystem,
+    adjudicator::Adjudicator, channel::Channel, plant::Plant, simulation, system::ProtectionSystem,
 };
 use divrel_report::fmt::sig;
 use divrel_report::Table;
@@ -36,14 +35,14 @@ pub fn run(ctx: &Context) -> ExpResult {
     let space = GridSpace2D::new(100, 100)?;
     let profile = Profile::uniform(&space);
     let regions = vec![
-        Region::rect(0, 0, 19, 9),     // 200 cells, q = 0.02
-        Region::rect(30, 0, 39, 9),    // 100 cells, q = 0.01
-        Region::rect(50, 0, 54, 9),    // 50 cells,  q = 0.005
-        Region::rect(60, 0, 63, 4),    // 20 cells,  q = 0.002
-        Region::rect(70, 0, 72, 2),    // 9 cells,   q = 0.0009
+        Region::rect(0, 0, 19, 9),        // 200 cells, q = 0.02
+        Region::rect(30, 0, 39, 9),       // 100 cells, q = 0.01
+        Region::rect(50, 0, 54, 9),       // 50 cells,  q = 0.005
+        Region::rect(60, 0, 63, 4),       // 20 cells,  q = 0.002
+        Region::rect(70, 0, 72, 2),       // 9 cells,   q = 0.0009
         Region::lattice(0, 20, 5, 0, 10), // 10 cells, q = 0.001
         Region::lattice(0, 30, 3, 3, 8),  // 8 cells,  q = 0.0008
-        Region::rect(90, 90, 99, 99),  // 100 cells, q = 0.01
+        Region::rect(90, 90, 99, 99),     // 100 cells, q = 0.01
     ];
     let map = FaultRegionMap::new(space, regions)?;
     let ps = [0.25, 0.20, 0.15, 0.30, 0.10, 0.12, 0.08, 0.18];
@@ -54,9 +53,9 @@ pub fn run(ctx: &Context) -> ExpResult {
     let va = factory.sample_version(&mut rng);
     let vb = factory.sample_version(&mut rng);
     let vc = factory.sample_version(&mut rng);
-    let pa = ProgramVersion::new(va.present.clone());
-    let pb = ProgramVersion::new(vb.present.clone());
-    let pc = ProgramVersion::new(vc.present.clone());
+    let pa = ProgramVersion::from_fault_set(va.faults.clone());
+    let pb = ProgramVersion::from_fault_set(vb.faults.clone());
+    let pc = ProgramVersion::from_fault_set(vc.faults.clone());
     let one_oo_two = ProtectionSystem::new(
         vec![Channel::new("A", pa.clone()), Channel::new("B", pb.clone())],
         Adjudicator::OneOutOfN,

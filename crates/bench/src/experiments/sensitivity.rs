@@ -204,7 +204,11 @@ mod tests {
     fn smoke_run_reproduces_sensitivity() {
         let ctx = Context::smoke();
         let s = run(&ctx).unwrap();
-        assert!(s.verdict.contains("sensitivity reproduced"), "{}", s.verdict);
+        assert!(
+            s.verdict.contains("sensitivity reproduced"),
+            "{}",
+            s.verdict
+        );
         std::fs::remove_dir_all(&ctx.results_root).ok();
     }
 }

@@ -40,7 +40,9 @@ pub fn run(ctx: &Context) -> ExpResult {
             e.demands.to_string(),
             sig(e.mean_pfd_single, 3),
             sig(e.mean_pfd_pair, 3),
-            e.risk_ratio.map(|r| sig(r, 4)).unwrap_or_else(|| "—".into()),
+            e.risk_ratio
+                .map(|r| sig(r, 4))
+                .unwrap_or_else(|| "—".into()),
         ]);
     }
     // Phase detection.

@@ -9,7 +9,9 @@
 
 use crate::context::{Context, Summary};
 use crate::experiments::ExpResult;
-use divrel_model::bounds::{beta_factor, pair_bound_from_single_bound, pair_bound_from_single_moments};
+use divrel_model::bounds::{
+    beta_factor, pair_bound_from_single_bound, pair_bound_from_single_moments,
+};
 use divrel_report::fmt::sig;
 use divrel_report::Table;
 

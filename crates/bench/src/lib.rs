@@ -27,6 +27,7 @@
 
 pub mod context;
 pub mod experiments;
+pub mod perf;
 
 pub use context::{Context, Summary};
 
@@ -39,13 +40,41 @@ pub type RegistryEntry = (&'static str, &'static str, Runner);
 /// All experiments in paper order.
 pub fn registry() -> Vec<RegistryEntry> {
     vec![
-        ("E1", "Eq (1)-(3) moments vs Monte Carlo", experiments::moments::run),
-        ("E2-E3", "Section 3.1 lemmas (4) and (9)", experiments::lemmas::run),
-        ("E4", "Section 4.1 eq (10) risk ratio", experiments::fault_free::run),
-        ("E5", "Appendix A gain reversal", experiments::appendix_a::run),
-        ("E6", "Appendix B proportional monotonicity", experiments::appendix_b::run),
-        ("E7", "Section 5.1 beta-factor table", experiments::beta_factor::run),
-        ("E8", "Section 5.1 worked example", experiments::worked_example::run),
+        (
+            "E1",
+            "Eq (1)-(3) moments vs Monte Carlo",
+            experiments::moments::run,
+        ),
+        (
+            "E2-E3",
+            "Section 3.1 lemmas (4) and (9)",
+            experiments::lemmas::run,
+        ),
+        (
+            "E4",
+            "Section 4.1 eq (10) risk ratio",
+            experiments::fault_free::run,
+        ),
+        (
+            "E5",
+            "Appendix A gain reversal",
+            experiments::appendix_a::run,
+        ),
+        (
+            "E6",
+            "Appendix B proportional monotonicity",
+            experiments::appendix_b::run,
+        ),
+        (
+            "E7",
+            "Section 5.1 beta-factor table",
+            experiments::beta_factor::run,
+        ),
+        (
+            "E8",
+            "Section 5.1 worked example",
+            experiments::worked_example::run,
+        ),
         (
             "E9-E11",
             "Section 5.2 conjectures",
@@ -66,8 +95,16 @@ pub fn registry() -> Vec<RegistryEntry> {
             "Section 7 Knight-Leveson check",
             experiments::knight_leveson::run,
         ),
-        ("F1", "Fig 1 protection system", experiments::protection_f1::run),
-        ("F2", "Fig 2 failure regions", experiments::failure_regions::run),
+        (
+            "F1",
+            "Fig 1 protection system",
+            experiments::protection_f1::run,
+        ),
+        (
+            "F2",
+            "Fig 2 failure regions",
+            experiments::failure_regions::run,
+        ),
         (
             "E17",
             "Forced diversity and 1-out-of-N",
@@ -88,11 +125,7 @@ pub fn registry() -> Vec<RegistryEntry> {
             "Functional diversity continuum",
             experiments::functional_diversity::run,
         ),
-        (
-            "E21",
-            "Implied IEC beta-factor",
-            experiments::beta_ccf::run,
-        ),
+        ("E21", "Implied IEC beta-factor", experiments::beta_ccf::run),
         (
             "E22",
             "Epistemic parameter uncertainty",

@@ -205,9 +205,7 @@ mod tests {
         let (map, profile, ps) = disjoint_setup();
         let d = DifficultyFunction::from_map(&map, &ps).unwrap();
         let model = map.to_fault_model(&ps, &profile).unwrap();
-        assert!(
-            (d.mean_single(&profile).unwrap() - model.mean_pfd_single()).abs() < 1e-12
-        );
+        assert!((d.mean_single(&profile).unwrap() - model.mean_pfd_single()).abs() < 1e-12);
         assert!((d.mean_pair(&profile).unwrap() - model.mean_pfd_pair()).abs() < 1e-12);
         assert!((d.mean_k(&profile, 3).unwrap() - model.mean_pfd(3)).abs() < 1e-12);
     }

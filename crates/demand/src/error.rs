@@ -55,9 +55,11 @@ mod tests {
     fn display_and_source() {
         use std::error::Error;
         assert!(DemandError::EmptySpace.to_string().contains("non-zero"));
-        assert!(DemandError::OutOfBounds { what: "point (5,5)".into() }
-            .to_string()
-            .contains("(5,5)"));
+        assert!(DemandError::OutOfBounds {
+            what: "point (5,5)".into()
+        }
+        .to_string()
+        .contains("(5,5)"));
         assert!(DemandError::InvalidWeights("all zero".into())
             .to_string()
             .contains("all zero"));

@@ -1,0 +1,413 @@
+//! Word-packed fault sets — the bitset substrate behind the
+//! Monte-Carlo fast path.
+//!
+//! A [`FaultSet`] records, for a universe of `n` potential faults,
+//! which faults a version contains, one bit per fault in `u64` words.
+//! Set algebra on versions (`pair_with`, `common_faults`,
+//! `fault_count`) becomes bitwise AND/OR plus popcount, and the
+//! per-cell failure masks of
+//! [`FaultRegionMap`](crate::mapping::FaultRegionMap) reduce
+//! "does this version fail on this demand?" to a single masked AND.
+//!
+//! Sets up to 128 faults are stored inline (no heap allocation), which
+//! keeps the hot sampling loops of `divrel-devsim` allocation-free for
+//! every realistic model size.
+
+use crate::error::DemandError;
+use std::fmt;
+
+/// Bits per storage word.
+pub const WORD_BITS: usize = 64;
+
+/// Number of `u64` words needed for `n` bits.
+#[inline]
+pub const fn words_for(n: usize) -> usize {
+    n.div_ceil(WORD_BITS)
+}
+
+const INLINE_WORDS: usize = 2;
+
+#[derive(Debug, Clone)]
+enum Store {
+    Inline([u64; INLINE_WORDS]),
+    Heap(Vec<u64>),
+}
+
+/// A set of fault indices over a fixed universe `0..n`, packed into
+/// `u64` words.
+///
+/// ```
+/// use divrel_demand::fault_set::FaultSet;
+///
+/// let mut a = FaultSet::new(70);
+/// a.insert(3);
+/// a.insert(68);
+/// let b = FaultSet::from_bools(&(0..70).map(|i| i % 3 == 0).collect::<Vec<_>>());
+/// assert!(a.contains(68) && !a.contains(4));
+/// assert_eq!(a.intersect_count(&b), 1); // only fault 3 (68 % 3 != 0)
+/// let common = a.intersection(&b);
+/// assert_eq!(common.iter_ones().collect::<Vec<_>>(), vec![3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultSet {
+    n: usize,
+    store: Store,
+}
+
+impl FaultSet {
+    /// The empty set over a universe of `n` potential faults.
+    pub fn new(n: usize) -> Self {
+        let store = if words_for(n) <= INLINE_WORDS {
+            Store::Inline([0; INLINE_WORDS])
+        } else {
+            Store::Heap(vec![0; words_for(n)])
+        };
+        FaultSet { n, store }
+    }
+
+    /// Builds a set from one presence flag per fault.
+    pub fn from_bools(present: &[bool]) -> Self {
+        let mut s = FaultSet::new(present.len());
+        for (i, &b) in present.iter().enumerate() {
+            if b {
+                s.insert(i);
+            }
+        }
+        s
+    }
+
+    /// Builds a set from explicit fault indices.
+    ///
+    /// # Errors
+    ///
+    /// [`DemandError::OutOfBounds`] for an index `>= n`.
+    pub fn from_indices(n: usize, indices: &[usize]) -> Result<Self, DemandError> {
+        let mut s = FaultSet::new(n);
+        for &i in indices {
+            if i >= n {
+                return Err(DemandError::OutOfBounds {
+                    what: format!("fault index {i} of {n}"),
+                });
+            }
+            s.insert(i);
+        }
+        Ok(s)
+    }
+
+    /// The size of the fault universe (number of potential faults).
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// The backing words (exactly `words_for(universe())` of them; bits
+    /// at positions `>= universe()` are always zero).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        match &self.store {
+            Store::Inline(a) => &a[..words_for(self.n)],
+            Store::Heap(v) => v,
+        }
+    }
+
+    /// Mutable access to the backing words. Callers must keep bits at
+    /// positions `>= universe()` zero; [`Self::mask_tail`] restores the
+    /// invariant after bulk writes.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        let wps = words_for(self.n);
+        match &mut self.store {
+            Store::Inline(a) => &mut a[..wps],
+            Store::Heap(v) => v,
+        }
+    }
+
+    /// Zeroes any bits at positions `>= universe()` after bulk word
+    /// writes (e.g. filling words from an RNG).
+    #[inline]
+    pub fn mask_tail(&mut self) {
+        let n = self.n;
+        let tail_bits = n % WORD_BITS;
+        if tail_bits != 0 {
+            if let Some(last) = self.words_mut().last_mut() {
+                *last &= (1u64 << tail_bits) - 1;
+            }
+        }
+    }
+
+    /// Inserts fault `i` (must be `< universe()`).
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.n, "fault index {i} out of universe {}", self.n);
+        self.words_mut()[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Removes fault `i` (must be `< universe()`).
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.n, "fault index {i} out of universe {}", self.n);
+        self.words_mut()[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Whether fault `i` is in the set (`false` for `i >= universe()`).
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.n {
+            return false;
+        }
+        self.words()[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1
+    }
+
+    /// Empties the set, keeping the universe size.
+    #[inline]
+    pub fn clear(&mut self) {
+        for w in self.words_mut() {
+            *w = 0;
+        }
+    }
+
+    /// Number of faults in the set (popcount).
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set contains no fault.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words().iter().all(|&w| w == 0)
+    }
+
+    /// Iterates the set's fault indices in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words().iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * WORD_BITS + b)
+            })
+        })
+    }
+
+    /// The set as one `bool` per fault.
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.n).map(|i| self.contains(i)).collect()
+    }
+
+    /// Size of the intersection with `other` (one pass of AND +
+    /// popcount; universes may differ — indices beyond either universe
+    /// never match).
+    #[inline]
+    pub fn intersect_count(&self, other: &FaultSet) -> usize {
+        self.words()
+            .iter()
+            .zip(other.words())
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether the set intersects a raw mask slice (used with the
+    /// per-cell failure masks of `FaultRegionMap`).
+    #[inline]
+    pub fn intersects_words(&self, mask: &[u64]) -> bool {
+        self.words().iter().zip(mask).any(|(&a, &b)| a & b != 0)
+    }
+
+    /// The intersection as a new set over the larger universe.
+    pub fn intersection(&self, other: &FaultSet) -> FaultSet {
+        let mut out = FaultSet::new(self.n.max(other.n));
+        for ((o, &a), &b) in out
+            .words_mut()
+            .iter_mut()
+            .zip(self.words())
+            .zip(other.words())
+        {
+            *o = a & b;
+        }
+        out
+    }
+
+    /// In-place union with `other` (universes must match).
+    pub fn union_with(&mut self, other: &FaultSet) {
+        debug_assert_eq!(self.n, other.n, "union over mismatched universes");
+        for (a, &b) in self.words_mut().iter_mut().zip(other.words()) {
+            *a |= b;
+        }
+    }
+
+    /// Copies `other` into `self` (universes must match; no
+    /// allocation).
+    pub fn copy_from(&mut self, other: &FaultSet) {
+        debug_assert_eq!(self.n, other.n, "copy over mismatched universes");
+        self.words_mut().copy_from_slice(other.words());
+    }
+
+    /// Sum of `weights[i]` over the faults in the set — the bitset form
+    /// of the model's `Σ qᵢ` PFD.
+    #[inline]
+    pub fn sum_weights(&self, weights: &[f64]) -> f64 {
+        debug_assert!(weights.len() >= self.n);
+        let mut total = 0.0;
+        for (wi, &w) in self.words().iter().enumerate() {
+            let mut w = w;
+            while w != 0 {
+                let b = w.trailing_zeros() as usize;
+                total += weights[wi * WORD_BITS + b];
+                w &= w - 1;
+            }
+        }
+        total
+    }
+
+    /// Sum of `weights[i]` over the intersection with `other`, without
+    /// materialising it.
+    #[inline]
+    pub fn intersect_sum_weights(&self, other: &FaultSet, weights: &[f64]) -> f64 {
+        let mut total = 0.0;
+        for (wi, (&a, &b)) in self.words().iter().zip(other.words()).enumerate() {
+            let mut w = a & b;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                total += weights[wi * WORD_BITS + bit];
+                w &= w - 1;
+            }
+        }
+        total
+    }
+}
+
+impl PartialEq for FaultSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.words() == other.words()
+    }
+}
+
+impl Eq for FaultSet {}
+
+impl std::hash::Hash for FaultSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.n.hash(state);
+        self.words().hash(state);
+    }
+}
+
+impl fmt::Display for FaultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FaultSet({} of {})", self.count(), self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = FaultSet::new(130); // spills to heap storage
+        assert!(s.is_empty());
+        for i in [0, 63, 64, 127, 129] {
+            s.insert(i);
+        }
+        assert_eq!(s.count(), 5);
+        assert!(s.contains(64) && s.contains(129));
+        assert!(!s.contains(65));
+        assert!(!s.contains(1000)); // out of universe is simply absent
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 4);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn inline_and_heap_agree() {
+        for n in [1usize, 63, 64, 65, 128, 129, 200] {
+            let bools: Vec<bool> = (0..n).map(|i| i % 7 == 2).collect();
+            let s = FaultSet::from_bools(&bools);
+            assert_eq!(s.universe(), n);
+            assert_eq!(s.to_bools(), bools);
+            assert_eq!(s.count(), bools.iter().filter(|&&b| b).count());
+            assert_eq!(
+                s.iter_ones().collect::<Vec<_>>(),
+                (0..n).filter(|i| i % 7 == 2).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn from_indices_validates() {
+        let s = FaultSet::from_indices(10, &[1, 9]).unwrap();
+        assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![1, 9]);
+        assert!(FaultSet::from_indices(10, &[10]).is_err());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = FaultSet::from_bools(&[true, true, false, true]);
+        let b = FaultSet::from_bools(&[false, true, true, true]);
+        assert_eq!(a.intersect_count(&b), 2);
+        let i = a.intersection(&b);
+        assert_eq!(i.iter_ones().collect::<Vec<_>>(), vec![1, 3]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count(), 4);
+        // Weighted sums.
+        let w = [0.1, 0.2, 0.4, 0.8];
+        assert!((a.sum_weights(&w) - 1.1).abs() < 1e-15);
+        assert!((a.intersect_sum_weights(&b, &w) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mismatched_universes_intersect_over_common_words() {
+        let mut small = FaultSet::new(4);
+        small.insert(1);
+        let mut big = FaultSet::new(500);
+        big.insert(1);
+        big.insert(400);
+        assert_eq!(small.intersect_count(&big), 1);
+        let i = small.intersection(&big);
+        assert_eq!(i.universe(), 500);
+        assert_eq!(i.iter_ones().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn mask_tail_clears_out_of_universe_bits() {
+        let mut s = FaultSet::new(70);
+        for w in s.words_mut() {
+            *w = u64::MAX;
+        }
+        s.mask_tail();
+        assert_eq!(s.count(), 70);
+        assert!(!s.contains(70));
+    }
+
+    #[test]
+    fn equality_and_hash_cover_universe() {
+        use std::collections::HashSet;
+        let a = FaultSet::from_bools(&[true, false]);
+        let b = FaultSet::from_bools(&[true, false]);
+        let c = FaultSet::from_bools(&[true, false, false]);
+        assert_eq!(a, b);
+        assert_ne!(a, c); // same bits, different universe
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn intersects_words_masks() {
+        let s = FaultSet::from_bools(&[false, true, false]);
+        assert!(s.intersects_words(&[0b010]));
+        assert!(!s.intersects_words(&[0b101]));
+        assert!(!s.intersects_words(&[]));
+    }
+
+    #[test]
+    fn display_summarises() {
+        let s = FaultSet::from_bools(&[true, true, false]);
+        assert_eq!(s.to_string(), "FaultSet(2 of 3)");
+    }
+}

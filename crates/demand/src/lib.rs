@@ -22,7 +22,11 @@
 //! * [`version::ProgramVersion`] — a version as a set of introduced
 //!   faults, with both its **true** PFD (measure of the union of its
 //!   regions) and its **modelled** PFD (sum of `qᵢ`), whose gap is the
-//!   paper's §6.2 pessimism.
+//!   paper's §6.2 pessimism;
+//! * [`fault_set::FaultSet`] — the word-packed bitset behind
+//!   `ProgramVersion` and the Monte-Carlo fast path: set algebra as
+//!   AND/OR + popcount, evaluated against `FaultRegionMap`'s
+//!   precomputed per-cell failure masks.
 //!
 //! ```
 //! use divrel_demand::{
@@ -50,6 +54,7 @@
 
 pub mod difficulty;
 pub mod error;
+pub mod fault_set;
 pub mod mapping;
 pub mod profile;
 pub mod region;
@@ -60,6 +65,7 @@ pub mod version;
 pub use difficulty::DifficultyFunction;
 
 pub use error::DemandError;
+pub use fault_set::FaultSet;
 pub use mapping::FaultRegionMap;
 pub use profile::Profile;
 pub use region::Region;

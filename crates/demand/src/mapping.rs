@@ -14,20 +14,41 @@
 //!   of the faults' probabilities.
 
 use crate::error::DemandError;
+use crate::fault_set::{words_for, FaultSet, WORD_BITS};
 use crate::profile::Profile;
 use crate::region::Region;
-use crate::space::GridSpace2D;
+use crate::space::{Demand, GridSpace2D};
 use divrel_model::{FaultModel, PotentialFault};
 
 /// A demand space together with one failure region per potential fault.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// At construction the map precomputes, for every demand-space cell,
+/// the bitset of faults whose failure region contains that cell. A
+/// version's failure on a demand (and its whole true PFD) then reduces
+/// to AND-ing its [`FaultSet`] against one mask per cell instead of
+/// per-fault rectangle/lattice membership tests.
+#[derive(Debug, Clone)]
 pub struct FaultRegionMap {
     space: GridSpace2D,
     regions: Vec<Region>,
+    /// Words per fault bitset (`ceil(regions.len() / 64)`).
+    words_per_set: usize,
+    /// Flattened per-cell failure masks: cell `c` owns words
+    /// `[c * words_per_set .. (c + 1) * words_per_set]`.
+    cell_masks: Vec<u64>,
+}
+
+/// Equality is defined by the geometry (space + regions); the
+/// precomputed masks are derived data.
+impl PartialEq for FaultRegionMap {
+    fn eq(&self, other: &Self) -> bool {
+        self.space == other.space && self.regions == other.regions
+    }
 }
 
 impl FaultRegionMap {
-    /// Creates a map, validating that every region fits the space.
+    /// Creates a map, validating that every region fits the space, and
+    /// precomputes the per-cell failure masks.
     ///
     /// # Errors
     ///
@@ -40,7 +61,80 @@ impl FaultRegionMap {
         for r in &regions {
             r.validate_within(&space)?;
         }
-        Ok(FaultRegionMap { space, regions })
+        let words_per_set = words_for(regions.len());
+        let mut cell_masks = vec![0u64; space.cell_count() * words_per_set];
+        for (fault, region) in regions.iter().enumerate() {
+            let word = fault / WORD_BITS;
+            let bit = 1u64 << (fault % WORD_BITS);
+            for cell in region.cell_indices(&space) {
+                cell_masks[cell * words_per_set + word] |= bit;
+            }
+        }
+        Ok(FaultRegionMap {
+            space,
+            regions,
+            words_per_set,
+            cell_masks,
+        })
+    }
+
+    /// Words per fault bitset in the precomputed masks.
+    pub fn words_per_set(&self) -> usize {
+        self.words_per_set
+    }
+
+    /// The failure mask of one demand-space cell: the bitset of faults
+    /// whose region contains the cell.
+    #[inline]
+    pub fn cell_mask(&self, cell: usize) -> &[u64] {
+        &self.cell_masks[cell * self.words_per_set..(cell + 1) * self.words_per_set]
+    }
+
+    /// Whether a version holding exactly `faults` fails on `demand`:
+    /// one AND against the demand cell's failure mask. Demands outside
+    /// the space hit no region and return `false` (regions are
+    /// validated to lie within the space).
+    #[inline]
+    pub fn set_fails_on(&self, faults: &FaultSet, demand: Demand) -> bool {
+        match self.space.index_of(demand) {
+            Ok(cell) => faults.intersects_words(self.cell_mask(cell)),
+            Err(_) => false,
+        }
+    }
+
+    /// True PFD of a version holding exactly `faults`: the profile
+    /// measure of the union of their regions, computed as one AND +
+    /// test per cell against the precomputed masks.
+    ///
+    /// Falls back to the geometric union for a profile over a different
+    /// space (where clipping semantics could differ).
+    pub fn union_pfd_set(&self, faults: &FaultSet, profile: &Profile) -> f64 {
+        if profile.space() != &self.space {
+            let parts: Vec<Region> = faults
+                .iter_ones()
+                .filter_map(|i| self.regions.get(i).cloned())
+                .collect();
+            return Region::union(parts).measure(profile);
+        }
+        let probs = profile.probs();
+        let wps = self.words_per_set;
+        let mut pfd = 0.0;
+        if wps == 1 {
+            // Hot case (≤ 64 faults): one AND per cell.
+            let v = faults.words().first().copied().unwrap_or(0);
+            for (cell, chunk) in self.cell_masks.iter().enumerate() {
+                if chunk & v != 0 {
+                    pfd += probs[cell];
+                }
+            }
+        } else {
+            for (cell, chunk) in self.cell_masks.chunks_exact(wps).enumerate() {
+                if faults.intersects_words(chunk) {
+                    pfd += probs[cell];
+                }
+            }
+        }
+        pfd
     }
 
     /// The demand space.
@@ -128,8 +222,8 @@ impl FaultRegionMap {
     ///
     /// [`DemandError::OutOfBounds`] for a fault index outside the map.
     pub fn union_pfd(&self, fault_set: &[usize], profile: &Profile) -> Result<f64, DemandError> {
-        let parts = self.gather(fault_set)?;
-        Ok(Region::union(parts).measure(profile))
+        let set = FaultSet::from_indices(self.regions.len(), fault_set)?;
+        Ok(self.union_pfd_set(&set, profile))
     }
 
     /// The core model's *sum* PFD for the same fault set (`Σ qᵢ`), for
@@ -212,8 +306,8 @@ mod tests {
         let map = FaultRegionMap::new(
             space,
             vec![
-                Region::rect(0, 0, 1, 1),     // 4 cells, q = 0.04
-                Region::rect(1, 1, 2, 2),     // 4 cells, overlaps 1 cell with #0
+                Region::rect(0, 0, 1, 1),            // 4 cells, q = 0.04
+                Region::rect(1, 1, 2, 2),            // 4 cells, overlaps 1 cell with #0
                 Region::points([Demand::new(9, 9)]), // 1 cell
             ],
         )

@@ -347,11 +347,12 @@ mod tests {
         assert!(Region::lattice(0, 0, 3, 3, 4).validate_within(&s).is_ok());
         assert!(Region::lattice(0, 0, 3, 3, 5).validate_within(&s).is_err());
         assert!(Region::lattice(0, 0, 9, 9, 0).validate_within(&s).is_ok());
-        assert!(
-            Region::union([Region::rect(0, 0, 2, 2), Region::points([Demand::new(11, 0)])])
-                .validate_within(&s)
-                .is_err()
-        );
+        assert!(Region::union([
+            Region::rect(0, 0, 2, 2),
+            Region::points([Demand::new(11, 0)])
+        ])
+        .validate_within(&s)
+        .is_err());
     }
 
     #[test]

@@ -93,10 +93,7 @@ mod tests {
     #[test]
     fn overlap_is_starred() {
         let s = GridSpace2D::new(3, 1).unwrap();
-        let art = render_regions(
-            &s,
-            &[Region::rect(0, 0, 1, 0), Region::rect(1, 0, 2, 0)],
-        );
+        let art = render_regions(&s, &[Region::rect(0, 0, 1, 0), Region::rect(1, 0, 2, 0)]);
         assert_eq!(art.trim_end(), "1*2");
     }
 
@@ -112,10 +109,7 @@ mod tests {
         let s = GridSpace2D::new(6, 6).unwrap();
         let art = render_with_legend(
             &s,
-            &[
-                Region::rect(0, 0, 1, 1),
-                Region::lattice(3, 3, 1, 1, 2),
-            ],
+            &[Region::rect(0, 0, 1, 1), Region::lattice(3, 3, 1, 1, 2)],
         );
         assert!(art.contains("1: 4 cells (rectangle)"));
         assert!(art.contains("2: 2 cells (point/line array)"));

@@ -6,8 +6,15 @@
 //! is such a subset, made executable: it can be asked whether it fails on
 //! a given demand, and its true PFD is the profile measure of the union of
 //! its failure regions.
+//!
+//! Internally a version is a word-packed [`FaultSet`], so set algebra
+//! (`pair_with`, `common_faults`, `fault_count`) runs as bitwise
+//! AND/OR + popcount, and failure evaluation against a
+//! [`FaultRegionMap`] is a single AND against the map's precomputed
+//! per-cell failure mask.
 
 use crate::error::DemandError;
+use crate::fault_set::FaultSet;
 use crate::mapping::FaultRegionMap;
 use crate::profile::Profile;
 use crate::space::Demand;
@@ -37,59 +44,75 @@ use std::fmt;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ProgramVersion {
-    present: Vec<bool>,
+    faults: FaultSet,
 }
 
 impl ProgramVersion {
     /// Creates a version from a presence flag per potential fault.
     pub fn new(present: Vec<bool>) -> Self {
-        ProgramVersion { present }
+        ProgramVersion {
+            faults: FaultSet::from_bools(&present),
+        }
     }
 
     /// A fault-free version over `n` potential faults.
     pub fn fault_free(n: usize) -> Self {
         ProgramVersion {
-            present: vec![false; n],
+            faults: FaultSet::new(n),
         }
     }
 
     /// Creates a version from the indices of its faults.
     pub fn from_fault_indices(n: usize, indices: &[usize]) -> Result<Self, DemandError> {
-        let mut present = vec![false; n];
-        for &i in indices {
-            *present.get_mut(i).ok_or_else(|| DemandError::OutOfBounds {
-                what: format!("fault index {i} of {n}"),
-            })? = true;
-        }
-        Ok(ProgramVersion { present })
+        Ok(ProgramVersion {
+            faults: FaultSet::from_indices(n, indices)?,
+        })
+    }
+
+    /// Wraps an existing fault set (the zero-copy bridge from the
+    /// `divrel-devsim` samplers).
+    pub fn from_fault_set(faults: FaultSet) -> Self {
+        ProgramVersion { faults }
+    }
+
+    /// The underlying bitset.
+    pub fn fault_set(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// Number of potential faults the version is defined over.
+    pub fn len(&self) -> usize {
+        self.faults.universe()
+    }
+
+    /// Whether the version is defined over an empty fault universe.
+    pub fn is_empty(&self) -> bool {
+        self.faults.universe() == 0
     }
 
     /// Presence flags, one per potential fault.
-    pub fn present(&self) -> &[bool] {
-        &self.present
+    pub fn to_bools(&self) -> Vec<bool> {
+        self.faults.to_bools()
     }
 
     /// Indices of the faults this version contains.
     pub fn fault_indices(&self) -> Vec<usize> {
-        self.present
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &b)| b.then_some(i))
-            .collect()
+        self.faults.iter_ones().collect()
     }
 
     /// Number of faults in the version.
     pub fn fault_count(&self) -> usize {
-        self.present.iter().filter(|&&b| b).count()
+        self.faults.count()
     }
 
     /// Whether the version contains no fault at all.
     pub fn is_fault_free(&self) -> bool {
-        self.fault_count() == 0
+        self.faults.is_empty()
     }
 
     /// Whether this version fails on `demand`: true iff the demand lies in
-    /// the failure region of any fault the version contains.
+    /// the failure region of any fault the version contains. One AND
+    /// against the map's per-cell failure mask.
     ///
     /// # Errors
     ///
@@ -97,22 +120,19 @@ impl ProgramVersion {
     /// map's fault count.
     pub fn fails_on(&self, map: &FaultRegionMap, demand: Demand) -> Result<bool, DemandError> {
         self.check_len(map)?;
-        Ok(self
-            .present
-            .iter()
-            .zip(map.regions())
-            .any(|(&b, r)| b && r.contains(demand)))
+        Ok(map.set_fails_on(&self.faults, demand))
     }
 
     /// The version's **true** PFD: profile measure of the union of its
-    /// regions (overlaps counted once).
+    /// regions (overlaps counted once) — one AND + test per demand-space
+    /// cell against the precomputed failure masks.
     ///
     /// # Errors
     ///
     /// [`DemandError::Mismatch`] on length mismatch.
     pub fn true_pfd(&self, map: &FaultRegionMap, profile: &Profile) -> Result<f64, DemandError> {
         self.check_len(map)?;
-        map.union_pfd(&self.fault_indices(), profile)
+        Ok(map.union_pfd_set(&self.faults, profile))
     }
 
     /// The version's PFD as the core model computes it: `Σ qᵢ` over
@@ -133,32 +153,27 @@ impl ProgramVersion {
     /// The set of faults common to this version and `other` — what a
     /// 1-out-of-2 pair actually shares.
     pub fn common_faults(&self, other: &ProgramVersion) -> Vec<usize> {
-        self.present
-            .iter()
-            .zip(&other.present)
-            .enumerate()
-            .filter_map(|(i, (&a, &b))| (a && b).then_some(i))
+        self.faults
+            .intersection(&other.faults)
+            .iter_ones()
             .collect()
     }
 
     /// The 1-out-of-2 pair of this version and `other` as a pseudo-version
     /// containing exactly their common faults (the pair fails only where
     /// both fail, which under the 1-to-1 mapping is the common-fault
-    /// region union).
+    /// region union). Bitwise AND over the packed words.
     pub fn pair_with(&self, other: &ProgramVersion) -> ProgramVersion {
-        let n = self.present.len().max(other.present.len());
-        let mut present = vec![false; n];
-        for i in self.common_faults(other) {
-            present[i] = true;
+        ProgramVersion {
+            faults: self.faults.intersection(&other.faults),
         }
-        ProgramVersion { present }
     }
 
     fn check_len(&self, map: &FaultRegionMap) -> Result<(), DemandError> {
-        if self.present.len() != map.len() {
+        if self.faults.universe() != map.len() {
             return Err(DemandError::Mismatch(format!(
                 "version has {} fault flags, map has {} regions",
-                self.present.len(),
+                self.faults.universe(),
                 map.len()
             )));
         }
@@ -172,7 +187,7 @@ impl fmt::Display for ProgramVersion {
             f,
             "ProgramVersion({} of {} faults)",
             self.fault_count(),
-            self.present.len()
+            self.faults.universe()
         )
     }
 }
@@ -206,6 +221,8 @@ mod tests {
         assert!(!v.is_fault_free());
         assert!(ProgramVersion::fault_free(4).is_fault_free());
         assert!(ProgramVersion::from_fault_indices(3, &[5]).is_err());
+        assert_eq!(v.to_bools(), vec![false, true, false, true, false]);
+        assert_eq!(ProgramVersion::from_fault_set(v.fault_set().clone()), v);
     }
 
     #[test]
@@ -258,6 +275,22 @@ mod tests {
         let a = ProgramVersion::new(vec![true, false]);
         let b = ProgramVersion::new(vec![false, true]);
         assert!(a.pair_with(&b).is_fault_free());
+    }
+
+    #[test]
+    fn pair_with_mismatched_lengths_uses_larger_universe() {
+        let a = ProgramVersion::new(vec![true, true]);
+        let b = ProgramVersion::new(vec![true, true, true]);
+        let pair = a.pair_with(&b);
+        assert_eq!(pair.len(), 3);
+        assert_eq!(pair.fault_indices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn out_of_space_demand_is_not_a_failure() {
+        let (map, _) = setup();
+        let v = ProgramVersion::new(vec![true, true, true]);
+        assert!(!v.fails_on(&map, Demand::new(50, 50)).unwrap());
     }
 
     #[test]

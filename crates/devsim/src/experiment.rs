@@ -59,7 +59,11 @@ pub struct ProportionCi {
 /// assert!(ci.lo > 0.4 && ci.hi < 0.98);
 /// # Ok::<(), divrel_devsim::DevSimError>(())
 /// ```
-pub fn wilson_ci(successes: u64, trials: u64, confidence: f64) -> Result<ProportionCi, DevSimError> {
+pub fn wilson_ci(
+    successes: u64,
+    trials: u64,
+    confidence: f64,
+) -> Result<ProportionCi, DevSimError> {
     if trials == 0 {
         return Err(DevSimError::TooFewSamples { got: 0, need: 1 });
     }
@@ -172,7 +176,9 @@ impl MonteCarloExperiment {
             for (i, &count) in shards.iter().enumerate() {
                 let factory = &factory;
                 // Distinct, deterministic stream per shard.
-                let shard_seed = self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+                let shard_seed = self
+                    .seed
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
                 handles.push(scope.spawn(move || run_shard(factory, count, shard_seed)));
             }
             for h in handles {
@@ -269,8 +275,11 @@ impl ShardAccumulator {
 fn run_shard(factory: &VersionFactory, count: usize, seed: u64) -> ShardAccumulator {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut acc = ShardAccumulator::default();
+    // One reusable pair buffer per shard: the sampling loop allocates
+    // nothing per iteration.
+    let mut pair = crate::factory::SampledPair::empty(factory.model().len());
     for _ in 0..count {
-        let pair = factory.sample_pair(&mut rng);
+        factory.sample_pair_into(&mut rng, &mut pair);
         acc.single_pfd.push(pair.a.pfd);
         acc.pair_pfd.push(pair.pfd);
         let fc = pair.a.fault_count() as u64;
@@ -397,14 +406,12 @@ mod tests {
             .seed(1)
             .run()
             .unwrap();
-        let corr = MonteCarloExperiment::new(
-            m.clone(),
-            FaultIntroduction::CommonCause { lambda: 0.8 },
-        )
-        .samples(60_000)
-        .seed(1)
-        .run()
-        .unwrap();
+        let corr =
+            MonteCarloExperiment::new(m.clone(), FaultIntroduction::CommonCause { lambda: 0.8 })
+                .samples(60_000)
+                .seed(1)
+                .run()
+                .unwrap();
         // Means preserved (within MC error) at both levels.
         assert!((corr.single.mean_pfd - indep.single.mean_pfd).abs() < 8e-4);
         assert!((corr.pair.mean_pfd - indep.pair.mean_pfd).abs() < 3e-4);
@@ -458,7 +465,11 @@ mod tests {
         );
         let exact2 = divrel_numerics::WeightedBernoulliSum::enumerate(&m.terms(2)).unwrap();
         let t2 = divrel_numerics::ks::chi_squared_gof(&pairs, &exact2).unwrap();
-        assert!(t2.p_value > 0.01, "pair sample rejected: p = {}", t2.p_value);
+        assert!(
+            t2.p_value > 0.01,
+            "pair sample rejected: p = {}",
+            t2.p_value
+        );
     }
 
     #[test]

@@ -129,12 +129,9 @@ impl KnightLevesonExperiment {
         let mut pair_pfds = Vec::with_capacity(self.n_versions * (self.n_versions - 1) / 2);
         for i in 0..versions.len() {
             for j in (i + 1)..versions.len() {
-                let pfd: f64 = q
-                    .iter()
-                    .enumerate()
-                    .filter(|(f, _)| versions[i].present[*f] && versions[j].present[*f])
-                    .map(|(_, &qv)| qv)
-                    .sum();
+                let pfd = versions[i]
+                    .faults
+                    .intersect_sum_weights(&versions[j].faults, &q);
                 pair_pfds.push(pfd);
             }
         }
@@ -189,7 +186,10 @@ mod tests {
         // check a majority of seeds to avoid flakiness from a single draw.
         let mut holds = 0;
         for seed in 0..20 {
-            let r = KnightLevesonExperiment::new(model()).seed(seed).run().unwrap();
+            let r = KnightLevesonExperiment::new(model())
+                .seed(seed)
+                .run()
+                .unwrap();
             if r.diversity_reduced_mean_and_std() {
                 holds += 1;
             }

@@ -12,8 +12,15 @@
 //!   budget-coupled mistakes), all preserving the marginal `pᵢ` exactly so
 //!   that deviations from the analytic model are attributable to
 //!   correlation alone;
+//! * [`sampler::BitSampler`] — the bitset fast path: bit-sliced
+//!   word-parallel Bernoulli sampling into reusable
+//!   [`divrel_demand::FaultSet`] buffers (one `u64` draw decides one
+//!   comparison bit-plane for 64 faults at once; precomputed prefix
+//!   masks serve the comonotone branch), exactly preserving every
+//!   marginal;
 //! * [`factory::VersionFactory`] — samples whole versions and 1-out-of-2
-//!   pairs with their PFDs;
+//!   pairs with their PFDs (bitset-backed; a stream-compatible
+//!   reference path is kept for equivalence testing);
 //! * [`experiment::MonteCarloExperiment`] — estimates the distribution of
 //!   `Θ₁`/`Θ₂`, fault-free probabilities and the eq (10) risk ratio, with
 //!   confidence intervals and a multi-threaded driver;
@@ -45,6 +52,7 @@ pub mod experiment;
 pub mod factory;
 pub mod kl;
 pub mod process;
+pub mod sampler;
 pub mod testing;
 
 pub use error::DevSimError;

@@ -25,12 +25,12 @@
 //!   producing negative within-pair correlation.
 
 use crate::error::DevSimError;
+use divrel_demand::fault_set::FaultSet;
 use divrel_model::FaultModel;
 use rand::Rng;
 
 /// How a development team's fault set is sampled.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum FaultIntroduction {
     /// The paper's assumption: each fault an independent Bernoulli draw.
     #[default]
@@ -108,6 +108,60 @@ impl FaultIntroduction {
         }
     }
 
+    /// Draws the fault set of one newly developed version directly into
+    /// a reusable bitset.
+    ///
+    /// This path is **stream-compatible** with
+    /// [`Self::sample_version`]: it consumes exactly the same RNG draws
+    /// in the same order, so the same seed yields the same fault set in
+    /// either representation (the property the bitset/bool equivalence
+    /// tests pin down). For the allocation-free fast path that also
+    /// reduces RNG draws, see [`crate::sampler::BitSampler`].
+    ///
+    /// `out` must have the model's fault count as its universe.
+    pub fn sample_version_into<R: Rng + ?Sized>(
+        &self,
+        model: &FaultModel,
+        rng: &mut R,
+        out: &mut FaultSet,
+    ) {
+        debug_assert_eq!(out.universe(), model.len(), "scratch set universe mismatch");
+        out.clear();
+        match *self {
+            FaultIntroduction::Independent => independent_into(model, rng, out),
+            FaultIntroduction::CommonCause { lambda } => {
+                if rng.gen::<f64>() < lambda {
+                    let u: f64 = rng.gen();
+                    for (i, p) in model.p_values().enumerate() {
+                        if u < p {
+                            out.insert(i);
+                        }
+                    }
+                } else {
+                    independent_into(model, rng, out);
+                }
+            }
+            FaultIntroduction::Antithetic { lambda } => {
+                if rng.gen::<f64>() < lambda {
+                    let ps: Vec<f64> = model.p_values().collect();
+                    let mut i = 0;
+                    while i < ps.len() {
+                        let u: f64 = rng.gen();
+                        if u < ps[i] {
+                            out.insert(i);
+                        }
+                        if i + 1 < ps.len() && (1.0 - u) < ps[i + 1] {
+                            out.insert(i + 1);
+                        }
+                        i += 2;
+                    }
+                } else {
+                    independent_into(model, rng, out);
+                }
+            }
+        }
+    }
+
     /// Whether this model satisfies the paper's §2.2 independence
     /// assumption exactly.
     pub fn is_independent(&self) -> bool {
@@ -119,9 +173,16 @@ impl FaultIntroduction {
     }
 }
 
-
 fn independent<R: Rng + ?Sized>(model: &FaultModel, rng: &mut R) -> Vec<bool> {
     model.p_values().map(|p| rng.gen::<f64>() < p).collect()
+}
+
+fn independent_into<R: Rng + ?Sized>(model: &FaultModel, rng: &mut R, out: &mut FaultSet) {
+    for (i, p) in model.p_values().enumerate() {
+        if rng.gen::<f64>() < p {
+            out.insert(i);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -151,14 +212,18 @@ mod tests {
     #[test]
     fn validation() {
         assert!(FaultIntroduction::Independent.validate().is_ok());
-        assert!(FaultIntroduction::CommonCause { lambda: 0.5 }.validate().is_ok());
-        assert!(FaultIntroduction::CommonCause { lambda: 1.5 }.validate().is_err());
-        assert!(FaultIntroduction::Antithetic { lambda: -0.1 }.validate().is_err());
-        assert!(FaultIntroduction::Antithetic {
-            lambda: f64::NAN
-        }
-        .validate()
-        .is_err());
+        assert!(FaultIntroduction::CommonCause { lambda: 0.5 }
+            .validate()
+            .is_ok());
+        assert!(FaultIntroduction::CommonCause { lambda: 1.5 }
+            .validate()
+            .is_err());
+        assert!(FaultIntroduction::Antithetic { lambda: -0.1 }
+            .validate()
+            .is_err());
+        assert!(FaultIntroduction::Antithetic { lambda: f64::NAN }
+            .validate()
+            .is_err());
     }
 
     #[test]
@@ -166,10 +231,7 @@ mod tests {
         assert!(FaultIntroduction::Independent.is_independent());
         assert!(FaultIntroduction::CommonCause { lambda: 0.0 }.is_independent());
         assert!(!FaultIntroduction::CommonCause { lambda: 0.3 }.is_independent());
-        assert_eq!(
-            FaultIntroduction::default(),
-            FaultIntroduction::Independent
-        );
+        assert_eq!(FaultIntroduction::default(), FaultIntroduction::Independent);
     }
 
     #[test]
@@ -178,16 +240,16 @@ mod tests {
         // 5-sigma tolerance for p = 0.3 at n = 60k is ~0.0094.
         for (name, intro) in [
             ("independent", FaultIntroduction::Independent),
-            ("common-cause", FaultIntroduction::CommonCause { lambda: 0.7 }),
+            (
+                "common-cause",
+                FaultIntroduction::CommonCause { lambda: 0.7 },
+            ),
             ("antithetic", FaultIntroduction::Antithetic { lambda: 0.7 }),
         ] {
             let rates = marginal_rates(intro, n, 11);
             let want = [0.3, 0.3, 0.1, 0.1];
             for (i, (&r, &w)) in rates.iter().zip(&want).enumerate() {
-                assert!(
-                    (r - w).abs() < 0.01,
-                    "{name} fault {i}: rate {r} vs p {w}"
-                );
+                assert!((r - w).abs() < 0.01, "{name} fault {i}: rate {r} vs p {w}");
             }
         }
     }
@@ -241,6 +303,26 @@ mod tests {
             }
         }
         assert!((c0 as f64 / n as f64 - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn bitset_sampler_is_stream_identical_to_bool_sampler() {
+        // Same RNG stream -> same fault sets, for all three variants.
+        let m = model();
+        for intro in [
+            FaultIntroduction::Independent,
+            FaultIntroduction::CommonCause { lambda: 0.6 },
+            FaultIntroduction::Antithetic { lambda: 0.6 },
+        ] {
+            let mut r1 = StdRng::seed_from_u64(21);
+            let mut r2 = StdRng::seed_from_u64(21);
+            let mut out = FaultSet::new(m.len());
+            for _ in 0..2_000 {
+                let reference = intro.sample_version(&m, &mut r1);
+                intro.sample_version_into(&m, &mut r2, &mut out);
+                assert_eq!(out.to_bools(), reference, "{intro:?} diverged");
+            }
+        }
     }
 
     #[test]

@@ -160,7 +160,10 @@ pub fn assess_pair(
         return Err(ModelError::InvalidProbability(confidence));
     }
     let (single_bound, pair_bound) = match evidence {
-        SingleVersionEvidence::Bound { bound, confidence: c } => {
+        SingleVersionEvidence::Bound {
+            bound,
+            confidence: c,
+        } => {
             if (c - confidence).abs() > 1e-12 {
                 return Err(ModelError::Degenerate(
                     "evidence confidence must match the requested claim confidence",
@@ -305,19 +308,28 @@ mod tests {
     #[test]
     fn degenerate_inputs() {
         assert!(assess_pair(
-            SingleVersionEvidence::Moments { mu: -1.0, sigma: 0.1 },
+            SingleVersionEvidence::Moments {
+                mu: -1.0,
+                sigma: 0.1
+            },
             0.1,
             0.99
         )
         .is_err());
         assert!(assess_pair(
-            SingleVersionEvidence::Moments { mu: 0.01, sigma: 0.001 },
+            SingleVersionEvidence::Moments {
+                mu: 0.01,
+                sigma: 0.001
+            },
             1.5,
             0.99
         )
         .is_err());
         assert!(assess_pair(
-            SingleVersionEvidence::Moments { mu: 0.01, sigma: 0.001 },
+            SingleVersionEvidence::Moments {
+                mu: 0.01,
+                sigma: 0.001
+            },
             0.1,
             1.0
         )

@@ -77,10 +77,7 @@ pub fn beta_factor_k(p_max: f64, k: u32) -> Result<f64, ModelError> {
 ///
 /// [`ModelError::InvalidProbability`] if any entry is not a probability.
 pub fn beta_factor_table(p_maxes: &[f64]) -> Result<Vec<(f64, f64)>, ModelError> {
-    p_maxes
-        .iter()
-        .map(|&p| Ok((p, beta_factor(p)?)))
-        .collect()
+    p_maxes.iter().map(|&p| Ok((p, beta_factor(p)?))).collect()
 }
 
 /// A one-sided confidence statement about a PFD: `P(Θ ≤ value) ≥ confidence`.
@@ -133,8 +130,7 @@ impl FaultModel {
     /// `p_max` only: `p_max·µ₁ + k·sqrt(p_max(1+p_max))·σ₁`.
     pub fn pair_bound_from_moments(&self, k: f64) -> f64 {
         let pm = self.p_max();
-        pm * self.mean_pfd_single()
-            + k * (pm * (1.0 + pm)).sqrt() * self.std_pfd_single()
+        pm * self.mean_pfd_single() + k * (pm * (1.0 + pm)).sqrt() * self.std_pfd_single()
     }
 
     /// Eq (12): bound on `µ₂ + kσ₂` from a single-version *bound* and

@@ -154,11 +154,8 @@ mod tests {
 
     #[test]
     fn iec_with_implied_beta_tracks_exact_pair_pfd() {
-        let m = FaultModel::from_params(
-            &[0.2, 0.1, 0.05, 0.15],
-            &[0.004, 0.01, 0.02, 0.002],
-        )
-        .expect("valid");
+        let m = FaultModel::from_params(&[0.2, 0.1, 0.05, 0.15], &[0.004, 0.01, 0.02, 0.002])
+            .expect("valid");
         let c = compare_with_checklist(&m, 0.05).expect("ok");
         // β·µ1 IS µ2 by construction; the quadratic term is the only gap.
         assert!((c.iec_pair_pfd - c.exact_pair_pfd).abs() < (m.mean_pfd_single()).powi(2));

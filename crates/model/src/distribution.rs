@@ -57,7 +57,9 @@ impl PfdDistribution {
     /// errors otherwise.
     pub fn new(model: &FaultModel, k: u32) -> Result<Self, ModelError> {
         if k == 0 {
-            return Err(ModelError::Degenerate("PFD distribution for k = 0 versions"));
+            return Err(ModelError::Degenerate(
+                "PFD distribution for k = 0 versions",
+            ));
         }
         let terms = model.terms(k);
         let exact = WeightedBernoulliSum::auto(&terms)?;

@@ -49,10 +49,7 @@ impl ModelEnsemble {
             return Err(ModelError::InvalidProbability(0.0));
         }
         Ok(ModelEnsemble {
-            members: members
-                .into_iter()
-                .map(|(w, m)| (w / total, m))
-                .collect(),
+            members: members.into_iter().map(|(w, m)| (w / total, m)).collect(),
         })
     }
 
@@ -207,9 +204,7 @@ mod tests {
             assert!((e.prob_fault_free(k) - m.prob_fault_free(k)).abs() < 1e-15);
         }
         assert_eq!(e.epistemic_var_pfd(1), 0.0);
-        assert!(
-            (e.risk_ratio().unwrap() - m.risk_ratio().unwrap()).abs() < 1e-15
-        );
+        assert!((e.risk_ratio().unwrap() - m.risk_ratio().unwrap()).abs() < 1e-15);
     }
 
     #[test]
@@ -227,8 +222,7 @@ mod tests {
     #[test]
     fn total_variance_exceeds_average_within_variance() {
         let e = ModelEnsemble::uniform(vec![optimist(), pessimist()]).unwrap();
-        let within =
-            0.5 * (optimist().var_pfd_single() + pessimist().var_pfd_single());
+        let within = 0.5 * (optimist().var_pfd_single() + pessimist().var_pfd_single());
         assert!(e.var_pfd(1) > within);
         assert!((e.var_pfd(1) - within - e.epistemic_var_pfd(1)).abs() < 1e-18);
         assert!(e.epistemic_var_pfd(1) > 0.0);
@@ -238,8 +232,8 @@ mod tests {
     fn risk_ratio_is_not_the_mean_of_ratios() {
         let e = ModelEnsemble::uniform(vec![optimist(), pessimist()]).unwrap();
         let mixed = e.risk_ratio().unwrap();
-        let mean_of_ratios = 0.5
-            * (optimist().risk_ratio().unwrap() + pessimist().risk_ratio().unwrap());
+        let mean_of_ratios =
+            0.5 * (optimist().risk_ratio().unwrap() + pessimist().risk_ratio().unwrap());
         assert!(
             (mixed - mean_of_ratios).abs() > 1e-3,
             "mixing in ratio space would have been wrong: {mixed} vs {mean_of_ratios}"

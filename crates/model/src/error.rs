@@ -62,12 +62,16 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(ModelError::InvalidProbability(1.5).to_string().contains("1.5"));
+        assert!(ModelError::InvalidProbability(1.5)
+            .to_string()
+            .contains("1.5"));
         assert!(ModelError::EmptyModel.to_string().contains("at least one"));
         assert!(ModelError::QBudgetExceeded { total: 1.2 }
             .to_string()
             .contains("1.2"));
-        assert!(ModelError::Degenerate("risk ratio").to_string().contains("risk ratio"));
+        assert!(ModelError::Degenerate("risk ratio")
+            .to_string()
+            .contains("risk ratio"));
         let inner = NumericsError::EmptyData("x");
         assert!(ModelError::from(inner).to_string().contains("numerical"));
     }

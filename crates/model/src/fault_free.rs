@@ -28,8 +28,7 @@ impl FaultModel {
     /// fault-free).
     pub fn prob_fault_free(&self, k: u32) -> f64 {
         // p values are validated, so prob_none cannot fail.
-        prob_none(self.faults().iter().map(|f| f.p_common(k)))
-            .expect("validated probabilities")
+        prob_none(self.faults().iter().map(|f| f.p_common(k))).expect("validated probabilities")
     }
 
     /// `P(N₁ = 0) = Π(1 − pᵢ)`.
@@ -45,8 +44,7 @@ impl FaultModel {
     /// `P(N_k > 0) = 1 − Π(1 − pᵢᵏ)` — the *risk* of at least one
     /// (common) fault, computed stably for small risks.
     pub fn risk_any_fault(&self, k: u32) -> f64 {
-        prob_any(self.faults().iter().map(|f| f.p_common(k)))
-            .expect("validated probabilities")
+        prob_any(self.faults().iter().map(|f| f.p_common(k))).expect("validated probabilities")
     }
 
     /// `P(N₁ > 0)`.

@@ -283,12 +283,9 @@ mod tests {
         let base = FaultModel::from_params(&[0.2, 0.1], &[0.01, 0.02]).expect("valid");
         let forced = ForcedDiversityModel::unforced(&base);
         assert!((forced.mean_pfd_pair() - base.mean_pfd_pair()).abs() < 1e-15);
+        assert!((forced.prob_no_common_fault() - base.prob_fault_free_pair()).abs() < 1e-15);
         assert!(
-            (forced.prob_no_common_fault() - base.prob_fault_free_pair()).abs() < 1e-15
-        );
-        assert!(
-            (forced.risk_ratio_vs_a().expect("ok") - base.risk_ratio().expect("ok")).abs()
-                < 1e-15
+            (forced.risk_ratio_vs_a().expect("ok") - base.risk_ratio().expect("ok")).abs() < 1e-15
         );
     }
 

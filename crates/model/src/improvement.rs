@@ -260,7 +260,9 @@ impl ProportionalFamily {
         if ks.is_empty() {
             return Err(ModelError::Degenerate("empty k grid"));
         }
-        ks.iter().map(|&k| Ok((k, self.risk_ratio_at(k)?))).collect()
+        ks.iter()
+            .map(|&k| Ok((k, self.risk_ratio_at(k)?)))
+            .collect()
     }
 
     /// Checks Appendix B empirically on a grid: returns the largest
@@ -434,14 +436,8 @@ mod tests {
         // minimisation of the exact ratio.
         for p2 in [0.05, 0.1, 0.3, 0.5, 0.7, 0.9] {
             let closed = two_fault_stationary_point(p2).unwrap();
-            let (numeric, _) = golden_min(
-                |p1| two_fault_ratio(p1, p2).unwrap(),
-                1e-9,
-                1.0,
-                1e-13,
-                300,
-            )
-            .unwrap();
+            let (numeric, _) =
+                golden_min(|p1| two_fault_ratio(p1, p2).unwrap(), 1e-9, 1.0, 1e-13, 300).unwrap();
             assert!(
                 (closed - numeric).abs() < 1e-6,
                 "p2={p2}: closed {closed} vs numeric {numeric}"
@@ -488,7 +484,10 @@ mod tests {
         let at_star = two_fault_ratio(p1, p2z).unwrap();
         let below = two_fault_ratio(p1, p2z / 4.0).unwrap();
         let above = two_fault_ratio(p1, (p2z * 2.0).min(0.99)).unwrap();
-        assert!(below > at_star, "reducing p2 below p2z must raise the ratio");
+        assert!(
+            below > at_star,
+            "reducing p2 below p2z must raise the ratio"
+        );
         assert!(above > at_star, "p2z must be a minimum");
         // And the limit p2 -> 0 recovers the single-fault ratio p1.
         let limit = two_fault_ratio(p1, 1e-12).unwrap();
@@ -518,15 +517,16 @@ mod tests {
             vec![0.01, 0.02, 0.05, 0.1, 0.005],
         )
         .unwrap();
-        let ks: Vec<f64> = (1..=100).map(|i| i as f64 / 100.0 * fam.max_scale().min(2.4)).collect();
+        let ks: Vec<f64> = (1..=100)
+            .map(|i| i as f64 / 100.0 * fam.max_scale().min(2.4))
+            .collect();
         let violation = fam.max_monotonicity_violation(&ks).unwrap();
         assert_eq!(violation, 0.0, "Appendix B violated by {violation}");
     }
 
     #[test]
     fn appendix_b_derivative_non_negative() {
-        let fam =
-            ProportionalFamily::new(vec![0.5, 0.2, 0.05], vec![0.1, 0.1, 0.1]).unwrap();
+        let fam = ProportionalFamily::new(vec![0.5, 0.2, 0.05], vec![0.1, 0.1, 0.1]).unwrap();
         for i in 1..=19 {
             let k = i as f64 / 10.0; // up to max_scale = 2.0
             let d = fam.d_risk_ratio_dk(k).unwrap();
@@ -565,20 +565,16 @@ mod tests {
 
     #[test]
     fn general_stationary_point_on_five_fault_model() {
-        let m = FaultModel::from_params(
-            &[0.4, 0.3, 0.2, 0.1, 0.04],
-            &[0.01, 0.01, 0.01, 0.01, 0.01],
-        )
-        .unwrap();
+        let m =
+            FaultModel::from_params(&[0.4, 0.3, 0.2, 0.1, 0.04], &[0.01, 0.01, 0.01, 0.01, 0.01])
+                .unwrap();
         let p5z = stationary_point_for_fault(&m, 4)
             .unwrap()
             .expect("interior root expected");
         // Must agree with the grid minimum located by the sweep (~0.08).
         assert!((p5z - 0.08).abs() < 0.01, "p5z = {p5z}");
         // And the gradient changes sign across it.
-        let g = |p: f64| {
-            risk_ratio_gradient(&m.with_p(4, p).unwrap()).unwrap()[4]
-        };
+        let g = |p: f64| risk_ratio_gradient(&m.with_p(4, p).unwrap()).unwrap()[4];
         assert!(g(p5z * 0.5) < 0.0);
         assert!(g((p5z * 1.5).min(0.99)) > 0.0);
     }

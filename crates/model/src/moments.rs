@@ -74,9 +74,7 @@ impl FaultModel {
     pub fn third_abs_moment_sum(&self, k: u32) -> f64 {
         self.faults()
             .iter()
-            .map(|f| {
-                divrel_numerics::berry_esseen::third_abs_central_moment(f.p_common(k), f.q())
-            })
+            .map(|f| divrel_numerics::berry_esseen::third_abs_central_moment(f.p_common(k), f.q()))
             .sum()
     }
 }
@@ -96,14 +94,9 @@ mod tests {
         let mu1: f64 = [0.1 * 0.02, 0.4 * 0.005, 0.02 * 0.3, 0.9 * 0.001]
             .iter()
             .sum();
-        let mu2: f64 = [
-            0.01 * 0.02,
-            0.16 * 0.005,
-            0.0004 * 0.3,
-            0.81 * 0.001,
-        ]
-        .iter()
-        .sum();
+        let mu2: f64 = [0.01 * 0.02, 0.16 * 0.005, 0.0004 * 0.3, 0.81 * 0.001]
+            .iter()
+            .sum();
         assert!((m.mean_pfd_single() - mu1).abs() < 1e-15);
         assert!((m.mean_pfd_pair() - mu2).abs() < 1e-15);
     }

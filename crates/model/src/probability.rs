@@ -158,7 +158,10 @@ mod tests {
 
     #[test]
     fn clamped_construction() {
-        assert_eq!(Probability::new_clamped(1.0 + 1e-17).unwrap(), Probability::ONE);
+        assert_eq!(
+            Probability::new_clamped(1.0 + 1e-17).unwrap(),
+            Probability::ONE
+        );
         assert_eq!(Probability::new_clamped(-1e-17).unwrap(), Probability::ZERO);
         assert!(Probability::new_clamped(f64::NAN).is_err());
     }
@@ -187,9 +190,11 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = [Probability::new(0.9).unwrap(),
+        let mut v = [
+            Probability::new(0.9).unwrap(),
             Probability::new(0.1).unwrap(),
-            Probability::new(0.5).unwrap()];
+            Probability::new(0.5).unwrap(),
+        ];
         v.sort();
         assert_eq!(v[0].value(), 0.1);
         assert_eq!(v[2].value(), 0.9);

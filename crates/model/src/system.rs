@@ -44,7 +44,9 @@ impl DiverseSystem {
     /// [`ModelError::Degenerate`] for `channels == 0`.
     pub fn new(model: FaultModel, channels: u32) -> Result<Self, ModelError> {
         if channels == 0 {
-            return Err(ModelError::Degenerate("a system needs at least one channel"));
+            return Err(ModelError::Degenerate(
+                "a system needs at least one channel",
+            ));
         }
         Ok(DiverseSystem { model, channels })
     }

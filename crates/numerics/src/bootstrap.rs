@@ -84,9 +84,7 @@ where
     }
     stats.sort_by(|a, b| a.total_cmp(b));
     let alpha = (1.0 - confidence) / 2.0;
-    let idx = |p: f64| -> usize {
-        ((p * resamples as f64).floor() as usize).min(resamples - 1)
-    };
+    let idx = |p: f64| -> usize { ((p * resamples as f64).floor() as usize).min(resamples - 1) };
     Ok(BootstrapCi {
         estimate,
         lo: stats[idx(alpha)],
@@ -148,9 +146,7 @@ where
     }
     stats.sort_by(|x, y| x.total_cmp(y));
     let alpha = (1.0 - confidence) / 2.0;
-    let idx = |p: f64| -> usize {
-        ((p * resamples as f64).floor() as usize).min(resamples - 1)
-    };
+    let idx = |p: f64| -> usize { ((p * resamples as f64).floor() as usize).min(resamples - 1) };
     Ok(BootstrapCi {
         estimate,
         lo: stats[idx(alpha)],
@@ -219,8 +215,8 @@ mod tests {
         let a: Vec<f64> = (1..=100).map(f64::from).collect();
         let b: Vec<f64> = a.iter().map(|x| 2.0 * x).collect();
         let mut rng = StdRng::seed_from_u64(6);
-        let ci = bootstrap_ci_paired(&a, &b, |x, y| mean(x) / mean(y), 1_000, 0.95, &mut rng)
-            .unwrap();
+        let ci =
+            bootstrap_ci_paired(&a, &b, |x, y| mean(x) / mean(y), 1_000, 0.95, &mut rng).unwrap();
         assert!((ci.estimate - 0.5).abs() < 1e-12);
         assert!((ci.lo - 0.5).abs() < 1e-12);
         assert!((ci.hi - 0.5).abs() < 1e-12);
@@ -235,14 +231,15 @@ mod tests {
         for seed in 0..60u64 {
             let mut rng = StdRng::seed_from_u64(1000 + seed);
             // Sample of 80 exponential-ish values with true mean 1.0.
-            let sample: Vec<f64> = (0..80)
-                .map(|_| -(1.0 - rng.gen::<f64>()).ln())
-                .collect();
+            let sample: Vec<f64> = (0..80).map(|_| -(1.0 - rng.gen::<f64>()).ln()).collect();
             let ci = bootstrap_ci(&sample, mean, 800, 0.95, &mut rng).unwrap();
             if ci.lo <= 1.0 && 1.0 <= ci.hi {
                 covered += 1;
             }
         }
-        assert!(covered >= 50, "only {covered}/60 intervals covered the mean");
+        assert!(
+            covered >= 50,
+            "only {covered}/60 intervals covered the mean"
+        );
     }
 }

@@ -45,8 +45,7 @@ impl Moments {
         let delta_n2 = delta_n * delta_n;
         let term1 = delta * delta_n * n1;
         self.mean += delta_n;
-        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0)
-            + 6.0 * delta_n2 * self.m2
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
             - 4.0 * delta_n * self.m3;
         self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
         self.m2 += term1;
@@ -390,13 +389,9 @@ mod tests {
         let all: Moments = a_data.into_iter().chain(b_data).collect();
         assert_eq!(a.count(), all.count());
         assert!((a.mean().unwrap() - all.mean().unwrap()).abs() < 1e-12);
-        assert!(
-            (a.sample_variance().unwrap() - all.sample_variance().unwrap()).abs() < 1e-12
-        );
+        assert!((a.sample_variance().unwrap() - all.sample_variance().unwrap()).abs() < 1e-12);
         assert!((a.skewness().unwrap() - all.skewness().unwrap()).abs() < 1e-10);
-        assert!(
-            (a.excess_kurtosis().unwrap() - all.excess_kurtosis().unwrap()).abs() < 1e-10
-        );
+        assert!((a.excess_kurtosis().unwrap() - all.excess_kurtosis().unwrap()).abs() < 1e-10);
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl fmt::Display for NumericsError {
             NumericsError::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} failed to converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} failed to converge after {iterations} iterations"
+            ),
             NumericsError::NoBracket { lo, hi } => {
                 write!(f, "interval [{lo}, {hi}] does not bracket a root")
             }
@@ -84,10 +87,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            NumericsError::EmptyData("x"),
-            NumericsError::EmptyData("x")
-        );
+        assert_eq!(NumericsError::EmptyData("x"), NumericsError::EmptyData("x"));
         assert_ne!(
             NumericsError::NoBracket { lo: 0.0, hi: 1.0 },
             NumericsError::NoBracket { lo: 0.0, hi: 2.0 }

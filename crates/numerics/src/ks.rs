@@ -143,16 +143,11 @@ pub fn chi_squared_gof(
             Err(i) => {
                 let before = i.checked_sub(1);
                 let candidates = [before, (i < values.len()).then_some(i)];
-                let best = candidates
+                candidates
                     .into_iter()
                     .flatten()
-                    .min_by(|&a, &b| {
-                        (values[a] - x).abs().total_cmp(&(values[b] - x).abs())
-                    })
-                    .ok_or_else(|| {
-                        crate::error::domain("reference distribution has no atoms")
-                    })?;
-                best
+                    .min_by(|&a, &b| (values[a] - x).abs().total_cmp(&(values[b] - x).abs()))
+                    .ok_or_else(|| crate::error::domain("reference distribution has no atoms"))?
             }
         };
         if (values[idx] - x).abs() > tol {
@@ -189,10 +184,7 @@ pub fn chi_squared_gof(
             "fewer than two cells with adequate expected count",
         ));
     }
-    let statistic: f64 = pooled
-        .iter()
-        .map(|&(o, e)| (o - e) * (o - e) / e)
-        .sum();
+    let statistic: f64 = pooled.iter().map(|&(o, e)| (o - e) * (o - e) / e).sum();
     let dof = pooled.len() - 1;
     let p_value = gamma_q(dof as f64 / 2.0, statistic / 2.0)?;
     Ok(ChiSquaredTest {
@@ -319,7 +311,7 @@ mod tests {
         let d = WeightedBernoulliSum::enumerate(&[(0.5, 1.0)]).unwrap();
         assert!(chi_squared_gof(&[], &d).is_err());
         assert!(chi_squared_gof(&[0.5], &d).is_err()); // matches no atom
-        // Too small a sample to form two cells of expected >= 5.
+                                                       // Too small a sample to form two cells of expected >= 5.
         let tiny = chi_squared_gof(&[0.0, 1.0], &d);
         assert!(tiny.is_err());
     }

@@ -51,7 +51,10 @@ impl Normal {
 
     /// The standard normal distribution (`µ = 0`, `σ = 1`).
     pub fn standard() -> Self {
-        Normal { mu: 0.0, sigma: 1.0 }
+        Normal {
+            mu: 0.0,
+            sigma: 1.0,
+        }
     }
 
     /// Mean of the distribution.

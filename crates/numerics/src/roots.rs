@@ -355,7 +355,14 @@ mod tests {
 
     #[test]
     fn brent_handles_flat_regions() {
-        let root = brent(|x| if x < 1.0 { -1.0 } else { x - 1.0 }, 0.0, 3.0, 1e-12, 200).unwrap();
+        let root = brent(
+            |x| if x < 1.0 { -1.0 } else { x - 1.0 },
+            0.0,
+            3.0,
+            1e-12,
+            200,
+        )
+        .unwrap();
         assert!((root - 1.0).abs() < 1e-9);
     }
 
@@ -390,9 +397,7 @@ mod tests {
         // R(p1) = (0.75 p1^2 + 0.25) / (0.5 p1 + 0.5); analytic argmin
         // p1z = p2 (sqrt(2(1+p2)) - (1+p2)) / (1 - p2^2) ≈ 0.154700538.
         let p2: f64 = 0.5;
-        let ratio = |p1: f64| {
-            (p1 * p1 + p2 * p2 - p1 * p1 * p2 * p2) / (p1 + p2 - p1 * p2)
-        };
+        let ratio = |p1: f64| (p1 * p1 + p2 * p2 - p1 * p1 * p2 * p2) / (p1 + p2 - p1 * p2);
         let (x, _) = golden_min(ratio, 1e-6, 1.0, 1e-12, 300).unwrap();
         let want = p2 * ((2.0 * (1.0 + p2)).sqrt() - (1.0 + p2)) / (1.0 - p2 * p2);
         assert!((x - want).abs() < 1e-7, "got {x}, want {want}");

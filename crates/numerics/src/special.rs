@@ -270,7 +270,9 @@ pub fn ln_gamma(x: f64) -> Result<f64, NumericsError> {
 /// ```
 pub fn ln_binomial(n: u64, k: u64) -> Result<f64, NumericsError> {
     if k > n {
-        return Err(domain(format!("ln_binomial requires k <= n, got k={k}, n={n}")));
+        return Err(domain(format!(
+            "ln_binomial requires k <= n, got k={k}, n={n}"
+        )));
     }
     Ok(ln_gamma(n as f64 + 1.0)? - ln_gamma(k as f64 + 1.0)? - ln_gamma((n - k) as f64 + 1.0)?)
 }
@@ -401,7 +403,9 @@ fn gamma_q_cf(a: f64, x: f64) -> Result<f64, NumericsError> {
 /// ```
 pub fn beta_inc(a: f64, b: f64, x: f64) -> Result<f64, NumericsError> {
     if a <= 0.0 || b <= 0.0 || !a.is_finite() || !b.is_finite() {
-        return Err(domain(format!("beta_inc requires a, b > 0, got a={a}, b={b}")));
+        return Err(domain(format!(
+            "beta_inc requires a, b > 0, got a={a}, b={b}"
+        )));
     }
     if !(0.0..=1.0).contains(&x) {
         return Err(domain(format!("beta_inc requires x in [0, 1], got {x}")));
@@ -412,8 +416,7 @@ pub fn beta_inc(a: f64, b: f64, x: f64) -> Result<f64, NumericsError> {
     if x == 1.0 {
         return Ok(1.0);
     }
-    let ln_front =
-        ln_gamma(a + b)? - ln_gamma(a)? - ln_gamma(b)? + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b)? - ln_gamma(a)? - ln_gamma(b)? + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         Ok(front * beta_cf(a, b, x)? / a)

@@ -89,7 +89,10 @@ impl WeightedBernoulliSum {
             )));
         }
         // Iteratively convolve: list of atoms doubles per term, then merge.
-        let mut atoms = vec![Atom { value: 0.0, mass: 1.0 }];
+        let mut atoms = vec![Atom {
+            value: 0.0,
+            mass: 1.0,
+        }];
         for &(p, q) in terms {
             let mut next = Vec::with_capacity(atoms.len() * 2);
             for a in &atoms {
@@ -134,7 +137,10 @@ impl WeightedBernoulliSum {
         let total: f64 = terms.iter().map(|&(_, q)| q).sum();
         if total == 0.0 {
             return Ok(WeightedBernoulliSum {
-                atoms: vec![Atom { value: 0.0, mass: 1.0 }],
+                atoms: vec![Atom {
+                    value: 0.0,
+                    mass: 1.0,
+                }],
                 method: Method::Lattice { cells },
                 n: terms.len(),
                 grid_step: 0.0,

@@ -50,13 +50,18 @@ impl Adjudicator {
     /// An empty slice yields `false` (no channel, no trip); constructed
     /// systems never pass one.
     pub fn decide(&self, trips: &[bool]) -> bool {
+        let yes = trips.iter().filter(|&&t| t).count();
+        self.decide_counts(yes, trips.len())
+    }
+
+    /// Combines a tally of tripping channels into the system decision —
+    /// the counting form of [`Self::decide`] used by the table-driven
+    /// hot paths (no slice needed).
+    pub fn decide_counts(&self, trips: usize, channels: usize) -> bool {
         match self {
-            Adjudicator::OneOutOfN => trips.iter().any(|&t| t),
-            Adjudicator::AllOutOfN => !trips.is_empty() && trips.iter().all(|&t| t),
-            Adjudicator::Majority => {
-                let yes = trips.iter().filter(|&&t| t).count();
-                yes * 2 > trips.len()
-            }
+            Adjudicator::OneOutOfN => trips >= 1,
+            Adjudicator::AllOutOfN => channels > 0 && trips == channels,
+            Adjudicator::Majority => trips * 2 > channels,
         }
     }
 }

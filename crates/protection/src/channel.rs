@@ -34,11 +34,7 @@ impl Channel {
     /// Creates a functionally diverse channel: its software receives the
     /// plant state through `view` (different sensed variables,
     /// calibration, or instrumentation resolution).
-    pub fn with_view(
-        name: impl Into<String>,
-        version: ProgramVersion,
-        view: SensorView,
-    ) -> Self {
+    pub fn with_view(name: impl Into<String>, version: ProgramVersion, view: SensorView) -> Self {
         Channel {
             name: name.into(),
             version,
@@ -77,7 +73,11 @@ impl Channel {
 
 impl fmt::Display for Channel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Channel({}, {}, view={})", self.name, self.version, self.view)
+        write!(
+            f,
+            "Channel({}, {}, view={})",
+            self.name, self.version, self.view
+        )
     }
 }
 
@@ -132,11 +132,8 @@ mod tests {
         let space = GridSpace2D::new(10, 10).unwrap();
         let m = FaultRegionMap::new(space, vec![Region::rect(0, 0, 2, 0)]).unwrap();
         let direct = Channel::new("A", ProgramVersion::new(vec![true]));
-        let swapped = Channel::with_view(
-            "B",
-            ProgramVersion::new(vec![true]),
-            SensorView::SwapAxes,
-        );
+        let swapped =
+            Channel::with_view("B", ProgramVersion::new(vec![true]), SensorView::SwapAxes);
         // (2, 0) lies in the region: direct fails, swapped sees (0, 2)
         // which is outside, so it trips.
         assert!(!direct.trips_on(&m, Demand::new(2, 0)).unwrap());

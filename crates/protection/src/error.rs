@@ -17,6 +17,16 @@ pub enum ProtectionError {
     },
     /// A configuration value was invalid.
     InvalidConfig(String),
+    /// `run_until_demands` hit its step cap before observing the
+    /// configured number of demands.
+    DemandShortfall {
+        /// Demands observed before the cap.
+        observed: u64,
+        /// Demands the caller asked for.
+        target: u64,
+        /// The configured step cap that was exhausted.
+        max_steps: u64,
+    },
     /// A propagated demand-space error.
     Demand(divrel_demand::DemandError),
 }
@@ -29,6 +39,15 @@ impl fmt::Display for ProtectionError {
                 write!(f, "adjudicator needs {need} channels, got {got}")
             }
             ProtectionError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ProtectionError::DemandShortfall {
+                observed,
+                target,
+                max_steps,
+            } => write!(
+                f,
+                "demand target not reached: only {observed} of {target} demands \
+                 after the configured cap of {max_steps} steps"
+            ),
             ProtectionError::Demand(e) => write!(f, "demand-space error: {e}"),
         }
     }
@@ -57,9 +76,12 @@ mod tests {
     fn display_and_source() {
         use std::error::Error;
         assert!(ProtectionError::NoChannels.to_string().contains("channel"));
-        assert!(ProtectionError::BadChannelCount { got: 2, need: "an odd number of" }
-            .to_string()
-            .contains("odd"));
+        assert!(ProtectionError::BadChannelCount {
+            got: 2,
+            need: "an odd number of"
+        }
+        .to_string()
+        .contains("odd"));
         assert!(ProtectionError::InvalidConfig("rate".into())
             .to_string()
             .contains("rate"));

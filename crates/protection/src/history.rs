@@ -34,6 +34,33 @@ impl OperationLog {
         self.steps += 1;
     }
 
+    /// Records `n` quiet steps at once (the analytic demand-gap skip).
+    pub fn record_quiet_n(&mut self, n: u64) {
+        self.steps += n;
+    }
+
+    /// Records a demand from the bitmask form of the system response:
+    /// bit `ch` of `fail_mask` set means channel `ch` failed to trip.
+    /// Equivalent to [`Self::record_demand`] without the slice.
+    pub fn record_demand_bits(&mut self, tripped: bool, fail_mask: u64) {
+        self.steps += 1;
+        self.demands += 1;
+        let mut m = fail_mask;
+        while m != 0 {
+            let ch = m.trailing_zeros() as usize;
+            if let Some(c) = self.channel_failures.get_mut(ch) {
+                *c += 1;
+            }
+            m &= m - 1;
+        }
+        if tripped {
+            self.failure_free_streak += 1;
+        } else {
+            self.system_failures += 1;
+            self.failure_free_streak = 0;
+        }
+    }
+
     /// Records a demand with the system decision and per-channel trips.
     pub fn record_demand(&mut self, tripped: bool, channel_trips: &[bool]) {
         self.steps += 1;
@@ -113,7 +140,8 @@ impl OperationLog {
         self.demands += other.demands;
         self.system_failures += other.system_failures;
         if self.channel_failures.len() < other.channel_failures.len() {
-            self.channel_failures.resize(other.channel_failures.len(), 0);
+            self.channel_failures
+                .resize(other.channel_failures.len(), 0);
         }
         for (i, &c) in other.channel_failures.iter().enumerate() {
             self.channel_failures[i] += c;

@@ -145,6 +145,23 @@ impl Plant {
         }
     }
 
+    /// For memoryless (rate) plants: the demand probability per step
+    /// and the profile demands are drawn from. `None` for trajectory
+    /// plants, whose demand process has memory.
+    ///
+    /// The simulation driver uses this to skip quiet ticks analytically
+    /// (geometric demand-gap sampling) — valid precisely because the
+    /// rate plant's steps are i.i.d.
+    pub fn rate_parts(&self) -> Option<(&Profile, f64)> {
+        match &self.kind {
+            PlantKind::Rate {
+                profile,
+                demand_rate,
+            } => Some((profile, *demand_rate)),
+            PlantKind::Trajectory { .. } => None,
+        }
+    }
+
     /// A sensible initial state: the centre of the space.
     pub fn initial_state(&self) -> Demand {
         let s = self.space();

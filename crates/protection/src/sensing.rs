@@ -16,8 +16,7 @@ use std::fmt;
 
 /// How a channel's sensors transform the plant state into the channel's
 /// own demand coordinates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SensorView {
     /// The channel sees the plant state as-is (the paper's worst case).
     #[default]
@@ -109,10 +108,9 @@ impl SensorView {
                 clamp(plant_state.var2 as i64, space.nx()),
                 clamp(plant_state.var1 as i64, space.ny()),
             ),
-            SensorView::Coarsen { fx, fy } => Demand::new(
-                (plant_state.var1 / fx) * fx,
-                (plant_state.var2 / fy) * fy,
-            ),
+            SensorView::Coarsen { fx, fy } => {
+                Demand::new((plant_state.var1 / fx) * fx, (plant_state.var2 / fy) * fy)
+            }
             SensorView::Offset { dx, dy } => Demand::new(
                 clamp(plant_state.var1 as i64 + dx as i64, space.nx()),
                 clamp(plant_state.var2 as i64 + dy as i64, space.ny()),
@@ -124,7 +122,6 @@ impl SensorView {
         }
     }
 }
-
 
 impl fmt::Display for SensorView {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -168,7 +165,9 @@ mod tests {
         assert_eq!(v.apply(Demand::new(5, 5), &space()), Demand::new(4, 4));
         assert_eq!(v.apply(Demand::new(3, 1), &space()), Demand::new(0, 0));
         assert!(v.validate(&space()).is_ok());
-        assert!(SensorView::Coarsen { fx: 0, fy: 1 }.validate(&space()).is_err());
+        assert!(SensorView::Coarsen { fx: 0, fy: 1 }
+            .validate(&space())
+            .is_err());
     }
 
     #[test]
@@ -189,7 +188,10 @@ mod tests {
             SensorView::SwapAxes,
             SensorView::Coarsen { fx: 3, fy: 7 },
             SensorView::Offset { dx: -4, dy: 9 },
-            SensorView::Stuck { at_var1: 9, at_var2: 0 },
+            SensorView::Stuck {
+                at_var1: 9,
+                at_var2: 0,
+            },
         ] {
             for d in s.demands() {
                 assert!(s.contains(view.apply(d, &s)), "{view} left the space");
@@ -199,24 +201,37 @@ mod tests {
 
     #[test]
     fn stuck_sensor_ignores_the_plant() {
-        let v = SensorView::Stuck { at_var1: 4, at_var2: 6 };
+        let v = SensorView::Stuck {
+            at_var1: 4,
+            at_var2: 6,
+        };
         for d in [Demand::new(0, 0), Demand::new(9, 9), Demand::new(4, 6)] {
             assert_eq!(v.apply(d, &space()), Demand::new(4, 6));
         }
         assert!(v.validate(&space()).is_ok());
-        assert!(SensorView::Stuck { at_var1: 10, at_var2: 0 }
-            .validate(&space())
-            .is_err());
-        assert!(SensorView::Stuck { at_var1: 0, at_var2: 3 }
-            .to_string()
-            .contains("stuck(0, 3)"));
+        assert!(SensorView::Stuck {
+            at_var1: 10,
+            at_var2: 0
+        }
+        .validate(&space())
+        .is_err());
+        assert!(SensorView::Stuck {
+            at_var1: 0,
+            at_var2: 3
+        }
+        .to_string()
+        .contains("stuck(0, 3)"));
     }
 
     #[test]
     fn display_names() {
         assert_eq!(SensorView::Identity.to_string(), "identity");
         assert_eq!(SensorView::SwapAxes.to_string(), "swap-axes");
-        assert!(SensorView::Coarsen { fx: 2, fy: 2 }.to_string().contains("2×2"));
-        assert!(SensorView::Offset { dx: 1, dy: -1 }.to_string().contains("1, -1"));
+        assert!(SensorView::Coarsen { fx: 2, fy: 2 }
+            .to_string()
+            .contains("2×2"));
+        assert!(SensorView::Offset { dx: 1, dy: -1 }
+            .to_string()
+            .contains("1, -1"));
     }
 }

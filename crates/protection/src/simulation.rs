@@ -5,21 +5,53 @@
 //! records. This is the operational-testing path used by experiment F1 to
 //! compare observed PFDs against the model's analytic predictions, and by
 //! the Bayesian layer to generate the evidence it updates on.
+//!
+//! For **memoryless** (rate) plants the driver skips quiet ticks
+//! analytically: the gap until the next demand is geometric with the
+//! plant's demand rate, so it is sampled in one draw and the whole run
+//! collapses to ~one iteration per *demand* instead of one per tick (a
+//! 400 000-step run at rate `r` does ~`400 000 · r` iterations). Each
+//! demand is then answered from the system's precomputed trip tables
+//! via [`ProtectionSystem::respond_bits`], allocation-free. Trajectory
+//! plants have state, so they keep the exact tick-by-tick loop
+//! ([`run_stepwise`], also kept public as the reference path for
+//! before/after benchmarks).
 
 use crate::error::ProtectionError;
 use crate::history::OperationLog;
 use crate::plant::{Plant, PlantEvent};
 use crate::system::ProtectionSystem;
+use divrel_demand::profile::Profile;
 use rand::Rng;
 
 /// Runs the plant/system loop for `steps` ticks, returning the operation
-/// log.
+/// log. Memoryless plants take the geometric demand-gap fast path;
+/// trajectory plants run tick by tick.
 ///
 /// # Errors
 ///
 /// Propagates [`ProtectionSystem::respond`] errors (impossible for a
 /// validated system).
 pub fn run<R: Rng + ?Sized>(
+    plant: &Plant,
+    system: &ProtectionSystem,
+    steps: u64,
+    rng: &mut R,
+) -> Result<OperationLog, ProtectionError> {
+    match plant.rate_parts() {
+        Some((profile, rate)) => run_rate_gaps(profile, rate, system, steps, rng),
+        None => run_stepwise(plant, system, steps, rng),
+    }
+}
+
+/// The reference tick-by-tick loop (every plant step draws the RNG).
+/// [`run`] uses it for trajectory plants; benchmarks use it as the
+/// "before" of the demand-gap fast path.
+///
+/// # Errors
+///
+/// Propagates [`ProtectionSystem::respond`] errors.
+pub fn run_stepwise<R: Rng + ?Sized>(
     plant: &Plant,
     system: &ProtectionSystem,
     steps: u64,
@@ -33,21 +65,73 @@ pub fn run<R: Rng + ?Sized>(
         match event {
             PlantEvent::Quiet => log.record_quiet(),
             PlantEvent::Demand(d) => {
-                let resp = system.respond(d)?;
-                log.record_demand(resp.tripped, &resp.channel_trips);
+                let (tripped, fail_mask) = system.respond_bits(d)?;
+                log.record_demand_bits(tripped, fail_mask);
             }
         }
     }
     Ok(log)
 }
 
+/// Quiet-gap sampler: number of quiet steps before the next demand of a
+/// memoryless plant with per-step demand probability `rate`
+/// (geometric, `P(gap = k) = (1 − r)^k · r`).
+fn geometric_gap<R: Rng + ?Sized>(inv_log_survive: f64, remaining: u64, rng: &mut R) -> u64 {
+    if inv_log_survive == 0.0 {
+        return 0; // rate = 1: every step is a demand
+    }
+    let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+    let gap = u.ln() * inv_log_survive; // >= 0
+    if gap >= remaining as f64 {
+        remaining
+    } else {
+        gap as u64
+    }
+}
+
+/// `1 / ln(1 − rate)` precomputed once per run (0 encodes `rate = 1`).
+fn inv_log_survive(rate: f64) -> f64 {
+    if rate >= 1.0 {
+        0.0
+    } else {
+        (1.0 - rate).ln().recip()
+    }
+}
+
+fn run_rate_gaps<R: Rng + ?Sized>(
+    profile: &Profile,
+    rate: f64,
+    system: &ProtectionSystem,
+    steps: u64,
+    rng: &mut R,
+) -> Result<OperationLog, ProtectionError> {
+    let mut log = OperationLog::new(system.channels().len());
+    let ils = inv_log_survive(rate);
+    let mut remaining = steps;
+    while remaining > 0 {
+        let gap = geometric_gap(ils, remaining, rng);
+        if gap >= remaining {
+            log.record_quiet_n(remaining);
+            break;
+        }
+        log.record_quiet_n(gap);
+        remaining -= gap + 1;
+        let d = profile.sample(rng);
+        let (tripped, fail_mask) = system.respond_bits(d)?;
+        log.record_demand_bits(tripped, fail_mask);
+    }
+    Ok(log)
+}
+
 /// Runs until `demands` demands have been observed (with a step safety
-/// cap), for experiments that need a fixed evidence size.
+/// cap), for experiments that need a fixed evidence size. Memoryless
+/// plants take the demand-gap fast path.
 ///
 /// # Errors
 ///
-/// [`ProtectionError::InvalidConfig`] if the cap is hit before enough
-/// demands occurred; propagated response errors otherwise.
+/// [`ProtectionError::DemandShortfall`] — carrying the observed count,
+/// the configured target and the exhausted step cap — if the cap is hit
+/// before enough demands occurred; propagated response errors otherwise.
 pub fn run_until_demands<R: Rng + ?Sized>(
     plant: &Plant,
     system: &ProtectionSystem,
@@ -55,16 +139,37 @@ pub fn run_until_demands<R: Rng + ?Sized>(
     max_steps: u64,
     rng: &mut R,
 ) -> Result<OperationLog, ProtectionError> {
+    if let Some((profile, rate)) = plant.rate_parts() {
+        let mut log = OperationLog::new(system.channels().len());
+        let ils = inv_log_survive(rate);
+        let mut steps_left = max_steps;
+        while log.demands() < demands {
+            let gap = geometric_gap(ils, steps_left, rng);
+            if gap >= steps_left {
+                return Err(ProtectionError::DemandShortfall {
+                    observed: log.demands(),
+                    target: demands,
+                    max_steps,
+                });
+            }
+            log.record_quiet_n(gap);
+            steps_left -= gap + 1;
+            let d = profile.sample(rng);
+            let (tripped, fail_mask) = system.respond_bits(d)?;
+            log.record_demand_bits(tripped, fail_mask);
+        }
+        return Ok(log);
+    }
     let mut log = OperationLog::new(system.channels().len());
     let mut state = plant.initial_state();
     let mut steps = 0u64;
     while log.demands() < demands {
         if steps >= max_steps {
-            return Err(ProtectionError::InvalidConfig(format!(
-                "only {} of {} demands after {max_steps} steps",
-                log.demands(),
-                demands
-            )));
+            return Err(ProtectionError::DemandShortfall {
+                observed: log.demands(),
+                target: demands,
+                max_steps,
+            });
         }
         let (next, event) = plant.step(state, rng);
         state = next;
@@ -72,8 +177,8 @@ pub fn run_until_demands<R: Rng + ?Sized>(
         match event {
             PlantEvent::Quiet => log.record_quiet(),
             PlantEvent::Demand(d) => {
-                let resp = system.respond(d)?;
-                log.record_demand(resp.tripped, &resp.channel_trips);
+                let (tripped, fail_mask) = system.respond_bits(d)?;
+                log.record_demand_bits(tripped, fail_mask);
             }
         }
     }
@@ -155,6 +260,81 @@ mod tests {
     }
 
     #[test]
+    fn cap_hit_reports_target_context() {
+        // Regression: the error must name what was observed, what was
+        // configured, and the exhausted cap — for both plant kinds.
+        let (plant, system, _) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let err = run_until_demands(&plant, &system, 500, 10, &mut rng).unwrap_err();
+        match err {
+            ProtectionError::DemandShortfall {
+                observed,
+                target,
+                max_steps,
+            } => {
+                assert!(observed < 500);
+                assert_eq!(target, 500);
+                assert_eq!(max_steps, 10);
+            }
+            other => panic!("expected DemandShortfall, got {other:?}"),
+        }
+        assert!(err.to_string().contains("of 500 demands"));
+        assert!(err.to_string().contains("10 steps"));
+
+        // Trajectory plant (stepwise path): same typed error.
+        let space = GridSpace2D::new(30, 30).unwrap();
+        let map = FaultRegionMap::new(space, vec![Region::rect(0, 0, 2, 2)]).unwrap();
+        let sys = ProtectionSystem::new(
+            vec![
+                Channel::new("A", ProgramVersion::new(vec![true])),
+                Channel::new("B", ProgramVersion::new(vec![false])),
+            ],
+            Adjudicator::OneOutOfN,
+            map,
+        )
+        .unwrap();
+        let plant = Plant::trajectory(space, Region::rect(0, 0, 2, 2), 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let err = run_until_demands(&plant, &sys, 10_000, 5, &mut rng).unwrap_err();
+        assert!(matches!(
+            err,
+            ProtectionError::DemandShortfall {
+                target: 10_000,
+                max_steps: 5,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn gap_sampler_matches_stepwise_statistics() {
+        // The demand-gap fast path and the tick-by-tick reference are
+        // the same stochastic process: compare demand counts and PFD
+        // estimates over a long run.
+        let (plant, system, _) = setup();
+        let steps = 200_000u64;
+        let mut rng = StdRng::seed_from_u64(11);
+        let fast = run(&plant, &system, steps, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let slow = run_stepwise(&plant, &system, steps, &mut rng).unwrap();
+        assert_eq!(fast.steps(), steps);
+        assert_eq!(slow.steps(), steps);
+        // Demand rate 0.3: std dev of count ≈ sqrt(0.3·0.7·200k) ≈ 205.
+        let expect = 0.3 * steps as f64;
+        assert!((fast.demands() as f64 - expect).abs() < 6.0 * 205.0);
+        assert!((slow.demands() as f64 - expect).abs() < 6.0 * 205.0);
+        // Both PFD estimates near the true 0.01.
+        assert!((fast.pfd_estimate().unwrap() - 0.01).abs() < 0.003);
+        assert!((slow.pfd_estimate().unwrap() - 0.01).abs() < 0.003);
+        // Channel failure estimates agree too.
+        for ch in 0..2 {
+            let a = fast.channel_pfd_estimate(ch).unwrap();
+            let b = slow.channel_pfd_estimate(ch).unwrap();
+            assert!((a - b).abs() < 0.01, "channel {ch}: {a} vs {b}");
+        }
+    }
+
+    #[test]
     fn stuck_sensor_failure_injection() {
         // 1oo2 where channel B carries a fault and channel A's sensor is
         // stuck INSIDE A's failure region: A fails every demand
@@ -172,7 +352,10 @@ mod tests {
                 Channel::with_view(
                     "A",
                     ProgramVersion::new(vec![true, false]),
-                    crate::sensing::SensorView::Stuck { at_var1: 1, at_var2: 1 },
+                    crate::sensing::SensorView::Stuck {
+                        at_var1: 1,
+                        at_var2: 1,
+                    },
                 ),
                 Channel::new("B", ProgramVersion::new(vec![false, true])),
             ],

@@ -3,6 +3,7 @@
 use crate::adjudicator::Adjudicator;
 use crate::channel::Channel;
 use crate::error::ProtectionError;
+use divrel_demand::fault_set::{words_for, WORD_BITS};
 use divrel_demand::mapping::FaultRegionMap;
 use divrel_demand::profile::Profile;
 use divrel_demand::space::Demand;
@@ -19,15 +20,36 @@ pub struct SystemResponse {
 
 /// A plant protection system (Fig 1): `k` channels whose trip outputs are
 /// combined by an adjudicator.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// At construction the system precomputes one **trip table** per
+/// channel: a bit per demand-space cell saying whether that channel
+/// fails there (its sensor view applied, its version AND-ed against the
+/// map's per-cell failure mask). [`Self::respond`] is then `O(channels)`
+/// table lookups per demand, with no per-fault geometry tests.
+#[derive(Debug, Clone)]
 pub struct ProtectionSystem {
     channels: Vec<Channel>,
     adjudicator: Adjudicator,
     map: FaultRegionMap,
+    /// Per-channel failure bitmaps over demand cells, flattened
+    /// channel-major: channel `ch` owns words
+    /// `[ch * words_per_table .. (ch + 1) * words_per_table]`.
+    fail_tables: Vec<u64>,
+    words_per_table: usize,
+}
+
+/// Equality is defined by the configuration (channels, adjudicator,
+/// map); the trip tables are derived data.
+impl PartialEq for ProtectionSystem {
+    fn eq(&self, other: &Self) -> bool {
+        self.channels == other.channels
+            && self.adjudicator == other.adjudicator
+            && self.map == other.map
+    }
 }
 
 impl ProtectionSystem {
-    /// Assembles a system.
+    /// Assembles a system and precomputes the per-channel trip tables.
     ///
     /// # Errors
     ///
@@ -40,24 +62,57 @@ impl ProtectionSystem {
         map: FaultRegionMap,
     ) -> Result<Self, ProtectionError> {
         adjudicator.validate(channels.len())?;
+        // The trip-table fast path packs per-channel failure flags into a
+        // single u64 mask (`respond_bits`); beyond 64 channels the shift
+        // would wrap and silently misattribute failures.
+        if channels.len() > WORD_BITS {
+            return Err(ProtectionError::BadChannelCount {
+                got: channels.len(),
+                need: "<= 64",
+            });
+        }
         for c in &channels {
             c.view().validate(map.space())?;
-            if c.version().present().len() != map.len() {
+            if c.version().len() != map.len() {
                 return Err(ProtectionError::Demand(
                     divrel_demand::DemandError::Mismatch(format!(
                         "channel {} has {} fault flags, map has {} regions",
                         c.name(),
-                        c.version().present().len(),
+                        c.version().len(),
                         map.len()
                     )),
                 ));
+            }
+        }
+        let space = *map.space();
+        let cells = space.cell_count();
+        let words_per_table = words_for(cells);
+        let mut fail_tables = vec![0u64; channels.len() * words_per_table];
+        for (ch, c) in channels.iter().enumerate() {
+            let table = &mut fail_tables[ch * words_per_table..(ch + 1) * words_per_table];
+            for cell in 0..cells {
+                let plant_state = space.demand_at(cell).expect("cell index in range");
+                let seen = c.view().apply(plant_state, &space);
+                if map.set_fails_on(c.version().fault_set(), seen) {
+                    table[cell / WORD_BITS] |= 1u64 << (cell % WORD_BITS);
+                }
             }
         }
         Ok(ProtectionSystem {
             channels,
             adjudicator,
             map,
+            fail_tables,
+            words_per_table,
         })
+    }
+
+    /// Whether channel `ch` fails on demand-space cell `cell` (one trip
+    /// table bit).
+    #[inline]
+    pub fn channel_fails_cell(&self, ch: usize, cell: usize) -> bool {
+        let w = self.fail_tables[ch * self.words_per_table + cell / WORD_BITS];
+        w >> (cell % WORD_BITS) & 1 == 1
     }
 
     /// The channels.
@@ -83,14 +138,67 @@ impl ProtectionSystem {
     /// occur for a validated system).
     pub fn respond(&self, demand: Demand) -> Result<SystemResponse, ProtectionError> {
         let mut channel_trips = Vec::with_capacity(self.channels.len());
-        for c in &self.channels {
-            channel_trips.push(c.trips_on(&self.map, demand)?);
+        match self.map.space().index_of(demand) {
+            Ok(cell) => {
+                for ch in 0..self.channels.len() {
+                    channel_trips.push(!self.channel_fails_cell(ch, cell));
+                }
+            }
+            Err(_) => {
+                // Demands outside the space cannot be table-indexed;
+                // fall back to the geometric evaluation (sensor views
+                // may still clamp them into range).
+                for c in &self.channels {
+                    channel_trips.push(c.trips_on(&self.map, demand)?);
+                }
+            }
         }
         let tripped = self.adjudicator.decide(&channel_trips);
         Ok(SystemResponse {
             channel_trips,
             tripped,
         })
+    }
+
+    /// Allocation-free form of [`Self::respond`] for the simulation hot
+    /// loop: returns the adjudicated decision plus a bitmask of failed
+    /// channels (bit `ch` set = channel `ch` failed to trip).
+    ///
+    /// The 64-channel ceiling of the `u64` mask is enforced at
+    /// [`Self::new`], so every constructed system fits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel evaluation errors for demands outside the
+    /// space (cannot occur for demands produced by a plant over the
+    /// same space).
+    pub fn respond_bits(&self, demand: Demand) -> Result<(bool, u64), ProtectionError> {
+        debug_assert!(
+            self.channels.len() <= 64,
+            "respond_bits supports <= 64 channels"
+        );
+        let mut fail_mask = 0u64;
+        match self.map.space().index_of(demand) {
+            Ok(cell) => {
+                for ch in 0..self.channels.len() {
+                    if self.channel_fails_cell(ch, cell) {
+                        fail_mask |= 1u64 << ch;
+                    }
+                }
+            }
+            Err(_) => {
+                for (ch, c) in self.channels.iter().enumerate() {
+                    if !c.trips_on(&self.map, demand)? {
+                        fail_mask |= 1u64 << ch;
+                    }
+                }
+            }
+        }
+        let tripped = self.adjudicator.decide_counts(
+            self.channels.len() - fail_mask.count_ones() as usize,
+            self.channels.len(),
+        );
+        Ok((tripped, fail_mask))
     }
 
     /// The system's **true** PFD under `profile`: the profile mass of the
@@ -103,10 +211,23 @@ impl ProtectionSystem {
     ///
     /// Propagates [`Self::respond`].
     pub fn true_pfd(&self, profile: &Profile) -> Result<f64, ProtectionError> {
+        let n = self.channels.len();
+        let cells = self.map.space().cell_count();
+        let probs = profile.probs();
+        let same_space = profile.space() == self.map.space() && probs.len() == cells;
         let mut pfd = 0.0;
-        for d in self.map.space().demands() {
-            if !self.respond(d)?.tripped {
-                pfd += profile.prob(d);
+        #[allow(clippy::needless_range_loop)] // cell indexes tables and probs alike
+        for cell in 0..cells {
+            let trips = (0..n)
+                .filter(|&ch| !self.channel_fails_cell(ch, cell))
+                .count();
+            if !self.adjudicator.decide_counts(trips, n) {
+                pfd += if same_space {
+                    probs[cell]
+                } else {
+                    let d = self.map.space().demand_at(cell).expect("cell in range");
+                    profile.prob(d)
+                };
             }
         }
         Ok(pfd)
@@ -166,6 +287,20 @@ mod tests {
             map()
         )
         .is_err());
+    }
+
+    #[test]
+    fn construction_rejects_more_than_64_channels() {
+        // The u64 fail mask of `respond_bits` cannot attribute failures
+        // past channel 63; such systems must be unconstructible.
+        let channels: Vec<Channel> = (0..65)
+            .map(|i| Channel::new(format!("C{i}"), ProgramVersion::fault_free(2)))
+            .collect();
+        let err = ProtectionSystem::new(channels, Adjudicator::OneOutOfN, map()).unwrap_err();
+        match err {
+            ProtectionError::BadChannelCount { got, .. } => assert_eq!(got, 65),
+            other => panic!("expected BadChannelCount, got {other:?}"),
+        }
     }
 
     #[test]
@@ -242,9 +377,8 @@ mod tests {
 
         /// Random region within a 12×12 space.
         fn arb_region() -> impl Strategy<Value = Region> {
-            (0u32..10, 0u32..10, 1u32..4, 1u32..4).prop_map(|(x, y, w, h)| {
-                Region::rect(x, y, (x + w).min(11), (y + h).min(11))
-            })
+            (0u32..10, 0u32..10, 1u32..4, 1u32..4)
+                .prop_map(|(x, y, w, h)| Region::rect(x, y, (x + w).min(11), (y + h).min(11)))
         }
 
         fn arb_versions() -> impl Strategy<Value = (Vec<bool>, Vec<bool>)> {

@@ -26,8 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let a = forced.process_a()?;
     let b = forced.process_b()?;
-    println!("single-version mean PFD: process A = {:.3e}, process B = {:.3e}",
-        a.mean_pfd_single(), b.mean_pfd_single());
+    println!(
+        "single-version mean PFD: process A = {:.3e}, process B = {:.3e}",
+        a.mean_pfd_single(),
+        b.mean_pfd_single()
+    );
 
     // The unforced alternative: both channels from the blended process.
     let blended = forced.averaged_process()?;
@@ -37,8 +40,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\n1-out-of-2 pair, mean PFD:");
-    println!("  unforced (blended × blended): {:.3e}", blended.mean_pfd_pair());
-    println!("  forced   (A × B):             {:.3e}", forced.mean_pfd_pair());
+    println!(
+        "  unforced (blended × blended): {:.3e}",
+        blended.mean_pfd_pair()
+    );
+    println!(
+        "  forced   (A × B):             {:.3e}",
+        forced.mean_pfd_pair()
+    );
     println!(
         "  forced advantage:             {:.1}×",
         blended.mean_pfd_pair() / forced.mean_pfd_pair()

@@ -26,8 +26,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for seed in [1u64, 2, 3] {
-        let result = KnightLevesonExperiment::new(model.clone()).seed(seed).run()?;
-        println!("replication {seed} — 27 versions, {} pairs:", result.pair_pfds.len());
+        let result = KnightLevesonExperiment::new(model.clone())
+            .seed(seed)
+            .run()?;
+        println!(
+            "replication {seed} — 27 versions, {} pairs:",
+            result.pair_pfds.len()
+        );
         println!(
             "  versions: mean PFD {:.3e}, σ {:.3e}",
             result.single_mean, result.single_std

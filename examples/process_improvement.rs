@@ -51,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in (0..=12).rev() {
         let p1 = 0.02 + (0.5 - 0.02) * i as f64 / 12.0;
         let r = two_fault_ratio(p1, p2)?;
-        let marker = if (p1 - p1z).abs() < 0.02 { "  ← minimum" } else { "" };
+        let marker = if (p1 - p1z).abs() < 0.02 {
+            "  ← minimum"
+        } else {
+            ""
+        };
         println!("  {p1:5.3}  {r:.4}  {}{marker}", bar(r, 0.6));
     }
     println!(
@@ -62,10 +66,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- The same reversal on a realistic model -------------------------
     println!("The reversal on a 5-fault model (improving only the rarest fault):");
-    let base = FaultModel::from_params(
-        &[0.4, 0.3, 0.2, 0.1, 0.04],
-        &[0.01, 0.01, 0.01, 0.01, 0.01],
-    )?;
+    let base =
+        FaultModel::from_params(&[0.4, 0.3, 0.2, 0.1, 0.04], &[0.01, 0.01, 0.01, 0.01, 0.01])?;
     let grid: Vec<f64> = (1..=40).map(|i| i as f64 * 0.1 / 40.0).collect();
     let sweep = sweep_single_fault(&base, 4, &grid)?;
     if let Some((p_star, r_star)) = sweep.grid_minimum {

@@ -18,8 +18,7 @@ use divrel::demand::{
 };
 use divrel::devsim::{factory::VersionFactory, process::FaultIntroduction};
 use divrel::protection::{
-    adjudicator::Adjudicator, channel::Channel, plant::Plant, simulation,
-    system::ProtectionSystem,
+    adjudicator::Adjudicator, channel::Channel, plant::Plant, simulation, system::ProtectionSystem,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -31,10 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let map = FaultRegionMap::new(
         space,
         vec![
-            Region::rect(0, 0, 15, 7),       // q = 0.02
-            Region::rect(30, 10, 39, 17),    // q = 0.0125
-            Region::lattice(0, 40, 4, 0, 16), // dashed line, q = 0.0025
-            Region::rect(60, 60, 69, 69),    // q = 0.015625
+            Region::rect(0, 0, 15, 7),         // q = 0.02
+            Region::rect(30, 10, 39, 17),      // q = 0.0125
+            Region::lattice(0, 40, 4, 0, 16),  // dashed line, q = 0.0025
+            Region::rect(60, 60, 69, 69),      // q = 0.015625
             Region::lattice(20, 20, 3, 3, 10), // diagonal, q ≈ 0.0016
         ],
     )?;
@@ -45,8 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two separately developed channel versions (the paper's §2.2 dice).
     let mut rng = StdRng::seed_from_u64(42);
     let factory = VersionFactory::new(model.clone(), FaultIntroduction::Independent)?;
-    let a = ProgramVersion::new(factory.sample_version(&mut rng).present);
-    let b = ProgramVersion::new(factory.sample_version(&mut rng).present);
+    let a = ProgramVersion::from_fault_set(factory.sample_version(&mut rng).faults);
+    let b = ProgramVersion::from_fault_set(factory.sample_version(&mut rng).faults);
     println!("Channel A faults: {:?}", a.fault_indices());
     println!("Channel B faults: {:?}", b.fault_indices());
     println!("Common faults:    {:?}", a.common_faults(&b));

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  mean gain       = {:.1}×", pair.mean_gain()?);
 
     // --- §3.1: what an assessor can guarantee from p_max alone ---------
-    println!("\n§3.1 assessor-grade bounds (p_max = {:.2}):", model.p_max());
+    println!(
+        "\n§3.1 assessor-grade bounds (p_max = {:.2}):",
+        model.p_max()
+    );
     println!(
         "  lemma (4):  µ2 ≤ p_max·µ1 = {:.3e}   (actual µ2 = {:.3e})",
         model.mean_pair_upper_bound(),
@@ -47,8 +50,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- §4: the fault-free regime --------------------------------------
     println!("\n§4 fault-free probabilities:");
-    println!("  P(version has no fault)      = {:.4}", single.prob_fault_free());
-    println!("  P(pair has no common fault)  = {:.4}", pair.prob_fault_free());
+    println!(
+        "  P(version has no fault)      = {:.4}",
+        single.prob_fault_free()
+    );
+    println!(
+        "  P(pair has no common fault)  = {:.4}",
+        pair.prob_fault_free()
+    );
     println!(
         "  risk ratio P(N2>0)/P(N1>0)   = {:.4}  (eq 10; small = diversity wins)",
         pair.risk_ratio()?

@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         0.1,
         confidence,
     )?;
-    println!("§5.1 claim derivation at {:.0}% confidence:", confidence * 100.0);
+    println!(
+        "§5.1 claim derivation at {:.0}% confidence:",
+        confidence * 100.0
+    );
     println!(
         "  single version: PFD ≤ {:.4}   → {}",
         claim.single_bound,
@@ -52,9 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Model the process explicitly: many small faults consistent with the
     // moment evidence above.
     let model = FaultModel::uniform(100, 0.1, 1e-3)?;
-    println!(
-        "\nExplicit process model: n = 100 potential faults, p = 0.1, q = 1e-3"
-    );
+    println!("\nExplicit process model: n = 100 potential faults, p = 0.1, q = 1e-3");
     println!(
         "  (µ1 = {:.3}, σ1 = {:.4} — consistent with the claimed evidence)",
         model.mean_pfd_single(),

@@ -36,10 +36,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n1-out-of-2 predictions:");
     println!("  predictive mean PFD : {:.3e}", ensemble.mean_pfd(2));
-    println!("  predictive risk ratio (eq 10, correctly mixed): {:.4}", ensemble.risk_ratio()?);
+    println!(
+        "  predictive risk ratio (eq 10, correctly mixed): {:.4}",
+        ensemble.risk_ratio()?
+    );
     let naive: f64 = candidates
         .iter()
-        .map(|(w, m)| w * m.risk_ratio().expect("valid") / candidates.iter().map(|(w, _)| w).sum::<f64>())
+        .map(|(w, m)| {
+            w * m.risk_ratio().expect("valid") / candidates.iter().map(|(w, _)| w).sum::<f64>()
+        })
         .sum();
     println!("  (naively averaging members' ratios would give {naive:.4} — wrong)");
 
@@ -73,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let prior = PfdPrior::from_atoms(merged)?;
-    println!("\nMixture prior over the pair PFD: P(perfect) = {:.4}", prior.prob_perfect());
+    println!(
+        "\nMixture prior over the pair PFD: P(perfect) = {:.4}",
+        prior.prob_perfect()
+    );
     let stakes = DecisionStakes {
         cost_per_failure: 5e6,
         demands: 20_000,

@@ -105,8 +105,16 @@ fn cmd_assess(flags: &HashMap<String, String>) -> Result<(), String> {
     let claim = assess_pair(evidence, pmax, confidence).map_err(|e| e.to_string())?;
     let sil = |s: Option<Sil>| s.map(|s| s.to_string()).unwrap_or_else(|| "none".into());
     println!("confidence           : {:.1}%", confidence * 100.0);
-    println!("single-version bound : {:.6}  (SIL claim: {})", claim.single_bound, sil(claim.single_sil));
-    println!("1oo2 pair bound      : {:.6}  (SIL claim: {})", claim.pair_bound, sil(claim.pair_sil));
+    println!(
+        "single-version bound : {:.6}  (SIL claim: {})",
+        claim.single_bound,
+        sil(claim.single_sil)
+    );
+    println!(
+        "1oo2 pair bound      : {:.6}  (SIL claim: {})",
+        claim.pair_bound,
+        sil(claim.pair_sil)
+    );
     println!("improvement factor   : {:.2}x", claim.improvement_factor);
     Ok(())
 }
@@ -150,14 +158,21 @@ fn cmd_reversal(flags: &HashMap<String, String>) -> Result<(), String> {
     let p1z = two_fault_stationary_point(p2).map_err(|e| e.to_string())?;
     println!("other fault's probability p2  : {p2}");
     println!("stationary point p1z          : {p1z:.6}");
-    println!("ratio at the stationary point : {:.4}", two_fault_ratio(p1z, p2).map_err(|e| e.to_string())?);
-    println!("ratio if p1 -> 0              : {:.4}", two_fault_ratio(1e-12, p2).map_err(|e| e.to_string())?);
+    println!(
+        "ratio at the stationary point : {:.4}",
+        two_fault_ratio(p1z, p2).map_err(|e| e.to_string())?
+    );
+    println!(
+        "ratio if p1 -> 0              : {:.4}",
+        two_fault_ratio(1e-12, p2).map_err(|e| e.to_string())?
+    );
     println!("(improving fault 1 below p1z makes diversity relatively LESS");
     println!(" valuable, even though the system keeps getting safer — §4.2.1)");
     Ok(())
 }
 
 #[cfg(test)]
+#[allow(clippy::items_after_test_module)]
 mod tests {
     use super::*;
 
@@ -199,16 +214,36 @@ mod tests {
     fn commands_run_with_valid_flags() {
         assert!(cmd_beta(&flags(&["--pmax", "0.01"])).is_ok());
         assert!(cmd_assess(&flags(&[
-            "--pmax", "0.1", "--mu", "0.01", "--sigma", "0.001", "--confidence", "0.99"
+            "--pmax",
+            "0.1",
+            "--mu",
+            "0.01",
+            "--sigma",
+            "0.001",
+            "--confidence",
+            "0.99"
         ]))
         .is_ok());
         assert!(cmd_assess(&flags(&[
-            "--pmax", "0.1", "--bound", "0.011", "--confidence", "0.99"
+            "--pmax",
+            "0.1",
+            "--bound",
+            "0.011",
+            "--confidence",
+            "0.99"
         ]))
         .is_ok());
         assert!(cmd_reversal(&flags(&["--p2", "0.5"])).is_ok());
         assert!(cmd_plan(&flags(&[
-            "--n", "10", "--p", "0.1", "--q", "0.01", "--target", "0.01", "--confidence",
+            "--n",
+            "10",
+            "--p",
+            "0.1",
+            "--q",
+            "0.01",
+            "--target",
+            "0.01",
+            "--confidence",
             "0.99"
         ]))
         .is_ok());

@@ -10,8 +10,7 @@ use divrel::demand::{
 };
 use divrel::model::FaultModel;
 use divrel::protection::{
-    adjudicator::Adjudicator, channel::Channel, plant::Plant, simulation,
-    system::ProtectionSystem,
+    adjudicator::Adjudicator, channel::Channel, plant::Plant, simulation, system::ProtectionSystem,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -22,8 +21,7 @@ fn evidence_from_operation_feeds_the_posterior() {
     // failure-free demands which the Bayesian layer consumes.
     let space = GridSpace2D::new(30, 30).expect("valid space");
     let profile = Profile::uniform(&space);
-    let map =
-        FaultRegionMap::new(space, vec![Region::rect(0, 0, 5, 5)]).expect("valid regions");
+    let map = FaultRegionMap::new(space, vec![Region::rect(0, 0, 5, 5)]).expect("valid regions");
     let sys = ProtectionSystem::new(
         vec![
             Channel::new("A", ProgramVersion::new(vec![true])),

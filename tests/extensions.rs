@@ -53,15 +53,14 @@ fn testing_then_reversal_diagnosis() {
     // delivered mix: where is the stationary point of the surviving
     // small-region fault?
     let model = FaultModel::from_params(&[0.4, 0.4], &[0.01, 1e-5]).expect("valid");
-    let delivered = TestingCampaign::new(2_000).delivered_model(&model).expect("ok");
+    let delivered = TestingCampaign::new(2_000)
+        .delivered_model(&model)
+        .expect("ok");
     // The big-region fault is essentially gone.
     assert!(delivered.faults()[0].p() < 1e-8);
     // The survivor's stationary point: with its partner dead, there is no
     // interior reversal left — the sweep should report None.
-    assert_eq!(
-        stationary_point_for_fault(&delivered, 1).expect("ok"),
-        None
-    );
+    assert_eq!(stationary_point_for_fault(&delivered, 1).expect("ok"), None);
     // Whereas before testing both faults had interior stationary points.
     assert!(stationary_point_for_fault(&model, 0).expect("ok").is_some());
     assert!(stationary_point_for_fault(&model, 1).expect("ok").is_some());
@@ -76,12 +75,9 @@ fn implied_beta_respects_forced_diversity_advantage() {
     // The implied β of the unforced averaged process upper-bounds the
     // forced pair's µ-ratio: forced diversity means MORE diversity credit
     // than the β model grants the averaged process.
-    let forced = ForcedDiversityModel::from_params(
-        &[0.4, 0.3, 0.1],
-        &[0.1, 0.2, 0.4],
-        &[0.01, 0.01, 0.01],
-    )
-    .expect("valid");
+    let forced =
+        ForcedDiversityModel::from_params(&[0.4, 0.3, 0.1], &[0.1, 0.2, 0.4], &[0.01, 0.01, 0.01])
+            .expect("valid");
     let avg = forced.averaged_process().expect("ok");
     let beta_unforced = implied_beta(&avg).expect("ok");
     let beta_forced = forced.mean_pfd_pair() / avg.mean_pfd_single();
@@ -169,8 +165,7 @@ fn el_difficulty_explains_the_pair_gap_on_real_geometry() {
             let mut pfd = 0.0;
             for (i, cell) in map.space().demands().enumerate() {
                 let _ = i;
-                if va.fails_on(&map, cell).expect("ok") && vb.fails_on(&map, cell).expect("ok")
-                {
+                if va.fails_on(&map, cell).expect("ok") && vb.fails_on(&map, cell).expect("ok") {
                     pfd += profile.prob(cell);
                 }
             }

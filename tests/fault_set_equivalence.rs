@@ -1,0 +1,192 @@
+//! Bitset/bool equivalence suite: the word-packed `FaultSet` fast path
+//! must agree with the legacy boolean-vector semantics everywhere the
+//! two can be compared — exactly for set algebra and geometry, and
+//! stream-exactly for the compatible samplers.
+
+use divrel::demand::fault_set::FaultSet;
+use divrel::demand::mapping::FaultRegionMap;
+use divrel::demand::profile::Profile;
+use divrel::demand::region::Region;
+use divrel::demand::space::{Demand, GridSpace2D};
+use divrel::demand::version::ProgramVersion;
+use divrel::devsim::process::FaultIntroduction;
+use divrel::devsim::VersionFactory;
+use divrel::model::FaultModel;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SPACE: u32 = 24;
+
+/// A random region within the test space.
+fn arb_region() -> impl Strategy<Value = Region> {
+    (0u32..4, 0u32..18, 0u32..18, 1u32..6, 1u32..6).prop_map(|(kind, x, y, w, h)| match kind {
+        0 => Region::rect(x, y, (x + w).min(SPACE - 1), (y + h).min(SPACE - 1)),
+        1 => Region::points((0..w).map(|i| Demand::new((x + i * 3) % SPACE, y))),
+        2 => Region::lattice(x % 6, y % 6, w % 4 + 1, h % 3, 4),
+        _ => Region::union([
+            Region::rect(x, y, (x + w).min(SPACE - 1), (y + h).min(SPACE - 1)),
+            Region::points([Demand::new(y, x)]),
+        ]),
+    })
+}
+
+/// Legacy `fails_on`: one geometric membership test per present fault.
+fn legacy_fails_on(present: &[bool], regions: &[Region], d: Demand) -> bool {
+    present
+        .iter()
+        .zip(regions)
+        .any(|(&b, r)| b && r.contains(d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fails_on_matches_legacy_region_scan(
+        regions in proptest::collection::vec(arb_region(), 1..8),
+        bools in proptest::collection::vec(proptest::bool::ANY, 8),
+        dx in 0u32..SPACE, dy in 0u32..SPACE
+    ) {
+        let space = GridSpace2D::new(SPACE, SPACE).expect("valid");
+        let bools = bools[..regions.len()].to_vec();
+        let map = FaultRegionMap::new(space, regions.clone()).expect("valid");
+        let version = ProgramVersion::new(bools.clone());
+        let d = Demand::new(dx, dy);
+        prop_assert_eq!(
+            version.fails_on(&map, d).expect("lengths match"),
+            legacy_fails_on(&bools, &regions, d)
+        );
+    }
+
+    #[test]
+    fn true_pfd_matches_legacy_region_union(
+        regions in proptest::collection::vec(arb_region(), 1..8),
+        bools in proptest::collection::vec(proptest::bool::ANY, 8)
+    ) {
+        let space = GridSpace2D::new(SPACE, SPACE).expect("valid");
+        let bools = bools[..regions.len()].to_vec();
+        let map = FaultRegionMap::new(space, regions.clone()).expect("valid");
+        let profile = Profile::uniform(&space);
+        let version = ProgramVersion::new(bools.clone());
+        let fast = version.true_pfd(&map, &profile).expect("lengths match");
+        let parts: Vec<Region> = bools
+            .iter()
+            .zip(&regions)
+            .filter(|(&b, _)| b)
+            .map(|(_, r)| r.clone())
+            .collect();
+        let legacy = Region::union(parts).measure(&profile);
+        prop_assert!((fast - legacy).abs() < 1e-12, "fast {} vs legacy {}", fast, legacy);
+    }
+
+    #[test]
+    fn modelled_pfd_matches_legacy_sum(
+        regions in proptest::collection::vec(arb_region(), 1..8),
+        bools in proptest::collection::vec(proptest::bool::ANY, 8)
+    ) {
+        let space = GridSpace2D::new(SPACE, SPACE).expect("valid");
+        let bools = bools[..regions.len()].to_vec();
+        let map = FaultRegionMap::new(space, regions.clone()).expect("valid");
+        let profile = Profile::uniform(&space);
+        let version = ProgramVersion::new(bools.clone());
+        let fast = version.modelled_pfd(&map, &profile).expect("lengths match");
+        let legacy: f64 = bools
+            .iter()
+            .zip(&regions)
+            .filter(|(&b, _)| b)
+            .map(|(_, r)| r.measure(&profile))
+            .sum();
+        prop_assert!((fast - legacy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_algebra_matches_legacy_zip(
+        a in proptest::collection::vec(proptest::bool::ANY, 1..130),
+        b in proptest::collection::vec(proptest::bool::ANY, 1..130)
+    ) {
+        let va = ProgramVersion::new(a.clone());
+        let vb = ProgramVersion::new(b.clone());
+        // common_faults == indices where both bool vectors are true.
+        let expect: Vec<usize> = a
+            .iter()
+            .zip(&b)
+            .enumerate()
+            .filter_map(|(i, (&x, &y))| (x && y).then_some(i))
+            .collect();
+        prop_assert_eq!(va.common_faults(&vb), expect.clone());
+        let pair = va.pair_with(&vb);
+        prop_assert_eq!(pair.fault_indices(), expect);
+        prop_assert_eq!(pair.len(), a.len().max(b.len()));
+        // Round trip through bools preserves the set.
+        prop_assert_eq!(ProgramVersion::new(va.to_bools()), va.clone());
+        // fault_count is the popcount of the bool vector.
+        prop_assert_eq!(va.fault_count(), a.iter().filter(|&&x| x).count());
+    }
+
+    #[test]
+    fn sample_version_into_is_stream_identical(
+        ps in proptest::collection::vec(0.0f64..1.0, 1..40),
+        lambda in 0.0f64..=1.0,
+        seed in 0u64..1000
+    ) {
+        let qs = vec![1e-3; ps.len()];
+        let model = FaultModel::from_params(&ps, &qs).expect("valid");
+        for intro in [
+            FaultIntroduction::Independent,
+            FaultIntroduction::CommonCause { lambda },
+            FaultIntroduction::Antithetic { lambda },
+        ] {
+            let mut r_bool = StdRng::seed_from_u64(seed);
+            let mut r_bits = StdRng::seed_from_u64(seed);
+            let mut out = FaultSet::new(model.len());
+            for _ in 0..20 {
+                let reference = intro.sample_version(&model, &mut r_bool);
+                intro.sample_version_into(&model, &mut r_bits, &mut out);
+                prop_assert_eq!(out.to_bools(), reference, "{:?} diverged", intro);
+            }
+        }
+    }
+}
+
+/// The fast factory path must reproduce the analytic moments the
+/// reference path was validated against — one deterministic spot check
+/// per introduction model (statistical, 6-sigma).
+#[test]
+fn factory_fast_path_preserves_means_for_all_variants() {
+    let ps = [0.4, 0.2, 0.1, 0.05, 0.3, 0.15];
+    let qs = [0.01, 0.02, 0.03, 0.04, 0.01, 0.02];
+    let model = FaultModel::from_params(&ps, &qs).unwrap();
+    let n = 60_000;
+    for intro in [
+        FaultIntroduction::Independent,
+        FaultIntroduction::CommonCause { lambda: 0.5 },
+        FaultIntroduction::Antithetic { lambda: 0.5 },
+    ] {
+        let factory = VersionFactory::new(model.clone(), intro).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut sum_single = 0.0;
+        let mut sum_pair = 0.0;
+        for _ in 0..n {
+            let p = factory.sample_pair(&mut rng);
+            sum_single += p.a.pfd;
+            sum_pair += p.pfd;
+        }
+        let mean_single = sum_single / n as f64;
+        let mean_pair = sum_pair / n as f64;
+        // §6.1: within-version correlation leaves both means invariant,
+        // so the analytic values hold for every variant.
+        let tol1 = 6.0 * model.std_pfd_single() / (n as f64).sqrt();
+        assert!(
+            (mean_single - model.mean_pfd_single()).abs() < tol1,
+            "{intro:?}: single mean {mean_single} vs {}",
+            model.mean_pfd_single()
+        );
+        // Pair variance differs per variant; use a loose absolute band.
+        assert!(
+            (mean_pair - model.mean_pfd_pair()).abs() < 6e-4,
+            "{intro:?}: pair mean {mean_pair} vs {}",
+            model.mean_pfd_pair()
+        );
+    }
+}

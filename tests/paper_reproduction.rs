@@ -6,9 +6,7 @@ use divrel::model::bounds::{
     beta_factor, pair_bound_from_single_bound, pair_bound_from_single_moments,
     VARIANCE_MONOTONE_THRESHOLD,
 };
-use divrel::model::improvement::{
-    two_fault_ratio, two_fault_stationary_point, ProportionalFamily,
-};
+use divrel::model::improvement::{two_fault_ratio, two_fault_stationary_point, ProportionalFamily};
 use divrel::model::FaultModel;
 use divrel::numerics::normal::{confidence_of_k, k_factor};
 
@@ -119,8 +117,12 @@ fn el_lm_mean_conclusion_rederived() {
     // average PFDs) are easily re-derived here." — with Σq ≤ 1.
     for seed in 0..20u64 {
         let n = (seed % 7 + 1) as usize;
-        let ps: Vec<f64> = (0..n).map(|i| ((seed + i as u64 * 13) % 97) as f64 / 97.0).collect();
-        let qs: Vec<f64> = (0..n).map(|i| ((seed + i as u64 * 7) % 89) as f64 / 89.0 / n as f64).collect();
+        let ps: Vec<f64> = (0..n)
+            .map(|i| ((seed + i as u64 * 13) % 97) as f64 / 97.0)
+            .collect();
+        let qs: Vec<f64> = (0..n)
+            .map(|i| ((seed + i as u64 * 7) % 89) as f64 / 89.0 / n as f64)
+            .collect();
         let m = FaultModel::from_params(&ps, &qs).expect("valid");
         assert!(
             m.mean_pfd_pair() + 1e-12 >= m.mean_pfd_single().powi(2),

@@ -11,8 +11,7 @@ use divrel::devsim::{
 };
 use divrel::model::FaultModel;
 use divrel::protection::{
-    adjudicator::Adjudicator, channel::Channel, plant::Plant, simulation,
-    system::ProtectionSystem,
+    adjudicator::Adjudicator, channel::Channel, plant::Plant, simulation, system::ProtectionSystem,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -49,9 +48,9 @@ fn sampled_pair_through_protection_stack_matches_expectation() {
     let map = FaultRegionMap::new(
         space,
         vec![
-            Region::rect(0, 0, 7, 7),   // q = 64/1600 = 0.04
+            Region::rect(0, 0, 7, 7),     // q = 64/1600 = 0.04
             Region::rect(20, 20, 27, 27), // q = 0.04
-            Region::rect(32, 0, 39, 7),  // q = 0.04
+            Region::rect(32, 0, 39, 7),   // q = 0.04
         ],
     )
     .expect("valid regions");
@@ -61,8 +60,8 @@ fn sampled_pair_through_protection_stack_matches_expectation() {
     let factory =
         VersionFactory::new(model, FaultIntroduction::Independent).expect("valid factory");
     let mut rng = StdRng::seed_from_u64(7);
-    let a = ProgramVersion::new(factory.sample_version(&mut rng).present);
-    let b = ProgramVersion::new(factory.sample_version(&mut rng).present);
+    let a = ProgramVersion::from_fault_set(factory.sample_version(&mut rng).faults);
+    let b = ProgramVersion::from_fault_set(factory.sample_version(&mut rng).faults);
     let sys = ProtectionSystem::new(
         vec![Channel::new("A", a.clone()), Channel::new("B", b.clone())],
         Adjudicator::OneOutOfN,
@@ -101,14 +100,12 @@ fn correlated_processes_break_only_distribution_shape() {
     .seed(3)
     .run()
     .expect("runs");
-    let neg = MonteCarloExperiment::new(
-        model.clone(),
-        FaultIntroduction::Antithetic { lambda: 0.9 },
-    )
-    .samples(80_000)
-    .seed(3)
-    .run()
-    .expect("runs");
+    let neg =
+        MonteCarloExperiment::new(model.clone(), FaultIntroduction::Antithetic { lambda: 0.9 })
+            .samples(80_000)
+            .seed(3)
+            .run()
+            .expect("runs");
     // Means invariant across all three introduction models.
     for r in [&indep, &pos, &neg] {
         assert!((r.single.mean_pfd - model.mean_pfd_single()).abs() < 6e-4);
@@ -121,11 +118,8 @@ fn correlated_processes_break_only_distribution_shape() {
 
 #[test]
 fn kl_experiment_statistics_are_internally_consistent() {
-    let model = FaultModel::from_params(
-        &[0.3, 0.2, 0.1, 0.05],
-        &[0.001, 0.004, 0.01, 0.002],
-    )
-    .expect("valid model");
+    let model = FaultModel::from_params(&[0.3, 0.2, 0.1, 0.05], &[0.001, 0.004, 0.01, 0.002])
+        .expect("valid model");
     let r = KnightLevesonExperiment::new(model)
         .versions(30)
         .seed(5)

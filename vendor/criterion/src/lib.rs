@@ -1,0 +1,271 @@
+//! Offline vendored `criterion` subset.
+//!
+//! Provides the API surface the workspace's benches use —
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], `b.iter(...)`,
+//! [`black_box`], `criterion_group!`/`criterion_main!` — backed by a
+//! simple wall-clock harness: each benchmark is calibrated, then timed
+//! over several samples and reported as the median ns/iteration.
+//!
+//! Extras for this workspace:
+//!
+//! * `cargo bench -- --test` runs every benchmark body once (smoke
+//!   mode, used by CI);
+//! * setting `DIVREL_BENCH_JSON=/path/file.json` appends every
+//!   measurement as a JSON line `{"name": ..., "ns_per_iter": ...}` so
+//!   perf trajectories can be recorded across PRs.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (`--test` enables
+    /// run-once smoke mode; other Criterion CLI flags are ignored).
+    pub fn from_args() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            results: Vec::new(),
+        }
+    }
+
+    /// Benchmarks a closure under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        self.record(name.to_string(), b.ns_per_iter);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.to_string(),
+        }
+    }
+
+    fn record(&mut self, name: String, ns: f64) {
+        if self.test_mode {
+            println!("test {name} ... ok (smoke)");
+        } else {
+            println!("{name:<60} {:>12.1} ns/iter", ns);
+        }
+        self.results.push((name, ns));
+    }
+
+    /// Writes collected results as JSON lines to `DIVREL_BENCH_JSON`
+    /// (if set). Called by `criterion_main!`.
+    pub fn finalize(&self) {
+        let Ok(path) = std::env::var("DIVREL_BENCH_JSON") else {
+            return;
+        };
+        let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        else {
+            eprintln!("warning: cannot open {path} for bench JSON export");
+            return;
+        };
+        for (name, ns) in &self.results {
+            let _ = writeln!(
+                f,
+                "{{\"name\": \"{}\", \"ns_per_iter\": {ns}}}",
+                name.replace('"', "'")
+            );
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the vendored harness sizes its
+    /// sample count automatically.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a closure under `prefix/id`.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.prefix, id.into_benchmark_id());
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        self.criterion.record(name, b.ns_per_iter);
+        self
+    }
+
+    /// Benchmarks a closure with an explicit input.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Things convertible into a benchmark id segment.
+pub trait IntoBenchmarkId {
+    /// The id segment.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Runs and times one benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Calibrate: find an iteration count taking ~5 ms.
+        let mut iters: u64 = 1;
+        let per_iter_ns = loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 30 {
+                break elapsed.as_nanos() as f64 / iters as f64;
+            }
+            iters = iters.saturating_mul(4);
+        };
+        // Measure: several samples of ~10 ms each, keep the median.
+        let sample_iters = ((10.0e6 / per_iter_ns.max(0.5)) as u64).max(1);
+        let mut samples: Vec<f64> = (0..7)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..sample_iters {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / sample_iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// Declares a benchmark group function, as upstream criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_a_measurement() {
+        let mut c = Criterion {
+            test_mode: false,
+            results: Vec::new(),
+        };
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].1 > 0.0, "got {}", c.results[0].1);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion {
+            test_mode: true,
+            results: Vec::new(),
+        };
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_function(BenchmarkId::new("f", 32), |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(move || x * 2)
+        });
+        g.finish();
+        assert_eq!(c.results[0].0, "grp/f/32");
+        assert_eq!(c.results[1].0, "grp/7");
+    }
+}

@@ -1,0 +1,446 @@
+//! Offline vendored `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! for the shapes this workspace uses — named structs, tuple structs,
+//! and externally tagged enums with unit, newtype, tuple and struct
+//! variants — plus the `#[serde(try_from = "T", into = "T")]` container
+//! attribute. Implemented directly on `proc_macro` token streams (no
+//! `syn`/`quote`, which are unavailable offline).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<(String, VariantShape)>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    shape: Shape,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut try_from = None;
+    let mut into = None;
+    let mut kind = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_serde_attr(g.stream(), &mut try_from, &mut into);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if *id.to_string() == *"pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = Some(s);
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    let kind = kind.ok_or("expected struct or enum")?;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err("generic types are not supported by the vendored serde_derive".into());
+        }
+    }
+    let shape = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_chunks(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            _ => return Err("unsupported struct body".into()),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            _ => return Err("expected enum body".into()),
+        }
+    };
+    Ok(Input {
+        name,
+        shape,
+        try_from,
+        into,
+    })
+}
+
+/// Extracts `try_from`/`into` from a `[serde(...)]` attribute body.
+fn parse_serde_attr(body: TokenStream, try_from: &mut Option<String>, into: &mut Option<String>) {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let is_serde =
+        matches!(tokens.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+    if !is_serde {
+        return;
+    }
+    if let Some(TokenTree::Group(g)) = tokens.get(1) {
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        let mut j = 0;
+        while j < inner.len() {
+            if let TokenTree::Ident(key) = &inner[j] {
+                let key = key.to_string();
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (inner.get(j + 1), inner.get(j + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let raw = lit.to_string();
+                        let ty = raw.trim_matches('"').to_string();
+                        match key.as_str() {
+                            "try_from" => *try_from = Some(ty),
+                            "into" => *into = Some(ty),
+                            _ => {}
+                        }
+                        j += 3;
+                        continue;
+                    }
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Splits a token stream on top-level commas (tracking `<...>` depth so
+/// generic argument commas don't split) and counts the chunks.
+fn count_top_level_chunks(body: TokenStream) -> usize {
+    let mut chunks = 0;
+    let mut in_chunk = false;
+    let mut angle: i32 = 0;
+    for t in body {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                in_chunk = false;
+                continue;
+            }
+            _ => {}
+        }
+        if !in_chunk {
+            chunks += 1;
+            in_chunk = true;
+        }
+    }
+    chunks
+}
+
+/// Field names of a named-field body, in declaration order.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // attribute
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                // Field name, then ':' then the type up to a top-level ','.
+                fields.push(id.to_string());
+                i += 1;
+                let mut angle: i32 = 0;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    fields
+}
+
+/// Variants of an enum body.
+fn parse_variants(body: TokenStream) -> Vec<(String, VariantShape)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let shape = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        VariantShape::Named(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        VariantShape::Tuple(count_top_level_chunks(g.stream()))
+                    }
+                    _ => VariantShape::Unit,
+                };
+                variants.push((name, shape));
+                if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+                    if p.as_char() == ',' {
+                        i += 1;
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    variants
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = if let Some(proxy) = &parsed.into {
+        format!(
+            "let __proxy: {proxy} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&__proxy)"
+        )
+    } else {
+        match &parsed.shape {
+            Shape::NamedStruct(fields) => {
+                let entries = fields
+                    .iter()
+                    .map(|f| {
+                        format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("::serde::Value::Map(::std::vec![{entries}])")
+            }
+            Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Shape::TupleStruct(k) => {
+                let entries = (0..*k)
+                    .map(|j| format!("::serde::Serialize::to_value(&self.{j})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("::serde::Value::Seq(::std::vec![{entries}])")
+            }
+            Shape::UnitStruct => "::serde::Value::Null".to_string(),
+            Shape::Enum(variants) => {
+                let arms = variants
+                    .iter()
+                    .map(|(v, shape)| match shape {
+                        VariantShape::Unit => {
+                            format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),")
+                        }
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{v}(__f0) => ::serde::Value::Map(::std::vec![(\"{v}\"\
+                             .to_string(), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantShape::Tuple(k) => {
+                            let binds = (0..*k)
+                                .map(|j| format!("__f{j}"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let entries = (0..*k)
+                                .map(|j| format!("::serde::Serialize::to_value(__f{j})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{v}({binds}) => ::serde::Value::Map(::std::vec![(\
+                                 \"{v}\".to_string(), ::serde::Value::Seq(::std::vec![{entries}])\
+                                 )]),"
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{v} {{ {binds} }} => ::serde::Value::Map(::std::vec![(\
+                                 \"{v}\".to_string(), ::serde::Value::Map(::std::vec![{entries}])\
+                                 )]),"
+                            )
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                format!("match self {{\n{arms}\n}}")
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = if let Some(proxy) = &parsed.try_from {
+        format!(
+            "let __proxy: {proxy} = ::serde::Deserialize::from_value(__v)?;\n\
+             ::std::convert::TryFrom::try_from(__proxy)\
+             .map_err(|e| ::serde::DeError::custom(e))"
+        )
+    } else {
+        match &parsed.shape {
+            Shape::NamedStruct(fields) => {
+                let entries = fields
+                    .iter()
+                    .map(|f| {
+                        format!("{f}: ::serde::Deserialize::from_value(__v.get_field(\"{f}\"))?")
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("::std::result::Result::Ok({name} {{ {entries} }})")
+            }
+            Shape::TupleStruct(1) => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            }
+            Shape::TupleStruct(k) => {
+                let entries = (0..*k)
+                    .map(|j| format!("::serde::Deserialize::from_value(__v.get_index({j}))?"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("::std::result::Result::Ok({name}({entries}))")
+            }
+            Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+            Shape::Enum(variants) => {
+                let unit_arms = variants
+                    .iter()
+                    .filter(|(_, s)| matches!(s, VariantShape::Unit))
+                    .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                let tagged_arms = variants
+                    .iter()
+                    .filter(|(_, s)| !matches!(s, VariantShape::Unit))
+                    .map(|(v, shape)| match shape {
+                        VariantShape::Tuple(1) => format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::from_value(__payload)?)),"
+                        ),
+                        VariantShape::Tuple(k) => {
+                            let entries = (0..*k)
+                                .map(|j| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(__payload.get_index({j}))?"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "\"{v}\" => ::std::result::Result::Ok({name}::{v}({entries})),"
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let entries = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         __payload.get_field(\"{f}\"))?"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ {entries} }}),"
+                            )
+                        }
+                        VariantShape::Unit => unreachable!(),
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                format!(
+                    "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"unknown variant {{__other}} of {name}\"))),\n}},\n\
+                     ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                     let (__tag, __payload) = &__m[0];\n\
+                     match __tag.as_str() {{\n{tagged_arms}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"unknown variant {{__other}} of {name}\"))),\n}}\n}},\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"invalid value for enum {name}: {{__other:?}}\"))),\n}}"
+                )
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!(\"{}\");", msg.replace('"', "'"))
+        .parse()
+        .expect("compile_error parses")
+}
