@@ -1,13 +1,18 @@
-//! Before/after benchmark driver: measures the seed's boolean-vector
-//! implementations against the bitset fast path and exports the
-//! results as `BENCH_<tag>.json` (default `BENCH_pr1.json` in the
-//! current directory; override with `DIVREL_BENCH_TAG` / first CLI
-//! argument as the output path).
+//! Before/after benchmark driver: measures the previous-PR baselines
+//! against the current fast paths and exports the results as
+//! `BENCH_<tag>.json` (default `BENCH_pr2.json` in the current
+//! directory; override with `DIVREL_BENCH_TAG` / first CLI argument as
+//! the output path).
 //!
-//! The "legacy" sides reproduce the seed algorithms faithfully:
-//! `Vec<bool>` fault sets, one RNG draw per potential fault, per-fault
-//! geometric region tests, and tick-by-tick plant stepping with a
-//! per-demand `Vec<bool>` response.
+//! Two baseline generations appear:
+//!
+//! * the **seed** algorithms (`Vec<bool>` fault sets, one RNG draw per
+//!   potential fault, per-fault geometric region tests) — kept so the
+//!   PR 1 wins stay visible in the trajectory;
+//! * the **PR 1** tick loop (`run_stepwise`) as the "legacy" side of
+//!   the PR 2 rows: the Markov demand compiler, sharded campaigns and
+//!   parallel `true_pfd` are all measured against it or the serial
+//!   equivalent.
 
 use divrel_bench::perf::{to_json, Comparison};
 use divrel_demand::mapping::FaultRegionMap;
@@ -22,6 +27,7 @@ use divrel_model::FaultModel;
 use divrel_numerics::descriptive::Moments;
 use divrel_protection::adjudicator::Adjudicator;
 use divrel_protection::channel::Channel;
+use divrel_protection::compiler::CompiledPlant;
 use divrel_protection::plant::{Plant, PlantEvent};
 use divrel_protection::simulation;
 use divrel_protection::system::ProtectionSystem;
@@ -114,7 +120,7 @@ fn legacy_protection_run(
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| {
-        let tag = std::env::var("DIVREL_BENCH_TAG").unwrap_or_else(|_| "pr1".into());
+        let tag = std::env::var("DIVREL_BENCH_TAG").unwrap_or_else(|_| "pr2".into());
         format!("BENCH_{tag}.json")
     });
     let mut results: Vec<Comparison> = Vec::new();
@@ -324,7 +330,162 @@ fn main() {
         results.push(c);
     }
 
-    let json = to_json(1, &results);
+    // --- protection/markov_run: the PR 2 headline ----------------------
+    // A sticky Markov plant (operating points persist ~100 ticks) with a
+    // rare-demand trip set: the PR 1 baseline is the tick loop
+    // (`run_stepwise`, one RNG decision per tick); the fast side is the
+    // compiled demand sampler (geometric dwells + alias jumps, one
+    // iteration per state change).
+    {
+        let space = GridSpace2D::new(100, 100).expect("valid space");
+        let trip = Region::rect(0, 0, 4, 4);
+        let regions = vec![Region::rect(0, 0, 2, 2), Region::rect(1, 1, 3, 3)];
+        let map = FaultRegionMap::new(space, regions).expect("valid map");
+        let system = ProtectionSystem::new(
+            vec![
+                Channel::new("A", ProgramVersion::new(vec![true, false])),
+                Channel::new("B", ProgramVersion::new(vec![false, true])),
+            ],
+            Adjudicator::OneOutOfN,
+            map,
+        )
+        .expect("valid system");
+        for (label, move_prob, steps) in [
+            ("move0.002/400k", 0.002, 400_000u64),
+            ("move0.01/400k", 0.01, 400_000u64),
+            ("move0.1/400k", 0.1, 400_000u64),
+        ] {
+            let plant = Plant::markov_walk(space, trip.clone(), 2, move_prob).expect("valid plant");
+            let compiled = CompiledPlant::compile(&plant)
+                .expect("compilable")
+                .expect("markov plants compile");
+            let mut seed_l = 500u64;
+            let mut seed_f = 500u64;
+            let c = Comparison::measure(
+                &format!("protection/markov_run/{label}"),
+                || {
+                    seed_l += 1;
+                    let mut rng = StdRng::seed_from_u64(seed_l);
+                    black_box(
+                        simulation::run_stepwise(&plant, &system, steps, &mut rng).expect("runs"),
+                    );
+                },
+                || {
+                    seed_f += 1;
+                    let mut rng = StdRng::seed_from_u64(seed_f);
+                    black_box(
+                        simulation::run_compiled(&compiled, &system, steps, &mut rng)
+                            .expect("runs"),
+                    );
+                },
+            );
+            println!(
+                "{:<44} {:>10.1} -> {:>9.1} ns  ({:.2}x)",
+                c.name,
+                c.legacy_ns,
+                c.fast_ns,
+                c.speedup()
+            );
+            results.push(c);
+        }
+
+        // Sharded campaign: single-threaded compiled run vs the scoped-
+        // thread campaign runner. The speedup tracks the host's core
+        // count (≈1x on a single-core box — the row records scaling
+        // honestly rather than asserting it).
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(1);
+        let plant = Plant::markov_walk(space, trip.clone(), 2, 0.1).expect("valid plant");
+        let steps = 2_000_000u64;
+        let mut seed_l = 700u64;
+        let mut seed_f = 700u64;
+        let c = Comparison::measure(
+            &format!("protection/run_sharded/{threads}threads/2M"),
+            || {
+                seed_l += 1;
+                black_box(
+                    simulation::run_sharded(&plant, &system, steps, 1, seed_l).expect("runs"),
+                );
+            },
+            || {
+                seed_f += 1;
+                black_box(
+                    simulation::run_sharded(&plant, &system, steps, threads, seed_f).expect("runs"),
+                );
+            },
+        );
+        println!(
+            "{:<44} {:>10.1} -> {:>9.1} ns  ({:.2}x)",
+            c.name,
+            c.legacy_ns,
+            c.fast_ns,
+            c.speedup()
+        );
+        results.push(c);
+    }
+
+    // --- demand/true_pfd_parallel --------------------------------------
+    {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(1);
+        let space = GridSpace2D::new(400, 400).expect("valid space");
+        let profile = Profile::uniform(&space);
+        let regions: Vec<Region> = (0..48)
+            .map(|i| {
+                let x = (i * 17) as u32 % 360;
+                let y = (i * 31) as u32 % 360;
+                Region::rect(x, y, x + 24, y + 24)
+            })
+            .collect();
+        let map = FaultRegionMap::new(space, regions).expect("valid map");
+        let sys = ProtectionSystem::new(
+            vec![
+                Channel::new(
+                    "A",
+                    ProgramVersion::new((0..48).map(|i| i % 2 == 0).collect()),
+                ),
+                Channel::new(
+                    "B",
+                    ProgramVersion::new((0..48).map(|i| i % 3 == 0).collect()),
+                ),
+            ],
+            Adjudicator::OneOutOfN,
+            map,
+        )
+        .expect("valid system");
+        let serial = sys.true_pfd(&profile).expect("computable");
+        let parallel = sys
+            .true_pfd_parallel(&profile, threads)
+            .expect("computable");
+        assert!(
+            (serial - parallel).abs() < 1e-12,
+            "parallel true_pfd diverged: {parallel} vs {serial}"
+        );
+        let c = Comparison::measure(
+            &format!("protection/true_pfd/{threads}threads/48_regions_400x400"),
+            || {
+                black_box(sys.true_pfd(&profile).expect("computable"));
+            },
+            || {
+                black_box(
+                    sys.true_pfd_parallel(&profile, threads)
+                        .expect("computable"),
+                );
+            },
+        );
+        println!(
+            "{:<44} {:>10.1} -> {:>9.1} ns  ({:.2}x)",
+            c.name,
+            c.legacy_ns,
+            c.fast_ns,
+            c.speedup()
+        );
+        results.push(c);
+    }
+
+    let json = to_json(2, &results);
     std::fs::write(&out_path, &json).expect("write bench export");
     println!("\nwrote {out_path}");
     let below: Vec<&Comparison> = results.iter().filter(|c| c.speedup() < 5.0).collect();

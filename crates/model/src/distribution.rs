@@ -163,6 +163,21 @@ impl PfdDistribution {
         self.exact.mass_at_zero()
     }
 
+    /// The exact distribution of the number of (common) faults `N_k`:
+    /// entry `j` is `P(N = j)` — §4's counting view of the same model.
+    /// Served from the memoised Poisson-binomial table of the underlying
+    /// weighted sum, so repeated queries cost a slice borrow, not an
+    /// `O(n²)` convolution per call.
+    pub fn fault_count_pmf(&self) -> &[f64] {
+        self.exact.count_pmf()
+    }
+
+    /// `P(N > 0)` — §4's risk of at least one (common) fault, from the
+    /// memoised fault-count table.
+    pub fn risk_any_fault(&self) -> f64 {
+        self.exact.prob_any_present()
+    }
+
     /// Mean of the exact distribution (equals eq (1) up to lattice error).
     pub fn mean(&self) -> f64 {
         self.exact.mean()
@@ -214,6 +229,20 @@ mod tests {
         assert!((d1.prob_zero_pfd() - m.prob_fault_free_single()).abs() < 1e-13);
         let d2 = PfdDistribution::pair(&m).unwrap();
         assert!((d2.prob_zero_pfd() - m.prob_fault_free_pair()).abs() < 1e-13);
+    }
+
+    #[test]
+    fn fault_count_pmf_matches_section4_quantities() {
+        let m = model();
+        let d1 = PfdDistribution::single(&m).unwrap();
+        // P(N = 0) is §4's fault-free probability; P(N > 0) its risk.
+        assert!((d1.fault_count_pmf()[0] - m.prob_fault_free_single()).abs() < 1e-13);
+        assert!((d1.risk_any_fault() - (1.0 - m.prob_fault_free_single())).abs() < 1e-13);
+        let d2 = PfdDistribution::pair(&m).unwrap();
+        assert!((d2.fault_count_pmf()[0] - m.prob_fault_free_pair()).abs() < 1e-13);
+        // The table is memoised: repeated queries return the same slice.
+        assert!(std::ptr::eq(d2.fault_count_pmf(), d2.fault_count_pmf()));
+        assert!((d2.fault_count_pmf().iter().sum::<f64>() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -194,6 +194,94 @@ pub fn chi_squared_gof(
     })
 }
 
+/// Chi-squared **homogeneity** test of two independent samples of
+/// category counts: were `a` and `b` drawn from the same discrete
+/// distribution?
+///
+/// This is the two-sample companion of [`chi_squared_gof`], used when no
+/// analytic reference exists — e.g. comparing the demand-interval
+/// distribution of a compiled Markov-plant sampler against the legacy
+/// tick-by-tick simulation of the same plant. Categories are pooled
+/// (rarest combined total first) until every pooled cell's expected
+/// count is at least 5 in both rows; the statistic is the standard 2×k
+/// contingency `Σ (O − E)²/E` with `k − 1` degrees of freedom.
+///
+/// # Errors
+///
+/// [`NumericsError::EmptyData`] if either sample is empty;
+/// [`NumericsError::DomainError`] for mismatched category counts or
+/// fewer than two pooled cells.
+///
+/// ```
+/// use divrel_numerics::ks::chi_squared_homogeneity;
+///
+/// // Two samples with proportional counts: perfectly homogeneous.
+/// let t = chi_squared_homogeneity(&[40, 30, 30], &[80, 60, 60]).unwrap();
+/// assert!(t.p_value > 0.99);
+/// // Opposite skews: decisively rejected.
+/// let t = chi_squared_homogeneity(&[90, 10], &[10, 90]).unwrap();
+/// assert!(t.p_value < 1e-10);
+/// ```
+pub fn chi_squared_homogeneity(a: &[u64], b: &[u64]) -> Result<ChiSquaredTest, NumericsError> {
+    use crate::special::gamma_q;
+    if a.len() != b.len() {
+        return Err(crate::error::domain(format!(
+            "category counts differ: {} vs {}",
+            a.len(),
+            b.len()
+        )));
+    }
+    let na: u64 = a.iter().sum();
+    let nb: u64 = b.iter().sum();
+    if na == 0 || nb == 0 {
+        return Err(NumericsError::EmptyData("chi_squared_homogeneity"));
+    }
+    // Pool rarest categories (by combined count) until both rows'
+    // expected counts clear the usual >= 5 rule.
+    let (na_f, nb_f) = (na as f64, nb as f64);
+    let total = na_f + nb_f;
+    let mut order: Vec<usize> = (0..a.len()).collect();
+    order.sort_by_key(|&i| a[i] + b[i]);
+    let mut pooled: Vec<(f64, f64)> = Vec::new(); // (observed a, observed b)
+    let (mut acc_a, mut acc_b) = (0.0f64, 0.0f64);
+    for &i in &order {
+        acc_a += a[i] as f64;
+        acc_b += b[i] as f64;
+        let combined = acc_a + acc_b;
+        // Expected count in a cell: row total × column total / total.
+        if na_f * combined / total >= 5.0 && nb_f * combined / total >= 5.0 {
+            pooled.push((acc_a, acc_b));
+            acc_a = 0.0;
+            acc_b = 0.0;
+        }
+    }
+    if acc_a + acc_b > 0.0 {
+        if let Some(last) = pooled.last_mut() {
+            last.0 += acc_a;
+            last.1 += acc_b;
+        }
+    }
+    if pooled.len() < 2 {
+        return Err(crate::error::domain(
+            "fewer than two cells with adequate expected count",
+        ));
+    }
+    let mut statistic = 0.0;
+    for &(oa, ob) in &pooled {
+        let col = oa + ob;
+        let ea = na_f * col / total;
+        let eb = nb_f * col / total;
+        statistic += (oa - ea) * (oa - ea) / ea + (ob - eb) * (ob - eb) / eb;
+    }
+    let dof = pooled.len() - 1;
+    let p_value = gamma_q(dof as f64 / 2.0, statistic / 2.0)?;
+    Ok(ChiSquaredTest {
+        statistic,
+        dof,
+        p_value,
+    })
+}
+
 /// Sup-distance `sup_x |F(x) − G(x)|` between a **discrete** distribution
 /// (the exact PFD law from [`WeightedBernoulliSum`]) and an arbitrary
 /// continuous CDF `G`.
@@ -314,6 +402,32 @@ mod tests {
                                                        // Too small a sample to form two cells of expected >= 5.
         let tiny = chi_squared_gof(&[0.0, 1.0], &d);
         assert!(tiny.is_err());
+    }
+
+    #[test]
+    fn homogeneity_accepts_same_distribution_and_rejects_shifts() {
+        // Same geometric-ish shape at different sample sizes: accept.
+        let a = [400u64, 200, 100, 50, 25, 12, 6];
+        let b: Vec<u64> = a.iter().map(|&c| c * 3).collect();
+        let t = chi_squared_homogeneity(&a, &b).unwrap();
+        assert!(t.p_value > 0.95, "p = {}", t.p_value);
+        // A shifted shape: reject.
+        let shifted = [6u64, 12, 25, 50, 100, 200, 400];
+        let t = chi_squared_homogeneity(&a, &shifted).unwrap();
+        assert!(t.p_value < 1e-10, "p = {}", t.p_value);
+        // Sparse tails pool away rather than erroring.
+        let sparse_a = [500u64, 3, 0, 1, 0, 0, 496];
+        let sparse_b = [480u64, 1, 1, 0, 1, 0, 517];
+        let t = chi_squared_homogeneity(&sparse_a, &sparse_b).unwrap();
+        assert!(t.dof >= 1);
+        assert!(t.p_value > 0.01);
+    }
+
+    #[test]
+    fn homogeneity_validation() {
+        assert!(chi_squared_homogeneity(&[1, 2], &[1, 2, 3]).is_err());
+        assert!(chi_squared_homogeneity(&[0, 0], &[1, 2]).is_err());
+        assert!(chi_squared_homogeneity(&[10], &[10]).is_err());
     }
 
     #[test]

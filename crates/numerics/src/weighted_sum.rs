@@ -17,6 +17,7 @@
 //!   `|value error| ≤ n·Δ/2` reported by [`WeightedBernoulliSum::value_error_bound`].
 
 use crate::error::{domain, NumericsError};
+use std::sync::OnceLock;
 
 /// Largest `n` for which exact subset enumeration is used by
 /// [`WeightedBernoulliSum::auto`].
@@ -59,12 +60,31 @@ pub enum Method {
 /// assert!((d.mean() - 0.15).abs() < 1e-15);
 /// assert!((d.cdf(0.15) - 0.5).abs() < 1e-12); // P(Θ ≤ 0.15) = P({}, {q1})
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct WeightedBernoulliSum {
     atoms: Vec<Atom>,
     method: Method,
     n: usize,
     grid_step: f64,
+    /// The Bernoulli presence probabilities the sum was built from, kept
+    /// for the count distribution.
+    term_ps: Vec<f64>,
+    /// Memoised Poisson-binomial PMF of the number of present terms: the
+    /// `O(n²)` DP convolution runs at most once per instance, however
+    /// often [`Self::count_pmf`] is evaluated.
+    count_pmf: OnceLock<Vec<f64>>,
+}
+
+/// Equality is defined by the computed distribution and its
+/// configuration; the lazily-memoised count PMF is derived data.
+impl PartialEq for WeightedBernoulliSum {
+    fn eq(&self, other: &Self) -> bool {
+        self.atoms == other.atoms
+            && self.method == other.method
+            && self.n == other.n
+            && self.grid_step == other.grid_step
+            && self.term_ps == other.term_ps
+    }
 }
 
 impl WeightedBernoulliSum {
@@ -116,6 +136,8 @@ impl WeightedBernoulliSum {
             method: Method::Enumeration,
             n: terms.len(),
             grid_step: 0.0,
+            term_ps: terms.iter().map(|&(p, _)| p).collect(),
+            count_pmf: OnceLock::new(),
         })
     }
 
@@ -144,6 +166,8 @@ impl WeightedBernoulliSum {
                 method: Method::Lattice { cells },
                 n: terms.len(),
                 grid_step: 0.0,
+                term_ps: terms.iter().map(|&(p, _)| p).collect(),
+                count_pmf: OnceLock::new(),
             });
         }
         let step = total / (cells - 1) as f64;
@@ -178,6 +202,8 @@ impl WeightedBernoulliSum {
             method: Method::Lattice { cells },
             n: terms.len(),
             grid_step: step,
+            term_ps: terms.iter().map(|&(p, _)| p).collect(),
+            count_pmf: OnceLock::new(),
         })
     }
 
@@ -292,6 +318,48 @@ impl WeightedBernoulliSum {
             .filter(|a| a.value == 0.0)
             .map(|a| a.mass)
             .unwrap_or(0.0)
+    }
+
+    /// The Poisson-binomial PMF of the **number of present terms**:
+    /// entry `k` is `P(N = k)` where `N = Σᵢ Bernoulli(pᵢ)` — the
+    /// paper's fault-count distribution for the same model the weighted
+    /// sum describes.
+    ///
+    /// The `O(n²)` DP convolution is **memoised**: it runs on the first
+    /// call and every later call returns the cached table, so repeated
+    /// count queries against one distribution no longer re-derive the
+    /// convolution per call (the ROADMAP hot spot). The cache is
+    /// thread-safe and survives `clone()` (the clone carries a copy).
+    ///
+    /// ```
+    /// use divrel_numerics::weighted_sum::WeightedBernoulliSum;
+    ///
+    /// let d = WeightedBernoulliSum::enumerate(&[(0.5, 0.1), (0.5, 0.2)]).unwrap();
+    /// let pmf = d.count_pmf();
+    /// assert_eq!(pmf.len(), 3); // N ∈ {0, 1, 2}
+    /// assert!((pmf[1] - 0.5).abs() < 1e-15);
+    /// // Second evaluation is the cached table, bit-identical.
+    /// assert!(std::ptr::eq(pmf, d.count_pmf()));
+    /// ```
+    pub fn count_pmf(&self) -> &[f64] {
+        self.count_pmf.get_or_init(|| {
+            crate::poisson_binomial::PoissonBinomial::new(&self.term_ps)
+                .expect("term probabilities validated at construction")
+                .pmf_vec()
+                .to_vec()
+        })
+    }
+
+    /// `P(N = k)` for the number of present terms (0 for `k > n`), from
+    /// the memoised [`Self::count_pmf`] table.
+    pub fn prob_count(&self, k: usize) -> f64 {
+        self.count_pmf().get(k).copied().unwrap_or(0.0)
+    }
+
+    /// `P(N > 0)` — the probability at least one term is present (the
+    /// paper's "risk of any fault"), from the memoised count PMF.
+    pub fn prob_any_present(&self) -> f64 {
+        (1.0 - self.prob_count(0)).clamp(0.0, 1.0)
     }
 }
 
@@ -423,6 +491,44 @@ mod tests {
         assert!(WeightedBernoulliSum::lattice(&[(0.5, 0.1)], 1).is_err());
         let too_many: Vec<(f64, f64)> = (0..30).map(|_| (0.5, 0.01)).collect();
         assert!(WeightedBernoulliSum::enumerate(&too_many).is_err());
+    }
+
+    #[test]
+    fn count_pmf_is_memoised_and_bit_identical_across_evaluations() {
+        let terms: Vec<(f64, f64)> = (0..24)
+            .map(|i| (0.02 + 0.035 * i as f64, 0.001 + 0.0007 * i as f64))
+            .collect();
+        let d = WeightedBernoulliSum::lattice(&terms, 1 << 12).unwrap();
+        let first: Vec<f64> = d.count_pmf().to_vec();
+        let second = d.count_pmf();
+        // Bit-identical values on re-evaluation...
+        assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(second) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // ...and genuinely the same cached table, not a recomputation.
+        assert!(std::ptr::eq(d.count_pmf(), d.count_pmf()));
+        // The cached table matches the standalone Poisson-binomial DP.
+        let ps: Vec<f64> = terms.iter().map(|&(p, _)| p).collect();
+        let pb = crate::poisson_binomial::PoissonBinomial::new(&ps).unwrap();
+        for (k, &m) in d.count_pmf().iter().enumerate() {
+            assert_eq!(m.to_bits(), pb.pmf(k).to_bits(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn count_pmf_agrees_with_mass_at_zero_and_normalises() {
+        let terms = [(0.2, 0.1), (0.3, 0.2), (0.05, 0.02)];
+        let d = WeightedBernoulliSum::enumerate(&terms).unwrap();
+        // With distinct positive weights, P(N = 0) = P(Θ = 0).
+        assert!((d.prob_count(0) - d.mass_at_zero()).abs() < 1e-15);
+        assert!((d.count_pmf().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((d.prob_any_present() - (1.0 - d.mass_at_zero())).abs() < 1e-12);
+        assert_eq!(d.prob_count(7), 0.0);
+        // Clones carry the cache type but compare equal regardless.
+        let c = d.clone();
+        assert_eq!(c, d);
+        assert!((c.prob_count(1) - d.prob_count(1)).abs() < 1e-15);
     }
 
     #[test]

@@ -122,4 +122,39 @@ mod tests {
         assert!(Adjudicator::OneOutOfN.to_string().contains("OR"));
         assert!(Adjudicator::Majority.to_string().contains("majority"));
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// `decide_counts` is the counting form of `decide` — they
+            /// must agree for every adjudicator on random trip vectors,
+            /// including the protection system's channel-count edge
+            /// cases: 1, 63 and 64 (the u64 fail-mask ceiling).
+            #[test]
+            fn decide_counts_agrees_with_decide_at_cap_sizes(
+                which in 0usize..3,
+                bits in proptest::collection::vec(proptest::bool::ANY, 64)
+            ) {
+                let n = [1usize, 63, 64][which];
+                let trips = &bits[..n];
+                let yes = trips.iter().filter(|&&t| t).count();
+                for adj in [
+                    Adjudicator::OneOutOfN,
+                    Adjudicator::AllOutOfN,
+                    Adjudicator::Majority,
+                ] {
+                    prop_assert_eq!(
+                        adj.decide(trips),
+                        adj.decide_counts(yes, n),
+                        "{} over {} channels with {} trips",
+                        adj,
+                        n,
+                        yes
+                    );
+                }
+            }
+        }
+    }
 }

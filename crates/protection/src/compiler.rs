@@ -1,0 +1,575 @@
+//! The demand compiler: analytic quiet-gap sampling for Markov plants.
+//!
+//! PR 1 gave memoryless (rate) plants a geometric demand-gap fast path;
+//! state-dependent plants still paid one RNG draw per tick. This module
+//! extends the "exploit the stochastic structure instead of simulating
+//! it" idea to any plant that can state its exact one-step law
+//! ([`crate::plant::Plant::transition_row`]):
+//!
+//! 1. **Compile.** For every plant state `s`, split the transition row
+//!    into the *demand* mass (successors inside the trip set), the quiet
+//!    *self-loop* mass `R(s, s)`, and the quiet *move* mass. Build one
+//!    Walker–Vose alias table per state over each of the two non-self
+//!    successor classes.
+//! 2. **Sample.** The number of consecutive ticks the chain holds in `s`
+//!    before an exit (demand or move) is geometric with parameter
+//!    `p_exit(s) = 1 − R(s, s)` (self-loops inside the trip set count as
+//!    demands, not holds), so the whole dwell is one `ln` draw. The exit
+//!    tick is a demand with probability `p_demand(s) / p_exit(s)`, and
+//!    the successor is one alias lookup.
+//!
+//! The compiled process is **exactly** the chain the tick loop simulates
+//! — the decomposition is algebra, not approximation — so compiled and
+//! stepwise runs are statistically indistinguishable (the repository's
+//! chi-squared equivalence suite holds this to account). The win is the
+//! work per *event* instead of per tick: a plant that dwells `1/p`
+//! ticks per operating point does `~p · steps` iterations instead of
+//! `steps`.
+//!
+//! Plants whose law cannot be enumerated (the rate plant, or spaces
+//! beyond [`MAX_COMPILED_CELLS`]) are simply not compilable —
+//! [`CompiledPlant::compile`] returns `None` and the simulation driver
+//! degrades gracefully to the tick loop.
+
+use crate::error::ProtectionError;
+use crate::plant::Plant;
+use divrel_demand::space::{Demand, GridSpace2D};
+use rand::Rng;
+
+/// Largest demand-space cell count the compiler will enumerate. Each
+/// cell stores a handful of floats plus its alias rows, so this bounds
+/// compile time and memory for pathological spaces; larger plants fall
+/// back to tick-by-tick simulation.
+pub const MAX_COMPILED_CELLS: usize = 1 << 22;
+
+/// What the compiled sampler produced for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompiledEvent {
+    /// A demand occurred after `quiet_gap` quiet ticks (the demand tick
+    /// itself is not counted in the gap). Total ticks consumed:
+    /// `quiet_gap + 1`.
+    Demand {
+        /// Quiet ticks that preceded the demand.
+        quiet_gap: u64,
+        /// The demand raised (also the plant's new state).
+        demand: Demand,
+    },
+    /// The tick budget ran out with no demand; all `ticks` were quiet.
+    Quiet {
+        /// Quiet ticks consumed (the whole requested budget).
+        ticks: u64,
+    },
+}
+
+/// A plant compiled to per-state analytic demand-gap samplers.
+///
+/// ```
+/// use divrel_demand::region::Region;
+/// use divrel_demand::space::GridSpace2D;
+/// use divrel_protection::compiler::{CompiledEvent, CompiledPlant};
+/// use divrel_protection::plant::Plant;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let space = GridSpace2D::new(40, 40)?;
+/// let plant = Plant::markov_walk(space, Region::rect(0, 0, 2, 2), 2, 0.05)?;
+/// let compiled = CompiledPlant::compile(&plant)?.expect("markov plants compile");
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut state = compiled.initial_state();
+/// match compiled.next_demand(&mut state, 1_000_000, &mut rng) {
+///     CompiledEvent::Demand { demand, .. } => assert!(demand.var1 <= 2),
+///     CompiledEvent::Quiet { ticks } => assert_eq!(ticks, 1_000_000),
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledPlant {
+    space: GridSpace2D,
+    start: u32,
+    /// `1 − R(s, s)` with self-loops inside the trip set counted as
+    /// exits (they are demands).
+    exit_prob: Vec<f64>,
+    /// `1 / ln(R(s, s))` — the geometric dwell sampler's constant; `0.0`
+    /// encodes "exit every tick" (no quiet self-loop mass).
+    inv_log_hold: Vec<f64>,
+    /// `p_demand(s) / p_exit(s)`; meaningless (0) where `p_exit = 0`.
+    demand_given_exit: Vec<f64>,
+    quiet_moves: AliasForest,
+    demands: AliasForest,
+}
+
+impl CompiledPlant {
+    /// Compiles `plant`, or returns `None` when the plant does not expose
+    /// an enumerable transition law (rate plants) or its space exceeds
+    /// [`MAX_COMPILED_CELLS`].
+    ///
+    /// Compilation costs `O(cells × successors)`; one compiled plant can
+    /// drive any number of runs (it is immutable and `Sync`, so sharded
+    /// campaigns share a single instance across threads).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtectionError::InvalidConfig`] if a transition row is not a
+    /// probability distribution (a plant-implementation bug, not a
+    /// caller error).
+    pub fn compile(plant: &Plant) -> Result<Option<Self>, ProtectionError> {
+        let space = *plant.space();
+        let cells = space.cell_count();
+        if cells > MAX_COMPILED_CELLS || plant.transition_row(plant.initial_state()).is_none() {
+            return Ok(None);
+        }
+        let trip_set = plant
+            .trip_set()
+            .expect("plants with transition rows have trip sets");
+        // Bit per cell: is this cell a demand when entered?
+        let mut trip_bits = vec![0u64; cells.div_ceil(64)];
+        for cell in trip_set.cell_indices(&space) {
+            trip_bits[cell / 64] |= 1u64 << (cell % 64);
+        }
+        let in_trip = |cell: usize| trip_bits[cell / 64] >> (cell % 64) & 1 == 1;
+
+        let mut exit_prob = Vec::with_capacity(cells);
+        let mut inv_log_hold = Vec::with_capacity(cells);
+        let mut demand_given_exit = Vec::with_capacity(cells);
+        let mut quiet_builder = AliasForestBuilder::new(cells);
+        let mut demand_builder = AliasForestBuilder::new(cells);
+        let mut quiet_row: Vec<(u32, f64)> = Vec::new();
+        let mut demand_row: Vec<(u32, f64)> = Vec::new();
+        for cell in 0..cells {
+            let state = space.demand_at(cell).expect("cell index in range");
+            let row = plant
+                .transition_row(state)
+                .expect("compilable plant has rows for every state");
+            let mut hold = 0.0;
+            let mut p_demand = 0.0;
+            let mut p_move = 0.0;
+            let mut total = 0.0;
+            quiet_row.clear();
+            demand_row.clear();
+            for (succ, p) in row {
+                let t = space.index_of(succ).map_err(|e| {
+                    ProtectionError::InvalidConfig(format!(
+                        "transition row of {state} leaves the space: {e}"
+                    ))
+                })?;
+                total += p;
+                if in_trip(t) {
+                    p_demand += p;
+                    demand_row.push((t as u32, p));
+                } else if t == cell {
+                    hold += p;
+                } else {
+                    p_move += p;
+                    quiet_row.push((t as u32, p));
+                }
+            }
+            if (total - 1.0).abs() > 1e-9 || total.is_nan() {
+                return Err(ProtectionError::InvalidConfig(format!(
+                    "transition row of {state} has mass {total}, expected 1"
+                )));
+            }
+            let p_exit = p_demand + p_move;
+            exit_prob.push(p_exit);
+            inv_log_hold.push(if hold > 0.0 { hold.ln().recip() } else { 0.0 });
+            demand_given_exit.push(if p_exit > 0.0 { p_demand / p_exit } else { 0.0 });
+            quiet_builder.push_state(&quiet_row);
+            demand_builder.push_state(&demand_row);
+        }
+        let start = space
+            .index_of(plant.initial_state())
+            .expect("initial state in space") as u32;
+        Ok(Some(CompiledPlant {
+            space,
+            start,
+            exit_prob,
+            inv_log_hold,
+            demand_given_exit,
+            quiet_moves: quiet_builder.finish(),
+            demands: demand_builder.finish(),
+        }))
+    }
+
+    /// Whether compiling `plant` is likely to beat the tick loop for a
+    /// one-shot run: true when the plant is *sticky* (the quiet
+    /// self-loop mass at its initial state is at least 1/2, i.e. the
+    /// chain dwells ≥ 2 ticks per state on average). Fast-mixing plants
+    /// (e.g. plain trajectories, whose hold mass is `1/(2·step+1)²`)
+    /// spend more on per-event sampling plus compilation than the tick
+    /// loop costs, so the driver leaves them on the exact stepwise path.
+    ///
+    /// This is a cheap probe — one transition row at the initial state —
+    /// not a compilation. Callers that reuse one [`CompiledPlant`]
+    /// across many runs (sharded campaigns, repeated experiments) can
+    /// ignore it and compile unconditionally: the compiled sampler is
+    /// never *wrong*, only unprofitable for thin workloads.
+    pub fn is_profitable(plant: &Plant) -> bool {
+        let state = plant.initial_state();
+        match plant.transition_row(state) {
+            None => false,
+            Some(row) => {
+                let hold: f64 = row
+                    .iter()
+                    .filter(|(d, _)| *d == state)
+                    .map(|&(_, p)| p)
+                    .sum();
+                // Holding inside the trip set is a demand, not a dwell.
+                let quiet_hold = match plant.trip_set() {
+                    Some(trip) if trip.contains(state) => 0.0,
+                    _ => hold,
+                };
+                quiet_hold >= 0.5
+            }
+        }
+    }
+
+    /// The demand space of the compiled plant.
+    pub fn space(&self) -> &GridSpace2D {
+        &self.space
+    }
+
+    /// Number of compiled states (demand-space cells).
+    pub fn states(&self) -> usize {
+        self.exit_prob.len()
+    }
+
+    /// The plant's initial state as a cell index.
+    pub fn initial_state(&self) -> u32 {
+        self.start
+    }
+
+    /// Per-state demand probability `P(next tick is a demand | state)` —
+    /// exposed for diagnostics and tests.
+    pub fn demand_prob(&self, cell: usize) -> f64 {
+        self.exit_prob[cell] * self.demand_given_exit[cell]
+    }
+
+    /// Advances the chain until the next demand or until `budget` ticks
+    /// are consumed, whichever comes first, updating `state` in place.
+    ///
+    /// Equivalent in distribution to calling [`Plant::step`] `budget`
+    /// times and stopping at the first demand — but the cost is one
+    /// geometric draw plus one alias lookup per *state change*, not per
+    /// tick.
+    pub fn next_demand<R: Rng + ?Sized>(
+        &self,
+        state: &mut u32,
+        budget: u64,
+        rng: &mut R,
+    ) -> CompiledEvent {
+        let mut quiet = 0u64;
+        while quiet < budget {
+            let s = *state as usize;
+            let p_exit = self.exit_prob[s];
+            if p_exit <= 0.0 {
+                // Absorbing quiet state: every remaining tick is quiet.
+                return CompiledEvent::Quiet { ticks: budget };
+            }
+            let left = budget - quiet;
+            let dwell = crate::simulation::geometric_gap(self.inv_log_hold[s], left, rng);
+            if dwell >= left {
+                return CompiledEvent::Quiet { ticks: budget };
+            }
+            quiet += dwell;
+            // The exit tick itself: demand or quiet move.
+            if rng.gen::<f64>() < self.demand_given_exit[s] {
+                let cell = self.demands.sample(s, rng);
+                *state = cell;
+                return CompiledEvent::Demand {
+                    quiet_gap: quiet,
+                    demand: self
+                        .space
+                        .demand_at(cell as usize)
+                        .expect("compiled successor in range"),
+                };
+            }
+            quiet += 1;
+            *state = self.quiet_moves.sample(s, rng);
+        }
+        CompiledEvent::Quiet { ticks: budget }
+    }
+}
+
+/// Per-state Walker–Vose alias tables over variable-length successor
+/// lists, stored flat: state `s` owns entries `offsets[s]..offsets[s+1]`.
+#[derive(Debug, Clone)]
+struct AliasForest {
+    offsets: Vec<u32>,
+    cells: Vec<u32>,
+    accept: Vec<f64>,
+    /// Alias index *within the state's segment*.
+    alias: Vec<u32>,
+}
+
+impl AliasForest {
+    /// Draws one successor cell for `state`. Must not be called for a
+    /// state with an empty segment (the caller's branch probabilities
+    /// guarantee this).
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, state: usize, rng: &mut R) -> u32 {
+        let lo = self.offsets[state] as usize;
+        let n = self.offsets[state + 1] as usize - lo;
+        debug_assert!(n > 0, "alias sample from empty successor set");
+        let i = if n == 1 { 0 } else { rng.gen_range(0..n) };
+        let coin: f64 = rng.gen();
+        let k = if coin < self.accept[lo + i] {
+            i
+        } else {
+            self.alias[lo + i] as usize
+        };
+        self.cells[lo + k]
+    }
+}
+
+struct AliasForestBuilder {
+    offsets: Vec<u32>,
+    cells: Vec<u32>,
+    accept: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasForestBuilder {
+    fn new(states: usize) -> Self {
+        let mut offsets = Vec::with_capacity(states + 1);
+        offsets.push(0);
+        AliasForestBuilder {
+            offsets,
+            cells: Vec::new(),
+            accept: Vec::new(),
+            alias: Vec::new(),
+        }
+    }
+
+    /// Appends one state's successor distribution (`(cell, weight)`
+    /// pairs, weights positive but not necessarily normalised).
+    fn push_state(&mut self, row: &[(u32, f64)]) {
+        let n = row.len();
+        if n > 0 {
+            let total: f64 = row.iter().map(|&(_, w)| w).sum();
+            // Walker–Vose: split entries into under/over-full relative to
+            // the uniform share, pairing each under-full entry with an
+            // over-full alias.
+            let mut scaled: Vec<f64> = row.iter().map(|&(_, w)| w * n as f64 / total).collect();
+            let mut alias = vec![0u32; n];
+            let mut accept = vec![1.0f64; n];
+            let mut small: Vec<usize> = (0..n).filter(|&i| scaled[i] < 1.0).collect();
+            let mut large: Vec<usize> = (0..n).filter(|&i| scaled[i] >= 1.0).collect();
+            while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+                small.pop();
+                accept[s] = scaled[s];
+                alias[s] = l as u32;
+                scaled[l] -= 1.0 - scaled[s];
+                if scaled[l] < 1.0 {
+                    large.pop();
+                    small.push(l);
+                }
+            }
+            // Leftovers (numerical residue) accept unconditionally.
+            for &i in small.iter().chain(large.iter()) {
+                accept[i] = 1.0;
+            }
+            self.cells.extend(row.iter().map(|&(c, _)| c));
+            self.accept.extend_from_slice(&accept);
+            self.alias.extend_from_slice(&alias);
+        }
+        self.offsets.push(self.cells.len() as u32);
+    }
+
+    fn finish(self) -> AliasForest {
+        AliasForest {
+            offsets: self.offsets,
+            cells: self.cells,
+            accept: self.accept,
+            alias: self.alias,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plant::PlantEvent;
+    use divrel_demand::profile::Profile;
+    use divrel_demand::region::Region;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn markov_plant() -> Plant {
+        let space = GridSpace2D::new(30, 30).unwrap();
+        Plant::markov_walk(space, Region::rect(0, 0, 3, 3), 2, 0.2).unwrap()
+    }
+
+    #[test]
+    fn profitability_probe_prefers_sticky_plants() {
+        let s = GridSpace2D::new(20, 20).unwrap();
+        let trip = Region::rect(0, 0, 2, 2);
+        // Fast-mixing trajectory: hold mass 1/25 — not worth compiling.
+        let traj = Plant::trajectory(s, trip.clone(), 2).unwrap();
+        assert!(!CompiledPlant::is_profitable(&traj));
+        // Sticky Markov walk: hold mass ~0.9 — compiled wins.
+        let sticky = Plant::markov_walk(s, trip.clone(), 2, 0.1).unwrap();
+        assert!(CompiledPlant::is_profitable(&sticky));
+        // Barely-moving walk right at move_prob 1: same as trajectory.
+        let jumpy = Plant::markov_walk(s, trip, 2, 1.0).unwrap();
+        assert!(!CompiledPlant::is_profitable(&jumpy));
+        // Rate plants have no rows at all.
+        let rate = Plant::with_demand_rate(Profile::uniform(&s), 0.1).unwrap();
+        assert!(!CompiledPlant::is_profitable(&rate));
+    }
+
+    #[test]
+    fn rate_plants_do_not_compile() {
+        let s = GridSpace2D::new(10, 10).unwrap();
+        let plant = Plant::with_demand_rate(Profile::uniform(&s), 0.1).unwrap();
+        assert!(CompiledPlant::compile(&plant).unwrap().is_none());
+    }
+
+    #[test]
+    fn trajectory_and_markov_plants_compile() {
+        let s = GridSpace2D::new(20, 20).unwrap();
+        let t = Plant::trajectory(s, Region::rect(0, 0, 2, 2), 1).unwrap();
+        let c = CompiledPlant::compile(&t).unwrap().unwrap();
+        assert_eq!(c.states(), 400);
+        assert_eq!(c.initial_state(), 10 * 20 + 10);
+        let m = markov_plant();
+        assert!(CompiledPlant::compile(&m).unwrap().is_some());
+    }
+
+    #[test]
+    fn demand_prob_matches_row_mass_into_trip_set() {
+        let plant = markov_plant();
+        let c = CompiledPlant::compile(&plant).unwrap().unwrap();
+        let space = *plant.space();
+        let trip = plant.trip_set().unwrap().clone();
+        for cell in [0usize, 5, 62, 200, 465, 899] {
+            let state = space.demand_at(cell).unwrap();
+            let want: f64 = plant
+                .transition_row(state)
+                .unwrap()
+                .iter()
+                .filter(|(d, _)| trip.contains(*d))
+                .map(|&(_, p)| p)
+                .sum();
+            assert!(
+                (c.demand_prob(cell) - want).abs() < 1e-12,
+                "cell {cell}: {} vs {want}",
+                c.demand_prob(cell)
+            );
+        }
+    }
+
+    #[test]
+    fn next_demand_respects_budget_and_lands_in_trip_set() {
+        let plant = markov_plant();
+        let c = CompiledPlant::compile(&plant).unwrap().unwrap();
+        let trip = plant.trip_set().unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut state = c.initial_state();
+        let mut budget_hits = 0;
+        let mut demands = 0;
+        for _ in 0..200 {
+            match c.next_demand(&mut state, 3_000, &mut rng) {
+                CompiledEvent::Demand { quiet_gap, demand } => {
+                    assert!(quiet_gap < 3_000);
+                    assert!(trip.contains(demand));
+                    assert_eq!(
+                        state as usize,
+                        c.space().index_of(demand).unwrap(),
+                        "state must follow the demand"
+                    );
+                    demands += 1;
+                }
+                CompiledEvent::Quiet { ticks } => {
+                    assert_eq!(ticks, 3_000);
+                    budget_hits += 1;
+                }
+            }
+        }
+        assert!(demands > 0, "compiled sampler never produced a demand");
+        // With a 16-cell trip set on 900 cells and slow mixing, some
+        // 3000-tick windows should be demand-free too.
+        assert!(budget_hits > 0, "budget cap never exercised");
+        // Zero budget is all-quiet.
+        assert_eq!(
+            c.next_demand(&mut state, 0, &mut rng),
+            CompiledEvent::Quiet { ticks: 0 }
+        );
+    }
+
+    #[test]
+    fn degenerate_single_cell_space_demands_every_tick() {
+        // A 1×1 space with the trip set on its only cell: every tick
+        // re-enters the trip set, so the compiled demand gap is always 0.
+        let s = GridSpace2D::new(1, 1).unwrap();
+        let plant = Plant::markov_walk(s, Region::rect(0, 0, 0, 0), 1, 1.0).unwrap();
+        let c = CompiledPlant::compile(&plant).unwrap().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut state = c.initial_state();
+        match c.next_demand(&mut state, 10, &mut rng) {
+            CompiledEvent::Demand { quiet_gap, .. } => assert_eq!(quiet_gap, 0),
+            other => panic!("expected an immediate demand, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interval_distribution_matches_stepwise_simulation() {
+        // The compiled sampler and the tick loop are the same process:
+        // compare mean demand interval over many demands.
+        let plant = markov_plant();
+        let c = CompiledPlant::compile(&plant).unwrap().unwrap();
+        let demands_wanted = 4_000;
+
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut state = c.initial_state();
+        let mut compiled_gaps = Vec::with_capacity(demands_wanted);
+        while compiled_gaps.len() < demands_wanted {
+            if let CompiledEvent::Demand { quiet_gap, .. } =
+                c.next_demand(&mut state, u64::MAX, &mut rng)
+            {
+                compiled_gaps.push(quiet_gap as f64);
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut s = plant.initial_state();
+        let mut stepwise_gaps = Vec::with_capacity(demands_wanted);
+        let mut gap = 0u64;
+        while stepwise_gaps.len() < demands_wanted {
+            let (next, ev) = plant.step(s, &mut rng);
+            s = next;
+            match ev {
+                PlantEvent::Quiet => gap += 1,
+                PlantEvent::Demand(_) => {
+                    stepwise_gaps.push(gap as f64);
+                    gap = 0;
+                }
+            }
+        }
+
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let (mc, ms) = (mean(&compiled_gaps), mean(&stepwise_gaps));
+        // Heavy-tailed-ish intervals: compare means within 10%.
+        assert!(
+            (mc - ms).abs() / ms < 0.1,
+            "compiled mean gap {mc} vs stepwise {ms}"
+        );
+    }
+
+    #[test]
+    fn alias_forest_reproduces_weights() {
+        let mut b = AliasForestBuilder::new(2);
+        b.push_state(&[(0, 0.1), (1, 0.3), (2, 0.6)]);
+        b.push_state(&[]);
+        let f = b.finish();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0u32; 3];
+        let n = 60_000;
+        for _ in 0..n {
+            counts[f.sample(0, &mut rng) as usize] += 1;
+        }
+        for (i, want) in [0.1, 0.3, 0.6].iter().enumerate() {
+            let freq = counts[i] as f64 / n as f64;
+            assert!((freq - want).abs() < 0.01, "cell {i}: {freq} vs {want}");
+        }
+    }
+}

@@ -14,6 +14,17 @@
 //!   physically-flavoured, autocorrelated demand stream whose *induced*
 //!   profile is an emergent property, used to stress the assumption that
 //!   demands are profile-i.i.d.
+//! * [`Plant::markov_walk`] — a *sticky* random walk: each tick the state
+//!   moves with probability `move_prob` (taking a trajectory step) and
+//!   holds its operating point otherwise. Operating points that persist
+//!   for many ticks are what real plants do between transients, and they
+//!   are exactly the structure the demand compiler
+//!   ([`crate::compiler::CompiledPlant`]) exploits: the holding time in a
+//!   state is geometric, so quiet ticks can be skipped analytically.
+//!
+//! Trajectory and Markov-walk plants expose their exact one-step
+//! transition law through [`Plant::transition_row`]; the rate plant is
+//! memoryless and exposes [`Plant::rate_parts`] instead.
 
 use crate::error::ProtectionError;
 use divrel_demand::profile::Profile;
@@ -46,6 +57,12 @@ enum PlantKind {
         space: GridSpace2D,
         trip_set: Region,
         step: u32,
+    },
+    Markov {
+        space: GridSpace2D,
+        trip_set: Region,
+        step: u32,
+        move_prob: f64,
     },
 }
 
@@ -99,11 +116,54 @@ impl Plant {
         })
     }
 
+    /// A sticky random-walk plant over `space`: each tick the state takes
+    /// a [`Plant::trajectory`]-style step with probability `move_prob`
+    /// and holds its current operating point otherwise. Entering
+    /// `trip_set` raises a demand at the new state (holding *inside* the
+    /// trip set re-raises the demand, exactly as the trajectory plant
+    /// does).
+    ///
+    /// Small `move_prob` models a plant that dwells at operating points
+    /// for `~1/move_prob` ticks between excursions — the regime in which
+    /// the compiled gap sampler pays off.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtectionError::InvalidConfig`] for `step == 0` or
+    /// `move_prob` outside `(0, 1]`; [`ProtectionError::Demand`] if the
+    /// trip set leaves the space.
+    pub fn markov_walk(
+        space: GridSpace2D,
+        trip_set: Region,
+        step: u32,
+        move_prob: f64,
+    ) -> Result<Self, ProtectionError> {
+        if step == 0 {
+            return Err(ProtectionError::InvalidConfig(
+                "markov-walk step must be >= 1".into(),
+            ));
+        }
+        if !(move_prob > 0.0 && move_prob <= 1.0) {
+            return Err(ProtectionError::InvalidConfig(format!(
+                "move probability {move_prob} not in (0, 1]"
+            )));
+        }
+        trip_set.validate_within(&space)?;
+        Ok(Plant {
+            kind: PlantKind::Markov {
+                space,
+                trip_set,
+                step,
+                move_prob,
+            },
+        })
+    }
+
     /// The demand space the plant's demands live in.
     pub fn space(&self) -> &GridSpace2D {
         match &self.kind {
             PlantKind::Rate { profile, .. } => profile.space(),
-            PlantKind::Trajectory { space, .. } => space,
+            PlantKind::Trajectory { space, .. } | PlantKind::Markov { space, .. } => space,
         }
     }
 
@@ -127,20 +187,64 @@ impl Plant {
                 trip_set,
                 step,
             } => {
-                let walk = |v: u32, max: u32, rng: &mut R| -> u32 {
-                    let delta = rng.gen_range(-(*step as i64)..=*step as i64);
-                    (v as i64 + delta).clamp(0, max as i64 - 1) as u32
-                };
-                let next = Demand::new(
-                    walk(state.var1, space.nx(), rng),
-                    walk(state.var2, space.ny(), rng),
-                );
-                let event = if trip_set.contains(next) {
-                    PlantEvent::Demand(next)
+                let next = walk_step(state, *step, space, rng);
+                (next, classify(next, trip_set))
+            }
+            PlantKind::Markov {
+                space,
+                trip_set,
+                step,
+                move_prob,
+            } => {
+                let next = if rng.gen::<f64>() < *move_prob {
+                    walk_step(state, *step, space, rng)
                 } else {
-                    PlantEvent::Quiet
+                    state
                 };
-                (next, event)
+                (next, classify(next, trip_set))
+            }
+        }
+    }
+
+    /// The exact one-step transition law from `state`, as
+    /// `(successor, probability)` pairs with positive probability summing
+    /// to 1 — the row of the plant's Markov transition matrix that the
+    /// demand compiler consumes. `None` for the memoryless rate plant
+    /// (whose structure is exposed by [`Plant::rate_parts`] instead).
+    ///
+    /// Rows are exact: the clamped random-walk deltas of each axis are
+    /// enumerated combinatorially, so the returned distribution is the
+    /// law [`Plant::step`] samples from, not an estimate of it.
+    pub fn transition_row(&self, state: Demand) -> Option<Vec<(Demand, f64)>> {
+        match &self.kind {
+            PlantKind::Rate { .. } => None,
+            PlantKind::Trajectory { space, step, .. } => Some(walk_row(state, *step, space, 1.0)),
+            PlantKind::Markov {
+                space,
+                step,
+                move_prob,
+                ..
+            } => {
+                let mut row = walk_row(state, *step, space, *move_prob);
+                let hold = 1.0 - move_prob;
+                if hold > 0.0 {
+                    match row.iter_mut().find(|(d, _)| *d == state) {
+                        Some((_, p)) => *p += hold,
+                        None => row.push((state, hold)),
+                    }
+                }
+                Some(row)
+            }
+        }
+    }
+
+    /// The trip set of a trajectory or Markov-walk plant (`None` for the
+    /// rate plant, whose demands carry their own values).
+    pub fn trip_set(&self) -> Option<&Region> {
+        match &self.kind {
+            PlantKind::Rate { .. } => None,
+            PlantKind::Trajectory { trip_set, .. } | PlantKind::Markov { trip_set, .. } => {
+                Some(trip_set)
             }
         }
     }
@@ -158,7 +262,7 @@ impl Plant {
                 profile,
                 demand_rate,
             } => Some((profile, *demand_rate)),
-            PlantKind::Trajectory { .. } => None,
+            PlantKind::Trajectory { .. } | PlantKind::Markov { .. } => None,
         }
     }
 
@@ -167,6 +271,63 @@ impl Plant {
         let s = self.space();
         Demand::new(s.nx() / 2, s.ny() / 2)
     }
+}
+
+/// One clamped random-walk step (shared by the trajectory and Markov
+/// kinds).
+fn walk_step<R: Rng + ?Sized>(
+    state: Demand,
+    step: u32,
+    space: &GridSpace2D,
+    rng: &mut R,
+) -> Demand {
+    let walk = |v: u32, max: u32, rng: &mut R| -> u32 {
+        let delta = rng.gen_range(-(step as i64)..=step as i64);
+        (v as i64 + delta).clamp(0, max as i64 - 1) as u32
+    };
+    Demand::new(
+        walk(state.var1, space.nx(), rng),
+        walk(state.var2, space.ny(), rng),
+    )
+}
+
+fn classify(next: Demand, trip_set: &Region) -> PlantEvent {
+    if trip_set.contains(next) {
+        PlantEvent::Demand(next)
+    } else {
+        PlantEvent::Quiet
+    }
+}
+
+/// The exact distribution of one clamped-walk axis: each delta in
+/// `[-step, step]` is equally likely and clamping folds out-of-range
+/// deltas onto the boundary cells.
+fn axis_row(v: u32, max: u32, step: u32) -> Vec<(u32, f64)> {
+    let per = 1.0 / (2 * step + 1) as f64;
+    let mut out: Vec<(u32, f64)> = Vec::with_capacity(2 * step as usize + 1);
+    for delta in -(step as i64)..=step as i64 {
+        let t = (v as i64 + delta).clamp(0, max as i64 - 1) as u32;
+        match out.last_mut() {
+            // Deltas are scanned in order, so clamped duplicates are
+            // adjacent and fold into the previous entry.
+            Some((prev, p)) if *prev == t => *p += per,
+            _ => out.push((t, per)),
+        }
+    }
+    out
+}
+
+/// The joint clamped-walk row, scaled by `scale` (the move probability).
+fn walk_row(state: Demand, step: u32, space: &GridSpace2D, scale: f64) -> Vec<(Demand, f64)> {
+    let xs = axis_row(state.var1, space.nx(), step);
+    let ys = axis_row(state.var2, space.ny(), step);
+    let mut row = Vec::with_capacity(xs.len() * ys.len());
+    for &(y, py) in &ys {
+        for &(x, px) in &xs {
+            row.push((Demand::new(x, y), scale * px * py));
+        }
+    }
+    row
 }
 
 #[cfg(test)]
@@ -258,5 +419,77 @@ mod tests {
         let s = GridSpace2D::new(10, 30).unwrap();
         let plant = Plant::trajectory(s, Region::rect(0, 0, 1, 1), 1).unwrap();
         assert_eq!(plant.initial_state(), Demand::new(5, 15));
+    }
+
+    #[test]
+    fn markov_walk_validation() {
+        let s = GridSpace2D::new(10, 10).unwrap();
+        let trip = Region::rect(0, 0, 2, 2);
+        assert!(Plant::markov_walk(s, trip.clone(), 0, 0.5).is_err());
+        assert!(Plant::markov_walk(s, trip.clone(), 1, 0.0).is_err());
+        assert!(Plant::markov_walk(s, trip.clone(), 1, 1.5).is_err());
+        assert!(Plant::markov_walk(s, Region::rect(0, 0, 12, 2), 1, 0.5).is_err());
+        assert!(Plant::markov_walk(s, trip, 1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn markov_walk_holds_its_state() {
+        // move_prob 0.25: roughly three quarters of the ticks hold.
+        let s = GridSpace2D::new(20, 20).unwrap();
+        let plant = Plant::markov_walk(s, Region::rect(0, 0, 1, 1), 2, 0.25).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut state = plant.initial_state();
+        let mut held = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let (next, _) = plant.step(state, &mut rng);
+            if next == state {
+                held += 1;
+            }
+            state = next;
+        }
+        // P(hold) = 0.75 + 0.25 / 25 (a move that draws delta (0, 0)).
+        let want = 0.75 + 0.25 / 25.0;
+        assert!((held as f64 / n as f64 - want).abs() < 0.02);
+    }
+
+    #[test]
+    fn transition_row_is_a_distribution_matching_step() {
+        let s = GridSpace2D::new(12, 12).unwrap();
+        let trip = Region::rect(0, 0, 1, 1);
+        for plant in [
+            Plant::trajectory(s, trip.clone(), 2).unwrap(),
+            Plant::markov_walk(s, trip.clone(), 2, 0.3).unwrap(),
+        ] {
+            // Interior state and a corner state (clamping folds mass).
+            for state in [Demand::new(6, 6), Demand::new(0, 0)] {
+                let row = plant.transition_row(state).unwrap();
+                let total: f64 = row.iter().map(|&(_, p)| p).sum();
+                assert!((total - 1.0).abs() < 1e-12, "row mass {total}");
+                assert!(row.iter().all(|&(_, p)| p > 0.0));
+                // Empirical one-step frequencies match the row.
+                let mut rng = StdRng::seed_from_u64(21);
+                let n = 40_000;
+                let mut counts = std::collections::HashMap::new();
+                for _ in 0..n {
+                    let (next, _) = plant.step(state, &mut rng);
+                    *counts.entry(next).or_insert(0u32) += 1;
+                }
+                for &(d, p) in &row {
+                    let freq = *counts.get(&d).unwrap_or(&0) as f64 / n as f64;
+                    assert!((freq - p).abs() < 0.015, "{d}: freq {freq} vs row prob {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rate_plant_has_no_transition_row_or_trip_set() {
+        let s = GridSpace2D::new(10, 10).unwrap();
+        let plant = Plant::with_demand_rate(Profile::uniform(&s), 0.5).unwrap();
+        assert!(plant.transition_row(Demand::new(0, 0)).is_none());
+        assert!(plant.trip_set().is_none());
+        let t = Plant::trajectory(s, Region::rect(0, 0, 2, 2), 1).unwrap();
+        assert!(t.trip_set().is_some());
     }
 }

@@ -12,21 +12,35 @@
 //! collapses to ~one iteration per *demand* instead of one per tick (a
 //! 400 000-step run at rate `r` does ~`400 000 · r` iterations). Each
 //! demand is then answered from the system's precomputed trip tables
-//! via [`ProtectionSystem::respond_bits`], allocation-free. Trajectory
-//! plants have state, so they keep the exact tick-by-tick loop
-//! ([`run_stepwise`], also kept public as the reference path for
-//! before/after benchmarks).
+//! via [`ProtectionSystem::respond_bits`], allocation-free.
+//!
+//! **State-dependent** (trajectory / Markov-walk) plants go through the
+//! demand compiler ([`crate::compiler::CompiledPlant`]): their one-step
+//! law is compiled to per-state geometric dwell samplers plus alias
+//! tables over the embedded quiet-transition chain, so the run advances
+//! in `record_quiet_n(gap)` jumps between state changes instead of one
+//! RNG draw per tick. Plants the compiler cannot enumerate degrade
+//! gracefully to the exact tick-by-tick loop ([`run_stepwise`], also
+//! kept public as the reference path for before/after benchmarks and
+//! the statistical-equivalence test suite).
+//!
+//! Long campaigns shard across threads with [`run_sharded`]:
+//! deterministic per-shard seeds, one [`OperationLog`] merge at the end,
+//! results reproducible for a fixed seed and shard layout.
 
+use crate::compiler::{CompiledEvent, CompiledPlant};
 use crate::error::ProtectionError;
 use crate::history::OperationLog;
 use crate::plant::{Plant, PlantEvent};
 use crate::system::ProtectionSystem;
 use divrel_demand::profile::Profile;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Runs the plant/system loop for `steps` ticks, returning the operation
 /// log. Memoryless plants take the geometric demand-gap fast path;
-/// trajectory plants run tick by tick.
+/// sticky stateful plants (see [`CompiledPlant::is_profitable`]) take
+/// the compiled demand-gap path; everything else runs tick by tick.
 ///
 /// # Errors
 ///
@@ -38,10 +52,144 @@ pub fn run<R: Rng + ?Sized>(
     steps: u64,
     rng: &mut R,
 ) -> Result<OperationLog, ProtectionError> {
-    match plant.rate_parts() {
-        Some((profile, rate)) => run_rate_gaps(profile, rate, system, steps, rng),
-        None => run_stepwise(plant, system, steps, rng),
+    if let Some((profile, rate)) = plant.rate_parts() {
+        return run_rate_gaps(profile, rate, system, steps, rng);
     }
+    if compile_worthwhile(plant, steps) {
+        if let Some(compiled) = CompiledPlant::compile(plant)? {
+            return run_compiled(&compiled, system, steps, rng);
+        }
+    }
+    run_stepwise(plant, system, steps, rng)
+}
+
+/// Whether a one-shot run of `steps` ticks should pay for compilation:
+/// the plant must be sticky ([`CompiledPlant::is_profitable`]) **and**
+/// long enough to amortise the `O(cells × successors)` compile — a
+/// short run over a huge state space is faster ticked than compiled.
+fn compile_worthwhile(plant: &Plant, steps: u64) -> bool {
+    CompiledPlant::is_profitable(plant) && steps >= 4 * plant.space().cell_count() as u64
+}
+
+/// Runs a pre-compiled plant for `steps` ticks via analytic demand-gap
+/// jumps. Compile once with [`CompiledPlant::compile`] and reuse across
+/// runs (and across threads — see [`run_sharded`]).
+///
+/// # Errors
+///
+/// Propagates [`ProtectionSystem::respond`] errors (impossible for a
+/// validated system over the same space).
+pub fn run_compiled<R: Rng + ?Sized>(
+    compiled: &CompiledPlant,
+    system: &ProtectionSystem,
+    steps: u64,
+    rng: &mut R,
+) -> Result<OperationLog, ProtectionError> {
+    let mut log = OperationLog::new(system.channels().len());
+    let mut state = compiled.initial_state();
+    let mut remaining = steps;
+    while remaining > 0 {
+        match compiled.next_demand(&mut state, remaining, rng) {
+            CompiledEvent::Quiet { ticks } => {
+                log.record_quiet_n(ticks);
+                break;
+            }
+            CompiledEvent::Demand { quiet_gap, demand } => {
+                log.record_quiet_n(quiet_gap);
+                let (tripped, fail_mask) = system.respond_bits(demand)?;
+                log.record_demand_bits(tripped, fail_mask);
+                remaining -= quiet_gap + 1;
+            }
+        }
+    }
+    Ok(log)
+}
+
+/// Splitting constant for per-shard RNG streams (golden-ratio increment,
+/// the same scheme as `divrel_devsim`'s Monte-Carlo sharding).
+const SHARD_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The seed of shard `index` of a campaign seeded with `seed`.
+pub fn shard_seed(seed: u64, index: usize) -> u64 {
+    seed.wrapping_add(SHARD_SEED_STRIDE.wrapping_mul(index as u64 + 1))
+}
+
+/// Runs a long operational campaign sharded across `threads` OS threads
+/// with `std::thread::scope`, merging the per-shard [`OperationLog`]s in
+/// shard order.
+///
+/// Each shard runs an independent replica of the plant (its own RNG
+/// stream via [`shard_seed`], its own initial state), so the merged log
+/// is a campaign over `threads` statistically identical plants rather
+/// than one serialised history — the demand/failure statistics the
+/// assessor consumes are unchanged, which is exactly the property the
+/// determinism test suite checks across shard layouts. Results are
+/// bit-reproducible for a fixed `(seed, threads)` pair.
+///
+/// Compilable plants are compiled **once** and shared by every shard;
+/// rate plants take the geometric path per shard; everything else falls
+/// back to the tick loop per shard.
+///
+/// # Errors
+///
+/// [`ProtectionError::InvalidConfig`] for `threads == 0`; otherwise
+/// propagated response errors from any shard.
+pub fn run_sharded(
+    plant: &Plant,
+    system: &ProtectionSystem,
+    steps: u64,
+    threads: usize,
+    seed: u64,
+) -> Result<OperationLog, ProtectionError> {
+    if threads == 0 {
+        return Err(ProtectionError::InvalidConfig(
+            "sharded campaign needs >= 1 thread".into(),
+        ));
+    }
+    // One compilation is amortised across every shard, but fast-mixing
+    // plants still simulate faster tick by tick, so the same
+    // worthwhileness probe as `run` applies (against the whole campaign
+    // length — the compile happens once, not per shard).
+    let compiled = if compile_worthwhile(plant, steps) {
+        CompiledPlant::compile(plant)?
+    } else {
+        None
+    };
+    let shards = shard_steps(steps, threads);
+    let mut results: Vec<Result<OperationLog, ProtectionError>> = Vec::with_capacity(shards.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(shards.len());
+        for (i, &count) in shards.iter().enumerate() {
+            let compiled = compiled.as_ref();
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(shard_seed(seed, i));
+                match compiled {
+                    Some(c) => run_compiled(c, system, count, &mut rng),
+                    None => run(plant, system, count, &mut rng),
+                }
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("campaign shard panicked"));
+        }
+    });
+    let mut merged = OperationLog::new(system.channels().len());
+    for r in results {
+        merged.merge(&r?);
+    }
+    Ok(merged)
+}
+
+/// Splits `steps` into at most `threads` near-equal shard sizes
+/// (empty shards are dropped).
+fn shard_steps(steps: u64, threads: usize) -> Vec<u64> {
+    let t = (threads as u64).min(steps).max(1);
+    let base = steps / t;
+    let extra = steps % t;
+    (0..t)
+        .map(|i| base + u64::from(i < extra))
+        .filter(|&c| c > 0)
+        .collect()
 }
 
 /// The reference tick-by-tick loop (every plant step draws the RNG).
@@ -73,10 +221,17 @@ pub fn run_stepwise<R: Rng + ?Sized>(
     Ok(log)
 }
 
-/// Quiet-gap sampler: number of quiet steps before the next demand of a
-/// memoryless plant with per-step demand probability `rate`
-/// (geometric, `P(gap = k) = (1 − r)^k · r`).
-fn geometric_gap<R: Rng + ?Sized>(inv_log_survive: f64, remaining: u64, rng: &mut R) -> u64 {
+/// Capped geometric sampler shared by the rate-plant gap path and the
+/// compiled per-state dwell path: the number of consecutive "survive"
+/// ticks before the first "exit" tick, `P(gap = k) = s^k · (1 − s)`
+/// with survive probability `s`, truncated at `remaining`.
+/// `inv_log_survive = 1 / ln(s)`, with `0.0` encoding `s = 0` (exit
+/// every tick).
+pub(crate) fn geometric_gap<R: Rng + ?Sized>(
+    inv_log_survive: f64,
+    remaining: u64,
+    rng: &mut R,
+) -> u64 {
     if inv_log_survive == 0.0 {
         return 0; // rate = 1: every step is a demand
     }
@@ -157,6 +312,33 @@ pub fn run_until_demands<R: Rng + ?Sized>(
             let d = profile.sample(rng);
             let (tripped, fail_mask) = system.respond_bits(d)?;
             log.record_demand_bits(tripped, fail_mask);
+        }
+        return Ok(log);
+    }
+    if let Some(compiled) = compile_worthwhile(plant, max_steps)
+        .then(|| CompiledPlant::compile(plant))
+        .transpose()?
+        .flatten()
+    {
+        let mut log = OperationLog::new(system.channels().len());
+        let mut state = compiled.initial_state();
+        let mut steps_left = max_steps;
+        while log.demands() < demands {
+            match compiled.next_demand(&mut state, steps_left, rng) {
+                CompiledEvent::Quiet { .. } => {
+                    return Err(ProtectionError::DemandShortfall {
+                        observed: log.demands(),
+                        target: demands,
+                        max_steps,
+                    });
+                }
+                CompiledEvent::Demand { quiet_gap, demand } => {
+                    log.record_quiet_n(quiet_gap);
+                    steps_left -= quiet_gap + 1;
+                    let (tripped, fail_mask) = system.respond_bits(demand)?;
+                    log.record_demand_bits(tripped, fail_mask);
+                }
+            }
         }
         return Ok(log);
     }
@@ -376,6 +558,142 @@ mod tests {
         )
         .unwrap();
         assert_eq!(healthy.true_pfd(&profile).unwrap(), 0.0);
+    }
+
+    fn markov_setup() -> (Plant, ProtectionSystem) {
+        let space = GridSpace2D::new(40, 40).unwrap();
+        let map = FaultRegionMap::new(
+            space,
+            vec![Region::rect(0, 0, 3, 3), Region::rect(2, 2, 5, 5)],
+        )
+        .unwrap();
+        let system = ProtectionSystem::new(
+            vec![
+                Channel::new("A", ProgramVersion::new(vec![true, false])),
+                Channel::new("B", ProgramVersion::new(vec![false, true])),
+            ],
+            Adjudicator::OneOutOfN,
+            map,
+        )
+        .unwrap();
+        let plant = Plant::markov_walk(space, Region::rect(0, 0, 7, 7), 2, 0.1).unwrap();
+        (plant, system)
+    }
+
+    /// Mean and standard deviation of per-replica demand counts.
+    fn replica_stats(counts: &[f64]) -> (f64, f64) {
+        let n = counts.len() as f64;
+        let mean = counts.iter().sum::<f64>() / n;
+        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / (n - 1.0);
+        (mean, var.sqrt())
+    }
+
+    #[test]
+    fn markov_plant_takes_compiled_path_and_matches_stepwise_statistics() {
+        // The demand stream of a sticky Markov plant is bursty (demands
+        // cluster during rare excursions into the trip region), so a
+        // single run's demand count has variance far beyond the binomial
+        // band. Compare replica means instead, with a tolerance derived
+        // from the observed replica spread.
+        let (plant, system) = markov_setup();
+        let (steps, replicas) = (100_000u64, 16);
+        // Guard the premise: `run` must actually pick the compiled path
+        // here, or this degenerates to stepwise-vs-stepwise.
+        assert!(
+            compile_worthwhile(&plant, steps),
+            "markov test plant no longer takes the compiled path"
+        );
+        let mut fast_counts = Vec::new();
+        let mut slow_counts = Vec::new();
+        let mut fast_failures = 0u64;
+        let mut fast_demands = 0u64;
+        let mut slow_failures = 0u64;
+        let mut slow_demands = 0u64;
+        for r in 0..replicas {
+            let mut rng = StdRng::seed_from_u64(1_000 + r);
+            let fast = run(&plant, &system, steps, &mut rng).unwrap();
+            assert_eq!(fast.steps(), steps);
+            fast_counts.push(fast.demands() as f64);
+            fast_failures += fast.system_failures();
+            fast_demands += fast.demands();
+            let mut rng = StdRng::seed_from_u64(2_000 + r);
+            let slow = run_stepwise(&plant, &system, steps, &mut rng).unwrap();
+            assert_eq!(slow.steps(), steps);
+            slow_counts.push(slow.demands() as f64);
+            slow_failures += slow.system_failures();
+            slow_demands += slow.demands();
+        }
+        let (mf, sf) = replica_stats(&fast_counts);
+        let (ms, ss) = replica_stats(&slow_counts);
+        assert!(mf > 500.0, "compiled runs saw no traffic");
+        let stderr = ((sf * sf + ss * ss) / replicas as f64).sqrt();
+        assert!(
+            (mf - ms).abs() < 4.0 * stderr + 1.0,
+            "compiled mean demands {mf} vs stepwise {ms} (stderr {stderr})"
+        );
+        // System failure rates per demand agree (demand values land in
+        // the same places).
+        let pf = fast_failures as f64 / fast_demands as f64;
+        let ps = slow_failures as f64 / slow_demands as f64;
+        assert!((pf - ps).abs() < 0.01, "failure rate {pf} vs {ps}");
+    }
+
+    #[test]
+    fn run_until_demands_compiled_path_reaches_target_and_reports_shortfall() {
+        let (plant, system) = markov_setup();
+        let mut rng = StdRng::seed_from_u64(33);
+        let log = run_until_demands(&plant, &system, 200, 10_000_000, &mut rng).unwrap();
+        assert_eq!(log.demands(), 200);
+        let mut rng = StdRng::seed_from_u64(34);
+        let err = run_until_demands(&plant, &system, 200, 50, &mut rng).unwrap_err();
+        assert!(matches!(
+            err,
+            ProtectionError::DemandShortfall {
+                target: 200,
+                max_steps: 50,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn sharded_campaign_is_deterministic_per_seed_and_layout() {
+        // Mirrors devsim's `deterministic_per_seed_and_thread_invariant`:
+        // a fixed (seed, shard count) pair reproduces exactly; different
+        // shard layouts are distinct streams but statistically consistent.
+        let (plant, system) = markov_setup();
+        let steps = 200_000u64;
+        let a = run_sharded(&plant, &system, steps, 4, 7).unwrap();
+        let b = run_sharded(&plant, &system, steps, 4, 7).unwrap();
+        assert_eq!(a, b, "same seed and layout must reproduce exactly");
+        assert_eq!(a.steps(), steps);
+        let c = run_sharded(&plant, &system, steps, 1, 7).unwrap();
+        assert_eq!(c.steps(), steps);
+        // Different layouts are different RNG streams; the bursty demand
+        // stream keeps single-campaign counts noisy, so only require
+        // loose consistency here (the replica-based test above and the
+        // chi-squared suite in tests/ carry the sharp comparison).
+        let (da, dc) = (a.demands() as f64, c.demands() as f64);
+        assert!(
+            (da - dc).abs() / dc < 0.5,
+            "4-shard demands {da} vs 1-shard {dc}"
+        );
+        // Rate plants shard too, with the same exact-reproduction law.
+        let (rate_plant, rate_system, _) = setup();
+        let r1 = run_sharded(&rate_plant, &rate_system, 100_000, 3, 11).unwrap();
+        let r2 = run_sharded(&rate_plant, &rate_system, 100_000, 3, 11).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(r1.steps(), 100_000);
+        assert!(run_sharded(&rate_plant, &rate_system, 1_000, 0, 1).is_err());
+    }
+
+    #[test]
+    fn shard_steps_cover_and_seeds_differ() {
+        assert_eq!(shard_steps(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(shard_steps(3, 16).iter().sum::<u64>(), 3);
+        assert!(shard_steps(0, 4).is_empty());
+        assert_ne!(shard_seed(0, 0), shard_seed(0, 1));
+        assert_ne!(shard_seed(1, 0), shard_seed(2, 0));
     }
 
     #[test]

@@ -232,6 +232,51 @@ impl ProtectionSystem {
         }
         Ok(pfd)
     }
+
+    /// Multi-threaded [`Self::true_pfd`] for very large demand grids:
+    /// cells are split into contiguous ranges scanned on
+    /// `std::thread::scope` threads, and the per-range masses are summed
+    /// in range order (deterministic for a fixed thread count, equal to
+    /// the serial result up to floating-point re-association).
+    ///
+    /// Grids too small to amortise thread spawns, `threads <= 1`, and
+    /// profiles over a different space all take the serial path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::true_pfd`] errors from the serial fallback
+    /// (none on the parallel path for a validated system).
+    pub fn true_pfd_parallel(
+        &self,
+        profile: &Profile,
+        threads: usize,
+    ) -> Result<f64, ProtectionError> {
+        let cells = self.map.space().cell_count();
+        let probs = profile.probs();
+        if !divrel_demand::parallel::worth_parallelising(cells, threads)
+            || profile.space() != self.map.space()
+            || probs.len() != cells
+        {
+            return self.true_pfd(profile);
+        }
+        let n = self.channels.len();
+        Ok(divrel_demand::parallel::chunked_sum(
+            cells,
+            threads,
+            |range| {
+                let mut pfd = 0.0;
+                for cell in range {
+                    let trips = (0..n)
+                        .filter(|&ch| !self.channel_fails_cell(ch, cell))
+                        .count();
+                    if !self.adjudicator.decide_counts(trips, n) {
+                        pfd += probs[cell];
+                    }
+                }
+                pfd
+            },
+        ))
+    }
 }
 
 impl fmt::Display for ProtectionSystem {
@@ -370,6 +415,47 @@ mod tests {
         assert!(sys.to_string().contains("2 channels"));
     }
 
+    #[test]
+    fn true_pfd_parallel_matches_serial() {
+        // 150×150 = 22 500 cells crosses the parallel threshold.
+        let space = GridSpace2D::new(150, 150).unwrap();
+        let profile = Profile::uniform(&space);
+        let map = FaultRegionMap::new(
+            space,
+            vec![
+                Region::rect(0, 0, 29, 29),
+                Region::rect(20, 20, 49, 49),
+                Region::rect(100, 100, 139, 139),
+            ],
+        )
+        .unwrap();
+        let sys = ProtectionSystem::new(
+            vec![
+                Channel::new("A", ProgramVersion::new(vec![true, true, false])),
+                Channel::new("B", ProgramVersion::new(vec![false, true, true])),
+            ],
+            Adjudicator::OneOutOfN,
+            map,
+        )
+        .unwrap();
+        let serial = sys.true_pfd(&profile).unwrap();
+        assert!(serial > 0.0);
+        for threads in [1, 2, 4, 5] {
+            let par = sys.true_pfd_parallel(&profile, threads).unwrap();
+            assert!(
+                (par - serial).abs() < 1e-12,
+                "{threads} threads: {par} vs {serial}"
+            );
+        }
+        // Small grids silently take the serial path.
+        let small = two_channel_system();
+        let small_profile = Profile::uniform(small.map().space());
+        assert_eq!(
+            small.true_pfd_parallel(&small_profile, 8).unwrap(),
+            small.true_pfd(&small_profile).unwrap()
+        );
+    }
+
     mod properties {
         use super::*;
         use divrel_demand::space::Demand;
@@ -477,6 +563,61 @@ mod tests {
                     }
                 }
                 prop_assert!((sys.true_pfd(&profile).expect("ok") - brute).abs() < 1e-12);
+            }
+
+            /// At the u64 fail-mask ceiling (and at its edges: 1, 63 and
+            /// 64 channels), `respond_bits` must round-trip exactly with
+            /// the allocating `respond`: bit `ch` of the mask set iff
+            /// channel `ch`'s trip flag is false, with identical
+            /// adjudicated decisions — including bit 63, where a shift
+            /// bug would wrap.
+            #[test]
+            fn respond_bits_round_trips_at_the_channel_cap(
+                which in 0usize..3,
+                seed_flags in proptest::collection::vec(proptest::bool::ANY, 64 * 3),
+                x in 0u32..12,
+                y in 0u32..12
+            ) {
+                let n = [1usize, 63, 64][which];
+                let space = GridSpace2D::new(12, 12).expect("valid");
+                let map = FaultRegionMap::new(
+                    space,
+                    vec![
+                        Region::rect(0, 0, 5, 5),
+                        Region::rect(3, 3, 9, 9),
+                        Region::rect(8, 0, 11, 4),
+                    ],
+                )
+                .expect("valid");
+                let channels: Vec<Channel> = (0..n)
+                    .map(|ch| {
+                        let flags: Vec<bool> =
+                            (0..3).map(|r| seed_flags[ch * 3 + r]).collect();
+                        Channel::new(format!("C{ch}"), ProgramVersion::new(flags))
+                    })
+                    .collect();
+                let sys = ProtectionSystem::new(channels, Adjudicator::OneOutOfN, map)
+                    .expect("<= 64 channels is constructible");
+                let d = Demand::new(x, y);
+                let full = sys.respond(d).expect("ok");
+                let (tripped, fail_mask) = sys.respond_bits(d).expect("ok");
+                prop_assert_eq!(tripped, full.tripped);
+                for (ch, &trip) in full.channel_trips.iter().enumerate() {
+                    prop_assert_eq!(
+                        fail_mask >> ch & 1 == 1,
+                        !trip,
+                        "channel {} of {}: mask bit disagrees with respond()",
+                        ch,
+                        n
+                    );
+                }
+                // No stray bits above the channel count.
+                if n < 64 {
+                    prop_assert_eq!(fail_mask >> n, 0);
+                }
+                // The mask's popcount reproduces the adjudicated tally.
+                let trips = n - fail_mask.count_ones() as usize;
+                prop_assert_eq!(sys.adjudicator().decide_counts(trips, n), tripped);
             }
         }
     }
