@@ -1,10 +1,10 @@
 //! Before/after benchmark driver: measures the previous-PR baselines
 //! against the current fast paths and exports the results as
-//! `BENCH_<tag>.json` (default `BENCH_pr2.json` in the current
+//! `BENCH_<tag>.json` (default `BENCH_pr3.json` in the current
 //! directory; override with `DIVREL_BENCH_TAG` / first CLI argument as
 //! the output path).
 //!
-//! Two baseline generations appear:
+//! Three baseline generations appear:
 //!
 //! * the **seed** algorithms (`Vec<bool>` fault sets, one RNG draw per
 //!   potential fault, per-fault geometric region tests) — kept so the
@@ -12,9 +12,17 @@
 //! * the **PR 1** tick loop (`run_stepwise`) as the "legacy" side of
 //!   the PR 2 rows: the Markov demand compiler, sharded campaigns and
 //!   parallel `true_pfd` are all measured against it or the serial
-//!   equivalent.
+//!   equivalent;
+//! * the **PR 2** cell-by-cell execution (1 worker) as the "legacy"
+//!   side of the PR 3 `sweep/*` rows: whole experiment grids on the
+//!   deterministic sweep engine, 1 thread vs all cores. Both sides are
+//!   bit-identical by construction (asserted before measuring), so the
+//!   row records pure scheduling gain — ≈1× on a single-core host, by
+//!   design.
 
+use divrel_bench::context::default_sweep_threads;
 use divrel_bench::perf::{to_json, Comparison};
+use divrel_bench::sweep::{forced_sweep, kl_sweep, pfd_sample_sweep};
 use divrel_demand::mapping::FaultRegionMap;
 use divrel_demand::profile::Profile;
 use divrel_demand::region::Region;
@@ -120,7 +128,7 @@ fn legacy_protection_run(
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| {
-        let tag = std::env::var("DIVREL_BENCH_TAG").unwrap_or_else(|_| "pr2".into());
+        let tag = std::env::var("DIVREL_BENCH_TAG").unwrap_or_else(|_| "pr3".into());
         format!("BENCH_{tag}.json")
     });
     let mut results: Vec<Comparison> = Vec::new();
@@ -485,7 +493,124 @@ fn main() {
         results.push(c);
     }
 
-    let json = to_json(2, &results);
+    // --- sweep/*: the PR 3 headline ------------------------------------
+    // Whole experiment grids on the deterministic sweep engine: the
+    // legacy side runs the identical grid cell-by-cell (1 worker), the
+    // fast side shards it over all cores. The reduced statistics are
+    // bit-identical either way (asserted first), so the rows measure
+    // scheduling alone and honestly record ≈1× on single-core hosts.
+    {
+        let threads = default_sweep_threads();
+
+        // The 10k-pair devsim grid as a sweep (the mc_10k_pairs workload).
+        let exp = MonteCarloExperiment::new(model_of_size(32), FaultIntroduction::Independent)
+            .samples(10_000)
+            .seed(1);
+        let serial = exp.clone().threads(1).run().expect("runs");
+        let sharded = exp.clone().threads(threads).run().expect("runs");
+        assert_eq!(serial, sharded, "sweep results diverged across threads");
+        let c = Comparison::measure(
+            &format!("sweep/mc_10k_pairs/{threads}threads"),
+            || {
+                black_box(exp.clone().threads(1).run().expect("runs"));
+            },
+            || {
+                black_box(exp.clone().threads(threads).run().expect("runs"));
+            },
+        );
+        println!(
+            "{:<44} {:>10.1} -> {:>9.1} ns  ({:.2}x)",
+            c.name,
+            c.legacy_ns,
+            c.fast_ns,
+            c.speedup()
+        );
+        results.push(c);
+
+        // The E16 Knight–Leveson replication grid.
+        let kl_model = divrel_bench::experiments::knight_leveson::student_experiment_model()
+            .expect("valid model");
+        assert_eq!(
+            kl_sweep(&kl_model, 48, 2001, 1).expect("runs"),
+            kl_sweep(&kl_model, 48, 2001, threads).expect("runs"),
+            "KL sweep diverged across threads"
+        );
+        let c = Comparison::measure(
+            &format!("sweep/knight_leveson/{threads}threads"),
+            || {
+                black_box(kl_sweep(&kl_model, 48, 2001, 1).expect("runs"));
+            },
+            || {
+                black_box(kl_sweep(&kl_model, 48, 2001, threads).expect("runs"));
+            },
+        );
+        println!(
+            "{:<44} {:>10.1} -> {:>9.1} ns  ({:.2}x)",
+            c.name,
+            c.legacy_ns,
+            c.fast_ns,
+            c.speedup()
+        );
+        results.push(c);
+
+        // The E17 forced-diversity random-process grid.
+        assert_eq!(
+            forced_sweep(2_000, 2001, 1).expect("runs"),
+            forced_sweep(2_000, 2001, threads).expect("runs"),
+            "forced sweep diverged across threads"
+        );
+        let c = Comparison::measure(
+            &format!("sweep/forced_diversity/{threads}threads"),
+            || {
+                black_box(forced_sweep(2_000, 2001, 1).expect("runs"));
+            },
+            || {
+                black_box(forced_sweep(2_000, 2001, threads).expect("runs"));
+            },
+        );
+        println!(
+            "{:<44} {:>10.1} -> {:>9.1} ns  ({:.2}x)",
+            c.name,
+            c.legacy_ns,
+            c.fast_ns,
+            c.speedup()
+        );
+        results.push(c);
+
+        // Raw PFD sample assembly over the sharded grid.
+        let m32 = model_of_size(32);
+        assert_eq!(
+            pfd_sample_sweep(&m32, FaultIntroduction::Independent, 10_000, 5, 1).expect("runs"),
+            pfd_sample_sweep(&m32, FaultIntroduction::Independent, 10_000, 5, threads)
+                .expect("runs"),
+            "PFD sample sweep diverged across threads"
+        );
+        let c = Comparison::measure(
+            &format!("sweep/pfd_samples_10k/{threads}threads"),
+            || {
+                black_box(
+                    pfd_sample_sweep(&m32, FaultIntroduction::Independent, 10_000, 5, 1)
+                        .expect("runs"),
+                );
+            },
+            || {
+                black_box(
+                    pfd_sample_sweep(&m32, FaultIntroduction::Independent, 10_000, 5, threads)
+                        .expect("runs"),
+                );
+            },
+        );
+        println!(
+            "{:<44} {:>10.1} -> {:>9.1} ns  ({:.2}x)",
+            c.name,
+            c.legacy_ns,
+            c.fast_ns,
+            c.speedup()
+        );
+        results.push(c);
+    }
+
+    let json = to_json(3, &results);
     std::fs::write(&out_path, &json).expect("write bench export");
     println!("\nwrote {out_path}");
     let below: Vec<&Comparison> = results.iter().filter(|c| c.speedup() < 5.0).collect();

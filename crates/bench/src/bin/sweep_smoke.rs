@@ -1,0 +1,118 @@
+//! CI smoke check of the deterministic sweep engine: runs one small
+//! sweep of each ported family at 1 worker and at `DIVREL_SWEEP_THREADS`
+//! workers (the shared [`default_sweep_threads`] contract, floored at 2
+//! so the sharded path always runs) and fails loudly unless every
+//! reduced statistic is **bit-identical** across the two executions.
+//!
+//! This is the cheap, always-on version of `tests/sweep_determinism.rs`:
+//! it exercises the sharded scheduling path on real multi-core CI
+//! hardware in a few hundred milliseconds.
+
+use divrel_bench::context::default_sweep_threads;
+use divrel_bench::experiments::knight_leveson::student_experiment_model;
+use divrel_bench::sweep::{forced_sweep, kl_sweep, pfd_sample_sweep};
+use divrel_demand::mapping::FaultRegionMap;
+use divrel_demand::profile::Profile;
+use divrel_demand::region::Region;
+use divrel_demand::space::GridSpace2D;
+use divrel_demand::version::ProgramVersion;
+use divrel_devsim::experiment::MonteCarloExperiment;
+use divrel_devsim::process::FaultIntroduction;
+use divrel_devsim::sweep::{run_sweep, SweepGrid};
+use divrel_model::FaultModel;
+use divrel_protection::adjudicator::Adjudicator;
+use divrel_protection::channel::Channel;
+use divrel_protection::history::OperationLog;
+use divrel_protection::plant::Plant;
+use divrel_protection::simulation;
+use divrel_protection::system::ProtectionSystem;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let threads = default_sweep_threads().max(2);
+    println!("sweep smoke: 1 worker vs {threads} workers, asserting bit-identity");
+
+    // Devsim Monte-Carlo grid.
+    let model = FaultModel::from_params(
+        &[0.10, 0.07, 0.05, 0.03, 0.02, 0.01],
+        &[0.004, 0.010, 0.002, 0.020, 0.006, 0.030],
+    )
+    .expect("valid model");
+    let exp = MonteCarloExperiment::new(model.clone(), FaultIntroduction::Independent)
+        .samples(6_000)
+        .seed(2001);
+    let serial = exp.clone().threads(1).run().expect("runs");
+    let sharded = exp.clone().threads(threads).run().expect("runs");
+    assert_eq!(serial, sharded, "Monte-Carlo grid diverged across threads");
+    assert_eq!(
+        serial.single.mean_pfd.to_bits(),
+        sharded.single.mean_pfd.to_bits()
+    );
+    println!(
+        "  mc_grid/6k          OK  (mean PFD {:.6e})",
+        serial.single.mean_pfd
+    );
+
+    // Knight–Leveson replication grid.
+    let kl_model = student_experiment_model().expect("valid model");
+    let kl1 = kl_sweep(&kl_model, 12, 2001, 1).expect("runs");
+    let klt = kl_sweep(&kl_model, 12, 2001, threads).expect("runs");
+    assert_eq!(kl1, klt, "KL sweep diverged across threads");
+    println!(
+        "  knight_leveson/12   OK  (reduced both in {}/{})",
+        kl1.reduced_both, kl1.replications
+    );
+
+    // Forced-diversity grid (f64 accumulator — the hard case).
+    let f1 = forced_sweep(500, 2001, 1).expect("runs");
+    let ft = forced_sweep(500, 2001, threads).expect("runs");
+    assert_eq!(f1, ft, "forced sweep diverged across threads");
+    assert_eq!(f1.advantage_sum.to_bits(), ft.advantage_sum.to_bits());
+    println!(
+        "  forced_diversity    OK  (mean ratio {:.6})",
+        f1.mean_ratio()
+    );
+
+    // Raw sample assembly.
+    let p1 = pfd_sample_sweep(&model, FaultIntroduction::Independent, 4_000, 7, 1).expect("runs");
+    let pt =
+        pfd_sample_sweep(&model, FaultIntroduction::Independent, 4_000, 7, threads).expect("runs");
+    assert_eq!(p1, pt, "PFD sample sweep diverged across threads");
+    println!("  pfd_samples/4k      OK  ({} samples)", p1.singles.len());
+
+    // Protection campaigns as sweep cells, reduced through
+    // OperationLog's SweepReduce (merge) impl.
+    let space = GridSpace2D::new(50, 50).expect("valid space");
+    let profile = Profile::uniform(&space);
+    let regions = vec![Region::rect(0, 0, 9, 9), Region::rect(5, 5, 14, 14)];
+    let map = FaultRegionMap::new(space, regions).expect("valid map");
+    let system = ProtectionSystem::new(
+        vec![
+            Channel::new("A", ProgramVersion::new(vec![true, false])),
+            Channel::new("B", ProgramVersion::new(vec![false, true])),
+        ],
+        Adjudicator::OneOutOfN,
+        map,
+    )
+    .expect("valid system");
+    let plant = Plant::with_demand_rate(profile, 0.05).expect("valid plant");
+    let grid = SweepGrid::new(2001, vec![20_000u64; 8]);
+    let campaign = |workers: usize| -> OperationLog {
+        run_sweep(grid.cells(), workers, |cell| {
+            let mut rng = StdRng::seed_from_u64(cell.seed);
+            simulation::run(&plant, &system, cell.config, &mut rng).expect("runs")
+        })
+        .expect("non-empty grid")
+    };
+    let log1 = campaign(1);
+    let logt = campaign(threads);
+    assert_eq!(log1, logt, "protection campaign sweep diverged");
+    println!(
+        "  protection/8x20k    OK  ({} demands, {} failures)",
+        log1.demands(),
+        log1.system_failures()
+    );
+
+    println!("sweep smoke OK: all reduced statistics bit-identical at 1 and {threads} workers");
+}

@@ -13,20 +13,41 @@ pub struct Context {
     /// Scale factor for Monte-Carlo sample counts (1.0 = full size;
     /// smaller for smoke tests).
     pub scale: f64,
+    /// Worker threads for sweep execution. An execution hint only: the
+    /// sweep engine guarantees bit-identical results at every thread
+    /// count, so this trades wall-clock for cores, never determinism.
+    pub threads: usize,
+}
+
+/// The default sweep thread count: the `DIVREL_SWEEP_THREADS` environment
+/// variable if set to a positive integer, else the available parallelism
+/// capped at 8.
+pub fn default_sweep_threads() -> usize {
+    std::env::var("DIVREL_SWEEP_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(1)
+        })
 }
 
 impl Context {
     /// Default context: `results/`, seed 2001 (the paper's year), full
-    /// sample sizes.
+    /// sample sizes, [`default_sweep_threads`] workers.
     pub fn new() -> Self {
         Context {
             results_root: PathBuf::from("results"),
             seed: 2001,
             scale: 1.0,
+            threads: default_sweep_threads(),
         }
     }
 
     /// A fast configuration for tests: tiny samples in a temp directory.
+    /// Two worker threads, so smoke tests exercise the sharded path.
     pub fn smoke() -> Self {
         Context {
             results_root: std::env::temp_dir().join(format!(
@@ -36,6 +57,7 @@ impl Context {
             )),
             seed: 2001,
             scale: 0.02,
+            threads: 2,
         }
     }
 
@@ -95,6 +117,8 @@ mod tests {
         assert_eq!(c.scale, 1.0);
         assert_eq!(c.samples(10_000), 10_000);
         assert_eq!(Context::default().seed, c.seed);
+        assert!(c.threads >= 1);
+        assert_eq!(Context::smoke().threads, 2);
     }
 
     #[test]

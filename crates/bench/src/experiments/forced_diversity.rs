@@ -14,13 +14,12 @@
 
 use crate::context::{Context, Summary};
 use crate::experiments::{workloads, ExpResult};
+use crate::sweep::forced_sweep;
 use divrel_model::bounds::beta_factor_k;
 use divrel_model::forced::ForcedDiversityModel;
 use divrel_model::DiverseSystem;
 use divrel_report::fmt::sig;
 use divrel_report::Table;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Runs E17.
 ///
@@ -31,25 +30,13 @@ pub fn run(ctx: &Context) -> ExpResult {
     let sink = ctx.sink("E17-forced-diversity")?;
 
     // ---- Forced vs unforced across random process pairs ---------------
-    let mut rng = StdRng::seed_from_u64(ctx.seed);
+    // A sweep-engine grid: cells of random process pairs, each drawing
+    // from its split stream, reduced in canonical order — bit-identical
+    // at any ctx.threads.
     let trials = ctx.samples(5_000);
-    let mut worse_than_unforced = 0usize;
-    let mut advantage_sum = 0.0;
-    for _ in 0..trials {
-        let n = rng.gen_range(1..=12);
-        let pa: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
-        let pb: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
-        let qs: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 0.5 / n as f64).collect();
-        let forced = ForcedDiversityModel::from_params(&pa, &pb, &qs)?;
-        let unforced = forced.averaged_process()?;
-        if forced.mean_pfd_pair() > unforced.mean_pfd_pair() + 1e-12 {
-            worse_than_unforced += 1;
-        }
-        if unforced.mean_pfd_pair() > 0.0 {
-            advantage_sum += forced.mean_pfd_pair() / unforced.mean_pfd_pair();
-        }
-    }
-    let mean_ratio = advantage_sum / trials as f64;
+    let stats = forced_sweep(trials, ctx.seed, ctx.threads)?;
+    let worse_than_unforced = stats.worse_than_unforced as usize;
+    let mean_ratio = stats.mean_ratio();
 
     // ---- The advantage grows with process disagreement -----------------
     let mut t1 = Table::new([

@@ -7,9 +7,15 @@
 //! cannot be redistributed, so we replay the protocol synthetically: 27
 //! versions from a student-experiment-like fault model, all 351 pairs,
 //! and the same three statistics.
+//!
+//! The replication grid runs on the deterministic sweep engine
+//! ([`crate::sweep::kl_sweep`]): one synthetic experiment per cell, each
+//! seeded from its split stream, reduced in canonical cell order — so the
+//! reported statistics are bit-identical at any `ctx.threads`.
 
 use crate::context::{Context, Summary};
 use crate::experiments::ExpResult;
+use crate::sweep::kl_sweep;
 use divrel_devsim::kl::KnightLevesonExperiment;
 use divrel_model::FaultModel;
 use divrel_report::fmt::{factor, sig};
@@ -35,40 +41,13 @@ pub fn run(ctx: &Context) -> ExpResult {
     let sink = ctx.sink("E16-knight-leveson")?;
     let model = student_experiment_model()?;
     let replications = (ctx.samples(2_000) / 10).max(50);
-    let mut reduced_both = 0usize;
-    let mut normal_rejected = 0usize;
-    let mut normal_tested = 0usize;
-    let mut mean_factors = Vec::new();
-    let mut std_factors = Vec::new();
-    for rep in 0..replications {
-        let r = KnightLevesonExperiment::new(model.clone())
-            .seed(ctx.seed + rep as u64)
-            .run()?;
-        if r.diversity_reduced_mean_and_std() {
-            reduced_both += 1;
-        }
-        if let Some(f) = r.mean_reduction() {
-            mean_factors.push(f);
-        }
-        if let Some(f) = r.std_reduction() {
-            std_factors.push(f);
-        }
-        if let Some(ks) = r.normality {
-            normal_tested += 1;
-            if ks.p_value < 0.05 {
-                normal_rejected += 1;
-            }
-        }
-    }
-    let median = |v: &mut Vec<f64>| -> f64 {
-        if v.is_empty() {
-            return f64::NAN;
-        }
-        v.sort_by(|a, b| a.total_cmp(b));
-        v[v.len() / 2]
-    };
-    let med_mean = median(&mut mean_factors);
-    let med_std = median(&mut std_factors);
+    let stats = kl_sweep(&model, replications, ctx.seed, ctx.threads)?;
+    let reduced_both = stats.reduced_both as usize;
+    let normal_rejected = stats.normal_rejected as usize;
+    let normal_tested = stats.normal_tested as usize;
+    let std_factors = stats.std_factors.clone();
+    let med_mean = stats.median_mean_factor();
+    let med_std = stats.median_std_factor();
     // Bootstrap CI on the median σ-reduction across replications, so the
     // "greatly" in §7 comes with an interval, not just a point.
     let mut boot_rng = rand::rngs::StdRng::seed_from_u64(ctx.seed ^ 0xB007);

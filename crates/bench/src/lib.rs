@@ -28,6 +28,7 @@
 pub mod context;
 pub mod experiments;
 pub mod perf;
+pub mod sweep;
 
 pub use context::{Context, Summary};
 

@@ -6,16 +6,21 @@
 //! sampling semantics (experiment E1) and against the §6.1 correlated
 //! variants the analytic model does *not* cover (experiment E13).
 //!
-//! The driver shards work across `std::thread::scope` threads, one seeded
-//! RNG per shard, and merges Welford accumulators; results are independent
-//! of thread count.
+//! The driver runs on the [`crate::sweep`] engine: samples are cut into
+//! fixed-size grid cells whose RNG streams are split from the experiment
+//! seed by counter-based SplitMix64 ([`divrel_numerics::sweep::split_seed`]),
+//! executed by work-stealing workers and reduced in canonical cell order —
+//! so the results are **bit-identical for every thread count**, not merely
+//! statistically close.
 
 use crate::error::DevSimError;
 use crate::factory::VersionFactory;
 use crate::process::FaultIntroduction;
+use crate::sweep::{run_sweep, SweepGrid};
 use divrel_model::FaultModel;
 use divrel_numerics::descriptive::Moments;
 use divrel_numerics::normal::standard_quantile;
+use divrel_numerics::sweep::SweepReduce;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -142,20 +147,23 @@ impl MonteCarloExperiment {
         self
     }
 
-    /// Sets the RNG seed (results are reproducible per seed and
-    /// independent of thread count).
+    /// Sets the RNG seed. Results are bit-reproducible per seed and
+    /// **independent of the thread count**: the sweep-cell layout depends
+    /// only on the sample count, and each cell's stream only on
+    /// `(seed, cell index)`.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
-    /// Sets the number of worker threads.
+    /// Sets the number of worker threads (an execution hint only — the
+    /// results do not depend on it).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
     }
 
-    /// Runs the experiment.
+    /// Runs the experiment on the deterministic sweep engine.
     ///
     /// # Errors
     ///
@@ -169,27 +177,11 @@ impl MonteCarloExperiment {
             });
         }
         let factory = VersionFactory::new(self.model.clone(), self.introduction)?;
-        let shards = self.shard_sizes();
-        let mut shard_results: Vec<ShardAccumulator> = Vec::with_capacity(shards.len());
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(shards.len());
-            for (i, &count) in shards.iter().enumerate() {
-                let factory = &factory;
-                // Distinct, deterministic stream per shard.
-                let shard_seed = self
-                    .seed
-                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
-                handles.push(scope.spawn(move || run_shard(factory, count, shard_seed)));
-            }
-            for h in handles {
-                // A panic in a shard is a programming error; surface it.
-                shard_results.push(h.join().expect("Monte-Carlo shard panicked"));
-            }
-        });
-        let mut acc = ShardAccumulator::default();
-        for s in &shard_results {
-            acc.merge(s);
-        }
+        let grid = SweepGrid::new(self.seed, self.cell_sizes());
+        let acc = run_sweep(grid.cells(), self.threads, |cell| {
+            run_shard(&factory, cell.config, cell.seed)
+        })
+        .expect("at least one cell for samples >= 2");
         let n = self.samples as u64;
         let risk_single_ci = wilson_ci(acc.single_with_faults, n, 0.95)?;
         let risk_pair_ci = wilson_ci(acc.pair_with_common, n, 0.95)?;
@@ -218,14 +210,17 @@ impl MonteCarloExperiment {
         })
     }
 
-    fn shard_sizes(&self) -> Vec<usize> {
-        let t = self.threads.min(self.samples).max(1);
-        let base = self.samples / t;
-        let extra = self.samples % t;
-        (0..t)
-            .map(|i| base + usize::from(i < extra))
-            .filter(|&c| c > 0)
-            .collect()
+    /// Cuts the sample budget into fixed-size sweep cells. The layout is a
+    /// function of `samples` alone — never of the thread count — which is
+    /// what makes the reduced result thread-invariant.
+    fn cell_sizes(&self) -> Vec<usize> {
+        let full = self.samples / MC_CELL_SAMPLES;
+        let rem = self.samples % MC_CELL_SAMPLES;
+        let mut cells = vec![MC_CELL_SAMPLES; full];
+        if rem > 0 {
+            cells.push(rem);
+        }
+        cells
     }
 
     /// Draws the raw PFD samples `(single-version PFDs, pair PFDs)`
@@ -251,6 +246,12 @@ impl MonteCarloExperiment {
     }
 }
 
+/// Samples per sweep cell of the Monte-Carlo driver. Small enough to
+/// keep plenty of cells for work stealing at 10k-sample grids, large
+/// enough that per-cell overhead (RNG seeding, accumulator merge) is
+/// noise.
+const MC_CELL_SAMPLES: usize = 2048;
+
 #[derive(Debug, Default, Clone)]
 struct ShardAccumulator {
     single_pfd: Moments,
@@ -261,8 +262,8 @@ struct ShardAccumulator {
     pair_faults: u64,
 }
 
-impl ShardAccumulator {
-    fn merge(&mut self, other: &ShardAccumulator) {
+impl SweepReduce for ShardAccumulator {
+    fn absorb(&mut self, other: Self) {
         self.single_pfd.merge(&other.single_pfd);
         self.pair_pfd.merge(&other.pair_pfd);
         self.single_with_faults += other.single_with_faults;
@@ -355,6 +356,9 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed_and_thread_invariant() {
+        // The sweep-cell layout depends only on the sample count and each
+        // cell's stream only on (seed, index), so changing the thread
+        // count changes NOTHING about the result — bitwise.
         let m = model();
         let r1 = MonteCarloExperiment::new(m.clone(), FaultIntroduction::Independent)
             .samples(10_000)
@@ -362,24 +366,20 @@ mod tests {
             .threads(1)
             .run()
             .unwrap();
-        let r4 = MonteCarloExperiment::new(m.clone(), FaultIntroduction::Independent)
-            .samples(10_000)
-            .seed(7)
-            .threads(4)
-            .run()
-            .unwrap();
-        // Identical shard seeding => identical totals regardless of thread
-        // count only when shard layout matches; with different layouts the
-        // streams differ, so we require statistical closeness instead.
-        assert!((r1.single.mean_pfd - r4.single.mean_pfd).abs() < 1e-3);
-        // And exact reproducibility for identical configuration:
-        let r4b = MonteCarloExperiment::new(m, FaultIntroduction::Independent)
-            .samples(10_000)
-            .seed(7)
-            .threads(4)
-            .run()
-            .unwrap();
-        assert_eq!(r4, r4b);
+        for threads in [2, 4, 7] {
+            let rt = MonteCarloExperiment::new(m.clone(), FaultIntroduction::Independent)
+                .samples(10_000)
+                .seed(7)
+                .threads(threads)
+                .run()
+                .unwrap();
+            assert_eq!(r1, rt, "threads = {threads}");
+            assert_eq!(
+                r1.single.mean_pfd.to_bits(),
+                rt.single.mean_pfd.to_bits(),
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]
@@ -473,16 +473,19 @@ mod tests {
     }
 
     #[test]
-    fn shard_sizes_cover_samples() {
-        let exp = MonteCarloExperiment::new(model(), FaultIntroduction::Independent)
-            .samples(10)
-            .threads(4);
-        let shards = exp.shard_sizes();
-        assert_eq!(shards.iter().sum::<usize>(), 10);
-        assert!(shards.len() <= 4);
-        let exp1 = MonteCarloExperiment::new(model(), FaultIntroduction::Independent)
-            .samples(3)
-            .threads(16);
-        assert_eq!(exp1.shard_sizes().iter().sum::<usize>(), 3);
+    fn cell_sizes_cover_samples_and_ignore_threads() {
+        for samples in [3usize, 10, 2048, 2049, 10_000, 100_000] {
+            let exp = MonteCarloExperiment::new(model(), FaultIntroduction::Independent)
+                .samples(samples)
+                .threads(4);
+            let cells = exp.cell_sizes();
+            assert_eq!(cells.iter().sum::<usize>(), samples);
+            assert!(cells.iter().all(|&c| c > 0 && c <= MC_CELL_SAMPLES));
+            // The layout is a pure function of the sample count.
+            let exp16 = MonteCarloExperiment::new(model(), FaultIntroduction::Independent)
+                .samples(samples)
+                .threads(16);
+            assert_eq!(cells, exp16.cell_sizes());
+        }
     }
 }

@@ -24,6 +24,11 @@
 //! * [`experiment::MonteCarloExperiment`] — estimates the distribution of
 //!   `Θ₁`/`Θ₂`, fault-free probabilities and the eq (10) risk ratio, with
 //!   confidence intervals and a multi-threaded driver;
+//! * [`sweep`] — the deterministic sweep-sharding engine: experiment
+//!   grids of `SweepCell { config, seed }` values with counter-based
+//!   SplitMix64 stream splitting, executed by work-stealing workers and
+//!   reduced in canonical cell order, so every sweep statistic is
+//!   bit-identical across thread counts;
 //! * [`kl`] — a synthetic replication of the Knight–Leveson experiment
 //!   (27 versions, all pairs) used by §7's qualitative check that
 //!   diversity shrinks both the sample mean *and* the sample standard
@@ -53,6 +58,7 @@ pub mod factory;
 pub mod kl;
 pub mod process;
 pub mod sampler;
+pub mod sweep;
 pub mod testing;
 
 pub use error::DevSimError;

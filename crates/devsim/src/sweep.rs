@@ -1,0 +1,346 @@
+//! Deterministic sweep sharding: experiment grids as verifiable artifacts.
+//!
+//! The paper's claims are demonstrated through whole experiment grids —
+//! thousands of (model-configuration, seed) Monte-Carlo cells — and this
+//! module is the engine that executes such a grid in parallel without
+//! giving up reproducibility:
+//!
+//! * a [`SweepGrid`] expands a list of cell configurations into
+//!   [`SweepCell`]s, each carrying a per-cell RNG seed derived by
+//!   counter-based SplitMix64 splitting
+//!   ([`divrel_numerics::sweep::split_seed`]) — a pure function of
+//!   `(sweep_seed, cell_index)`, so the streams do not depend on thread
+//!   count or scheduling;
+//! * [`run_cells`] executes cells with work-stealing over
+//!   `std::thread::scope` and returns the per-cell results **in canonical
+//!   cell order** whatever order they actually completed in;
+//! * [`run_sweep`] / [`try_run_sweep`] fold per-cell
+//!   [`SweepReduce`] accumulators in canonical order, so the reduced
+//!   output is bit-identical across thread counts 1, 2, 7, ….
+//!
+//! ```
+//! use divrel_devsim::sweep::{run_sweep, SweepGrid};
+//! use divrel_numerics::descriptive::Moments;
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! // A 100-cell grid; each cell draws from its own split stream.
+//! let grid = SweepGrid::new(2001, (0..100u32).collect::<Vec<_>>());
+//! let reduce = |threads| {
+//!     run_sweep(grid.cells(), threads, |cell| {
+//!         let mut rng = StdRng::seed_from_u64(cell.seed);
+//!         let mut m = Moments::new();
+//!         for _ in 0..50 {
+//!             m.push(rng.gen::<f64>());
+//!         }
+//!         m
+//!     })
+//! };
+//! let serial = reduce(1).unwrap();
+//! let sharded = reduce(4).unwrap();
+//! // Bit-identical, not merely statistically close.
+//! assert_eq!(serial.mean().unwrap().to_bits(), sharded.mean().unwrap().to_bits());
+//! ```
+
+use divrel_numerics::sweep::{split_seed, SweepReduce};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One cell of an experiment grid: a configuration plus the cell's
+/// deterministic RNG seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepCell<C> {
+    /// Position of the cell in the grid (also the splitting counter).
+    pub index: u64,
+    /// The cell's RNG seed, `split_seed(sweep_seed, index)`.
+    pub seed: u64,
+    /// The experiment configuration evaluated in this cell.
+    pub config: C,
+}
+
+/// A deterministic grid of sweep cells.
+///
+/// The grid owns the cells; engines borrow them, so one grid can be
+/// executed at several thread counts (or re-reduced) without rebuilding.
+#[derive(Debug, Clone)]
+pub struct SweepGrid<C> {
+    sweep_seed: u64,
+    cells: Vec<SweepCell<C>>,
+}
+
+impl<C> SweepGrid<C> {
+    /// Builds the grid: cell `i` gets configuration `configs[i]` and seed
+    /// `split_seed(sweep_seed, i)`.
+    pub fn new(sweep_seed: u64, configs: Vec<C>) -> Self {
+        let cells = configs
+            .into_iter()
+            .enumerate()
+            .map(|(i, config)| SweepCell {
+                index: i as u64,
+                seed: split_seed(sweep_seed, i as u64),
+                config,
+            })
+            .collect();
+        SweepGrid { sweep_seed, cells }
+    }
+
+    /// The master seed the per-cell streams were split from.
+    pub fn sweep_seed(&self) -> u64 {
+        self.sweep_seed
+    }
+
+    /// The cells, in canonical order.
+    pub fn cells(&self) -> &[SweepCell<C>] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// Executes `f` on every cell with up to `threads` work-stealing workers
+/// and returns the results **aligned with the input slice** (`out[i]` is
+/// the result of `cells[i]`, whatever order the cells completed in).
+///
+/// Workers claim cells from a shared atomic counter (so an expensive cell
+/// does not stall the others) and tag every result with its slice
+/// position; the tags restore the slice order after the scope joins.
+/// Because each cell's work depends only on the cell itself (its config
+/// and its split seed), the returned vector is bit-identical for every
+/// `threads` value. The reduction helpers below separately fold these
+/// results in canonical `cell.index` order, which is what makes the
+/// *reduced* output independent of the listing order too.
+///
+/// A panic in a worker is a programming error in `f` and is propagated.
+pub fn run_cells<C, T, F>(cells: &[SweepCell<C>], threads: usize, f: F) -> Vec<T>
+where
+    C: Sync,
+    T: Send,
+    F: Fn(&SweepCell<C>) -> T + Sync,
+{
+    let threads = threads.max(1).min(cells.len());
+    if threads <= 1 {
+        return cells.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, T)> = Vec::with_capacity(cells.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let next = &next;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    local.push((i, f(cell)));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            tagged.extend(h.join().expect("sweep worker panicked"));
+        }
+    });
+    tagged.sort_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, t)| t).collect()
+}
+
+/// The canonical reduction order of a cell slice: positions sorted by
+/// ascending [`SweepCell::index`] (stable, so duplicate indices keep
+/// their relative position). Folding in this order makes the reduced
+/// output independent of **both** the execution schedule and the order
+/// in which the cells happen to be listed.
+fn canonical_order<C>(cells: &[SweepCell<C>]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..cells.len()).collect();
+    order.sort_by_key(|&i| cells[i].index);
+    order
+}
+
+/// Runs the sweep and folds the per-cell accumulators in canonical cell
+/// order (ascending [`SweepCell::index`]). Returns `None` for an empty
+/// grid.
+///
+/// The fold order — never the execution order or the listing order of
+/// the cells — determines the result, so the output is bit-identical
+/// across thread counts **and** across permutations of the cell slice.
+pub fn run_sweep<C, R, F>(cells: &[SweepCell<C>], threads: usize, f: F) -> Option<R>
+where
+    C: Sync,
+    R: SweepReduce + Send,
+    F: Fn(&SweepCell<C>) -> R + Sync,
+{
+    let mut results: Vec<Option<R>> = run_cells(cells, threads, f).into_iter().map(Some).collect();
+    let mut acc: Option<R> = None;
+    for i in canonical_order(cells) {
+        let r = results[i].take().expect("each cell reduced once");
+        match acc.as_mut() {
+            Some(a) => a.absorb(r),
+            None => acc = Some(r),
+        }
+    }
+    acc
+}
+
+/// Fallible variant of [`run_sweep`]: every cell runs (errors do not
+/// cancel in-flight cells), then the first error in canonical cell order
+/// is returned, otherwise the canonical fold.
+///
+/// # Errors
+///
+/// The first cell error in canonical order (ascending cell index).
+pub fn try_run_sweep<C, R, E, F>(
+    cells: &[SweepCell<C>],
+    threads: usize,
+    f: F,
+) -> Result<Option<R>, E>
+where
+    C: Sync,
+    R: SweepReduce + Send,
+    E: Send,
+    F: Fn(&SweepCell<C>) -> Result<R, E> + Sync,
+{
+    let mut results: Vec<Option<Result<R, E>>> =
+        run_cells(cells, threads, f).into_iter().map(Some).collect();
+    let mut acc: Option<R> = None;
+    for i in canonical_order(cells) {
+        let r = results[i].take().expect("each cell reduced once")?;
+        match acc.as_mut() {
+            Some(a) => a.absorb(r),
+            None => acc = Some(r),
+        }
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divrel_numerics::descriptive::Moments;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn demo_grid(n: u32) -> SweepGrid<u32> {
+        SweepGrid::new(99, (0..n).collect())
+    }
+
+    #[test]
+    fn grid_assigns_split_seeds_in_order() {
+        let g = demo_grid(8);
+        assert_eq!(g.len(), 8);
+        assert!(!g.is_empty());
+        assert_eq!(g.sweep_seed(), 99);
+        for (i, cell) in g.cells().iter().enumerate() {
+            assert_eq!(cell.index, i as u64);
+            assert_eq!(cell.config, i as u32);
+            assert_eq!(cell.seed, divrel_numerics::sweep::split_seed(99, i as u64));
+        }
+    }
+
+    #[test]
+    fn run_cells_preserves_canonical_order_at_any_thread_count() {
+        let g = demo_grid(101);
+        for threads in [1, 2, 3, 7, 16] {
+            let out = run_cells(g.cells(), threads, |c| c.config * 2);
+            assert_eq!(out.len(), 101, "threads = {threads}");
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i as u32 * 2, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_sweep_is_bit_identical_across_thread_counts() {
+        let g = demo_grid(53);
+        let reduce = |threads| -> Moments {
+            run_sweep(g.cells(), threads, |cell| {
+                let mut rng = StdRng::seed_from_u64(cell.seed);
+                let mut m = Moments::new();
+                for _ in 0..200 {
+                    m.push(rng.gen::<f64>());
+                }
+                m
+            })
+            .expect("non-empty grid")
+        };
+        let base = reduce(1);
+        for threads in [2, 3, 7] {
+            let r = reduce(threads);
+            assert_eq!(r.count(), base.count());
+            assert_eq!(
+                r.mean().unwrap().to_bits(),
+                base.mean().unwrap().to_bits(),
+                "threads = {threads}"
+            );
+            assert_eq!(
+                r.sample_variance().unwrap().to_bits(),
+                base.sample_variance().unwrap().to_bits(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffled_cell_listing_reduces_bit_identically() {
+        // Reduction folds by cell.index, so even re-ordering the cell
+        // slice itself changes nothing — the grid is a set, not a list.
+        let g = demo_grid(31);
+        let worker = |cell: &SweepCell<u32>| {
+            let mut rng = StdRng::seed_from_u64(cell.seed);
+            let mut m = Moments::new();
+            for _ in 0..64 {
+                m.push(rng.gen::<f64>());
+            }
+            m
+        };
+        let base: Moments = run_sweep(g.cells(), 2, worker).unwrap();
+        let mut shuffled = g.cells().to_vec();
+        shuffled.reverse();
+        shuffled.swap(0, 13);
+        let r: Moments = run_sweep(&shuffled, 3, worker).unwrap();
+        assert_eq!(r.mean().unwrap().to_bits(), base.mean().unwrap().to_bits());
+        assert_eq!(
+            r.sample_variance().unwrap().to_bits(),
+            base.sample_variance().unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn empty_grid_reduces_to_none() {
+        let g: SweepGrid<u32> = SweepGrid::new(1, Vec::new());
+        assert!(g.is_empty());
+        let r: Option<u64> = run_sweep(g.cells(), 4, |_| 1u64);
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn try_run_sweep_surfaces_first_error_in_canonical_order() {
+        let g = demo_grid(20);
+        let r: Result<Option<u64>, String> = try_run_sweep(g.cells(), 4, |cell| {
+            if cell.config == 11 || cell.config == 3 {
+                Err(format!("cell {} failed", cell.config))
+            } else {
+                Ok(1u64)
+            }
+        });
+        // Canonical order: cell 3's error wins even if cell 11 ran first.
+        assert_eq!(r.unwrap_err(), "cell 3 failed");
+        let ok: Result<Option<u64>, String> = try_run_sweep(g.cells(), 4, |_| Ok(1u64));
+        assert_eq!(ok.unwrap(), Some(20));
+    }
+
+    #[test]
+    fn oversubscribed_threads_are_capped() {
+        let g = demo_grid(3);
+        let out = run_cells(g.cells(), 64, |c| c.seed);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out, g.cells().iter().map(|c| c.seed).collect::<Vec<_>>());
+    }
+}

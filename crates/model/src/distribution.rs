@@ -41,7 +41,11 @@ use divrel_numerics::weighted_sum::WeightedBernoulliSum;
 #[derive(Debug, Clone)]
 pub struct PfdDistribution {
     k: u32,
-    exact: WeightedBernoulliSum,
+    /// Shared handle from the process-wide terms-keyed cache: sweeps that
+    /// rebuild the distribution of the same model hit the cache instead
+    /// of re-deriving the Poisson-binomial convolution, and clones share
+    /// the memoised count PMF.
+    exact: std::sync::Arc<WeightedBernoulliSum>,
     approx: Option<Normal>,
     berry_esseen: Option<f64>,
 }
@@ -62,7 +66,7 @@ impl PfdDistribution {
             ));
         }
         let terms = model.terms(k);
-        let exact = WeightedBernoulliSum::auto(&terms)?;
+        let exact = WeightedBernoulliSum::auto_cached(&terms)?;
         let mu = model.mean_pfd(k);
         let var = model.var_pfd(k);
         let approx = if var > 0.0 {
@@ -243,6 +247,20 @@ mod tests {
         // The table is memoised: repeated queries return the same slice.
         assert!(std::ptr::eq(d2.fault_count_pmf(), d2.fault_count_pmf()));
         assert!((d2.fault_count_pmf().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebuilding_the_same_distribution_hits_the_cache() {
+        let m = FaultModel::from_params(
+            &[0.313, 0.207, 0.159, 0.101],
+            &[0.0043, 0.0101, 0.0023, 0.0207],
+        )
+        .unwrap();
+        let a = PfdDistribution::pair(&m).unwrap();
+        let b = PfdDistribution::pair(&m).unwrap();
+        // Same terms => same shared exact distribution, bitwise.
+        assert!(std::ptr::eq(a.exact(), b.exact()));
+        assert_eq!(a.mean().to_bits(), b.mean().to_bits());
     }
 
     #[test]

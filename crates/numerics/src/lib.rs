@@ -44,6 +44,7 @@ pub mod normal;
 pub mod poisson_binomial;
 pub mod roots;
 pub mod special;
+pub mod sweep;
 pub mod weighted_sum;
 
 pub use error::NumericsError;

@@ -17,7 +17,8 @@
 //!   `|value error| ≤ n·Δ/2` reported by [`WeightedBernoulliSum::value_error_bound`].
 
 use crate::error::{domain, NumericsError};
-use std::sync::OnceLock;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Largest `n` for which exact subset enumeration is used by
 /// [`WeightedBernoulliSum::auto`].
@@ -221,6 +222,55 @@ impl WeightedBernoulliSum {
         }
     }
 
+    /// [`Self::auto`] behind a process-wide, terms-keyed cache.
+    ///
+    /// Sweeps rebuild the same distributions over and over — every cell of
+    /// a grid that evaluates one model family re-derives the identical
+    /// atom convolution. This constructor keys on the **bit patterns of
+    /// the sorted `(p, q)` terms**, so any permutation of the same term
+    /// multiset hits the same entry, and a hit returns a shared handle to
+    /// the distribution computed on first construction — **bit-identical**
+    /// on every subsequent call (the regression suite asserts this), with
+    /// the memoised count PMF shared too.
+    ///
+    /// The cache is bounded ([`DISTRIBUTION_CACHE_CAP`] entries, FIFO
+    /// eviction) and thread-safe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`Self::auto`] constructor errors (invalid terms are
+    /// never inserted).
+    pub fn auto_cached(terms: &[(f64, f64)]) -> Result<Arc<Self>, NumericsError> {
+        validate_terms(terms)?;
+        let mut key: Vec<(u64, u64)> = terms
+            .iter()
+            .map(|&(p, q)| (p.to_bits(), q.to_bits()))
+            .collect();
+        key.sort_unstable();
+        let cache = distribution_cache();
+        {
+            let guard = cache.lock().expect("distribution cache poisoned");
+            if let Some(hit) = guard.map.get(&key) {
+                return Ok(Arc::clone(hit));
+            }
+        }
+        // Convolve outside the lock; a racing builder of the same key just
+        // loses the insert and adopts the winner's handle.
+        let built = Arc::new(Self::auto(terms)?);
+        let mut guard = cache.lock().expect("distribution cache poisoned");
+        if let Some(hit) = guard.map.get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        if guard.map.len() >= DISTRIBUTION_CACHE_CAP {
+            if let Some(oldest) = guard.order.pop_front() {
+                guard.map.remove(&oldest);
+            }
+        }
+        guard.map.insert(key.clone(), Arc::clone(&built));
+        guard.order.push_back(key);
+        Ok(built)
+    }
+
     /// The atoms of the distribution, sorted by value, masses summing to 1.
     pub fn atoms(&self) -> &[Atom] {
         &self.atoms
@@ -361,6 +411,23 @@ impl WeightedBernoulliSum {
     pub fn prob_any_present(&self) -> f64 {
         (1.0 - self.prob_count(0)).clamp(0.0, 1.0)
     }
+}
+
+/// Capacity of the process-wide [`WeightedBernoulliSum::auto_cached`]
+/// cache. Sweeps cycle through a handful of model families, so a small
+/// FIFO is enough; the cap bounds memory for adversarial workloads.
+pub const DISTRIBUTION_CACHE_CAP: usize = 64;
+
+#[derive(Default)]
+struct DistributionCache {
+    map: HashMap<Vec<(u64, u64)>, Arc<WeightedBernoulliSum>>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<Vec<(u64, u64)>>,
+}
+
+fn distribution_cache() -> &'static Mutex<DistributionCache> {
+    static CACHE: OnceLock<Mutex<DistributionCache>> = OnceLock::new();
+    CACHE.get_or_init(Mutex::default)
 }
 
 fn validate_terms(terms: &[(f64, f64)]) -> Result<(), NumericsError> {
@@ -529,6 +596,45 @@ mod tests {
         let c = d.clone();
         assert_eq!(c, d);
         assert!((c.prob_count(1) - d.prob_count(1)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn auto_cached_is_bit_identical_and_shared() {
+        // Distinct enough terms that no other test touches this entry.
+        let terms: Vec<(f64, f64)> = (0..9)
+            .map(|i| (0.111 + 0.017 * i as f64, 0.0031 + 0.0009 * i as f64))
+            .collect();
+        let fresh = WeightedBernoulliSum::auto(&terms).unwrap();
+        let first = WeightedBernoulliSum::auto_cached(&terms).unwrap();
+        let second = WeightedBernoulliSum::auto_cached(&terms).unwrap();
+        // A hit is the same shared object, not a recomputation.
+        assert!(Arc::ptr_eq(&first, &second));
+        // The cached distribution is bit-identical to a fresh derivation
+        // from the same term order.
+        assert_eq!(first.atoms().len(), fresh.atoms().len());
+        for (a, b) in first.atoms().iter().zip(fresh.atoms()) {
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+            assert_eq!(a.mass.to_bits(), b.mass.to_bits());
+        }
+        // The memoised count PMF is shared through the handle.
+        assert!(std::ptr::eq(first.count_pmf(), second.count_pmf()));
+    }
+
+    #[test]
+    fn auto_cached_hits_across_term_permutations() {
+        let terms = vec![(0.217, 0.0041), (0.443, 0.0093), (0.087, 0.0217)];
+        let mut permuted = terms.clone();
+        permuted.rotate_left(1);
+        let a = WeightedBernoulliSum::auto_cached(&terms).unwrap();
+        let b = WeightedBernoulliSum::auto_cached(&permuted).unwrap();
+        // Same sorted-term key => same shared entry, bitwise.
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn auto_cached_rejects_invalid_terms_without_insertion() {
+        assert!(WeightedBernoulliSum::auto_cached(&[(1.5, 0.1)]).is_err());
+        assert!(WeightedBernoulliSum::auto_cached(&[(0.5, f64::NAN)]).is_err());
     }
 
     #[test]

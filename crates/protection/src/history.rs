@@ -154,6 +154,16 @@ impl OperationLog {
     }
 }
 
+/// An [`OperationLog`] is a mergeable sweep accumulator: campaigns run
+/// as sweep cells (one plant/seed per cell) reduce to a single log with
+/// exactly the semantics of [`OperationLog::merge`], so whole experiment
+/// grids can shard over the deterministic sweep engine.
+impl divrel_numerics::sweep::SweepReduce for OperationLog {
+    fn absorb(&mut self, other: Self) {
+        self.merge(&other);
+    }
+}
+
 impl fmt::Display for OperationLog {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -229,6 +239,24 @@ mod tests {
         c.record_demand(true, &[true, true]);
         a.merge(&c);
         assert_eq!(a.failure_free_streak(), 1);
+    }
+
+    #[test]
+    fn sweep_reduce_absorb_matches_merge() {
+        use divrel_numerics::sweep::SweepReduce;
+        let mut a = OperationLog::new(2);
+        a.record_quiet_n(10);
+        a.record_demand(true, &[true, false]);
+        let mut b = OperationLog::new(2);
+        b.record_quiet_n(5);
+        b.record_demand(false, &[false, false]);
+        let mut via_merge = a.clone();
+        via_merge.merge(&b);
+        let mut via_absorb = a;
+        via_absorb.absorb(b);
+        assert_eq!(via_merge, via_absorb);
+        assert_eq!(via_absorb.steps(), 17);
+        assert_eq!(via_absorb.system_failures(), 1);
     }
 
     #[test]

@@ -2,6 +2,8 @@
 //! end-to-end through the public facade. These are the checks EXPERIMENTS.md
 //! summarises; failing any of them means the reproduction regressed.
 
+use divrel::devsim::experiment::MonteCarloExperiment;
+use divrel::devsim::process::FaultIntroduction;
 use divrel::model::bounds::{
     beta_factor, pair_bound_from_single_bound, pair_bound_from_single_moments,
     VARIANCE_MONOTONE_THRESHOLD,
@@ -9,6 +11,8 @@ use divrel::model::bounds::{
 use divrel::model::improvement::{two_fault_ratio, two_fault_stationary_point, ProportionalFamily};
 use divrel::model::FaultModel;
 use divrel::numerics::normal::{confidence_of_k, k_factor};
+use divrel_bench::experiments::workloads;
+use divrel_bench::sweep::{forced_sweep, kl_sweep};
 
 #[test]
 fn section_5_1_beta_factor_table() {
@@ -108,6 +112,160 @@ fn ten_fold_gain_at_one_percent_pmax() {
     // diversity, in any confidence bound on system PFD."
     let improvement = 1.0 / beta_factor(0.01).expect("valid");
     assert!(improvement > 9.9 && improvement < 10.0);
+}
+
+// ---------------------------------------------------------------------
+// Golden-value pins for the experiments ported to the sweep engine.
+//
+// The sweep engine is bit-reproducible per (sweep seed, grid layout), so
+// each pin stores the expected value measured at the port, with an
+// explicit tolerance. A drift beyond the tolerance means the port's
+// statistics moved — a regression in the engine, the stream splitting or
+// the experiment itself. Paper-level sanity bounds ride along so the
+// numbers stay anchored to what the experiments claim, not just to
+// themselves.
+// ---------------------------------------------------------------------
+
+/// The E16 student-experiment model — the experiment's own constructor,
+/// so a parameter tune there cannot silently diverge from these pins.
+fn kl_model() -> FaultModel {
+    divrel_bench::experiments::knight_leveson::student_experiment_model().expect("valid model")
+}
+
+#[test]
+fn golden_e16_knight_leveson_sweep() {
+    let stats = kl_sweep(&kl_model(), 50, 2001, 2).expect("runs");
+    // Pinned at the PR 3 port (sweep seed 2001, 50 replications).
+    assert_eq!(stats.replications, 50);
+    assert_eq!(stats.reduced_both, 50);
+    assert_eq!(stats.normal_tested, 50);
+    assert_eq!(stats.normal_rejected, 29);
+    let (expected_med_mean, tol_mean) = (6.696_011_673_151_745, 1e-9);
+    let (expected_med_std, tol_std) = (3.459_468_494_665_264, 1e-9);
+    assert!(
+        (stats.median_mean_factor() - expected_med_mean).abs() < tol_mean,
+        "median mean-reduction drifted: {}",
+        stats.median_mean_factor()
+    );
+    assert!(
+        (stats.median_std_factor() - expected_med_std).abs() < tol_std,
+        "median std-reduction drifted: {}",
+        stats.median_std_factor()
+    );
+    // §7 sanity: diversity reduces both statistics in ≥90% of runs and
+    // the σ shrink is "great" (well above 1×).
+    assert!(stats.reduced_both * 10 >= stats.replications * 9);
+    assert!(stats.median_std_factor() > 2.0);
+
+    // Pre-port cross-check: replay the pre-sweep execution model (one
+    // sequential seed per replication, `seed + rep`) and require the
+    // sweep's statistics to agree within sampling tolerance — the port
+    // must not have moved the experiment's numbers, only its schedule.
+    let mut pre_reduced_both = 0u64;
+    let mut pre_std_factors = Vec::new();
+    for rep in 0..50u64 {
+        let r = divrel::devsim::kl::KnightLevesonExperiment::new(kl_model())
+            .seed(2001 + rep)
+            .run()
+            .expect("runs");
+        if r.diversity_reduced_mean_and_std() {
+            pre_reduced_both += 1;
+        }
+        if let Some(f) = r.std_reduction() {
+            pre_std_factors.push(f);
+        }
+    }
+    pre_std_factors.sort_by(|a, b| a.total_cmp(b));
+    let pre_median_std = pre_std_factors[pre_std_factors.len() / 2];
+    assert!(
+        pre_reduced_both * 10 >= 50 * 9,
+        "pre-port: {pre_reduced_both}/50"
+    );
+    assert!(
+        (stats.median_std_factor() / pre_median_std - 1.0).abs() < 0.35,
+        "σ-reduction moved across the port: sweep {} vs pre-port {pre_median_std}",
+        stats.median_std_factor()
+    );
+}
+
+#[test]
+fn golden_e17_forced_diversity_sweep() {
+    let stats = forced_sweep(1_000, 2001, 2).expect("runs");
+    assert_eq!(stats.trials, 1_000);
+    // AM–GM: the forced pair can never be worse than the averaged
+    // unforced pair — zero violations, pinned exactly.
+    assert_eq!(stats.worse_than_unforced, 0);
+    let (expected_ratio, tol) = (0.819_734_381_253_363_7, 1e-9);
+    assert!(
+        (stats.mean_ratio() - expected_ratio).abs() < tol,
+        "mean forced/unforced ratio drifted: {}",
+        stats.mean_ratio()
+    );
+    // And the advantage is real but bounded: the ratio lives in (0, 1].
+    assert!(stats.mean_ratio() > 0.5 && stats.mean_ratio() <= 1.0);
+
+    // Pre-port cross-check: the pre-sweep execution model drew every
+    // trial from one sequential RNG stream. Replay it and require the
+    // sweep's mean ratio to agree within sampling tolerance (the ratio's
+    // per-trial σ ≈ 0.25 gives a ±0.05 band at 1000 trials; 6σ-safe).
+    use rand::Rng;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2001);
+    let mut pre_worse = 0u64;
+    let mut pre_sum = 0.0;
+    for _ in 0..1_000 {
+        let n = rng.gen_range(1..=12);
+        let pa: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let pb: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let qs: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 0.5 / n as f64).collect();
+        let forced =
+            divrel::model::forced::ForcedDiversityModel::from_params(&pa, &pb, &qs).expect("valid");
+        let unforced = forced.averaged_process().expect("valid");
+        if forced.mean_pfd_pair() > unforced.mean_pfd_pair() + 1e-12 {
+            pre_worse += 1;
+        }
+        if unforced.mean_pfd_pair() > 0.0 {
+            pre_sum += forced.mean_pfd_pair() / unforced.mean_pfd_pair();
+        }
+    }
+    assert_eq!(pre_worse, 0);
+    assert!(
+        (stats.mean_ratio() - pre_sum / 1_000.0).abs() < 0.05,
+        "mean ratio moved across the port: sweep {} vs pre-port {}",
+        stats.mean_ratio(),
+        pre_sum / 1_000.0
+    );
+}
+
+#[test]
+fn golden_devsim_grid_sweep() {
+    // The 10k-pair devsim grid (the `mc_10k_pairs` workload family) on
+    // the sweep-routed Monte-Carlo driver.
+    let m = workloads::geometric_model();
+    let r = MonteCarloExperiment::new(m.clone(), FaultIntroduction::Independent)
+        .samples(10_000)
+        .seed(2001)
+        .threads(2)
+        .run()
+        .expect("runs");
+    // Pinned at the PR 3 port: the sweep engine is bit-reproducible, so
+    // the tolerance is float-noise, not statistics.
+    let pins = [
+        (r.single.mean_pfd, 2.009_126_430_988_551e-2, 1e-12),
+        (r.pair.mean_pfd, 4.279_074_267_574_894e-3, 1e-12),
+        (r.single.fault_free_rate, 0.1624, 1e-12),
+        (r.pair.fault_free_rate, 0.7507, 1e-12),
+    ];
+    for (i, (got, want, tol)) in pins.into_iter().enumerate() {
+        assert!(
+            (got - want).abs() < tol,
+            "pin {i} drifted: got {got}, pinned {want}"
+        );
+    }
+    // Paper sanity: the estimates track eq (1) within 6-sigma MC bands.
+    let n = 10_000f64;
+    assert!((r.single.mean_pfd - m.mean_pfd_single()).abs() < 6.0 * m.std_pfd_single() / n.sqrt());
+    assert!((r.pair.mean_pfd - m.mean_pfd_pair()).abs() < 6.0 * m.std_pfd_pair() / n.sqrt());
 }
 
 #[test]
