@@ -1,10 +1,10 @@
 //! Before/after benchmark driver: measures the previous-PR baselines
 //! against the current fast paths and exports the results as
-//! `BENCH_<tag>.json` (default `BENCH_pr3.json` in the current
+//! `BENCH_<tag>.json` (default `BENCH_pr4.json` in the current
 //! directory; override with `DIVREL_BENCH_TAG` / first CLI argument as
 //! the output path).
 //!
-//! Three baseline generations appear:
+//! Four baseline generations appear:
 //!
 //! * the **seed** algorithms (`Vec<bool>` fault sets, one RNG draw per
 //!   potential fault, per-fault geometric region tests) — kept so the
@@ -18,10 +18,16 @@
 //!   deterministic sweep engine, 1 thread vs all cores. Both sides are
 //!   bit-identical by construction (asserted before measuring), so the
 //!   row records pure scheduling gain — ≈1× on a single-core host, by
-//!   design.
+//!   design;
+//! * the **PR 3** direct experiment calls as the "legacy" side of the
+//!   PR 4 `scenario/*` rows: the same workload declared as a
+//!   [`Scenario`] spec and compiled through the scenario layer. Both
+//!   sides are bit-identical (asserted first), so the row records pure
+//!   spec-compilation overhead — the target is ≤ 2% (speedup ≥ 0.98×).
 
 use divrel_bench::context::default_sweep_threads;
 use divrel_bench::perf::{to_json, Comparison};
+use divrel_bench::scenario::{ExperimentSpec, Scenario};
 use divrel_bench::sweep::{forced_sweep, kl_sweep, pfd_sample_sweep};
 use divrel_demand::mapping::FaultRegionMap;
 use divrel_demand::profile::Profile;
@@ -31,8 +37,10 @@ use divrel_demand::version::ProgramVersion;
 use divrel_devsim::experiment::MonteCarloExperiment;
 use divrel_devsim::factory::{SampledPair, VersionFactory};
 use divrel_devsim::process::FaultIntroduction;
+use divrel_model::spec::FaultModelSpec;
 use divrel_model::FaultModel;
 use divrel_numerics::descriptive::Moments;
+use divrel_numerics::sweep::SeedSpec;
 use divrel_protection::adjudicator::Adjudicator;
 use divrel_protection::channel::Channel;
 use divrel_protection::compiler::CompiledPlant;
@@ -128,7 +136,7 @@ fn legacy_protection_run(
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| {
-        let tag = std::env::var("DIVREL_BENCH_TAG").unwrap_or_else(|_| "pr3".into());
+        let tag = std::env::var("DIVREL_BENCH_TAG").unwrap_or_else(|_| "pr4".into());
         format!("BENCH_{tag}.json")
     });
     let mut results: Vec<Comparison> = Vec::new();
@@ -610,7 +618,88 @@ fn main() {
         results.push(c);
     }
 
-    let json = to_json(3, &results);
+    // --- scenario/*: the PR 4 rows --------------------------------------
+    // Spec-compiled execution vs the direct experiment call: identical
+    // workload, identical bits (asserted first), so the row measures the
+    // declarative layer's overhead alone. Target: ≤ 2%.
+    {
+        let threads = default_sweep_threads();
+
+        // The E17 forced-diversity grid as a spec.
+        let forced_scn = Scenario {
+            name: "bench-forced".into(),
+            seed: SeedSpec::new(2001),
+            experiment: ExperimentSpec::ForcedDiversity { trials: 2_000 },
+        };
+        let direct = forced_sweep(2_000, 2001, threads).expect("runs");
+        let via_spec = forced_scn.run(threads).expect("runs");
+        assert_eq!(
+            via_spec.as_forced().expect("forced outcome"),
+            &direct,
+            "scenario-compiled forced sweep diverged from the direct call"
+        );
+        let c = Comparison::measure(
+            &format!("scenario/forced_2k/{threads}threads"),
+            || {
+                black_box(forced_sweep(2_000, 2001, threads).expect("runs"));
+            },
+            || {
+                black_box(forced_scn.run(threads).expect("runs"));
+            },
+        );
+        println!(
+            "{:<44} {:>10.1} -> {:>9.1} ns  ({:.2}x)",
+            c.name,
+            c.legacy_ns,
+            c.fast_ns,
+            c.speedup()
+        );
+        results.push(c);
+
+        // The Monte-Carlo driver as a spec.
+        let mc_model = model_of_size(32);
+        let mc_scn = Scenario {
+            name: "bench-mc".into(),
+            seed: SeedSpec::new(1),
+            experiment: ExperimentSpec::MonteCarlo {
+                model: FaultModelSpec::from_model(&mc_model),
+                introduction: FaultIntroduction::Independent,
+                samples: 10_000,
+            },
+        };
+        let direct_exp = MonteCarloExperiment::new(mc_model, FaultIntroduction::Independent)
+            .samples(10_000)
+            .seed(1)
+            .threads(threads);
+        assert_eq!(
+            mc_scn
+                .run(threads)
+                .expect("runs")
+                .as_monte_carlo()
+                .expect("MC outcome"),
+            &direct_exp.run().expect("runs"),
+            "scenario-compiled MC driver diverged from the direct call"
+        );
+        let c = Comparison::measure(
+            &format!("scenario/mc_10k/{threads}threads"),
+            || {
+                black_box(direct_exp.clone().run().expect("runs"));
+            },
+            || {
+                black_box(mc_scn.run(threads).expect("runs"));
+            },
+        );
+        println!(
+            "{:<44} {:>10.1} -> {:>9.1} ns  ({:.2}x)",
+            c.name,
+            c.legacy_ns,
+            c.fast_ns,
+            c.speedup()
+        );
+        results.push(c);
+    }
+
+    let json = to_json(4, &results);
     std::fs::write(&out_path, &json).expect("write bench export");
     println!("\nwrote {out_path}");
     let below: Vec<&Comparison> = results.iter().filter(|c| c.speedup() < 5.0).collect();

@@ -1,0 +1,177 @@
+//! `scenario_run` — execute any declarative scenario spec end to end.
+//!
+//! ```text
+//! scenario_run <spec.toml|spec.json> [--threads N] [--results DIR]
+//! scenario_run --preset <E16|E17|F1|MC> [--smoke] [--threads N] [--results DIR]
+//! scenario_run --preset <id> --emit <toml|json>
+//! ```
+//!
+//! The spec format is auto-detected (JSON if the file starts with `{`,
+//! TOML otherwise). The scenario is validated, compiled onto the
+//! deterministic sweep engine, and its reduced accumulators are rendered
+//! to stdout and into `DIR/scenario-<name>/` (report + canonical spec).
+//! `--emit` prints a preset as a spec file instead of running it — the
+//! quickest way to start a new scenario is to emit one and edit it.
+
+use divrel_bench::context::default_sweep_threads;
+use divrel_bench::{Context, Scenario};
+use divrel_report::ArtifactSink;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+scenario_run — execute a declarative scenario spec
+
+USAGE:
+  scenario_run <spec.toml|spec.json> [--threads N] [--results DIR]
+  scenario_run --preset <E16|E17|F1|MC> [--smoke] [--threads N] [--results DIR]
+  scenario_run --preset <id> --emit <toml|json>
+
+A spec file declares the whole experiment — fault model, plant, channel
+layout, grid and seed — and the engine guarantees the reduced output is
+bit-identical at every thread count. Presets re-express the paper's
+hand-coded runners; --emit prints one as a starting point:
+
+  scenario_run --preset F1 --emit toml > my_scenario.toml
+";
+
+struct Args {
+    spec_path: Option<String>,
+    preset: Option<String>,
+    emit: Option<String>,
+    smoke: bool,
+    threads: usize,
+    results: String,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        spec_path: None,
+        preset: None,
+        emit: None,
+        smoke: false,
+        threads: default_sweep_threads(),
+        results: "results".into(),
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--preset" | "--emit" | "--threads" | "--results" => {
+                let key = argv[i].clone();
+                let value = argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("missing value for {key}"))?
+                    .clone();
+                match key.as_str() {
+                    "--preset" => args.preset = Some(value),
+                    "--emit" => args.emit = Some(value),
+                    "--results" => args.results = value,
+                    "--threads" => {
+                        args.threads = value
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&t| t >= 1)
+                            .ok_or_else(|| format!("--threads: invalid count {value:?}"))?;
+                    }
+                    _ => unreachable!(),
+                }
+                i += 2;
+            }
+            "--smoke" => {
+                args.smoke = true;
+                i += 1;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            path => {
+                if args.spec_path.replace(path.to_string()).is_some() {
+                    return Err("more than one spec path given".into());
+                }
+                i += 1;
+            }
+        }
+    }
+    if args.spec_path.is_none() && args.preset.is_none() {
+        return Err("provide a spec file or --preset".into());
+    }
+    if args.spec_path.is_some() && args.preset.is_some() {
+        return Err("provide a spec file OR --preset, not both".into());
+    }
+    Ok(args)
+}
+
+fn load_scenario(args: &Args) -> Result<Scenario, String> {
+    if let Some(id) = &args.preset {
+        let ctx = if args.smoke {
+            Context::smoke()
+        } else {
+            Context::new()
+        };
+        return Scenario::preset_with(id, &ctx).ok_or_else(|| {
+            format!(
+                "unknown preset {id:?} (available: {})",
+                Scenario::PRESETS.join(", ")
+            )
+        });
+    }
+    let path = args.spec_path.as_deref().expect("checked by parse_args");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    Scenario::from_spec_text(&text).map_err(|e| format!("cannot parse {path:?}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+    let scenario = load_scenario(&args)?;
+    scenario
+        .validate()
+        .map_err(|e| format!("invalid scenario {:?}: {e}", scenario.name))?;
+
+    if let Some(format) = &args.emit {
+        let text = match format.as_str() {
+            "toml" => scenario.to_toml(),
+            "json" => scenario.to_json(),
+            other => return Err(format!("unknown emit format {other:?} (toml|json)")),
+        }
+        .map_err(|e| format!("cannot render spec: {e}"))?;
+        println!("{text}");
+        return Ok(());
+    }
+
+    eprintln!(
+        "running scenario {:?} (seed {}, {} worker thread(s))…",
+        scenario.name, scenario.seed.seed, args.threads
+    );
+    let started = std::time::Instant::now();
+    let outcome = scenario
+        .run(args.threads)
+        .map_err(|e| format!("scenario {:?} failed: {e}", scenario.name))?;
+    let elapsed = started.elapsed();
+    let card = outcome.card(&scenario.name);
+    println!("{}", card.to_markdown());
+    eprintln!("completed in {:.2}s", elapsed.as_secs_f64());
+
+    let sink = ArtifactSink::new(&args.results, &format!("scenario-{}", scenario.name))
+        .map_err(|e| format!("cannot open artifact directory: {e}"))?;
+    sink.write_text("report", &card.to_markdown())
+        .map_err(|e| format!("cannot write report: {e}"))?;
+    let canonical = scenario
+        .to_toml()
+        .map_err(|e| format!("cannot render canonical spec: {e}"))?;
+    sink.write_text("spec", &canonical)
+        .map_err(|e| format!("cannot write spec: {e}"))?;
+    eprintln!("artifacts in {}", sink.dir().display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

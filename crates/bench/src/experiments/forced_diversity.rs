@@ -14,7 +14,7 @@
 
 use crate::context::{Context, Summary};
 use crate::experiments::{workloads, ExpResult};
-use crate::sweep::forced_sweep;
+use crate::scenario::presets;
 use divrel_model::bounds::beta_factor_k;
 use divrel_model::forced::ForcedDiversityModel;
 use divrel_model::DiverseSystem;
@@ -30,11 +30,16 @@ pub fn run(ctx: &Context) -> ExpResult {
     let sink = ctx.sink("E17-forced-diversity")?;
 
     // ---- Forced vs unforced across random process pairs ---------------
-    // A sweep-engine grid: cells of random process pairs, each drawing
-    // from its split stream, reduced in canonical order — bit-identical
-    // at any ctx.threads.
+    // Declared as the built-in E17 scenario preset and compiled onto the
+    // sweep engine: cells of random process pairs, each drawing from its
+    // split stream, reduced in canonical order — bit-identical at any
+    // ctx.threads and to any spec file declaring the same scenario.
     let trials = ctx.samples(5_000);
-    let stats = forced_sweep(trials, ctx.seed, ctx.threads)?;
+    let stats = presets::e17(ctx)
+        .run(ctx.threads)?
+        .as_forced()
+        .expect("E17 preset reduces to forced-diversity statistics")
+        .clone();
     let worse_than_unforced = stats.worse_than_unforced as usize;
     let mean_ratio = stats.mean_ratio();
 

@@ -8,14 +8,17 @@
 //! versions from a student-experiment-like fault model, all 351 pairs,
 //! and the same three statistics.
 //!
-//! The replication grid runs on the deterministic sweep engine
-//! ([`crate::sweep::kl_sweep`]): one synthetic experiment per cell, each
-//! seeded from its split stream, reduced in canonical cell order — so the
-//! reported statistics are bit-identical at any `ctx.threads`.
+//! The replication grid is declared as the built-in `E16` scenario
+//! preset ([`crate::scenario::presets::e16`]) and compiled onto the
+//! deterministic sweep engine: one synthetic experiment per cell, each
+//! seeded from its split stream, reduced in canonical cell order — so
+//! the reported statistics are bit-identical at any `ctx.threads`, and
+//! bit-identical between this module and any spec file declaring the
+//! same scenario.
 
 use crate::context::{Context, Summary};
 use crate::experiments::ExpResult;
-use crate::sweep::kl_sweep;
+use crate::scenario::presets;
 use divrel_devsim::kl::KnightLevesonExperiment;
 use divrel_model::FaultModel;
 use divrel_report::fmt::{factor, sig};
@@ -40,8 +43,13 @@ pub fn student_experiment_model() -> Result<FaultModel, divrel_model::ModelError
 pub fn run(ctx: &Context) -> ExpResult {
     let sink = ctx.sink("E16-knight-leveson")?;
     let model = student_experiment_model()?;
-    let replications = (ctx.samples(2_000) / 10).max(50);
-    let stats = kl_sweep(&model, replications, ctx.seed, ctx.threads)?;
+    let scenario = presets::e16(ctx);
+    let stats = scenario
+        .run(ctx.threads)?
+        .as_knight_leveson()
+        .expect("E16 preset reduces to KL statistics")
+        .clone();
+    let replications = stats.replications as usize;
     let reduced_both = stats.reduced_both as usize;
     let normal_rejected = stats.normal_rejected as usize;
     let normal_tested = stats.normal_tested as usize;

@@ -7,22 +7,19 @@
 //! failure sets) and (b) the analytic model's *expected* pair PFD across
 //! the version population. A 2-out-of-3 majority variant is included for
 //! contrast.
+//!
+//! The whole campaign is declared as the built-in `F1` scenario preset
+//! ([`crate::scenario::presets::f1`]) — demand space, failure regions,
+//! development process, channel layouts, plant, campaign dimensions —
+//! and executed by the scenario engine, so this module only formats the
+//! reduced [`CampaignOutcome`]. A spec file declaring the same scenario
+//! reproduces these numbers bit for bit.
 
 use crate::context::{Context, Summary};
 use crate::experiments::ExpResult;
-use divrel_demand::mapping::FaultRegionMap;
-use divrel_demand::profile::Profile;
-use divrel_demand::region::Region;
-use divrel_demand::space::GridSpace2D;
-use divrel_demand::version::ProgramVersion;
-use divrel_devsim::{factory::VersionFactory, process::FaultIntroduction};
-use divrel_protection::{
-    adjudicator::Adjudicator, channel::Channel, plant::Plant, simulation, system::ProtectionSystem,
-};
+use crate::scenario::{presets, CampaignOutcome};
 use divrel_report::fmt::sig;
 use divrel_report::Table;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Runs F1.
 ///
@@ -31,56 +28,19 @@ use rand::SeedableRng;
 /// Propagates artifact-IO, model, demand-space and protection errors.
 pub fn run(ctx: &Context) -> ExpResult {
     let sink = ctx.sink("F1-protection")?;
-    // Demand space with 8 disjoint failure regions of varying size.
-    let space = GridSpace2D::new(100, 100)?;
-    let profile = Profile::uniform(&space);
-    let regions = vec![
-        Region::rect(0, 0, 19, 9),        // 200 cells, q = 0.02
-        Region::rect(30, 0, 39, 9),       // 100 cells, q = 0.01
-        Region::rect(50, 0, 54, 9),       // 50 cells,  q = 0.005
-        Region::rect(60, 0, 63, 4),       // 20 cells,  q = 0.002
-        Region::rect(70, 0, 72, 2),       // 9 cells,   q = 0.0009
-        Region::lattice(0, 20, 5, 0, 10), // 10 cells, q = 0.001
-        Region::lattice(0, 30, 3, 3, 8),  // 8 cells,  q = 0.0008
-        Region::rect(90, 90, 99, 99),     // 100 cells, q = 0.01
-    ];
-    let map = FaultRegionMap::new(space, regions)?;
-    let ps = [0.25, 0.20, 0.15, 0.30, 0.10, 0.12, 0.08, 0.18];
-    let model = map.to_fault_model(&ps, &profile)?;
-    // Sample the two independently developed versions of Fig 1.
-    let factory = VersionFactory::new(model.clone(), FaultIntroduction::Independent)?;
-    let mut rng = StdRng::seed_from_u64(ctx.seed);
-    let va = factory.sample_version(&mut rng);
-    let vb = factory.sample_version(&mut rng);
-    let vc = factory.sample_version(&mut rng);
-    let pa = ProgramVersion::from_fault_set(va.faults.clone());
-    let pb = ProgramVersion::from_fault_set(vb.faults.clone());
-    let pc = ProgramVersion::from_fault_set(vc.faults.clone());
-    let one_oo_two = ProtectionSystem::new(
-        vec![Channel::new("A", pa.clone()), Channel::new("B", pb.clone())],
-        Adjudicator::OneOutOfN,
-        map.clone(),
-    )?;
-    let two_oo_three = ProtectionSystem::new(
-        vec![
-            Channel::new("A", pa.clone()),
-            Channel::new("B", pb.clone()),
-            Channel::new("C", pc.clone()),
-        ],
-        Adjudicator::Majority,
-        map.clone(),
-    )?;
-    let plant = Plant::with_demand_rate(profile.clone(), 0.2)?;
-    let steps = ctx.samples(5_000_000) as u64;
-    // Long campaigns shard across threads with deterministic per-shard
-    // seeds. The shard count is part of the RNG layout, so it is PINNED
-    // rather than taken from the host's core count — the same ctx.seed
-    // must reproduce the same campaign on every machine.
-    let threads = 4;
-    let log2 = simulation::run_sharded(&plant, &one_oo_two, steps, threads, ctx.seed ^ 0xF1)?;
-    let log3 = simulation::run_sharded(&plant, &two_oo_three, steps, threads, ctx.seed ^ 0xF2)?;
-    let truth2 = one_oo_two.true_pfd_parallel(&profile, threads)?;
-    let truth3 = two_oo_three.true_pfd_parallel(&profile, threads)?;
+    let scenario = presets::f1(ctx);
+    let outcome = scenario.run(ctx.threads)?;
+    let c: &CampaignOutcome = outcome
+        .as_protection()
+        .expect("F1 preset reduces to a campaign outcome");
+    let [log2, log3] = [&c.systems[0].log, &c.systems[1].log];
+    let (truth2, truth3) = (c.systems[0].true_pfd, c.systems[1].true_pfd);
+    let (va, vb) = (&c.versions[0], &c.versions[1]);
+    let process = &c.processes[0];
+    let (steps, shards) = match &scenario.experiment {
+        crate::scenario::ExperimentSpec::Protection(spec) => (spec.steps, spec.shards),
+        _ => unreachable!("F1 preset is a protection scenario"),
+    };
     let mut t = Table::new([
         "system",
         "demands seen",
@@ -92,15 +52,15 @@ pub fn run(ctx: &Context) -> ExpResult {
         "single channel A".to_string(),
         log2.demands().to_string(),
         sig(log2.channel_pfd_estimate(0).unwrap_or(f64::NAN), 3),
-        sig(pa.true_pfd(&map, &profile)?, 3),
-        sig(model.mean_pfd_single(), 3),
+        sig(va.true_pfd, 3),
+        sig(process.mean_pfd_single, 3),
     ]);
     t.row([
         "1oo2 (Fig 1, OR)".to_string(),
         log2.demands().to_string(),
         sig(log2.pfd_estimate().unwrap_or(f64::NAN), 3),
         sig(truth2, 3),
-        sig(model.mean_pfd_pair(), 3),
+        sig(process.mean_pfd_pair, 3),
     ]);
     t.row([
         "2oo3 (majority)".to_string(),
@@ -113,8 +73,7 @@ pub fn run(ctx: &Context) -> ExpResult {
     let observed2 = log2.pfd_estimate().unwrap_or(f64::NAN);
     // Tolerance: 6 binomial sigmas on the observed estimate.
     let tol = 6.0 * (truth2.max(1e-9) * (1.0 - truth2) / log2.demands().max(1) as f64).sqrt();
-    let ok = (observed2 - truth2).abs() <= tol.max(2e-4)
-        && truth2 <= pa.true_pfd(&map, &profile)? + 1e-12;
+    let ok = (observed2 - truth2).abs() <= tol.max(2e-4) && truth2 <= va.true_pfd + 1e-12;
     let report = format!(
         "Fig 1 operational campaign ({} plant steps, demand rate 0.2, \
          sharded over {} thread(s) with deterministic per-shard seeds):\n{}\n\
@@ -124,11 +83,11 @@ pub fn run(ctx: &Context) -> ExpResult {
          (eq 1) is what an assessor would predict before sampling the \
          versions.",
         steps,
-        threads,
+        shards,
         t.to_markdown(),
-        pa.fault_indices(),
-        pb.fault_indices(),
-        sig(model.mean_pfd_pair(), 3),
+        va.fault_indices,
+        vb.fault_indices,
+        sig(process.mean_pfd_pair, 3),
     );
     let verdict = if ok {
         format!(

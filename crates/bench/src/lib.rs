@@ -28,9 +28,12 @@
 pub mod context;
 pub mod experiments;
 pub mod perf;
+pub mod scenario;
 pub mod sweep;
+pub mod toml;
 
 pub use context::{Context, Summary};
+pub use scenario::Scenario;
 
 /// An experiment entry point: takes the shared context, returns a summary.
 pub type Runner = fn(&Context) -> Result<Summary, Box<dyn std::error::Error>>;

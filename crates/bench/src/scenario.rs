@@ -1,0 +1,749 @@
+//! Declarative scenarios: experiments as serialisable data.
+//!
+//! Every experiment in this repository used to exist only as a
+//! hand-coded module behind a registry entry — opening a new variant
+//! meant writing Rust. A [`Scenario`] is the alternative: a **value**
+//! (serde-serialisable, JSON or TOML) composed from the workspace's spec
+//! types —
+//!
+//! * [`FaultModelSpec`] (`divrel_model::spec`) — the fault-creation
+//!   model;
+//! * [`FaultIntroduction`] (`divrel_devsim::process`) — how faults are
+//!   introduced;
+//! * [`CampaignSpec`]/[`PlantSpec`]/`ProfileSpec`/`SystemSpec`
+//!   (`divrel_protection::spec`) — protection campaigns;
+//! * [`SeedSpec`] (`divrel_numerics::sweep`) — the random-stream layout;
+//! * `GridSpec` (`divrel_devsim::sweep`) — sample-budget grids —
+//!
+//! that [`Scenario::run`] compiles onto the deterministic sweep engine
+//! (`SweepGrid`/`SweepCell`, reduced via `SweepReduce`; protection
+//! campaigns reduce through `OperationLog`'s merge). Because a spec pins
+//! the grid layout and the seed, **a scenario's reduced output is
+//! bit-reproducible** — and the built-in presets ([`Scenario::preset`]:
+//! `"E16"`, `"E17"`, `"F1"`, `"MC"`) are bit-identical to the hand-coded
+//! runners they re-express, which `tests/scenario_equivalence.rs`
+//! enforces.
+//!
+//! ```
+//! use divrel_bench::scenario::{ExperimentSpec, Scenario};
+//! use divrel_model::spec::FaultModelSpec;
+//! use divrel_numerics::sweep::SeedSpec;
+//!
+//! let scenario = Scenario {
+//!     name: "tiny-grid".into(),
+//!     seed: SeedSpec::new(7),
+//!     experiment: ExperimentSpec::MonteCarlo {
+//!         model: FaultModelSpec::Uniform { n: 4, p: 0.2, q: 0.01 },
+//!         introduction: divrel_devsim::FaultIntroduction::Independent,
+//!         samples: 2_000,
+//!     },
+//! };
+//! let outcome = scenario.run(2)?;
+//! let mc = outcome.as_monte_carlo().expect("MC outcome");
+//! assert_eq!(mc.samples, 2_000);
+//! // The spec ↔ text round trip is the identity (JSON or TOML).
+//! let text = scenario.to_toml()?;
+//! assert_eq!(Scenario::from_spec_text(&text)?, scenario);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::context::Context;
+use crate::sweep::{forced_sweep, kl_sweep, ForcedSweepStats, KlSweepStats};
+use divrel_demand::region::Region;
+use divrel_demand::space::GridSpace2D;
+use divrel_demand::version::ProgramVersion;
+use divrel_devsim::experiment::{ExperimentResult, MonteCarloExperiment};
+use divrel_devsim::factory::VersionFactory;
+use divrel_devsim::process::FaultIntroduction;
+use divrel_model::spec::FaultModelSpec;
+use divrel_model::FaultModel;
+use divrel_numerics::sweep::SeedSpec;
+use divrel_protection::spec::{CampaignSpec, PlantSpec, ProfileSpec, SystemSpec};
+use divrel_protection::{simulation, Adjudicator, Channel, OperationLog, ProtectionSystem};
+use divrel_report::fmt::sig;
+use divrel_report::{ScenarioCard, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::sync::Arc;
+
+/// The scenario layer's error/result alias: executors compose every
+/// sub-crate's error type.
+pub type ScenarioResult<T> = Result<T, Box<dyn Error>>;
+
+/// A whole experiment as one serialisable value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Display name (also names the artifact directory).
+    pub name: String,
+    /// The random-stream layout: one master seed, everything derives.
+    pub seed: SeedSpec,
+    /// What to run.
+    pub experiment: ExperimentSpec,
+}
+
+/// The experiment families a scenario can declare.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ExperimentSpec {
+    /// A Knight–Leveson replication grid (the E16 protocol): one
+    /// synthetic 27-version experiment per sweep cell.
+    KnightLeveson {
+        /// The fault model versions are developed from.
+        model: FaultModelSpec,
+        /// Number of replications (grid cells).
+        replications: usize,
+    },
+    /// The E17 forced-diversity grid: random process pairs, checking the
+    /// AM–GM worst-case claim.
+    ForcedDiversity {
+        /// Number of random process pairs.
+        trials: usize,
+    },
+    /// The Monte-Carlo driver: single/pair PFD statistics of a model
+    /// under an introduction model.
+    MonteCarlo {
+        /// The fault model.
+        model: FaultModelSpec,
+        /// How faults are introduced.
+        introduction: FaultIntroduction,
+        /// Number of sampled pairs.
+        samples: usize,
+    },
+    /// An operational protection campaign (the F1 protocol and its
+    /// variants: any plant, channel layout, voting logic, and any number
+    /// of development processes for forced diversity).
+    Protection(CampaignSpec),
+}
+
+impl Scenario {
+    /// The built-in preset ids, in registry order.
+    pub const PRESETS: [&'static str; 4] = ["E16", "E17", "F1", "MC"];
+
+    /// A full-scale built-in scenario: `"E16"` (Knight–Leveson
+    /// replication), `"E17"` (forced diversity), `"F1"` (Fig 1
+    /// protection campaign), `"MC"` (the Monte-Carlo driver on the
+    /// safety workload). Results are bit-identical to the corresponding
+    /// hand-coded runners.
+    pub fn preset(id: &str) -> Option<Scenario> {
+        Self::preset_with(id, &Context::new())
+    }
+
+    /// A preset scaled by a [`Context`] (smoke contexts scale the sample
+    /// budgets down exactly as the experiment registry does).
+    pub fn preset_with(id: &str, ctx: &Context) -> Option<Scenario> {
+        match id {
+            "E16" => Some(presets::e16(ctx)),
+            "E17" => Some(presets::e17(ctx)),
+            "F1" => Some(presets::f1(ctx)),
+            "MC" => Some(presets::mc(ctx)),
+            _ => None,
+        }
+    }
+
+    /// Checks the spec for inconsistencies a serialised file can carry.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending field.
+    pub fn validate(&self) -> ScenarioResult<()> {
+        // The vendored serde carries numbers as f64, so a seed at or
+        // above 2^53 would silently round on the way through a spec
+        // file — breaking the "a spec pins the exact bits" contract.
+        // Reject it here instead of running with a different seed than
+        // declared.
+        const SEED_LIMIT: u64 = 1 << 53;
+        if self.seed.seed >= SEED_LIMIT {
+            return Err(format!(
+                "seed {} is not exactly representable in a spec file (must be < 2^53)",
+                self.seed.seed
+            )
+            .into());
+        }
+        if let ExperimentSpec::Protection(campaign) = &self.experiment {
+            for sys in &campaign.systems {
+                if sys.seed_xor >= SEED_LIMIT {
+                    return Err(format!(
+                        "system {:?} seed_xor {} is not exactly representable \
+                         in a spec file (must be < 2^53)",
+                        sys.label, sys.seed_xor
+                    )
+                    .into());
+                }
+            }
+        }
+        match &self.experiment {
+            ExperimentSpec::KnightLeveson { replications, .. } => {
+                if *replications == 0 {
+                    return Err("KnightLeveson needs >= 1 replication".into());
+                }
+            }
+            ExperimentSpec::ForcedDiversity { trials } => {
+                if *trials == 0 {
+                    return Err("ForcedDiversity needs >= 1 trial".into());
+                }
+            }
+            ExperimentSpec::MonteCarlo { samples, .. } => {
+                if *samples < 2 {
+                    return Err("MonteCarlo needs >= 2 samples".into());
+                }
+            }
+            ExperimentSpec::Protection(campaign) => campaign.validate()?,
+        }
+        Ok(())
+    }
+
+    /// Compiles the spec onto the sweep engine and runs it with up to
+    /// `threads` workers. `threads` is an execution hint only: every
+    /// outcome is bit-identical at any thread count (campaign shard
+    /// counts are part of the spec, not of this parameter).
+    ///
+    /// # Errors
+    ///
+    /// Validation errors plus whatever the underlying constructors and
+    /// simulators report.
+    pub fn run(&self, threads: usize) -> ScenarioResult<ScenarioOutcome> {
+        self.validate()?;
+        match &self.experiment {
+            ExperimentSpec::KnightLeveson {
+                model,
+                replications,
+            } => {
+                let model = model.build()?;
+                let stats = kl_sweep(&model, *replications, self.seed.seed, threads)?;
+                Ok(ScenarioOutcome::KnightLeveson(stats))
+            }
+            ExperimentSpec::ForcedDiversity { trials } => Ok(ScenarioOutcome::ForcedDiversity(
+                forced_sweep(*trials, self.seed.seed, threads)?,
+            )),
+            ExperimentSpec::MonteCarlo {
+                model,
+                introduction,
+                samples,
+            } => {
+                let model = model.build()?;
+                let result = MonteCarloExperiment::new(model, *introduction)
+                    .samples(*samples)
+                    .seed(self.seed.seed)
+                    .threads(threads)
+                    .run()?;
+                Ok(ScenarioOutcome::MonteCarlo(result))
+            }
+            ExperimentSpec::Protection(campaign) => Ok(ScenarioOutcome::Protection(run_campaign(
+                campaign,
+                self.seed.seed,
+            )?)),
+        }
+    }
+
+    /// Parses a scenario from spec text, auto-detecting the format: JSON
+    /// if the first non-whitespace byte is `{`, TOML otherwise.
+    ///
+    /// # Errors
+    ///
+    /// The format's parse errors or a shape mismatch.
+    pub fn from_spec_text(text: &str) -> ScenarioResult<Scenario> {
+        let first = text.chars().find(|c| !c.is_whitespace());
+        if first == Some('{') {
+            Ok(serde_json::from_str(text)?)
+        } else {
+            Ok(crate::toml::from_str(text)?)
+        }
+    }
+
+    /// Renders the scenario as a TOML document.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::toml::to_string`] errors (not reachable from a valid
+    /// scenario).
+    pub fn to_toml(&self) -> ScenarioResult<String> {
+        Ok(crate::toml::to_string(self)?)
+    }
+
+    /// Renders the scenario as pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`serde_json::to_string_pretty`] errors (not reachable from a
+    /// valid scenario).
+    pub fn to_json(&self) -> ScenarioResult<String> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+}
+
+/// The reduced accumulators a scenario run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioOutcome {
+    /// Reduced Knight–Leveson replication statistics.
+    KnightLeveson(KlSweepStats),
+    /// Reduced forced-diversity statistics.
+    ForcedDiversity(ForcedSweepStats),
+    /// Monte-Carlo driver result.
+    MonteCarlo(ExperimentResult),
+    /// Protection-campaign outcome.
+    Protection(CampaignOutcome),
+}
+
+impl ScenarioOutcome {
+    /// The KL statistics, if this is a Knight–Leveson outcome.
+    pub fn as_knight_leveson(&self) -> Option<&KlSweepStats> {
+        match self {
+            ScenarioOutcome::KnightLeveson(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The forced-diversity statistics, if applicable.
+    pub fn as_forced(&self) -> Option<&ForcedSweepStats> {
+        match self {
+            ScenarioOutcome::ForcedDiversity(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The Monte-Carlo result, if applicable.
+    pub fn as_monte_carlo(&self) -> Option<&ExperimentResult> {
+        match self {
+            ScenarioOutcome::MonteCarlo(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The campaign outcome, if applicable.
+    pub fn as_protection(&self) -> Option<&CampaignOutcome> {
+        match self {
+            ScenarioOutcome::Protection(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Renders the reduced accumulators as a [`ScenarioCard`] titled
+    /// `name`.
+    pub fn card(&self, name: &str) -> ScenarioCard {
+        let mut card = ScenarioCard::new(name);
+        match self {
+            ScenarioOutcome::KnightLeveson(s) => {
+                card.field("replications", s.replications.to_string())
+                    .field(
+                        "reduced mean AND σ",
+                        format!("{}/{}", s.reduced_both, s.replications),
+                    )
+                    .field(
+                        "normality rejected at 5%",
+                        format!("{}/{}", s.normal_rejected, s.normal_tested),
+                    )
+                    .field("median mean-reduction", sig(s.median_mean_factor(), 4))
+                    .field("median σ-reduction", sig(s.median_std_factor(), 4));
+            }
+            ScenarioOutcome::ForcedDiversity(s) => {
+                card.field("process pairs", s.trials.to_string())
+                    .field(
+                        "forced worse than unforced",
+                        format!("{}/{} (AM–GM forbids any)", s.worse_than_unforced, s.trials),
+                    )
+                    .field("mean forced/unforced PFD ratio", sig(s.mean_ratio(), 4));
+            }
+            ScenarioOutcome::MonteCarlo(r) => {
+                card.field("sampled pairs", r.samples.to_string());
+                let mut t = Table::new([
+                    "level",
+                    "mean PFD",
+                    "std PFD",
+                    "fault-free rate",
+                    "mean fault count",
+                ]);
+                t.row([
+                    "single version".to_string(),
+                    sig(r.single.mean_pfd, 4),
+                    sig(r.single.std_pfd, 4),
+                    sig(r.single.fault_free_rate, 4),
+                    sig(r.single.mean_fault_count, 4),
+                ]);
+                t.row([
+                    "1oo2 pair".to_string(),
+                    sig(r.pair.mean_pfd, 4),
+                    sig(r.pair.std_pfd, 4),
+                    sig(r.pair.fault_free_rate, 4),
+                    sig(r.pair.mean_fault_count, 4),
+                ]);
+                card.table("levels", t);
+                if let Some(rr) = r.risk_ratio {
+                    card.field("risk ratio (eq 10)", sig(rr, 4));
+                }
+            }
+            ScenarioOutcome::Protection(c) => {
+                let mut vt = Table::new(["version", "process", "faults", "true PFD"]);
+                for (i, v) in c.versions.iter().enumerate() {
+                    vt.row([
+                        format!("V{i}"),
+                        v.process.to_string(),
+                        format!("{:?}", v.fault_indices),
+                        sig(v.true_pfd, 3),
+                    ]);
+                }
+                card.table("sampled versions", vt);
+                let mut st = Table::new([
+                    "system",
+                    "demands seen",
+                    "observed PFD",
+                    "true PFD (geometry)",
+                ]);
+                for s in &c.systems {
+                    st.row([
+                        s.label.clone(),
+                        s.log.demands().to_string(),
+                        sig(s.log.pfd_estimate().unwrap_or(f64::NAN), 3),
+                        sig(s.true_pfd, 3),
+                    ]);
+                }
+                card.table("operational campaigns", st);
+                let mut pt = Table::new(["process", "E[PFD] single", "E[PFD] pair"]);
+                for (i, p) in c.processes.iter().enumerate() {
+                    pt.row([
+                        i.to_string(),
+                        sig(p.mean_pfd_single, 4),
+                        sig(p.mean_pfd_pair, 4),
+                    ]);
+                }
+                card.table("development processes", pt);
+            }
+        }
+        card
+    }
+}
+
+/// One sampled version of a protection campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VersionOutcome {
+    /// Index of the development process that produced the version.
+    pub process: usize,
+    /// The faults the version carries.
+    pub fault_indices: Vec<usize>,
+    /// The version's exact PFD (geometric measure of its failure set).
+    pub true_pfd: f64,
+}
+
+/// One protection system's campaign results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemOutcome {
+    /// The system's label from the spec.
+    pub label: String,
+    /// The merged operation log of the sharded campaign.
+    pub log: OperationLog,
+    /// The system's exact PFD (intersection measure through the voting
+    /// logic).
+    pub true_pfd: f64,
+}
+
+/// Population-level expectations of one development process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessOutcome {
+    /// Eq (1) single-version mean PFD.
+    pub mean_pfd_single: f64,
+    /// Eq (1) 1oo2 pair mean PFD.
+    pub mean_pfd_pair: f64,
+}
+
+/// Everything a protection-campaign scenario reduces to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignOutcome {
+    /// Per sampled version, in sampling order.
+    pub versions: Vec<VersionOutcome>,
+    /// Per system, in spec order.
+    pub systems: Vec<SystemOutcome>,
+    /// Per development process, in spec order.
+    pub processes: Vec<ProcessOutcome>,
+}
+
+/// Executes a protection campaign spec. The sampling order (all versions
+/// first, from one RNG stream seeded with the scenario seed) and the
+/// per-system campaign seeds (`seed ^ seed_xor`) follow the F1
+/// experiment's conventions exactly, which is what makes the `F1` preset
+/// bit-identical to the hand-coded runner.
+fn run_campaign(spec: &CampaignSpec, seed: u64) -> ScenarioResult<CampaignOutcome> {
+    spec.validate()?;
+    let map = spec.build_map()?;
+    let profile = spec.build_profile()?;
+    let models: Vec<Arc<FaultModel>> = spec
+        .processes
+        .iter()
+        .map(|ps| Ok(Arc::new(map.to_fault_model(ps, &profile)?)))
+        .collect::<Result<_, Box<dyn Error>>>()?;
+    let factories: Vec<VersionFactory> = models
+        .iter()
+        .map(|m| VersionFactory::shared(Arc::clone(m), FaultIntroduction::Independent))
+        .collect::<Result<_, _>>()?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sampled: Vec<ProgramVersion> = spec
+        .versions
+        .iter()
+        .map(|&pi| ProgramVersion::from_fault_set(factories[pi].sample_version(&mut rng).faults))
+        .collect();
+    let versions = spec
+        .versions
+        .iter()
+        .zip(&sampled)
+        .map(|(&pi, pv)| {
+            Ok(VersionOutcome {
+                process: pi,
+                fault_indices: pv.fault_indices(),
+                true_pfd: pv.true_pfd(&map, &profile)?,
+            })
+        })
+        .collect::<Result<_, Box<dyn Error>>>()?;
+    let plant = spec.build_plant(&profile)?;
+    let mut systems = Vec::with_capacity(spec.systems.len());
+    for sys in &spec.systems {
+        let channels: Vec<Channel> = sys
+            .channels
+            .iter()
+            .map(|&vi| Channel::new(format!("V{vi}"), sampled[vi].clone()))
+            .collect();
+        let system = ProtectionSystem::new(channels, sys.adjudicator, map.clone())?;
+        let log = simulation::run_sharded(
+            &plant,
+            &system,
+            spec.steps,
+            spec.shards,
+            seed ^ sys.seed_xor,
+        )?;
+        let true_pfd = system.true_pfd_parallel(&profile, spec.shards)?;
+        systems.push(SystemOutcome {
+            label: sys.label.clone(),
+            log,
+            true_pfd,
+        });
+    }
+    let processes = models
+        .iter()
+        .map(|m| ProcessOutcome {
+            mean_pfd_single: m.mean_pfd_single(),
+            mean_pfd_pair: m.mean_pfd_pair(),
+        })
+        .collect();
+    Ok(CampaignOutcome {
+        versions,
+        systems,
+        processes,
+    })
+}
+
+/// The built-in presets: each function re-expresses one hand-coded
+/// runner as a spec, scaled by the [`Context`] exactly as the registry
+/// entry scales itself.
+pub mod presets {
+    use super::*;
+    use crate::experiments::knight_leveson::student_experiment_model;
+    use crate::experiments::workloads;
+
+    /// E16 — the Knight–Leveson replication grid over the
+    /// student-experiment model.
+    pub fn e16(ctx: &Context) -> Scenario {
+        let model = student_experiment_model().expect("static parameters are valid");
+        Scenario {
+            name: "E16-knight-leveson".into(),
+            seed: SeedSpec::new(ctx.seed),
+            experiment: ExperimentSpec::KnightLeveson {
+                model: FaultModelSpec::from_model(&model),
+                replications: (ctx.samples(2_000) / 10).max(50),
+            },
+        }
+    }
+
+    /// E17 — the forced-diversity grid over random process pairs.
+    pub fn e17(ctx: &Context) -> Scenario {
+        Scenario {
+            name: "E17-forced-diversity".into(),
+            seed: SeedSpec::new(ctx.seed),
+            experiment: ExperimentSpec::ForcedDiversity {
+                trials: ctx.samples(5_000),
+            },
+        }
+    }
+
+    /// F1 — the Fig 1 protection campaign: 8 failure regions, three
+    /// versions from one process, a 1oo2 OR system and a 2oo3 majority
+    /// system against a rate-0.2 memoryless plant.
+    pub fn f1(ctx: &Context) -> Scenario {
+        let spec = CampaignSpec {
+            space: GridSpace2D::new(100, 100).expect("static dimensions are valid"),
+            regions: vec![
+                Region::rect(0, 0, 19, 9),        // 200 cells, q = 0.02
+                Region::rect(30, 0, 39, 9),       // 100 cells, q = 0.01
+                Region::rect(50, 0, 54, 9),       // 50 cells,  q = 0.005
+                Region::rect(60, 0, 63, 4),       // 20 cells,  q = 0.002
+                Region::rect(70, 0, 72, 2),       // 9 cells,   q = 0.0009
+                Region::lattice(0, 20, 5, 0, 10), // 10 cells, q = 0.001
+                Region::lattice(0, 30, 3, 3, 8),  // 8 cells,  q = 0.0008
+                Region::rect(90, 90, 99, 99),     // 100 cells, q = 0.01
+            ],
+            profile: ProfileSpec::Uniform,
+            processes: vec![vec![0.25, 0.20, 0.15, 0.30, 0.10, 0.12, 0.08, 0.18]],
+            versions: vec![0, 0, 0],
+            systems: vec![
+                SystemSpec {
+                    label: "1oo2 (Fig 1, OR)".into(),
+                    channels: vec![0, 1],
+                    adjudicator: Adjudicator::OneOutOfN,
+                    seed_xor: 0xF1,
+                },
+                SystemSpec {
+                    label: "2oo3 (majority)".into(),
+                    channels: vec![0, 1, 2],
+                    adjudicator: Adjudicator::Majority,
+                    seed_xor: 0xF2,
+                },
+            ],
+            plant: PlantSpec::Rate { demand_rate: 0.2 },
+            steps: ctx.samples(5_000_000) as u64,
+            // Part of the RNG layout: pinned in the spec, never taken
+            // from the host's core count.
+            shards: 4,
+        };
+        Scenario {
+            name: "F1-protection".into(),
+            seed: SeedSpec::new(ctx.seed),
+            experiment: ExperimentSpec::Protection(spec),
+        }
+    }
+
+    /// MC — the Monte-Carlo driver on the standard safety workload.
+    pub fn mc(ctx: &Context) -> Scenario {
+        Scenario {
+            name: "MC-driver".into(),
+            seed: SeedSpec::new(ctx.seed),
+            experiment: ExperimentSpec::MonteCarlo {
+                model: FaultModelSpec::from_model(&workloads::safety_model()),
+                introduction: FaultIntroduction::Independent,
+                samples: ctx.samples(100_000),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_mc() -> Scenario {
+        Scenario {
+            name: "tiny".into(),
+            seed: SeedSpec::new(11),
+            experiment: ExperimentSpec::MonteCarlo {
+                model: FaultModelSpec::Uniform {
+                    n: 4,
+                    p: 0.2,
+                    q: 0.01,
+                },
+                introduction: FaultIntroduction::Independent,
+                samples: 3_000,
+            },
+        }
+    }
+
+    #[test]
+    fn monte_carlo_scenario_is_thread_invariant() {
+        let s = tiny_mc();
+        let base = s.run(1).unwrap();
+        let sharded = s.run(3).unwrap();
+        assert_eq!(base, sharded);
+        let r = base.as_monte_carlo().unwrap();
+        assert_eq!(r.samples, 3_000);
+    }
+
+    #[test]
+    fn presets_exist_and_validate() {
+        let ctx = Context::smoke();
+        for id in Scenario::PRESETS {
+            let s = Scenario::preset_with(id, &ctx).unwrap();
+            s.validate().unwrap();
+            // Full-scale presets parse the same way.
+            assert!(Scenario::preset(id).is_some());
+        }
+        assert!(Scenario::preset("E99").is_none());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_specs() {
+        let mut s = tiny_mc();
+        s.experiment = ExperimentSpec::MonteCarlo {
+            model: FaultModelSpec::Uniform {
+                n: 4,
+                p: 0.2,
+                q: 0.01,
+            },
+            introduction: FaultIntroduction::Independent,
+            samples: 1,
+        };
+        assert!(s.validate().is_err());
+        s.experiment = ExperimentSpec::ForcedDiversity { trials: 0 };
+        assert!(s.validate().is_err());
+        s.experiment = ExperimentSpec::KnightLeveson {
+            model: FaultModelSpec::Uniform {
+                n: 2,
+                p: 0.1,
+                q: 0.01,
+            },
+            replications: 0,
+        };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_unrepresentable_seeds() {
+        // f64-carried spec numbers round at 2^53: running with a
+        // silently different seed would break bit-reproducibility.
+        let mut s = tiny_mc();
+        s.seed = SeedSpec::new((1 << 53) + 1);
+        let err = s.validate().unwrap_err().to_string();
+        assert!(err.contains("2^53"), "{err}");
+        let ctx = Context::smoke();
+        let mut f1 = Scenario::preset_with("F1", &ctx).unwrap();
+        if let ExperimentSpec::Protection(campaign) = &mut f1.experiment {
+            campaign.systems[0].seed_xor = 1 << 60;
+        }
+        let err = f1.validate().unwrap_err().to_string();
+        assert!(err.contains("seed_xor"), "{err}");
+    }
+
+    #[test]
+    fn spec_text_round_trips_in_both_formats() {
+        let ctx = Context::smoke();
+        for id in Scenario::PRESETS {
+            let s = Scenario::preset_with(id, &ctx).unwrap();
+            let json = s.to_json().unwrap();
+            assert_eq!(Scenario::from_spec_text(&json).unwrap(), s, "{id} JSON");
+            let toml = s.to_toml().unwrap();
+            assert_eq!(Scenario::from_spec_text(&toml).unwrap(), s, "{id} TOML");
+        }
+    }
+
+    #[test]
+    fn invalid_model_fails_at_run_time_with_context() {
+        let mut s = tiny_mc();
+        s.experiment = ExperimentSpec::MonteCarlo {
+            model: FaultModelSpec::Uniform {
+                n: 3,
+                p: 1.5,
+                q: 0.1,
+            },
+            introduction: FaultIntroduction::Independent,
+            samples: 100,
+        };
+        assert!(s.run(1).is_err());
+    }
+
+    #[test]
+    fn campaign_card_lists_every_section() {
+        let ctx = Context::smoke();
+        let s = Scenario::preset_with("F1", &ctx).unwrap();
+        let outcome = s.run(2).unwrap();
+        let card = outcome.card(&s.name);
+        let md = card.to_markdown();
+        assert!(md.contains("sampled versions"));
+        assert!(md.contains("operational campaigns"));
+        assert!(md.contains("development processes"));
+        assert!(md.contains("1oo2 (Fig 1, OR)"));
+    }
+}

@@ -11,13 +11,14 @@
 
 use divrel_devsim::kl::KnightLevesonExperiment;
 use divrel_devsim::process::FaultIntroduction;
-use divrel_devsim::sweep::{try_run_sweep, SweepGrid};
+use divrel_devsim::sweep::{try_run_sweep, GridSpec, SweepGrid};
 use divrel_devsim::{DevSimError, VersionFactory};
 use divrel_model::forced::ForcedDiversityModel;
 use divrel_model::{FaultModel, ModelError};
 use divrel_numerics::sweep::SweepReduce;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Reduced statistics of a Knight–Leveson replication sweep (E16): one
 /// synthetic 27-version experiment per cell.
@@ -82,9 +83,14 @@ pub fn kl_sweep(
     sweep_seed: u64,
     threads: usize,
 ) -> Result<KlSweepStats, DevSimError> {
+    // One shared model for the whole grid: each worker closure takes an
+    // `Arc` bump per cell instead of deep-copying the fault vector twice
+    // (once for the experiment, once inside its factory) — the ROADMAP
+    // allocation hot spot at 100k-cell scales.
+    let model = Arc::new(model.clone());
     let grid = SweepGrid::new(sweep_seed, vec![(); replications]);
     let stats = try_run_sweep(grid.cells(), threads, |cell| {
-        let r = KnightLevesonExperiment::new(model.clone())
+        let r = KnightLevesonExperiment::shared(Arc::clone(&model))
             .seed(cell.seed)
             .run()?;
         let mut s = KlSweepStats {
@@ -155,13 +161,7 @@ pub fn forced_sweep(
     sweep_seed: u64,
     threads: usize,
 ) -> Result<ForcedSweepStats, ModelError> {
-    let full = trials / FORCED_TRIALS_PER_CELL;
-    let rem = trials % FORCED_TRIALS_PER_CELL;
-    let mut cells = vec![FORCED_TRIALS_PER_CELL; full];
-    if rem > 0 {
-        cells.push(rem);
-    }
-    let grid = SweepGrid::new(sweep_seed, cells);
+    let grid = GridSpec::new(trials, FORCED_TRIALS_PER_CELL).grid(sweep_seed);
     let stats = try_run_sweep(grid.cells(), threads, |cell| {
         let mut rng = StdRng::seed_from_u64(cell.seed);
         let mut s = ForcedSweepStats::default();
@@ -221,13 +221,7 @@ pub fn pfd_sample_sweep(
     threads: usize,
 ) -> Result<PfdSampleSweep, DevSimError> {
     let factory = VersionFactory::new(model.clone(), introduction)?;
-    let full = samples / PFD_SAMPLES_PER_CELL;
-    let rem = samples % PFD_SAMPLES_PER_CELL;
-    let mut cells = vec![PFD_SAMPLES_PER_CELL; full];
-    if rem > 0 {
-        cells.push(rem);
-    }
-    let grid = SweepGrid::new(sweep_seed, cells);
+    let grid = GridSpec::new(samples, PFD_SAMPLES_PER_CELL).grid(sweep_seed);
     let samples = try_run_sweep(grid.cells(), threads, |cell| {
         let mut rng = StdRng::seed_from_u64(cell.seed);
         let mut out = PfdSampleSweep {

@@ -16,7 +16,7 @@
 use crate::error::DevSimError;
 use crate::factory::VersionFactory;
 use crate::process::FaultIntroduction;
-use crate::sweep::{run_sweep, SweepGrid};
+use crate::sweep::{run_sweep, GridSpec};
 use divrel_model::FaultModel;
 use divrel_numerics::descriptive::Moments;
 use divrel_numerics::normal::standard_quantile;
@@ -177,7 +177,7 @@ impl MonteCarloExperiment {
             });
         }
         let factory = VersionFactory::new(self.model.clone(), self.introduction)?;
-        let grid = SweepGrid::new(self.seed, self.cell_sizes());
+        let grid = self.grid_spec().grid(self.seed);
         let acc = run_sweep(grid.cells(), self.threads, |cell| {
             run_shard(&factory, cell.config, cell.seed)
         })
@@ -210,17 +210,12 @@ impl MonteCarloExperiment {
         })
     }
 
-    /// Cuts the sample budget into fixed-size sweep cells. The layout is a
-    /// function of `samples` alone — never of the thread count — which is
-    /// what makes the reduced result thread-invariant.
-    fn cell_sizes(&self) -> Vec<usize> {
-        let full = self.samples / MC_CELL_SAMPLES;
-        let rem = self.samples % MC_CELL_SAMPLES;
-        let mut cells = vec![MC_CELL_SAMPLES; full];
-        if rem > 0 {
-            cells.push(rem);
-        }
-        cells
+    /// The declarative grid layout of this experiment: the sample budget
+    /// in cells of [`MC_CELL_SAMPLES`]. A function of `samples` alone —
+    /// never of the thread count — which is what makes the reduced
+    /// result thread-invariant.
+    pub fn grid_spec(&self) -> GridSpec {
+        GridSpec::new(self.samples, MC_CELL_SAMPLES)
     }
 
     /// Draws the raw PFD samples `(single-version PFDs, pair PFDs)`
@@ -478,14 +473,14 @@ mod tests {
             let exp = MonteCarloExperiment::new(model(), FaultIntroduction::Independent)
                 .samples(samples)
                 .threads(4);
-            let cells = exp.cell_sizes();
+            let cells = exp.grid_spec().cell_sizes();
             assert_eq!(cells.iter().sum::<usize>(), samples);
             assert!(cells.iter().all(|&c| c > 0 && c <= MC_CELL_SAMPLES));
             // The layout is a pure function of the sample count.
             let exp16 = MonteCarloExperiment::new(model(), FaultIntroduction::Independent)
                 .samples(samples)
                 .threads(16);
-            assert_eq!(cells, exp16.cell_sizes());
+            assert_eq!(cells, exp16.grid_spec().cell_sizes());
         }
     }
 }

@@ -20,6 +20,7 @@ use crate::sampler::BitSampler;
 use divrel_demand::fault_set::FaultSet;
 use divrel_model::FaultModel;
 use rand::Rng;
+use std::sync::Arc;
 
 /// One sampled version: its fault set and PFD under the model's
 /// non-overlap semantics (`PFD = Σ qᵢ` over present faults).
@@ -101,7 +102,7 @@ impl SampledPair {
 /// ```
 #[derive(Debug, Clone)]
 pub struct VersionFactory {
-    model: FaultModel,
+    model: Arc<FaultModel>,
     introduction: FaultIntroduction,
     q: Vec<f64>,
     sampler: BitSampler,
@@ -115,6 +116,22 @@ impl VersionFactory {
     /// Propagates [`FaultIntroduction::validate`].
     pub fn new(
         model: FaultModel,
+        introduction: FaultIntroduction,
+    ) -> Result<Self, crate::error::DevSimError> {
+        Self::shared(Arc::new(model), introduction)
+    }
+
+    /// Creates a factory over a **shared** fault model: the factory keeps
+    /// the `Arc` instead of a deep copy, so sweep workers that build a
+    /// factory per cell pay one refcount bump rather than cloning the
+    /// model's fault vector (the ROADMAP allocation hot spot at
+    /// 100k-cell scales).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FaultIntroduction::validate`].
+    pub fn shared(
+        model: Arc<FaultModel>,
         introduction: FaultIntroduction,
     ) -> Result<Self, crate::error::DevSimError> {
         introduction.validate()?;
@@ -131,6 +148,12 @@ impl VersionFactory {
     /// The underlying fault model.
     pub fn model(&self) -> &FaultModel {
         &self.model
+    }
+
+    /// The shared handle to the fault model (an `Arc` clone is a
+    /// refcount bump, not a model copy).
+    pub fn model_shared(&self) -> Arc<FaultModel> {
+        Arc::clone(&self.model)
     }
 
     /// The introduction model in use.

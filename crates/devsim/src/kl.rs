@@ -22,14 +22,20 @@ use divrel_numerics::ks::{ks_test, KsTest};
 use divrel_numerics::normal::Normal;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// The number of versions in the original Knight–Leveson experiment.
 pub const KL_VERSION_COUNT: usize = 27;
 
 /// Configuration of a synthetic N-version experiment.
+///
+/// The fault model is held behind an `Arc`: replication sweeps build one
+/// experiment per grid cell, and sharing the model through the worker
+/// closures costs a refcount bump per cell instead of a deep copy of the
+/// fault vector (the ROADMAP allocation hot spot at 100k-cell scales).
 #[derive(Debug, Clone)]
 pub struct KnightLevesonExperiment {
-    model: FaultModel,
+    model: Arc<FaultModel>,
     introduction: FaultIntroduction,
     n_versions: usize,
     seed: u64,
@@ -79,6 +85,13 @@ impl KlResult {
 impl KnightLevesonExperiment {
     /// Creates the experiment with the historical 27 versions.
     pub fn new(model: FaultModel) -> Self {
+        Self::shared(Arc::new(model))
+    }
+
+    /// Creates the experiment over a **shared** fault model (no deep
+    /// copy; see the type docs). Sweep workers should prefer this with an
+    /// `Arc::clone` per cell.
+    pub fn shared(model: Arc<FaultModel>) -> Self {
         KnightLevesonExperiment {
             model,
             introduction: FaultIntroduction::Independent,
@@ -119,7 +132,7 @@ impl KnightLevesonExperiment {
                 need: 2,
             });
         }
-        let factory = VersionFactory::new(self.model.clone(), self.introduction)?;
+        let factory = VersionFactory::shared(Arc::clone(&self.model), self.introduction)?;
         let mut rng = StdRng::seed_from_u64(self.seed);
         let versions: Vec<_> = (0..self.n_versions)
             .map(|_| factory.sample_version(&mut rng))

@@ -30,7 +30,12 @@ use divrel_model::FaultModel;
 use rand::Rng;
 
 /// How a development team's fault set is sampled.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+///
+/// Serialisable so scenario files can declare the introduction model
+/// (`"Independent"`, `{"CommonCause": {"lambda": 0.8}}`, …); mixture
+/// weights are still validated by [`Self::validate`] at build time, not
+/// at parse time.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub enum FaultIntroduction {
     /// The paper's assumption: each fault an independent Bernoulli draw.
     #[default]

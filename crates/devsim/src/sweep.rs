@@ -43,7 +43,70 @@
 //! ```
 
 use divrel_numerics::sweep::{split_seed, SweepReduce};
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The declarative form of a sample-budget grid: `total` Monte-Carlo
+/// observations cut into cells of `per_cell` (the last cell takes the
+/// remainder).
+///
+/// Every sweep in the workspace that shards a flat sample budget —
+/// the Monte-Carlo driver, the forced-diversity grid, the raw PFD
+/// sampler — used to hand-roll this division; `GridSpec` is that layout
+/// as a serialisable value, so a scenario file pins the exact cell
+/// structure (and therefore, with the sweep seed, the exact output
+/// bits). The layout is a pure function of the spec — never of the
+/// thread count — which is what keeps reduced results thread-invariant.
+///
+/// ```
+/// use divrel_devsim::sweep::GridSpec;
+/// let spec = GridSpec::new(5_000, 2_048);
+/// assert_eq!(spec.cell_sizes(), vec![2_048, 2_048, 904]);
+/// assert_eq!(spec.cell_count(), 3);
+/// let grid = spec.grid(2001);
+/// assert_eq!(grid.len(), 3);
+/// assert_eq!(grid.cells()[2].config, 904);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// Total number of observations the grid draws.
+    pub total: usize,
+    /// Observations per full cell (min 1; the final cell may be smaller).
+    pub per_cell: usize,
+}
+
+impl GridSpec {
+    /// Builds the spec (a `per_cell` of 0 is treated as 1).
+    pub fn new(total: usize, per_cell: usize) -> Self {
+        GridSpec { total, per_cell }
+    }
+
+    /// The per-cell observation counts, in canonical cell order. The
+    /// sizes sum to `total`; every cell is non-empty.
+    pub fn cell_sizes(&self) -> Vec<usize> {
+        let per_cell = self.per_cell.max(1);
+        let full = self.total / per_cell;
+        let rem = self.total % per_cell;
+        let mut cells = vec![per_cell; full];
+        if rem > 0 {
+            cells.push(rem);
+        }
+        cells
+    }
+
+    /// Number of cells the layout produces.
+    pub fn cell_count(&self) -> usize {
+        let per_cell = self.per_cell.max(1);
+        self.total / per_cell + usize::from(!self.total.is_multiple_of(per_cell))
+    }
+
+    /// Compiles the layout onto the sweep engine: a [`SweepGrid`] whose
+    /// cell configs are the cell sizes and whose streams split from
+    /// `sweep_seed`.
+    pub fn grid(&self, sweep_seed: u64) -> SweepGrid<usize> {
+        SweepGrid::new(sweep_seed, self.cell_sizes())
+    }
+}
 
 /// One cell of an experiment grid: a configuration plus the cell's
 /// deterministic RNG seed.
@@ -334,6 +397,25 @@ mod tests {
         assert_eq!(r.unwrap_err(), "cell 3 failed");
         let ok: Result<Option<u64>, String> = try_run_sweep(g.cells(), 4, |_| Ok(1u64));
         assert_eq!(ok.unwrap(), Some(20));
+    }
+
+    #[test]
+    fn grid_spec_layout_is_exact_and_serialisable() {
+        for (total, per_cell) in [(0usize, 10usize), (3, 10), (10, 10), (11, 10), (4096, 2048)] {
+            let spec = GridSpec::new(total, per_cell);
+            let sizes = spec.cell_sizes();
+            assert_eq!(sizes.iter().sum::<usize>(), total);
+            assert_eq!(sizes.len(), spec.cell_count());
+            assert!(sizes.iter().all(|&c| c > 0 && c <= per_cell));
+            let grid = spec.grid(7);
+            assert_eq!(grid.len(), sizes.len());
+        }
+        // per_cell 0 degrades to 1-observation cells, not a panic.
+        assert_eq!(GridSpec::new(3, 0).cell_sizes(), vec![1, 1, 1]);
+        let spec = GridSpec::new(100, 32);
+        let v = serde::Serialize::to_value(&spec);
+        let back: GridSpec = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, spec);
     }
 
     #[test]

@@ -68,6 +68,7 @@ pub mod forced;
 pub mod improvement;
 pub mod moments;
 pub mod probability;
+pub mod spec;
 pub mod system;
 
 pub use error::ModelError;

@@ -1,0 +1,256 @@
+//! Declarative fault-model specifications.
+//!
+//! Every experiment variant in this repository used to be a hand-coded
+//! Rust module; the scenario layer turns the variants into **data**. This
+//! module holds the model-side spec types: serialisable descriptions of
+//! a fault-creation model ([`FaultModelSpec`]) and of a forced-diversity
+//! ensemble ([`ForcedEnsembleSpec`]) that `build()` into the validated
+//! analytic types. Specs carry *parameters*, not derived state —
+//! validation happens at build time through the same constructors the
+//! hand-written experiments call, so a spec-built model is exactly the
+//! model the registry entry would have produced.
+//!
+//! ```
+//! use divrel_model::spec::FaultModelSpec;
+//! let spec = FaultModelSpec::Uniform { n: 5, p: 0.2, q: 0.01 };
+//! let model = spec.build()?;
+//! assert_eq!(model.len(), 5);
+//! // The spec is a value: serialise it, ship it, rebuild it elsewhere.
+//! let json = serde_json::to_string(&spec)?;
+//! let back: FaultModelSpec = serde_json::from_str(&json)?;
+//! assert_eq!(back, spec);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::error::ModelError;
+use crate::fault::FaultModel;
+use crate::forced::ForcedDiversityModel;
+use serde::{Deserialize, Serialize};
+
+/// A serialisable description of a [`FaultModel`]: one variant per
+/// constructor family the experiments use.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultModelSpec {
+    /// Explicit per-fault parameters: `ps[i]` is the introduction
+    /// probability and `qs[i]` the failure-region size of fault `i`
+    /// ([`FaultModel::from_params`]). This is the general form — any
+    /// difficulty profile, symmetric or not, is a pair of lists.
+    Params {
+        /// Introduction probability per potential fault.
+        ps: Vec<f64>,
+        /// Failure-region size (demand-space measure) per fault.
+        qs: Vec<f64>,
+    },
+    /// `n` identical faults ([`FaultModel::uniform`]).
+    Uniform {
+        /// Number of potential faults.
+        n: usize,
+        /// Shared introduction probability.
+        p: f64,
+        /// Shared failure-region size.
+        q: f64,
+    },
+    /// Geometrically decaying parameters ([`FaultModel::geometric`]).
+    Geometric {
+        /// Number of potential faults.
+        n: usize,
+        /// First fault's introduction probability.
+        p0: f64,
+        /// Ratio between consecutive introduction probabilities.
+        p_ratio: f64,
+        /// First fault's failure-region size.
+        q0: f64,
+        /// Ratio between consecutive failure-region sizes.
+        q_ratio: f64,
+    },
+    /// Few-large / many-small bimodal structure ([`FaultModel::bimodal`]).
+    Bimodal {
+        /// Number of large faults.
+        n_large: usize,
+        /// Introduction probability of the large faults.
+        p_large: f64,
+        /// Failure-region size of the large faults.
+        q_large: f64,
+        /// Number of small faults.
+        n_small: usize,
+        /// Introduction probability of the small faults.
+        p_small: f64,
+        /// Failure-region size of the small faults.
+        q_small: f64,
+    },
+}
+
+impl FaultModelSpec {
+    /// Builds the model through the constructor the variant names.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the constructor's validation errors — a spec cannot build
+    /// a model the hand-written path would have rejected.
+    pub fn build(&self) -> Result<FaultModel, ModelError> {
+        match self {
+            FaultModelSpec::Params { ps, qs } => FaultModel::from_params(ps, qs),
+            FaultModelSpec::Uniform { n, p, q } => FaultModel::uniform(*n, *p, *q),
+            FaultModelSpec::Geometric {
+                n,
+                p0,
+                p_ratio,
+                q0,
+                q_ratio,
+            } => FaultModel::geometric(*n, *p0, *p_ratio, *q0, *q_ratio),
+            FaultModelSpec::Bimodal {
+                n_large,
+                p_large,
+                q_large,
+                n_small,
+                p_small,
+                q_small,
+            } => FaultModel::bimodal(*n_large, *p_large, *q_large, *n_small, *p_small, *q_small),
+        }
+    }
+
+    /// The explicit-parameter spec of an existing model (always the
+    /// `Params` form: the generating family is not recoverable from the
+    /// built model, but the parameters are).
+    pub fn from_model(model: &FaultModel) -> Self {
+        FaultModelSpec::Params {
+            ps: model.p_values().collect(),
+            qs: model.q_values().collect(),
+        }
+    }
+}
+
+/// A serialisable description of a two-process forced-diversity ensemble
+/// ([`ForcedDiversityModel::from_params`]): process A introduces fault
+/// `i` with `pa[i]`, process B with `pb[i]`, over shared failure regions
+/// `qs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForcedEnsembleSpec {
+    /// Introduction probabilities under process A.
+    pub pa: Vec<f64>,
+    /// Introduction probabilities under process B.
+    pub pb: Vec<f64>,
+    /// Shared failure-region sizes.
+    pub qs: Vec<f64>,
+}
+
+impl ForcedEnsembleSpec {
+    /// Builds the forced ensemble.
+    ///
+    /// # Errors
+    ///
+    /// The [`ForcedDiversityModel::from_params`] validation errors.
+    pub fn build(&self) -> Result<ForcedDiversityModel, ModelError> {
+        ForcedDiversityModel::from_params(&self.pa, &self.pb, &self.qs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_builds_the_named_constructor() {
+        let spec = FaultModelSpec::Params {
+            ps: vec![0.3, 0.1],
+            qs: vec![0.01, 0.02],
+        };
+        assert_eq!(
+            spec.build().unwrap(),
+            FaultModel::from_params(&[0.3, 0.1], &[0.01, 0.02]).unwrap()
+        );
+        assert_eq!(
+            FaultModelSpec::Uniform {
+                n: 4,
+                p: 0.2,
+                q: 0.05
+            }
+            .build()
+            .unwrap(),
+            FaultModel::uniform(4, 0.2, 0.05).unwrap()
+        );
+        assert_eq!(
+            FaultModelSpec::Geometric {
+                n: 6,
+                p0: 0.3,
+                p_ratio: 0.8,
+                q0: 0.02,
+                q_ratio: 0.9
+            }
+            .build()
+            .unwrap(),
+            FaultModel::geometric(6, 0.3, 0.8, 0.02, 0.9).unwrap()
+        );
+        assert_eq!(
+            FaultModelSpec::Bimodal {
+                n_large: 2,
+                p_large: 0.3,
+                q_large: 0.05,
+                n_small: 5,
+                p_small: 0.05,
+                q_small: 0.001
+            }
+            .build()
+            .unwrap(),
+            FaultModel::bimodal(2, 0.3, 0.05, 5, 0.05, 0.001).unwrap()
+        );
+    }
+
+    #[test]
+    fn invalid_specs_fail_at_build_not_parse() {
+        let spec: FaultModelSpec =
+            serde_json::from_str(r#"{"Uniform": {"n": 3, "p": 1.5, "q": 0.1}}"#).unwrap();
+        assert!(spec.build().is_err());
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let specs = [
+            FaultModelSpec::Params {
+                ps: vec![0.35, 0.25],
+                qs: vec![0.0008, 0.0025],
+            },
+            FaultModelSpec::Uniform {
+                n: 3,
+                p: 0.1,
+                q: 0.01,
+            },
+            FaultModelSpec::Geometric {
+                n: 18,
+                p0: 0.3,
+                p_ratio: 0.82,
+                q0: 0.02,
+                q_ratio: 0.85,
+            },
+        ];
+        for spec in specs {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: FaultModelSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn from_model_reproduces_parameters() {
+        let model = FaultModel::geometric(5, 0.3, 0.8, 0.02, 0.9).unwrap();
+        let spec = FaultModelSpec::from_model(&model);
+        assert_eq!(spec.build().unwrap(), model);
+    }
+
+    #[test]
+    fn forced_ensemble_builds_and_round_trips() {
+        let spec = ForcedEnsembleSpec {
+            pa: vec![0.5, 0.3],
+            pb: vec![0.3, 0.5],
+            qs: vec![0.01, 0.02],
+        };
+        let built = spec.build().unwrap();
+        assert_eq!(
+            built,
+            ForcedDiversityModel::from_params(&[0.5, 0.3], &[0.3, 0.5], &[0.01, 0.02]).unwrap()
+        );
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ForcedEnsembleSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

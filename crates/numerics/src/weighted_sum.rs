@@ -233,8 +233,12 @@ impl WeightedBernoulliSum {
     /// on every subsequent call (the regression suite asserts this), with
     /// the memoised count PMF shared too.
     ///
-    /// The cache is bounded ([`DISTRIBUTION_CACHE_CAP`] entries, FIFO
-    /// eviction) and thread-safe.
+    /// The cache is bounded ([`DISTRIBUTION_CACHE_CAP`] entries), evicts
+    /// the **least-recently-used** entry when full (a hit refreshes the
+    /// entry's recency, so the model families a sweep is actively cycling
+    /// through stay resident whatever was inserted first), is
+    /// thread-safe, and counts hits and misses — see
+    /// [`Self::cache_stats`].
     ///
     /// # Errors
     ///
@@ -249,26 +253,29 @@ impl WeightedBernoulliSum {
         key.sort_unstable();
         let cache = distribution_cache();
         {
-            let guard = cache.lock().expect("distribution cache poisoned");
-            if let Some(hit) = guard.map.get(&key) {
-                return Ok(Arc::clone(hit));
+            let mut guard = cache.lock().expect("distribution cache poisoned");
+            if let Some(hit) = guard.get(&key) {
+                return Ok(hit);
             }
         }
         // Convolve outside the lock; a racing builder of the same key just
         // loses the insert and adopts the winner's handle.
         let built = Arc::new(Self::auto(terms)?);
         let mut guard = cache.lock().expect("distribution cache poisoned");
-        if let Some(hit) = guard.map.get(&key) {
-            return Ok(Arc::clone(hit));
-        }
-        if guard.map.len() >= DISTRIBUTION_CACHE_CAP {
-            if let Some(oldest) = guard.order.pop_front() {
-                guard.map.remove(&oldest);
-            }
-        }
-        guard.map.insert(key.clone(), Arc::clone(&built));
-        guard.order.push_back(key);
-        Ok(built)
+        Ok(guard.insert_or_adopt(key, built))
+    }
+
+    /// Hit/miss/occupancy statistics of the process-wide
+    /// [`Self::auto_cached`] cache, for sizing [`DISTRIBUTION_CACHE_CAP`]
+    /// against a workload. Counters are cumulative over the process
+    /// lifetime (a racing build that adopts the winner's entry counts as
+    /// the miss it was when first looked up).
+    #[must_use]
+    pub fn cache_stats() -> CacheStats {
+        distribution_cache()
+            .lock()
+            .expect("distribution cache poisoned")
+            .stats()
     }
 
     /// The atoms of the distribution, sorted by value, masses summing to 1.
@@ -415,19 +422,112 @@ impl WeightedBernoulliSum {
 
 /// Capacity of the process-wide [`WeightedBernoulliSum::auto_cached`]
 /// cache. Sweeps cycle through a handful of model families, so a small
-/// FIFO is enough; the cap bounds memory for adversarial workloads.
+/// cache is enough; the cap bounds memory for adversarial workloads.
 pub const DISTRIBUTION_CACHE_CAP: usize = 64;
 
-#[derive(Default)]
-struct DistributionCache {
-    map: HashMap<Vec<(u64, u64)>, Arc<WeightedBernoulliSum>>,
-    /// Insertion order for FIFO eviction.
-    order: VecDeque<Vec<(u64, u64)>>,
+/// Hit/miss/occupancy statistics of an LRU cache (see
+/// [`WeightedBernoulliSum::cache_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that returned a resident entry.
+    pub hits: u64,
+    /// Lookups that had to build the distribution.
+    pub misses: u64,
+    /// Entries resident right now.
+    pub entries: usize,
 }
 
-fn distribution_cache() -> &'static Mutex<DistributionCache> {
-    static CACHE: OnceLock<Mutex<DistributionCache>> = OnceLock::new();
-    CACHE.get_or_init(Mutex::default)
+impl CacheStats {
+    /// `hits / (hits + misses)`, `NaN` before the first lookup.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        self.hits as f64 / (self.hits + self.misses) as f64
+    }
+}
+
+/// A bounded least-recently-used map from sorted term-bit keys to shared
+/// distributions. Kept as its own type (instead of logic inlined at the
+/// one global) so the eviction policy is unit-testable at small
+/// capacities.
+struct TermsLru {
+    cap: usize,
+    map: HashMap<Vec<(u64, u64)>, Arc<WeightedBernoulliSum>>,
+    /// Recency order: front = least recently used, back = most recent.
+    order: VecDeque<Vec<(u64, u64)>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TermsLru {
+    fn new(cap: usize) -> Self {
+        TermsLru {
+            cap: cap.max(1),
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks a key up, refreshing its recency on a hit.
+    fn get(&mut self, key: &[(u64, u64)]) -> Option<Arc<WeightedBernoulliSum>> {
+        match self.map.get(key) {
+            Some(hit) => {
+                self.hits += 1;
+                let value = Arc::clone(hit);
+                self.touch(key);
+                Some(value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Moves `key` to the most-recent end of the order queue.
+    fn touch(&mut self, key: &[(u64, u64)]) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            let k = self.order.remove(pos).expect("position just found");
+            self.order.push_back(k);
+        }
+    }
+
+    /// Inserts `built` under `key` unless a racing builder already did —
+    /// then the resident entry wins (so every caller shares one handle).
+    /// Evicts the least-recently-used entry on overflow.
+    fn insert_or_adopt(
+        &mut self,
+        key: Vec<(u64, u64)>,
+        built: Arc<WeightedBernoulliSum>,
+    ) -> Arc<WeightedBernoulliSum> {
+        if let Some(hit) = self.map.get(&key) {
+            let winner = Arc::clone(hit);
+            self.touch(&key);
+            return winner;
+        }
+        if self.map.len() >= self.cap {
+            if let Some(lru) = self.order.pop_front() {
+                self.map.remove(&lru);
+            }
+        }
+        self.map.insert(key.clone(), Arc::clone(&built));
+        self.order.push_back(key);
+        built
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.map.len(),
+        }
+    }
+}
+
+fn distribution_cache() -> &'static Mutex<TermsLru> {
+    static CACHE: OnceLock<Mutex<TermsLru>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(TermsLru::new(DISTRIBUTION_CACHE_CAP)))
 }
 
 fn validate_terms(terms: &[(f64, f64)]) -> Result<(), NumericsError> {
@@ -635,6 +735,61 @@ mod tests {
     fn auto_cached_rejects_invalid_terms_without_insertion() {
         assert!(WeightedBernoulliSum::auto_cached(&[(1.5, 0.1)]).is_err());
         assert!(WeightedBernoulliSum::auto_cached(&[(0.5, f64::NAN)]).is_err());
+    }
+
+    fn lru_key(tag: u64) -> Vec<(u64, u64)> {
+        vec![(tag, tag ^ 0xFF)]
+    }
+
+    fn lru_value() -> Arc<WeightedBernoulliSum> {
+        Arc::new(WeightedBernoulliSum::enumerate(&[(0.5, 0.1)]).unwrap())
+    }
+
+    #[test]
+    fn terms_lru_evicts_least_recently_used_not_oldest() {
+        let mut lru = TermsLru::new(3);
+        for tag in 0..3 {
+            assert!(lru.get(&lru_key(tag)).is_none());
+            lru.insert_or_adopt(lru_key(tag), lru_value());
+        }
+        // Touch key 0 (the oldest insertion): under FIFO it would be the
+        // next victim, under LRU it is now the safest entry.
+        assert!(lru.get(&lru_key(0)).is_some());
+        lru.insert_or_adopt(lru_key(3), lru_value());
+        assert!(lru.get(&lru_key(0)).is_some(), "touched entry was evicted");
+        assert!(lru.get(&lru_key(1)).is_none(), "LRU entry survived");
+        let s = lru.stats();
+        assert_eq!(s.entries, 3);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 4);
+        assert!((s.hit_rate() - 2.0 / 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn terms_lru_adopts_resident_entry_on_racing_insert() {
+        let mut lru = TermsLru::new(2);
+        let first = lru.insert_or_adopt(lru_key(7), lru_value());
+        let loser = lru_value();
+        let winner = lru.insert_or_adopt(lru_key(7), loser);
+        assert!(Arc::ptr_eq(&first, &winner));
+        assert_eq!(lru.stats().entries, 1);
+    }
+
+    #[test]
+    fn cache_stats_count_misses_then_hits() {
+        // Terms unique to this test so other tests' traffic cannot turn
+        // the expected miss into a hit; counter deltas are asserted as
+        // inequalities because the cache is process-wide.
+        let terms = vec![(0.313, 0.00471), (0.177, 0.00913)];
+        let before = WeightedBernoulliSum::cache_stats();
+        let a = WeightedBernoulliSum::auto_cached(&terms).unwrap();
+        let mid = WeightedBernoulliSum::cache_stats();
+        assert!(mid.misses > before.misses);
+        let b = WeightedBernoulliSum::auto_cached(&terms).unwrap();
+        let after = WeightedBernoulliSum::cache_stats();
+        assert!(after.hits > mid.hits);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(after.entries >= 1);
     }
 
     #[test]

@@ -13,7 +13,10 @@ use crate::error::ProtectionError;
 use std::fmt;
 
 /// How channel trip decisions are combined into a system decision.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Serialisable (as the bare variant name, e.g. `"Majority"`) so
+/// scenario files can declare the voting logic of each system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Adjudicator {
     /// OR: trip if any channel trips (the paper's 1-out-of-2, generalised
     /// to 1-out-of-N).

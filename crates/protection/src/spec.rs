@@ -1,0 +1,392 @@
+//! Declarative protection-scenario specifications.
+//!
+//! The paper's Fig 1 campaign — and every variant of it (different
+//! plants, channel layouts, voting logic, development processes) — is
+//! described here as **data**: serialisable spec types that `build()`
+//! into the validated runtime objects through the same constructors the
+//! hand-written F1 experiment calls. The executor lives in the bench
+//! crate (it needs the development-process sampler); this module owns
+//! the vocabulary:
+//!
+//! * [`ProfileSpec`] — the operational profile demands are drawn from;
+//! * [`PlantSpec`] — the demand source, including the sticky
+//!   [`Plant::markov_walk`] kind the demand compiler exploits;
+//! * [`SystemSpec`] — one protection system: which sampled versions sit
+//!   behind which [`Adjudicator`], and the campaign's seed salt;
+//! * [`CampaignSpec`] — the whole scenario: demand space, failure
+//!   regions, one or more development *processes* (per-region
+//!   introduction probabilities — several processes model forced
+//!   diversity), the versions to sample, and the campaign dimensions.
+
+use crate::adjudicator::Adjudicator;
+use crate::error::ProtectionError;
+use crate::plant::Plant;
+use divrel_demand::mapping::FaultRegionMap;
+use divrel_demand::profile::Profile;
+use divrel_demand::region::Region;
+use divrel_demand::space::{Demand, GridSpace2D};
+use divrel_demand::DemandError;
+use serde::{Deserialize, Serialize};
+
+/// A serialisable description of an operational [`Profile`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProfileSpec {
+    /// Every demand-space cell equally likely ([`Profile::uniform`]).
+    Uniform,
+    /// Explicit per-cell weights in row-major order
+    /// ([`Profile::from_weights`]).
+    Weights(Vec<f64>),
+    /// Mass concentrated on hotspot centres over a uniform background
+    /// ([`Profile::hotspot`]).
+    Hotspot {
+        /// The operating points demands cluster around.
+        centres: Vec<Demand>,
+        /// Probability mass shared equally by the centres (`[0, 1]`).
+        mass: f64,
+    },
+}
+
+impl ProfileSpec {
+    /// Builds the profile over `space`.
+    ///
+    /// # Errors
+    ///
+    /// The named constructor's validation errors.
+    pub fn build(&self, space: &GridSpace2D) -> Result<Profile, DemandError> {
+        match self {
+            ProfileSpec::Uniform => Ok(Profile::uniform(space)),
+            ProfileSpec::Weights(w) => Profile::from_weights(space, w.clone()),
+            ProfileSpec::Hotspot { centres, mass } => Profile::hotspot(space, centres, *mass),
+        }
+    }
+}
+
+/// A serialisable description of a [`Plant`]. The demand space and
+/// profile come from the surrounding [`CampaignSpec`], so the plant spec
+/// only carries the kind-specific parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlantSpec {
+    /// Memoryless plant: each step is a demand with this probability,
+    /// drawn from the campaign profile ([`Plant::with_demand_rate`]).
+    Rate {
+        /// Per-step demand probability in `(0, 1]`.
+        demand_rate: f64,
+    },
+    /// Random-walk plant tripping inside `trip` ([`Plant::trajectory`]).
+    Trajectory {
+        /// The trip set raising demands.
+        trip: Region,
+        /// Maximum per-tick step in each coordinate.
+        step: u32,
+    },
+    /// Sticky random walk: moves with probability `move_prob`, holds
+    /// otherwise ([`Plant::markov_walk`]) — the slow-mixing regime the
+    /// compiled demand-gap sampler exploits.
+    MarkovWalk {
+        /// The trip set raising demands.
+        trip: Region,
+        /// Maximum per-tick step in each coordinate.
+        step: u32,
+        /// Per-tick move probability in `(0, 1]`.
+        move_prob: f64,
+    },
+}
+
+impl PlantSpec {
+    /// Builds the plant against the campaign's profile (rate plants draw
+    /// demands from it; walk plants walk its space).
+    ///
+    /// # Errors
+    ///
+    /// The named constructor's validation errors.
+    pub fn build(&self, profile: &Profile) -> Result<Plant, ProtectionError> {
+        match self {
+            PlantSpec::Rate { demand_rate } => {
+                Plant::with_demand_rate(profile.clone(), *demand_rate)
+            }
+            PlantSpec::Trajectory { trip, step } => {
+                Plant::trajectory(*profile.space(), trip.clone(), *step)
+            }
+            PlantSpec::MarkovWalk {
+                trip,
+                step,
+                move_prob,
+            } => Plant::markov_walk(*profile.space(), trip.clone(), *step, *move_prob),
+        }
+    }
+}
+
+/// One protection system of a campaign: a channel layout over the
+/// campaign's sampled versions plus the voting logic and seed salt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemSpec {
+    /// Display label (e.g. `"1oo2"`).
+    pub label: String,
+    /// Indices into the campaign's sampled-version list, one per channel.
+    pub channels: Vec<usize>,
+    /// How channel trips combine.
+    pub adjudicator: Adjudicator,
+    /// XOR salt applied to the scenario seed for this system's campaign
+    /// RNG stream (the convention the F1 experiment established:
+    /// `seed ^ 0xF1`, `seed ^ 0xF2`, …).
+    pub seed_xor: u64,
+}
+
+/// A whole protection scenario as data. See the module docs for the
+/// vocabulary; [`CampaignSpec::validate`] checks cross-references, and
+/// the bench-crate executor samples the versions and runs the campaigns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// The demand space.
+    pub space: GridSpace2D,
+    /// Disjoint failure regions, one per potential fault.
+    pub regions: Vec<Region>,
+    /// The operational profile over the space.
+    pub profile: ProfileSpec,
+    /// Development processes: each entry is the per-region introduction
+    /// probabilities of one process. More than one process models forced
+    /// diversity (channels developed under different methodologies).
+    pub processes: Vec<Vec<f64>>,
+    /// Which process develops each sampled version, in sampling order.
+    pub versions: Vec<usize>,
+    /// The protection systems to run (each a campaign over the same
+    /// sampled versions).
+    pub systems: Vec<SystemSpec>,
+    /// The demand source.
+    pub plant: PlantSpec,
+    /// Campaign length in plant steps.
+    pub steps: u64,
+    /// Campaign shards. Part of the RNG layout (pinned in the spec, not
+    /// taken from the host), so the same spec reproduces the same bits
+    /// on every machine.
+    pub shards: usize,
+}
+
+impl CampaignSpec {
+    /// Checks the inconsistencies a serialised spec can carry: a
+    /// degenerate demand space (serde writes `GridSpace2D`'s fields
+    /// directly, bypassing its constructor), process lengths vs region
+    /// count, version process indices, system channel indices, non-empty
+    /// systems/channels, positive shards.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtectionError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ProtectionError> {
+        let bad = |msg: String| Err(ProtectionError::InvalidConfig(msg));
+        if self.space.cell_count() == 0 {
+            return bad(format!(
+                "demand space {}x{} is empty",
+                self.space.nx(),
+                self.space.ny()
+            ));
+        }
+        if self.processes.is_empty() {
+            return bad("campaign declares no development processes".into());
+        }
+        for (i, ps) in self.processes.iter().enumerate() {
+            if ps.len() != self.regions.len() {
+                return bad(format!(
+                    "process {i} has {} probabilities for {} regions",
+                    ps.len(),
+                    self.regions.len()
+                ));
+            }
+        }
+        if self.versions.is_empty() {
+            return bad("campaign samples no versions".into());
+        }
+        for (i, &pi) in self.versions.iter().enumerate() {
+            if pi >= self.processes.len() {
+                return bad(format!(
+                    "version {i} references process {pi} of {}",
+                    self.processes.len()
+                ));
+            }
+        }
+        if self.systems.is_empty() {
+            return bad("campaign declares no systems".into());
+        }
+        for sys in &self.systems {
+            if sys.channels.is_empty() {
+                return bad(format!("system {:?} has no channels", sys.label));
+            }
+            for &vi in &sys.channels {
+                if vi >= self.versions.len() {
+                    return bad(format!(
+                        "system {:?} references version {vi} of {}",
+                        sys.label,
+                        self.versions.len()
+                    ));
+                }
+            }
+            sys.adjudicator.validate(sys.channels.len())?;
+        }
+        if self.shards == 0 {
+            return bad("campaign needs >= 1 shard".into());
+        }
+        Ok(())
+    }
+
+    /// Builds the fault-region map (validating regions against the
+    /// space).
+    ///
+    /// # Errors
+    ///
+    /// [`FaultRegionMap::new`] validation errors.
+    pub fn build_map(&self) -> Result<FaultRegionMap, DemandError> {
+        FaultRegionMap::new(self.space, self.regions.clone())
+    }
+
+    /// Builds the operational profile.
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileSpec::build`] errors.
+    pub fn build_profile(&self) -> Result<Profile, DemandError> {
+        self.profile.build(&self.space)
+    }
+
+    /// Builds the plant against a profile built by
+    /// [`Self::build_profile`].
+    ///
+    /// # Errors
+    ///
+    /// [`PlantSpec::build`] errors.
+    pub fn build_plant(&self, profile: &Profile) -> Result<Plant, ProtectionError> {
+        self.plant.build(profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_spec() -> CampaignSpec {
+        CampaignSpec {
+            space: GridSpace2D::new(20, 20).unwrap(),
+            regions: vec![Region::rect(0, 0, 3, 3), Region::rect(10, 10, 12, 12)],
+            profile: ProfileSpec::Uniform,
+            processes: vec![vec![0.3, 0.2]],
+            versions: vec![0, 0],
+            systems: vec![SystemSpec {
+                label: "1oo2".into(),
+                channels: vec![0, 1],
+                adjudicator: Adjudicator::OneOutOfN,
+                seed_xor: 0xF1,
+            }],
+            plant: PlantSpec::Rate { demand_rate: 0.1 },
+            steps: 1000,
+            shards: 2,
+        }
+    }
+
+    #[test]
+    fn valid_spec_builds_every_component() {
+        let spec = demo_spec();
+        spec.validate().unwrap();
+        let map = spec.build_map().unwrap();
+        assert_eq!(map.regions().len(), 2);
+        let profile = spec.build_profile().unwrap();
+        let plant = spec.build_plant(&profile).unwrap();
+        assert!(plant.rate_parts().is_some());
+    }
+
+    #[test]
+    fn plant_spec_builds_each_kind() {
+        let space = GridSpace2D::new(16, 16).unwrap();
+        let profile = Profile::uniform(&space);
+        let trip = Region::rect(0, 0, 2, 2);
+        let rate = PlantSpec::Rate { demand_rate: 0.5 }
+            .build(&profile)
+            .unwrap();
+        assert!(rate.rate_parts().is_some());
+        let traj = PlantSpec::Trajectory {
+            trip: trip.clone(),
+            step: 2,
+        }
+        .build(&profile)
+        .unwrap();
+        assert!(traj.trip_set().is_some());
+        let markov = PlantSpec::MarkovWalk {
+            trip,
+            step: 1,
+            move_prob: 0.05,
+        }
+        .build(&profile)
+        .unwrap();
+        assert!(markov.transition_row(markov.initial_state()).is_some());
+        assert!(PlantSpec::Rate { demand_rate: 0.0 }
+            .build(&profile)
+            .is_err());
+    }
+
+    #[test]
+    fn profile_spec_builds_each_kind() {
+        let space = GridSpace2D::new(4, 1).unwrap();
+        assert!(ProfileSpec::Uniform.build(&space).is_ok());
+        let w = ProfileSpec::Weights(vec![0.7, 0.1, 0.1, 0.1])
+            .build(&space)
+            .unwrap();
+        assert!((w.prob(Demand::new(0, 0)) - 0.7).abs() < 1e-12);
+        let h = ProfileSpec::Hotspot {
+            centres: vec![Demand::new(1, 0)],
+            mass: 0.5,
+        }
+        .build(&space)
+        .unwrap();
+        assert!(h.prob(Demand::new(1, 0)) > 0.5);
+        assert!(ProfileSpec::Weights(vec![1.0]).build(&space).is_err());
+    }
+
+    #[test]
+    fn validate_catches_every_cross_reference() {
+        let ok = demo_spec();
+        let mutate = |f: &dyn Fn(&mut CampaignSpec)| {
+            let mut s = ok.clone();
+            f(&mut s);
+            s
+        };
+        assert!(mutate(&|s| s.processes.clear()).validate().is_err());
+        assert!(mutate(&|s| s.processes[0].pop().map(|_| ()).unwrap())
+            .validate()
+            .is_err());
+        assert!(mutate(&|s| s.versions.clear()).validate().is_err());
+        assert!(mutate(&|s| s.versions[0] = 5).validate().is_err());
+        assert!(mutate(&|s| s.systems.clear()).validate().is_err());
+        assert!(mutate(&|s| s.systems[0].channels.clear())
+            .validate()
+            .is_err());
+        assert!(mutate(&|s| s.systems[0].channels[0] = 9)
+            .validate()
+            .is_err());
+        assert!(mutate(&|s| s.shards = 0).validate().is_err());
+        // Majority over an even channel count is caught here too.
+        assert!(
+            mutate(&|s| s.systems[0].adjudicator = Adjudicator::Majority)
+                .validate()
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn validate_rejects_deserialized_empty_space() {
+        // GridSpace2D::new refuses zero dimensions, but serde writes the
+        // fields directly — validate() must catch what the constructor
+        // would have.
+        let mut spec = demo_spec();
+        spec.space = serde_json::from_str(r#"{"nx": 0, "ny": 5}"#).unwrap();
+        spec.regions = vec![Region::points([])];
+        spec.processes = vec![vec![0.3]];
+        let err = spec.validate().unwrap_err().to_string();
+        assert!(err.contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn campaign_spec_round_trips_through_json() {
+        let spec = demo_spec();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: CampaignSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

@@ -29,7 +29,9 @@
 
 pub mod artifacts;
 pub mod fmt;
+pub mod scenario;
 pub mod table;
 
 pub use artifacts::ArtifactSink;
+pub use scenario::ScenarioCard;
 pub use table::Table;

@@ -1,0 +1,98 @@
+//! Rendering for declarative-scenario results.
+//!
+//! The scenario layer reduces an experiment grid to a small set of
+//! accumulators; a [`ScenarioCard`] is the presentation-side contract
+//! for those reductions — a titled list of headline fields plus any
+//! number of named [`Table`]s — rendered as one markdown document by the
+//! `scenario_run` binary and written into the artifact tree beside the
+//! hand-written experiments' tables.
+
+use crate::table::Table;
+
+/// A renderable scenario result: headline fields and detail tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioCard {
+    title: String,
+    fields: Vec<(String, String)>,
+    tables: Vec<(String, Table)>,
+}
+
+impl ScenarioCard {
+    /// Creates an empty card with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        ScenarioCard {
+            title: title.into(),
+            fields: Vec::new(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Appends a headline `name: value` field.
+    pub fn field(&mut self, name: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        self.fields.push((name.into(), value.into()));
+        self
+    }
+
+    /// Appends a named detail table.
+    pub fn table(&mut self, name: impl Into<String>, table: Table) -> &mut Self {
+        self.tables.push((name.into(), table));
+        self
+    }
+
+    /// The card title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The headline fields, in insertion order.
+    pub fn fields(&self) -> &[(String, String)] {
+        &self.fields
+    }
+
+    /// The named tables, in insertion order.
+    pub fn tables(&self) -> &[(String, Table)] {
+        &self.tables
+    }
+
+    /// Renders the whole card as a markdown document: an `##` title, a
+    /// bullet per field, an `###` section per table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## {}\n", self.title);
+        for (name, value) in &self.fields {
+            out.push_str(&format!("- **{name}**: {value}\n"));
+        }
+        for (name, table) in &self.tables {
+            out.push_str(&format!("\n### {name}\n\n{}", table.to_markdown()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_fields_and_tables() {
+        let mut card = ScenarioCard::new("E16 replication");
+        card.field("replications", "200")
+            .field("reduced both", "200/200");
+        let mut t = Table::new(["statistic", "value"]);
+        t.row(["median σ-reduction", "3.1×"]);
+        card.table("reductions", t);
+        let md = card.to_markdown();
+        assert!(md.starts_with("## E16 replication\n"));
+        assert!(md.contains("- **replications**: 200"));
+        assert!(md.contains("### reductions"));
+        assert!(md.contains("median σ-reduction"));
+        assert_eq!(card.fields().len(), 2);
+        assert_eq!(card.tables().len(), 1);
+        assert_eq!(card.title(), "E16 replication");
+    }
+
+    #[test]
+    fn empty_card_is_just_the_title() {
+        let card = ScenarioCard::new("empty");
+        assert_eq!(card.to_markdown(), "## empty\n");
+    }
+}

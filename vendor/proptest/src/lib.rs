@@ -14,7 +14,8 @@
 /// Everything a test file needs: `use proptest::prelude::*;`.
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy, TestRng,
+        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy, TestRng, Union,
     };
 }
 
@@ -180,6 +181,40 @@ impl<T: Clone> Strategy for Just<T> {
     fn gen_value(&self, _rng: &mut TestRng) -> T {
         self.0.clone()
     }
+}
+
+/// A strategy choosing uniformly among boxed alternatives that all
+/// yield the same value type — the engine behind [`prop_oneof!`].
+pub struct Union<T> {
+    branches: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Wraps the given alternatives (at least one required).
+    pub fn new(branches: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!branches.is_empty(), "prop_oneof needs >= 1 alternative");
+        Union { branches }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.branches.len() as u64) as usize;
+        self.branches[i].gen_value(rng)
+    }
+}
+
+/// Chooses uniformly among several strategies of one value type
+/// (the unweighted form of proptest's `prop_oneof!`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let __branches: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::Strategy<Value = _>>,
+        > = ::std::vec![$(::std::boxed::Box::new($strategy)),+];
+        $crate::Union::new(__branches)
+    }};
 }
 
 /// Boolean strategies.
@@ -419,6 +454,17 @@ mod tests {
         fn assume_rejects_without_failing(x in 0u32..10) {
             prop_assume!(x % 2 == 0);
             prop_assert!(x % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_draws_every_alternative(x in prop_oneof![
+            Just(1u32),
+            (5u32..10).prop_map(|n| n),
+            Just(3u32),
+        ]) {
+            prop_assert!(x == 1 || x == 3 || (5..10).contains(&x));
         }
     }
 
