@@ -1,10 +1,10 @@
 //! Before/after benchmark driver: measures the previous-PR baselines
 //! against the current fast paths and exports the results as
-//! `BENCH_<tag>.json` (default `BENCH_pr4.json` in the current
+//! `BENCH_<tag>.json` (default `BENCH_pr5.json` in the current
 //! directory; override with `DIVREL_BENCH_TAG` / first CLI argument as
 //! the output path).
 //!
-//! Four baseline generations appear:
+//! Five baseline generations appear:
 //!
 //! * the **seed** algorithms (`Vec<bool>` fault sets, one RNG draw per
 //!   potential fault, per-fault geometric region tests) — kept so the
@@ -23,7 +23,16 @@
 //!   PR 4 `scenario/*` rows: the same workload declared as a
 //!   [`Scenario`] spec and compiled through the scenario layer. Both
 //!   sides are bit-identical (asserted first), so the row records pure
-//!   spec-compilation overhead — the target is ≤ 2% (speedup ≥ 0.98×).
+//!   spec-compilation overhead — the target is ≤ 2% (speedup ≥ 0.98×);
+//! * the **PR 4** in-process scenario executor as the "legacy" side of
+//!   the PR 5 `dist/*` rows: the same committed spec run by a
+//!   coordinator over a fleet of worker processes (1 process vs N).
+//!   Both sides are bit-identical (asserted first), so the row records
+//!   pure distribution overhead/gain — ≈1× minus protocol cost on a
+//!   single-core host, by design. The PR 5 `protection/markov_fused/*`
+//!   row measures the compiled sampler's fused exit draw (one uniform
+//!   for branch + alias where the chain's masses allow) against a
+//!   faithful reconstruction of the PR 2 four-draw sampler.
 
 use divrel_bench::context::default_sweep_threads;
 use divrel_bench::perf::{to_json, Comparison};
@@ -136,7 +145,7 @@ fn legacy_protection_run(
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| {
-        let tag = std::env::var("DIVREL_BENCH_TAG").unwrap_or_else(|_| "pr4".into());
+        let tag = std::env::var("DIVREL_BENCH_TAG").unwrap_or_else(|_| "pr5".into());
         format!("BENCH_{tag}.json")
     });
     let mut results: Vec<Comparison> = Vec::new();
@@ -699,7 +708,366 @@ fn main() {
         results.push(c);
     }
 
-    let json = to_json(4, &results);
+    // --- protection/markov_fused: the PR 5 sampler satellite ------------
+    // The compiled sampler's exit tick used to spend up to three
+    // uniforms (demand-vs-move coin, successor bucket, accept coin) on
+    // top of the dwell draw; one recycled uniform now covers all three.
+    // The "legacy" side is a faithful reconstruction of the PR 2
+    // sampler: the same analytic decomposition with its own Walker–Vose
+    // tables and the original two-draw alias lookup.
+    {
+        use divrel_protection::OperationLog;
+
+        /// One state's Walker–Vose table (cells, acceptance masses,
+        /// in-segment alias targets), built exactly like the PR 2
+        /// compiler's.
+        struct AliasRow {
+            cells: Vec<u32>,
+            accept: Vec<f64>,
+            alias: Vec<u32>,
+        }
+
+        impl AliasRow {
+            fn build(row: &[(u32, f64)]) -> Self {
+                let n = row.len();
+                let total: f64 = row.iter().map(|&(_, w)| w).sum();
+                let mut scaled: Vec<f64> = row
+                    .iter()
+                    .map(|&(_, w)| w * n as f64 / total.max(f64::MIN_POSITIVE))
+                    .collect();
+                let mut alias = vec![0u32; n];
+                let mut accept = vec![1.0f64; n];
+                let mut small: Vec<usize> = (0..n).filter(|&i| scaled[i] < 1.0).collect();
+                let mut large: Vec<usize> = (0..n).filter(|&i| scaled[i] >= 1.0).collect();
+                while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+                    small.pop();
+                    accept[s] = scaled[s];
+                    alias[s] = l as u32;
+                    scaled[l] -= 1.0 - scaled[s];
+                    if scaled[l] < 1.0 {
+                        large.pop();
+                        small.push(l);
+                    }
+                }
+                for &i in small.iter().chain(large.iter()) {
+                    accept[i] = 1.0;
+                }
+                AliasRow {
+                    cells: row.iter().map(|&(c, _)| c).collect(),
+                    accept,
+                    alias,
+                }
+            }
+
+            /// The PR 2 two-draw lookup: bucket (when > 1 entry), then
+            /// an acceptance coin.
+            fn sample(&self, rng: &mut StdRng) -> u32 {
+                let n = self.cells.len();
+                let i = if n == 1 { 0 } else { rng.gen_range(0..n) };
+                let coin: f64 = rng.gen();
+                let k = if coin < self.accept[i] {
+                    i
+                } else {
+                    self.alias[i] as usize
+                };
+                self.cells[k]
+            }
+        }
+
+        struct UnfusedCompiled {
+            exit_prob: Vec<f64>,
+            inv_log_hold: Vec<f64>,
+            demand_given_exit: Vec<f64>,
+            demand_succ: Vec<AliasRow>,
+            quiet_succ: Vec<AliasRow>,
+            start: u32,
+        }
+
+        impl UnfusedCompiled {
+            fn compile(plant: &Plant) -> Self {
+                let space = *plant.space();
+                let trip = plant
+                    .trip_set()
+                    .expect("markov plants have trip sets")
+                    .clone();
+                let cells = space.cell_count();
+                let mut exit_prob = Vec::with_capacity(cells);
+                let mut inv_log_hold = Vec::with_capacity(cells);
+                let mut demand_given_exit = Vec::with_capacity(cells);
+                let mut demand_succ = Vec::with_capacity(cells);
+                let mut quiet_succ = Vec::with_capacity(cells);
+                for cell in 0..cells {
+                    let state = space.demand_at(cell).expect("cell in range");
+                    let row = plant.transition_row(state).expect("enumerable plant");
+                    let (mut hold, mut p_demand, mut p_move) = (0.0f64, 0.0f64, 0.0f64);
+                    let (mut ds, mut qs) = (Vec::new(), Vec::new());
+                    for (succ, p) in row {
+                        let t = space.index_of(succ).expect("successor in space");
+                        if trip.contains(succ) {
+                            p_demand += p;
+                            ds.push((t as u32, p));
+                        } else if t == cell {
+                            hold += p;
+                        } else {
+                            p_move += p;
+                            qs.push((t as u32, p));
+                        }
+                    }
+                    let p_exit = p_demand + p_move;
+                    exit_prob.push(p_exit);
+                    inv_log_hold.push(if hold > 0.0 { hold.ln().recip() } else { 0.0 });
+                    demand_given_exit.push(if p_exit > 0.0 { p_demand / p_exit } else { 0.0 });
+                    demand_succ.push(AliasRow::build(&ds));
+                    quiet_succ.push(AliasRow::build(&qs));
+                }
+                let start = space
+                    .index_of(plant.initial_state())
+                    .expect("initial state in space") as u32;
+                UnfusedCompiled {
+                    exit_prob,
+                    inv_log_hold,
+                    demand_given_exit,
+                    demand_succ,
+                    quiet_succ,
+                    start,
+                }
+            }
+
+            /// The PR 2 draw pattern: dwell, branch coin, bucket
+            /// (when > 1 successor), accept coin.
+            fn run(&self, system: &ProtectionSystem, steps: u64, rng: &mut StdRng) -> OperationLog {
+                let mut log = OperationLog::new(system.channels().len());
+                let mut state = self.start as usize;
+                let mut remaining = steps;
+                'run: while remaining > 0 {
+                    if self.exit_prob[state] <= 0.0 {
+                        log.record_quiet_n(remaining);
+                        break;
+                    }
+                    let ilh = self.inv_log_hold[state];
+                    let dwell = if ilh == 0.0 {
+                        0
+                    } else {
+                        let u: f64 = 1.0 - rng.gen::<f64>();
+                        let gap = u.ln() * ilh;
+                        if gap >= remaining as f64 {
+                            log.record_quiet_n(remaining);
+                            break 'run;
+                        }
+                        gap as u64
+                    };
+                    if dwell >= remaining {
+                        log.record_quiet_n(remaining);
+                        break;
+                    }
+                    log.record_quiet_n(dwell);
+                    remaining -= dwell + 1;
+                    let coin: f64 = rng.gen();
+                    let (table, is_demand) = if coin < self.demand_given_exit[state] {
+                        (&self.demand_succ[state], true)
+                    } else {
+                        (&self.quiet_succ[state], false)
+                    };
+                    state = table.sample(rng) as usize;
+                    if is_demand {
+                        let d = system
+                            .map()
+                            .space()
+                            .demand_at(state)
+                            .expect("successor in space");
+                        let (tripped, mask) = system.respond_bits(d).expect("in space");
+                        log.record_demand_bits(tripped, mask);
+                    }
+                }
+                log
+            }
+        }
+
+        let space = GridSpace2D::new(100, 100).expect("valid space");
+        let trip = Region::rect(0, 0, 4, 4);
+        let map = FaultRegionMap::new(
+            space,
+            vec![Region::rect(0, 0, 2, 2), Region::rect(1, 1, 3, 3)],
+        )
+        .expect("valid map");
+        let system = ProtectionSystem::new(
+            vec![
+                Channel::new("A", ProgramVersion::new(vec![true, false])),
+                Channel::new("B", ProgramVersion::new(vec![false, true])),
+            ],
+            Adjudicator::OneOutOfN,
+            map,
+        )
+        .expect("valid system");
+        let steps = 400_000u64;
+        let plant = Plant::markov_walk(space, trip, 2, 0.01).expect("valid plant");
+        let unfused = UnfusedCompiled::compile(&plant);
+        let compiled = CompiledPlant::compile(&plant)
+            .expect("compilable")
+            .expect("markov plants compile");
+        // Sanity: same process, so the two samplers must see
+        // statistically similar demand traffic. The measured plant is
+        // slow-mixing (huge per-run hitting-time variance), so the
+        // check runs on a fast-mixing sibling and averages seeds.
+        {
+            let sanity_space = GridSpace2D::new(40, 40).expect("valid space");
+            let sanity_plant = Plant::markov_walk(sanity_space, Region::rect(0, 0, 7, 7), 2, 0.15)
+                .expect("valid plant");
+            let sanity_map =
+                FaultRegionMap::new(sanity_space, vec![Region::rect(0, 0, 2, 2)]).expect("map");
+            let sanity_system = ProtectionSystem::new(
+                vec![Channel::new("A", ProgramVersion::new(vec![true]))],
+                Adjudicator::OneOutOfN,
+                sanity_map,
+            )
+            .expect("valid system");
+            let sanity_unfused = UnfusedCompiled::compile(&sanity_plant);
+            let sanity_compiled = CompiledPlant::compile(&sanity_plant)
+                .expect("compilable")
+                .expect("markov plants compile");
+            let (mut demands_l, mut demands_f) = (0.0f64, 0.0f64);
+            for seed in 40..45u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                demands_l += sanity_unfused
+                    .run(&sanity_system, 2_000_000, &mut rng)
+                    .demands() as f64;
+                let mut rng = StdRng::seed_from_u64(seed + 100);
+                demands_f +=
+                    simulation::run_compiled(&sanity_compiled, &sanity_system, 2_000_000, &mut rng)
+                        .expect("runs")
+                        .demands() as f64;
+            }
+            assert!(
+                (demands_l - demands_f).abs() / demands_f < 0.3,
+                "unfused reconstruction drifted: {demands_l} vs {demands_f} demands"
+            );
+        }
+        let mut seed_l = 900u64;
+        let mut seed_f = 900u64;
+        let c = Comparison::measure(
+            "protection/markov_fused/move0.01/400k",
+            || {
+                seed_l += 1;
+                let mut rng = StdRng::seed_from_u64(seed_l);
+                black_box(unfused.run(&system, steps, &mut rng));
+            },
+            || {
+                seed_f += 1;
+                let mut rng = StdRng::seed_from_u64(seed_f);
+                black_box(
+                    simulation::run_compiled(&compiled, &system, steps, &mut rng).expect("runs"),
+                );
+            },
+        );
+        println!(
+            "{:<44} {:>10.1} -> {:>9.1} ns  ({:.2}x)",
+            c.name,
+            c.legacy_ns,
+            c.fast_ns,
+            c.speedup()
+        );
+        results.push(c);
+    }
+
+    // --- dist/*: the PR 5 coordinator/worker rows ------------------------
+    // One committed-style spec executed in process (1 process) vs by a
+    // coordinator over 2 worker processes (this build's `scenario_run
+    // --worker-stdio`, falling back to in-process pipe workers when the
+    // sibling binary is absent). Both sides are bit-identical — asserted
+    // before measuring — so the rows record pure distribution
+    // overhead/gain: ≈1× minus protocol cost on a single-core host,
+    // real scaling on CI's multi-core runners.
+    {
+        use divrel_bench::dist::{
+            spawn_stdio_fleet, Coordinator, JsonLines, StdioFleet, Transport, Worker,
+        };
+        use divrel_bench::scenario::ScenarioOutcome;
+        use divrel_bench::Context;
+
+        fn spawn_process_workers(n: usize) -> Option<StdioFleet> {
+            let sibling = std::env::current_exe()
+                .ok()?
+                .parent()?
+                .join(format!("scenario_run{}", std::env::consts::EXE_SUFFIX));
+            if !sibling.exists() {
+                return None;
+            }
+            spawn_stdio_fleet(&sibling, n, 1, true).ok()
+        }
+
+        fn run_dist(scenario: &Scenario, workers: usize) -> ScenarioOutcome {
+            let coordinator = Coordinator::new(scenario.clone())
+                .expect("compiles")
+                .lease_cells(1);
+            if let Some(mut fleet) = spawn_process_workers(workers) {
+                let run = coordinator.run(fleet.transports).expect("distributed run");
+                for child in &mut fleet.children {
+                    let _ = child.wait();
+                }
+                run.outcome
+            } else {
+                // Fallback fleet: real workers on threads over OS pipes.
+                let mut coord_ends: Vec<Box<dyn Transport>> = Vec::new();
+                let mut handles = Vec::new();
+                for _ in 0..workers {
+                    let (c2w_r, c2w_w) = std::io::pipe().expect("pipe");
+                    let (w2c_r, w2c_w) = std::io::pipe().expect("pipe");
+                    coord_ends.push(Box::new(JsonLines::new(w2c_r, c2w_w)));
+                    handles.push(std::thread::spawn(move || {
+                        let mut t = JsonLines::new(c2w_r, w2c_w);
+                        Worker::new()
+                            .serve(&mut t)
+                            .map(|_| ())
+                            .map_err(|e| e.to_string())
+                    }));
+                }
+                let run = coordinator.run(coord_ends).expect("distributed run");
+                for h in handles {
+                    h.join().expect("worker thread joins").expect("worker ok");
+                }
+                run.outcome
+            }
+        }
+
+        let mc_scn = Scenario {
+            name: "bench-dist-mc".into(),
+            seed: SeedSpec::new(3),
+            experiment: ExperimentSpec::MonteCarlo {
+                model: FaultModelSpec::from_model(&model_of_size(32)),
+                introduction: FaultIntroduction::Independent,
+                samples: 50_000,
+            },
+        };
+        let f1_scn = Scenario::preset_with("F1", &Context::smoke()).expect("known preset");
+        for (label, scenario) in [("mc_50k", &mc_scn), ("f1_campaign", &f1_scn)] {
+            let single = scenario.run(1).expect("in-process run");
+            let distributed = run_dist(scenario, 2);
+            assert_eq!(
+                format!("{distributed:?}"),
+                format!("{single:?}"),
+                "dist/{label}: 2-process outcome diverged from the in-process run"
+            );
+            let c = Comparison::measure(
+                &format!("dist/{label}/2proc"),
+                || {
+                    black_box(scenario.run(1).expect("runs"));
+                },
+                || {
+                    black_box(run_dist(scenario, 2));
+                },
+            );
+            println!(
+                "{:<44} {:>10.1} -> {:>9.1} ns  ({:.2}x)",
+                c.name,
+                c.legacy_ns,
+                c.fast_ns,
+                c.speedup()
+            );
+            results.push(c);
+        }
+    }
+
+    let json = to_json(5, &results);
     std::fs::write(&out_path, &json).expect("write bench export");
     println!("\nwrote {out_path}");
     let below: Vec<&Comparison> = results.iter().filter(|c| c.speedup() < 5.0).collect();

@@ -1,9 +1,12 @@
-//! `scenario_run` — execute any declarative scenario spec end to end.
+//! `scenario_run` — execute any declarative scenario spec end to end,
+//! in process or across a fleet of worker processes.
 //!
 //! ```text
 //! scenario_run <spec.toml|spec.json> [--threads N] [--results DIR]
 //! scenario_run --preset <E16|E17|F1|MC> [--smoke] [--threads N] [--results DIR]
 //! scenario_run --preset <id> --emit <toml|json>
+//! scenario_run --coordinator N [--bind ADDR] [--lease-cells K] [--check-single] <spec>
+//! scenario_run --worker <ADDR> [--threads N]
 //! ```
 //!
 //! The spec format is auto-detected (JSON if the file starts with `{`,
@@ -12,10 +15,24 @@
 //! to stdout and into `DIR/scenario-<name>/` (report + canonical spec).
 //! `--emit` prints a preset as a spec file instead of running it — the
 //! quickest way to start a new scenario is to emit one and edit it.
+//!
+//! `--coordinator N` executes the spec on a fleet: by default it spawns
+//! `N` local worker processes (this same binary in a hidden
+//! `--worker-stdio` mode) and talks line-delimited JSON over their
+//! stdin/stdout; with `--bind ADDR` it listens on a TCP socket and
+//! waits for `N` remote workers started as `scenario_run --worker ADDR`
+//! on any host. Either way the reduced outcome is **bit-identical** to
+//! the in-process run — any worker count, any lease partitioning, any
+//! worker crash/retry history — and `--check-single` re-runs the spec
+//! in process afterwards and fails loudly if a single bit differs.
 
 use divrel_bench::context::default_sweep_threads;
+use divrel_bench::dist::{
+    spawn_stdio_fleet, Coordinator, JsonLines, StdioFleet, Transport, Worker,
+};
 use divrel_bench::{Context, Scenario};
-use divrel_report::ArtifactSink;
+use divrel_report::{ArtifactSink, ScenarioCard};
+use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -25,13 +42,22 @@ USAGE:
   scenario_run <spec.toml|spec.json> [--threads N] [--results DIR]
   scenario_run --preset <E16|E17|F1|MC> [--smoke] [--threads N] [--results DIR]
   scenario_run --preset <id> --emit <toml|json>
+  scenario_run --coordinator N [--bind ADDR] [--lease-cells K] [--check-single] <spec>
+  scenario_run --worker <ADDR> [--threads N]
 
 A spec file declares the whole experiment — fault model, plant, channel
 layout, grid and seed — and the engine guarantees the reduced output is
-bit-identical at every thread count. Presets re-express the paper's
-hand-coded runners; --emit prints one as a starting point:
+bit-identical at every thread count, worker count and lease layout.
+Presets re-express the paper's hand-coded runners; --emit prints one as
+a starting point:
 
   scenario_run --preset F1 --emit toml > my_scenario.toml
+
+Distributed execution of a committed spec:
+
+  scenario_run --coordinator 4 scenarios/slow_markov_plant.toml
+  scenario_run --coordinator 2 --bind 0.0.0.0:9301 my_scenario.toml   # host A
+  scenario_run --worker hostA:9301                                    # hosts B, C
 ";
 
 struct Args {
@@ -41,6 +67,12 @@ struct Args {
     smoke: bool,
     threads: usize,
     results: String,
+    coordinator: Option<usize>,
+    bind: Option<String>,
+    lease_cells: Option<u64>,
+    check_single: bool,
+    worker: Option<String>,
+    worker_stdio: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -51,11 +83,18 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         smoke: false,
         threads: default_sweep_threads(),
         results: "results".into(),
+        coordinator: None,
+        bind: None,
+        lease_cells: None,
+        check_single: false,
+        worker: None,
+        worker_stdio: false,
     };
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
-            "--preset" | "--emit" | "--threads" | "--results" => {
+            "--preset" | "--emit" | "--threads" | "--results" | "--coordinator" | "--bind"
+            | "--lease-cells" | "--worker" => {
                 let key = argv[i].clone();
                 let value = argv
                     .get(i + 1)
@@ -65,6 +104,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     "--preset" => args.preset = Some(value),
                     "--emit" => args.emit = Some(value),
                     "--results" => args.results = value,
+                    "--bind" => args.bind = Some(value),
+                    "--worker" => args.worker = Some(value),
                     "--threads" => {
                         args.threads = value
                             .parse::<usize>()
@@ -72,12 +113,32 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                             .filter(|&t| t >= 1)
                             .ok_or_else(|| format!("--threads: invalid count {value:?}"))?;
                     }
+                    "--coordinator" => {
+                        args.coordinator =
+                            Some(value.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(
+                                || format!("--coordinator: invalid worker count {value:?}"),
+                            )?);
+                    }
+                    "--lease-cells" => {
+                        args.lease_cells =
+                            Some(value.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(
+                                || format!("--lease-cells: invalid cell count {value:?}"),
+                            )?);
+                    }
                     _ => unreachable!(),
                 }
                 i += 2;
             }
             "--smoke" => {
                 args.smoke = true;
+                i += 1;
+            }
+            "--check-single" => {
+                args.check_single = true;
+                i += 1;
+            }
+            "--worker-stdio" => {
+                args.worker_stdio = true;
                 i += 1;
             }
             "--help" | "-h" => return Err(String::new()),
@@ -90,11 +151,47 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
         }
     }
+    if args.worker.is_some() || args.worker_stdio {
+        if args.worker.is_some() && args.worker_stdio {
+            return Err("provide --worker ADDR or --worker-stdio, not both".into());
+        }
+        if args.spec_path.is_some() || args.preset.is_some() || args.coordinator.is_some() {
+            return Err("worker mode takes no spec: the coordinator ships it".into());
+        }
+        // A worker only accepts --threads; silently ignoring a
+        // coordinator flag would let an operator believe it took effect.
+        for (flag, present) in [
+            ("--bind", args.bind.is_some()),
+            ("--lease-cells", args.lease_cells.is_some()),
+            ("--check-single", args.check_single),
+            ("--emit", args.emit.is_some()),
+            ("--smoke", args.smoke),
+            ("--results", args.results != "results"),
+        ] {
+            if present {
+                return Err(format!(
+                    "{flag} is a coordinator flag; workers take --threads only"
+                ));
+            }
+        }
+        return Ok(args);
+    }
     if args.spec_path.is_none() && args.preset.is_none() {
         return Err("provide a spec file or --preset".into());
     }
     if args.spec_path.is_some() && args.preset.is_some() {
         return Err("provide a spec file OR --preset, not both".into());
+    }
+    if args.coordinator.is_none() {
+        if args.bind.is_some() {
+            return Err("--bind needs --coordinator N".into());
+        }
+        if args.check_single {
+            return Err("--check-single needs --coordinator N".into());
+        }
+        if args.lease_cells.is_some() {
+            return Err("--lease-cells needs --coordinator N".into());
+        }
     }
     Ok(args)
 }
@@ -118,9 +215,146 @@ fn load_scenario(args: &Args) -> Result<Scenario, String> {
     Scenario::from_spec_text(&text).map_err(|e| format!("cannot parse {path:?}: {e}"))
 }
 
+fn write_artifacts(args: &Args, scenario: &Scenario, card: &ScenarioCard) -> Result<(), String> {
+    let sink = ArtifactSink::new(&args.results, &format!("scenario-{}", scenario.name))
+        .map_err(|e| format!("cannot open artifact directory: {e}"))?;
+    sink.write_text("report", &card.to_markdown())
+        .map_err(|e| format!("cannot write report: {e}"))?;
+    let canonical = scenario
+        .to_toml()
+        .map_err(|e| format!("cannot render canonical spec: {e}"))?;
+    sink.write_text("spec", &canonical)
+        .map_err(|e| format!("cannot write spec: {e}"))?;
+    eprintln!("artifacts in {}", sink.dir().display());
+    Ok(())
+}
+
+/// Serve one coordinator connection as a worker; the protocol rides the
+/// given transport, diagnostics go to stderr.
+fn run_worker<T: Transport>(mut transport: T, threads: usize) -> Result<(), String> {
+    let summary = Worker::new()
+        .threads(threads)
+        .serve(&mut transport)
+        .map_err(|e| format!("worker failed: {e}"))?;
+    eprintln!(
+        "worker done: {} lease(s), {} cell(s) of spec {}",
+        summary.leases_served, summary.cells_run, summary.spec_hash
+    );
+    Ok(())
+}
+
+/// Spawn `n` local worker child processes (this same binary in
+/// `--worker-stdio` mode) via the shared fleet assembler.
+fn spawn_local_workers(n: usize, threads: usize) -> Result<StdioFleet, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    spawn_stdio_fleet(&exe, n, threads, false).map_err(|e| format!("cannot spawn workers: {e}"))
+}
+
+/// Accept `n` TCP workers on `addr`.
+fn accept_tcp_workers(addr: &str, n: usize) -> Result<Vec<Box<dyn Transport>>, String> {
+    let listener =
+        TcpListener::bind(addr).map_err(|e| format!("cannot bind coordinator on {addr}: {e}"))?;
+    eprintln!(
+        "coordinator listening on {} for {n} worker(s)…",
+        listener.local_addr().map_err(|e| e.to_string())?
+    );
+    let mut transports: Vec<Box<dyn Transport>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let (stream, peer) = listener
+            .accept()
+            .map_err(|e| format!("accepting worker {i}: {e}"))?;
+        let reader = stream
+            .try_clone()
+            .map_err(|e| format!("cloning stream of {peer}: {e}"))?;
+        eprintln!("worker {i} joined from {peer}");
+        transports.push(Box::new(JsonLines::new(reader, stream)));
+    }
+    Ok(transports)
+}
+
+fn run_coordinator(args: &Args, scenario: Scenario, workers: usize) -> Result<(), String> {
+    let mut coordinator = Coordinator::new(scenario.clone())
+        .map_err(|e| format!("cannot compile scenario for distribution: {e}"))?;
+    if let Some(cells) = args.lease_cells {
+        coordinator = coordinator.lease_cells(cells);
+    }
+    eprintln!(
+        "coordinating scenario {:?} (seed {}, {} cells, spec {}) over {workers} worker(s)…",
+        scenario.name,
+        scenario.seed.seed,
+        coordinator.job().cell_count(),
+        coordinator.spec_hash(),
+    );
+    let (mut children, transports) = match &args.bind {
+        Some(addr) => (Vec::new(), accept_tcp_workers(addr, workers)?),
+        None => {
+            let fleet = spawn_local_workers(workers, args.threads)?;
+            (fleet.children, fleet.transports)
+        }
+    };
+    let started = std::time::Instant::now();
+    let run = coordinator
+        .run(transports)
+        .map_err(|e| format!("distributed run failed: {e}"));
+    for child in &mut children {
+        // Workers exit on Done/EOF; reap them so none outlive the run.
+        let _ = child.wait();
+    }
+    let run = run?;
+    let elapsed = started.elapsed();
+    let mut card = run.outcome.card(&scenario.name);
+    card.provenance("spec hash", &run.stats.spec_hash)
+        .provenance("workers", run.stats.workers.to_string())
+        .provenance(
+            "leases",
+            format!("{} ({} retried)", run.stats.leases, run.stats.retries),
+        )
+        .provenance("cells", run.stats.cells.to_string());
+    println!("{}", card.to_markdown());
+    eprintln!("completed in {:.2}s", elapsed.as_secs_f64());
+
+    if args.check_single {
+        eprintln!("re-running in process for the bit-identity check…");
+        let single = scenario
+            .run(args.threads)
+            .map_err(|e| format!("in-process check run failed: {e}"))?;
+        let dist_md = run.outcome.card(&scenario.name).results_markdown();
+        let single_md = single.card(&scenario.name).results_markdown();
+        if single != run.outcome || dist_md != single_md {
+            return Err(format!(
+                "BIT-IDENTITY VIOLATION: coordinator outcome differs from the \
+                 in-process run of the same spec\n--- distributed ---\n{dist_md}\n\
+                 --- in-process ---\n{single_md}"
+            ));
+        }
+        eprintln!(
+            "check passed: fleet outcome is bit-identical to the in-process run \
+             ({} workers, {} leases, {} retried)",
+            run.stats.workers, run.stats.leases, run.stats.retries
+        );
+    }
+    write_artifacts(args, &scenario, &card)
+}
+
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = parse_args(&argv)?;
+
+    if args.worker_stdio {
+        // Protocol rides stdout: nothing else may print there.
+        return run_worker(
+            JsonLines::new(std::io::stdin(), std::io::stdout()),
+            args.threads,
+        );
+    }
+    if let Some(addr) = &args.worker {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| format!("cannot reach coordinator {addr}: {e}"))?;
+        let reader = stream.try_clone().map_err(|e| e.to_string())?;
+        eprintln!("joined coordinator at {addr}");
+        return run_worker(JsonLines::new(reader, stream), args.threads);
+    }
+
     let scenario = load_scenario(&args)?;
     scenario
         .validate()
@@ -137,6 +371,10 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
 
+    if let Some(workers) = args.coordinator {
+        return run_coordinator(&args, scenario, workers);
+    }
+
     eprintln!(
         "running scenario {:?} (seed {}, {} worker thread(s))…",
         scenario.name, scenario.seed.seed, args.threads
@@ -146,21 +384,14 @@ fn run() -> Result<(), String> {
         .run(args.threads)
         .map_err(|e| format!("scenario {:?} failed: {e}", scenario.name))?;
     let elapsed = started.elapsed();
-    let card = outcome.card(&scenario.name);
+    let mut card = outcome.card(&scenario.name);
+    if let Ok(canonical) = scenario.to_toml() {
+        card.provenance("spec hash", divrel_bench::dist::spec_hash(&canonical));
+    }
+    card.provenance("workers", format!("in-process ({} threads)", args.threads));
     println!("{}", card.to_markdown());
     eprintln!("completed in {:.2}s", elapsed.as_secs_f64());
-
-    let sink = ArtifactSink::new(&args.results, &format!("scenario-{}", scenario.name))
-        .map_err(|e| format!("cannot open artifact directory: {e}"))?;
-    sink.write_text("report", &card.to_markdown())
-        .map_err(|e| format!("cannot write report: {e}"))?;
-    let canonical = scenario
-        .to_toml()
-        .map_err(|e| format!("cannot render canonical spec: {e}"))?;
-    sink.write_text("spec", &canonical)
-        .map_err(|e| format!("cannot write spec: {e}"))?;
-    eprintln!("artifacts in {}", sink.dir().display());
-    Ok(())
+    write_artifacts(&args, &scenario, &card)
 }
 
 fn main() -> ExitCode {

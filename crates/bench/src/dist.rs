@@ -1,0 +1,994 @@
+//! Distributed sweep execution: a coordinator/worker runtime for
+//! committed scenario specs.
+//!
+//! The scenario layer made experiments **shippable** — a spec file pins
+//! the grid layout, the seed and therefore the exact output bits. This
+//! module is the next level: executing one committed spec across many
+//! processes (or hosts) without giving up a single bit of that
+//! guarantee.
+//!
+//! * A [`Coordinator`] owns a validated [`Scenario`], partitions its
+//!   grid into [`CellRange`] leases, hands them to workers over a
+//!   line-delimited JSON protocol ([`Message`], one frame per line —
+//!   the same frames work over a child process's stdin/stdout or a TCP
+//!   socket), re-issues leases whose workers die, and folds the
+//!   returned accumulators **in canonical cell order**.
+//! * A [`Worker`] (driven by [`Worker::serve`]) joins a coordinator,
+//!   checks the spec hash, evaluates leased cell ranges through the
+//!   exact same machinery the in-process path uses
+//!   ([`DistJob::run_range`]), and streams back per-cell accumulators
+//!   in [wire form](divrel_numerics::wire) — `f64`s as bit patterns, so
+//!   nothing rounds in transit.
+//!
+//! Because every cell's RNG stream is a pure function of
+//! `(spec seed, cell index)` and the coordinator folds per-**cell**
+//! accumulators in canonical order (never per-lease partials in arrival
+//! order), the reduced outcome is **bit-identical for any worker count,
+//! any lease partitioning, and any worker failure/retry history** — the
+//! PR 3 thread-invariance guarantee lifted to fleets of processes.
+//! `tests/dist_equivalence.rs` enforces this against the in-process
+//! executor for every committed spec and preset, including forced
+//! worker kills.
+
+use crate::scenario::{CampaignRuntime, ExperimentSpec, Scenario, ScenarioOutcome, ScenarioResult};
+use crate::sweep::{forced_cell, forced_grid, kl_cell, kl_grid, ForcedSweepStats, KlSweepStats};
+use divrel_devsim::experiment::{run_cell as mc_cell, McAccumulator, MonteCarloExperiment};
+use divrel_devsim::factory::VersionFactory;
+use divrel_devsim::sweep::{run_cells, CellRange, SweepCell, SweepGrid};
+use divrel_model::FaultModel;
+use divrel_numerics::sweep::SweepReduce;
+use divrel_numerics::wire::{Wire, WireError, WireForm};
+use divrel_protection::OperationLog;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Protocol revision; both ends must agree.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Default cells per lease (see [`Coordinator::lease_cells`]): small
+/// enough that a fleet load-balances, large enough that framing is
+/// noise.
+pub const DEFAULT_LEASE_CELLS: u64 = 8;
+
+/// Hash of a canonical spec text (64-bit FNV-1a, hex): the fingerprint
+/// a worker checks before running leased cells, so a fleet can never
+/// silently mix two versions of "the same" experiment.
+#[must_use]
+pub fn spec_hash(text: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("fnv1a:{h:016x}")
+}
+
+/// One protocol frame. Frames are serialised as single-line JSON
+/// (externally tagged, like every spec type in the workspace) and
+/// exchanged over any ordered byte stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// Worker → coordinator: first frame after connecting.
+    Join {
+        /// The worker's [`PROTOCOL_VERSION`].
+        protocol: u64,
+    },
+    /// Coordinator → worker: the committed spec, verbatim, plus its
+    /// hash. The worker re-hashes the text and refuses a mismatch.
+    Spec {
+        /// [`spec_hash`] of `text`.
+        hash: String,
+        /// Canonical spec text (TOML).
+        text: String,
+    },
+    /// Worker → coordinator: spec parsed, validated and hash-checked;
+    /// ready for leases.
+    Ready {
+        /// Echo of the verified hash.
+        hash: String,
+    },
+    /// Coordinator → worker: evaluate cells `[start, end)`.
+    Lease {
+        /// First cell index of the lease.
+        start: u64,
+        /// One past the last cell index.
+        end: u64,
+    },
+    /// Worker → coordinator: the lease's per-cell accumulators, in
+    /// ascending cell order, wire-encoded.
+    Result {
+        /// Echo of the lease start.
+        start: u64,
+        /// Echo of the lease end.
+        end: u64,
+        /// One wire accumulator per cell of the lease.
+        cells: Vec<Wire>,
+    },
+    /// Coordinator → worker: no more work; disconnect cleanly.
+    Done,
+    /// Either direction: a fatal error (spec mismatch, cell failure).
+    /// Unlike a dropped connection, an abort is **not** retried — it
+    /// means the work itself is broken, not the worker.
+    Abort {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// An ordered, framed byte stream a coordinator and a worker talk over.
+pub trait Transport: Send {
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying stream.
+    fn send(&mut self, msg: &Message) -> std::io::Result<()>;
+
+    /// Receives the next frame; `None` on a cleanly closed stream.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, including malformed frames.
+    fn recv(&mut self) -> std::io::Result<Option<Message>>;
+}
+
+/// The canonical transport: one JSON document per `\n`-terminated line.
+/// Works over any `(Read, Write)` pair — a child process's
+/// stdout/stdin, a TCP stream cloned for reading, an in-memory pipe in
+/// tests.
+pub struct JsonLines<R: Read, W: Write> {
+    reader: BufReader<R>,
+    writer: W,
+}
+
+impl<R: Read, W: Write> JsonLines<R, W> {
+    /// Wraps a read/write pair.
+    pub fn new(reader: R, writer: W) -> Self {
+        JsonLines {
+            reader: BufReader::new(reader),
+            writer,
+        }
+    }
+}
+
+impl<R: Read + Send, W: Write + Send> Transport for JsonLines<R, W> {
+    fn send(&mut self, msg: &Message) -> std::io::Result<()> {
+        let line = serde_json::to_string(msg)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    fn recv(&mut self) -> std::io::Result<Option<Message>> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Ok(None);
+            }
+            if !line.trim().is_empty() {
+                break;
+            }
+        }
+        serde_json::from_str(&line)
+            .map(Some)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// The per-cell wire envelope: a kind tag (so a shape mismatch fails
+/// loudly with context) around the accumulator's wire form.
+fn encode_cell(kind: &str, data: Wire) -> Wire {
+    Wire::record([("kind", Wire::Text(kind.to_string())), ("data", data)])
+}
+
+fn decode_cell<'w>(wire: &'w Wire, want: &str) -> Result<&'w Wire, WireError> {
+    let kind = wire.field("kind")?.as_text()?.to_string();
+    if kind != want {
+        return Err(WireError(format!(
+            "cell accumulator kind mismatch: expected {want:?}, got {kind:?}"
+        )));
+    }
+    wire.field("data")
+}
+
+/// A scenario compiled for range-at-a-time execution: the common
+/// machinery of workers (evaluate a leased [`CellRange`]) and the
+/// coordinator (fold every cell in canonical order, assemble the
+/// outcome).
+///
+/// Each experiment family maps onto the same shape — a fixed cell grid
+/// whose layout is a pure function of the spec — so `run_range` on any
+/// host produces the exact per-cell bits of the in-process sweep:
+///
+/// | experiment | cell | accumulator |
+/// |---|---|---|
+/// | `KnightLeveson` | one replication | [`KlSweepStats`] |
+/// | `ForcedDiversity` | ≤ 250 process pairs | [`ForcedSweepStats`] |
+/// | `MonteCarlo` | ≤ 2048 sampled pairs | [`McAccumulator`] |
+/// | `Protection` | one campaign shard of one system | [`OperationLog`] |
+pub struct DistJob {
+    scenario: Scenario,
+    threads: usize,
+    plan: Plan,
+}
+
+enum Plan {
+    Kl {
+        model: Arc<FaultModel>,
+        grid: SweepGrid<()>,
+    },
+    Forced {
+        grid: SweepGrid<usize>,
+    },
+    Mc(Box<McPlan>),
+    Protection(Box<CampaignRuntime>),
+}
+
+struct McPlan {
+    exp: MonteCarloExperiment,
+    factory: VersionFactory,
+    grid: SweepGrid<usize>,
+}
+
+impl DistJob {
+    /// Compiles a validated scenario into its distributable form.
+    /// `threads` bounds the worker-side parallelism *within* one lease
+    /// (an execution hint — the bits never depend on it).
+    ///
+    /// # Errors
+    ///
+    /// Spec validation and constructor errors.
+    pub fn new(scenario: Scenario, threads: usize) -> ScenarioResult<Self> {
+        scenario.validate()?;
+        let seed = scenario.seed.seed;
+        let plan = match &scenario.experiment {
+            ExperimentSpec::KnightLeveson {
+                model,
+                replications,
+            } => Plan::Kl {
+                model: Arc::new(model.build()?),
+                grid: kl_grid(*replications, seed),
+            },
+            ExperimentSpec::ForcedDiversity { trials } => Plan::Forced {
+                grid: forced_grid(*trials, seed),
+            },
+            ExperimentSpec::MonteCarlo {
+                model,
+                introduction,
+                samples,
+            } => {
+                let exp = MonteCarloExperiment::new(model.build()?, *introduction)
+                    .samples(*samples)
+                    .seed(seed);
+                let factory = exp.factory()?;
+                let grid = exp.grid_spec().grid(seed);
+                Plan::Mc(Box::new(McPlan { exp, factory, grid }))
+            }
+            ExperimentSpec::Protection(campaign) => {
+                Plan::Protection(Box::new(CampaignRuntime::new(campaign, seed)?))
+            }
+        };
+        Ok(DistJob {
+            scenario,
+            threads: threads.max(1),
+            plan,
+        })
+    }
+
+    /// The scenario this job executes.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Total grid cells (the lease space is `[0, cell_count)`).
+    pub fn cell_count(&self) -> u64 {
+        match &self.plan {
+            Plan::Kl { grid, .. } => grid.len() as u64,
+            Plan::Forced { grid } => grid.len() as u64,
+            Plan::Mc(mc) => mc.grid.len() as u64,
+            Plan::Protection(rt) => rt.cell_count(),
+        }
+    }
+
+    /// Evaluates the cells of `range` (clamped to the grid) and returns
+    /// one wire-encoded accumulator per cell, in ascending cell order.
+    /// A pure function of `(spec, range)` — any worker anywhere returns
+    /// the same bytes.
+    ///
+    /// # Errors
+    ///
+    /// Simulation/model errors from any cell of the range.
+    pub fn run_range(&self, range: CellRange) -> ScenarioResult<Vec<Wire>> {
+        match &self.plan {
+            Plan::Kl { model, grid } => {
+                collect_cells(grid.range_cells(range), self.threads, "kl", |cell| {
+                    kl_cell(model, cell).map_err(|e| e.to_string())
+                })
+            }
+            Plan::Forced { grid } => {
+                collect_cells(grid.range_cells(range), self.threads, "forced", |cell| {
+                    forced_cell(cell).map_err(|e| e.to_string())
+                })
+            }
+            Plan::Mc(mc) => collect_cells(mc.grid.range_cells(range), self.threads, "mc", |cell| {
+                Ok(mc_cell(&mc.factory, cell.config, cell.seed))
+            }),
+            Plan::Protection(rt) => {
+                let cells: Vec<SweepCell<u64>> = (range.start..range.end.min(rt.cell_count()))
+                    .map(|k| SweepCell {
+                        index: k,
+                        seed: 0,
+                        config: k,
+                    })
+                    .collect();
+                collect_cells(&cells, self.threads, "campaign", |cell| {
+                    rt.run_cell(cell.config).map_err(|e| e.to_string())
+                })
+            }
+        }
+    }
+
+    /// Folds the full per-cell accumulator list (index `i` holding cell
+    /// `i`'s wire form) in canonical cell order and assembles the
+    /// scenario outcome — bit-identical to [`Scenario::run`].
+    ///
+    /// # Errors
+    ///
+    /// Wire-shape mismatches; outcome-assembly errors.
+    pub fn finish(&self, cells: &[Wire]) -> ScenarioResult<ScenarioOutcome> {
+        if cells.len() as u64 != self.cell_count() {
+            return Err(format!(
+                "reduction needs {} cell accumulators, got {}",
+                self.cell_count(),
+                cells.len()
+            )
+            .into());
+        }
+        match &self.plan {
+            Plan::Kl { .. } => {
+                let stats = fold_cells::<KlSweepStats>(cells, "kl")?;
+                Ok(ScenarioOutcome::KnightLeveson(stats.unwrap_or_default()))
+            }
+            Plan::Forced { .. } => {
+                let stats = fold_cells::<ForcedSweepStats>(cells, "forced")?;
+                Ok(ScenarioOutcome::ForcedDiversity(stats.unwrap_or_default()))
+            }
+            Plan::Mc(mc) => {
+                let acc = fold_cells::<McAccumulator>(cells, "mc")?
+                    .ok_or("Monte-Carlo grid reduced to nothing")?;
+                Ok(ScenarioOutcome::MonteCarlo(mc.exp.finish(acc)?))
+            }
+            Plan::Protection(rt) => {
+                let logs = cells
+                    .iter()
+                    .map(|w| Ok(OperationLog::from_wire(decode_cell(w, "campaign")?)?))
+                    .collect::<ScenarioResult<Vec<_>>>()?;
+                Ok(ScenarioOutcome::Protection(rt.finish(logs)?))
+            }
+        }
+    }
+}
+
+/// Evaluates `cells` with work-stealing workers and wire-encodes each
+/// result under `kind`, preserving slice order.
+fn collect_cells<C, T, F>(
+    cells: &[SweepCell<C>],
+    threads: usize,
+    kind: &str,
+    f: F,
+) -> ScenarioResult<Vec<Wire>>
+where
+    C: Sync,
+    T: WireForm + Send,
+    F: Fn(&SweepCell<C>) -> Result<T, String> + Sync,
+{
+    let results = run_cells(cells, threads, |cell| f(cell).map(|t| t.to_wire()));
+    results
+        .into_iter()
+        .map(|r| r.map(|w| encode_cell(kind, w)).map_err(Into::into))
+        .collect()
+}
+
+/// Decodes every cell under `kind` and folds in slice (canonical cell)
+/// order.
+fn fold_cells<T: WireForm + SweepReduce>(
+    cells: &[Wire],
+    kind: &str,
+) -> Result<Option<T>, WireError> {
+    let mut acc: Option<T> = None;
+    for wire in cells {
+        let t = T::from_wire(decode_cell(wire, kind)?)?;
+        match acc.as_mut() {
+            Some(a) => a.absorb(t),
+            None => acc = Some(t),
+        }
+    }
+    Ok(acc)
+}
+
+/// Execution statistics of a distributed run — the provenance the
+/// scenario report records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistStats {
+    /// [`spec_hash`] of the canonical spec the fleet executed.
+    pub spec_hash: String,
+    /// Workers that completed the handshake.
+    pub workers: usize,
+    /// Leases issued, including re-issues.
+    pub leases: u64,
+    /// Leases re-issued after a worker died mid-lease.
+    pub retries: u64,
+    /// Grid cells reduced.
+    pub cells: u64,
+}
+
+/// A distributed scenario execution: outcome plus provenance.
+#[derive(Debug)]
+pub struct DistRun {
+    /// The reduced outcome — bit-identical to [`Scenario::run`].
+    pub outcome: ScenarioOutcome,
+    /// How the fleet earned it.
+    pub stats: DistStats,
+}
+
+/// Coordinates a fleet of workers over one committed scenario.
+pub struct Coordinator {
+    job: DistJob,
+    spec_text: String,
+    spec_hash: String,
+    lease_cells: u64,
+}
+
+impl Coordinator {
+    /// Compiles `scenario` for distribution. The canonical spec text
+    /// (TOML) is what travels to workers, whatever format the spec was
+    /// loaded from.
+    ///
+    /// # Errors
+    ///
+    /// Spec validation and compilation errors.
+    pub fn new(scenario: Scenario) -> ScenarioResult<Self> {
+        let spec_text = scenario.to_toml()?;
+        let spec_hash = spec_hash(&spec_text);
+        let job = DistJob::new(scenario, 1)?;
+        Ok(Coordinator {
+            job,
+            spec_text,
+            spec_hash,
+            lease_cells: DEFAULT_LEASE_CELLS,
+        })
+    }
+
+    /// Sets the lease granularity (cells per lease, minimum 1). Purely
+    /// an execution knob: the reduced bits are identical for every
+    /// value because the fold is per-cell, never per-lease.
+    #[must_use]
+    pub fn lease_cells(mut self, cells: u64) -> Self {
+        self.lease_cells = cells.max(1);
+        self
+    }
+
+    /// The spec fingerprint workers must echo.
+    pub fn spec_hash(&self) -> &str {
+        &self.spec_hash
+    }
+
+    /// The job (for cell counts in logs and tests).
+    pub fn job(&self) -> &DistJob {
+        &self.job
+    }
+
+    /// Runs the fleet to completion: handshakes every worker, hands out
+    /// [`CellRange`] leases, re-issues leases whose workers disconnect,
+    /// folds the per-cell accumulators in canonical order.
+    ///
+    /// Worker death (dropped connection, failed handshake) is
+    /// **recoverable** — the dead worker's lease goes back in the queue
+    /// for the survivors. A worker [`Message::Abort`] is **fatal** — it
+    /// reports broken work, not a broken worker.
+    ///
+    /// # Errors
+    ///
+    /// No workers complete the handshake; every worker dies with cells
+    /// outstanding; a worker aborts; reduction/assembly errors.
+    pub fn run(&self, workers: Vec<Box<dyn Transport>>) -> ScenarioResult<DistRun> {
+        let cell_count = self.job.cell_count();
+        let board = Mutex::new(Board {
+            pending: CellRange::partition(cell_count, self.lease_cells)
+                .into_iter()
+                .collect(),
+            cells: vec![None; cell_count as usize],
+            filled: 0,
+            leases: 0,
+            retries: 0,
+            handshaken: 0,
+            fatal: None,
+        });
+        let wakeup = Condvar::new();
+        std::thread::scope(|scope| {
+            for mut transport in workers {
+                let board = &board;
+                let wakeup = &wakeup;
+                scope.spawn(move || {
+                    let served = self.drive_worker(transport.as_mut(), board, wakeup);
+                    if let Err(reason) = served {
+                        let mut b = board.lock().expect("lease board poisoned");
+                        // Only an abort is fatal; a plain disconnect
+                        // just re-queues (already done by drive_worker).
+                        if let DriveExit::Abort(msg) = reason {
+                            b.fatal.get_or_insert(msg);
+                        }
+                        wakeup.notify_all();
+                    }
+                });
+            }
+        });
+        let board = board.into_inner().expect("lease board poisoned");
+        if let Some(fatal) = board.fatal {
+            return Err(format!("distributed run aborted: {fatal}").into());
+        }
+        if board.handshaken == 0 {
+            return Err("no worker completed the handshake".into());
+        }
+        if board.filled as u64 != cell_count {
+            return Err(format!(
+                "fleet lost before completion: {}/{} cells reduced \
+                 ({} lease retries; add workers and rerun)",
+                board.filled, cell_count, board.retries
+            )
+            .into());
+        }
+        let cells: Vec<Wire> = board
+            .cells
+            .into_iter()
+            .map(|c| c.expect("filled board has every cell"))
+            .collect();
+        let outcome = self.job.finish(&cells)?;
+        Ok(DistRun {
+            outcome,
+            stats: DistStats {
+                spec_hash: self.spec_hash.clone(),
+                workers: board.handshaken,
+                leases: board.leases,
+                retries: board.retries,
+                cells: cell_count,
+            },
+        })
+    }
+
+    fn drive_worker(
+        &self,
+        t: &mut dyn Transport,
+        board: &Mutex<Board>,
+        wakeup: &Condvar,
+    ) -> Result<(), DriveExit> {
+        // Handshake: Join → Spec → Ready (hash echoed).
+        match t.recv() {
+            Ok(Some(Message::Join { protocol })) if protocol == PROTOCOL_VERSION => {}
+            Ok(Some(Message::Join { protocol })) => {
+                let _ = t.send(&Message::Abort {
+                    reason: format!(
+                        "protocol mismatch: coordinator v{PROTOCOL_VERSION}, worker v{protocol}"
+                    ),
+                });
+                return Err(DriveExit::Dead);
+            }
+            _ => return Err(DriveExit::Dead),
+        }
+        t.send(&Message::Spec {
+            hash: self.spec_hash.clone(),
+            text: self.spec_text.clone(),
+        })
+        .map_err(|_| DriveExit::Dead)?;
+        match t.recv() {
+            Ok(Some(Message::Ready { hash })) if hash == self.spec_hash => {}
+            Ok(Some(Message::Abort { reason })) => return Err(DriveExit::Abort(reason)),
+            _ => return Err(DriveExit::Dead),
+        }
+        board.lock().expect("lease board poisoned").handshaken += 1;
+
+        loop {
+            // Claim the next lease, or wait: a range held by another
+            // worker may yet come back to the queue if that worker dies.
+            let range = {
+                let mut b = board.lock().expect("lease board poisoned");
+                loop {
+                    if b.fatal.is_some() || b.filled == b.cells.len() {
+                        // Send Done *outside* the lock: a worker that has
+                        // stopped draining its socket must not be able to
+                        // park this blocking write while every other
+                        // coordinator thread waits on the board mutex.
+                        drop(b);
+                        let _ = t.send(&Message::Done);
+                        return Ok(());
+                    }
+                    if let Some(range) = b.pending.pop_front() {
+                        b.leases += 1;
+                        break range;
+                    }
+                    b = wakeup.wait(b).expect("lease board poisoned");
+                }
+            };
+            let reclaim = |retry: bool| {
+                let mut b = board.lock().expect("lease board poisoned");
+                b.pending.push_back(range);
+                if retry {
+                    b.retries += 1;
+                }
+                wakeup.notify_all();
+            };
+            if t.send(&Message::Lease {
+                start: range.start,
+                end: range.end,
+            })
+            .is_err()
+            {
+                reclaim(true);
+                return Err(DriveExit::Dead);
+            }
+            match t.recv() {
+                Ok(Some(Message::Result { start, end, cells }))
+                    if start == range.start
+                        && end == range.end
+                        && cells.len() as u64 == range.len() =>
+                {
+                    let mut b = board.lock().expect("lease board poisoned");
+                    for (i, wire) in cells.into_iter().enumerate() {
+                        let slot = &mut b.cells[range.start as usize + i];
+                        if slot.is_none() {
+                            *slot = Some(wire);
+                            b.filled += 1;
+                        }
+                    }
+                    wakeup.notify_all();
+                }
+                Ok(Some(Message::Abort { reason })) => {
+                    reclaim(false);
+                    return Err(DriveExit::Abort(reason));
+                }
+                _ => {
+                    reclaim(true);
+                    return Err(DriveExit::Dead);
+                }
+            }
+        }
+    }
+}
+
+enum DriveExit {
+    /// The worker is gone (connection dropped / bad frame); its lease
+    /// was re-queued.
+    Dead,
+    /// The worker reported the work itself is broken.
+    Abort(String),
+}
+
+struct Board {
+    pending: VecDeque<CellRange>,
+    cells: Vec<Option<Wire>>,
+    filled: usize,
+    leases: u64,
+    retries: u64,
+    handshaken: usize,
+    fatal: Option<String>,
+}
+
+/// Worker-side configuration.
+#[derive(Debug, Clone)]
+pub struct Worker {
+    threads: usize,
+    fail_after_leases: Option<u64>,
+}
+
+impl Default for Worker {
+    fn default() -> Self {
+        Worker::new()
+    }
+}
+
+impl Worker {
+    /// A worker evaluating leases single-threaded.
+    #[must_use]
+    pub fn new() -> Self {
+        Worker {
+            threads: 1,
+            fail_after_leases: None,
+        }
+    }
+
+    /// Worker-side threads per lease (execution hint only).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Fault injection for resilience tests: the worker serves
+    /// `leases` leases, then **drops the connection without replying**
+    /// to the next one — exactly the failure mode the coordinator must
+    /// survive by re-issuing the lease elsewhere.
+    #[must_use]
+    pub fn fail_after_leases(mut self, leases: u64) -> Self {
+        self.fail_after_leases = Some(leases);
+        self
+    }
+
+    /// Serves one coordinator connection to completion: handshake, spec
+    /// verification, lease loop.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; a spec whose hash does not match its text; a
+    /// cell that fails to evaluate (reported to the coordinator as an
+    /// abort); injected faults.
+    pub fn serve<T: Transport + ?Sized>(&self, t: &mut T) -> ScenarioResult<WorkerSummary> {
+        t.send(&Message::Join {
+            protocol: PROTOCOL_VERSION,
+        })?;
+        let (hash, text) = match t.recv()? {
+            Some(Message::Spec { hash, text }) => (hash, text),
+            Some(Message::Abort { reason }) => {
+                return Err(format!("coordinator aborted: {reason}").into())
+            }
+            other => return Err(format!("expected Spec frame, got {other:?}").into()),
+        };
+        if spec_hash(&text) != hash {
+            let reason = format!(
+                "spec hash mismatch: coordinator claims {hash}, text hashes to {}",
+                spec_hash(&text)
+            );
+            let _ = t.send(&Message::Abort {
+                reason: reason.clone(),
+            });
+            return Err(reason.into());
+        }
+        let scenario = match Scenario::from_spec_text(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                let reason = format!("spec does not parse on worker: {e}");
+                let _ = t.send(&Message::Abort {
+                    reason: reason.clone(),
+                });
+                return Err(reason.into());
+            }
+        };
+        let job = DistJob::new(scenario, self.threads)?;
+        t.send(&Message::Ready { hash: hash.clone() })?;
+        let mut summary = WorkerSummary {
+            spec_hash: hash,
+            leases_served: 0,
+            cells_run: 0,
+        };
+        loop {
+            match t.recv()? {
+                Some(Message::Lease { start, end }) => {
+                    if self
+                        .fail_after_leases
+                        .is_some_and(|n| summary.leases_served >= n)
+                    {
+                        // Simulated crash: vanish mid-lease, no reply.
+                        return Err(format!(
+                            "worker fault injection: dropped connection holding lease \
+                             [{start}, {end})"
+                        )
+                        .into());
+                    }
+                    let range = CellRange::new(start, end);
+                    match job.run_range(range) {
+                        Ok(cells) => {
+                            summary.leases_served += 1;
+                            summary.cells_run += cells.len() as u64;
+                            t.send(&Message::Result { start, end, cells })?;
+                        }
+                        Err(e) => {
+                            let reason = format!("cells [{start}, {end}) failed: {e}");
+                            let _ = t.send(&Message::Abort {
+                                reason: reason.clone(),
+                            });
+                            return Err(reason.into());
+                        }
+                    }
+                }
+                Some(Message::Done) | None => return Ok(summary),
+                Some(Message::Abort { reason }) => {
+                    return Err(format!("coordinator aborted: {reason}").into())
+                }
+                other => return Err(format!("unexpected frame: {other:?}").into()),
+            }
+        }
+    }
+}
+
+/// A spawned local worker fleet: the child processes (reap them after
+/// the coordinator finishes) and their protocol transports.
+pub struct StdioFleet {
+    /// The worker processes, in spawn order.
+    pub children: Vec<std::process::Child>,
+    /// One transport per child, over its stdin/stdout.
+    pub transports: Vec<Box<dyn Transport>>,
+}
+
+/// Spawns `n` worker processes as `exe --worker-stdio --threads T` and
+/// wires each child's stdin/stdout as a protocol transport — the one
+/// fleet-assembly routine shared by `scenario_run --coordinator` and
+/// the bench driver. `quiet` routes worker stderr to the null device
+/// (measurement loops); otherwise workers inherit stderr for
+/// diagnostics.
+///
+/// # Errors
+///
+/// Spawn failures (missing binary, resource limits).
+pub fn spawn_stdio_fleet(
+    exe: &std::path::Path,
+    n: usize,
+    threads: usize,
+    quiet: bool,
+) -> std::io::Result<StdioFleet> {
+    use std::process::{Command, Stdio};
+    let mut fleet = StdioFleet {
+        children: Vec::with_capacity(n),
+        transports: Vec::with_capacity(n),
+    };
+    for _ in 0..n {
+        let mut child = Command::new(exe)
+            .args(["--worker-stdio", "--threads", &threads.max(1).to_string()])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(if quiet {
+                Stdio::null()
+            } else {
+                Stdio::inherit()
+            })
+            .spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        fleet
+            .transports
+            .push(Box::new(JsonLines::new(stdout, stdin)));
+        fleet.children.push(child);
+    }
+    Ok(fleet)
+}
+
+/// What a worker did for one coordinator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// The verified spec fingerprint.
+    pub spec_hash: String,
+    /// Leases evaluated and returned.
+    pub leases_served: u64,
+    /// Cells evaluated across all leases.
+    pub cells_run: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::presets;
+    use crate::Context;
+
+    #[test]
+    fn spec_hash_is_stable_and_sensitive() {
+        let h = spec_hash("name = \"x\"\n");
+        assert_eq!(h, spec_hash("name = \"x\"\n"));
+        assert_ne!(h, spec_hash("name = \"y\"\n"));
+        assert!(h.starts_with("fnv1a:"));
+        assert_eq!(h.len(), "fnv1a:".len() + 16);
+    }
+
+    #[test]
+    fn messages_frame_and_round_trip() {
+        let msgs = vec![
+            Message::Join { protocol: 1 },
+            Message::Spec {
+                hash: "fnv1a:00".into(),
+                text: "name = \"x\"\n[seed]\nseed = 7\n".into(),
+            },
+            Message::Ready {
+                hash: "fnv1a:00".into(),
+            },
+            Message::Lease { start: 3, end: 9 },
+            Message::Result {
+                start: 3,
+                end: 4,
+                cells: vec![encode_cell("mc", Wire::U64(5))],
+            },
+            Message::Done,
+            Message::Abort {
+                reason: "multi\nline\treason".into(),
+            },
+        ];
+        let mut buf: Vec<u8> = Vec::new();
+        {
+            let mut t = JsonLines::new(std::io::empty(), &mut buf);
+            for m in &msgs {
+                t.send(m).unwrap();
+            }
+        }
+        // One frame per line, newline-framed even with embedded \n.
+        assert_eq!(buf.iter().filter(|&&b| b == b'\n').count(), msgs.len());
+        let mut t = JsonLines::new(&buf[..], std::io::sink());
+        for want in &msgs {
+            assert_eq!(&t.recv().unwrap().unwrap(), want);
+        }
+        assert!(t.recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn job_ranges_reassemble_every_preset_bit_identically() {
+        let ctx = Context::smoke();
+        for id in Scenario::PRESETS {
+            let scenario = Scenario::preset_with(id, &ctx).unwrap();
+            let direct = scenario.run(2).unwrap();
+            let job = DistJob::new(scenario, 2).unwrap();
+            let n = job.cell_count();
+            assert!(n >= 1, "{id}: empty grid");
+            // Awkward partitioning on purpose: 3-cell leases, collected
+            // out of order, reassembled by index.
+            let mut cells = vec![None; n as usize];
+            let mut ranges = CellRange::partition(n, 3);
+            ranges.reverse();
+            for range in ranges {
+                for (i, wire) in job.run_range(range).unwrap().into_iter().enumerate() {
+                    cells[range.start as usize + i] = Some(wire);
+                }
+            }
+            let cells: Vec<Wire> = cells.into_iter().map(Option::unwrap).collect();
+            let reassembled = job.finish(&cells).unwrap();
+            assert_eq!(
+                format!("{reassembled:?}"),
+                format!("{direct:?}"),
+                "{id}: distributed reassembly diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_over_in_memory_pipes_matches_in_process_run() {
+        let ctx = Context::smoke();
+        let scenario = presets::mc(&ctx);
+        let direct = scenario.run(1).unwrap();
+        let coordinator = Coordinator::new(scenario).unwrap().lease_cells(1);
+        let (mut worker_ends, coord_ends) = duplex_pairs(2);
+        let handle = std::thread::spawn(move || {
+            worker_ends
+                .iter_mut()
+                .map(|t| {
+                    Worker::new()
+                        .serve(t)
+                        .map(|s| s.leases_served)
+                        .map_err(|e| e.to_string())
+                })
+                .collect::<Vec<_>>()
+        });
+        let cell_count = coordinator.job().cell_count();
+        let run = coordinator.run(coord_ends).unwrap();
+        let served = handle.join().unwrap();
+        assert_eq!(format!("{:?}", run.outcome), format!("{direct:?}"));
+        assert_eq!(run.stats.workers, 2);
+        assert_eq!(run.stats.retries, 0);
+        assert_eq!(run.stats.cells, cell_count);
+        // Sequential workers: the second drains after the first's Done.
+        assert!(served.iter().all(|s| s.is_ok()));
+    }
+
+    type PipeTransport = JsonLines<std::io::PipeReader, std::io::PipeWriter>;
+
+    /// In-memory duplex transports: `n` worker ends paired with `n`
+    /// coordinator ends over `std::io` pipes.
+    fn duplex_pairs(n: usize) -> (Vec<PipeTransport>, Vec<Box<dyn Transport>>) {
+        let mut workers = Vec::new();
+        let mut coords: Vec<Box<dyn Transport>> = Vec::new();
+        for _ in 0..n {
+            let (c2w_r, c2w_w) = std::io::pipe().expect("pipe");
+            let (w2c_r, w2c_w) = std::io::pipe().expect("pipe");
+            workers.push(JsonLines::new(c2w_r, w2c_w));
+            coords.push(Box::new(JsonLines::new(w2c_r, c2w_w)));
+        }
+        (workers, coords)
+    }
+}

@@ -26,6 +26,7 @@
 #![deny(missing_docs)]
 
 pub mod context;
+pub mod dist;
 pub mod experiments;
 pub mod perf;
 pub mod scenario;

@@ -55,6 +55,7 @@ use divrel_demand::version::ProgramVersion;
 use divrel_devsim::experiment::{ExperimentResult, MonteCarloExperiment};
 use divrel_devsim::factory::VersionFactory;
 use divrel_devsim::process::FaultIntroduction;
+use divrel_devsim::sweep::{run_cells, SweepCell};
 use divrel_model::spec::FaultModelSpec;
 use divrel_model::FaultModel;
 use divrel_numerics::sweep::SeedSpec;
@@ -232,6 +233,7 @@ impl Scenario {
             ExperimentSpec::Protection(campaign) => Ok(ScenarioOutcome::Protection(run_campaign(
                 campaign,
                 self.seed.seed,
+                threads,
             )?)),
         }
     }
@@ -456,77 +458,219 @@ pub struct CampaignOutcome {
     pub processes: Vec<ProcessOutcome>,
 }
 
-/// Executes a protection campaign spec. The sampling order (all versions
-/// first, from one RNG stream seeded with the scenario seed) and the
+/// A protection campaign compiled to independently-evaluable shard
+/// cells: the execution form both the in-process path and the
+/// distributed runtime share.
+///
+/// The campaign's work is a grid of `systems × shards` cells; cell
+/// `k` simulates shard `k % shards` of system `k / shards`, with the
+/// exact per-shard seed and compile decision
+/// [`simulation::run_sharded`] would use, so merging the per-cell logs
+/// in cell order reproduces the sharded run **bit for bit** wherever
+/// the cells actually executed. The sampling order (all versions first,
+/// from one RNG stream seeded with the scenario seed) and the
 /// per-system campaign seeds (`seed ^ seed_xor`) follow the F1
-/// experiment's conventions exactly, which is what makes the `F1` preset
-/// bit-identical to the hand-coded runner.
-fn run_campaign(spec: &CampaignSpec, seed: u64) -> ScenarioResult<CampaignOutcome> {
-    spec.validate()?;
-    let map = spec.build_map()?;
-    let profile = spec.build_profile()?;
-    let models: Vec<Arc<FaultModel>> = spec
-        .processes
-        .iter()
-        .map(|ps| Ok(Arc::new(map.to_fault_model(ps, &profile)?)))
-        .collect::<Result<_, Box<dyn Error>>>()?;
-    let factories: Vec<VersionFactory> = models
-        .iter()
-        .map(|m| VersionFactory::shared(Arc::clone(m), FaultIntroduction::Independent))
-        .collect::<Result<_, _>>()?;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let sampled: Vec<ProgramVersion> = spec
-        .versions
-        .iter()
-        .map(|&pi| ProgramVersion::from_fault_set(factories[pi].sample_version(&mut rng).faults))
-        .collect();
-    let versions = spec
-        .versions
-        .iter()
-        .zip(&sampled)
-        .map(|(&pi, pv)| {
-            Ok(VersionOutcome {
-                process: pi,
-                fault_indices: pv.fault_indices(),
-                true_pfd: pv.true_pfd(&map, &profile)?,
-            })
-        })
-        .collect::<Result<_, Box<dyn Error>>>()?;
-    let plant = spec.build_plant(&profile)?;
-    let mut systems = Vec::with_capacity(spec.systems.len());
-    for sys in &spec.systems {
-        let channels: Vec<Channel> = sys
-            .channels
+/// experiment's conventions exactly, which is what makes the `F1`
+/// preset bit-identical to the hand-coded runner.
+pub struct CampaignRuntime {
+    spec: CampaignSpec,
+    seed: u64,
+    map: divrel_demand::mapping::FaultRegionMap,
+    profile: divrel_demand::profile::Profile,
+    plant: divrel_protection::Plant,
+    compiled: Option<divrel_protection::compiler::CompiledPlant>,
+    models: Vec<Arc<FaultModel>>,
+    sampled: Vec<ProgramVersion>,
+    systems: Vec<ProtectionSystem>,
+    shard_counts: Vec<u64>,
+}
+
+impl CampaignRuntime {
+    /// Compiles a campaign spec: builds the map, profile, plant (with
+    /// the campaign-level compile decision), fault models, the sampled
+    /// versions and every protection system.
+    ///
+    /// # Errors
+    ///
+    /// Spec validation and constructor errors.
+    pub fn new(spec: &CampaignSpec, seed: u64) -> ScenarioResult<Self> {
+        spec.validate()?;
+        let map = spec.build_map()?;
+        let profile = spec.build_profile()?;
+        let models: Vec<Arc<FaultModel>> = spec
+            .processes
             .iter()
-            .map(|&vi| Channel::new(format!("V{vi}"), sampled[vi].clone()))
+            .map(|ps| Ok(Arc::new(map.to_fault_model(ps, &profile)?)))
+            .collect::<Result<_, Box<dyn Error>>>()?;
+        let factories: Vec<VersionFactory> = models
+            .iter()
+            .map(|m| VersionFactory::shared(Arc::clone(m), FaultIntroduction::Independent))
+            .collect::<Result<_, _>>()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sampled: Vec<ProgramVersion> = spec
+            .versions
+            .iter()
+            .map(|&pi| {
+                ProgramVersion::from_fault_set(factories[pi].sample_version(&mut rng).faults)
+            })
             .collect();
-        let system = ProtectionSystem::new(channels, sys.adjudicator, map.clone())?;
-        let log = simulation::run_sharded(
-            &plant,
-            &system,
-            spec.steps,
-            spec.shards,
-            seed ^ sys.seed_xor,
-        )?;
-        let true_pfd = system.true_pfd_parallel(&profile, spec.shards)?;
-        systems.push(SystemOutcome {
-            label: sys.label.clone(),
-            log,
-            true_pfd,
-        });
+        let plant = spec.build_plant(&profile)?;
+        let compiled = simulation::campaign_compile(&plant, spec.steps)?;
+        let systems = spec
+            .systems
+            .iter()
+            .map(|sys| {
+                let channels: Vec<Channel> = sys
+                    .channels
+                    .iter()
+                    .map(|&vi| Channel::new(format!("V{vi}"), sampled[vi].clone()))
+                    .collect();
+                Ok(ProtectionSystem::new(
+                    channels,
+                    sys.adjudicator,
+                    map.clone(),
+                )?)
+            })
+            .collect::<Result<_, Box<dyn Error>>>()?;
+        let shard_counts = simulation::shard_layout(spec.steps, spec.shards);
+        Ok(CampaignRuntime {
+            spec: spec.clone(),
+            seed,
+            map,
+            profile,
+            plant,
+            compiled,
+            models,
+            sampled,
+            systems,
+            shard_counts,
+        })
     }
-    let processes = models
-        .iter()
-        .map(|m| ProcessOutcome {
-            mean_pfd_single: m.mean_pfd_single(),
-            mean_pfd_pair: m.mean_pfd_pair(),
+
+    /// Shards per system in the deterministic layout (may be fewer than
+    /// the spec's `shards` for very short campaigns).
+    pub fn shards_per_system(&self) -> u64 {
+        self.shard_counts.len() as u64
+    }
+
+    /// Total shard cells (`systems × shards`).
+    pub fn cell_count(&self) -> u64 {
+        self.systems.len() as u64 * self.shards_per_system()
+    }
+
+    /// Simulates shard cell `k`, bit-identically to the same shard of
+    /// the in-process sharded run.
+    ///
+    /// # Errors
+    ///
+    /// Propagated simulation errors; an out-of-range index.
+    pub fn run_cell(&self, k: u64) -> ScenarioResult<OperationLog> {
+        let shards = self.shards_per_system();
+        let sys = (k / shards) as usize;
+        let shard = (k % shards) as usize;
+        let system = self
+            .systems
+            .get(sys)
+            .ok_or_else(|| format!("campaign cell {k} out of range"))?;
+        let campaign_seed = self.seed ^ self.spec.systems[sys].seed_xor;
+        Ok(simulation::run_campaign_shard(
+            &self.plant,
+            self.compiled.as_ref(),
+            system,
+            self.spec.steps,
+            self.shard_counts[shard],
+            simulation::shard_seed(campaign_seed, shard),
+        )?)
+    }
+
+    /// Assembles the campaign outcome from the per-cell logs (cell
+    /// order, as returned by [`Self::run_cell`] over `0..cell_count()`):
+    /// merges each system's shard logs in shard order, then derives the
+    /// deterministic side products (version outcomes, exact PFDs,
+    /// process expectations).
+    ///
+    /// # Errors
+    ///
+    /// Geometry/model errors from the exact-PFD computations; a log
+    /// list of the wrong length.
+    pub fn finish(&self, logs: Vec<OperationLog>) -> ScenarioResult<CampaignOutcome> {
+        if logs.len() as u64 != self.cell_count() {
+            return Err(format!(
+                "campaign reduction needs {} shard logs, got {}",
+                self.cell_count(),
+                logs.len()
+            )
+            .into());
+        }
+        let versions = self
+            .spec
+            .versions
+            .iter()
+            .zip(&self.sampled)
+            .map(|(&pi, pv)| {
+                Ok(VersionOutcome {
+                    process: pi,
+                    fault_indices: pv.fault_indices(),
+                    true_pfd: pv.true_pfd(&self.map, &self.profile)?,
+                })
+            })
+            .collect::<Result<_, Box<dyn Error>>>()?;
+        let shards = self.shards_per_system() as usize;
+        let mut systems = Vec::with_capacity(self.systems.len());
+        for (si, (sys, system)) in self.spec.systems.iter().zip(&self.systems).enumerate() {
+            let mut log = OperationLog::new(system.channels().len());
+            for shard_log in &logs[si * shards..(si + 1) * shards] {
+                log.merge(shard_log);
+            }
+            let true_pfd = system.true_pfd_parallel(&self.profile, self.spec.shards)?;
+            systems.push(SystemOutcome {
+                label: sys.label.clone(),
+                log,
+                true_pfd,
+            });
+        }
+        let processes = self
+            .models
+            .iter()
+            .map(|m| ProcessOutcome {
+                mean_pfd_single: m.mean_pfd_single(),
+                mean_pfd_pair: m.mean_pfd_pair(),
+            })
+            .collect();
+        Ok(CampaignOutcome {
+            versions,
+            systems,
+            processes,
+        })
+    }
+}
+
+/// Executes a protection campaign spec in process: every shard cell
+/// through [`CampaignRuntime::run_cell`] with up to `threads`
+/// work-stealing workers, then the cell-order reduction. Bit-identical
+/// to the pre-distribution `run_sharded`-per-system executor (the shard
+/// seeds, counts and compile decision are the same), and to any
+/// coordinator/worker execution of the same spec.
+fn run_campaign(spec: &CampaignSpec, seed: u64, threads: usize) -> ScenarioResult<CampaignOutcome> {
+    let runtime = CampaignRuntime::new(spec, seed)?;
+    let cells: Vec<SweepCell<u64>> = (0..runtime.cell_count())
+        .map(|k| SweepCell {
+            index: k,
+            // Campaign shards derive their streams from the campaign
+            // seed convention, not from split_seed — the cell carries
+            // its index only so the engine can order results.
+            seed: 0,
+            config: k,
         })
         .collect();
-    Ok(CampaignOutcome {
-        versions,
-        systems,
-        processes,
-    })
+    let results = run_cells(&cells, threads, |cell| {
+        runtime.run_cell(cell.config).map_err(|e| e.to_string())
+    });
+    let mut logs = Vec::with_capacity(results.len());
+    for r in results {
+        logs.push(r?);
+    }
+    runtime.finish(logs)
 }
 
 /// The built-in presets: each function re-expresses one hand-coded

@@ -11,11 +11,13 @@
 
 use divrel_devsim::kl::KnightLevesonExperiment;
 use divrel_devsim::process::FaultIntroduction;
+use divrel_devsim::sweep::SweepCell;
 use divrel_devsim::sweep::{try_run_sweep, GridSpec, SweepGrid};
 use divrel_devsim::{DevSimError, VersionFactory};
 use divrel_model::forced::ForcedDiversityModel;
 use divrel_model::{FaultModel, ModelError};
 use divrel_numerics::sweep::SweepReduce;
+use divrel_numerics::wire::{Wire, WireError, WireForm};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -46,6 +48,32 @@ impl SweepReduce for KlSweepStats {
         self.normal_tested += other.normal_tested;
         self.mean_factors.append(&mut other.mean_factors);
         self.std_factors.append(&mut other.std_factors);
+    }
+}
+
+/// Counters plus canonical-order factor vectors cross the wire raw, so
+/// a distributed E16 grid reduces to the in-process bits.
+impl WireForm for KlSweepStats {
+    fn to_wire(&self) -> Wire {
+        Wire::record([
+            ("replications", Wire::U64(self.replications)),
+            ("reduced_both", Wire::U64(self.reduced_both)),
+            ("normal_rejected", Wire::U64(self.normal_rejected)),
+            ("normal_tested", Wire::U64(self.normal_tested)),
+            ("mean_factors", self.mean_factors.to_wire()),
+            ("std_factors", self.std_factors.to_wire()),
+        ])
+    }
+
+    fn from_wire(wire: &Wire) -> Result<Self, WireError> {
+        Ok(KlSweepStats {
+            replications: wire.field("replications")?.as_u64()?,
+            reduced_both: wire.field("reduced_both")?.as_u64()?,
+            normal_rejected: wire.field("normal_rejected")?.as_u64()?,
+            normal_tested: wire.field("normal_tested")?.as_u64()?,
+            mean_factors: Vec::from_wire(wire.field("mean_factors")?)?,
+            std_factors: Vec::from_wire(wire.field("std_factors")?)?,
+        })
     }
 }
 
@@ -88,33 +116,49 @@ pub fn kl_sweep(
     // (once for the experiment, once inside its factory) — the ROADMAP
     // allocation hot spot at 100k-cell scales.
     let model = Arc::new(model.clone());
-    let grid = SweepGrid::new(sweep_seed, vec![(); replications]);
-    let stats = try_run_sweep(grid.cells(), threads, |cell| {
-        let r = KnightLevesonExperiment::shared(Arc::clone(&model))
-            .seed(cell.seed)
-            .run()?;
-        let mut s = KlSweepStats {
-            replications: 1,
-            ..KlSweepStats::default()
-        };
-        if r.diversity_reduced_mean_and_std() {
-            s.reduced_both = 1;
-        }
-        if let Some(f) = r.mean_reduction() {
-            s.mean_factors.push(f);
-        }
-        if let Some(f) = r.std_reduction() {
-            s.std_factors.push(f);
-        }
-        if let Some(ks) = r.normality {
-            s.normal_tested = 1;
-            if ks.p_value < 0.05 {
-                s.normal_rejected = 1;
-            }
-        }
-        Ok::<_, DevSimError>(s)
-    })?;
+    let grid = kl_grid(replications, sweep_seed);
+    let stats = try_run_sweep(grid.cells(), threads, |cell| kl_cell(&model, cell))?;
     Ok(stats.unwrap_or_default())
+}
+
+/// The E16 grid layout: one `()`-configured cell per replication, each
+/// stream split from `sweep_seed`. A pure function of its arguments, so
+/// remote workers rebuild the exact grid a local sweep runs.
+pub fn kl_grid(replications: usize, sweep_seed: u64) -> SweepGrid<()> {
+    SweepGrid::new(sweep_seed, vec![(); replications])
+}
+
+/// Evaluates one E16 grid cell — one synthetic Knight–Leveson
+/// experiment seeded from the cell's split stream. The per-cell worker
+/// [`kl_sweep`] folds; distributed executors call it directly.
+///
+/// # Errors
+///
+/// Model/simulation errors from the replication.
+pub fn kl_cell(model: &Arc<FaultModel>, cell: &SweepCell<()>) -> Result<KlSweepStats, DevSimError> {
+    let r = KnightLevesonExperiment::shared(Arc::clone(model))
+        .seed(cell.seed)
+        .run()?;
+    let mut s = KlSweepStats {
+        replications: 1,
+        ..KlSweepStats::default()
+    };
+    if r.diversity_reduced_mean_and_std() {
+        s.reduced_both = 1;
+    }
+    if let Some(f) = r.mean_reduction() {
+        s.mean_factors.push(f);
+    }
+    if let Some(f) = r.std_reduction() {
+        s.std_factors.push(f);
+    }
+    if let Some(ks) = r.normality {
+        s.normal_tested = 1;
+        if ks.p_value < 0.05 {
+            s.normal_rejected = 1;
+        }
+    }
+    Ok(s)
 }
 
 /// Reduced statistics of the E17 forced-diversity sweep over random
@@ -146,6 +190,26 @@ impl ForcedSweepStats {
     }
 }
 
+/// The ratio sum travels as its exact bit pattern, so the distributed
+/// fold reproduces the in-process canonical-order f64 fold bitwise.
+impl WireForm for ForcedSweepStats {
+    fn to_wire(&self) -> Wire {
+        Wire::record([
+            ("trials", Wire::U64(self.trials)),
+            ("worse_than_unforced", Wire::U64(self.worse_than_unforced)),
+            ("advantage_sum", Wire::F64(self.advantage_sum)),
+        ])
+    }
+
+    fn from_wire(wire: &Wire) -> Result<Self, WireError> {
+        Ok(ForcedSweepStats {
+            trials: wire.field("trials")?.as_u64()?,
+            worse_than_unforced: wire.field("worse_than_unforced")?.as_u64()?,
+            advantage_sum: wire.field("advantage_sum")?.as_f64()?,
+        })
+    }
+}
+
 /// Trials per cell of [`forced_sweep`].
 pub const FORCED_TRIALS_PER_CELL: usize = 250;
 
@@ -161,28 +225,42 @@ pub fn forced_sweep(
     sweep_seed: u64,
     threads: usize,
 ) -> Result<ForcedSweepStats, ModelError> {
-    let grid = GridSpec::new(trials, FORCED_TRIALS_PER_CELL).grid(sweep_seed);
-    let stats = try_run_sweep(grid.cells(), threads, |cell| {
-        let mut rng = StdRng::seed_from_u64(cell.seed);
-        let mut s = ForcedSweepStats::default();
-        for _ in 0..cell.config {
-            let n = rng.gen_range(1..=12);
-            let pa: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
-            let pb: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
-            let qs: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 0.5 / n as f64).collect();
-            let forced = ForcedDiversityModel::from_params(&pa, &pb, &qs)?;
-            let unforced = forced.averaged_process()?;
-            s.trials += 1;
-            if forced.mean_pfd_pair() > unforced.mean_pfd_pair() + 1e-12 {
-                s.worse_than_unforced += 1;
-            }
-            if unforced.mean_pfd_pair() > 0.0 {
-                s.advantage_sum += forced.mean_pfd_pair() / unforced.mean_pfd_pair();
-            }
-        }
-        Ok::<_, ModelError>(s)
-    })?;
+    let grid = forced_grid(trials, sweep_seed);
+    let stats = try_run_sweep(grid.cells(), threads, forced_cell)?;
     Ok(stats.unwrap_or_default())
+}
+
+/// The E17 grid layout: `trials` split into cells of
+/// [`FORCED_TRIALS_PER_CELL`]. A pure function of its arguments.
+pub fn forced_grid(trials: usize, sweep_seed: u64) -> SweepGrid<usize> {
+    GridSpec::new(trials, FORCED_TRIALS_PER_CELL).grid(sweep_seed)
+}
+
+/// Evaluates one E17 grid cell — `cell.config` random process pairs
+/// drawn from the cell's split stream.
+///
+/// # Errors
+///
+/// Model-construction errors.
+pub fn forced_cell(cell: &SweepCell<usize>) -> Result<ForcedSweepStats, ModelError> {
+    let mut rng = StdRng::seed_from_u64(cell.seed);
+    let mut s = ForcedSweepStats::default();
+    for _ in 0..cell.config {
+        let n = rng.gen_range(1..=12);
+        let pa: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let pb: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let qs: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 0.5 / n as f64).collect();
+        let forced = ForcedDiversityModel::from_params(&pa, &pb, &qs)?;
+        let unforced = forced.averaged_process()?;
+        s.trials += 1;
+        if forced.mean_pfd_pair() > unforced.mean_pfd_pair() + 1e-12 {
+            s.worse_than_unforced += 1;
+        }
+        if unforced.mean_pfd_pair() > 0.0 {
+            s.advantage_sum += forced.mean_pfd_pair() / unforced.mean_pfd_pair();
+        }
+    }
+    Ok(s)
 }
 
 /// Raw PFD samples from a sharded development-process grid: the sample

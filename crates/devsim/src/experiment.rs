@@ -21,6 +21,7 @@ use divrel_model::FaultModel;
 use divrel_numerics::descriptive::Moments;
 use divrel_numerics::normal::standard_quantile;
 use divrel_numerics::sweep::SweepReduce;
+use divrel_numerics::wire::{Wire, WireError, WireForm};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -170,18 +171,43 @@ impl MonteCarloExperiment {
     /// [`DevSimError::TooFewSamples`] for fewer than 2 samples; factory
     /// validation errors otherwise.
     pub fn run(&self) -> Result<ExperimentResult, DevSimError> {
+        let factory = self.factory()?;
+        let grid = self.grid_spec().grid(self.seed);
+        let acc = run_sweep(grid.cells(), self.threads, |cell| {
+            run_cell(&factory, cell.config, cell.seed)
+        })
+        .expect("at least one cell for samples >= 2");
+        self.finish(acc)
+    }
+
+    /// The version factory this experiment samples from — built the
+    /// same way [`Self::run`] builds it, so external executors (the
+    /// distributed sweep runtime) evaluate cells with identical bits.
+    ///
+    /// # Errors
+    ///
+    /// [`DevSimError::TooFewSamples`] for fewer than 2 samples; factory
+    /// validation errors otherwise.
+    pub fn factory(&self) -> Result<VersionFactory, DevSimError> {
         if self.samples < 2 {
             return Err(DevSimError::TooFewSamples {
                 got: self.samples,
                 need: 2,
             });
         }
-        let factory = VersionFactory::new(self.model.clone(), self.introduction)?;
-        let grid = self.grid_spec().grid(self.seed);
-        let acc = run_sweep(grid.cells(), self.threads, |cell| {
-            run_shard(&factory, cell.config, cell.seed)
-        })
-        .expect("at least one cell for samples >= 2");
+        VersionFactory::new(self.model.clone(), self.introduction)
+    }
+
+    /// Converts the fully-folded cell accumulator into the experiment
+    /// result. `acc` must be the canonical-order fold of every grid
+    /// cell's [`run_cell`] output (in-process or shipped over the wire
+    /// — the bits are the same either way).
+    ///
+    /// # Errors
+    ///
+    /// Statistics errors for an accumulator that does not cover the
+    /// experiment's sample count.
+    pub fn finish(&self, acc: McAccumulator) -> Result<ExperimentResult, DevSimError> {
         let n = self.samples as u64;
         let risk_single_ci = wilson_ci(acc.single_with_faults, n, 0.95)?;
         let risk_pair_ci = wilson_ci(acc.pair_with_common, n, 0.95)?;
@@ -247,8 +273,13 @@ impl MonteCarloExperiment {
 /// noise.
 const MC_CELL_SAMPLES: usize = 2048;
 
-#[derive(Debug, Default, Clone)]
-struct ShardAccumulator {
+/// The mergeable per-cell accumulator of the Monte-Carlo driver:
+/// Welford partials of the PFD samples plus the fault counters. Public
+/// so distributed executors can evaluate grid cells remotely
+/// ([`run_cell`]) and ship the partials home ([`WireForm`]) for the
+/// canonical-order fold that [`MonteCarloExperiment::finish`] consumes.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct McAccumulator {
     single_pfd: Moments,
     pair_pfd: Moments,
     single_with_faults: u64,
@@ -257,7 +288,7 @@ struct ShardAccumulator {
     pair_faults: u64,
 }
 
-impl SweepReduce for ShardAccumulator {
+impl SweepReduce for McAccumulator {
     fn absorb(&mut self, other: Self) {
         self.single_pfd.merge(&other.single_pfd);
         self.pair_pfd.merge(&other.pair_pfd);
@@ -268,9 +299,36 @@ impl SweepReduce for ShardAccumulator {
     }
 }
 
-fn run_shard(factory: &VersionFactory, count: usize, seed: u64) -> ShardAccumulator {
+impl WireForm for McAccumulator {
+    fn to_wire(&self) -> Wire {
+        Wire::record([
+            ("single_pfd", self.single_pfd.to_wire()),
+            ("pair_pfd", self.pair_pfd.to_wire()),
+            ("single_with_faults", Wire::U64(self.single_with_faults)),
+            ("pair_with_common", Wire::U64(self.pair_with_common)),
+            ("single_faults", Wire::U64(self.single_faults)),
+            ("pair_faults", Wire::U64(self.pair_faults)),
+        ])
+    }
+
+    fn from_wire(wire: &Wire) -> Result<Self, WireError> {
+        Ok(McAccumulator {
+            single_pfd: Moments::from_wire(wire.field("single_pfd")?)?,
+            pair_pfd: Moments::from_wire(wire.field("pair_pfd")?)?,
+            single_with_faults: wire.field("single_with_faults")?.as_u64()?,
+            pair_with_common: wire.field("pair_with_common")?.as_u64()?,
+            single_faults: wire.field("single_faults")?.as_u64()?,
+            pair_faults: wire.field("pair_faults")?.as_u64()?,
+        })
+    }
+}
+
+/// Evaluates one Monte-Carlo grid cell: `count` sampled pairs from the
+/// split stream `seed`. A pure function of its arguments, so any worker
+/// anywhere reproduces the exact cell bits.
+pub fn run_cell(factory: &VersionFactory, count: usize, seed: u64) -> McAccumulator {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut acc = ShardAccumulator::default();
+    let mut acc = McAccumulator::default();
     // One reusable pair buffer per shard: the sampling loop allocates
     // nothing per iteration.
     let mut pair = crate::factory::SampledPair::empty(factory.model().len());
@@ -375,6 +433,41 @@ mod tests {
                 "threads = {threads}"
             );
         }
+    }
+
+    #[test]
+    fn cell_level_api_reassembles_run_bit_identically() {
+        // Evaluate every grid cell by hand (as a distributed worker
+        // would), ship each accumulator through the wire form, fold in
+        // canonical order, finish — and land on the exact bits of run().
+        let exp = MonteCarloExperiment::new(model(), FaultIntroduction::Independent)
+            .samples(9_000)
+            .seed(23)
+            .threads(2);
+        let direct = exp.run().unwrap();
+        let factory = exp.factory().unwrap();
+        let grid = exp.grid_spec().grid(23);
+        let mut acc: Option<McAccumulator> = None;
+        for cell in grid.cells() {
+            let local = run_cell(&factory, cell.config, cell.seed);
+            let text = serde_json::to_string(&local.to_wire()).unwrap();
+            let shipped = McAccumulator::from_wire(&serde_json::from_str(&text).unwrap()).unwrap();
+            assert_eq!(shipped, local);
+            match acc.as_mut() {
+                Some(a) => a.absorb(shipped),
+                None => acc = Some(shipped),
+            }
+        }
+        let reassembled = exp.finish(acc.unwrap()).unwrap();
+        assert_eq!(reassembled, direct);
+        assert_eq!(
+            reassembled.single.mean_pfd.to_bits(),
+            direct.single.mean_pfd.to_bits()
+        );
+        assert_eq!(
+            reassembled.pair.std_pfd.to_bits(),
+            direct.pair.std_pfd.to_bits()
+        );
     }
 
     #[test]

@@ -108,6 +108,81 @@ impl GridSpec {
     }
 }
 
+/// A contiguous slice of grid-cell indices `[start, end)` — the lease
+/// unit of distributed sweep execution.
+///
+/// Because every cell's RNG stream is a pure function of
+/// `(sweep_seed, cell_index)` ([`split_seed`]), a range of cells can be
+/// evaluated by **any** worker on **any** host and produce the exact
+/// bits an in-process run would have: a coordinator partitions the grid
+/// into ranges, hands them out as leases, and folds the returned
+/// per-cell accumulators in canonical cell order. The range itself is
+/// serialisable (indices stay far below the `2^53` JSON-number limit in
+/// practice) so it can ride the wire protocol directly.
+///
+/// ```
+/// use divrel_devsim::sweep::CellRange;
+/// let parts = CellRange::partition(10, 4);
+/// assert_eq!(parts.len(), 3);
+/// assert_eq!((parts[0].start, parts[0].end), (0, 4));
+/// assert_eq!((parts[2].start, parts[2].end), (8, 10));
+/// assert_eq!(parts.iter().map(CellRange::len).sum::<u64>(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellRange {
+    /// First cell index covered (inclusive).
+    pub start: u64,
+    /// One past the last cell index covered (exclusive).
+    pub end: u64,
+}
+
+impl CellRange {
+    /// Builds the range `[start, end)`; an inverted pair collapses to
+    /// the empty range at `start`.
+    #[must_use]
+    pub fn new(start: u64, end: u64) -> Self {
+        CellRange {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// Number of cells covered.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the range covers no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `index` falls inside the range.
+    #[must_use]
+    pub fn contains(&self, index: u64) -> bool {
+        self.start <= index && index < self.end
+    }
+
+    /// Cuts `[0, cell_count)` into contiguous ranges of at most
+    /// `lease_cells` cells (minimum 1), in ascending order. The layout
+    /// is a pure function of its arguments — never of the worker count
+    /// — which is what keeps distributed reductions partition-invariant.
+    #[must_use]
+    pub fn partition(cell_count: u64, lease_cells: u64) -> Vec<CellRange> {
+        let chunk = lease_cells.max(1);
+        let mut out = Vec::with_capacity(cell_count.div_ceil(chunk) as usize);
+        let mut start = 0;
+        while start < cell_count {
+            let end = (start + chunk).min(cell_count);
+            out.push(CellRange { start, end });
+            start = end;
+        }
+        out
+    }
+}
+
 /// One cell of an experiment grid: a configuration plus the cell's
 /// deterministic RNG seed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -154,6 +229,14 @@ impl<C> SweepGrid<C> {
     /// The cells, in canonical order.
     pub fn cells(&self) -> &[SweepCell<C>] {
         &self.cells
+    }
+
+    /// The cells of lease `range`, in canonical order (clamped to the
+    /// grid, so an overhanging range yields the in-bounds prefix).
+    pub fn range_cells(&self, range: CellRange) -> &[SweepCell<C>] {
+        let start = (range.start as usize).min(self.cells.len());
+        let end = (range.end as usize).min(self.cells.len());
+        &self.cells[start..end]
     }
 
     /// Number of cells.
@@ -416,6 +499,73 @@ mod tests {
         let v = serde::Serialize::to_value(&spec);
         let back: GridSpec = serde::Deserialize::from_value(&v).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn cell_range_partition_tiles_the_grid() {
+        for (count, chunk) in [(0u64, 4u64), (1, 4), (4, 4), (10, 4), (10, 1), (7, 100)] {
+            let parts = CellRange::partition(count, chunk);
+            assert_eq!(parts.iter().map(CellRange::len).sum::<u64>(), count);
+            let mut next = 0;
+            for r in &parts {
+                assert_eq!(r.start, next, "ranges must tile contiguously");
+                assert!(!r.is_empty());
+                assert!(r.len() <= chunk.max(1));
+                next = r.end;
+            }
+            assert_eq!(next, count);
+        }
+        // Degenerate chunk size is lifted to 1, not a hang.
+        assert_eq!(CellRange::partition(3, 0).len(), 3);
+        let r = CellRange::new(5, 3);
+        assert!(r.is_empty());
+        assert!(!r.contains(5));
+        assert!(CellRange::new(2, 6).contains(5));
+        let json = serde_json::to_string(&CellRange::new(2, 6)).unwrap();
+        let back: CellRange = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, CellRange::new(2, 6));
+    }
+
+    #[test]
+    fn range_cells_slice_matches_partition_and_full_fold() {
+        let g = demo_grid(23);
+        let worker = |cell: &SweepCell<u32>| {
+            let mut rng = StdRng::seed_from_u64(cell.seed);
+            let mut m = Moments::new();
+            for _ in 0..32 {
+                m.push(rng.gen::<f64>());
+            }
+            m
+        };
+        let whole: Moments = run_sweep(g.cells(), 2, worker).unwrap();
+        // Reduce each lease range separately per cell, then fold ALL
+        // per-cell accumulators in canonical order: bit-identical to the
+        // in-process sweep whatever the partitioning.
+        for chunk in [1u64, 4, 7, 23, 100] {
+            let mut acc: Option<Moments> = None;
+            for range in CellRange::partition(g.len() as u64, chunk) {
+                for r in run_cells(g.range_cells(range), 1, worker) {
+                    match acc.as_mut() {
+                        Some(a) => a.absorb(r),
+                        None => acc = Some(r),
+                    }
+                }
+            }
+            let folded = acc.unwrap();
+            assert_eq!(
+                folded.mean().unwrap().to_bits(),
+                whole.mean().unwrap().to_bits(),
+                "chunk = {chunk}"
+            );
+            assert_eq!(
+                folded.sample_variance().unwrap().to_bits(),
+                whole.sample_variance().unwrap().to_bits(),
+                "chunk = {chunk}"
+            );
+        }
+        // Overhanging ranges clamp instead of panicking.
+        assert_eq!(g.range_cells(CellRange::new(20, 99)).len(), 3);
+        assert!(g.range_cells(CellRange::new(50, 60)).is_empty());
     }
 
     #[test]

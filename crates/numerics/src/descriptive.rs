@@ -90,6 +90,26 @@ impl Moments {
         self.n
     }
 
+    /// The raw Welford partials `(n, mean, m2, m3, m4)` — the exact
+    /// internal state, exposed so the accumulator can cross process
+    /// boundaries (see [`crate::wire::WireForm`]) without losing bits.
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.n, self.mean, self.m2, self.m3, self.m4)
+    }
+
+    /// Reconstructs an accumulator from [`Self::raw_parts`] output. The
+    /// round trip is the identity (bit-for-bit), so merging shipped
+    /// partials equals merging the originals.
+    pub fn from_raw_parts(n: u64, mean: f64, m2: f64, m3: f64, m4: f64) -> Self {
+        Moments {
+            n,
+            mean,
+            m2,
+            m3,
+            m4,
+        }
+    }
+
     /// Sample mean.
     ///
     /// # Errors

@@ -46,6 +46,7 @@ pub mod roots;
 pub mod special;
 pub mod sweep;
 pub mod weighted_sum;
+pub mod wire;
 
 pub use error::NumericsError;
 pub use normal::Normal;

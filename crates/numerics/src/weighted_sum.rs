@@ -17,7 +17,7 @@
 //!   `|value error| ≤ n·Δ/2` reported by [`WeightedBernoulliSum::value_error_bound`].
 
 use crate::error::{domain, NumericsError};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Largest `n` for which exact subset enumeration is used by
@@ -449,34 +449,59 @@ impl CacheStats {
 /// distributions. Kept as its own type (instead of logic inlined at the
 /// one global) so the eviction policy is unit-testable at small
 /// capacities.
+///
+/// Recency lives in an **intrusive doubly-linked list** threaded through
+/// a slot arena (`prev`/`next` indices per entry): a hit unlinks its
+/// slot and re-links it at the most-recent end in O(1), where the
+/// previous implementation scanned an order queue in O(cap) per touch —
+/// the ROADMAP hot spot that mattered once sweeps started cycling
+/// hundreds of model families through the cache.
 struct TermsLru {
     cap: usize,
-    map: HashMap<Vec<(u64, u64)>, Arc<WeightedBernoulliSum>>,
-    /// Recency order: front = least recently used, back = most recent.
-    order: VecDeque<Vec<(u64, u64)>>,
+    /// Key → slot index in `slots`.
+    map: HashMap<Vec<(u64, u64)>, usize>,
+    /// Slot arena; freed slots are recycled via `free`.
+    slots: Vec<LruSlot>,
+    free: Vec<usize>,
+    /// Least-recently-used slot (eviction victim), or `NIL`.
+    head: usize,
+    /// Most-recently-used slot, or `NIL`.
+    tail: usize,
     hits: u64,
     misses: u64,
 }
+
+struct LruSlot {
+    key: Vec<(u64, u64)>,
+    value: Arc<WeightedBernoulliSum>,
+    prev: usize,
+    next: usize,
+}
+
+/// Null link of the intrusive list.
+const NIL: usize = usize::MAX;
 
 impl TermsLru {
     fn new(cap: usize) -> Self {
         TermsLru {
             cap: cap.max(1),
             map: HashMap::new(),
-            order: VecDeque::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
             hits: 0,
             misses: 0,
         }
     }
 
-    /// Looks a key up, refreshing its recency on a hit.
+    /// Looks a key up, refreshing its recency on a hit. O(1).
     fn get(&mut self, key: &[(u64, u64)]) -> Option<Arc<WeightedBernoulliSum>> {
-        match self.map.get(key) {
-            Some(hit) => {
+        match self.map.get(key).copied() {
+            Some(slot) => {
                 self.hits += 1;
-                let value = Arc::clone(hit);
-                self.touch(key);
-                Some(value)
+                self.touch(slot);
+                Some(Arc::clone(&self.slots[slot].value))
             }
             None => {
                 self.misses += 1;
@@ -485,34 +510,82 @@ impl TermsLru {
         }
     }
 
-    /// Moves `key` to the most-recent end of the order queue.
-    fn touch(&mut self, key: &[(u64, u64)]) {
-        if let Some(pos) = self.order.iter().position(|k| k == key) {
-            let k = self.order.remove(pos).expect("position just found");
-            self.order.push_back(k);
+    /// Moves `slot` to the most-recent end of the list. O(1): two
+    /// unlink splices and one re-link, no scan.
+    fn touch(&mut self, slot: usize) {
+        if self.tail == slot {
+            return;
         }
+        self.unlink(slot);
+        self.push_tail(slot);
+    }
+
+    /// Splices `slot` out of the list (its links become dangling; the
+    /// caller re-links or frees it).
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    /// Links `slot` as the most-recent entry.
+    fn push_tail(&mut self, slot: usize) {
+        self.slots[slot].prev = self.tail;
+        self.slots[slot].next = NIL;
+        match self.tail {
+            NIL => self.head = slot,
+            t => self.slots[t].next = slot,
+        }
+        self.tail = slot;
     }
 
     /// Inserts `built` under `key` unless a racing builder already did —
     /// then the resident entry wins (so every caller shares one handle).
-    /// Evicts the least-recently-used entry on overflow.
+    /// Evicts the least-recently-used entry on overflow. O(1).
     fn insert_or_adopt(
         &mut self,
         key: Vec<(u64, u64)>,
         built: Arc<WeightedBernoulliSum>,
     ) -> Arc<WeightedBernoulliSum> {
-        if let Some(hit) = self.map.get(&key) {
-            let winner = Arc::clone(hit);
-            self.touch(&key);
-            return winner;
+        if let Some(slot) = self.map.get(&key).copied() {
+            self.touch(slot);
+            return Arc::clone(&self.slots[slot].value);
         }
         if self.map.len() >= self.cap {
-            if let Some(lru) = self.order.pop_front() {
-                self.map.remove(&lru);
-            }
+            let victim = self.head;
+            debug_assert_ne!(victim, NIL, "full cache must have an LRU entry");
+            self.unlink(victim);
+            self.map.remove(&self.slots[victim].key);
+            self.free.push(victim);
         }
-        self.map.insert(key.clone(), Arc::clone(&built));
-        self.order.push_back(key);
+        let slot = match self.free.pop() {
+            Some(recycled) => {
+                self.slots[recycled] = LruSlot {
+                    key: key.clone(),
+                    value: Arc::clone(&built),
+                    prev: NIL,
+                    next: NIL,
+                };
+                recycled
+            }
+            None => {
+                self.slots.push(LruSlot {
+                    key: key.clone(),
+                    value: Arc::clone(&built),
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.push_tail(slot);
+        self.map.insert(key, slot);
         built
     }
 
@@ -763,6 +836,51 @@ mod tests {
         assert_eq!(s.hits, 2);
         assert_eq!(s.misses, 4);
         assert!((s.hit_rate() - 2.0 / 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn terms_lru_matches_reference_model_under_mixed_traffic() {
+        // Drive the intrusive-list implementation and a naive
+        // VecDeque-ordered reference with the same operation stream;
+        // occupancy and hit/miss behaviour must agree at every step.
+        let cap = 4;
+        let mut lru = TermsLru::new(cap);
+        let mut ref_order: Vec<u64> = Vec::new(); // front = LRU
+        let mut x: u64 = 0x2545_F491_4F6C_DD1D;
+        for step in 0..4_000u64 {
+            // xorshift64* traffic over a 9-tag universe (> cap, so
+            // eviction churns constantly).
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let tag = x % 9;
+            let hit = lru.get(&lru_key(tag)).is_some();
+            let ref_hit = ref_order.contains(&tag);
+            assert_eq!(hit, ref_hit, "step {step}, tag {tag}");
+            if hit {
+                ref_order.retain(|&t| t != tag);
+                ref_order.push(tag);
+            } else {
+                lru.insert_or_adopt(lru_key(tag), lru_value());
+                if ref_order.len() >= cap {
+                    ref_order.remove(0);
+                }
+                ref_order.push(tag);
+            }
+            assert_eq!(lru.stats().entries, ref_order.len(), "step {step}");
+        }
+        assert!(lru.stats().hits > 0 && lru.stats().misses > 0);
+    }
+
+    #[test]
+    fn terms_lru_single_slot_capacity() {
+        let mut lru = TermsLru::new(1);
+        lru.insert_or_adopt(lru_key(1), lru_value());
+        assert!(lru.get(&lru_key(1)).is_some());
+        lru.insert_or_adopt(lru_key(2), lru_value());
+        assert!(lru.get(&lru_key(1)).is_none());
+        assert!(lru.get(&lru_key(2)).is_some());
+        assert_eq!(lru.stats().entries, 1);
     }
 
     #[test]

@@ -249,8 +249,11 @@ impl CompiledPlant {
     ///
     /// Equivalent in distribution to calling [`Plant::step`] `budget`
     /// times and stopping at the first demand — but the cost is one
-    /// geometric draw plus one alias lookup per *state change*, not per
-    /// tick.
+    /// geometric draw plus one **fused** exit draw per *state change*,
+    /// not per tick. The exit tick used to spend up to three uniforms
+    /// (demand-vs-move coin, alias bucket, alias coin); one uniform now
+    /// covers all three where the chain's branch masses allow it (see
+    /// [`branch_uniform`]), halving the RNG work per state change.
     pub fn next_demand<R: Rng + ?Sized>(
         &self,
         state: &mut u32,
@@ -271,9 +274,13 @@ impl CompiledPlant {
                 return CompiledEvent::Quiet { ticks: budget };
             }
             quiet += dwell;
-            // The exit tick itself: demand or quiet move.
-            if rng.gen::<f64>() < self.demand_given_exit[s] {
-                let cell = self.demands.sample(s, rng);
+            // The exit tick itself: demand or quiet move, plus the
+            // successor alias lookup, all from one uniform.
+            let u: f64 = rng.gen();
+            let dge = self.demand_given_exit[s];
+            if u < dge {
+                let v = branch_uniform(u, 0.0, dge, rng);
+                let cell = self.demands.sample_with(s, v);
                 *state = cell;
                 return CompiledEvent::Demand {
                     quiet_gap: quiet,
@@ -284,9 +291,37 @@ impl CompiledPlant {
                 };
             }
             quiet += 1;
-            *state = self.quiet_moves.sample(s, rng);
+            *state = self
+                .quiet_moves
+                .sample_with(s, branch_uniform(u, dge, 1.0 - dge, rng));
         }
         CompiledEvent::Quiet { ticks: budget }
+    }
+}
+
+/// Smallest branch mass whose conditional uniform is recycled. Below
+/// this, `(u − lo) / width` would stretch a `2⁻⁵³`-granular uniform past
+/// ~33 bits of resolution, so the sampler pays one fresh draw instead
+/// of biasing the alias lookup. Branches this improbable are taken
+/// ~once per million state changes, so the fallback costs nothing
+/// measurable.
+const FUSE_MIN_BRANCH: f64 = 1.0 / (1u64 << 20) as f64;
+
+/// Largest `f64` below 1.0 — keeps a recycled uniform inside `[0, 1)`.
+const ONE_BELOW: f64 = 1.0 - f64::EPSILON / 2.0;
+
+/// The conditional uniform of a branch decision: given `u` uniform on
+/// `[0, 1)` and the taken branch covering `[lo, lo + width)`,
+/// `(u − lo) / width` is again uniform on `[0, 1)` — algebra, not
+/// approximation — so the draw that picked the branch is **reused** for
+/// the successor alias lookup. Branches too thin to rescale without
+/// losing resolution ([`FUSE_MIN_BRANCH`]) draw fresh.
+#[inline]
+fn branch_uniform<R: Rng + ?Sized>(u: f64, lo: f64, width: f64, rng: &mut R) -> f64 {
+    if width >= FUSE_MIN_BRANCH {
+        ((u - lo) / width).clamp(0.0, ONE_BELOW)
+    } else {
+        rng.gen()
     }
 }
 
@@ -306,12 +341,28 @@ impl AliasForest {
     /// state with an empty segment (the caller's branch probabilities
     /// guarantee this).
     #[inline]
+    #[cfg(test)]
     fn sample<R: Rng + ?Sized>(&self, state: usize, rng: &mut R) -> u32 {
+        self.sample_with(state, rng.gen())
+    }
+
+    /// Draws one successor cell for `state` from a **single** uniform
+    /// `v ∈ [0, 1)`: `⌊v·n⌋` picks the bucket and the fractional part
+    /// `v·n − ⌊v·n⌋` — independent of the bucket and itself uniform —
+    /// plays the accept/alias coin. One draw where Walker–Vose is
+    /// usually written with two.
+    #[inline]
+    fn sample_with(&self, state: usize, v: f64) -> u32 {
         let lo = self.offsets[state] as usize;
         let n = self.offsets[state + 1] as usize - lo;
         debug_assert!(n > 0, "alias sample from empty successor set");
-        let i = if n == 1 { 0 } else { rng.gen_range(0..n) };
-        let coin: f64 = rng.gen();
+        debug_assert!((0.0..1.0).contains(&v), "alias uniform out of range: {v}");
+        if n == 1 {
+            return self.cells[lo];
+        }
+        let scaled = v * n as f64;
+        let i = (scaled as usize).min(n - 1);
+        let coin = scaled - i as f64;
         let k = if coin < self.accept[lo + i] {
             i
         } else {
@@ -571,5 +622,59 @@ mod tests {
             let freq = counts[i] as f64 / n as f64;
             assert!((freq - want).abs() < 0.01, "cell {i}: {freq} vs {want}");
         }
+    }
+
+    #[test]
+    fn single_uniform_alias_reproduces_weights_exactly_on_a_grid() {
+        // Sweep a dense uniform grid through sample_with: the measure of
+        // v-values landing on each cell must equal the cell's weight to
+        // grid resolution — the single-draw lookup is exact, not
+        // approximate.
+        let weights = [0.15, 0.05, 0.5, 0.3];
+        let mut b = AliasForestBuilder::new(1);
+        b.push_state(&[
+            (0, weights[0]),
+            (1, weights[1]),
+            (2, weights[2]),
+            (3, weights[3]),
+        ]);
+        let f = b.finish();
+        let grid = 400_000usize;
+        let mut counts = [0u64; 4];
+        for k in 0..grid {
+            let v = (k as f64 + 0.5) / grid as f64;
+            counts[f.sample_with(0, v) as usize] += 1;
+        }
+        for (i, want) in weights.iter().enumerate() {
+            let freq = counts[i] as f64 / grid as f64;
+            assert!(
+                (freq - want).abs() < 2e-5,
+                "cell {i}: measure {freq} vs weight {want}"
+            );
+        }
+        // The extreme uniforms stay in range.
+        let _ = f.sample_with(0, 0.0);
+        let _ = f.sample_with(0, ONE_BELOW);
+    }
+
+    #[test]
+    fn branch_uniform_rescales_wide_branches_and_redraws_thin_ones() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // Wide branch: pure algebra, no draw, linear map onto [0, 1).
+        let v = branch_uniform(0.25, 0.2, 0.4, &mut rng);
+        assert!((v - 0.125).abs() < 1e-15);
+        let v = branch_uniform(0.599_999, 0.2, 0.4, &mut rng);
+        assert!(v < 1.0);
+        assert!((0.0..1.0).contains(&branch_uniform(0.2, 0.2, 0.4, &mut rng)));
+        // Rounding at the top edge clamps inside [0, 1).
+        assert!(branch_uniform(0.6, 0.2, 0.4, &mut rng) < 1.0);
+        // Thin branch: the recycled uniform would have too little
+        // resolution, so a fresh draw is taken instead (the two calls
+        // advance the stream — their outputs differ).
+        let thin = FUSE_MIN_BRANCH / 4.0;
+        let a = branch_uniform(thin / 2.0, 0.0, thin, &mut rng);
+        let b = branch_uniform(thin / 2.0, 0.0, thin, &mut rng);
+        assert_ne!(a.to_bits(), b.to_bits(), "thin branch must redraw");
+        assert!((0.0..1.0).contains(&a) && (0.0..1.0).contains(&b));
     }
 }

@@ -164,6 +164,47 @@ impl divrel_numerics::sweep::SweepReduce for OperationLog {
     }
 }
 
+/// The log's portable wire form: pure counters, so the round trip is
+/// trivially exact — a campaign shard simulated on one host merges into
+/// the coordinator's log with the same bits as an in-process shard.
+impl divrel_numerics::wire::WireForm for OperationLog {
+    fn to_wire(&self) -> divrel_numerics::wire::Wire {
+        use divrel_numerics::wire::Wire;
+        Wire::record([
+            ("steps", Wire::U64(self.steps)),
+            ("demands", Wire::U64(self.demands)),
+            ("system_failures", Wire::U64(self.system_failures)),
+            (
+                "channel_failures",
+                Wire::List(
+                    self.channel_failures
+                        .iter()
+                        .map(|&c| Wire::U64(c))
+                        .collect(),
+                ),
+            ),
+            ("failure_free_streak", Wire::U64(self.failure_free_streak)),
+        ])
+    }
+
+    fn from_wire(
+        wire: &divrel_numerics::wire::Wire,
+    ) -> Result<Self, divrel_numerics::wire::WireError> {
+        Ok(OperationLog {
+            steps: wire.field("steps")?.as_u64()?,
+            demands: wire.field("demands")?.as_u64()?,
+            system_failures: wire.field("system_failures")?.as_u64()?,
+            channel_failures: wire
+                .field("channel_failures")?
+                .as_list()?
+                .iter()
+                .map(|w| w.as_u64())
+                .collect::<Result<_, _>>()?,
+            failure_free_streak: wire.field("failure_free_streak")?.as_u64()?,
+        })
+    }
+}
+
 impl fmt::Display for OperationLog {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -257,6 +298,26 @@ mod tests {
         assert_eq!(via_merge, via_absorb);
         assert_eq!(via_absorb.steps(), 17);
         assert_eq!(via_absorb.system_failures(), 1);
+    }
+
+    #[test]
+    fn wire_round_trip_is_exact_and_merges_identically() {
+        use divrel_numerics::wire::WireForm;
+        let mut a = OperationLog::new(3);
+        a.record_quiet_n(1_000_000_007);
+        a.record_demand(true, &[true, false, true]);
+        a.record_demand(false, &[false, false, false]);
+        let shipped = OperationLog::from_wire(&a.to_wire()).unwrap();
+        assert_eq!(shipped, a);
+        let mut b = OperationLog::new(3);
+        b.record_demand(true, &[true, true, true]);
+        let mut direct = a.clone();
+        direct.merge(&b);
+        let mut via_wire = shipped;
+        via_wire.merge(&OperationLog::from_wire(&b.to_wire()).unwrap());
+        assert_eq!(via_wire, direct);
+        // A malformed tree is rejected, not misread.
+        assert!(OperationLog::from_wire(&divrel_numerics::wire::Wire::U64(1)).is_err());
     }
 
     #[test]

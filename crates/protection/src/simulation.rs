@@ -150,12 +150,8 @@ pub fn run_sharded(
     // plants still simulate faster tick by tick, so the same
     // worthwhileness probe as `run` applies (against the whole campaign
     // length — the compile happens once, not per shard).
-    let compiled = if compile_worthwhile(plant, steps) {
-        CompiledPlant::compile(plant)?
-    } else {
-        None
-    };
-    let shards = shard_steps(steps, threads);
+    let compiled = campaign_compile(plant, steps)?;
+    let shards = shard_layout(steps, threads);
     let mut results: Vec<Result<OperationLog, ProtectionError>> = Vec::with_capacity(shards.len());
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(shards.len());
@@ -180,16 +176,82 @@ pub fn run_sharded(
     Ok(merged)
 }
 
-/// Splits `steps` into at most `threads` near-equal shard sizes
-/// (empty shards are dropped).
-fn shard_steps(steps: u64, threads: usize) -> Vec<u64> {
-    let t = (threads as u64).min(steps).max(1);
+/// The compile-or-tick decision of a whole campaign, reified: returns
+/// the compiled plant exactly when [`run_sharded`] over `campaign_steps`
+/// would compile (sticky plant, long enough run to amortise), else
+/// `None`. Distributed executors call this once per campaign and pass
+/// the result to every [`run_campaign_shard`], matching the in-process
+/// decision bit for bit.
+///
+/// # Errors
+///
+/// Compiler errors for a plant with an inconsistent transition law.
+pub fn campaign_compile(
+    plant: &Plant,
+    campaign_steps: u64,
+) -> Result<Option<CompiledPlant>, ProtectionError> {
+    if compile_worthwhile(plant, campaign_steps) {
+        CompiledPlant::compile(plant)
+    } else {
+        Ok(None)
+    }
+}
+
+/// The deterministic shard layout of [`run_sharded`]: `steps` split
+/// into at most `shards` near-equal counts (empty shards dropped). A
+/// pure function of its arguments, exposed so distributed executors can
+/// evaluate individual shards remotely and still land on the exact
+/// in-process layout.
+pub fn shard_layout(steps: u64, shards: usize) -> Vec<u64> {
+    let t = (shards as u64).min(steps).max(1);
     let base = steps / t;
     let extra = steps % t;
     (0..t)
         .map(|i| base + u64::from(i < extra))
         .filter(|&c| c > 0)
         .collect()
+}
+
+/// Runs **one** shard of a [`run_sharded`] campaign, bit-identically to
+/// the shard a sharded run would execute: `count` must be the shard's
+/// entry in [`shard_layout`]`(campaign_steps, shards)` and `seed` the
+/// value of [`shard_seed`]`(campaign_seed, index)`. `campaign_steps`
+/// (the **whole** campaign length) drives the compile-or-tick decision,
+/// which [`run_sharded`] takes once per campaign — a remote worker must
+/// make the same call or its shard would follow a different RNG stream.
+///
+/// `compiled` optionally supplies a pre-compiled plant so callers
+/// evaluating many shards amortise compilation; pass `None` to let the
+/// function decide (and compile) by itself.
+///
+/// # Errors
+///
+/// Propagated response errors, as in [`run_sharded`].
+pub fn run_campaign_shard(
+    plant: &Plant,
+    compiled: Option<&CompiledPlant>,
+    system: &ProtectionSystem,
+    campaign_steps: u64,
+    count: u64,
+    seed: u64,
+) -> Result<OperationLog, ProtectionError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let owned;
+    let compiled = if compile_worthwhile(plant, campaign_steps) {
+        match compiled {
+            Some(c) => Some(c),
+            None => {
+                owned = CompiledPlant::compile(plant)?;
+                owned.as_ref()
+            }
+        }
+    } else {
+        None
+    };
+    match compiled {
+        Some(c) => run_compiled(c, system, count, &mut rng),
+        None => run(plant, system, count, &mut rng),
+    }
 }
 
 /// The reference tick-by-tick loop (every plant step draws the RNG).
@@ -688,12 +750,59 @@ mod tests {
     }
 
     #[test]
-    fn shard_steps_cover_and_seeds_differ() {
-        assert_eq!(shard_steps(10, 4), vec![3, 3, 2, 2]);
-        assert_eq!(shard_steps(3, 16).iter().sum::<u64>(), 3);
-        assert!(shard_steps(0, 4).is_empty());
+    fn shard_layout_covers_and_seeds_differ() {
+        assert_eq!(shard_layout(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(shard_layout(3, 16).iter().sum::<u64>(), 3);
+        assert!(shard_layout(0, 4).is_empty());
         assert_ne!(shard_seed(0, 0), shard_seed(0, 1));
         assert_ne!(shard_seed(1, 0), shard_seed(2, 0));
+    }
+
+    #[test]
+    fn campaign_shards_reassemble_run_sharded_bit_identically() {
+        // Evaluate every shard individually (as a distributed worker
+        // would), merge in shard order, and land on the exact bits of
+        // the in-process sharded run — for both a compiled Markov plant
+        // and a rate plant, with and without a pre-compiled instance.
+        let (plant, system) = markov_setup();
+        let (steps, shards, seed) = (120_000u64, 4usize, 13u64);
+        let whole = run_sharded(&plant, &system, steps, shards, seed).unwrap();
+        let compiled = CompiledPlant::compile(&plant).unwrap();
+        let mut merged = OperationLog::new(system.channels().len());
+        for (i, &count) in shard_layout(steps, shards).iter().enumerate() {
+            let own = run_campaign_shard(&plant, None, &system, steps, count, shard_seed(seed, i))
+                .unwrap();
+            let shared = run_campaign_shard(
+                &plant,
+                compiled.as_ref(),
+                &system,
+                steps,
+                count,
+                shard_seed(seed, i),
+            )
+            .unwrap();
+            assert_eq!(own, shared, "shard {i}: pre-compiled plant diverged");
+            merged.merge(&own);
+        }
+        assert_eq!(merged, whole);
+
+        let (rate_plant, rate_system, _) = setup();
+        let whole = run_sharded(&rate_plant, &rate_system, 50_000, 3, 29).unwrap();
+        let mut merged = OperationLog::new(rate_system.channels().len());
+        for (i, &count) in shard_layout(50_000, 3).iter().enumerate() {
+            merged.merge(
+                &run_campaign_shard(
+                    &rate_plant,
+                    None,
+                    &rate_system,
+                    50_000,
+                    count,
+                    shard_seed(29, i),
+                )
+                .unwrap(),
+            );
+        }
+        assert_eq!(merged, whole);
     }
 
     #[test]

@@ -225,6 +225,9 @@ impl CampaignSpec {
         if self.shards == 0 {
             return bad("campaign needs >= 1 shard".into());
         }
+        if self.steps == 0 {
+            return bad("campaign needs >= 1 step".into());
+        }
         Ok(())
     }
 
@@ -361,6 +364,7 @@ mod tests {
             .validate()
             .is_err());
         assert!(mutate(&|s| s.shards = 0).validate().is_err());
+        assert!(mutate(&|s| s.steps = 0).validate().is_err());
         // Majority over an even channel count is caught here too.
         assert!(
             mutate(&|s| s.systems[0].adjudicator = Adjudicator::Majority)

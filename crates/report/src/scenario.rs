@@ -9,12 +9,17 @@
 
 use crate::table::Table;
 
-/// A renderable scenario result: headline fields and detail tables.
+/// A renderable scenario result: headline fields, detail tables, and a
+/// provenance block recording **how** the reduction was earned (spec
+/// hash, worker fleet, lease retries) separately from **what** it is —
+/// so two executions of one spec render identical result sections even
+/// when one ran in process and the other on a fleet that lost a worker.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScenarioCard {
     title: String,
     fields: Vec<(String, String)>,
     tables: Vec<(String, Table)>,
+    provenance: Vec<(String, String)>,
 }
 
 impl ScenarioCard {
@@ -24,6 +29,7 @@ impl ScenarioCard {
             title: title.into(),
             fields: Vec::new(),
             tables: Vec::new(),
+            provenance: Vec::new(),
         }
     }
 
@@ -36,6 +42,14 @@ impl ScenarioCard {
     /// Appends a named detail table.
     pub fn table(&mut self, name: impl Into<String>, table: Table) -> &mut Self {
         self.tables.push((name.into(), table));
+        self
+    }
+
+    /// Appends a `name: value` provenance entry (spec hash, worker
+    /// count, lease retries, …). Rendered in its own trailing section
+    /// so execution history never mixes into the comparable results.
+    pub fn provenance(&mut self, name: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        self.provenance.push((name.into(), value.into()));
         self
     }
 
@@ -54,15 +68,36 @@ impl ScenarioCard {
         &self.tables
     }
 
-    /// Renders the whole card as a markdown document: an `##` title, a
-    /// bullet per field, an `###` section per table.
-    pub fn to_markdown(&self) -> String {
+    /// The provenance entries, in insertion order.
+    pub fn provenance_entries(&self) -> &[(String, String)] {
+        &self.provenance
+    }
+
+    /// Renders the result sections only — title, fields, tables,
+    /// **without** the provenance block. This is the part that must be
+    /// byte-identical across executions of one spec, whatever fleet ran
+    /// it; CI diffs it between a coordinator run and an in-process run.
+    pub fn results_markdown(&self) -> String {
         let mut out = format!("## {}\n", self.title);
         for (name, value) in &self.fields {
             out.push_str(&format!("- **{name}**: {value}\n"));
         }
         for (name, table) in &self.tables {
             out.push_str(&format!("\n### {name}\n\n{}", table.to_markdown()));
+        }
+        out
+    }
+
+    /// Renders the whole card as a markdown document: an `##` title, a
+    /// bullet per field, an `###` section per table, and — when present
+    /// — a trailing `### provenance` section.
+    pub fn to_markdown(&self) -> String {
+        let mut out = self.results_markdown();
+        if !self.provenance.is_empty() {
+            out.push_str("\n### provenance\n\n");
+            for (name, value) in &self.provenance {
+                out.push_str(&format!("- {name}: {value}\n"));
+            }
         }
         out
     }
@@ -94,5 +129,28 @@ mod tests {
     fn empty_card_is_just_the_title() {
         let card = ScenarioCard::new("empty");
         assert_eq!(card.to_markdown(), "## empty\n");
+    }
+
+    #[test]
+    fn provenance_renders_separately_from_results() {
+        let mut card = ScenarioCard::new("dist run");
+        card.field("samples", "1000");
+        card.provenance("spec hash", "fnv1a:0123456789abcdef")
+            .provenance("workers", "4")
+            .provenance("lease retries", "1");
+        assert_eq!(card.provenance_entries().len(), 3);
+        // The comparable section is provenance-free…
+        let results = card.results_markdown();
+        assert!(results.contains("- **samples**: 1000"));
+        assert!(!results.contains("provenance"));
+        assert!(!results.contains("fnv1a"));
+        // …while the full render appends the provenance block.
+        let md = card.to_markdown();
+        assert!(md.starts_with(&results));
+        assert!(md.contains("### provenance"));
+        assert!(md.contains("- workers: 4"));
+        assert!(md.contains("- lease retries: 1"));
+        // A provenance-free card renders without the section.
+        assert!(!ScenarioCard::new("x").to_markdown().contains("provenance"));
     }
 }

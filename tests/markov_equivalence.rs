@@ -16,8 +16,7 @@
 use divrel::demand::{
     mapping::FaultRegionMap, region::Region, space::GridSpace2D, version::ProgramVersion,
 };
-use divrel::numerics::ks::{chi_squared_gof, chi_squared_homogeneity};
-use divrel::numerics::WeightedBernoulliSum;
+use divrel::numerics::ks::chi_squared_homogeneity;
 use divrel::protection::compiler::{CompiledEvent, CompiledPlant};
 use divrel::protection::plant::{Plant, PlantEvent};
 use divrel::protection::{simulation, Adjudicator, Channel, ProtectionSystem};
@@ -139,37 +138,145 @@ fn demand_interval_distributions_are_statistically_indistinguishable() {
     assert!(t.dof >= 6, "interval binning collapsed to {} cells", t.dof);
 }
 
+/// The sharpest equivalence check available: the compiled sampler's
+/// **one-step law** against the plant's exact analytic transition row.
+///
+/// A `budget = 1` call from a fixed state is one tick of the chain, and
+/// restarting from the same state makes every trial **independent** —
+/// so a chi-squared GOF against the exact row probabilities is valid at
+/// face value. (The suite used to compare failure counts of two long
+/// continuous runs instead; demands arrive in trip-set bursts, so those
+/// counts are heavily autocorrelated — across seeds, 4000-demand
+/// failure counts range from under 70 to over 400 on *both* paths —
+/// and a two-sample test that assumes independence rejects true
+/// equivalence at astronomical confidence whenever the fixed seeds land
+/// a burst unevenly. The replica test below keeps the operational
+/// comparison with valid statistics.)
 #[test]
-fn failure_count_distributions_are_statistically_indistinguishable() {
-    let (plant, system) = setup();
-    let (_, compiled_fails) = compiled_observations(&plant, &system, DEMANDS, 303);
-    let (_, stepwise_fails) = stepwise_observations(&plant, &system, DEMANDS, 404);
-    let count = |v: &[f64]| v.iter().filter(|&&x| x > 0.5).count() as u64;
-    let (fc, fs) = (count(&compiled_fails), count(&stepwise_fails));
-    assert!(fc > 50, "compiled path saw almost no failures ({fc})");
-    assert!(fs > 50, "stepwise path saw almost no failures ({fs})");
+fn one_step_law_matches_exact_transition_rows() {
+    use divrel::demand::space::Demand;
+    use divrel::numerics::special::gamma_q;
 
-    // Two-sample: failure/success contingency between the paths.
-    let n = DEMANDS as u64;
-    let t = chi_squared_homogeneity(&[n - fc, fc], &[n - fs, fs]).expect("testable");
-    assert!(
-        t.p_value > 0.01,
-        "failure counts rejected: compiled {fc}/{n} vs stepwise {fs}/{n}, p = {}",
-        t.p_value
-    );
-
-    // One-sample, reusing `chi_squared_gof`: both indicator samples must
-    // fit a common Bernoulli reference (parameter from the pooled rate).
-    let pooled = (fc + fs) as f64 / (2.0 * n as f64);
-    let reference = WeightedBernoulliSum::enumerate(&[(pooled, 1.0)]).expect("valid reference");
-    for (label, sample) in [("compiled", &compiled_fails), ("stepwise", &stepwise_fails)] {
-        let t = chi_squared_gof(sample, &reference).expect("testable");
+    let (plant, _) = setup();
+    let compiled = CompiledPlant::compile(&plant)
+        .expect("compilable")
+        .expect("markov plants compile");
+    let space = *plant.space();
+    let trip = plant.trip_set().expect("markov plants have trip sets");
+    // Deep inside the trip set (demand-dominated row), on the boundary
+    // (thin demand branch — the fused-draw rescale regime), and deep
+    // outside (no demand successors at all).
+    for start in [
+        Demand { var1: 3, var2: 3 },
+        Demand { var1: 8, var2: 8 },
+        Demand { var1: 20, var2: 20 },
+    ] {
+        let s0 = space.index_of(start).expect("state in space") as u32;
+        let row = plant.transition_row(start).expect("enumerable plant");
+        // Categories: one per demand successor, plus "quiet tick".
+        let demand_cells: Vec<(usize, f64)> = row
+            .iter()
+            .filter(|(d, _)| trip.contains(*d))
+            .map(|&(d, p)| (space.index_of(d).expect("successor in space"), p))
+            .collect();
+        let p_demand: f64 = demand_cells.iter().map(|&(_, p)| p).sum();
+        let trials = 120_000u64;
+        let mut rng = StdRng::seed_from_u64(0x51E_u64 + u64::from(s0));
+        let mut observed = vec![0u64; demand_cells.len() + 1];
+        for _ in 0..trials {
+            let mut state = s0;
+            match compiled.next_demand(&mut state, 1, &mut rng) {
+                CompiledEvent::Demand { demand, quiet_gap } => {
+                    assert_eq!(quiet_gap, 0, "budget 1 leaves no room for a gap");
+                    let cell = space.index_of(demand).expect("demand in space");
+                    let k = demand_cells
+                        .iter()
+                        .position(|&(c, _)| c == cell)
+                        .expect("demand outside the exact row's trip successors");
+                    observed[k] += 1;
+                }
+                CompiledEvent::Quiet { ticks } => {
+                    assert_eq!(ticks, 1);
+                    *observed.last_mut().expect("non-empty") += 1;
+                }
+            }
+        }
+        if demand_cells.is_empty() {
+            assert_eq!(observed[0], trials, "state {start} must never demand");
+            continue;
+        }
+        // Chi-squared GOF against the exact probabilities (every
+        // expected count here is far above the >= 5 pooling rule).
+        let n = trials as f64;
+        let mut statistic = 0.0;
+        for (k, &(_, p)) in demand_cells.iter().enumerate() {
+            let e = p * n;
+            statistic += (observed[k] as f64 - e) * (observed[k] as f64 - e) / e;
+        }
+        // The quiet category exists only where the row leaves quiet
+        // mass (inside the trip set every transition is a demand).
+        let o_quiet = observed[demand_cells.len()] as f64;
+        let mut dof = demand_cells.len() - 1;
+        if p_demand < 1.0 - 1e-12 {
+            let e_quiet = (1.0 - p_demand) * n;
+            statistic += (o_quiet - e_quiet) * (o_quiet - e_quiet) / e_quiet;
+            dof += 1;
+        } else {
+            assert_eq!(
+                o_quiet, 0.0,
+                "all-demand state {start} produced a quiet tick"
+            );
+        }
+        let p_value = gamma_q(dof as f64 / 2.0, statistic / 2.0).expect("valid chi2");
         assert!(
-            t.p_value > 0.01,
-            "{label} failure indicators rejected against pooled Bernoulli: p = {}",
-            t.p_value
+            p_value > 0.01,
+            "one-step law from {start} rejected: chi2 = {statistic}, dof = {dof}, p = {p_value}"
         );
     }
+}
+
+/// Operational failure rates, compared with statistics that respect the
+/// burst structure: independent replicas (fresh seed each) are the iid
+/// unit, and the two paths' replica means are compared by a Welch test
+/// on the **across-replica** variance.
+#[test]
+fn failure_rates_agree_across_independent_replicas() {
+    let (plant, system) = setup();
+    let replicas = 12usize;
+    let per_replica = 2_000usize;
+    let count = |v: &[f64]| v.iter().filter(|&&x| x > 0.5).count() as f64;
+    let compiled: Vec<f64> = (0..replicas)
+        .map(|r| {
+            let (_, fails) = compiled_observations(&plant, &system, per_replica, 7_000 + r as u64);
+            count(&fails)
+        })
+        .collect();
+    let stepwise: Vec<f64> = (0..replicas)
+        .map(|r| {
+            let (_, fails) = stepwise_observations(&plant, &system, per_replica, 8_000 + r as u64);
+            count(&fails)
+        })
+        .collect();
+    assert!(
+        compiled.iter().sum::<f64>() > 100.0,
+        "compiled path saw almost no failures"
+    );
+    assert!(
+        stepwise.iter().sum::<f64>() > 100.0,
+        "stepwise path saw almost no failures"
+    );
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let var = |v: &[f64], m: f64| {
+        v.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (v.len() - 1) as f64
+    };
+    let (mc, ms) = (mean(&compiled), mean(&stepwise));
+    let (vc, vs) = (var(&compiled, mc), var(&stepwise, ms));
+    let stderr = ((vc + vs) / replicas as f64).sqrt();
+    assert!(
+        (mc - ms).abs() < 4.5 * stderr + 1.0,
+        "replica failure means diverge: compiled {mc} vs stepwise {ms} \
+         (stderr {stderr}; compiled {compiled:?}, stepwise {stepwise:?})"
+    );
 }
 
 #[test]
