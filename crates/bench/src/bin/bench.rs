@@ -1,6 +1,6 @@
 //! Before/after benchmark driver: measures the previous-PR baselines
 //! against the current fast paths and exports the results as
-//! `BENCH_<tag>.json` (default `BENCH_pr5.json` in the current
+//! `BENCH_<tag>.json` (default `BENCH_pr6.json` in the current
 //! directory; override with `DIVREL_BENCH_TAG` / first CLI argument as
 //! the output path).
 //!
@@ -32,7 +32,11 @@
 //!   single-core host, by design. The PR 5 `protection/markov_fused/*`
 //!   row measures the compiled sampler's fused exit draw (one uniform
 //!   for branch + alias where the chain's masses allow) against a
-//!   faithful reconstruction of the PR 2 four-draw sampler.
+//!   faithful reconstruction of the PR 2 four-draw sampler. The PR 6
+//!   `dist/resume_overhead` row re-runs the distributed workload with
+//!   the write-ahead lease journal enabled; both sides are
+//!   bit-identical, so the ratio records pure journaling cost
+//!   (target ≤ 2%).
 
 use divrel_bench::context::default_sweep_threads;
 use divrel_bench::perf::{to_json, Comparison};
@@ -145,7 +149,7 @@ fn legacy_protection_run(
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| {
-        let tag = std::env::var("DIVREL_BENCH_TAG").unwrap_or_else(|_| "pr5".into());
+        let tag = std::env::var("DIVREL_BENCH_TAG").unwrap_or_else(|_| "pr6".into());
         format!("BENCH_{tag}.json")
     });
     let mut results: Vec<Comparison> = Vec::new();
@@ -992,13 +996,21 @@ fn main() {
             if !sibling.exists() {
                 return None;
             }
-            spawn_stdio_fleet(&sibling, n, 1, true).ok()
+            spawn_stdio_fleet(&sibling, n, 1, true, &[]).ok()
         }
 
-        fn run_dist(scenario: &Scenario, workers: usize) -> ScenarioOutcome {
-            let coordinator = Coordinator::new(scenario.clone())
+        fn run_dist(
+            scenario: &Scenario,
+            workers: usize,
+            journal: Option<&std::path::Path>,
+        ) -> ScenarioOutcome {
+            let mut coordinator = Coordinator::new(scenario.clone())
                 .expect("compiles")
                 .lease_cells(1);
+            if let Some(path) = journal {
+                let _ = std::fs::remove_file(path);
+                coordinator = coordinator.journal(path).expect("journal creates");
+            }
             if let Some(mut fleet) = spawn_process_workers(workers) {
                 let run = coordinator.run(fleet.transports).expect("distributed run");
                 for child in &mut fleet.children {
@@ -1041,7 +1053,7 @@ fn main() {
         let f1_scn = Scenario::preset_with("F1", &Context::smoke()).expect("known preset");
         for (label, scenario) in [("mc_50k", &mc_scn), ("f1_campaign", &f1_scn)] {
             let single = scenario.run(1).expect("in-process run");
-            let distributed = run_dist(scenario, 2);
+            let distributed = run_dist(scenario, 2, None);
             assert_eq!(
                 format!("{distributed:?}"),
                 format!("{single:?}"),
@@ -1053,7 +1065,7 @@ fn main() {
                     black_box(scenario.run(1).expect("runs"));
                 },
                 || {
-                    black_box(run_dist(scenario, 2));
+                    black_box(run_dist(scenario, 2, None));
                 },
             );
             println!(
@@ -1065,9 +1077,46 @@ fn main() {
             );
             results.push(c);
         }
+
+        // --- dist/resume_overhead: cost of the PR 6 durable coordinator.
+        // The same 2-worker distributed run with and without a
+        // write-ahead lease journal; both sides are bit-identical, so
+        // the ratio records pure journal-append overhead. The budget is
+        // 2% (≈1x, well inside measurement noise).
+        {
+            let journal = std::env::temp_dir().join(format!(
+                "divrel-bench-journal-{}.ndjson",
+                std::process::id()
+            ));
+            let plain = run_dist(&mc_scn, 2, None);
+            let journaled = run_dist(&mc_scn, 2, Some(&journal));
+            assert_eq!(
+                format!("{journaled:?}"),
+                format!("{plain:?}"),
+                "dist/resume_overhead: journaled outcome diverged from the plain run"
+            );
+            let c = Comparison::measure(
+                "dist/resume_overhead",
+                || {
+                    black_box(run_dist(&mc_scn, 2, None));
+                },
+                || {
+                    black_box(run_dist(&mc_scn, 2, Some(&journal)));
+                },
+            );
+            println!(
+                "{:<44} {:>10.1} -> {:>9.1} ns  ({:.2}x)",
+                c.name,
+                c.legacy_ns,
+                c.fast_ns,
+                c.speedup()
+            );
+            results.push(c);
+            let _ = std::fs::remove_file(&journal);
+        }
     }
 
-    let json = to_json(5, &results);
+    let json = to_json(6, &results);
     std::fs::write(&out_path, &json).expect("write bench export");
     println!("\nwrote {out_path}");
     let below: Vec<&Comparison> = results.iter().filter(|c| c.speedup() < 5.0).collect();

@@ -5,8 +5,10 @@
 //! scenario_run <spec.toml|spec.json> [--threads N] [--results DIR]
 //! scenario_run --preset <E16|E17|F1|MC> [--smoke] [--threads N] [--results DIR]
 //! scenario_run --preset <id> --emit <toml|json>
-//! scenario_run --coordinator N [--bind ADDR] [--lease-cells K] [--check-single] <spec>
-//! scenario_run --worker <ADDR> [--threads N]
+//! scenario_run --coordinator N [--bind ADDR] [--lease-cells K] [--lease-timeout-ms T]
+//!              [--journal PATH [--resume]] [--chaos MAP] [--chaos-exit-after K]
+//!              [--check-single] <spec>
+//! scenario_run --worker <ADDR> [--threads N] [--fault PLAN]
 //! ```
 //!
 //! The spec format is auto-detected (JSON if the file starts with `{`,
@@ -23,17 +25,31 @@
 //! waits for `N` remote workers started as `scenario_run --worker ADDR`
 //! on any host. Either way the reduced outcome is **bit-identical** to
 //! the in-process run — any worker count, any lease partitioning, any
-//! worker crash/retry history — and `--check-single` re-runs the spec
-//! in process afterwards and fails loudly if a single bit differs.
+//! failure/recovery history — and `--check-single` re-runs the spec in
+//! process afterwards and fails loudly if a single bit differs.
+//!
+//! Durability and chaos:
+//!
+//! * `--journal PATH` write-ahead journals every completed lease;
+//!   `--resume` restarts a killed campaign from that journal, leasing
+//!   only the cells it is missing.
+//! * `--chaos "0=die@1;1=stall@0"` installs a per-worker
+//!   [`FaultPlan`] on a spawned fleet (`--fault PLAN` is the
+//!   worker-side flag it compiles to); `--chaos-exit-after K` makes the
+//!   coordinator stop dead after its `K`-th journal append — the
+//!   crash/resume rehearsal the CI chaos job runs.
 
 use divrel_bench::context::default_sweep_threads;
 use divrel_bench::dist::{
-    spawn_stdio_fleet, Coordinator, JsonLines, StdioFleet, Transport, Worker,
+    default_worker_threads, spawn_stdio_fleet, Coordinator, FaultPlan, JsonLines, StdioFleet,
+    Transport, Worker,
 };
 use divrel_bench::{Context, Scenario};
 use divrel_report::{ArtifactSink, ScenarioCard};
 use std::net::{TcpListener, TcpStream};
+use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 scenario_run — execute a declarative scenario spec
@@ -42,14 +58,16 @@ USAGE:
   scenario_run <spec.toml|spec.json> [--threads N] [--results DIR]
   scenario_run --preset <E16|E17|F1|MC> [--smoke] [--threads N] [--results DIR]
   scenario_run --preset <id> --emit <toml|json>
-  scenario_run --coordinator N [--bind ADDR] [--lease-cells K] [--check-single] <spec>
-  scenario_run --worker <ADDR> [--threads N]
+  scenario_run --coordinator N [--bind ADDR] [--lease-cells K] [--lease-timeout-ms T]
+               [--journal PATH [--resume]] [--chaos MAP] [--chaos-exit-after K]
+               [--check-single] <spec>
+  scenario_run --worker <ADDR> [--threads N] [--fault PLAN]
 
 A spec file declares the whole experiment — fault model, plant, channel
 layout, grid and seed — and the engine guarantees the reduced output is
-bit-identical at every thread count, worker count and lease layout.
-Presets re-express the paper's hand-coded runners; --emit prints one as
-a starting point:
+bit-identical at every thread count, worker count, lease layout and
+failure/recovery history. Presets re-express the paper's hand-coded
+runners; --emit prints one as a starting point:
 
   scenario_run --preset F1 --emit toml > my_scenario.toml
 
@@ -58,6 +76,16 @@ Distributed execution of a committed spec:
   scenario_run --coordinator 4 scenarios/slow_markov_plant.toml
   scenario_run --coordinator 2 --bind 0.0.0.0:9301 my_scenario.toml   # host A
   scenario_run --worker hostA:9301                                    # hosts B, C
+
+Durable + chaos-tested execution:
+
+  scenario_run --coordinator 3 --journal run.ndjson my_scenario.toml
+  scenario_run --coordinator 3 --journal run.ndjson --resume my_scenario.toml
+  scenario_run --coordinator 3 --journal run.ndjson \\
+               --chaos '0=stall@0;1=die@1' --chaos-exit-after 2 my_scenario.toml
+
+Fault plans: die@N, stall@N, corrupt@N, wrong-hash, slow:MS@N, hold:MS,
+seed:S or none — comma-separated, keyed by 0-based lease ordinal.
 ";
 
 struct Args {
@@ -65,14 +93,20 @@ struct Args {
     preset: Option<String>,
     emit: Option<String>,
     smoke: bool,
-    threads: usize,
+    threads: Option<usize>,
     results: String,
     coordinator: Option<usize>,
     bind: Option<String>,
     lease_cells: Option<u64>,
+    lease_timeout_ms: Option<u64>,
+    journal: Option<String>,
+    resume: bool,
+    chaos: Option<String>,
+    chaos_exit_after: Option<u64>,
     check_single: bool,
     worker: Option<String>,
     worker_stdio: bool,
+    fault: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -81,20 +115,27 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         preset: None,
         emit: None,
         smoke: false,
-        threads: default_sweep_threads(),
+        threads: None,
         results: "results".into(),
         coordinator: None,
         bind: None,
         lease_cells: None,
+        lease_timeout_ms: None,
+        journal: None,
+        resume: false,
+        chaos: None,
+        chaos_exit_after: None,
         check_single: false,
         worker: None,
         worker_stdio: false,
+        fault: None,
     };
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
             "--preset" | "--emit" | "--threads" | "--results" | "--coordinator" | "--bind"
-            | "--lease-cells" | "--worker" => {
+            | "--lease-cells" | "--lease-timeout-ms" | "--journal" | "--chaos"
+            | "--chaos-exit-after" | "--worker" | "--fault" => {
                 let key = argv[i].clone();
                 let value = argv
                     .get(i + 1)
@@ -105,13 +146,18 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     "--emit" => args.emit = Some(value),
                     "--results" => args.results = value,
                     "--bind" => args.bind = Some(value),
+                    "--journal" => args.journal = Some(value),
+                    "--chaos" => args.chaos = Some(value),
                     "--worker" => args.worker = Some(value),
+                    "--fault" => args.fault = Some(value),
                     "--threads" => {
-                        args.threads = value
-                            .parse::<usize>()
-                            .ok()
-                            .filter(|&t| t >= 1)
-                            .ok_or_else(|| format!("--threads: invalid count {value:?}"))?;
+                        args.threads = Some(
+                            value
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|&t| t >= 1)
+                                .ok_or_else(|| format!("--threads: invalid count {value:?}"))?,
+                        );
                     }
                     "--coordinator" => {
                         args.coordinator =
@@ -125,12 +171,28 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                                 || format!("--lease-cells: invalid cell count {value:?}"),
                             )?);
                     }
+                    "--lease-timeout-ms" => {
+                        args.lease_timeout_ms =
+                            Some(value.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(
+                                || format!("--lease-timeout-ms: invalid timeout {value:?}"),
+                            )?);
+                    }
+                    "--chaos-exit-after" => {
+                        args.chaos_exit_after =
+                            Some(value.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(
+                                || format!("--chaos-exit-after: invalid count {value:?}"),
+                            )?);
+                    }
                     _ => unreachable!(),
                 }
                 i += 2;
             }
             "--smoke" => {
                 args.smoke = true;
+                i += 1;
+            }
+            "--resume" => {
+                args.resume = true;
                 i += 1;
             }
             "--check-single" => {
@@ -158,11 +220,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         if args.spec_path.is_some() || args.preset.is_some() || args.coordinator.is_some() {
             return Err("worker mode takes no spec: the coordinator ships it".into());
         }
-        // A worker only accepts --threads; silently ignoring a
-        // coordinator flag would let an operator believe it took effect.
+        // A worker only accepts --threads and --fault; silently ignoring
+        // a coordinator flag would let an operator believe it took
+        // effect.
         for (flag, present) in [
             ("--bind", args.bind.is_some()),
             ("--lease-cells", args.lease_cells.is_some()),
+            ("--lease-timeout-ms", args.lease_timeout_ms.is_some()),
+            ("--journal", args.journal.is_some()),
+            ("--resume", args.resume),
+            ("--chaos", args.chaos.is_some()),
+            ("--chaos-exit-after", args.chaos_exit_after.is_some()),
             ("--check-single", args.check_single),
             ("--emit", args.emit.is_some()),
             ("--smoke", args.smoke),
@@ -170,11 +238,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         ] {
             if present {
                 return Err(format!(
-                    "{flag} is a coordinator flag; workers take --threads only"
+                    "{flag} is a coordinator flag; workers take --threads and --fault only"
                 ));
             }
         }
+        if let Some(plan) = &args.fault {
+            FaultPlan::parse(plan).map_err(|e| format!("--fault: {e}"))?;
+        }
         return Ok(args);
+    }
+    if args.fault.is_some() {
+        return Err("--fault is a worker flag; use --chaos on the coordinator".into());
     }
     if args.spec_path.is_none() && args.preset.is_none() {
         return Err("provide a spec file or --preset".into());
@@ -183,15 +257,33 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         return Err("provide a spec file OR --preset, not both".into());
     }
     if args.coordinator.is_none() {
-        if args.bind.is_some() {
-            return Err("--bind needs --coordinator N".into());
+        for (flag, present) in [
+            ("--bind", args.bind.is_some()),
+            ("--lease-cells", args.lease_cells.is_some()),
+            ("--lease-timeout-ms", args.lease_timeout_ms.is_some()),
+            ("--journal", args.journal.is_some()),
+            ("--resume", args.resume),
+            ("--chaos", args.chaos.is_some()),
+            ("--chaos-exit-after", args.chaos_exit_after.is_some()),
+            ("--check-single", args.check_single),
+        ] {
+            if present {
+                return Err(format!("{flag} needs --coordinator N"));
+            }
         }
-        if args.check_single {
-            return Err("--check-single needs --coordinator N".into());
-        }
-        if args.lease_cells.is_some() {
-            return Err("--lease-cells needs --coordinator N".into());
-        }
+    }
+    if args.resume && args.journal.is_none() {
+        return Err("--resume needs --journal PATH".into());
+    }
+    if args.chaos_exit_after.is_some() && args.journal.is_none() {
+        return Err("--chaos-exit-after counts journal appends; it needs --journal PATH".into());
+    }
+    if args.chaos.is_some() && args.bind.is_some() {
+        return Err(
+            "--chaos configures spawned local workers; with --bind, start remote \
+             workers with --fault instead"
+                .into(),
+        );
     }
     Ok(args)
 }
@@ -229,11 +321,44 @@ fn write_artifacts(args: &Args, scenario: &Scenario, card: &ScenarioCard) -> Res
     Ok(())
 }
 
+/// Read/write timeout on every TCP transport: long enough to never trip
+/// on a healthy fleet (the frame reader rides timeouts out without
+/// losing partial frames), short enough that no end can block on a
+/// wedged peer forever.
+const TCP_IO_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Applies the anti-silent-hang socket options every TCP transport
+/// gets: no Nagle delay on the tiny JSON frames, and bounded reads and
+/// writes.
+fn tune_tcp(stream: &TcpStream) -> Result<(), String> {
+    stream
+        .set_nodelay(true)
+        .map_err(|e| format!("cannot disable Nagle: {e}"))?;
+    stream
+        .set_read_timeout(Some(TCP_IO_TIMEOUT))
+        .map_err(|e| format!("cannot set read timeout: {e}"))?;
+    stream
+        .set_write_timeout(Some(TCP_IO_TIMEOUT))
+        .map_err(|e| format!("cannot set write timeout: {e}"))?;
+    Ok(())
+}
+
 /// Serve one coordinator connection as a worker; the protocol rides the
 /// given transport, diagnostics go to stderr.
-fn run_worker<T: Transport>(mut transport: T, threads: usize) -> Result<(), String> {
-    let summary = Worker::new()
-        .threads(threads)
+fn run_worker<T: Transport>(
+    mut transport: T,
+    threads: usize,
+    fault: &Option<String>,
+) -> Result<(), String> {
+    let mut worker = Worker::new().threads(threads);
+    if let Some(plan) = fault {
+        let plan = FaultPlan::parse(plan).map_err(|e| format!("--fault: {e}"))?;
+        if !plan.is_empty() {
+            eprintln!("worker chaos plan: {}", plan.to_arg());
+        }
+        worker = worker.fault_plan(plan);
+    }
+    let summary = worker
         .serve(&mut transport)
         .map_err(|e| format!("worker failed: {e}"))?;
     eprintln!(
@@ -243,11 +368,39 @@ fn run_worker<T: Transport>(mut transport: T, threads: usize) -> Result<(), Stri
     Ok(())
 }
 
+/// Parses `--chaos "0=die@1;1=stall@0"` into per-worker extra argv for
+/// the spawned fleet.
+fn parse_chaos(text: &str, workers: usize) -> Result<Vec<Vec<String>>, String> {
+    let mut extra = vec![Vec::new(); workers];
+    for item in text.split(';').filter(|s| !s.trim().is_empty()) {
+        let (idx, plan) = item
+            .split_once('=')
+            .ok_or_else(|| format!("--chaos item {item:?} is not WORKER=PLAN"))?;
+        let idx: usize = idx
+            .trim()
+            .parse()
+            .map_err(|e| format!("--chaos worker index {idx:?}: {e}"))?;
+        if idx >= workers {
+            return Err(format!(
+                "--chaos worker index {idx} out of range (fleet of {workers})"
+            ));
+        }
+        let plan = FaultPlan::parse(plan.trim()).map_err(|e| format!("--chaos: {e}"))?;
+        extra[idx] = vec!["--fault".to_string(), plan.to_arg()];
+    }
+    Ok(extra)
+}
+
 /// Spawn `n` local worker child processes (this same binary in
 /// `--worker-stdio` mode) via the shared fleet assembler.
-fn spawn_local_workers(n: usize, threads: usize) -> Result<StdioFleet, String> {
+fn spawn_local_workers(
+    n: usize,
+    threads: usize,
+    extra_args: &[Vec<String>],
+) -> Result<StdioFleet, String> {
     let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
-    spawn_stdio_fleet(&exe, n, threads, false).map_err(|e| format!("cannot spawn workers: {e}"))
+    spawn_stdio_fleet(&exe, n, threads, false, extra_args)
+        .map_err(|e| format!("cannot spawn workers: {e}"))
 }
 
 /// Accept `n` TCP workers on `addr`.
@@ -263,6 +416,7 @@ fn accept_tcp_workers(addr: &str, n: usize) -> Result<Vec<Box<dyn Transport>>, S
         let (stream, peer) = listener
             .accept()
             .map_err(|e| format!("accepting worker {i}: {e}"))?;
+        tune_tcp(&stream).map_err(|e| format!("tuning stream of {peer}: {e}"))?;
         let reader = stream
             .try_clone()
             .map_err(|e| format!("cloning stream of {peer}: {e}"))?;
@@ -278,6 +432,27 @@ fn run_coordinator(args: &Args, scenario: Scenario, workers: usize) -> Result<()
     if let Some(cells) = args.lease_cells {
         coordinator = coordinator.lease_cells(cells);
     }
+    if let Some(ms) = args.lease_timeout_ms {
+        coordinator = coordinator.lease_timeout(Duration::from_millis(ms));
+    }
+    if let Some(path) = &args.journal {
+        let path = Path::new(path);
+        coordinator = if args.resume {
+            let c = coordinator
+                .resume(path)
+                .map_err(|e| format!("cannot resume journal {}: {e}", path.display()))?;
+            eprintln!("resuming from journal {}", path.display());
+            c
+        } else {
+            coordinator
+                .journal(path)
+                .map_err(|e| format!("cannot create journal {}: {e}", path.display()))?
+        };
+    }
+    if let Some(k) = args.chaos_exit_after {
+        coordinator = coordinator.halt_after_journal_appends(k);
+        eprintln!("chaos: coordinator will halt after {k} journal append(s)");
+    }
     eprintln!(
         "coordinating scenario {:?} (seed {}, {} cells, spec {}) over {workers} worker(s)…",
         scenario.name,
@@ -285,10 +460,15 @@ fn run_coordinator(args: &Args, scenario: Scenario, workers: usize) -> Result<()
         coordinator.job().cell_count(),
         coordinator.spec_hash(),
     );
+    let fleet_threads = args.threads.unwrap_or_else(default_worker_threads);
     let (mut children, transports) = match &args.bind {
         Some(addr) => (Vec::new(), accept_tcp_workers(addr, workers)?),
         None => {
-            let fleet = spawn_local_workers(workers, args.threads)?;
+            let extra = match &args.chaos {
+                Some(map) => parse_chaos(map, workers)?,
+                None => Vec::new(),
+            };
+            let fleet = spawn_local_workers(workers, fleet_threads, &extra)?;
             (fleet.children, fleet.transports)
         }
     };
@@ -307,16 +487,41 @@ fn run_coordinator(args: &Args, scenario: Scenario, workers: usize) -> Result<()
         .provenance("workers", run.stats.workers.to_string())
         .provenance(
             "leases",
-            format!("{} ({} retried)", run.stats.leases, run.stats.retries),
+            format!(
+                "{} ({} retried, {} timed out)",
+                run.stats.leases, run.stats.retries, run.stats.timeouts
+            ),
+        )
+        .provenance(
+            "quarantined workers",
+            run.stats.quarantined_workers.to_string(),
         )
         .provenance("cells", run.stats.cells.to_string());
+    if run.stats.resumed_from_journal {
+        card.provenance(
+            "resumed from journal",
+            format!("{} cell(s) preloaded", run.stats.resumed_cells),
+        );
+    }
+    if run.stats.recovered_in_process > 0 {
+        card.provenance(
+            "recovered in-process",
+            format!(
+                "{} cell(s) after fleet loss",
+                run.stats.recovered_in_process
+            ),
+        );
+    }
+    for note in &run.stats.worker_faults {
+        eprintln!("survived worker fault: {note}");
+    }
     println!("{}", card.to_markdown());
     eprintln!("completed in {:.2}s", elapsed.as_secs_f64());
 
     if args.check_single {
         eprintln!("re-running in process for the bit-identity check…");
         let single = scenario
-            .run(args.threads)
+            .run(args.threads.unwrap_or_else(default_sweep_threads))
             .map_err(|e| format!("in-process check run failed: {e}"))?;
         let dist_md = run.outcome.card(&scenario.name).results_markdown();
         let single_md = single.card(&scenario.name).results_markdown();
@@ -329,30 +534,33 @@ fn run_coordinator(args: &Args, scenario: Scenario, workers: usize) -> Result<()
         }
         eprintln!(
             "check passed: fleet outcome is bit-identical to the in-process run \
-             ({} workers, {} leases, {} retried)",
-            run.stats.workers, run.stats.leases, run.stats.retries
+             ({} workers, {} leases, {} retried, {} timed out)",
+            run.stats.workers, run.stats.leases, run.stats.retries, run.stats.timeouts
         );
     }
     write_artifacts(args, &scenario, &card)
 }
 
-fn run() -> Result<(), String> {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let args = parse_args(&argv)?;
-
+fn run(args: Args) -> Result<(), String> {
     if args.worker_stdio {
         // Protocol rides stdout: nothing else may print there.
         return run_worker(
             JsonLines::new(std::io::stdin(), std::io::stdout()),
-            args.threads,
+            args.threads.unwrap_or_else(default_worker_threads),
+            &args.fault,
         );
     }
     if let Some(addr) = &args.worker {
         let stream = TcpStream::connect(addr)
             .map_err(|e| format!("cannot reach coordinator {addr}: {e}"))?;
+        tune_tcp(&stream)?;
         let reader = stream.try_clone().map_err(|e| e.to_string())?;
         eprintln!("joined coordinator at {addr}");
-        return run_worker(JsonLines::new(reader, stream), args.threads);
+        return run_worker(
+            JsonLines::new(reader, stream),
+            args.threads.unwrap_or_else(default_worker_threads),
+            &args.fault,
+        );
     }
 
     let scenario = load_scenario(&args)?;
@@ -375,33 +583,44 @@ fn run() -> Result<(), String> {
         return run_coordinator(&args, scenario, workers);
     }
 
+    let threads = args.threads.unwrap_or_else(default_sweep_threads);
     eprintln!(
         "running scenario {:?} (seed {}, {} worker thread(s))…",
-        scenario.name, scenario.seed.seed, args.threads
+        scenario.name, scenario.seed.seed, threads
     );
     let started = std::time::Instant::now();
     let outcome = scenario
-        .run(args.threads)
+        .run(threads)
         .map_err(|e| format!("scenario {:?} failed: {e}", scenario.name))?;
     let elapsed = started.elapsed();
     let mut card = outcome.card(&scenario.name);
     if let Ok(canonical) = scenario.to_toml() {
         card.provenance("spec hash", divrel_bench::dist::spec_hash(&canonical));
     }
-    card.provenance("workers", format!("in-process ({} threads)", args.threads));
+    card.provenance("workers", format!("in-process ({threads} threads)"));
     println!("{}", card.to_markdown());
     eprintln!("completed in {:.2}s", elapsed.as_secs_f64());
     write_artifacts(&args, &scenario, &card)
 }
 
 fn main() -> ExitCode {
-    match run() {
-        Ok(()) => ExitCode::SUCCESS,
+    // Only argument errors earn the usage text; runtime failures (a
+    // faulted worker, an aborted run) report just the error.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
         Err(msg) => {
             if !msg.is_empty() {
                 eprintln!("error: {msg}\n");
             }
             eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
     }

@@ -1,34 +1,61 @@
-//! Distributed sweep execution: a coordinator/worker runtime for
-//! committed scenario specs.
+//! Distributed sweep execution: a durable coordinator/worker runtime
+//! for committed scenario specs.
 //!
 //! The scenario layer made experiments **shippable** — a spec file pins
 //! the grid layout, the seed and therefore the exact output bits. This
-//! module is the next level: executing one committed spec across many
-//! processes (or hosts) without giving up a single bit of that
-//! guarantee.
+//! module executes one committed spec across many processes (or hosts)
+//! without giving up a single bit of that guarantee, and — since the
+//! runtime itself must be the reliable system for long campaigns — it
+//! treats failure as a modeled input, not an exception:
 //!
 //! * A [`Coordinator`] owns a validated [`Scenario`], partitions its
 //!   grid into [`CellRange`] leases, hands them to workers over a
 //!   line-delimited JSON protocol ([`Message`], one frame per line —
 //!   the same frames work over a child process's stdin/stdout or a TCP
-//!   socket), re-issues leases whose workers die, and folds the
-//!   returned accumulators **in canonical cell order**.
+//!   socket), and folds the returned accumulators **in canonical cell
+//!   order**.
 //! * A [`Worker`] (driven by [`Worker::serve`]) joins a coordinator,
 //!   checks the spec hash, evaluates leased cell ranges through the
 //!   exact same machinery the in-process path uses
-//!   ([`DistJob::run_range`]), and streams back per-cell accumulators
-//!   in [wire form](divrel_numerics::wire) — `f64`s as bit patterns, so
+//!   ([`DistJob::run_range`]), streams [`Message::Progress`] heartbeats
+//!   while a long lease runs, and returns per-cell accumulators in
+//!   [wire form](divrel_numerics::wire) — `f64`s as bit patterns, so
 //!   nothing rounds in transit.
+//!
+//! The fault-tolerance layer has three coupled pieces:
+//!
+//! * **Lease checkpointing** ([`journal`]): the coordinator appends a
+//!   write-ahead [`Journal`] record as each lease completes; a
+//!   restarted coordinator ([`Coordinator::resume`]) reloads collected
+//!   accumulators and re-leases only the missing ranges.
+//! * **Deadlines and degradation**: every lease carries a deadline
+//!   ([`Coordinator::lease_timeout`]); a silent worker's lease is
+//!   re-issued with exponential backoff, a repeat offender is
+//!   quarantined after [`Coordinator::straggler_strikes`] missed
+//!   deadlines, corrupt or hash-mismatched responses quarantine the
+//!   worker rather than abort the run, and whole-fleet loss degrades
+//!   to in-process execution of the remaining cells.
+//! * **Chaos injection** ([`chaos`]): a [`FaultPlan`] makes a worker
+//!   die, stall, corrupt its wire payloads, echo a wrong hash, or run
+//!   slow on a declared schedule, so tests can sweep failure
+//!   histories.
 //!
 //! Because every cell's RNG stream is a pure function of
 //! `(spec seed, cell index)` and the coordinator folds per-**cell**
 //! accumulators in canonical order (never per-lease partials in arrival
-//! order), the reduced outcome is **bit-identical for any worker count,
-//! any lease partitioning, and any worker failure/retry history** — the
-//! PR 3 thread-invariance guarantee lifted to fleets of processes.
-//! `tests/dist_equivalence.rs` enforces this against the in-process
-//! executor for every committed spec and preset, including forced
-//! worker kills.
+//! order, first write wins on duplicates), the reduced outcome is
+//! **bit-identical for any worker count, any lease partitioning, and
+//! any failure/recovery history** — the PR 3 thread-invariance
+//! guarantee lifted to unreliable fleets. `tests/dist_equivalence.rs`
+//! and `tests/dist_chaos.rs` enforce this against the in-process
+//! executor for every committed spec, preset, fault plan, and
+//! crash/resume point.
+
+pub mod chaos;
+pub mod journal;
+
+pub use chaos::{Fault, FaultPlan};
+pub use journal::{Journal, JournalError, JournalLoad};
 
 use crate::scenario::{CampaignRuntime, ExperimentSpec, Scenario, ScenarioOutcome, ScenarioResult};
 use crate::sweep::{forced_cell, forced_grid, kl_cell, kl_grid, ForcedSweepStats, KlSweepStats};
@@ -40,17 +67,29 @@ use divrel_numerics::sweep::SweepReduce;
 use divrel_numerics::wire::{Wire, WireError, WireForm};
 use divrel_protection::OperationLog;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::sync::{Arc, Condvar, Mutex};
+use std::io::{ErrorKind, Read, Write};
+use std::path::Path;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-/// Protocol revision; both ends must agree.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// Protocol revision; both ends must agree. v2 added
+/// [`Message::Progress`] heartbeats.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Default cells per lease (see [`Coordinator::lease_cells`]): small
 /// enough that a fleet load-balances, large enough that framing is
 /// noise.
 pub const DEFAULT_LEASE_CELLS: u64 = 8;
+
+/// Default per-lease deadline: generous enough that only a genuinely
+/// wedged worker trips it on real workloads. Chaos tests shrink it.
+pub const DEFAULT_LEASE_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Default straggler cap: a worker that misses this many consecutive
+/// deadlines on one lease is quarantined.
+pub const DEFAULT_STRAGGLER_STRIKES: u32 = 2;
 
 /// Hash of a canonical spec text (64-bit FNV-1a, hex): the fingerprint
 /// a worker checks before running leased cells, so a fleet can never
@@ -96,6 +135,17 @@ pub enum Message {
         /// One past the last cell index.
         end: u64,
     },
+    /// Worker → coordinator: heartbeat while a lease runs — `done` of
+    /// the lease's cells are evaluated so far. Resets the lease
+    /// deadline; carries no data.
+    Progress {
+        /// Echo of the lease start.
+        start: u64,
+        /// Echo of the lease end.
+        end: u64,
+        /// Cells of the lease evaluated so far.
+        done: u64,
+    },
     /// Worker → coordinator: the lease's per-cell accumulators, in
     /// ascending cell order, wire-encoded.
     Result {
@@ -117,6 +167,30 @@ pub enum Message {
     },
 }
 
+/// The sending half of a split [`Transport`].
+pub trait FrameSend: Send {
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying stream.
+    fn send(&mut self, msg: &Message) -> std::io::Result<()>;
+}
+
+/// The receiving half of a split [`Transport`].
+pub trait FrameRecv: Send {
+    /// Receives the next frame; `None` on a cleanly closed stream.
+    ///
+    /// A `TimedOut`/`WouldBlock` error (from a socket read timeout) is
+    /// **retryable**: implementations must preserve any partially read
+    /// frame across it.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; `InvalidData` for malformed frames.
+    fn recv(&mut self) -> std::io::Result<Option<Message>>;
+}
+
 /// An ordered, framed byte stream a coordinator and a worker talk over.
 pub trait Transport: Send {
     /// Sends one frame.
@@ -132,6 +206,95 @@ pub trait Transport: Send {
     ///
     /// I/O errors, including malformed frames.
     fn recv(&mut self) -> std::io::Result<Option<Message>>;
+
+    /// Splits the transport into independently owned send/receive
+    /// halves, so a reader thread can pump frames while the driver
+    /// writes — the shape the coordinator's deadline machinery needs.
+    fn split(self: Box<Self>) -> (Box<dyn FrameSend>, Box<dyn FrameRecv>);
+}
+
+/// The writing half of [`JsonLines`]: one JSON document per
+/// `\n`-terminated line, flushed per frame.
+pub struct FrameWriter<W: Write> {
+    inner: W,
+}
+
+impl<W: Write + Send> FrameSend for FrameWriter<W> {
+    fn send(&mut self, msg: &Message) -> std::io::Result<()> {
+        let line = serde_json::to_string(msg)
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+        self.inner.write_all(line.as_bytes())?;
+        self.inner.write_all(b"\n")?;
+        self.inner.flush()
+    }
+}
+
+/// The reading half of [`JsonLines`]. Unlike a plain `BufReader`
+/// `read_line` loop, partially read frames survive a socket read
+/// timeout: bytes accumulate in an internal buffer and a
+/// `TimedOut`/`WouldBlock` error simply surfaces to the caller, who may
+/// retry `recv` without losing framing.
+pub struct FrameReader<R: Read> {
+    inner: R,
+    pending: Vec<u8>,
+}
+
+impl<R: Read> FrameReader<R> {
+    fn new(inner: R) -> Self {
+        FrameReader {
+            inner,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The next `\n`-terminated line (CR stripped), `None` on clean
+    /// EOF. EOF with a partial frame buffered is `InvalidData`.
+    fn next_line(&mut self) -> std::io::Result<Option<String>> {
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.pending.drain(..=pos).collect();
+                line.pop();
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return String::from_utf8(line)
+                    .map(Some)
+                    .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()));
+            }
+            let mut chunk = [0u8; 4096];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    if self.pending.is_empty() {
+                        return Ok(None);
+                    }
+                    return Err(std::io::Error::new(
+                        ErrorKind::InvalidData,
+                        "connection closed mid-frame",
+                    ));
+                }
+                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl<R: Read + Send> FrameRecv for FrameReader<R> {
+    fn recv(&mut self) -> std::io::Result<Option<Message>> {
+        loop {
+            let line = match self.next_line()? {
+                None => return Ok(None),
+                Some(line) => line,
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            return serde_json::from_str(&line)
+                .map(Some)
+                .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()));
+        }
+    }
 }
 
 /// The canonical transport: one JSON document per `\n`-terminated line.
@@ -139,43 +302,36 @@ pub trait Transport: Send {
 /// stdout/stdin, a TCP stream cloned for reading, an in-memory pipe in
 /// tests.
 pub struct JsonLines<R: Read, W: Write> {
-    reader: BufReader<R>,
-    writer: W,
+    rx: FrameReader<R>,
+    tx: FrameWriter<W>,
 }
 
 impl<R: Read, W: Write> JsonLines<R, W> {
     /// Wraps a read/write pair.
     pub fn new(reader: R, writer: W) -> Self {
         JsonLines {
-            reader: BufReader::new(reader),
-            writer,
+            rx: FrameReader::new(reader),
+            tx: FrameWriter { inner: writer },
         }
+    }
+
+    /// Unwraps the write end (for tests inspecting sent bytes).
+    pub fn into_writer(self) -> W {
+        self.tx.inner
     }
 }
 
-impl<R: Read + Send, W: Write + Send> Transport for JsonLines<R, W> {
+impl<R: Read + Send + 'static, W: Write + Send + 'static> Transport for JsonLines<R, W> {
     fn send(&mut self, msg: &Message) -> std::io::Result<()> {
-        let line = serde_json::to_string(msg)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()
+        self.tx.send(msg)
     }
 
     fn recv(&mut self) -> std::io::Result<Option<Message>> {
-        let mut line = String::new();
-        loop {
-            line.clear();
-            if self.reader.read_line(&mut line)? == 0 {
-                return Ok(None);
-            }
-            if !line.trim().is_empty() {
-                break;
-            }
-        }
-        serde_json::from_str(&line)
-            .map(Some)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+        self.rx.recv()
+    }
+
+    fn split(self: Box<Self>) -> (Box<dyn FrameSend>, Box<dyn FrameRecv>) {
+        (Box::new(self.tx), Box::new(self.rx))
     }
 }
 
@@ -332,6 +488,32 @@ impl DistJob {
         }
     }
 
+    /// Validates that `wire` is a well-formed cell accumulator for this
+    /// job's experiment family — the admission check the coordinator
+    /// runs on every untrusted payload (worker results, journal
+    /// records) *before* publishing it to the reduction board.
+    ///
+    /// # Errors
+    ///
+    /// Wire-shape mismatches.
+    pub fn check_cell(&self, wire: &Wire) -> Result<(), WireError> {
+        match &self.plan {
+            Plan::Kl { .. } => {
+                KlSweepStats::from_wire(decode_cell(wire, "kl")?)?;
+            }
+            Plan::Forced { .. } => {
+                ForcedSweepStats::from_wire(decode_cell(wire, "forced")?)?;
+            }
+            Plan::Mc(_) => {
+                McAccumulator::from_wire(decode_cell(wire, "mc")?)?;
+            }
+            Plan::Protection(_) => {
+                OperationLog::from_wire(decode_cell(wire, "campaign")?)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Folds the full per-cell accumulator list (index `i` holding cell
     /// `i`'s wire form) in canonical cell order and assembles the
     /// scenario outcome — bit-identical to [`Scenario::run`].
@@ -411,7 +593,8 @@ fn fold_cells<T: WireForm + SweepReduce>(
 }
 
 /// Execution statistics of a distributed run — the provenance the
-/// scenario report records.
+/// scenario report records (kept out of the byte-comparable results
+/// section).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DistStats {
     /// [`spec_hash`] of the canonical spec the fleet executed.
@@ -420,10 +603,26 @@ pub struct DistStats {
     pub workers: usize,
     /// Leases issued, including re-issues.
     pub leases: u64,
-    /// Leases re-issued after a worker died mid-lease.
+    /// Leases re-issued after a worker died, misbehaved or timed out.
     pub retries: u64,
+    /// Lease deadlines missed (each also counts one retry the first
+    /// time the lease goes back in the queue).
+    pub timeouts: u64,
+    /// Workers quarantined for misbehaviour (wrong hash, corrupt
+    /// payloads, straggling past the strike cap).
+    pub quarantined_workers: usize,
+    /// Human-readable notes on worker faults the run survived
+    /// (quarantine reasons, transport errors) — diagnostics only.
+    pub worker_faults: Vec<String>,
     /// Grid cells reduced.
     pub cells: u64,
+    /// Whether the run started from a resumed journal.
+    pub resumed_from_journal: bool,
+    /// Cells preloaded from the journal before any lease was issued.
+    pub resumed_cells: u64,
+    /// Cells the coordinator evaluated in-process after losing the
+    /// whole fleet (graceful degradation).
+    pub recovered_in_process: u64,
 }
 
 /// A distributed scenario execution: outcome plus provenance.
@@ -441,6 +640,14 @@ pub struct Coordinator {
     spec_text: String,
     spec_hash: String,
     lease_cells: u64,
+    lease_timeout: Duration,
+    backoff_base: Duration,
+    backoff_cap: Duration,
+    straggler_strikes: u32,
+    journal: Option<Mutex<Journal>>,
+    halt_after_appends: Option<u64>,
+    resumed: Vec<(u64, Wire)>,
+    resumed_from: bool,
 }
 
 impl Coordinator {
@@ -454,12 +661,22 @@ impl Coordinator {
     pub fn new(scenario: Scenario) -> ScenarioResult<Self> {
         let spec_text = scenario.to_toml()?;
         let spec_hash = spec_hash(&spec_text);
-        let job = DistJob::new(scenario, 1)?;
+        // The job doubles as the degradation executor, so give it real
+        // parallelism; worker-side bits never depend on thread count.
+        let job = DistJob::new(scenario, crate::context::default_sweep_threads())?;
         Ok(Coordinator {
             job,
             spec_text,
             spec_hash,
             lease_cells: DEFAULT_LEASE_CELLS,
+            lease_timeout: DEFAULT_LEASE_TIMEOUT,
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(2),
+            straggler_strikes: DEFAULT_STRAGGLER_STRIKES,
+            journal: None,
+            halt_after_appends: None,
+            resumed: Vec::new(),
+            resumed_from: false,
         })
     }
 
@@ -469,6 +686,80 @@ impl Coordinator {
     #[must_use]
     pub fn lease_cells(mut self, cells: u64) -> Self {
         self.lease_cells = cells.max(1);
+        self
+    }
+
+    /// Sets the per-lease deadline: how long a worker may go without a
+    /// [`Message::Progress`] or [`Message::Result`] frame before its
+    /// lease is re-issued elsewhere.
+    #[must_use]
+    pub fn lease_timeout(mut self, timeout: Duration) -> Self {
+        self.lease_timeout = timeout.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Sets the exponential backoff window for re-issuing a timed-out
+    /// lease: the `n`-th re-issue waits `base * 2^n`, capped at `cap`.
+    #[must_use]
+    pub fn backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.backoff_base = base;
+        self.backoff_cap = cap.max(base);
+        self
+    }
+
+    /// Sets the straggler cap: a worker missing this many consecutive
+    /// deadlines on one lease is quarantined (minimum 1).
+    #[must_use]
+    pub fn straggler_strikes(mut self, strikes: u32) -> Self {
+        self.straggler_strikes = strikes.max(1);
+        self
+    }
+
+    /// Attaches a fresh write-ahead journal at `path` (truncating any
+    /// existing file): every completed lease is appended before its
+    /// cells are published to the reduction, so a later
+    /// [`Coordinator::resume`] can pick up where a killed coordinator
+    /// left off.
+    ///
+    /// # Errors
+    ///
+    /// Journal creation I/O errors.
+    pub fn journal(mut self, path: &Path) -> ScenarioResult<Self> {
+        let j = Journal::create(path, &self.spec_hash, self.job.cell_count())
+            .map_err(|e| e.to_string())?;
+        self.journal = Some(Mutex::new(j));
+        Ok(self)
+    }
+
+    /// Resumes from the journal at `path`: validates it against this
+    /// spec's hash and grid, preloads every recorded cell
+    /// (first-write-wins), and keeps appending new leases to the same
+    /// file. Only the missing ranges are leased out.
+    ///
+    /// # Errors
+    ///
+    /// A journal for a different spec or grid; a corrupt record before
+    /// the end of the file; unreadable cell payloads.
+    pub fn resume(mut self, path: &Path) -> ScenarioResult<Self> {
+        let (j, load) = Journal::resume(path, &self.spec_hash, self.job.cell_count())
+            .map_err(|e| e.to_string())?;
+        for (idx, wire) in &load.cells {
+            self.job
+                .check_cell(wire)
+                .map_err(|e| format!("journal cell {idx} is corrupt: {e}"))?;
+        }
+        self.resumed = load.cells;
+        self.resumed_from = true;
+        self.journal = Some(Mutex::new(j));
+        Ok(self)
+    }
+
+    /// Chaos knob: the coordinator stops (as if killed) right after the
+    /// `n`-th journal append of this run — the deterministic crash
+    /// point the resume tests and the CI chaos job rehearse.
+    #[must_use]
+    pub fn halt_after_journal_appends(mut self, n: u64) -> Self {
+        self.halt_after_appends = Some(n.max(1));
         self
     }
 
@@ -483,64 +774,114 @@ impl Coordinator {
     }
 
     /// Runs the fleet to completion: handshakes every worker, hands out
-    /// [`CellRange`] leases, re-issues leases whose workers disconnect,
-    /// folds the per-cell accumulators in canonical order.
+    /// [`CellRange`] leases with deadlines, re-issues leases whose
+    /// workers disconnect or go silent (exponential backoff, straggler
+    /// cap), journals every completed lease, folds the per-cell
+    /// accumulators in canonical order.
     ///
-    /// Worker death (dropped connection, failed handshake) is
-    /// **recoverable** — the dead worker's lease goes back in the queue
-    /// for the survivors. A worker [`Message::Abort`] is **fatal** — it
-    /// reports broken work, not a broken worker.
+    /// Worker death, silence, corrupt payloads and hash mismatches are
+    /// all **recoverable** — the lease goes back in the queue and the
+    /// offender is dropped or quarantined. Losing the whole fleet is
+    /// recoverable too: the remaining cells are evaluated in-process.
+    /// Only a worker [`Message::Abort`] (broken *work*, not a broken
+    /// worker) or a journal write failure is fatal.
     ///
     /// # Errors
     ///
-    /// No workers complete the handshake; every worker dies with cells
-    /// outstanding; a worker aborts; reduction/assembly errors.
+    /// A worker abort; journal write failures; cell evaluation errors
+    /// on the in-process degradation path; reduction/assembly errors.
     pub fn run(&self, workers: Vec<Box<dyn Transport>>) -> ScenarioResult<DistRun> {
         let cell_count = self.job.cell_count();
+        let mut cells: Vec<Option<Wire>> = vec![None; cell_count as usize];
+        let mut filled = 0usize;
+        for (idx, wire) in &self.resumed {
+            let slot = &mut cells[*idx as usize];
+            if slot.is_none() {
+                *slot = Some(wire.clone());
+                filled += 1;
+            }
+        }
+        let pending = missing_ranges(&cells, self.lease_cells)
+            .into_iter()
+            .map(|range| PendingLease {
+                range,
+                attempt: 0,
+                ready_at: None,
+            })
+            .collect();
         let board = Mutex::new(Board {
-            pending: CellRange::partition(cell_count, self.lease_cells)
-                .into_iter()
-                .collect(),
-            cells: vec![None; cell_count as usize],
-            filled: 0,
+            pending,
+            cells,
+            filled,
             leases: 0,
             retries: 0,
+            timeouts: 0,
+            quarantined: 0,
             handshaken: 0,
+            faults: Vec::new(),
             fatal: None,
         });
         let wakeup = Condvar::new();
         std::thread::scope(|scope| {
-            for mut transport in workers {
+            for transport in workers {
                 let board = &board;
                 let wakeup = &wakeup;
                 scope.spawn(move || {
-                    let served = self.drive_worker(transport.as_mut(), board, wakeup);
-                    if let Err(reason) = served {
+                    let (mut tx, mut rx) = transport.split();
+                    let (events_tx, events) = std::sync::mpsc::channel();
+                    // Deliberately unscoped: a pump blocked on a stalled
+                    // peer must not be able to park the whole run at
+                    // scope exit. It dies with the process or when the
+                    // stream closes; the channel going dead tells it to
+                    // stop forwarding.
+                    std::thread::spawn(move || pump_frames(rx.as_mut(), &events_tx));
+                    let served = self.drive_worker(tx.as_mut(), &events, board, wakeup);
+                    if let Err(exit) = served {
                         let mut b = board.lock().expect("lease board poisoned");
-                        // Only an abort is fatal; a plain disconnect
-                        // just re-queues (already done by drive_worker).
-                        if let DriveExit::Abort(msg) = reason {
-                            b.fatal.get_or_insert(msg);
+                        match exit {
+                            DriveExit::Abort(msg) => {
+                                b.fatal.get_or_insert(msg);
+                            }
+                            DriveExit::Quarantined(msg) => {
+                                b.quarantined += 1;
+                                b.faults.push(msg);
+                            }
+                            DriveExit::Dead(Some(msg)) => b.faults.push(msg),
+                            DriveExit::Dead(None) => {}
                         }
                         wakeup.notify_all();
                     }
                 });
             }
         });
-        let board = board.into_inner().expect("lease board poisoned");
+        let mut board = board.into_inner().expect("lease board poisoned");
+        let mut recovered = 0u64;
+        if board.fatal.is_none() && (board.filled as u64) < cell_count {
+            // The whole fleet is gone with cells outstanding: degrade
+            // to in-process execution. Same cells, same seeds, same
+            // bits — only slower.
+            for range in missing_ranges(&board.cells, self.lease_cells) {
+                let wires = self.job.run_range(range)?;
+                match self.journal_append(range, &wires) {
+                    Err(e) => return Err(e.into()),
+                    Ok(true) => {
+                        board.fatal = Some(halt_message(self));
+                        break;
+                    }
+                    Ok(false) => {}
+                }
+                for (i, w) in wires.into_iter().enumerate() {
+                    let slot = &mut board.cells[range.start as usize + i];
+                    if slot.is_none() {
+                        *slot = Some(w);
+                        board.filled += 1;
+                        recovered += 1;
+                    }
+                }
+            }
+        }
         if let Some(fatal) = board.fatal {
             return Err(format!("distributed run aborted: {fatal}").into());
-        }
-        if board.handshaken == 0 {
-            return Err("no worker completed the handshake".into());
-        }
-        if board.filled as u64 != cell_count {
-            return Err(format!(
-                "fleet lost before completion: {}/{} cells reduced \
-                 ({} lease retries; add workers and rerun)",
-                board.filled, cell_count, board.retries
-            )
-            .into());
         }
         let cells: Vec<Wire> = board
             .cells
@@ -555,133 +896,466 @@ impl Coordinator {
                 workers: board.handshaken,
                 leases: board.leases,
                 retries: board.retries,
+                timeouts: board.timeouts,
+                quarantined_workers: board.quarantined,
+                worker_faults: board.faults,
                 cells: cell_count,
+                resumed_from_journal: self.resumed_from,
+                resumed_cells: self.resumed.len() as u64,
+                recovered_in_process: recovered,
             },
         })
     }
 
+    /// Appends a completed lease to the journal (if one is attached).
+    /// Returns `true` when the chaos halt point is reached.
+    fn journal_append(&self, range: CellRange, cells: &[Wire]) -> Result<bool, String> {
+        let Some(journal) = &self.journal else {
+            return Ok(false);
+        };
+        let mut j = journal.lock().expect("journal poisoned");
+        let appends = j
+            .append(range, cells)
+            .map_err(|e| format!("journal write failed: {e}"))?;
+        Ok(self.halt_after_appends.is_some_and(|n| appends >= n))
+    }
+
     fn drive_worker(
         &self,
-        t: &mut dyn Transport,
+        tx: &mut dyn FrameSend,
+        events: &Receiver<RxEvent>,
         board: &Mutex<Board>,
         wakeup: &Condvar,
     ) -> Result<(), DriveExit> {
-        // Handshake: Join → Spec → Ready (hash echoed).
-        match t.recv() {
-            Ok(Some(Message::Join { protocol })) if protocol == PROTOCOL_VERSION => {}
-            Ok(Some(Message::Join { protocol })) => {
-                let _ = t.send(&Message::Abort {
-                    reason: format!(
-                        "protocol mismatch: coordinator v{PROTOCOL_VERSION}, worker v{protocol}"
-                    ),
+        // Handshake: Join → Spec → Ready (hash echoed). Each step is
+        // bounded by the lease deadline.
+        match wait_frame(events, self.lease_timeout) {
+            RxWait::Event(RxEvent::Frame(Message::Join { protocol }))
+                if protocol == PROTOCOL_VERSION => {}
+            RxWait::Event(RxEvent::Frame(Message::Join { protocol })) => {
+                let reason = format!(
+                    "protocol mismatch: coordinator v{PROTOCOL_VERSION}, worker v{protocol}"
+                );
+                let _ = tx.send(&Message::Abort {
+                    reason: reason.clone(),
                 });
-                return Err(DriveExit::Dead);
+                return Err(DriveExit::Quarantined(reason));
             }
-            _ => return Err(DriveExit::Dead),
+            RxWait::Event(RxEvent::Corrupt(e)) => {
+                return Err(DriveExit::Quarantined(format!("corrupt Join frame: {e}")))
+            }
+            RxWait::Deadline => return Err(DriveExit::Dead(None)),
+            _ => return Err(DriveExit::Dead(None)),
         }
-        t.send(&Message::Spec {
+        tx.send(&Message::Spec {
             hash: self.spec_hash.clone(),
             text: self.spec_text.clone(),
         })
-        .map_err(|_| DriveExit::Dead)?;
-        match t.recv() {
-            Ok(Some(Message::Ready { hash })) if hash == self.spec_hash => {}
-            Ok(Some(Message::Abort { reason })) => return Err(DriveExit::Abort(reason)),
-            _ => return Err(DriveExit::Dead),
+        .map_err(|_| DriveExit::Dead(None))?;
+        match wait_frame(events, self.lease_timeout) {
+            RxWait::Event(RxEvent::Frame(Message::Ready { hash })) if hash == self.spec_hash => {}
+            RxWait::Event(RxEvent::Frame(Message::Ready { hash })) => {
+                let reason = format!(
+                    "worker echoed spec hash {hash}, coordinator expects {}",
+                    self.spec_hash
+                );
+                let _ = tx.send(&Message::Abort {
+                    reason: reason.clone(),
+                });
+                return Err(DriveExit::Quarantined(reason));
+            }
+            RxWait::Event(RxEvent::Frame(Message::Abort { reason })) => {
+                return Err(DriveExit::Abort(reason))
+            }
+            RxWait::Event(RxEvent::Corrupt(e)) => {
+                return Err(DriveExit::Quarantined(format!("corrupt Ready frame: {e}")))
+            }
+            RxWait::Deadline => return Err(DriveExit::Dead(None)),
+            _ => return Err(DriveExit::Dead(None)),
         }
         board.lock().expect("lease board poisoned").handshaken += 1;
 
         loop {
-            // Claim the next lease, or wait: a range held by another
-            // worker may yet come back to the queue if that worker dies.
-            let range = {
+            // Claim the next eligible lease, or wait: a range held by
+            // another worker may yet come back to the queue, and a
+            // backed-off range becomes eligible when its delay expires.
+            let lease = {
                 let mut b = board.lock().expect("lease board poisoned");
                 loop {
                     if b.fatal.is_some() || b.filled == b.cells.len() {
-                        // Send Done *outside* the lock: a worker that has
-                        // stopped draining its socket must not be able to
-                        // park this blocking write while every other
+                        // Send Done *outside* the lock: a worker that
+                        // has stopped draining its socket must not park
+                        // this blocking write while every other
                         // coordinator thread waits on the board mutex.
                         drop(b);
-                        let _ = t.send(&Message::Done);
+                        let _ = tx.send(&Message::Done);
                         return Ok(());
                     }
-                    if let Some(range) = b.pending.pop_front() {
+                    let now = Instant::now();
+                    if let Some(pos) = b
+                        .pending
+                        .iter()
+                        .position(|p| p.ready_at.is_none_or(|t| t <= now))
+                    {
+                        let lease = b.pending.remove(pos);
                         b.leases += 1;
-                        break range;
+                        break lease;
                     }
-                    b = wakeup.wait(b).expect("lease board poisoned");
+                    if let Some(earliest) = b.pending.iter().filter_map(|p| p.ready_at).min() {
+                        let wait = earliest.saturating_duration_since(now);
+                        b = wakeup
+                            .wait_timeout(b, wait.max(Duration::from_millis(1)))
+                            .expect("lease board poisoned")
+                            .0;
+                    } else {
+                        b = wakeup.wait(b).expect("lease board poisoned");
+                    }
                 }
             };
-            let reclaim = |retry: bool| {
-                let mut b = board.lock().expect("lease board poisoned");
-                b.pending.push_back(range);
-                if retry {
-                    b.retries += 1;
-                }
-                wakeup.notify_all();
-            };
-            if t.send(&Message::Lease {
-                start: range.start,
-                end: range.end,
-            })
-            .is_err()
+            if tx
+                .send(&Message::Lease {
+                    start: lease.range.start,
+                    end: lease.range.end,
+                })
+                .is_err()
             {
-                reclaim(true);
-                return Err(DriveExit::Dead);
+                self.requeue(board, wakeup, &lease, true);
+                return Err(DriveExit::Dead(None));
             }
-            match t.recv() {
-                Ok(Some(Message::Result { start, end, cells }))
-                    if start == range.start
-                        && end == range.end
-                        && cells.len() as u64 == range.len() =>
-                {
-                    let mut b = board.lock().expect("lease board poisoned");
-                    for (i, wire) in cells.into_iter().enumerate() {
-                        let slot = &mut b.cells[range.start as usize + i];
-                        if slot.is_none() {
-                            *slot = Some(wire);
-                            b.filled += 1;
+            // Await the lease's result, resetting the deadline on every
+            // Progress heartbeat. `requeued` means this lease already
+            // went back in the queue after a missed deadline — we keep
+            // listening anyway, because a late result is still a valid
+            // result (first write wins).
+            let mut strikes: u32 = 0;
+            let mut requeued = false;
+            'lease: loop {
+                match wait_frame(events, self.lease_timeout) {
+                    RxWait::Event(RxEvent::Frame(Message::Progress { start, end, .. })) => {
+                        if start == lease.range.start && end == lease.range.end {
+                            strikes = 0;
                         }
                     }
-                    wakeup.notify_all();
-                }
-                Ok(Some(Message::Abort { reason })) => {
-                    reclaim(false);
-                    return Err(DriveExit::Abort(reason));
-                }
-                _ => {
-                    reclaim(true);
-                    return Err(DriveExit::Dead);
+                    RxWait::Event(RxEvent::Frame(Message::Result { start, end, cells })) => {
+                        let range = CellRange::new(start, end);
+                        match self.accept(board, wakeup, range, cells) {
+                            Ok(()) => {
+                                if start == lease.range.start && end == lease.range.end {
+                                    break 'lease;
+                                }
+                                // A late result for an earlier lease of
+                                // this worker: accepted, keep waiting.
+                                strikes = 0;
+                            }
+                            Err(reason) => {
+                                if !requeued {
+                                    self.requeue(board, wakeup, &lease, true);
+                                }
+                                let _ = tx.send(&Message::Abort {
+                                    reason: reason.clone(),
+                                });
+                                return Err(DriveExit::Quarantined(reason));
+                            }
+                        }
+                    }
+                    RxWait::Event(RxEvent::Frame(Message::Abort { reason })) => {
+                        if !requeued {
+                            self.requeue(board, wakeup, &lease, false);
+                        }
+                        return Err(DriveExit::Abort(reason));
+                    }
+                    RxWait::Event(RxEvent::Frame(other)) => {
+                        let reason = format!(
+                            "unexpected frame holding lease [{}, {}): {other:?}",
+                            lease.range.start, lease.range.end
+                        );
+                        if !requeued {
+                            self.requeue(board, wakeup, &lease, true);
+                        }
+                        let _ = tx.send(&Message::Abort {
+                            reason: reason.clone(),
+                        });
+                        return Err(DriveExit::Quarantined(reason));
+                    }
+                    RxWait::Event(RxEvent::Corrupt(e)) => {
+                        if !requeued {
+                            self.requeue(board, wakeup, &lease, true);
+                        }
+                        return Err(DriveExit::Quarantined(format!("corrupt frame: {e}")));
+                    }
+                    RxWait::Event(RxEvent::Closed) => {
+                        if !requeued {
+                            self.requeue(board, wakeup, &lease, true);
+                        }
+                        return Err(DriveExit::Dead(None));
+                    }
+                    RxWait::Event(RxEvent::Io(e)) => {
+                        if !requeued {
+                            self.requeue(board, wakeup, &lease, true);
+                        }
+                        return Err(DriveExit::Dead(Some(format!(
+                            "transport error mid-lease: {e}"
+                        ))));
+                    }
+                    RxWait::Event(RxEvent::Idle) => {}
+                    RxWait::Deadline => {
+                        strikes += 1;
+                        board.lock().expect("lease board poisoned").timeouts += 1;
+                        if !requeued {
+                            self.requeue(board, wakeup, &lease, true);
+                            requeued = true;
+                        }
+                        if strikes > self.straggler_strikes {
+                            let reason = format!(
+                                "quarantined as a straggler: {strikes} missed deadlines on \
+                                 lease [{}, {})",
+                                lease.range.start, lease.range.end
+                            );
+                            let _ = tx.send(&Message::Abort {
+                                reason: reason.clone(),
+                            });
+                            return Err(DriveExit::Quarantined(reason));
+                        }
+                    }
                 }
             }
+        }
+    }
+
+    /// Puts a lease back in the queue. `retry` counts it as a retry and
+    /// schedules it with exponential backoff; `false` (abort paths)
+    /// re-queues immediately so the fatal-path bookkeeping stays exact.
+    fn requeue(&self, board: &Mutex<Board>, wakeup: &Condvar, lease: &PendingLease, retry: bool) {
+        let mut b = board.lock().expect("lease board poisoned");
+        b.pending.push(PendingLease {
+            range: lease.range,
+            attempt: lease.attempt + 1,
+            ready_at: retry.then(|| Instant::now() + self.backoff_delay(lease.attempt)),
+        });
+        if retry {
+            b.retries += 1;
+        }
+        wakeup.notify_all();
+    }
+
+    fn backoff_delay(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.min(10);
+        (self.backoff_base * factor).min(self.backoff_cap)
+    }
+
+    /// Admits one lease result: validates its shape and every cell
+    /// payload, journals it, then publishes it to the board
+    /// (first-write-wins). A malformed result is the *worker's* fault —
+    /// returned as `Err` so the caller quarantines it. A journal
+    /// failure (or the chaos halt point) is the *coordinator's* problem
+    /// and is recorded as fatal directly.
+    fn accept(
+        &self,
+        board: &Mutex<Board>,
+        wakeup: &Condvar,
+        range: CellRange,
+        cells: Vec<Wire>,
+    ) -> Result<(), String> {
+        let cell_count = self.job.cell_count();
+        if range.start >= range.end || range.end > cell_count || cells.len() as u64 != range.len() {
+            return Err(format!(
+                "malformed lease result: [{}, {}) with {} cells over a {cell_count}-cell grid",
+                range.start,
+                range.end,
+                cells.len()
+            ));
+        }
+        for (i, wire) in cells.iter().enumerate() {
+            self.job.check_cell(wire).map_err(|e| {
+                format!(
+                    "corrupt cell payload for cell {} of lease [{}, {}): {e}",
+                    range.start as usize + i,
+                    range.start,
+                    range.end
+                )
+            })?;
+        }
+        let halted = match self.journal_append(range, &cells) {
+            Ok(halted) => halted,
+            Err(e) => {
+                let mut b = board.lock().expect("lease board poisoned");
+                b.fatal.get_or_insert(e);
+                wakeup.notify_all();
+                return Ok(());
+            }
+        };
+        let mut b = board.lock().expect("lease board poisoned");
+        if halted {
+            b.fatal.get_or_insert(halt_message(self));
+            wakeup.notify_all();
+            return Ok(());
+        }
+        for (i, wire) in cells.into_iter().enumerate() {
+            let slot = &mut b.cells[range.start as usize + i];
+            if slot.is_none() {
+                *slot = Some(wire);
+                b.filled += 1;
+            }
+        }
+        wakeup.notify_all();
+        Ok(())
+    }
+}
+
+fn halt_message(c: &Coordinator) -> String {
+    format!(
+        "chaos halt: coordinator stopped after {} journal append(s)",
+        c.halt_after_appends.unwrap_or(0)
+    )
+}
+
+/// The contiguous runs of unfilled cells, chunked to the lease size.
+fn missing_ranges(cells: &[Option<Wire>], lease_cells: u64) -> Vec<CellRange> {
+    let lease_cells = lease_cells.max(1);
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < cells.len() {
+        if cells[i].is_some() {
+            i += 1;
+            continue;
+        }
+        let start = i as u64;
+        while i < cells.len() && cells[i].is_none() {
+            i += 1;
+        }
+        let end = i as u64;
+        let mut s = start;
+        while s < end {
+            let e = (s + lease_cells).min(end);
+            out.push(CellRange::new(s, e));
+            s = e;
+        }
+    }
+    out
+}
+
+/// What a pump thread forwards from a worker's receive half.
+enum RxEvent {
+    /// A well-formed frame.
+    Frame(Message),
+    /// Clean EOF: the worker closed its stream.
+    Closed,
+    /// A malformed frame (the stream can no longer be trusted).
+    Corrupt(String),
+    /// A non-retryable I/O error.
+    Io(String),
+    /// A retryable read timeout from the transport — forwarded so the
+    /// pump loop stays responsive, filtered out by [`wait_frame`]. The
+    /// *coordinator's* deadline comes from `recv_timeout` on the
+    /// channel, not from the transport.
+    Idle,
+}
+
+/// Forwards frames from a receive half into a channel until the stream
+/// ends, breaks, or the driver hangs up.
+fn pump_frames(rx: &mut dyn FrameRecv, events: &Sender<RxEvent>) {
+    loop {
+        match rx.recv() {
+            Ok(Some(msg)) => {
+                if events.send(RxEvent::Frame(msg)).is_err() {
+                    return;
+                }
+            }
+            Ok(None) => {
+                let _ = events.send(RxEvent::Closed);
+                return;
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock) => {
+                if events.send(RxEvent::Idle).is_err() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::InvalidData => {
+                let _ = events.send(RxEvent::Corrupt(e.to_string()));
+                return;
+            }
+            Err(e) => {
+                let _ = events.send(RxEvent::Io(e.to_string()));
+                return;
+            }
+        }
+    }
+}
+
+enum RxWait {
+    Event(RxEvent),
+    Deadline,
+}
+
+/// Waits up to `timeout` for the next meaningful receive event,
+/// ignoring transport-level idle ticks.
+fn wait_frame(events: &Receiver<RxEvent>, timeout: Duration) -> RxWait {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return RxWait::Deadline;
+        }
+        match events.recv_timeout(remaining) {
+            Ok(RxEvent::Idle) => {}
+            Ok(ev) => return RxWait::Event(ev),
+            Err(RecvTimeoutError::Timeout) => return RxWait::Deadline,
+            Err(RecvTimeoutError::Disconnected) => return RxWait::Event(RxEvent::Closed),
         }
     }
 }
 
 enum DriveExit {
-    /// The worker is gone (connection dropped / bad frame); its lease
-    /// was re-queued.
-    Dead,
+    /// The worker is gone (connection dropped / silent past the
+    /// handshake deadline); its lease was re-queued. An optional note
+    /// explains abnormal exits (transport errors).
+    Dead(Option<String>),
+    /// The worker misbehaved (wrong hash, corrupt payloads, straggling
+    /// past the strike cap): dropped and counted, lease re-queued.
+    Quarantined(String),
     /// The worker reported the work itself is broken.
     Abort(String),
 }
 
+struct PendingLease {
+    range: CellRange,
+    attempt: u32,
+    /// Backed-off re-issues are not eligible before this instant.
+    ready_at: Option<Instant>,
+}
+
 struct Board {
-    pending: VecDeque<CellRange>,
+    pending: Vec<PendingLease>,
     cells: Vec<Option<Wire>>,
     filled: usize,
     leases: u64,
     retries: u64,
+    timeouts: u64,
+    quarantined: usize,
     handshaken: usize,
+    faults: Vec<String>,
     fatal: Option<String>,
+}
+
+/// Default worker-side parallelism: `DIVREL_WORKER_THREADS` if set to a
+/// positive integer, else the sweep engine's default (available
+/// parallelism capped at 8).
+#[must_use]
+pub fn default_worker_threads() -> usize {
+    std::env::var("DIVREL_WORKER_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(crate::context::default_sweep_threads)
 }
 
 /// Worker-side configuration.
 #[derive(Debug, Clone)]
 pub struct Worker {
     threads: usize,
-    fail_after_leases: Option<u64>,
+    plan: FaultPlan,
+    heartbeat_cells: Option<u64>,
+    idle_timeout: Duration,
 }
 
 impl Default for Worker {
@@ -691,12 +1365,15 @@ impl Default for Worker {
 }
 
 impl Worker {
-    /// A worker evaluating leases single-threaded.
+    /// A healthy worker evaluating leases with
+    /// [`default_worker_threads`] threads.
     #[must_use]
     pub fn new() -> Self {
         Worker {
-            threads: 1,
-            fail_after_leases: None,
+            threads: default_worker_threads(),
+            plan: FaultPlan::new(),
+            heartbeat_cells: None,
+            idle_timeout: Duration::from_secs(600),
         }
     }
 
@@ -707,18 +1384,56 @@ impl Worker {
         self
     }
 
-    /// Fault injection for resilience tests: the worker serves
-    /// `leases` leases, then **drops the connection without replying**
-    /// to the next one — exactly the failure mode the coordinator must
-    /// survive by re-issuing the lease elsewhere.
+    /// Installs a chaos [`FaultPlan`].
     #[must_use]
-    pub fn fail_after_leases(mut self, leases: u64) -> Self {
-        self.fail_after_leases = Some(leases);
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
         self
     }
 
+    /// Fault injection shorthand: the worker serves `leases` leases,
+    /// then **drops the connection without replying** to the next one —
+    /// exactly the failure mode the coordinator must survive by
+    /// re-issuing the lease elsewhere.
+    #[must_use]
+    pub fn fail_after_leases(mut self, leases: u64) -> Self {
+        self.plan = self.plan.inject(leases, Fault::Die);
+        self
+    }
+
+    /// Cells evaluated between [`Message::Progress`] heartbeats
+    /// (default: the thread count, so multi-cell leases heartbeat about
+    /// once per parallel batch).
+    #[must_use]
+    pub fn heartbeat_cells(mut self, cells: u64) -> Self {
+        self.heartbeat_cells = Some(cells.max(1));
+        self
+    }
+
+    /// How long the worker tolerates a silent coordinator (retryable
+    /// transport read timeouts) before giving up.
+    #[must_use]
+    pub fn idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = timeout.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Receives a frame, riding out transport read timeouts up to the
+    /// worker's idle deadline.
+    fn recv_patient<T: Transport + ?Sized>(&self, t: &mut T) -> std::io::Result<Option<Message>> {
+        let deadline = Instant::now() + self.idle_timeout;
+        loop {
+            match t.recv() {
+                Err(e)
+                    if matches!(e.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock)
+                        && Instant::now() < deadline => {}
+                other => return other,
+            }
+        }
+    }
+
     /// Serves one coordinator connection to completion: handshake, spec
-    /// verification, lease loop.
+    /// verification, lease loop with heartbeats.
     ///
     /// # Errors
     ///
@@ -729,7 +1444,7 @@ impl Worker {
         t.send(&Message::Join {
             protocol: PROTOCOL_VERSION,
         })?;
-        let (hash, text) = match t.recv()? {
+        let (hash, text) = match self.recv_patient(t)? {
             Some(Message::Spec { hash, text }) => (hash, text),
             Some(Message::Abort { reason }) => {
                 return Err(format!("coordinator aborted: {reason}").into())
@@ -757,41 +1472,107 @@ impl Worker {
             }
         };
         let job = DistJob::new(scenario, self.threads)?;
+        if self.plan.wrong_hash() {
+            // Chaos: echo a wrong hash and wait for the coordinator to
+            // cut us off.
+            t.send(&Message::Ready {
+                hash: "fnv1a:0000000000c0ffee".into(),
+            })?;
+            loop {
+                match self.recv_patient(t)? {
+                    Some(Message::Abort { reason }) => {
+                        return Err(format!(
+                            "worker fault injection: wrong hash echoed; coordinator said: {reason}"
+                        )
+                        .into())
+                    }
+                    None => {
+                        return Err("worker fault injection: wrong hash echoed; \
+                                    coordinator hung up"
+                            .into())
+                    }
+                    _ => {}
+                }
+            }
+        }
         t.send(&Message::Ready { hash: hash.clone() })?;
         let mut summary = WorkerSummary {
             spec_hash: hash,
             leases_served: 0,
             cells_run: 0,
         };
+        let mut leases_seen: u64 = 0;
         loop {
-            match t.recv()? {
+            match self.recv_patient(t)? {
                 Some(Message::Lease { start, end }) => {
-                    if self
-                        .fail_after_leases
-                        .is_some_and(|n| summary.leases_served >= n)
-                    {
-                        // Simulated crash: vanish mid-lease, no reply.
-                        return Err(format!(
-                            "worker fault injection: dropped connection holding lease \
-                             [{start}, {end})"
-                        )
-                        .into());
+                    let ordinal = leases_seen;
+                    leases_seen += 1;
+                    match self.plan.fault_at(ordinal) {
+                        Some(Fault::Die) => {
+                            // Simulated crash: vanish mid-lease, no
+                            // reply.
+                            return Err(format!(
+                                "worker fault injection: dropped connection holding lease \
+                                 [{start}, {end})"
+                            )
+                            .into());
+                        }
+                        Some(Fault::Stall) => {
+                            // Go silent holding the lease, then die —
+                            // the coordinator's deadline must fire.
+                            std::thread::sleep(self.plan.stall_hold_duration());
+                            return Err(format!(
+                                "worker fault injection: stalled holding lease [{start}, {end})"
+                            )
+                            .into());
+                        }
+                        Some(Fault::CorruptWire) => {
+                            let n = CellRange::new(start, end).len() as usize;
+                            t.send(&Message::Result {
+                                start,
+                                end,
+                                cells: vec![Wire::Text("chaos: corrupt cell".into()); n],
+                            })?;
+                            continue;
+                        }
+                        Some(Fault::Slow { millis }) => {
+                            std::thread::sleep(Duration::from_millis(*millis));
+                        }
+                        Some(Fault::WrongHash) | None => {}
                     }
                     let range = CellRange::new(start, end);
-                    match job.run_range(range) {
-                        Ok(cells) => {
-                            summary.leases_served += 1;
-                            summary.cells_run += cells.len() as u64;
-                            t.send(&Message::Result { start, end, cells })?;
+                    let chunk = self.heartbeat_cells.unwrap_or(self.threads as u64).max(1);
+                    let mut cells = Vec::with_capacity(range.len() as usize);
+                    let mut at = range.start;
+                    let mut failed = None;
+                    while at < range.end {
+                        let sub_end = (at + chunk).min(range.end);
+                        match job.run_range(CellRange::new(at, sub_end)) {
+                            Ok(sub) => cells.extend(sub),
+                            Err(e) => {
+                                failed = Some(e);
+                                break;
+                            }
                         }
-                        Err(e) => {
-                            let reason = format!("cells [{start}, {end}) failed: {e}");
-                            let _ = t.send(&Message::Abort {
-                                reason: reason.clone(),
-                            });
-                            return Err(reason.into());
+                        at = sub_end;
+                        if at < range.end {
+                            t.send(&Message::Progress {
+                                start,
+                                end,
+                                done: at - range.start,
+                            })?;
                         }
                     }
+                    if let Some(e) = failed {
+                        let reason = format!("cells [{start}, {end}) failed: {e}");
+                        let _ = t.send(&Message::Abort {
+                            reason: reason.clone(),
+                        });
+                        return Err(reason.into());
+                    }
+                    summary.leases_served += 1;
+                    summary.cells_run += cells.len() as u64;
+                    t.send(&Message::Result { start, end, cells })?;
                 }
                 Some(Message::Done) | None => return Ok(summary),
                 Some(Message::Abort { reason }) => {
@@ -817,7 +1598,8 @@ pub struct StdioFleet {
 /// fleet-assembly routine shared by `scenario_run --coordinator` and
 /// the bench driver. `quiet` routes worker stderr to the null device
 /// (measurement loops); otherwise workers inherit stderr for
-/// diagnostics.
+/// diagnostics. `extra_args[i]` (if present) is appended to worker
+/// `i`'s command line — how chaos fault plans reach spawned fleets.
 ///
 /// # Errors
 ///
@@ -827,15 +1609,20 @@ pub fn spawn_stdio_fleet(
     n: usize,
     threads: usize,
     quiet: bool,
+    extra_args: &[Vec<String>],
 ) -> std::io::Result<StdioFleet> {
     use std::process::{Command, Stdio};
     let mut fleet = StdioFleet {
         children: Vec::with_capacity(n),
         transports: Vec::with_capacity(n),
     };
-    for _ in 0..n {
-        let mut child = Command::new(exe)
-            .args(["--worker-stdio", "--threads", &threads.max(1).to_string()])
+    for i in 0..n {
+        let mut cmd = Command::new(exe);
+        cmd.args(["--worker-stdio", "--threads", &threads.max(1).to_string()]);
+        if let Some(extra) = extra_args.get(i) {
+            cmd.args(extra);
+        }
+        let mut child = cmd
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(if quiet {
@@ -883,7 +1670,9 @@ mod tests {
     #[test]
     fn messages_frame_and_round_trip() {
         let msgs = vec![
-            Message::Join { protocol: 1 },
+            Message::Join {
+                protocol: PROTOCOL_VERSION,
+            },
             Message::Spec {
                 hash: "fnv1a:00".into(),
                 text: "name = \"x\"\n[seed]\nseed = 7\n".into(),
@@ -892,6 +1681,11 @@ mod tests {
                 hash: "fnv1a:00".into(),
             },
             Message::Lease { start: 3, end: 9 },
+            Message::Progress {
+                start: 3,
+                end: 9,
+                done: 4,
+            },
             Message::Result {
                 start: 3,
                 end: 4,
@@ -902,20 +1696,79 @@ mod tests {
                 reason: "multi\nline\treason".into(),
             },
         ];
-        let mut buf: Vec<u8> = Vec::new();
-        {
-            let mut t = JsonLines::new(std::io::empty(), &mut buf);
-            for m in &msgs {
-                t.send(m).unwrap();
-            }
+        let mut out = JsonLines::new(std::io::empty(), Vec::new());
+        for m in &msgs {
+            Transport::send(&mut out, m).unwrap();
         }
+        let buf = out.into_writer();
         // One frame per line, newline-framed even with embedded \n.
         assert_eq!(buf.iter().filter(|&&b| b == b'\n').count(), msgs.len());
-        let mut t = JsonLines::new(&buf[..], std::io::sink());
+        let mut t = JsonLines::new(std::io::Cursor::new(buf), std::io::sink());
         for want in &msgs {
-            assert_eq!(&t.recv().unwrap().unwrap(), want);
+            assert_eq!(&Transport::recv(&mut t).unwrap().unwrap(), want);
         }
-        assert!(t.recv().unwrap().is_none());
+        assert!(Transport::recv(&mut t).unwrap().is_none());
+    }
+
+    /// A reader that alternates between yielding a few bytes and a
+    /// `WouldBlock` error — the shape of a TCP stream with a read
+    /// timeout.
+    struct ChoppyReader {
+        data: Vec<u8>,
+        at: usize,
+        step: usize,
+        block_next: bool,
+    }
+
+    impl Read for ChoppyReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.block_next {
+                self.block_next = false;
+                return Err(std::io::Error::new(ErrorKind::WouldBlock, "try again"));
+            }
+            self.block_next = true;
+            let n = self.step.min(self.data.len() - self.at).min(buf.len());
+            buf[..n].copy_from_slice(&self.data[self.at..self.at + n]);
+            self.at += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_reader_preserves_partial_frames_across_read_timeouts() {
+        let msgs = [
+            Message::Lease { start: 0, end: 100 },
+            Message::Progress {
+                start: 0,
+                end: 100,
+                done: 42,
+            },
+        ];
+        let data = {
+            let mut out = JsonLines::new(std::io::empty(), Vec::new());
+            for m in &msgs {
+                Transport::send(&mut out, m).unwrap();
+            }
+            out.into_writer()
+        };
+        let mut rx = FrameReader::new(ChoppyReader {
+            data,
+            at: 0,
+            step: 3,
+            block_next: false,
+        });
+        let mut got = Vec::new();
+        let mut blocks = 0;
+        loop {
+            match rx.recv() {
+                Ok(Some(m)) => got.push(m),
+                Ok(None) => break,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => blocks += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(got, msgs);
+        assert!(blocks > 10, "choppy reader should have blocked repeatedly");
     }
 
     #[test]
@@ -959,6 +1812,7 @@ mod tests {
                 .iter_mut()
                 .map(|t| {
                     Worker::new()
+                        .threads(1)
                         .serve(t)
                         .map(|s| s.leases_served)
                         .map_err(|e| e.to_string())
@@ -971,9 +1825,32 @@ mod tests {
         assert_eq!(format!("{:?}", run.outcome), format!("{direct:?}"));
         assert_eq!(run.stats.workers, 2);
         assert_eq!(run.stats.retries, 0);
+        assert_eq!(run.stats.timeouts, 0);
+        assert_eq!(run.stats.quarantined_workers, 0);
+        assert!(run.stats.worker_faults.is_empty());
         assert_eq!(run.stats.cells, cell_count);
+        assert!(!run.stats.resumed_from_journal);
+        assert_eq!(run.stats.recovered_in_process, 0);
         // Sequential workers: the second drains after the first's Done.
         assert!(served.iter().all(|s| s.is_ok()));
+    }
+
+    #[test]
+    fn missing_ranges_chunk_only_the_gaps() {
+        let w = Wire::U64(1);
+        let cells = vec![
+            None,
+            Some(w.clone()),
+            None,
+            None,
+            None,
+            Some(w.clone()),
+            None,
+        ];
+        let ranges = missing_ranges(&cells, 2);
+        let spans: Vec<(u64, u64)> = ranges.iter().map(|r| (r.start, r.end)).collect();
+        assert_eq!(spans, vec![(0, 1), (2, 4), (4, 5), (6, 7)]);
+        assert!(missing_ranges(&[Some(w)], 8).is_empty());
     }
 
     type PipeTransport = JsonLines<std::io::PipeReader, std::io::PipeWriter>;

@@ -140,6 +140,18 @@ impl Wire {
         }
     }
 
+    /// The fields of a [`Wire::Record`], in stored order.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on any other variant.
+    pub fn fields(&self) -> Result<&[(String, Wire)], WireError> {
+        match self {
+            Wire::Record(fields) => Ok(fields),
+            other => Err(WireError(format!("expected record, got {}", other.kind()))),
+        }
+    }
+
     fn kind(&self) -> &'static str {
         match self {
             Wire::U64(_) => "u64",
@@ -257,6 +269,16 @@ impl WireForm for f64 {
 
     fn from_wire(wire: &Wire) -> Result<Self, WireError> {
         wire.as_f64()
+    }
+}
+
+impl WireForm for String {
+    fn to_wire(&self) -> Wire {
+        Wire::Text(self.clone())
+    }
+
+    fn from_wire(wire: &Wire) -> Result<Self, WireError> {
+        wire.as_text().map(str::to_string)
     }
 }
 
@@ -397,6 +419,19 @@ mod tests {
         assert_eq!(back.0, 9);
         assert_eq!(back.1[0].to_bits(), 1.25f64.to_bits());
         assert!(<(u64, u64)>::from_wire(&Wire::List(vec![Wire::U64(1)])).is_err());
+    }
+
+    #[test]
+    fn string_form_and_record_fields_round_trip() {
+        let s = "journal header".to_string();
+        let back = String::from_wire(&round_trip(&s.to_wire())).unwrap();
+        assert_eq!(back, s);
+        assert!(String::from_wire(&Wire::U64(3)).is_err());
+        let rec = Wire::record([("a", Wire::U64(1)), ("b", Wire::F64(0.5))]);
+        let fields = rec.fields().unwrap();
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields[0].0, "a");
+        assert!(Wire::U64(1).fields().is_err());
     }
 
     #[test]

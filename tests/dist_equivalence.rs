@@ -171,33 +171,31 @@ fn killed_worker_mid_lease_is_reissued_and_stays_bit_identical() {
 }
 
 #[test]
-fn whole_fleet_loss_is_reported_not_hung() {
+fn whole_fleet_loss_degrades_to_in_process_execution() {
     let ctx = Context::smoke();
     let scenario = Scenario::preset_with("E16", &ctx).expect("known preset");
-    let coordinator = Coordinator::new(scenario).expect("compiles").lease_cells(1);
-    // Every worker dies after one lease: the grid cannot complete.
-    let mut coord_ends: Vec<Box<dyn Transport>> = Vec::new();
-    let mut handles = Vec::new();
-    for _ in 0..2 {
-        let (c2w_r, c2w_w) = std::io::pipe().expect("pipe");
-        let (w2c_r, w2c_w) = std::io::pipe().expect("pipe");
-        coord_ends.push(Box::new(JsonLines::new(w2c_r, c2w_w)));
-        handles.push(std::thread::spawn(move || {
-            let mut t = JsonLines::new(c2w_r, w2c_w);
-            let _ = Worker::new().fail_after_leases(1).serve(&mut t);
-        }));
-    }
-    let err = coordinator
-        .run(coord_ends)
-        .expect_err("an abandoned grid must fail loudly")
-        .to_string();
-    assert!(
-        err.contains("fleet lost"),
-        "unexpected failure message: {err}"
+    let single = scenario.run(2).expect("in-process run");
+    let coordinator = Coordinator::new(scenario).expect("compiles").lease_cells(5);
+    // Every worker dies after one lease: the fleet cannot finish the
+    // grid. The coordinator must keep the leases it collected, run the
+    // remaining cells itself, and still fold the exact bits.
+    let (run, exits) = run_fleet(
+        &coordinator,
+        vec![
+            Worker::new().fail_after_leases(1),
+            Worker::new().fail_after_leases(1),
+        ],
     );
-    for h in handles {
-        h.join().expect("worker thread joins");
-    }
+    assert_bit_identical("E16 after whole-fleet loss", &run.outcome, &single);
+    assert!(
+        run.stats.recovered_in_process > 0,
+        "degradation never ran in-process (stats: {:?})",
+        run.stats
+    );
+    assert!(
+        exits.iter().all(Result::is_err),
+        "every worker was meant to die"
+    );
 }
 
 // ---------------------------------------------------------------------
