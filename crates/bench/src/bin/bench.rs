@@ -1,6 +1,6 @@
 //! Before/after benchmark driver: measures the previous-PR baselines
 //! against the current fast paths and exports the results as
-//! `BENCH_<tag>.json` (default `BENCH_pr6.json` in the current
+//! `BENCH_<tag>.json` (default `BENCH_pr7.json` in the current
 //! directory; override with `DIVREL_BENCH_TAG` / first CLI argument as
 //! the output path).
 //!
@@ -36,7 +36,13 @@
 //!   `dist/resume_overhead` row re-runs the distributed workload with
 //!   the write-ahead lease journal enabled; both sides are
 //!   bit-identical, so the ratio records pure journaling cost
-//!   (target ≤ 2%).
+//!   (target ≤ 2%). The PR 7 `dist/*` rows run against a **persistent**
+//!   TCP fleet (workers spawned once, reconnecting between runs with
+//!   warm compiled-spec caches) so they measure what the v3 protocol —
+//!   hash handshake, binary result frames, adaptive pipelined leases —
+//!   actually costs on a re-run of a committed spec; the new
+//!   `dist/handshake_reuse` row isolates the cached-spec handshake by
+//!   serving the same spec to a cold vs a warm worker.
 
 use divrel_bench::context::default_sweep_threads;
 use divrel_bench::perf::{to_json, Comparison};
@@ -149,7 +155,7 @@ fn legacy_protection_run(
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| {
-        let tag = std::env::var("DIVREL_BENCH_TAG").unwrap_or_else(|_| "pr6".into());
+        let tag = std::env::var("DIVREL_BENCH_TAG").unwrap_or_else(|_| "pr7".into());
         format!("BENCH_{tag}.json")
     });
     let mut results: Vec<Comparison> = Vec::new();
@@ -973,73 +979,119 @@ fn main() {
         results.push(c);
     }
 
-    // --- dist/*: the PR 5 coordinator/worker rows ------------------------
+    // --- dist/*: the PR 5 coordinator/worker rows, PR 7 methodology ------
     // One committed-style spec executed in process (1 process) vs by a
-    // coordinator over 2 worker processes (this build's `scenario_run
-    // --worker-stdio`, falling back to in-process pipe workers when the
-    // sibling binary is absent). Both sides are bit-identical — asserted
-    // before measuring — so the rows record pure distribution
-    // overhead/gain: ≈1× minus protocol cost on a single-core host,
-    // real scaling on CI's multi-core runners.
+    // coordinator over a **persistent** 2-process TCP fleet: the
+    // workers are spawned once (`scenario_run --worker ADDR --persist
+    // --threads 1`), reconnect after every coordinator run, and keep
+    // their compiled-spec caches warm — so each measured iteration pays
+    // only what a re-run of a committed spec actually pays under the
+    // v3 protocol (hash handshake, binary result frames, adaptive
+    // leases), not process spawn + spec compile. Both sides are
+    // bit-identical — asserted before measuring — so the rows record
+    // pure distribution overhead/gain: ≈1× minus protocol cost on a
+    // single-core host, real scaling on CI's multi-core runners. When
+    // the sibling binary is absent the fleet falls back to in-process
+    // pipe workers sharing a warm [`SpecCache`].
     {
-        use divrel_bench::dist::{
-            spawn_stdio_fleet, Coordinator, JsonLines, StdioFleet, Transport, Worker,
-        };
+        use divrel_bench::dist::{Coordinator, JsonLines, SpecCache, Transport, Worker};
         use divrel_bench::scenario::ScenarioOutcome;
         use divrel_bench::Context;
+        use std::net::TcpListener;
 
-        fn spawn_process_workers(n: usize) -> Option<StdioFleet> {
-            let sibling = std::env::current_exe()
-                .ok()?
-                .parent()?
-                .join(format!("scenario_run{}", std::env::consts::EXE_SUFFIX));
-            if !sibling.exists() {
-                return None;
-            }
-            spawn_stdio_fleet(&sibling, n, 1, true, &[]).ok()
+        struct TcpFleet {
+            listener: TcpListener,
+            children: Vec<std::process::Child>,
         }
 
-        fn run_dist(
-            scenario: &Scenario,
-            workers: usize,
-            journal: Option<&std::path::Path>,
-        ) -> ScenarioOutcome {
-            let mut coordinator = Coordinator::new(scenario.clone())
-                .expect("compiles")
-                .lease_cells(1);
-            if let Some(path) = journal {
-                let _ = std::fs::remove_file(path);
-                coordinator = coordinator.journal(path).expect("journal creates");
+        impl TcpFleet {
+            /// Spawns `n` persistent sibling workers against a fresh
+            /// loopback listener. The workers outlive individual
+            /// coordinator runs: after each run they reconnect and the
+            /// connection waits in the listener backlog.
+            fn spawn(n: usize) -> Option<TcpFleet> {
+                let sibling = std::env::current_exe()
+                    .ok()?
+                    .parent()?
+                    .join(format!("scenario_run{}", std::env::consts::EXE_SUFFIX));
+                if !sibling.exists() {
+                    return None;
+                }
+                let listener = TcpListener::bind("127.0.0.1:0").ok()?;
+                let addr = listener.local_addr().ok()?.to_string();
+                let mut children = Vec::with_capacity(n);
+                for _ in 0..n {
+                    // 2 threads per worker: an execution hint (the bits
+                    // never depend on it) that lets a 2-process fleet
+                    // use 4 cores where the runner has them.
+                    children.push(
+                        std::process::Command::new(&sibling)
+                            .args(["--worker", &addr, "--persist", "--threads", "2"])
+                            .stderr(std::process::Stdio::null())
+                            .spawn()
+                            .ok()?,
+                    );
+                }
+                Some(TcpFleet { listener, children })
             }
-            if let Some(mut fleet) = spawn_process_workers(workers) {
-                let run = coordinator.run(fleet.transports).expect("distributed run");
-                for child in &mut fleet.children {
+
+            fn accept(&self, n: usize) -> Vec<Box<dyn Transport>> {
+                let mut transports: Vec<Box<dyn Transport>> = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let (stream, _) = self.listener.accept().expect("worker connects");
+                    stream.set_nodelay(true).expect("nodelay");
+                    let reader = stream.try_clone().expect("stream clones");
+                    transports.push(Box::new(JsonLines::new(reader, stream)));
+                }
+                transports
+            }
+        }
+
+        impl Drop for TcpFleet {
+            fn drop(&mut self) {
+                for child in &mut self.children {
+                    let _ = child.kill();
                     let _ = child.wait();
                 }
-                run.outcome
-            } else {
-                // Fallback fleet: real workers on threads over OS pipes.
-                let mut coord_ends: Vec<Box<dyn Transport>> = Vec::new();
-                let mut handles = Vec::new();
-                for _ in 0..workers {
-                    let (c2w_r, c2w_w) = std::io::pipe().expect("pipe");
-                    let (w2c_r, w2c_w) = std::io::pipe().expect("pipe");
-                    coord_ends.push(Box::new(JsonLines::new(w2c_r, c2w_w)));
-                    handles.push(std::thread::spawn(move || {
-                        let mut t = JsonLines::new(c2w_r, w2c_w);
-                        Worker::new()
-                            .serve(&mut t)
-                            .map(|_| ())
-                            .map_err(|e| e.to_string())
-                    }));
-                }
-                let run = coordinator.run(coord_ends).expect("distributed run");
-                for h in handles {
-                    h.join().expect("worker thread joins").expect("worker ok");
-                }
-                run.outcome
             }
         }
+
+        let fleet = TcpFleet::spawn(2);
+        let fallback_cache = SpecCache::new();
+        let run_dist =
+            |scenario: &Scenario, journal: Option<&std::path::Path>| -> ScenarioOutcome {
+                let mut coordinator = Coordinator::new(scenario.clone()).expect("compiles");
+                if let Some(path) = journal {
+                    let _ = std::fs::remove_file(path);
+                    coordinator = coordinator.journal(path).expect("journal creates");
+                }
+                if let Some(fleet) = &fleet {
+                    coordinator
+                        .run(fleet.accept(2))
+                        .expect("distributed run")
+                        .outcome
+                } else {
+                    // Fallback fleet: real workers on threads over OS
+                    // pipes, warm cache shared across iterations.
+                    let mut coord_ends: Vec<Box<dyn Transport>> = Vec::new();
+                    let mut handles = Vec::new();
+                    for _ in 0..2 {
+                        let (c2w_r, c2w_w) = std::io::pipe().expect("pipe");
+                        let (w2c_r, w2c_w) = std::io::pipe().expect("pipe");
+                        coord_ends.push(Box::new(JsonLines::new(w2c_r, c2w_w)));
+                        let worker = Worker::new().threads(2).spec_cache(fallback_cache.clone());
+                        handles.push(std::thread::spawn(move || {
+                            let mut t = JsonLines::new(c2w_r, w2c_w);
+                            worker.serve(&mut t).map(|_| ()).map_err(|e| e.to_string())
+                        }));
+                    }
+                    let run = coordinator.run(coord_ends).expect("distributed run");
+                    for h in handles {
+                        h.join().expect("worker thread joins").expect("worker ok");
+                    }
+                    run.outcome
+                }
+            };
 
         let mc_scn = Scenario {
             name: "bench-dist-mc".into(),
@@ -1050,10 +1102,18 @@ fn main() {
                 samples: 50_000,
             },
         };
-        let f1_scn = Scenario::preset_with("F1", &Context::smoke()).expect("known preset");
+        // 4× the smoke scale: enough campaign steps that the fleet's
+        // fixed protocol cost amortises and multi-core runners see the
+        // compute scaling rather than the handshake.
+        let f1_ctx = {
+            let mut ctx = Context::smoke();
+            ctx.scale = 0.08;
+            ctx
+        };
+        let f1_scn = Scenario::preset_with("F1", &f1_ctx).expect("known preset");
         for (label, scenario) in [("mc_50k", &mc_scn), ("f1_campaign", &f1_scn)] {
             let single = scenario.run(1).expect("in-process run");
-            let distributed = run_dist(scenario, 2, None);
+            let distributed = run_dist(scenario, None);
             assert_eq!(
                 format!("{distributed:?}"),
                 format!("{single:?}"),
@@ -1065,7 +1125,7 @@ fn main() {
                     black_box(scenario.run(1).expect("runs"));
                 },
                 || {
-                    black_box(run_dist(scenario, 2, None));
+                    black_box(run_dist(scenario, None));
                 },
             );
             println!(
@@ -1088,8 +1148,8 @@ fn main() {
                 "divrel-bench-journal-{}.ndjson",
                 std::process::id()
             ));
-            let plain = run_dist(&mc_scn, 2, None);
-            let journaled = run_dist(&mc_scn, 2, Some(&journal));
+            let plain = run_dist(&mc_scn, None);
+            let journaled = run_dist(&mc_scn, Some(&journal));
             assert_eq!(
                 format!("{journaled:?}"),
                 format!("{plain:?}"),
@@ -1098,10 +1158,10 @@ fn main() {
             let c = Comparison::measure(
                 "dist/resume_overhead",
                 || {
-                    black_box(run_dist(&mc_scn, 2, None));
+                    black_box(run_dist(&mc_scn, None));
                 },
                 || {
-                    black_box(run_dist(&mc_scn, 2, Some(&journal)));
+                    black_box(run_dist(&mc_scn, Some(&journal)));
                 },
             );
             println!(
@@ -1114,9 +1174,80 @@ fn main() {
             results.push(c);
             let _ = std::fs::remove_file(&journal);
         }
+
+        // --- dist/handshake_reuse: the PR 7 cached-spec handshake ------
+        // One worker serving the same committed spec over back-to-back
+        // connections: cold (a fresh worker per connection — the full
+        // spec ships and compiles every time, the v2 behaviour) vs warm
+        // (one persistent worker whose compiled-spec cache turns the
+        // handshake into a hash exchange). The spec is the F1 campaign
+        // with the step count cut down, so the connection cost under
+        // measurement is dominated by spec shipping + compilation, not
+        // by plant simulation — and the coordinator is built once, so
+        // its own compile is outside the loop. Core-count independent:
+        // the row measures the protocol, not the compute.
+        {
+            use divrel_bench::scenario::ExperimentSpec as Exp;
+            let mut scenario =
+                Scenario::preset_with("F1", &Context::smoke()).expect("known preset");
+            scenario.name = "bench-handshake".into();
+            if let Exp::Protection(spec) = &mut scenario.experiment {
+                spec.steps = 2_000;
+            }
+            let coordinator = Coordinator::new(scenario.clone()).expect("compiles");
+            let serve_once = |worker: Worker| -> ScenarioOutcome {
+                let (c2w_r, c2w_w) = std::io::pipe().expect("pipe");
+                let (w2c_r, w2c_w) = std::io::pipe().expect("pipe");
+                let handle = std::thread::spawn(move || {
+                    let mut t = JsonLines::new(c2w_r, w2c_w);
+                    worker.serve(&mut t).map_err(|e| e.to_string())
+                });
+                let ends: Vec<Box<dyn Transport>> = vec![Box::new(JsonLines::new(w2c_r, c2w_w))];
+                let run = coordinator.run(ends).expect("distributed run");
+                let summary = handle
+                    .join()
+                    .expect("worker thread joins")
+                    .expect("worker ok");
+                black_box(summary);
+                run.outcome
+            };
+            let warm = Worker::new().threads(1);
+            let single = scenario.run(1).expect("in-process run");
+            let cold_out = serve_once(Worker::new().threads(1));
+            let prewarm = serve_once(warm.clone()); // populates the cache
+            let warm_out = serve_once(warm.clone());
+            for (label, out) in [
+                ("cold", &cold_out),
+                ("prewarm", &prewarm),
+                ("warm", &warm_out),
+            ] {
+                assert_eq!(
+                    format!("{out:?}"),
+                    format!("{single:?}"),
+                    "dist/handshake_reuse: {label} outcome diverged from the in-process run"
+                );
+            }
+            let c = Comparison::measure(
+                "dist/handshake_reuse",
+                || {
+                    black_box(serve_once(Worker::new().threads(1)));
+                },
+                || {
+                    black_box(serve_once(warm.clone()));
+                },
+            );
+            println!(
+                "{:<44} {:>10.1} -> {:>9.1} ns  ({:.2}x)",
+                c.name,
+                c.legacy_ns,
+                c.fast_ns,
+                c.speedup()
+            );
+            results.push(c);
+        }
     }
 
-    let json = to_json(6, &results);
+    let json = to_json(7, &results);
     std::fs::write(&out_path, &json).expect("write bench export");
     println!("\nwrote {out_path}");
     let below: Vec<&Comparison> = results.iter().filter(|c| c.speedup() < 5.0).collect();

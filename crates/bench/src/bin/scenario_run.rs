@@ -8,7 +8,7 @@
 //! scenario_run --coordinator N [--bind ADDR] [--lease-cells K] [--lease-timeout-ms T]
 //!              [--journal PATH [--resume]] [--chaos MAP] [--chaos-exit-after K]
 //!              [--check-single] <spec>
-//! scenario_run --worker <ADDR> [--threads N] [--fault PLAN]
+//! scenario_run --worker <ADDR> [--persist] [--threads N] [--fault PLAN]
 //! ```
 //!
 //! The spec format is auto-detected (JSON if the file starts with `{`,
@@ -38,6 +38,14 @@
 //!   worker-side flag it compiles to); `--chaos-exit-after K` makes the
 //!   coordinator stop dead after its `K`-th journal append — the
 //!   crash/resume rehearsal the CI chaos job runs.
+//!
+//! `--worker ... --persist` keeps a TCP worker alive across
+//! coordinators: after each run it reconnects and serves the next one,
+//! keeping its compiled-spec cache warm — a v3 coordinator re-running
+//! the same committed spec then handshakes with just the spec hash and
+//! never re-ships (or re-compiles) the spec. Result frames use the
+//! compact binary framing whenever protocol v3 is negotiated; set
+//! `DIVREL_DIST_FRAMING=json` (or `binary`) on a worker to override.
 
 use divrel_bench::context::default_sweep_threads;
 use divrel_bench::dist::{
@@ -61,7 +69,7 @@ USAGE:
   scenario_run --coordinator N [--bind ADDR] [--lease-cells K] [--lease-timeout-ms T]
                [--journal PATH [--resume]] [--chaos MAP] [--chaos-exit-after K]
                [--check-single] <spec>
-  scenario_run --worker <ADDR> [--threads N] [--fault PLAN]
+  scenario_run --worker <ADDR> [--persist] [--threads N] [--fault PLAN]
 
 A spec file declares the whole experiment — fault model, plant, channel
 layout, grid and seed — and the engine guarantees the reduced output is
@@ -106,6 +114,7 @@ struct Args {
     check_single: bool,
     worker: Option<String>,
     worker_stdio: bool,
+    persist: bool,
     fault: Option<String>,
 }
 
@@ -128,6 +137,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         check_single: false,
         worker: None,
         worker_stdio: false,
+        persist: false,
         fault: None,
     };
     let mut i = 0;
@@ -203,6 +213,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.worker_stdio = true;
                 i += 1;
             }
+            "--persist" => {
+                args.persist = true;
+                i += 1;
+            }
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             path => {
@@ -220,9 +234,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         if args.spec_path.is_some() || args.preset.is_some() || args.coordinator.is_some() {
             return Err("worker mode takes no spec: the coordinator ships it".into());
         }
-        // A worker only accepts --threads and --fault; silently ignoring
-        // a coordinator flag would let an operator believe it took
-        // effect.
+        if args.persist && args.worker_stdio {
+            return Err("--persist needs --worker ADDR: a stdio pipe cannot reconnect".into());
+        }
+        // A worker only accepts --threads, --fault and --persist;
+        // silently ignoring a coordinator flag would let an operator
+        // believe it took effect.
         for (flag, present) in [
             ("--bind", args.bind.is_some()),
             ("--lease-cells", args.lease_cells.is_some()),
@@ -238,7 +255,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         ] {
             if present {
                 return Err(format!(
-                    "{flag} is a coordinator flag; workers take --threads and --fault only"
+                    "{flag} is a coordinator flag; workers take --threads, --fault and \
+                     --persist only"
                 ));
             }
         }
@@ -249,6 +267,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if args.fault.is_some() {
         return Err("--fault is a worker flag; use --chaos on the coordinator".into());
+    }
+    if args.persist {
+        return Err("--persist is a worker flag; it needs --worker ADDR".into());
     }
     if args.spec_path.is_none() && args.preset.is_none() {
         return Err("provide a spec file or --preset".into());
@@ -343,13 +364,10 @@ fn tune_tcp(stream: &TcpStream) -> Result<(), String> {
     Ok(())
 }
 
-/// Serve one coordinator connection as a worker; the protocol rides the
-/// given transport, diagnostics go to stderr.
-fn run_worker<T: Transport>(
-    mut transport: T,
-    threads: usize,
-    fault: &Option<String>,
-) -> Result<(), String> {
+/// Builds the worker a `--worker`/`--worker-stdio` invocation serves
+/// with. One `Worker` value lives for the whole process, so a
+/// `--persist` worker keeps its compiled-spec cache across connections.
+fn build_worker(threads: usize, fault: &Option<String>) -> Result<Worker, String> {
     let mut worker = Worker::new().threads(threads);
     if let Some(plan) = fault {
         let plan = FaultPlan::parse(plan).map_err(|e| format!("--fault: {e}"))?;
@@ -358,14 +376,49 @@ fn run_worker<T: Transport>(
         }
         worker = worker.fault_plan(plan);
     }
+    Ok(worker)
+}
+
+/// Serve one coordinator connection as a worker; the protocol rides the
+/// given transport, diagnostics go to stderr.
+fn serve_connection<T: Transport>(worker: &Worker, mut transport: T) -> Result<(), String> {
     let summary = worker
         .serve(&mut transport)
         .map_err(|e| format!("worker failed: {e}"))?;
     eprintln!(
-        "worker done: {} lease(s), {} cell(s) of spec {}",
-        summary.leases_served, summary.cells_run, summary.spec_hash
+        "worker done: protocol v{}, spec {} ({}), {} lease(s), {} cell(s)",
+        summary.protocol,
+        summary.spec_hash,
+        if summary.spec_was_cached {
+            "cached"
+        } else {
+            "shipped"
+        },
+        summary.leases_served,
+        summary.cells_run,
     );
     Ok(())
+}
+
+/// How long a `--persist` worker keeps retrying the coordinator address
+/// between runs before concluding the campaign is over.
+const PERSIST_RECONNECT_WINDOW: Duration = Duration::from_secs(10);
+
+/// Connects to the coordinator, retrying refused connections within
+/// `window` — between back-to-back coordinator runs the listener is
+/// briefly down, and a persistent worker must ride that out.
+fn connect_within(addr: &str, window: Duration) -> Result<TcpStream, String> {
+    let deadline = std::time::Instant::now() + window;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if std::time::Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => return Err(format!("cannot reach coordinator {addr}: {e}")),
+        }
+    }
 }
 
 /// Parses `--chaos "0=die@1;1=stall@0"` into per-worker extra argv for
@@ -544,23 +597,44 @@ fn run_coordinator(args: &Args, scenario: Scenario, workers: usize) -> Result<()
 fn run(args: Args) -> Result<(), String> {
     if args.worker_stdio {
         // Protocol rides stdout: nothing else may print there.
-        return run_worker(
-            JsonLines::new(std::io::stdin(), std::io::stdout()),
+        let worker = build_worker(
             args.threads.unwrap_or_else(default_worker_threads),
             &args.fault,
-        );
+        )?;
+        return serve_connection(&worker, JsonLines::new(std::io::stdin(), std::io::stdout()));
     }
     if let Some(addr) = &args.worker {
-        let stream = TcpStream::connect(addr)
-            .map_err(|e| format!("cannot reach coordinator {addr}: {e}"))?;
-        tune_tcp(&stream)?;
-        let reader = stream.try_clone().map_err(|e| e.to_string())?;
-        eprintln!("joined coordinator at {addr}");
-        return run_worker(
-            JsonLines::new(reader, stream),
+        let worker = build_worker(
             args.threads.unwrap_or_else(default_worker_threads),
             &args.fault,
-        );
+        )?;
+        let mut connections = 0u64;
+        loop {
+            // The first connection fails fast (a wrong address should
+            // not sit retrying); reconnects of a persistent worker ride
+            // out the gap between coordinator runs.
+            let window = if connections == 0 {
+                Duration::ZERO
+            } else {
+                PERSIST_RECONNECT_WINDOW
+            };
+            let stream = match connect_within(addr, window) {
+                Ok(stream) => stream,
+                Err(e) if connections > 0 => {
+                    eprintln!("coordinator gone after {connections} connection(s): {e}");
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            };
+            tune_tcp(&stream)?;
+            let reader = stream.try_clone().map_err(|e| e.to_string())?;
+            eprintln!("joined coordinator at {addr}");
+            serve_connection(&worker, JsonLines::new(reader, stream))?;
+            connections += 1;
+            if !args.persist {
+                return Ok(());
+            }
+        }
     }
 
     let scenario = load_scenario(&args)?;

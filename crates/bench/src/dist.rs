@@ -52,9 +52,11 @@
 //! crash/resume point.
 
 pub mod chaos;
+pub mod framing;
 pub mod journal;
 
 pub use chaos::{Fault, FaultPlan};
+pub use framing::FramingMode;
 pub use journal::{Journal, JournalError, JournalLoad};
 
 use crate::scenario::{CampaignRuntime, ExperimentSpec, Scenario, ScenarioOutcome, ScenarioResult};
@@ -67,16 +69,29 @@ use divrel_numerics::sweep::SweepReduce;
 use divrel_numerics::wire::{Wire, WireError, WireForm};
 use divrel_protection::OperationLog;
 use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// Protocol revision; both ends must agree. v2 added
-/// [`Message::Progress`] heartbeats.
-pub const PROTOCOL_VERSION: u64 = 2;
+/// Highest protocol revision this build speaks. v2 added
+/// [`Message::Progress`] heartbeats; v3 added the cached-spec handshake
+/// ([`Message::SpecHash`]/[`Message::NeedSpec`]) and binary `Result`
+/// framing ([`framing`]). The two ends negotiate
+/// `min(coordinator, worker)` at the handshake, so a mixed-version
+/// fleet degrades to the v2 full-spec/JSON path per connection instead
+/// of failing.
+pub const PROTOCOL_VERSION: u64 = 3;
+
+/// Oldest protocol revision the coordinator still accepts.
+pub const MIN_PROTOCOL_VERSION: u64 = 2;
+
+/// First revision with the cached-spec handshake and binary framing.
+pub const BINARY_PROTOCOL_VERSION: u64 = 3;
 
 /// Default cells per lease (see [`Coordinator::lease_cells`]): small
 /// enough that a fleet load-balances, large enough that framing is
@@ -121,6 +136,25 @@ pub enum Message {
         hash: String,
         /// Canonical spec text (TOML).
         text: String,
+    },
+    /// Coordinator → worker (v3): just the spec fingerprint and the
+    /// negotiated protocol revision. A worker that has already compiled
+    /// this spec answers [`Message::Ready`] straight away; otherwise it
+    /// answers [`Message::NeedSpec`] and the full [`Message::Spec`]
+    /// follows — so a persistent worker parses and compiles each spec
+    /// once per hash, not once per connection.
+    SpecHash {
+        /// [`spec_hash`] of the committed spec.
+        hash: String,
+        /// The protocol revision this connection will speak:
+        /// `min(coordinator, worker)`.
+        protocol: u64,
+    },
+    /// Worker → coordinator (v3): the spec behind `hash` is not cached;
+    /// send the full [`Message::Spec`].
+    NeedSpec {
+        /// Echo of the requested hash.
+        hash: String,
     },
     /// Worker → coordinator: spec parsed, validated and hash-checked;
     /// ready for leases.
@@ -175,6 +209,18 @@ pub trait FrameSend: Send {
     ///
     /// I/O errors from the underlying stream.
     fn send(&mut self, msg: &Message) -> std::io::Result<()>;
+
+    /// Sends one frame in the compact binary form where the transport
+    /// supports it, falling back to JSON otherwise (only
+    /// [`Message::Result`] has a binary form). Custom transports get
+    /// the fallback for free.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying stream.
+    fn send_binary(&mut self, msg: &Message) -> std::io::Result<()> {
+        self.send(msg)
+    }
 }
 
 /// The receiving half of a split [`Transport`].
@@ -207,6 +253,17 @@ pub trait Transport: Send {
     /// I/O errors, including malformed frames.
     fn recv(&mut self) -> std::io::Result<Option<Message>>;
 
+    /// Sends one frame in the compact binary form where the transport
+    /// supports it, falling back to JSON otherwise. See
+    /// [`FrameSend::send_binary`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying stream.
+    fn send_binary(&mut self, msg: &Message) -> std::io::Result<()> {
+        self.send(msg)
+    }
+
     /// Splits the transport into independently owned send/receive
     /// halves, so a reader thread can pump frames while the driver
     /// writes — the shape the coordinator's deadline machinery needs.
@@ -227,6 +284,17 @@ impl<W: Write + Send> FrameSend for FrameWriter<W> {
         self.inner.write_all(b"\n")?;
         self.inner.flush()
     }
+
+    fn send_binary(&mut self, msg: &Message) -> std::io::Result<()> {
+        match msg {
+            Message::Result { start, end, cells } => {
+                let frame = framing::encode_result_frame(*start, *end, cells);
+                self.inner.write_all(&frame)?;
+                self.inner.flush()
+            }
+            other => self.send(other),
+        }
+    }
 }
 
 /// The reading half of [`JsonLines`]. Unlike a plain `BufReader`
@@ -234,6 +302,13 @@ impl<W: Write + Send> FrameSend for FrameWriter<W> {
 /// timeout: bytes accumulate in an internal buffer and a
 /// `TimedOut`/`WouldBlock` error simply surfaces to the caller, who may
 /// retry `recv` without losing framing.
+///
+/// The reader demultiplexes the two frame forms on the first byte of
+/// each frame: [`framing::BINARY_FRAME_MARKER`] (`0x00`, never the
+/// start of a JSON document) opens a length-prefixed binary frame,
+/// anything else a `\n`-terminated JSON line. Accepting both forms
+/// unconditionally means a receiver never has to know what the peer
+/// negotiated — mixed streams parse cleanly.
 pub struct FrameReader<R: Read> {
     inner: R,
     pending: Vec<u8>,
@@ -247,34 +322,59 @@ impl<R: Read> FrameReader<R> {
         }
     }
 
-    /// The next `\n`-terminated line (CR stripped), `None` on clean
-    /// EOF. EOF with a partial frame buffered is `InvalidData`.
-    fn next_line(&mut self) -> std::io::Result<Option<String>> {
+    /// One read into the pending buffer. `Ok(false)` means clean EOF.
+    fn fill(&mut self) -> std::io::Result<bool> {
+        let mut chunk = [0u8; 4096];
         loop {
-            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
-                let mut line: Vec<u8> = self.pending.drain(..=pos).collect();
-                line.pop();
-                if line.last() == Some(&b'\r') {
-                    line.pop();
-                }
-                return String::from_utf8(line)
-                    .map(Some)
-                    .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()));
-            }
-            let mut chunk = [0u8; 4096];
             match self.inner.read(&mut chunk) {
-                Ok(0) => {
-                    if self.pending.is_empty() {
-                        return Ok(None);
-                    }
-                    return Err(std::io::Error::new(
-                        ErrorKind::InvalidData,
-                        "connection closed mid-frame",
-                    ));
+                Ok(0) => return Ok(false),
+                Ok(n) => {
+                    self.pending.extend_from_slice(&chunk[..n]);
+                    return Ok(true);
                 }
-                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Extracts one complete frame from the head of the pending buffer,
+    /// or `None` if more bytes are needed.
+    fn take_frame(&mut self) -> std::io::Result<Option<Message>> {
+        loop {
+            match self.pending.first() {
+                // Blank-line noise between JSON frames.
+                Some(b'\n') | Some(b'\r') => {
+                    self.pending.remove(0);
+                }
+                Some(&framing::BINARY_FRAME_MARKER) => {
+                    return match framing::try_extract(&self.pending)? {
+                        framing::Extracted::Frame(msg, used) => {
+                            self.pending.drain(..used);
+                            Ok(Some(msg))
+                        }
+                        framing::Extracted::Incomplete => Ok(None),
+                    };
+                }
+                Some(_) => {
+                    let Some(pos) = self.pending.iter().position(|&b| b == b'\n') else {
+                        return Ok(None);
+                    };
+                    let mut line: Vec<u8> = self.pending.drain(..=pos).collect();
+                    line.pop();
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let line = String::from_utf8(line)
+                        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    return serde_json::from_str(&line)
+                        .map(Some)
+                        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()));
+                }
+                None => return Ok(None),
             }
         }
     }
@@ -283,16 +383,18 @@ impl<R: Read> FrameReader<R> {
 impl<R: Read + Send> FrameRecv for FrameReader<R> {
     fn recv(&mut self) -> std::io::Result<Option<Message>> {
         loop {
-            let line = match self.next_line()? {
-                None => return Ok(None),
-                Some(line) => line,
-            };
-            if line.trim().is_empty() {
-                continue;
+            if let Some(msg) = self.take_frame()? {
+                return Ok(Some(msg));
             }
-            return serde_json::from_str(&line)
-                .map(Some)
-                .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()));
+            if !self.fill()? {
+                if self.pending.is_empty() {
+                    return Ok(None);
+                }
+                return Err(std::io::Error::new(
+                    ErrorKind::InvalidData,
+                    "connection closed mid-frame",
+                ));
+            }
         }
     }
 }
@@ -328,6 +430,10 @@ impl<R: Read + Send + 'static, W: Write + Send + 'static> Transport for JsonLine
 
     fn recv(&mut self) -> std::io::Result<Option<Message>> {
         self.rx.recv()
+    }
+
+    fn send_binary(&mut self, msg: &Message) -> std::io::Result<()> {
+        self.tx.send_binary(msg)
     }
 
     fn split(self: Box<Self>) -> (Box<dyn FrameSend>, Box<dyn FrameRecv>) {
@@ -634,12 +740,18 @@ pub struct DistRun {
     pub stats: DistStats,
 }
 
+/// Default pipeline depth: leases a worker may hold at once, so the
+/// next lease is already granted while the current one computes.
+pub const DEFAULT_PIPELINE_DEPTH: usize = 2;
+
 /// Coordinates a fleet of workers over one committed scenario.
 pub struct Coordinator {
     job: DistJob,
     spec_text: String,
     spec_hash: String,
     lease_cells: u64,
+    lease_cap: Option<u64>,
+    pipeline_depth: usize,
     lease_timeout: Duration,
     backoff_base: Duration,
     backoff_cap: Duration,
@@ -669,6 +781,8 @@ impl Coordinator {
             spec_text,
             spec_hash,
             lease_cells: DEFAULT_LEASE_CELLS,
+            lease_cap: None,
+            pipeline_depth: DEFAULT_PIPELINE_DEPTH,
             lease_timeout: DEFAULT_LEASE_TIMEOUT,
             backoff_base: Duration::from_millis(25),
             backoff_cap: Duration::from_secs(2),
@@ -680,12 +794,38 @@ impl Coordinator {
         })
     }
 
-    /// Sets the lease granularity (cells per lease, minimum 1). Purely
-    /// an execution knob: the reduced bits are identical for every
-    /// value because the fold is per-cell, never per-lease.
+    /// Sets the base lease granularity (cells per lease, minimum 1).
+    /// Purely an execution knob: the reduced bits are identical for
+    /// every value because the fold is per-cell, never per-lease.
+    ///
+    /// Leases grow adaptively from this base: a worker that returns a
+    /// lease without missing a deadline has its next grant doubled (up
+    /// to [`Coordinator::adaptive_lease_cap`], default 8× the base,
+    /// assembled by coalescing adjacent queued ranges), and a missed
+    /// deadline shrinks it back to the base. Fast workers therefore pay
+    /// per-lease round-trip overhead logarithmically often while slow
+    /// or flaky workers keep fine-grained, cheap-to-retry leases.
     #[must_use]
     pub fn lease_cells(mut self, cells: u64) -> Self {
         self.lease_cells = cells.max(1);
+        self
+    }
+
+    /// Caps adaptive lease growth at `cells` per lease (clamped to at
+    /// least the base granularity at claim time).
+    #[must_use]
+    pub fn adaptive_lease_cap(mut self, cells: u64) -> Self {
+        self.lease_cap = Some(cells.max(1));
+        self
+    }
+
+    /// Sets how many leases a worker may hold at once (minimum 1 —
+    /// which disables pipelining). With the default of
+    /// [`DEFAULT_PIPELINE_DEPTH`], the coordinator grants the next
+    /// lease while the current one computes, hiding the round-trip.
+    #[must_use]
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth.max(1);
         self
     }
 
@@ -920,6 +1060,81 @@ impl Coordinator {
         Ok(self.halt_after_appends.is_some_and(|n| appends >= n))
     }
 
+    /// Handshake steps 2..: after the worker's `Join`, get it to a
+    /// verified `Ready`. On v3 the coordinator offers just the spec
+    /// hash and ships the full text only on a cache miss
+    /// ([`Message::NeedSpec`]); on v2 the full spec goes up front.
+    fn handshake_ready(
+        &self,
+        protocol: u64,
+        tx: &mut dyn FrameSend,
+        events: &Receiver<RxEvent>,
+    ) -> Result<(), DriveExit> {
+        if protocol >= BINARY_PROTOCOL_VERSION {
+            tx.send(&Message::SpecHash {
+                hash: self.spec_hash.clone(),
+                protocol,
+            })
+            .map_err(|_| DriveExit::Dead(None))?;
+        } else {
+            tx.send(&Message::Spec {
+                hash: self.spec_hash.clone(),
+                text: self.spec_text.clone(),
+            })
+            .map_err(|_| DriveExit::Dead(None))?;
+        }
+        let mut spec_sent = protocol < BINARY_PROTOCOL_VERSION;
+        loop {
+            match wait_frame(events, self.lease_timeout) {
+                RxWait::Event(RxEvent::Frame(Message::Ready { hash }))
+                    if hash == self.spec_hash =>
+                {
+                    return Ok(())
+                }
+                RxWait::Event(RxEvent::Frame(Message::Ready { hash })) => {
+                    let reason = format!(
+                        "worker echoed spec hash {hash}, coordinator expects {}",
+                        self.spec_hash
+                    );
+                    let _ = tx.send(&Message::Abort {
+                        reason: reason.clone(),
+                    });
+                    return Err(DriveExit::Quarantined(reason));
+                }
+                RxWait::Event(RxEvent::Frame(Message::NeedSpec { hash }))
+                    if !spec_sent && hash == self.spec_hash =>
+                {
+                    tx.send(&Message::Spec {
+                        hash: self.spec_hash.clone(),
+                        text: self.spec_text.clone(),
+                    })
+                    .map_err(|_| DriveExit::Dead(None))?;
+                    spec_sent = true;
+                }
+                RxWait::Event(RxEvent::Frame(Message::NeedSpec { hash })) => {
+                    let reason = format!(
+                        "worker requested spec {hash}, coordinator offers {}",
+                        self.spec_hash
+                    );
+                    let _ = tx.send(&Message::Abort {
+                        reason: reason.clone(),
+                    });
+                    return Err(DriveExit::Quarantined(reason));
+                }
+                RxWait::Event(RxEvent::Frame(Message::Abort { reason })) => {
+                    return Err(DriveExit::Abort(reason))
+                }
+                RxWait::Event(RxEvent::Corrupt(e)) => {
+                    return Err(DriveExit::Quarantined(format!(
+                        "corrupt handshake frame: {e}"
+                    )))
+                }
+                RxWait::Deadline => return Err(DriveExit::Dead(None)),
+                _ => return Err(DriveExit::Dead(None)),
+            }
+        }
+    }
+
     fn drive_worker(
         &self,
         tx: &mut dyn FrameSend,
@@ -927,14 +1142,20 @@ impl Coordinator {
         board: &Mutex<Board>,
         wakeup: &Condvar,
     ) -> Result<(), DriveExit> {
-        // Handshake: Join → Spec → Ready (hash echoed). Each step is
-        // bounded by the lease deadline.
-        match wait_frame(events, self.lease_timeout) {
+        // Handshake: Join → SpecHash/Spec → (NeedSpec → Spec →) Ready.
+        // Each step is bounded by the lease deadline. The connection
+        // speaks min(coordinator, worker): a v2 worker gets the v2
+        // full-spec handshake and JSON-framed results.
+        let protocol = match wait_frame(events, self.lease_timeout) {
             RxWait::Event(RxEvent::Frame(Message::Join { protocol }))
-                if protocol == PROTOCOL_VERSION => {}
+                if protocol >= MIN_PROTOCOL_VERSION =>
+            {
+                protocol.min(PROTOCOL_VERSION)
+            }
             RxWait::Event(RxEvent::Frame(Message::Join { protocol })) => {
                 let reason = format!(
-                    "protocol mismatch: coordinator v{PROTOCOL_VERSION}, worker v{protocol}"
+                    "protocol mismatch: coordinator v{PROTOCOL_VERSION} \
+                     (accepts ≥ v{MIN_PROTOCOL_VERSION}), worker v{protocol}"
                 );
                 let _ = tx.send(&Message::Abort {
                     reason: reason.clone(),
@@ -946,171 +1167,157 @@ impl Coordinator {
             }
             RxWait::Deadline => return Err(DriveExit::Dead(None)),
             _ => return Err(DriveExit::Dead(None)),
-        }
-        tx.send(&Message::Spec {
-            hash: self.spec_hash.clone(),
-            text: self.spec_text.clone(),
-        })
-        .map_err(|_| DriveExit::Dead(None))?;
-        match wait_frame(events, self.lease_timeout) {
-            RxWait::Event(RxEvent::Frame(Message::Ready { hash })) if hash == self.spec_hash => {}
-            RxWait::Event(RxEvent::Frame(Message::Ready { hash })) => {
-                let reason = format!(
-                    "worker echoed spec hash {hash}, coordinator expects {}",
-                    self.spec_hash
-                );
-                let _ = tx.send(&Message::Abort {
-                    reason: reason.clone(),
-                });
-                return Err(DriveExit::Quarantined(reason));
-            }
-            RxWait::Event(RxEvent::Frame(Message::Abort { reason })) => {
-                return Err(DriveExit::Abort(reason))
-            }
-            RxWait::Event(RxEvent::Corrupt(e)) => {
-                return Err(DriveExit::Quarantined(format!("corrupt Ready frame: {e}")))
-            }
-            RxWait::Deadline => return Err(DriveExit::Dead(None)),
-            _ => return Err(DriveExit::Dead(None)),
-        }
+        };
+        self.handshake_ready(protocol, tx, events)?;
         board.lock().expect("lease board poisoned").handshaken += 1;
 
+        // Pipelined, adaptive lease loop. Up to `pipeline_depth` leases
+        // stay outstanding per worker so the next range is already
+        // granted while the current one computes (the grant rides the
+        // wire during compute instead of after it), and the per-worker
+        // grant size doubles on every clean completion — up to
+        // `lease_cap_cells()` — then snaps back to the base on a missed
+        // deadline. A worker that keeps pace ends up with a handful of
+        // large leases instead of hundreds of chatty small ones.
+        enum Claim {
+            /// The run is over (all cells filled, or fatal).
+            Drained,
+            /// Nothing eligible right now, but this worker has work in
+            /// flight — keep draining frames instead of parking.
+            Busy,
+            Lease(PendingLease),
+        }
+        let base = self.lease_cells;
+        let cap = self.lease_cap_cells();
+        let depth = self.pipeline_depth.max(1);
+        let mut grant = base;
+        let mut strikes: u32 = 0;
+        let mut outstanding: VecDeque<InFlight> = VecDeque::new();
         loop {
-            // Claim the next eligible lease, or wait: a range held by
-            // another worker may yet come back to the queue, and a
-            // backed-off range becomes eligible when its delay expires.
-            let lease = {
-                let mut b = board.lock().expect("lease board poisoned");
-                loop {
-                    if b.fatal.is_some() || b.filled == b.cells.len() {
-                        // Send Done *outside* the lock: a worker that
-                        // has stopped draining its socket must not park
-                        // this blocking write while every other
-                        // coordinator thread waits on the board mutex.
-                        drop(b);
-                        let _ = tx.send(&Message::Done);
-                        return Ok(());
+            // Top-up phase: grant new leases while the pipeline has room
+            // and the worker is keeping its deadlines. After a strike,
+            // granting pauses until a (late) frame clears it — handing
+            // more work to a straggler only deepens the hole.
+            'grant: while strikes == 0 && outstanding.len() < depth {
+                let claim = {
+                    let mut b = board.lock().expect("lease board poisoned");
+                    loop {
+                        if b.fatal.is_some() || b.filled == b.cells.len() {
+                            break Claim::Drained;
+                        }
+                        let now = Instant::now();
+                        if let Some(pos) = b
+                            .pending
+                            .iter()
+                            .position(|p| p.ready_at.is_none_or(|t| t <= now))
+                        {
+                            let mut lease = b.pending.remove(pos);
+                            b.leases += 1;
+                            // Coalesce queue-adjacent eligible ranges up
+                            // to the adaptive grant: the queue starts as
+                            // base-sized chunks, so a grown grant is
+                            // assembled from contiguous neighbours.
+                            while lease.range.len() < grant {
+                                let Some(next) = b.pending.iter().position(|p| {
+                                    p.range.start == lease.range.end
+                                        && p.ready_at.is_none_or(|t| t <= now)
+                                        && lease.range.len() + p.range.len() <= grant
+                                }) else {
+                                    break;
+                                };
+                                let p = b.pending.remove(next);
+                                lease.range = CellRange::new(lease.range.start, p.range.end);
+                                lease.attempt = lease.attempt.max(p.attempt);
+                            }
+                            break Claim::Lease(lease);
+                        }
+                        if !outstanding.is_empty() {
+                            break Claim::Busy;
+                        }
+                        // Idle worker, nothing eligible: a range held by
+                        // another worker may yet come back to the queue,
+                        // and a backed-off range becomes eligible when
+                        // its delay expires.
+                        if let Some(earliest) = b.pending.iter().filter_map(|p| p.ready_at).min() {
+                            let wait = earliest.saturating_duration_since(now);
+                            b = wakeup
+                                .wait_timeout(b, wait.max(Duration::from_millis(1)))
+                                .expect("lease board poisoned")
+                                .0;
+                        } else {
+                            b = wakeup.wait(b).expect("lease board poisoned");
+                        }
                     }
-                    let now = Instant::now();
-                    if let Some(pos) = b
-                        .pending
-                        .iter()
-                        .position(|p| p.ready_at.is_none_or(|t| t <= now))
-                    {
-                        let lease = b.pending.remove(pos);
-                        b.leases += 1;
-                        break lease;
+                };
+                match claim {
+                    Claim::Drained => {
+                        if outstanding.is_empty() {
+                            // Send Done *outside* the lock: a worker
+                            // that has stopped draining its socket must
+                            // not park this blocking write while every
+                            // other coordinator thread waits on the
+                            // board mutex.
+                            let _ = tx.send(&Message::Done);
+                            return Ok(());
+                        }
+                        // Results are still in flight: stop granting and
+                        // drain them first so Done only ever reaches an
+                        // idle worker.
+                        break 'grant;
                     }
-                    if let Some(earliest) = b.pending.iter().filter_map(|p| p.ready_at).min() {
-                        let wait = earliest.saturating_duration_since(now);
-                        b = wakeup
-                            .wait_timeout(b, wait.max(Duration::from_millis(1)))
-                            .expect("lease board poisoned")
-                            .0;
-                    } else {
-                        b = wakeup.wait(b).expect("lease board poisoned");
+                    Claim::Busy => break 'grant,
+                    Claim::Lease(lease) => {
+                        if tx
+                            .send(&Message::Lease {
+                                start: lease.range.start,
+                                end: lease.range.end,
+                            })
+                            .is_err()
+                        {
+                            self.requeue(board, wakeup, &lease, true);
+                            self.requeue_outstanding(board, wakeup, &mut outstanding, true);
+                            return Err(DriveExit::Dead(None));
+                        }
+                        outstanding.push_back(InFlight {
+                            lease,
+                            requeued: false,
+                        });
                     }
                 }
-            };
-            if tx
-                .send(&Message::Lease {
-                    start: lease.range.start,
-                    end: lease.range.end,
-                })
-                .is_err()
-            {
-                self.requeue(board, wakeup, &lease, true);
-                return Err(DriveExit::Dead(None));
             }
-            // Await the lease's result, resetting the deadline on every
-            // Progress heartbeat. `requeued` means this lease already
-            // went back in the queue after a missed deadline — we keep
-            // listening anyway, because a late result is still a valid
-            // result (first write wins).
-            let mut strikes: u32 = 0;
-            let mut requeued = false;
-            'lease: loop {
-                match wait_frame(events, self.lease_timeout) {
-                    RxWait::Event(RxEvent::Frame(Message::Progress { start, end, .. })) => {
-                        if start == lease.range.start && end == lease.range.end {
+            // `outstanding` is never empty here: the claim block parks
+            // on the condvar (or returns) rather than yielding Busy for
+            // an idle worker, and strikes only accrue with work in
+            // flight.
+            match wait_frame(events, self.lease_timeout) {
+                RxWait::Event(RxEvent::Frame(Message::Progress { start, end, .. })) => {
+                    if outstanding
+                        .iter()
+                        .any(|f| start == f.lease.range.start && end == f.lease.range.end)
+                    {
+                        strikes = 0;
+                    }
+                }
+                RxWait::Event(RxEvent::Frame(Message::Result { start, end, cells })) => {
+                    let range = CellRange::new(start, end);
+                    match self.accept(board, wakeup, range, cells) {
+                        Ok(()) => {
+                            // A result for a lease that already went
+                            // back in the queue (or was re-split) is
+                            // still a valid result — first write wins —
+                            // it just doesn't grow the grant.
                             strikes = 0;
-                        }
-                    }
-                    RxWait::Event(RxEvent::Frame(Message::Result { start, end, cells })) => {
-                        let range = CellRange::new(start, end);
-                        match self.accept(board, wakeup, range, cells) {
-                            Ok(()) => {
-                                if start == lease.range.start && end == lease.range.end {
-                                    break 'lease;
+                            if let Some(pos) = outstanding.iter().position(|f| {
+                                f.lease.range.start == start && f.lease.range.end == end
+                            }) {
+                                let done = outstanding.remove(pos).expect("position was valid");
+                                if !done.requeued {
+                                    grant = grant.saturating_mul(2).min(cap);
                                 }
-                                // A late result for an earlier lease of
-                                // this worker: accepted, keep waiting.
-                                strikes = 0;
-                            }
-                            Err(reason) => {
-                                if !requeued {
-                                    self.requeue(board, wakeup, &lease, true);
-                                }
-                                let _ = tx.send(&Message::Abort {
-                                    reason: reason.clone(),
-                                });
-                                return Err(DriveExit::Quarantined(reason));
                             }
                         }
-                    }
-                    RxWait::Event(RxEvent::Frame(Message::Abort { reason })) => {
-                        if !requeued {
-                            self.requeue(board, wakeup, &lease, false);
-                        }
-                        return Err(DriveExit::Abort(reason));
-                    }
-                    RxWait::Event(RxEvent::Frame(other)) => {
-                        let reason = format!(
-                            "unexpected frame holding lease [{}, {}): {other:?}",
-                            lease.range.start, lease.range.end
-                        );
-                        if !requeued {
-                            self.requeue(board, wakeup, &lease, true);
-                        }
-                        let _ = tx.send(&Message::Abort {
-                            reason: reason.clone(),
-                        });
-                        return Err(DriveExit::Quarantined(reason));
-                    }
-                    RxWait::Event(RxEvent::Corrupt(e)) => {
-                        if !requeued {
-                            self.requeue(board, wakeup, &lease, true);
-                        }
-                        return Err(DriveExit::Quarantined(format!("corrupt frame: {e}")));
-                    }
-                    RxWait::Event(RxEvent::Closed) => {
-                        if !requeued {
-                            self.requeue(board, wakeup, &lease, true);
-                        }
-                        return Err(DriveExit::Dead(None));
-                    }
-                    RxWait::Event(RxEvent::Io(e)) => {
-                        if !requeued {
-                            self.requeue(board, wakeup, &lease, true);
-                        }
-                        return Err(DriveExit::Dead(Some(format!(
-                            "transport error mid-lease: {e}"
-                        ))));
-                    }
-                    RxWait::Event(RxEvent::Idle) => {}
-                    RxWait::Deadline => {
-                        strikes += 1;
-                        board.lock().expect("lease board poisoned").timeouts += 1;
-                        if !requeued {
-                            self.requeue(board, wakeup, &lease, true);
-                            requeued = true;
-                        }
-                        if strikes > self.straggler_strikes {
-                            let reason = format!(
-                                "quarantined as a straggler: {strikes} missed deadlines on \
-                                 lease [{}, {})",
-                                lease.range.start, lease.range.end
-                            );
+                        Err(reason) => {
+                            self.requeue_outstanding(board, wakeup, &mut outstanding, true);
                             let _ = tx.send(&Message::Abort {
                                 reason: reason.clone(),
                             });
@@ -1118,20 +1325,97 @@ impl Coordinator {
                         }
                     }
                 }
+                RxWait::Event(RxEvent::Frame(Message::Abort { reason })) => {
+                    self.requeue_outstanding(board, wakeup, &mut outstanding, false);
+                    return Err(DriveExit::Abort(reason));
+                }
+                RxWait::Event(RxEvent::Frame(other)) => {
+                    let reason = format!(
+                        "unexpected frame with {} lease(s) outstanding: {other:?}",
+                        outstanding.len()
+                    );
+                    self.requeue_outstanding(board, wakeup, &mut outstanding, true);
+                    let _ = tx.send(&Message::Abort {
+                        reason: reason.clone(),
+                    });
+                    return Err(DriveExit::Quarantined(reason));
+                }
+                RxWait::Event(RxEvent::Corrupt(e)) => {
+                    self.requeue_outstanding(board, wakeup, &mut outstanding, true);
+                    return Err(DriveExit::Quarantined(format!("corrupt frame: {e}")));
+                }
+                RxWait::Event(RxEvent::Closed) => {
+                    self.requeue_outstanding(board, wakeup, &mut outstanding, true);
+                    return Err(DriveExit::Dead(None));
+                }
+                RxWait::Event(RxEvent::Io(e)) => {
+                    self.requeue_outstanding(board, wakeup, &mut outstanding, true);
+                    return Err(DriveExit::Dead(Some(format!(
+                        "transport error mid-lease: {e}"
+                    ))));
+                }
+                RxWait::Event(RxEvent::Idle) => {}
+                RxWait::Deadline => {
+                    strikes += 1;
+                    board.lock().expect("lease board poisoned").timeouts += 1;
+                    self.requeue_outstanding(board, wakeup, &mut outstanding, true);
+                    // A straggler loses its grown grant; if it comes
+                    // back it re-earns size one completion at a time.
+                    grant = base;
+                    if strikes > self.straggler_strikes {
+                        let reason = format!(
+                            "quarantined as a straggler: {strikes} missed deadlines with \
+                             {} lease(s) outstanding",
+                            outstanding.len()
+                        );
+                        let _ = tx.send(&Message::Abort {
+                            reason: reason.clone(),
+                        });
+                        return Err(DriveExit::Quarantined(reason));
+                    }
+                }
             }
         }
     }
 
-    /// Puts a lease back in the queue. `retry` counts it as a retry and
-    /// schedules it with exponential backoff; `false` (abort paths)
+    /// Requeues every not-yet-requeued outstanding lease (marking it so)
+    /// while keeping the entries in the pipeline: a late result for a
+    /// requeued range is still accepted under first-write-wins, it just
+    /// no longer grows the grant.
+    fn requeue_outstanding(
+        &self,
+        board: &Mutex<Board>,
+        wakeup: &Condvar,
+        outstanding: &mut VecDeque<InFlight>,
+        retry: bool,
+    ) {
+        for f in outstanding.iter_mut() {
+            if !f.requeued {
+                self.requeue(board, wakeup, &f.lease, retry);
+                f.requeued = true;
+            }
+        }
+    }
+
+    /// Puts a lease back in the queue, split back down to the base
+    /// granularity — an adaptively grown lease that failed must not be
+    /// retried as one big all-or-nothing chunk. `retry` counts it as a
+    /// retry (once, however many chunks it splits into) and schedules
+    /// the chunks with exponential backoff; `false` (abort paths)
     /// re-queues immediately so the fatal-path bookkeeping stays exact.
     fn requeue(&self, board: &Mutex<Board>, wakeup: &Condvar, lease: &PendingLease, retry: bool) {
         let mut b = board.lock().expect("lease board poisoned");
-        b.pending.push(PendingLease {
-            range: lease.range,
-            attempt: lease.attempt + 1,
-            ready_at: retry.then(|| Instant::now() + self.backoff_delay(lease.attempt)),
-        });
+        let ready_at = retry.then(|| Instant::now() + self.backoff_delay(lease.attempt));
+        let mut s = lease.range.start;
+        while s < lease.range.end {
+            let e = (s + self.lease_cells).min(lease.range.end);
+            b.pending.push(PendingLease {
+                range: CellRange::new(s, e),
+                attempt: lease.attempt + 1,
+                ready_at,
+            });
+            s = e;
+        }
         if retry {
             b.retries += 1;
         }
@@ -1140,7 +1424,19 @@ impl Coordinator {
 
     fn backoff_delay(&self, attempt: u32) -> Duration {
         let factor = 1u32 << attempt.min(10);
-        (self.backoff_base * factor).min(self.backoff_cap)
+        // A pathological user-supplied base (`.backoff(Duration::MAX,
+        // ..)`) must clamp to the cap, not panic the coordinator on
+        // `Duration * u32` overflow.
+        self.backoff_base
+            .checked_mul(factor)
+            .map_or(self.backoff_cap, |d| d.min(self.backoff_cap))
+    }
+
+    /// Effective adaptive-lease ceiling.
+    fn lease_cap_cells(&self) -> u64 {
+        self.lease_cap
+            .unwrap_or_else(|| self.lease_cells.saturating_mul(8))
+            .max(self.lease_cells)
     }
 
     /// Admits one lease result: validates its shape and every cell
@@ -1324,6 +1620,14 @@ struct PendingLease {
     ready_at: Option<Instant>,
 }
 
+/// A lease granted to a worker and not yet resolved. It stays in the
+/// pipeline even after a missed deadline puts its range back in the
+/// queue (`requeued`), because a late result is still a valid result.
+struct InFlight {
+    lease: PendingLease,
+    requeued: bool,
+}
+
 struct Board {
     pending: Vec<PendingLease>,
     cells: Vec<Option<Wire>>,
@@ -1349,13 +1653,74 @@ pub fn default_worker_threads() -> usize {
         .unwrap_or_else(crate::context::default_sweep_threads)
 }
 
+/// Compiled-spec cache shared across a worker's connections, keyed by
+/// spec hash. A persistent worker that reconnects to coordinators
+/// running the same committed spec compiles the [`DistJob`] once and
+/// answers every later v3 [`Message::SpecHash`] offer from cache —
+/// skipping both the spec transfer and the model/grid build.
+///
+/// Cloning is cheap (the map is behind an `Arc`), so one cache can back
+/// a whole in-process fleet. The cache stores jobs compiled with the
+/// owning worker's thread hint; thread count never affects the bits, so
+/// sharing a cache between workers with different `threads` settings is
+/// safe for correctness (the hint of whoever compiled first wins).
+#[derive(Clone, Default)]
+pub struct SpecCache(Arc<Mutex<HashMap<String, Arc<DistJob>>>>);
+
+impl std::fmt::Debug for SpecCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpecCache")
+            .field("specs", &self.len())
+            .finish()
+    }
+}
+
+impl SpecCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get(&self, hash: &str) -> Option<Arc<DistJob>> {
+        self.0
+            .lock()
+            .expect("spec cache poisoned")
+            .get(hash)
+            .cloned()
+    }
+
+    fn insert(&self, hash: String, job: Arc<DistJob>) {
+        self.0
+            .lock()
+            .expect("spec cache poisoned")
+            .insert(hash, job);
+    }
+
+    /// Number of distinct specs compiled into this cache.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.lock().expect("spec cache poisoned").len()
+    }
+
+    /// Whether the cache holds no compiled specs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Worker-side configuration.
 #[derive(Debug, Clone)]
 pub struct Worker {
     threads: usize,
     plan: FaultPlan,
     heartbeat_cells: Option<u64>,
+    heartbeat_interval: Duration,
     idle_timeout: Duration,
+    cache: SpecCache,
+    max_protocol: u64,
+    framing: FramingMode,
 }
 
 impl Default for Worker {
@@ -1373,7 +1738,11 @@ impl Worker {
             threads: default_worker_threads(),
             plan: FaultPlan::new(),
             heartbeat_cells: None,
+            heartbeat_interval: Duration::from_millis(200),
             idle_timeout: Duration::from_secs(600),
+            cache: SpecCache::new(),
+            max_protocol: PROTOCOL_VERSION,
+            framing: FramingMode::from_env(),
         }
     }
 
@@ -1410,11 +1779,51 @@ impl Worker {
         self
     }
 
+    /// Wall-clock heartbeat cadence *within* a chunk (default 200 ms):
+    /// even when a single cell computes longer than the coordinator's
+    /// lease deadline, [`Message::Progress`] frames keep flowing, so a
+    /// slow-but-alive worker is never mistaken for a dead one.
+    #[must_use]
+    pub fn heartbeat_interval(mut self, interval: Duration) -> Self {
+        self.heartbeat_interval = interval.max(Duration::from_millis(1));
+        self
+    }
+
     /// How long the worker tolerates a silent coordinator (retryable
     /// transport read timeouts) before giving up.
     #[must_use]
     pub fn idle_timeout(mut self, timeout: Duration) -> Self {
         self.idle_timeout = timeout.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Shares (or replaces) the compiled-spec cache. Reusing one cache
+    /// across connections — or across an in-process fleet — is what
+    /// makes reconnect handshakes spec-transfer-free.
+    #[must_use]
+    pub fn spec_cache(mut self, cache: SpecCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Caps the protocol version this worker announces in its `Join`
+    /// (clamped to `[MIN_PROTOCOL_VERSION, PROTOCOL_VERSION]`). The
+    /// mixed-fleet knob: a worker capped at v2 forces the full-spec
+    /// handshake and JSON framing on its connection, and the tests use
+    /// it to prove old and new workers produce identical bits side by
+    /// side.
+    #[must_use]
+    pub fn max_protocol(mut self, protocol: u64) -> Self {
+        self.max_protocol = protocol.clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION);
+        self
+    }
+
+    /// Overrides the `Result` framing policy (default: the
+    /// `DIVREL_DIST_FRAMING` environment override, else
+    /// [`FramingMode::Auto`]).
+    #[must_use]
+    pub fn framing(mut self, mode: FramingMode) -> Self {
+        self.framing = mode;
         self
     }
 
@@ -1442,36 +1851,41 @@ impl Worker {
     /// abort); injected faults.
     pub fn serve<T: Transport + ?Sized>(&self, t: &mut T) -> ScenarioResult<WorkerSummary> {
         t.send(&Message::Join {
-            protocol: PROTOCOL_VERSION,
+            protocol: self.max_protocol,
         })?;
-        let (hash, text) = match self.recv_patient(t)? {
-            Some(Message::Spec { hash, text }) => (hash, text),
+        let (hash, job, protocol, cached) = match self.recv_patient(t)? {
+            // v2 coordinator: the full spec arrives up front.
+            Some(Message::Spec { hash, text }) => {
+                let job = self.compile(t, &hash, &text)?;
+                (hash, job, MIN_PROTOCOL_VERSION, false)
+            }
+            // v3 coordinator: just the hash. Compile from cache if we
+            // have served this spec before, else ask for the text.
+            Some(Message::SpecHash { hash, protocol }) => {
+                let protocol = protocol.min(self.max_protocol);
+                if let Some(job) = self.cache.get(&hash) {
+                    (hash, job, protocol, true)
+                } else {
+                    t.send(&Message::NeedSpec { hash: hash.clone() })?;
+                    match self.recv_patient(t)? {
+                        Some(Message::Spec { hash: echoed, text }) if echoed == hash => {
+                            let job = self.compile(t, &hash, &text)?;
+                            (hash, job, protocol, false)
+                        }
+                        Some(Message::Abort { reason }) => {
+                            return Err(format!("coordinator aborted: {reason}").into())
+                        }
+                        other => {
+                            return Err(format!("expected Spec for {hash}, got {other:?}").into())
+                        }
+                    }
+                }
+            }
             Some(Message::Abort { reason }) => {
                 return Err(format!("coordinator aborted: {reason}").into())
             }
-            other => return Err(format!("expected Spec frame, got {other:?}").into()),
+            other => return Err(format!("expected Spec or SpecHash frame, got {other:?}").into()),
         };
-        if spec_hash(&text) != hash {
-            let reason = format!(
-                "spec hash mismatch: coordinator claims {hash}, text hashes to {}",
-                spec_hash(&text)
-            );
-            let _ = t.send(&Message::Abort {
-                reason: reason.clone(),
-            });
-            return Err(reason.into());
-        }
-        let scenario = match Scenario::from_spec_text(&text) {
-            Ok(s) => s,
-            Err(e) => {
-                let reason = format!("spec does not parse on worker: {e}");
-                let _ = t.send(&Message::Abort {
-                    reason: reason.clone(),
-                });
-                return Err(reason.into());
-            }
-        };
-        let job = DistJob::new(scenario, self.threads)?;
         if self.plan.wrong_hash() {
             // Chaos: echo a wrong hash and wait for the coordinator to
             // cut us off.
@@ -1496,8 +1910,11 @@ impl Worker {
             }
         }
         t.send(&Message::Ready { hash: hash.clone() })?;
+        let use_binary = self.framing.use_binary(protocol);
         let mut summary = WorkerSummary {
             spec_hash: hash,
+            protocol,
+            spec_was_cached: cached,
             leases_served: 0,
             cells_run: 0,
         };
@@ -1507,6 +1924,7 @@ impl Worker {
                 Some(Message::Lease { start, end }) => {
                     let ordinal = leases_seen;
                     leases_seen += 1;
+                    let mut slow_ms = None;
                     match self.plan.fault_at(ordinal) {
                         Some(Fault::Die) => {
                             // Simulated crash: vanish mid-lease, no
@@ -1520,6 +1938,9 @@ impl Worker {
                         Some(Fault::Stall) => {
                             // Go silent holding the lease, then die —
                             // the coordinator's deadline must fire.
+                            // Unlike Slow, the stall happens *outside*
+                            // the heartbeat pump: a stalled worker must
+                            // stay silent.
                             std::thread::sleep(self.plan.stall_hold_duration());
                             return Err(format!(
                                 "worker fault injection: stalled holding lease [{start}, {end})"
@@ -1536,43 +1957,97 @@ impl Worker {
                             continue;
                         }
                         Some(Fault::Slow { millis }) => {
-                            std::thread::sleep(Duration::from_millis(*millis));
+                            // Handled inside the evaluation thread so
+                            // the heartbeat pump covers it — a slow
+                            // worker is alive, and must look alive.
+                            slow_ms = Some(*millis);
                         }
                         Some(Fault::WrongHash) | None => {}
                     }
                     let range = CellRange::new(start, end);
                     let chunk = self.heartbeat_cells.unwrap_or(self.threads as u64).max(1);
-                    let mut cells = Vec::with_capacity(range.len() as usize);
-                    let mut at = range.start;
-                    let mut failed = None;
-                    while at < range.end {
-                        let sub_end = (at + chunk).min(range.end);
-                        match job.run_range(CellRange::new(at, sub_end)) {
-                            Ok(sub) => cells.extend(sub),
-                            Err(e) => {
-                                failed = Some(e);
-                                break;
+                    // Evaluate on a scoped thread while this thread
+                    // pumps Progress heartbeats on a wall-clock cadence:
+                    // a single cell that computes longer than the lease
+                    // deadline still heartbeats, so it is never
+                    // spuriously re-leased or quarantined.
+                    let done = AtomicU64::new(0);
+                    let (tick_tx, tick_rx) = std::sync::mpsc::channel::<()>();
+                    let job_ref = &job;
+                    let done_ref = &done;
+                    let (evaled, io_err) = std::thread::scope(|s| {
+                        let eval = s.spawn(move || {
+                            if let Some(ms) = slow_ms {
+                                std::thread::sleep(Duration::from_millis(ms));
+                            }
+                            let mut cells = Vec::with_capacity(range.len() as usize);
+                            let mut at = range.start;
+                            while at < range.end {
+                                let sub_end = (at + chunk).min(range.end);
+                                match job_ref.run_range(CellRange::new(at, sub_end)) {
+                                    Ok(sub) => cells.extend(sub),
+                                    // Box<dyn Error> is not Send; carry
+                                    // the message across the join.
+                                    Err(e) => return Err(e.to_string()),
+                                }
+                                at = sub_end;
+                                done_ref.store(at - range.start, Ordering::Relaxed);
+                                if at < range.end {
+                                    let _ = tick_tx.send(());
+                                }
+                            }
+                            Ok(cells)
+                        });
+                        let mut io_err: Option<std::io::Error> = None;
+                        let mut last_beat = Instant::now();
+                        while let Ok(()) | Err(RecvTimeoutError::Timeout) =
+                            tick_rx.recv_timeout(self.heartbeat_interval)
+                        {
+                            // Ticks arrive per chunk — much faster than
+                            // the heartbeat cadence on healthy leases —
+                            // so rate-limit the actual frames to one
+                            // per interval; the timeout arm keeps a
+                            // slow single cell heartbeating.
+                            if last_beat.elapsed() < self.heartbeat_interval {
+                                continue;
+                            }
+                            last_beat = Instant::now();
+                            if io_err.is_none() {
+                                if let Err(e) = t.send(&Message::Progress {
+                                    start,
+                                    end,
+                                    done: done.load(Ordering::Relaxed),
+                                }) {
+                                    // Keep pumping the channel dry so
+                                    // the eval thread is joined either
+                                    // way.
+                                    io_err = Some(e);
+                                }
                             }
                         }
-                        at = sub_end;
-                        if at < range.end {
-                            t.send(&Message::Progress {
-                                start,
-                                end,
-                                done: at - range.start,
-                            })?;
+                        (eval.join().expect("evaluation thread panicked"), io_err)
+                    });
+                    if let Some(e) = io_err {
+                        return Err(e.into());
+                    }
+                    let cells = match evaled {
+                        Ok(cells) => cells,
+                        Err(e) => {
+                            let reason = format!("cells [{start}, {end}) failed: {e}");
+                            let _ = t.send(&Message::Abort {
+                                reason: reason.clone(),
+                            });
+                            return Err(reason.into());
                         }
-                    }
-                    if let Some(e) = failed {
-                        let reason = format!("cells [{start}, {end}) failed: {e}");
-                        let _ = t.send(&Message::Abort {
-                            reason: reason.clone(),
-                        });
-                        return Err(reason.into());
-                    }
+                    };
                     summary.leases_served += 1;
                     summary.cells_run += cells.len() as u64;
-                    t.send(&Message::Result { start, end, cells })?;
+                    let msg = Message::Result { start, end, cells };
+                    if use_binary {
+                        t.send_binary(&msg)?;
+                    } else {
+                        t.send(&msg)?;
+                    }
                 }
                 Some(Message::Done) | None => return Ok(summary),
                 Some(Message::Abort { reason }) => {
@@ -1581,6 +2056,39 @@ impl Worker {
                 other => return Err(format!("unexpected frame: {other:?}").into()),
             }
         }
+    }
+
+    /// Verifies `text` against its claimed `hash`, compiles it into a
+    /// [`DistJob`], and caches the result for future connections.
+    fn compile<T: Transport + ?Sized>(
+        &self,
+        t: &mut T,
+        hash: &str,
+        text: &str,
+    ) -> ScenarioResult<Arc<DistJob>> {
+        if spec_hash(text) != hash {
+            let reason = format!(
+                "spec hash mismatch: coordinator claims {hash}, text hashes to {}",
+                spec_hash(text)
+            );
+            let _ = t.send(&Message::Abort {
+                reason: reason.clone(),
+            });
+            return Err(reason.into());
+        }
+        let scenario = match Scenario::from_spec_text(text) {
+            Ok(s) => s,
+            Err(e) => {
+                let reason = format!("spec does not parse on worker: {e}");
+                let _ = t.send(&Message::Abort {
+                    reason: reason.clone(),
+                });
+                return Err(reason.into());
+            }
+        };
+        let job = Arc::new(DistJob::new(scenario, self.threads)?);
+        self.cache.insert(hash.to_string(), Arc::clone(&job));
+        Ok(job)
     }
 }
 
@@ -1646,6 +2154,11 @@ pub fn spawn_stdio_fleet(
 pub struct WorkerSummary {
     /// The verified spec fingerprint.
     pub spec_hash: String,
+    /// The negotiated protocol version for this connection.
+    pub protocol: u64,
+    /// Whether the spec came from the worker's [`SpecCache`] (a v3
+    /// hash-only handshake against a previously compiled spec).
+    pub spec_was_cached: bool,
     /// Leases evaluated and returned.
     pub leases_served: u64,
     /// Cells evaluated across all leases.
@@ -1672,6 +2185,13 @@ mod tests {
         let msgs = vec![
             Message::Join {
                 protocol: PROTOCOL_VERSION,
+            },
+            Message::SpecHash {
+                hash: "fnv1a:00".into(),
+                protocol: BINARY_PROTOCOL_VERSION,
+            },
+            Message::NeedSpec {
+                hash: "fnv1a:00".into(),
             },
             Message::Spec {
                 hash: "fnv1a:00".into(),
@@ -1833,6 +2353,114 @@ mod tests {
         assert_eq!(run.stats.recovered_in_process, 0);
         // Sequential workers: the second drains after the first's Done.
         assert!(served.iter().all(|s| s.is_ok()));
+    }
+
+    #[test]
+    fn backoff_saturates_on_pathological_bases() {
+        let ctx = Context::smoke();
+        let c = Coordinator::new(presets::mc(&ctx))
+            .unwrap()
+            .backoff(Duration::MAX, Duration::from_secs(60));
+        // `Duration::MAX * 2` would panic; the delay must clamp to the
+        // cap (which itself clamps up to the base) instead.
+        for attempt in [0, 1, 5, 31, u32::MAX] {
+            assert_eq!(c.backoff_delay(attempt), Duration::MAX);
+        }
+        let c = Coordinator::new(presets::mc(&ctx))
+            .unwrap()
+            .backoff(Duration::from_millis(10), Duration::from_secs(1));
+        assert_eq!(c.backoff_delay(0), Duration::from_millis(10));
+        assert_eq!(c.backoff_delay(3), Duration::from_millis(80));
+        assert_eq!(c.backoff_delay(u32::MAX), Duration::from_secs(1));
+    }
+
+    /// Regression: a single lease that computes longer than the lease
+    /// deadline used to heartbeat only *between* chunks, so a slow but
+    /// healthy worker was spuriously re-leased (and with strict strikes,
+    /// quarantined). The wall-clock heartbeat pump must keep the lease
+    /// alive through the whole computation.
+    #[test]
+    fn slow_lease_heartbeats_outlive_the_deadline() {
+        let ctx = Context::smoke();
+        let scenario = presets::mc(&ctx);
+        let direct = scenario.run(1).unwrap();
+        let coordinator = Coordinator::new(scenario)
+            .unwrap()
+            .lease_cells(1_000_000) // the whole grid as one lease
+            .lease_timeout(Duration::from_millis(150))
+            .straggler_strikes(1);
+        let (mut worker_ends, coord_ends) = duplex_pairs(1);
+        let handle = std::thread::spawn(move || {
+            Worker::new()
+                .threads(1)
+                .heartbeat_interval(Duration::from_millis(40))
+                .fault_plan(FaultPlan::new().inject(0, Fault::Slow { millis: 500 }))
+                .serve(&mut worker_ends[0])
+                .map_err(|e| e.to_string())
+        });
+        let run = coordinator.run(coord_ends).unwrap();
+        let summary = handle.join().unwrap().expect("slow worker survives");
+        assert_eq!(run.stats.timeouts, 0, "stats: {:?}", run.stats);
+        assert_eq!(run.stats.retries, 0, "stats: {:?}", run.stats);
+        assert_eq!(run.stats.quarantined_workers, 0, "stats: {:?}", run.stats);
+        assert_eq!(run.stats.recovered_in_process, 0, "stats: {:?}", run.stats);
+        assert_eq!(summary.leases_served, 1);
+        assert_eq!(format!("{:?}", run.outcome), format!("{direct:?}"));
+    }
+
+    #[test]
+    fn cached_spec_handshake_skips_the_spec_on_reconnect() {
+        let ctx = Context::smoke();
+        let scenario = presets::mc(&ctx);
+        let direct = scenario.run(1).unwrap();
+        let worker = Worker::new().threads(1);
+        for (round, want_cached) in [(1, false), (2, true)] {
+            let coordinator = Coordinator::new(scenario.clone()).unwrap();
+            let (mut worker_ends, coord_ends) = duplex_pairs(1);
+            // Clones share the spec cache, so the second connection
+            // answers the hash-only offer without a spec transfer.
+            let w = worker.clone();
+            let handle =
+                std::thread::spawn(move || w.serve(&mut worker_ends[0]).map_err(|e| e.to_string()));
+            let run = coordinator.run(coord_ends).unwrap();
+            let summary = handle.join().unwrap().expect("worker completes");
+            assert_eq!(summary.spec_was_cached, want_cached, "connection {round}");
+            assert_eq!(summary.protocol, PROTOCOL_VERSION);
+            assert_eq!(format!("{:?}", run.outcome), format!("{direct:?}"));
+        }
+    }
+
+    #[test]
+    fn mixed_version_fleet_negotiates_down_and_stays_bit_identical() {
+        let ctx = Context::smoke();
+        let scenario = presets::mc(&ctx);
+        let direct = scenario.run(1).unwrap();
+        let coordinator = Coordinator::new(scenario).unwrap().lease_cells(2);
+        let (mut worker_ends, coord_ends) = duplex_pairs(2);
+        let handle = std::thread::spawn(move || {
+            // A legacy v2 worker (full-spec handshake, JSON results)
+            // next to a v3 worker forced onto binary framing.
+            let legacy = Worker::new()
+                .threads(1)
+                .max_protocol(MIN_PROTOCOL_VERSION)
+                .serve(&mut worker_ends[0])
+                .map_err(|e| e.to_string());
+            let modern = Worker::new()
+                .threads(1)
+                .framing(FramingMode::Binary)
+                .serve(&mut worker_ends[1])
+                .map_err(|e| e.to_string());
+            (legacy, modern)
+        });
+        let run = coordinator.run(coord_ends).unwrap();
+        let (legacy, modern) = handle.join().unwrap();
+        let legacy = legacy.expect("legacy worker completes");
+        let modern = modern.expect("modern worker completes");
+        assert_eq!(legacy.protocol, MIN_PROTOCOL_VERSION);
+        assert!(!legacy.spec_was_cached);
+        assert_eq!(modern.protocol, PROTOCOL_VERSION);
+        assert_eq!(run.stats.quarantined_workers, 0, "stats: {:?}", run.stats);
+        assert_eq!(format!("{:?}", run.outcome), format!("{direct:?}"));
     }
 
     #[test]

@@ -148,31 +148,9 @@ impl Scenario {
     ///
     /// A message naming the offending field.
     pub fn validate(&self) -> ScenarioResult<()> {
-        // The vendored serde carries numbers as f64, so a seed at or
-        // above 2^53 would silently round on the way through a spec
-        // file — breaking the "a spec pins the exact bits" contract.
-        // Reject it here instead of running with a different seed than
-        // declared.
-        const SEED_LIMIT: u64 = 1 << 53;
-        if self.seed.seed >= SEED_LIMIT {
-            return Err(format!(
-                "seed {} is not exactly representable in a spec file (must be < 2^53)",
-                self.seed.seed
-            )
-            .into());
-        }
-        if let ExperimentSpec::Protection(campaign) = &self.experiment {
-            for sys in &campaign.systems {
-                if sys.seed_xor >= SEED_LIMIT {
-                    return Err(format!(
-                        "system {:?} seed_xor {} is not exactly representable \
-                         in a spec file (must be < 2^53)",
-                        sys.label, sys.seed_xor
-                    )
-                    .into());
-                }
-            }
-        }
+        // Seeds span the full u64 range: the vendored serde carries
+        // integers losslessly (`Value::Int`), so any seed survives a
+        // spec-file round trip bit-exactly — there is no 2^53 cliff.
         match &self.experiment {
             ExperimentSpec::KnightLeveson { replications, .. } => {
                 if *replications == 0 {
@@ -835,20 +813,28 @@ mod tests {
     }
 
     #[test]
-    fn validation_rejects_unrepresentable_seeds() {
-        // f64-carried spec numbers round at 2^53: running with a
-        // silently different seed would break bit-reproducibility.
-        let mut s = tiny_mc();
-        s.seed = SeedSpec::new((1 << 53) + 1);
-        let err = s.validate().unwrap_err().to_string();
-        assert!(err.contains("2^53"), "{err}");
+    fn seeds_above_2_pow_53_round_trip_exactly() {
+        // Integer-carrying spec numbers (`Value::Int`) have no f64
+        // cliff: a seed anywhere in the u64 range survives both spec
+        // formats bit-exactly.
+        for seed in [(1u64 << 53) + 1, u64::MAX - 1, u64::MAX] {
+            let mut s = tiny_mc();
+            s.seed = SeedSpec::new(seed);
+            s.validate().expect("full-range seeds are valid");
+            let toml = s.to_toml().unwrap();
+            assert_eq!(Scenario::from_spec_text(&toml).unwrap().seed.seed, seed);
+            let json = s.to_json().unwrap();
+            assert_eq!(Scenario::from_spec_text(&json).unwrap().seed.seed, seed);
+        }
         let ctx = Context::smoke();
         let mut f1 = Scenario::preset_with("F1", &ctx).unwrap();
         if let ExperimentSpec::Protection(campaign) = &mut f1.experiment {
-            campaign.systems[0].seed_xor = 1 << 60;
+            campaign.systems[0].seed_xor = (1 << 60) + 1;
         }
-        let err = f1.validate().unwrap_err().to_string();
-        assert!(err.contains("seed_xor"), "{err}");
+        f1.validate().expect("full-range seed_xor is valid");
+        let toml = f1.to_toml().unwrap();
+        let back = Scenario::from_spec_text(&toml).unwrap();
+        assert_eq!(back, f1, "seed_xor above 2^53 drifted through TOML");
     }
 
     #[test]

@@ -273,7 +273,34 @@ impl Parser<'_> {
         }
         let raw = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| TomlError::new("invalid number bytes", start))?;
+        // TOML permits `_` only between two digits: `1_000` is legal,
+        // `1__2`, `_1`, and `1_` are not (and `1_.5` / `1_e3` fail the
+        // digit-on-both-sides rule too).
+        let bytes = raw.as_bytes();
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'_' {
+                let between_digits = i > 0
+                    && bytes[i - 1].is_ascii_digit()
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit);
+                if !between_digits {
+                    return Err(TomlError::new(
+                        format!("misplaced underscore in number {raw:?}"),
+                        start,
+                    ));
+                }
+            }
+        }
         let cleaned: String = raw.chars().filter(|&c| c != '_').collect();
+        // Integer literals stay lossless across the full i64..=u64 span
+        // (sweep seeds are u64); wider integers and anything with a
+        // fractional or exponent part are carried as f64.
+        if !cleaned.bytes().any(|b| matches!(b, b'.' | b'e' | b'E')) {
+            if let Ok(i) = cleaned.parse::<i128>() {
+                if (i64::MIN as i128..=u64::MAX as i128).contains(&i) {
+                    return Ok(Value::Int(i));
+                }
+            }
+        }
         cleaned
             .parse::<f64>()
             .map(Value::Num)
@@ -564,12 +591,13 @@ fn render_inline(out: &mut String, v: &Value) -> Result<(), TomlError> {
             if !n.is_finite() {
                 return Err(TomlError::new(format!("non-finite number {n}"), 0));
             }
-            if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
-                out.push_str(&format!("{}", *n as i64));
-            } else {
-                out.push_str(&format!("{n}"));
-            }
+            // `{:?}` is the shortest round-trip form and always keeps
+            // float syntax (a dot or an exponent), so an integral float
+            // reparses as a float — TOML keeps the two types apart, and
+            // `Value::Int` covers the genuinely integer case.
+            out.push_str(&format!("{n:?}"));
         }
+        Value::Int(i) => out.push_str(&format!("{i}")),
         Value::Str(s) => out.push_str(&render_string(s)),
         Value::Seq(items) => {
             out.push('[');
@@ -729,6 +757,45 @@ count = 5
             let text = to_string(&doc).unwrap();
             let back = parse(&text).unwrap();
             assert_eq!(back["x"].as_f64().unwrap().to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn integers_are_lossless_across_the_u64_range() {
+        // 2^53 + 1 is the first integer f64 cannot represent; u64::MAX
+        // is what a sweep seed can actually be.
+        for seed in [(1u64 << 53) + 1, u64::MAX, 1 << 63] {
+            let v = parse(&format!("seed = {seed}\n")).unwrap();
+            assert_eq!(v["seed"], Value::Int(seed as i128));
+            let text = to_string(&v).unwrap();
+            assert_eq!(text, format!("seed = {seed}\n"));
+        }
+        let v = parse(&format!("low = {}\n", i64::MIN)).unwrap();
+        assert_eq!(v["low"], Value::Int(i64::MIN as i128));
+        // Underscore grouping still parses (and is normalised away).
+        assert_eq!(
+            parse("n = 1_000_000\n").unwrap()["n"],
+            Value::Int(1_000_000)
+        );
+        // Floats keep their representation: exponents and fractions
+        // never collapse into Int.
+        assert_eq!(parse("x = 1e3\n").unwrap()["x"], Value::Num(1000.0));
+        assert_eq!(parse("x = 5.0\n").unwrap()["x"], Value::Num(5.0));
+    }
+
+    #[test]
+    fn rejects_misplaced_underscores() {
+        for doc in [
+            "a = 1__2\n",
+            "a = _1\n",
+            "a = 1_\n",
+            "a = 1_.5\n",
+            "a = 1._5\n",
+            "a = 1_e3\n",
+            "a = 1e_3\n",
+            "a = -_1\n",
+        ] {
+            assert!(parse(doc).is_err(), "accepted {doc:?}");
         }
     }
 

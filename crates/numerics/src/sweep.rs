@@ -72,10 +72,9 @@ pub fn split_seed(sweep_seed: u64, cell_index: u64) -> u64 {
 /// `SeedSpec` is the smallest spec type of the declarative scenario
 /// layer: serialising it (and the grid layout beside it) fully describes
 /// where every RNG stream of an experiment comes from, so a spec file
-/// pins the exact bits a run will produce. Because the vendored serde
-/// carries numbers as `f64`, seeds are faithfully round-tripped up to
-/// `2^53 − 1`; spec authors should stay below that (every seed in this
-/// repository does).
+/// pins the exact bits a run will produce. The vendored serde carries
+/// integers losslessly across the whole `u64` range, so any seed
+/// survives a spec-file round trip bit-exactly.
 ///
 /// ```
 /// use divrel_numerics::sweep::{split_seed, SeedSpec};

@@ -233,6 +233,208 @@ impl Deserialize for Wire {
     }
 }
 
+/// Maximum nesting depth [`Wire::from_bytes`] will decode. Real
+/// accumulator trees are a handful of levels deep; the cap keeps a
+/// corrupt or adversarial payload from recursing the stack away.
+pub const BINARY_MAX_DEPTH: usize = 64;
+
+const TAG_U64: u8 = 0x01;
+const TAG_F64: u8 = 0x02;
+const TAG_TEXT: u8 = 0x03;
+const TAG_LIST: u8 = 0x04;
+const TAG_RECORD: u8 = 0x05;
+
+/// Appends `v` to `out` as a LEB128 varint (7 bits per byte,
+/// continuation high bit). Shared with the distributed runtime's frame
+/// layer, which length-prefixes binary frames the same way.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint from `bytes` starting at `*pos`, advancing
+/// `*pos` past it.
+///
+/// # Errors
+///
+/// [`WireError`] on truncation or a varint wider than 64 bits.
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, WireError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes
+            .get(*pos)
+            .ok_or_else(|| WireError("truncated varint".into()))?;
+        *pos += 1;
+        let low = u64::from(byte & 0x7f);
+        if shift >= 64 || (shift == 63 && low > 1) {
+            return Err(WireError("varint overflows u64".into()));
+        }
+        v |= low << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+impl Wire {
+    /// Encodes the tree in the compact tag-byte binary form negotiated
+    /// as protocol v3 by the distributed runtime: `u64` as a varint,
+    /// `f64` as its raw little-endian bit pattern, strings and
+    /// containers length-prefixed with varints. Carries the same exact
+    /// bits as the JSON form — [`Wire::from_bytes`] of the result is
+    /// bit-identical to `self` — just without the hex/decimal text
+    /// inflation.
+    pub fn encode_binary(&self, out: &mut Vec<u8>) {
+        match self {
+            Wire::U64(n) => {
+                out.push(TAG_U64);
+                write_varint(out, *n);
+            }
+            Wire::F64(x) => {
+                out.push(TAG_F64);
+                out.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+            Wire::Text(s) => {
+                out.push(TAG_TEXT);
+                write_varint(out, s.len() as u64);
+                out.extend_from_slice(s.as_bytes());
+            }
+            Wire::List(items) => {
+                out.push(TAG_LIST);
+                write_varint(out, items.len() as u64);
+                for item in items {
+                    item.encode_binary(out);
+                }
+            }
+            Wire::Record(fields) => {
+                out.push(TAG_RECORD);
+                write_varint(out, fields.len() as u64);
+                for (k, v) in fields {
+                    write_varint(out, k.len() as u64);
+                    out.extend_from_slice(k.as_bytes());
+                    v.encode_binary(out);
+                }
+            }
+        }
+    }
+
+    /// The binary encoding as an owned buffer.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_binary(&mut out);
+        out
+    }
+
+    /// Decodes one tree from the [`Wire::encode_binary`] form,
+    /// requiring that `bytes` holds exactly one tree.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on an unknown tag, truncation, invalid UTF-8,
+    /// nesting beyond [`BINARY_MAX_DEPTH`], or trailing bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Wire, WireError> {
+        let mut pos = 0;
+        let wire = Wire::decode_binary(bytes, &mut pos, 0)?;
+        if pos != bytes.len() {
+            return Err(WireError(format!(
+                "{} trailing bytes after binary wire tree",
+                bytes.len() - pos
+            )));
+        }
+        Ok(wire)
+    }
+
+    /// Decodes one tree from the head of `bytes`, tolerating trailing
+    /// bytes; returns the tree and the bytes it occupied. The building
+    /// block for framing layers that pack several trees back to back.
+    ///
+    /// # Errors
+    ///
+    /// As [`Wire::from_bytes`], minus the trailing-bytes check.
+    pub fn from_bytes_prefix(bytes: &[u8]) -> Result<(Wire, usize), WireError> {
+        let mut pos = 0;
+        let wire = Wire::decode_binary(bytes, &mut pos, 0)?;
+        Ok((wire, pos))
+    }
+
+    fn decode_binary(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Wire, WireError> {
+        if depth > BINARY_MAX_DEPTH {
+            return Err(WireError("binary wire tree nests too deep".into()));
+        }
+        let tag = *bytes
+            .get(*pos)
+            .ok_or_else(|| WireError("truncated wire tree: missing tag".into()))?;
+        *pos += 1;
+        match tag {
+            TAG_U64 => read_varint(bytes, pos).map(Wire::U64),
+            TAG_F64 => {
+                let raw = bytes
+                    .get(*pos..*pos + 8)
+                    .ok_or_else(|| WireError("truncated f64 bits".into()))?;
+                *pos += 8;
+                let mut le = [0u8; 8];
+                le.copy_from_slice(raw);
+                Ok(Wire::F64(f64::from_bits(u64::from_le_bytes(le))))
+            }
+            TAG_TEXT => Ok(Wire::Text(read_string(bytes, pos)?)),
+            TAG_LIST => {
+                let count = checked_count(bytes, pos)?;
+                let mut items = Vec::with_capacity(count);
+                for _ in 0..count {
+                    items.push(Wire::decode_binary(bytes, pos, depth + 1)?);
+                }
+                Ok(Wire::List(items))
+            }
+            TAG_RECORD => {
+                let count = checked_count(bytes, pos)?;
+                let mut fields = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let key = read_string(bytes, pos)?;
+                    fields.push((key, Wire::decode_binary(bytes, pos, depth + 1)?));
+                }
+                Ok(Wire::Record(fields))
+            }
+            other => Err(WireError(format!("unknown wire tag byte {other:#04x}"))),
+        }
+    }
+}
+
+/// Reads a length-prefixed count, bounded by the bytes remaining so a
+/// corrupt huge prefix cannot drive `Vec::with_capacity` to OOM.
+fn checked_count(bytes: &[u8], pos: &mut usize) -> Result<usize, WireError> {
+    let count = read_varint(bytes, pos)?;
+    let remaining = (bytes.len() - *pos) as u64;
+    if count > remaining {
+        return Err(WireError(format!(
+            "container claims {count} entries but only {remaining} bytes remain"
+        )));
+    }
+    Ok(count as usize)
+}
+
+fn read_string(bytes: &[u8], pos: &mut usize) -> Result<String, WireError> {
+    let len = usize::try_from(read_varint(bytes, pos)?)
+        .map_err(|_| WireError("string length overflows usize".into()))?;
+    let raw = pos
+        .checked_add(len)
+        .and_then(|end| bytes.get(*pos..end))
+        .ok_or_else(|| WireError("truncated string".into()))?;
+    *pos += len;
+    std::str::from_utf8(raw)
+        .map(str::to_string)
+        .map_err(|e| WireError(format!("invalid utf8 in wire string: {e}")))
+}
+
 /// Conversion of an accumulator to and from its portable wire form.
 ///
 /// Every [`SweepReduce`](crate::sweep::SweepReduce) accumulator that can
@@ -432,6 +634,92 @@ mod tests {
         assert_eq!(fields.len(), 2);
         assert_eq!(fields[0].0, "a");
         assert!(Wire::U64(1).fields().is_err());
+    }
+
+    fn binary_round_trip(w: &Wire) -> Wire {
+        Wire::from_bytes(&w.to_bytes()).unwrap()
+    }
+
+    #[test]
+    fn binary_form_round_trips_bit_identically() {
+        let trees = [
+            Wire::U64(0),
+            Wire::U64(u64::MAX),
+            Wire::U64((1 << 53) + 1),
+            Wire::F64(-0.0),
+            Wire::F64(f64::NAN),
+            Wire::F64(f64::from_bits(0x7ff8_dead_beef_0001)), // NaN payload
+            Wire::Text(String::new()),
+            Wire::Text("u64:not-a-counter — ünïcode".into()),
+            Wire::List(vec![]),
+            Wire::record([
+                ("n", Wire::U64(40)),
+                ("xs", Wire::List(vec![Wire::F64(0.1), Wire::F64(1.0 / 3.0)])),
+                (
+                    "nested",
+                    Wire::record([("label", Wire::Text("2oo3".into()))]),
+                ),
+            ]),
+        ];
+        for w in &trees {
+            let back = binary_round_trip(w);
+            match (w, &back) {
+                (Wire::F64(a), Wire::F64(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                _ => assert_eq!(&back, w),
+            }
+        }
+    }
+
+    #[test]
+    fn binary_and_json_forms_decode_to_the_same_tree() {
+        let w = Wire::record([
+            ("count", Wire::U64(u64::MAX)),
+            ("mean", Wire::F64(1.0 / 3.0)),
+            ("tag", Wire::Text("mc".into())),
+        ]);
+        let via_json: Wire = serde_json::from_str(&serde_json::to_string(&w).unwrap()).unwrap();
+        let via_binary = binary_round_trip(&w);
+        assert_eq!(via_json, via_binary);
+    }
+
+    #[test]
+    fn varints_cover_the_u64_range() {
+        for v in [0u64, 1, 127, 128, 300, (1 << 35) - 7, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+        // 10-byte all-continuation varint overflows u64.
+        let overflow = [0xffu8; 10];
+        let mut pos = 0;
+        assert!(read_varint(&overflow, &mut pos).is_err());
+    }
+
+    #[test]
+    fn malformed_binary_is_rejected_not_panicked() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],                                       // missing tag
+            vec![0x09],                                   // unknown tag
+            vec![TAG_U64],                                // truncated varint
+            vec![TAG_F64, 1, 2, 3],                       // truncated f64 bits
+            vec![TAG_TEXT, 5, b'a'],                      // string shorter than its length
+            vec![TAG_TEXT, 2, 0xff, 0xfe],                // invalid utf8
+            vec![TAG_LIST, 0xff, 0xff, 0xff, 0xff, 0x0f], // absurd count
+            vec![TAG_RECORD, 1, 1, b'k'],                 // record value missing
+            vec![TAG_U64, 0x01, 0x00],                    // trailing byte
+        ];
+        for bytes in &cases {
+            assert!(Wire::from_bytes(bytes).is_err(), "{bytes:?} should fail");
+        }
+        // Deep nesting is bounded.
+        let mut deep = vec![];
+        for _ in 0..=BINARY_MAX_DEPTH {
+            deep.extend_from_slice(&[TAG_LIST, 1]);
+        }
+        deep.extend_from_slice(&[TAG_U64, 0]);
+        assert!(Wire::from_bytes(&deep).is_err());
     }
 
     #[test]

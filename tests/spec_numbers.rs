@@ -1,0 +1,145 @@
+//! Spec-file number fidelity: the TOML (and JSON) layers must carry
+//! every integer a spec can hold — sweep seeds span the full `u64`
+//! range — bit-exactly, while floats keep their `f64` semantics. The
+//! vendored serde's `Value::Int` (an `i128`, covering both `i64` and
+//! `u64`) is what makes this hold; these proptests pin the contract
+//! from the outside: parse → render → parse is the identity for
+//! integers, floats, and exponent forms, and TOML's underscore rules
+//! are enforced rather than silently mis-lexed.
+
+use divrel_bench::toml;
+use proptest::prelude::*;
+use serde::Value;
+
+/// Parses a one-key document and returns the value of `x`.
+fn parse_x(number: &str) -> Result<Value, String> {
+    let doc = format!("x = {number}\n");
+    let parsed = toml::parse(&doc).map_err(|e| e.to_string())?;
+    match parsed {
+        Value::Map(map) => map
+            .into_iter()
+            .find(|(k, _)| k == "x")
+            .map(|(_, v)| v)
+            .ok_or_else(|| "no x key".into()),
+        other => Err(format!("document parsed to {other:?}")),
+    }
+}
+
+/// Full render→parse cycle on the document holding `value`, returning
+/// what comes back for `x`.
+fn reparse_x(value: &Value) -> Value {
+    let doc = Value::Map(vec![("x".to_string(), value.clone())]);
+    let rendered = toml::to_string(&doc).expect("document renders");
+    match toml::parse(&rendered).expect("rendered document reparses") {
+        Value::Map(map) => map.into_iter().find(|(k, _)| k == "x").expect("x kept").1,
+        other => panic!("document parsed to {other:?}"),
+    }
+}
+
+proptest! {
+    #[test]
+    fn u64_integers_round_trip_losslessly(n in 0u64..=u64::MAX) {
+        let v = parse_x(&n.to_string()).map_err(|e| format!("u64 literal: {e}"))?;
+        prop_assert_eq!(&v, &Value::Int(i128::from(n)));
+        prop_assert_eq!(reparse_x(&v), v);
+    }
+
+    #[test]
+    fn i64_integers_round_trip_losslessly(n in i64::MIN..=i64::MAX) {
+        let v = parse_x(&n.to_string()).map_err(|e| format!("i64 literal: {e}"))?;
+        prop_assert_eq!(&v, &Value::Int(i128::from(n)));
+        prop_assert_eq!(reparse_x(&v), v);
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly(x in prop_oneof![
+        // Arbitrary finite bit patterns (non-finite rejected below)...
+        (0u64..=u64::MAX).prop_map(f64::from_bits),
+        // ...plus the edge cases uniform bits rarely hit.
+        Just(0.0),
+        Just(-0.0),
+        Just(f64::MIN_POSITIVE),
+        Just(f64::MAX),
+        Just(1.0 / 3.0),
+    ]) {
+        prop_assume!(x.is_finite());
+        // `{:?}` is Rust's shortest round-trip form; whatever it emits
+        // must come back with the same bits, twice over.
+        let v = parse_x(&format!("{x:?}")).map_err(|e| format!("float literal: {e}"))?;
+        let Value::Num(back) = v else {
+            return Err(format!("parsed to {v:?}"));
+        };
+        prop_assert_eq!(back.to_bits(), x.to_bits());
+        let Value::Num(again) = reparse_x(&Value::Num(back)) else {
+            return Err("reparse changed the type".to_string());
+        };
+        prop_assert_eq!(again.to_bits(), x.to_bits());
+    }
+
+    #[test]
+    fn exponent_forms_parse_as_floats(
+        mantissa in -9_999i64..=9_999,
+        frac in 0u32..100,
+        exp in -30i32..=30,
+        upper in proptest::bool::ANY,
+    ) {
+        let e = if upper { 'E' } else { 'e' };
+        let literal = format!("{mantissa}.{frac:02}{e}{exp}");
+        let expect: f64 = literal.parse().expect("rust parses the same grammar");
+        let v = parse_x(&literal).map_err(|e| format!("exponent literal: {e}"))?;
+        let Value::Num(back) = v else {
+            return Err(format!("parsed to {v:?}"));
+        };
+        prop_assert_eq!(back.to_bits(), expect.to_bits());
+        let Value::Num(again) = reparse_x(&Value::Num(back)) else {
+            return Err("reparse changed the type".to_string());
+        };
+        prop_assert_eq!(again.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn single_underscores_between_digits_are_cosmetic(n in 10u64..=u64::MAX) {
+        // Insert one underscore between two digits — the value must not
+        // change.
+        let digits = n.to_string();
+        let mid = digits.len() / 2;
+        let grouped = format!("{}_{}", &digits[..mid], &digits[mid..]);
+        let v = parse_x(&grouped).map_err(|e| format!("grouped literal: {e}"))?;
+        prop_assert_eq!(v, Value::Int(i128::from(n)));
+    }
+}
+
+#[test]
+fn misplaced_underscores_are_rejected() {
+    for bad in [
+        "1__2", "_1", "1_", "1_.5", "1._5", "1_e3", "1e_3", "-_1", "1e3_",
+    ] {
+        let err = parse_x(bad).expect_err(bad);
+        // A leading `_` never reaches the number lexer (it is not a
+        // value start), so only the in-number cases name the underscore.
+        if bad != "_1" {
+            assert!(err.contains("underscore"), "{bad}: wrong rejection: {err}");
+        }
+    }
+}
+
+#[test]
+fn integers_and_floats_keep_their_types_apart() {
+    // An integer-looking token is an Int; anything with a dot or an
+    // exponent is a float — even when the value is integral.
+    assert_eq!(parse_x("5").unwrap(), Value::Int(5));
+    assert_eq!(parse_x("5.0").unwrap(), Value::Num(5.0));
+    assert_eq!(parse_x("5e0").unwrap(), Value::Num(5.0));
+    assert_eq!(
+        parse_x("9007199254740993").unwrap(), // 2^53 + 1: the f64 cliff
+        Value::Int((1 << 53) + 1)
+    );
+    assert_eq!(
+        parse_x(&u64::MAX.to_string()).unwrap(),
+        Value::Int(i128::from(u64::MAX))
+    );
+    assert_eq!(
+        parse_x(&i64::MIN.to_string()).unwrap(),
+        Value::Int(i128::from(i64::MIN))
+    );
+}

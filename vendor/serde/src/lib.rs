@@ -22,8 +22,12 @@ pub enum Value {
     Null,
     /// A boolean.
     Bool(bool),
-    /// Any number (always carried as `f64`).
+    /// A floating-point number.
     Num(f64),
+    /// A lossless integer. `i128` covers the full `i64` and `u64`
+    /// ranges, so 64-bit sweep seeds survive a round-trip that `f64`
+    /// (exact only below 2^53) would silently corrupt.
+    Int(i128),
     /// A string.
     Str(String),
     /// An array.
@@ -52,10 +56,21 @@ impl Value {
         }
     }
 
-    /// The numeric value, if this is a number.
+    /// The numeric value, if this is a number. Integers are widened
+    /// (lossily above 2^53) so float-oriented callers see one numeric
+    /// type; use [`Value::as_i128`] when exactness matters.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Num(n) => Some(*n),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The exact integer value, if this is an integer.
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(*i),
             _ => None,
         }
     }
@@ -201,7 +216,36 @@ impl Deserialize for String {
     }
 }
 
-macro_rules! impl_serde_num {
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i).map_err(|_| {
+                        DeError::custom(format!(
+                            "integer {i} out of range for {}",
+                            stringify!($t)
+                        ))
+                    }),
+                    // Legacy float-carried numbers (and float literals in
+                    // specs) keep the historical saturating-cast behaviour.
+                    Value::Num(n) => Ok(*n as $t),
+                    other => Err(DeError::custom(format!(
+                        "expected number, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn to_value(&self) -> Value {
@@ -212,6 +256,7 @@ macro_rules! impl_serde_num {
             fn from_value(v: &Value) -> Result<Self, DeError> {
                 match v {
                     Value::Num(n) => Ok(*n as $t),
+                    Value::Int(i) => Ok(*i as $t),
                     other => Err(DeError::custom(format!(
                         "expected number, got {other:?}"
                     ))),
@@ -220,7 +265,7 @@ macro_rules! impl_serde_num {
         }
     )*};
 }
-impl_serde_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+impl_serde_float!(f32, f64);
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
@@ -312,6 +357,29 @@ mod tests {
         assert_eq!(v, vec![1, 2, 3]);
         assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
         assert!(u32::from_value(&Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn integers_above_2_pow_53_are_lossless() {
+        let seed: u64 = (1 << 53) + 1;
+        assert_eq!(seed.to_value(), Value::Int(seed as i128));
+        assert_eq!(u64::from_value(&seed.to_value()).unwrap(), seed);
+        assert_eq!(
+            u64::from_value(&Value::Int(u64::MAX as i128)).unwrap(),
+            u64::MAX
+        );
+        assert_eq!(
+            i64::from_value(&Value::Int(i64::MIN as i128)).unwrap(),
+            i64::MIN
+        );
+        // Range violations are errors, not silent wraps.
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+        assert!(i64::from_value(&Value::Int(u64::MAX as i128)).is_err());
+        // Floats still deserialise into integer fields (legacy cast) and
+        // integers into float fields.
+        assert_eq!(u64::from_value(&Value::Num(3.0)).unwrap(), 3);
+        assert_eq!(f64::from_value(&Value::Int(3)).unwrap(), 3.0);
     }
 
     #[test]

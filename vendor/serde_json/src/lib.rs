@@ -92,6 +92,7 @@ fn write_value(
                 out.push_str(&format!("{n}"));
             }
         }
+        Value::Int(i) => out.push_str(&format!("{i}")),
         Value::Str(s) => write_string(out, s),
         Value::Seq(items) => write_seq(out, items.iter().map(Item::Bare), '[', ']', indent, depth)?,
         Value::Map(entries) => write_seq(
@@ -286,6 +287,16 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| Error::new("invalid utf8 in number"))?;
+        // Integer-looking tokens stay lossless in the i64..=u64 range;
+        // anything fractional, exponent-form, or wider falls back to f64
+        // (matching real serde_json's arbitrary-precision-off behaviour).
+        if !text.bytes().any(|b| matches!(b, b'.' | b'e' | b'E')) {
+            if let Ok(i) = text.parse::<i128>() {
+                if (i64::MIN as i128..=u64::MAX as i128).contains(&i) {
+                    return Ok(Value::Int(i));
+                }
+            }
+        }
         text.parse::<f64>()
             .map(Value::Num)
             .map_err(|_| Error::new(format!("invalid number {text:?}")))
@@ -376,6 +387,26 @@ mod tests {
         assert_eq!(to_string(&3u32).unwrap(), "3");
         assert_eq!(to_string(&1.25f64).unwrap(), "1.25");
         assert_eq!(to_string(&-7i64).unwrap(), "-7");
+    }
+
+    #[test]
+    fn u64_range_integers_round_trip_losslessly() {
+        for seed in [u64::MAX, (1 << 53) + 1, 1 << 63] {
+            let s = to_string(&seed).unwrap();
+            assert_eq!(s, format!("{seed}"));
+            let back: u64 = from_str(&s).unwrap();
+            assert_eq!(back, seed);
+        }
+        let back: i64 = from_str(&format!("{}", i64::MIN)).unwrap();
+        assert_eq!(back, i64::MIN);
+        // Beyond the i64..=u64 window the parser degrades to f64 rather
+        // than erroring, as real serde_json does without arbitrary
+        // precision.
+        let v: Value = from_str("340282366920938463463374607431768211456").unwrap();
+        assert!(matches!(v, Value::Num(_)));
+        // Exponent forms are floats even when whole-valued.
+        let v: Value = from_str("1e3").unwrap();
+        assert_eq!(v, Value::Num(1000.0));
     }
 
     #[test]
