@@ -1,6 +1,6 @@
 //! Before/after benchmark driver: measures the previous-PR baselines
 //! against the current fast paths and exports the results as
-//! `BENCH_<tag>.json` (default `BENCH_pr7.json` in the current
+//! `BENCH_<tag>.json` (default `BENCH_pr8.json` in the current
 //! directory; override with `DIVREL_BENCH_TAG` / first CLI argument as
 //! the output path).
 //!
@@ -42,7 +42,13 @@
 //!   hash handshake, binary result frames, adaptive pipelined leases —
 //!   actually costs on a re-run of a committed spec; the new
 //!   `dist/handshake_reuse` row isolates the cached-spec handshake by
-//!   serving the same spec to a cold vs a warm worker.
+//!   serving the same spec to a cold vs a warm worker. The PR 8
+//!   `protection/tree_compiled_vs_walk` row measures the fault-tree
+//!   voter's compiled one-bit-per-cell system table against a direct
+//!   per-cell tree walk over the channel trip tables; both sides are
+//!   bit-identical on every demand cell (asserted first), so the row
+//!   records the pure gain of compiling gate topologies down to the
+//!   flat-vote hot path.
 
 use divrel_bench::context::default_sweep_threads;
 use divrel_bench::perf::{to_json, Comparison};
@@ -66,6 +72,7 @@ use divrel_protection::compiler::CompiledPlant;
 use divrel_protection::plant::{Plant, PlantEvent};
 use divrel_protection::simulation;
 use divrel_protection::system::ProtectionSystem;
+use divrel_protection::tree::FaultTree;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -155,7 +162,7 @@ fn legacy_protection_run(
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| {
-        let tag = std::env::var("DIVREL_BENCH_TAG").unwrap_or_else(|_| "pr7".into());
+        let tag = std::env::var("DIVREL_BENCH_TAG").unwrap_or_else(|_| "pr8".into());
         format!("BENCH_{tag}.json")
     });
     let mut results: Vec<Comparison> = Vec::new();
@@ -353,6 +360,93 @@ fn main() {
             },
             || {
                 black_box(version.true_pfd(&map, &profile).expect("in range"));
+            },
+        );
+        println!(
+            "{:<44} {:>10.1} -> {:>9.1} ns  ({:.2}x)",
+            c.name,
+            c.legacy_ns,
+            c.fast_ns,
+            c.speedup()
+        );
+        results.push(c);
+    }
+
+    // --- protection/tree_compiled_vs_walk: the PR 8 headline -----------
+    // A nested fault-tree voter (3-of-8 threshold OR an 8-wide AND) over
+    // 16 channels: the legacy side re-derives the exact PFD by walking
+    // the tree on every demand cell over the per-channel failure tables;
+    // the fast side reads the one-bit-per-cell system table the
+    // constructor compiles the tree into. Both sides are bit-identical
+    // on every cell (asserted first), so the row records the pure gain
+    // of compiling gate topologies down to the flat-vote hot path.
+    {
+        let space = GridSpace2D::new(200, 200).expect("valid space");
+        let profile = Profile::uniform(&space);
+        let regions: Vec<Region> = (0..32)
+            .map(|i| {
+                let x = (i * 6) as u32 % 180;
+                let y = (i * 11) as u32 % 180;
+                Region::rect(x, y, x + 12, y + 12)
+            })
+            .collect();
+        let map = FaultRegionMap::new(space, regions).expect("valid map");
+        let n_ch = 16usize;
+        let channels: Vec<Channel> = (0..n_ch)
+            .map(|i| {
+                let faults = [(i * 2) % 32, (i * 7 + 3) % 32];
+                Channel::new(
+                    format!("C{i}"),
+                    ProgramVersion::from_fault_indices(32, &faults).expect("in range"),
+                )
+            })
+            .collect();
+        let tree = FaultTree::AnyOf(vec![
+            FaultTree::k_of_first_n(3, 8),
+            FaultTree::AllOf((8..n_ch).map(FaultTree::Channel).collect()),
+        ]);
+        let sys = ProtectionSystem::with_tree(channels, tree.clone(), map).expect("valid system");
+        let cells = space.cell_count();
+        let walk_pfd = || {
+            let mut failing = 0usize;
+            let mut trips = vec![false; n_ch];
+            for cell in 0..cells {
+                for (ch, trip) in trips.iter_mut().enumerate() {
+                    *trip = !sys.channel_fails_cell(ch, cell);
+                }
+                if !tree.decide(&trips) {
+                    failing += 1;
+                }
+            }
+            failing as f64 / cells as f64
+        };
+        // Cell-level bit-identity between the walk and the compiled
+        // table, then the derived PFDs.
+        let mut trips = vec![false; n_ch];
+        for cell in 0..cells {
+            for (ch, trip) in trips.iter_mut().enumerate() {
+                *trip = !sys.channel_fails_cell(ch, cell);
+            }
+            assert_eq!(
+                !sys.system_fails_cell(cell),
+                tree.decide(&trips),
+                "compiled table disagrees with tree walk at cell {cell}"
+            );
+        }
+        let fast = sys.true_pfd(&profile).expect("computes");
+        assert!(
+            (walk_pfd() - fast).abs() < 1e-12,
+            "tree-walk PFD {} vs compiled {}",
+            walk_pfd(),
+            fast
+        );
+        let c = Comparison::measure(
+            "protection/tree_compiled_vs_walk/16ch_200x200",
+            || {
+                black_box(walk_pfd());
+            },
+            || {
+                black_box(sys.true_pfd(&profile).expect("computes"));
             },
         );
         println!(
@@ -1247,7 +1341,7 @@ fn main() {
         }
     }
 
-    let json = to_json(7, &results);
+    let json = to_json(8, &results);
     std::fs::write(&out_path, &json).expect("write bench export");
     println!("\nwrote {out_path}");
     let below: Vec<&Comparison> = results.iter().filter(|c| c.speedup() < 5.0).collect();

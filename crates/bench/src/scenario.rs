@@ -152,20 +152,25 @@ impl Scenario {
         // integers losslessly (`Value::Int`), so any seed survives a
         // spec-file round trip bit-exactly — there is no 2^53 cliff.
         match &self.experiment {
-            ExperimentSpec::KnightLeveson { replications, .. } => {
+            ExperimentSpec::KnightLeveson {
+                replications,
+                model,
+            } => {
                 if *replications == 0 {
                     return Err("KnightLeveson needs >= 1 replication".into());
                 }
+                reject_shared_cause(model, "KnightLeveson")?;
             }
             ExperimentSpec::ForcedDiversity { trials } => {
                 if *trials == 0 {
                     return Err("ForcedDiversity needs >= 1 trial".into());
                 }
             }
-            ExperimentSpec::MonteCarlo { samples, .. } => {
+            ExperimentSpec::MonteCarlo { samples, model, .. } => {
                 if *samples < 2 {
                     return Err("MonteCarlo needs >= 2 samples".into());
                 }
+                reject_shared_cause(model, "MonteCarlo")?;
             }
             ExperimentSpec::Protection(campaign) => campaign.validate()?,
         }
@@ -250,6 +255,23 @@ impl Scenario {
     pub fn to_json(&self) -> ScenarioResult<String> {
         Ok(serde_json::to_string_pretty(self)?)
     }
+}
+
+/// The sampling executors draw one version at a time from a marginal
+/// model — a `SharedCause` spec would silently lose its correlation
+/// there, so the families that cannot honour it refuse it up front.
+/// Correlated creation is expressed campaign-side instead, through
+/// [`divrel_protection::spec::CommonCauseSpec`] layers.
+fn reject_shared_cause(model: &FaultModelSpec, family: &str) -> ScenarioResult<()> {
+    if matches!(model, FaultModelSpec::SharedCause { .. }) {
+        return Err(format!(
+            "{family} samples versions independently and cannot honour a \
+             SharedCause model; declare common_causes on a Protection \
+             campaign instead"
+        )
+        .into());
+    }
+    Ok(())
 }
 
 /// The reduced accumulators a scenario run produces.
@@ -485,13 +507,38 @@ impl CampaignRuntime {
             .map(|m| VersionFactory::shared(Arc::clone(m), FaultIntroduction::Independent))
             .collect::<Result<_, _>>()?;
         let mut rng = StdRng::seed_from_u64(seed);
-        let sampled: Vec<ProgramVersion> = spec
+        let mut sampled: Vec<ProgramVersion> = spec
             .versions
             .iter()
             .map(|&pi| {
                 ProgramVersion::from_fault_set(factories[pi].sample_version(&mut rng).faults)
             })
             .collect();
+        // Common-cause layers: one Bernoulli draw per declared cause,
+        // *after* the independent sampling, on the same RNG stream — a
+        // striking cause ORs its fault set into every covered version
+        // at once. Specs without causes consume no extra draws, so
+        // pre-existing scenarios reproduce bit for bit.
+        if let Some(causes) = &spec.common_causes {
+            use rand::Rng;
+            for cause in causes {
+                let strikes = rng.gen::<f64>() < cause.p;
+                if !strikes {
+                    continue;
+                }
+                let covered: Vec<usize> = match &cause.versions {
+                    Some(vs) => vs.clone(),
+                    None => (0..sampled.len()).collect(),
+                };
+                for vi in covered {
+                    let mut indices = sampled[vi].fault_indices();
+                    indices.extend_from_slice(&cause.regions);
+                    indices.sort_unstable();
+                    indices.dedup();
+                    sampled[vi] = ProgramVersion::from_fault_indices(map.len(), &indices)?;
+                }
+            }
+        }
         let plant = spec.build_plant(&profile)?;
         let compiled = simulation::campaign_compile(&plant, spec.steps)?;
         let systems = spec
@@ -503,11 +550,7 @@ impl CampaignRuntime {
                     .iter()
                     .map(|&vi| Channel::new(format!("V{vi}"), sampled[vi].clone()))
                     .collect();
-                Ok(ProtectionSystem::new(
-                    channels,
-                    sys.adjudicator,
-                    map.clone(),
-                )?)
+                Ok(sys.build(channels, map.clone())?)
             })
             .collect::<Result<_, Box<dyn Error>>>()?;
         let shard_counts = simulation::shard_layout(spec.steps, spec.shards);
@@ -704,24 +747,20 @@ pub mod presets {
             processes: vec![vec![0.25, 0.20, 0.15, 0.30, 0.10, 0.12, 0.08, 0.18]],
             versions: vec![0, 0, 0],
             systems: vec![
-                SystemSpec {
-                    label: "1oo2 (Fig 1, OR)".into(),
-                    channels: vec![0, 1],
-                    adjudicator: Adjudicator::OneOutOfN,
-                    seed_xor: 0xF1,
-                },
-                SystemSpec {
-                    label: "2oo3 (majority)".into(),
-                    channels: vec![0, 1, 2],
-                    adjudicator: Adjudicator::Majority,
-                    seed_xor: 0xF2,
-                },
+                SystemSpec::flat("1oo2 (Fig 1, OR)", vec![0, 1], Adjudicator::OneOutOfN, 0xF1),
+                SystemSpec::flat(
+                    "2oo3 (majority)",
+                    vec![0, 1, 2],
+                    Adjudicator::Majority,
+                    0xF2,
+                ),
             ],
             plant: PlantSpec::Rate { demand_rate: 0.2 },
             steps: ctx.samples(5_000_000) as u64,
             // Part of the RNG layout: pinned in the spec, never taken
             // from the host's core count.
             shards: 4,
+            common_causes: None,
         };
         Scenario {
             name: "F1-protection".into(),

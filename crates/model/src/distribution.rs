@@ -60,21 +60,34 @@ impl PfdDistribution {
     /// [`ModelError::Degenerate`] for `k == 0`; numerical construction
     /// errors otherwise.
     pub fn new(model: &FaultModel, k: u32) -> Result<Self, ModelError> {
+        Self::from_terms(k, &model.terms(k))
+    }
+
+    /// Builds the distribution from explicit `(probability, weight)`
+    /// terms — the entry point for *correlated* fault creation
+    /// ([`crate::shared::SharedCauseModel`]), whose per-fault common
+    /// probabilities are not `pᵢᵏ` but still form an independent
+    /// weighted Bernoulli sum.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Degenerate`] for `k == 0`; numerical construction
+    /// errors otherwise.
+    pub fn from_terms(k: u32, terms: &[(f64, f64)]) -> Result<Self, ModelError> {
         if k == 0 {
             return Err(ModelError::Degenerate(
                 "PFD distribution for k = 0 versions",
             ));
         }
-        let terms = model.terms(k);
-        let exact = WeightedBernoulliSum::auto_cached(&terms)?;
-        let mu = model.mean_pfd(k);
-        let var = model.var_pfd(k);
+        let exact = WeightedBernoulliSum::auto_cached(terms)?;
+        let mu: f64 = terms.iter().map(|&(p, q)| p * q).sum();
+        let var: f64 = terms.iter().map(|&(p, q)| p * (1.0 - p) * q * q).sum();
         let approx = if var > 0.0 {
             Some(Normal::new(mu, var.sqrt())?)
         } else {
             None
         };
-        let berry_esseen = bernoulli_sum_bound(&terms).ok();
+        let berry_esseen = bernoulli_sum_bound(terms).ok();
         Ok(PfdDistribution {
             k,
             exact,

@@ -68,10 +68,12 @@ pub mod forced;
 pub mod improvement;
 pub mod moments;
 pub mod probability;
+pub mod shared;
 pub mod spec;
 pub mod system;
 
 pub use error::ModelError;
 pub use fault::{FaultModel, FaultModelBuilder, PotentialFault};
 pub use probability::Probability;
+pub use shared::SharedCauseModel;
 pub use system::DiverseSystem;

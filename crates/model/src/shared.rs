@@ -1,0 +1,268 @@
+//! Shared-cause fault creation — a β-factor layer over [`FaultModel`].
+//!
+//! The base model assumes versions are developed *independently*: fault
+//! `i` lands in all `k` versions with probability `pᵢᵏ`. Real development
+//! processes share causes — a common specification mistake, a shared
+//! library, the same misleading requirement — so the same fault can be
+//! planted in **every** channel by one event. This module makes that
+//! correlation explicit with the β-factor split used in hardware CCF
+//! practice (and bridged analytically by [`crate::ccf`]):
+//!
+//! * with probability `γᵢ = β·pᵢ` a **shared cause** plants fault `i` in
+//!   all versions at once;
+//! * otherwise each version independently acquires fault `i` with the
+//!   **residual** probability `ρᵢ = pᵢ(1−β)/(1−β·pᵢ)`.
+//!
+//! The residual is chosen so the *marginal* per-version probability is
+//! still exactly `pᵢ` — a single version cannot tell the difference;
+//! only coincident failures can:
+//!
+//! ```text
+//! P(fault i in one version)  = γᵢ + (1−γᵢ)·ρᵢ              = pᵢ
+//! P(fault i in all k)        = γᵢ + (1−γᵢ)·ρᵢᵏ  ≥ pᵢᵏ
+//! ```
+//!
+//! At `β = 0` the layer vanishes (`γᵢ = 0`, `ρᵢ = pᵢ`, the common
+//! probability is exactly `pᵢᵏ`); at `β = 1` every fault is fully
+//! common (`γᵢ = pᵢ`, the common probability is `pᵢ` for every `k`).
+//! Because faults remain independent *of each other*, the system PFD is
+//! still a weighted Bernoulli sum — the exact machinery of
+//! [`crate::distribution::PfdDistribution`] applies unchanged, just with
+//! correlated terms.
+
+use crate::distribution::PfdDistribution;
+use crate::error::ModelError;
+use crate::fault::FaultModel;
+
+/// A fault-creation model whose versions share causes with strength `β`.
+///
+/// ```
+/// use divrel_model::{shared::SharedCauseModel, FaultModel};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let base = FaultModel::uniform(8, 0.1, 0.01)?;
+/// let correlated = SharedCauseModel::new(base.clone(), 0.2)?;
+/// // Marginals unchanged, coincident failures more likely:
+/// assert!((correlated.mean_pfd(1) - base.mean_pfd_single()).abs() < 1e-15);
+/// assert!(correlated.mean_pfd(2) > base.mean_pfd_pair());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedCauseModel {
+    base: FaultModel,
+    beta: f64,
+}
+
+impl SharedCauseModel {
+    /// Wraps a base model with a shared-cause fraction `beta ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidProbability`] for `beta` outside `[0, 1]`.
+    pub fn new(base: FaultModel, beta: f64) -> Result<Self, ModelError> {
+        if !(0.0..=1.0).contains(&beta) || beta.is_nan() {
+            return Err(ModelError::InvalidProbability(beta));
+        }
+        Ok(SharedCauseModel { base, beta })
+    }
+
+    /// The base (marginal) fault-creation model.
+    pub fn base(&self) -> &FaultModel {
+        &self.base
+    }
+
+    /// The shared-cause fraction `β`.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Probability that fault `i` (introduction probability `p`) is
+    /// present in all `k` versions: `γ + (1−γ)·ρᵏ` with `γ = β·p` and
+    /// the marginal-preserving residual `ρ = p(1−β)/(1−β·p)`.
+    ///
+    /// `β = 0` takes an exact `pᵏ` branch (no correlated float detour),
+    /// and a degenerate `β·p = 1` denominator (only at `β = p = 1`)
+    /// yields `ρ = 0` — the fault is then always planted by the shared
+    /// cause anyway.
+    pub fn p_common(&self, p: f64, k: u32) -> f64 {
+        if self.beta == 0.0 {
+            return p.powi(k as i32);
+        }
+        let gamma = self.beta * p;
+        let denom = 1.0 - gamma;
+        let rho = if denom > 0.0 {
+            p * (1.0 - self.beta) / denom
+        } else {
+            0.0
+        };
+        gamma + (1.0 - gamma) * rho.powi(k as i32)
+    }
+
+    /// Correlated `(probability, weight)` terms for a `k`-version
+    /// system: fault `i` contributes `qᵢ` to the system PFD with
+    /// probability [`Self::p_common`]`(pᵢ, k)`. Drop-in replacement for
+    /// [`FaultModel::terms`] wherever a weighted Bernoulli sum is built.
+    pub fn terms(&self, k: u32) -> Vec<(f64, f64)> {
+        self.base
+            .faults()
+            .iter()
+            .map(|f| (self.p_common(f.p(), k), f.q()))
+            .collect()
+    }
+
+    /// `E[Θₖ] = Σ p_common(pᵢ, k) · qᵢ` — eq (1) with the correlated
+    /// common probability in place of `pᵢᵏ`.
+    pub fn mean_pfd(&self, k: u32) -> f64 {
+        self.base
+            .faults()
+            .iter()
+            .map(|f| self.p_common(f.p(), k) * f.q())
+            .sum()
+    }
+
+    /// `σ²(Θₖ) = Σ p_common(1 − p_common) qᵢ²` — eq (2) with the
+    /// correlated common probability.
+    pub fn var_pfd(&self, k: u32) -> f64 {
+        self.base
+            .faults()
+            .iter()
+            .map(|f| {
+                let pc = self.p_common(f.p(), k);
+                pc * (1.0 - pc) * f.q() * f.q()
+            })
+            .sum()
+    }
+
+    /// The exact PFD distribution of a `k`-version system under shared
+    /// causes — the same subset-enumeration / lattice machinery as the
+    /// independent model, fed the correlated terms.
+    ///
+    /// # Errors
+    ///
+    /// See [`PfdDistribution::from_terms`].
+    pub fn distribution(&self, k: u32) -> Result<PfdDistribution, ModelError> {
+        PfdDistribution::from_terms(k, &self.terms(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> FaultModel {
+        FaultModel::from_params(&[0.1, 0.4, 0.02, 0.9], &[0.02, 0.005, 0.3, 0.001]).unwrap()
+    }
+
+    #[test]
+    fn beta_outside_unit_interval_is_rejected() {
+        assert!(SharedCauseModel::new(base(), -0.1).is_err());
+        assert!(SharedCauseModel::new(base(), 1.1).is_err());
+        assert!(SharedCauseModel::new(base(), f64::NAN).is_err());
+        assert!(SharedCauseModel::new(base(), 0.0).is_ok());
+        assert!(SharedCauseModel::new(base(), 1.0).is_ok());
+    }
+
+    #[test]
+    fn beta_zero_reduces_exactly_to_the_independent_model() {
+        let m = base();
+        let s = SharedCauseModel::new(m.clone(), 0.0).unwrap();
+        for k in 1..=4 {
+            assert_eq!(s.terms(k), m.terms(k), "k = {k}");
+            assert_eq!(s.mean_pfd(k), m.mean_pfd(k));
+            assert_eq!(s.var_pfd(k), m.var_pfd(k));
+        }
+    }
+
+    #[test]
+    fn beta_one_makes_every_fault_fully_common() {
+        let m = base();
+        let s = SharedCauseModel::new(m.clone(), 1.0).unwrap();
+        // P(fault in all k) = p for every k: redundancy buys nothing.
+        for k in 1..=4 {
+            for (f, (pc, q)) in m.faults().iter().zip(s.terms(k)) {
+                assert!((pc - f.p()).abs() < 1e-15, "k = {k}");
+                assert_eq!(q, f.q());
+            }
+            assert!((s.mean_pfd(k) - m.mean_pfd_single()).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn marginals_are_preserved_for_every_beta() {
+        let m = base();
+        for beta in [0.0, 0.05, 0.3, 0.77, 1.0] {
+            let s = SharedCauseModel::new(m.clone(), beta).unwrap();
+            // k = 1: a single version cannot see the correlation.
+            for (f, (pc, _)) in m.faults().iter().zip(s.terms(1)) {
+                assert!((pc - f.p()).abs() < 1e-14, "beta = {beta}, p = {}", f.p());
+            }
+            assert!((s.mean_pfd(1) - m.mean_pfd_single()).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn shared_causes_only_hurt_coincident_failures() {
+        let m = base();
+        let mut prev = m.mean_pfd_pair();
+        for beta in [0.1, 0.3, 0.6, 1.0] {
+            let s = SharedCauseModel::new(m.clone(), beta).unwrap();
+            let mu2 = s.mean_pfd(2);
+            assert!(mu2 > prev - 1e-18, "pair PFD must grow with beta");
+            prev = mu2;
+        }
+        // And the fully-common limit is the single-version PFD.
+        assert!((prev - m.mean_pfd_single()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn p_common_matches_two_stage_enumeration() {
+        // Brute force the two-stage draw: shared cause with prob γ, else
+        // k independent residual draws. P(all k) = γ + (1−γ)ρᵏ must
+        // match the closed form for representative (β, p, k).
+        for beta in [0.0, 0.2, 0.5, 0.9, 1.0] {
+            for p in [0.0, 0.01, 0.3, 0.7, 1.0] {
+                let s = SharedCauseModel::new(FaultModel::from_params(&[p], &[0.1]).unwrap(), beta)
+                    .unwrap();
+                let gamma = beta * p;
+                let rho = if 1.0 - gamma > 0.0 {
+                    p * (1.0 - beta) / (1.0 - gamma)
+                } else {
+                    0.0
+                };
+                for k in 1..=5u32 {
+                    let direct = gamma + (1.0 - gamma) * rho.powi(k as i32);
+                    assert!(
+                        (s.p_common(p, k) - direct).abs() < 1e-14,
+                        "beta = {beta}, p = {p}, k = {k}"
+                    );
+                    // Correlation can only raise the coincidence probability.
+                    assert!(s.p_common(p, k) >= p.powi(k as i32) - 1e-14);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_moments_match_the_analytic_moments() {
+        let s = SharedCauseModel::new(base(), 0.25).unwrap();
+        for k in [1u32, 2, 3] {
+            let d = s.distribution(k).unwrap();
+            assert!((d.exact().mean() - s.mean_pfd(k)).abs() < 1e-12);
+            assert!((d.exact().variance() - s.var_pfd(k)).abs() < 1e-12);
+            assert_eq!(d.versions(), k);
+        }
+    }
+
+    #[test]
+    fn pair_distribution_dominates_the_independent_pair() {
+        // Exact stochastic dominance check at the distribution level:
+        // the correlated pair puts no less mass above any threshold.
+        let m = base();
+        let s = SharedCauseModel::new(m.clone(), 0.4).unwrap();
+        let ind = PfdDistribution::pair(&m).unwrap();
+        let cor = s.distribution(2).unwrap();
+        for t in [0.0, 1e-4, 1e-3, 1e-2, 0.1] {
+            assert!(cor.exact().cdf(t) <= ind.exact().cdf(t) + 1e-12, "t = {t}");
+        }
+    }
+}

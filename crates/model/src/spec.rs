@@ -25,6 +25,7 @@
 use crate::error::ModelError;
 use crate::fault::FaultModel;
 use crate::forced::ForcedDiversityModel;
+use crate::shared::SharedCauseModel;
 use serde::{Deserialize, Serialize};
 
 /// A serialisable description of a [`FaultModel`]: one variant per
@@ -63,6 +64,19 @@ pub enum FaultModelSpec {
         /// Ratio between consecutive failure-region sizes.
         q_ratio: f64,
     },
+    /// A shared-cause (β-factor) layer over a base model
+    /// ([`SharedCauseModel`]): with probability `β·pᵢ` a common cause
+    /// plants fault `i` in every version at once; the residual
+    /// per-version probability is chosen so each version's *marginal*
+    /// fault profile is exactly the base model's. `beta = 0` is the
+    /// base model itself.
+    SharedCause {
+        /// Shared-cause fraction `β ∈ [0, 1]`.
+        beta: f64,
+        /// The base (marginal) fault-creation model. Nesting a
+        /// `SharedCause` inside another is rejected at build time.
+        base: Box<FaultModelSpec>,
+    },
     /// Few-large / many-small bimodal structure ([`FaultModel::bimodal`]).
     Bimodal {
         /// Number of large faults.
@@ -81,12 +95,18 @@ pub enum FaultModelSpec {
 }
 
 impl FaultModelSpec {
-    /// Builds the model through the constructor the variant names.
+    /// Builds the **marginal** model through the constructor the variant
+    /// names. For [`FaultModelSpec::SharedCause`] this is the base
+    /// model — the per-version fault profile, which the β layer
+    /// preserves by construction. Correlation-aware consumers use
+    /// [`Self::build_shared`] instead.
     ///
     /// # Errors
     ///
     /// Exactly the constructor's validation errors — a spec cannot build
-    /// a model the hand-written path would have rejected.
+    /// a model the hand-written path would have rejected. A nested
+    /// `SharedCause` or `beta ∉ [0, 1]` is rejected here too, so a spec
+    /// that marginal-builds also shared-builds.
     pub fn build(&self) -> Result<FaultModel, ModelError> {
         match self {
             FaultModelSpec::Params { ps, qs } => FaultModel::from_params(ps, qs),
@@ -106,6 +126,47 @@ impl FaultModelSpec {
                 p_small,
                 q_small,
             } => FaultModel::bimodal(*n_large, *p_large, *q_large, *n_small, *p_small, *q_small),
+            FaultModelSpec::SharedCause { beta, base } => {
+                if matches!(**base, FaultModelSpec::SharedCause { .. }) {
+                    return Err(ModelError::Degenerate(
+                        "nested SharedCause layers (compose the betas instead)",
+                    ));
+                }
+                // Validate beta even on the marginal path, so build()
+                // succeeding guarantees build_shared() succeeds.
+                SharedCauseModel::new(base.build()?, *beta).map(|s| s.base().clone())
+            }
+        }
+    }
+
+    /// Builds the spec as a [`SharedCauseModel`]: the declared β layer
+    /// for [`FaultModelSpec::SharedCause`], and a transparent `β = 0`
+    /// wrapper (exactly the independent model) for every other variant —
+    /// so correlation-aware consumers can treat all specs uniformly.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::build`].
+    pub fn build_shared(&self) -> Result<SharedCauseModel, ModelError> {
+        match self {
+            FaultModelSpec::SharedCause { beta, base } => {
+                if matches!(**base, FaultModelSpec::SharedCause { .. }) {
+                    return Err(ModelError::Degenerate(
+                        "nested SharedCause layers (compose the betas instead)",
+                    ));
+                }
+                SharedCauseModel::new(base.build()?, *beta)
+            }
+            other => SharedCauseModel::new(other.build()?, 0.0),
+        }
+    }
+
+    /// The shared-cause fraction the spec declares: `β` for
+    /// [`FaultModelSpec::SharedCause`], `0` otherwise.
+    pub fn shared_beta(&self) -> f64 {
+        match self {
+            FaultModelSpec::SharedCause { beta, .. } => *beta,
+            _ => 0.0,
         }
     }
 
@@ -228,6 +289,72 @@ mod tests {
             let back: FaultModelSpec = serde_json::from_str(&json).unwrap();
             assert_eq!(back, spec);
         }
+    }
+
+    #[test]
+    fn shared_cause_builds_marginal_and_correlated_forms() {
+        let spec = FaultModelSpec::SharedCause {
+            beta: 0.3,
+            base: Box::new(FaultModelSpec::Uniform {
+                n: 4,
+                p: 0.2,
+                q: 0.05,
+            }),
+        };
+        // Marginal build is the base model.
+        let marginal = spec.build().unwrap();
+        assert_eq!(marginal, FaultModel::uniform(4, 0.2, 0.05).unwrap());
+        // Correlated build carries the beta.
+        let shared = spec.build_shared().unwrap();
+        assert_eq!(shared.beta(), 0.3);
+        assert_eq!(shared.base(), &marginal);
+        assert_eq!(spec.shared_beta(), 0.3);
+        // Non-SharedCause specs build a transparent beta-0 wrapper.
+        let plain = FaultModelSpec::Uniform {
+            n: 4,
+            p: 0.2,
+            q: 0.05,
+        };
+        assert_eq!(plain.build_shared().unwrap().beta(), 0.0);
+        assert_eq!(plain.shared_beta(), 0.0);
+    }
+
+    #[test]
+    fn shared_cause_rejects_bad_beta_and_nesting() {
+        let base = Box::new(FaultModelSpec::Uniform {
+            n: 2,
+            p: 0.1,
+            q: 0.01,
+        });
+        let bad_beta = FaultModelSpec::SharedCause {
+            beta: 1.5,
+            base: base.clone(),
+        };
+        assert!(bad_beta.build().is_err());
+        assert!(bad_beta.build_shared().is_err());
+        let nested = FaultModelSpec::SharedCause {
+            beta: 0.1,
+            base: Box::new(FaultModelSpec::SharedCause { beta: 0.1, base }),
+        };
+        assert!(nested.build().is_err());
+        assert!(nested.build_shared().is_err());
+    }
+
+    #[test]
+    fn shared_cause_round_trips_through_json() {
+        let spec = FaultModelSpec::SharedCause {
+            beta: 0.25,
+            base: Box::new(FaultModelSpec::Geometric {
+                n: 6,
+                p0: 0.3,
+                p_ratio: 0.8,
+                q0: 0.02,
+                q_ratio: 0.9,
+            }),
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: FaultModelSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
     }
 
     #[test]

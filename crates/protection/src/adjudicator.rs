@@ -7,15 +7,19 @@
 //! *any* channel trips — it fails only when **all** channels fail.
 //! [`Adjudicator::AllOutOfN`] (AND) and majority voting are included for
 //! comparison experiments (spurious-trip analyses take the opposite view,
-//! which is why real systems care about 2oo3).
+//! which is why real systems care about 2oo3). The general
+//! [`Adjudicator::KOutOfN`] threshold voter subsumes all three; arbitrary
+//! gate topologies (nested AND/OR/k-of-n over channel subsets) live in
+//! [`crate::tree::FaultTree`].
 
 use crate::error::ProtectionError;
 use std::fmt;
 
 /// How channel trip decisions are combined into a system decision.
 ///
-/// Serialisable (as the bare variant name, e.g. `"Majority"`) so
-/// scenario files can declare the voting logic of each system.
+/// Serialisable (flat votes as the bare variant name, e.g. `"Majority"`;
+/// the threshold voter as `{ KOutOfN = { k = 2 } }`) so scenario files
+/// can declare the voting logic of each system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Adjudicator {
     /// OR: trip if any channel trips (the paper's 1-out-of-2, generalised
@@ -23,29 +27,61 @@ pub enum Adjudicator {
     OneOutOfN,
     /// AND: trip only if every channel trips (2-out-of-2 style).
     AllOutOfN,
-    /// Majority vote; requires an odd channel count.
+    /// Majority vote; requires an odd channel count, so a vote can
+    /// never tie.
     Majority,
+    /// Threshold vote: trip iff at least `k` of the N channels trip.
+    ///
+    /// Subsumes the flat variants: `k = 1` is [`Self::OneOutOfN`],
+    /// `k = N` is [`Self::AllOutOfN`], and `k = N/2 + 1` over odd `N`
+    /// is [`Self::Majority`]. **Tie semantics are explicit by
+    /// construction**: a threshold gate has no ties — exactly `k - 1`
+    /// tripping channels is a non-trip, exactly `k` is a trip. Over an
+    /// even channel count, declare `k = N/2` for a trip-on-tie
+    /// ("pessimistic" spurious-trip) vote or `k = N/2 + 1` for a
+    /// fail-on-tie vote; [`Self::Majority`] deliberately refuses even
+    /// counts rather than choosing for you.
+    KOutOfN {
+        /// Minimum number of tripping channels for a system trip.
+        /// Must satisfy `1 <= k <= N` for an N-channel system.
+        k: usize,
+    },
 }
 
 impl Adjudicator {
     /// Validates the adjudicator against a channel count.
     ///
+    /// Every construction path that yields a runtime object able to
+    /// reach [`Self::decide_counts`] goes through this check — a
+    /// majority voter over an even channel count or an out-of-range
+    /// threshold is rejected at build time, never silently decided.
+    ///
     /// # Errors
     ///
     /// [`ProtectionError::NoChannels`] for zero channels;
     /// [`ProtectionError::BadChannelCount`] for majority voting over an
-    /// even count.
+    /// even count or a `KOutOfN` threshold outside `1..=channels`.
     pub fn validate(&self, channels: usize) -> Result<(), ProtectionError> {
         if channels == 0 {
             return Err(ProtectionError::NoChannels);
         }
-        if *self == Adjudicator::Majority && channels.is_multiple_of(2) {
-            return Err(ProtectionError::BadChannelCount {
+        match self {
+            Adjudicator::Majority if channels.is_multiple_of(2) => {
+                Err(ProtectionError::BadChannelCount {
+                    got: channels,
+                    need: "an odd number of",
+                })
+            }
+            Adjudicator::KOutOfN { k } if *k == 0 => Err(ProtectionError::BadChannelCount {
+                got: 0,
+                need: "a k-out-of-N threshold of at least 1 in",
+            }),
+            Adjudicator::KOutOfN { k } if *k > channels => Err(ProtectionError::BadChannelCount {
                 got: channels,
-                need: "an odd number of",
-            });
+                need: "at least k",
+            }),
+            _ => Ok(()),
         }
-        Ok(())
     }
 
     /// Combines per-channel trip decisions into the system decision.
@@ -60,23 +96,32 @@ impl Adjudicator {
     /// Combines a tally of tripping channels into the system decision —
     /// the counting form of [`Self::decide`] used by the table-driven
     /// hot paths (no slice needed).
+    ///
+    /// Defined total over all `(trips, channels)` pairs so the hot
+    /// paths never branch on validity: `Majority` over an even count
+    /// decides strictly (`trips * 2 > channels`, i.e. a tie does not
+    /// trip) and an out-of-range `KOutOfN` threshold decides
+    /// `trips >= k` literally. Such adjudicators cannot reach a runtime
+    /// object, though — every construction path calls
+    /// [`Self::validate`] first and refuses them.
     pub fn decide_counts(&self, trips: usize, channels: usize) -> bool {
         match self {
             Adjudicator::OneOutOfN => trips >= 1,
             Adjudicator::AllOutOfN => channels > 0 && trips == channels,
             Adjudicator::Majority => trips * 2 > channels,
+            Adjudicator::KOutOfN { k } => *k >= 1 && trips >= *k,
         }
     }
 }
 
 impl fmt::Display for Adjudicator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            Adjudicator::OneOutOfN => "1-out-of-N (OR)",
-            Adjudicator::AllOutOfN => "N-out-of-N (AND)",
-            Adjudicator::Majority => "majority",
-        };
-        f.write_str(s)
+        match self {
+            Adjudicator::OneOutOfN => f.write_str("1-out-of-N (OR)"),
+            Adjudicator::AllOutOfN => f.write_str("N-out-of-N (AND)"),
+            Adjudicator::Majority => f.write_str("majority"),
+            Adjudicator::KOutOfN { k } => write!(f, "{k}-out-of-N"),
+        }
     }
 }
 
@@ -112,18 +157,76 @@ mod tests {
     }
 
     #[test]
+    fn k_out_of_n_is_a_threshold() {
+        let a = Adjudicator::KOutOfN { k: 2 };
+        assert!(!a.decide(&[true, false, false]));
+        assert!(a.decide(&[true, true, false]));
+        assert!(a.decide(&[true, true, true]));
+        // No ties by construction: k-1 trips is a non-trip, k is a trip.
+        let tie_trips = Adjudicator::KOutOfN { k: 2 };
+        assert!(tie_trips.decide(&[true, true, false, false]));
+        let tie_fails = Adjudicator::KOutOfN { k: 3 };
+        assert!(!tie_fails.decide(&[true, true, false, false]));
+    }
+
+    #[test]
+    fn k_out_of_n_subsumes_flat_votes() {
+        for n in 1usize..=9 {
+            for trips in 0..=n {
+                assert_eq!(
+                    Adjudicator::KOutOfN { k: 1 }.decide_counts(trips, n),
+                    Adjudicator::OneOutOfN.decide_counts(trips, n)
+                );
+                assert_eq!(
+                    Adjudicator::KOutOfN { k: n }.decide_counts(trips, n),
+                    Adjudicator::AllOutOfN.decide_counts(trips, n)
+                );
+                if n % 2 == 1 {
+                    assert_eq!(
+                        Adjudicator::KOutOfN { k: n / 2 + 1 }.decide_counts(trips, n),
+                        Adjudicator::Majority.decide_counts(trips, n)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn validation() {
         assert!(Adjudicator::OneOutOfN.validate(0).is_err());
         assert!(Adjudicator::OneOutOfN.validate(2).is_ok());
         assert!(Adjudicator::Majority.validate(2).is_err());
         assert!(Adjudicator::Majority.validate(3).is_ok());
         assert!(Adjudicator::AllOutOfN.validate(4).is_ok());
+        assert!(Adjudicator::KOutOfN { k: 0 }.validate(3).is_err());
+        assert!(Adjudicator::KOutOfN { k: 1 }.validate(3).is_ok());
+        assert!(Adjudicator::KOutOfN { k: 3 }.validate(3).is_ok());
+        assert!(Adjudicator::KOutOfN { k: 4 }.validate(3).is_err());
+        assert!(Adjudicator::KOutOfN { k: 1 }.validate(0).is_err());
     }
 
     #[test]
     fn display_names() {
         assert!(Adjudicator::OneOutOfN.to_string().contains("OR"));
         assert!(Adjudicator::Majority.to_string().contains("majority"));
+        assert_eq!(Adjudicator::KOutOfN { k: 2 }.to_string(), "2-out-of-N");
+    }
+
+    #[test]
+    fn serde_keeps_bare_names_and_round_trips_k_out_of_n() {
+        use serde::{Deserialize, Serialize, Value};
+        // Flat variants still serialise as (and parse from) bare names.
+        assert_eq!(
+            Adjudicator::Majority.to_value(),
+            Value::Str("Majority".into())
+        );
+        assert_eq!(
+            Adjudicator::from_value(&Value::Str("OneOutOfN".into())).unwrap(),
+            Adjudicator::OneOutOfN
+        );
+        // The threshold voter round-trips through its tagged form.
+        let k = Adjudicator::KOutOfN { k: 2 };
+        assert_eq!(Adjudicator::from_value(&k.to_value()).unwrap(), k);
     }
 
     mod properties {
@@ -138,6 +241,7 @@ mod tests {
             #[test]
             fn decide_counts_agrees_with_decide_at_cap_sizes(
                 which in 0usize..3,
+                k in 1usize..=64,
                 bits in proptest::collection::vec(proptest::bool::ANY, 64)
             ) {
                 let n = [1usize, 63, 64][which];
@@ -147,6 +251,7 @@ mod tests {
                     Adjudicator::OneOutOfN,
                     Adjudicator::AllOutOfN,
                     Adjudicator::Majority,
+                    Adjudicator::KOutOfN { k: k.min(n) },
                 ] {
                     prop_assert_eq!(
                         adj.decide(trips),

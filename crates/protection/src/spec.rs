@@ -19,8 +19,11 @@
 //!   diversity), the versions to sample, and the campaign dimensions.
 
 use crate::adjudicator::Adjudicator;
+use crate::channel::Channel;
 use crate::error::ProtectionError;
 use crate::plant::Plant;
+use crate::system::ProtectionSystem;
+use crate::tree::FaultTree;
 use divrel_demand::mapping::FaultRegionMap;
 use divrel_demand::profile::Profile;
 use divrel_demand::region::Region;
@@ -118,18 +121,131 @@ impl PlantSpec {
 
 /// One protection system of a campaign: a channel layout over the
 /// campaign's sampled versions plus the voting logic and seed salt.
+///
+/// Exactly one of `adjudicator` (a flat vote over all channels) and
+/// `tree` (a recursive gate topology over channel indices — **local**
+/// to this system's channel list, i.e. `Channel(0)` is the first entry
+/// of `channels`) must be declared; [`CampaignSpec::validate`]
+/// enforces this. Both are optional fields so pre-existing specs
+/// declaring only `adjudicator` keep their canonical serialised form
+/// (and therefore their spec hash) unchanged.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemSpec {
     /// Display label (e.g. `"1oo2"`).
     pub label: String,
     /// Indices into the campaign's sampled-version list, one per channel.
     pub channels: Vec<usize>,
-    /// How channel trips combine.
-    pub adjudicator: Adjudicator,
+    /// How channel trips combine: a flat vote over every channel.
+    pub adjudicator: Option<Adjudicator>,
+    /// How channel trips combine: a fault-tree gate topology. Leaf
+    /// `Channel(i)` refers to the `i`-th entry of `channels`.
+    pub tree: Option<FaultTree>,
     /// XOR salt applied to the scenario seed for this system's campaign
     /// RNG stream (the convention the F1 experiment established:
     /// `seed ^ 0xF1`, `seed ^ 0xF2`, …).
     pub seed_xor: u64,
+}
+
+impl SystemSpec {
+    /// A flat-vote system spec (the historical form).
+    pub fn flat(
+        label: impl Into<String>,
+        channels: Vec<usize>,
+        adjudicator: Adjudicator,
+        seed_xor: u64,
+    ) -> Self {
+        SystemSpec {
+            label: label.into(),
+            channels,
+            adjudicator: Some(adjudicator),
+            tree: None,
+            seed_xor,
+        }
+    }
+
+    /// A fault-tree system spec.
+    pub fn with_tree(
+        label: impl Into<String>,
+        channels: Vec<usize>,
+        tree: FaultTree,
+        seed_xor: u64,
+    ) -> Self {
+        SystemSpec {
+            label: label.into(),
+            channels,
+            adjudicator: None,
+            tree: Some(tree),
+            seed_xor,
+        }
+    }
+
+    /// Validates the voting declaration against this spec's channel
+    /// count: exactly one of `adjudicator`/`tree`, and that one valid.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtectionError::InvalidConfig`] for zero-or-both
+    /// declarations; the voter's own validation errors otherwise.
+    pub fn validate_voter(&self) -> Result<(), ProtectionError> {
+        match (&self.adjudicator, &self.tree) {
+            (Some(adj), None) => adj.validate(self.channels.len()),
+            (None, Some(tree)) => {
+                if self.channels.is_empty() {
+                    return Err(ProtectionError::NoChannels);
+                }
+                tree.validate(self.channels.len())
+            }
+            (Some(_), Some(_)) => Err(ProtectionError::InvalidConfig(format!(
+                "system {:?} declares both an adjudicator and a fault tree; \
+                 pick one",
+                self.label
+            ))),
+            (None, None) => Err(ProtectionError::InvalidConfig(format!(
+                "system {:?} declares neither an adjudicator nor a fault tree",
+                self.label
+            ))),
+        }
+    }
+
+    /// Assembles the runtime [`ProtectionSystem`] from already-built
+    /// channels (one per entry of `self.channels`, in order) and the
+    /// campaign map — the single construction path both flat and tree
+    /// systems go through.
+    ///
+    /// # Errors
+    ///
+    /// [`Self::validate_voter`] errors plus the constructors' own.
+    pub fn build(
+        &self,
+        channels: Vec<Channel>,
+        map: FaultRegionMap,
+    ) -> Result<ProtectionSystem, ProtectionError> {
+        self.validate_voter()?;
+        match (&self.adjudicator, &self.tree) {
+            (Some(adj), None) => ProtectionSystem::new(channels, *adj, map),
+            (None, Some(tree)) => ProtectionSystem::with_tree(channels, tree.clone(), map),
+            _ => unreachable!("validate_voter enforces exactly one"),
+        }
+    }
+}
+
+/// A common-cause fault layer over the campaign's sampled versions: a
+/// development-process hazard (a misleading requirement, a shared
+/// specification error) that, when it strikes, plants the **same**
+/// faults into several versions at once. Correlated versions then flow
+/// through the exact `true_pfd` geometry unchanged — the correlation
+/// lives entirely in fault creation, as the paper's model intends.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommonCauseSpec {
+    /// Probability in `[0, 1]` that this cause strikes the campaign
+    /// (one Bernoulli draw per cause, after independent sampling).
+    pub p: f64,
+    /// The fault (region) indices the cause plants when it strikes.
+    pub regions: Vec<usize>,
+    /// The sampled versions it strikes (indices into the campaign's
+    /// version list); `None` means every version — a fully common
+    /// cause.
+    pub versions: Option<Vec<usize>>,
 }
 
 /// A whole protection scenario as data. See the module docs for the
@@ -160,6 +276,10 @@ pub struct CampaignSpec {
     /// taken from the host), so the same spec reproduces the same bits
     /// on every machine.
     pub shards: usize,
+    /// Common-cause fault layers drawn after independent version
+    /// sampling (`None` — the historical form — means none, and keeps
+    /// the canonical serialisation of pre-existing specs unchanged).
+    pub common_causes: Option<Vec<CommonCauseSpec>>,
 }
 
 impl CampaignSpec {
@@ -220,13 +340,47 @@ impl CampaignSpec {
                     ));
                 }
             }
-            sys.adjudicator.validate(sys.channels.len())?;
+            sys.validate_voter()?;
         }
         if self.shards == 0 {
             return bad("campaign needs >= 1 shard".into());
         }
         if self.steps == 0 {
             return bad("campaign needs >= 1 step".into());
+        }
+        if let Some(causes) = &self.common_causes {
+            for (i, cause) in causes.iter().enumerate() {
+                if !(0.0..=1.0).contains(&cause.p) {
+                    return bad(format!(
+                        "common cause {i} has probability {} outside [0, 1]",
+                        cause.p
+                    ));
+                }
+                if cause.regions.is_empty() {
+                    return bad(format!("common cause {i} plants no faults"));
+                }
+                for &ri in &cause.regions {
+                    if ri >= self.regions.len() {
+                        return bad(format!(
+                            "common cause {i} references region {ri} of {}",
+                            self.regions.len()
+                        ));
+                    }
+                }
+                if let Some(versions) = &cause.versions {
+                    if versions.is_empty() {
+                        return bad(format!("common cause {i} strikes no versions"));
+                    }
+                    for &vi in versions {
+                        if vi >= self.versions.len() {
+                            return bad(format!(
+                                "common cause {i} references version {vi} of {}",
+                                self.versions.len()
+                            ));
+                        }
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -272,15 +426,16 @@ mod tests {
             profile: ProfileSpec::Uniform,
             processes: vec![vec![0.3, 0.2]],
             versions: vec![0, 0],
-            systems: vec![SystemSpec {
-                label: "1oo2".into(),
-                channels: vec![0, 1],
-                adjudicator: Adjudicator::OneOutOfN,
-                seed_xor: 0xF1,
-            }],
+            systems: vec![SystemSpec::flat(
+                "1oo2",
+                vec![0, 1],
+                Adjudicator::OneOutOfN,
+                0xF1,
+            )],
             plant: PlantSpec::Rate { demand_rate: 0.1 },
             steps: 1000,
             shards: 2,
+            common_causes: None,
         }
     }
 
@@ -367,10 +522,124 @@ mod tests {
         assert!(mutate(&|s| s.steps = 0).validate().is_err());
         // Majority over an even channel count is caught here too.
         assert!(
-            mutate(&|s| s.systems[0].adjudicator = Adjudicator::Majority)
+            mutate(&|s| s.systems[0].adjudicator = Some(Adjudicator::Majority))
                 .validate()
                 .is_err()
         );
+        // A k-out-of-N threshold past the channel count likewise.
+        assert!(
+            mutate(&|s| s.systems[0].adjudicator = Some(Adjudicator::KOutOfN { k: 3 }))
+                .validate()
+                .is_err()
+        );
+        // Exactly one of adjudicator/tree.
+        assert!(mutate(&|s| s.systems[0].adjudicator = None)
+            .validate()
+            .is_err());
+        assert!(mutate(&|s| s.systems[0].tree = Some(FaultTree::Channel(0)))
+            .validate()
+            .is_err());
+        // A valid tree in place of the flat vote passes.
+        assert!(mutate(&|s| {
+            s.systems[0].adjudicator = None;
+            s.systems[0].tree = Some(FaultTree::AnyOf(vec![
+                FaultTree::Channel(0),
+                FaultTree::Channel(1),
+            ]));
+        })
+        .validate()
+        .is_ok());
+        // Tree leaves are local to the system's channel list.
+        assert!(mutate(&|s| {
+            s.systems[0].adjudicator = None;
+            s.systems[0].tree = Some(FaultTree::Channel(2));
+        })
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_common_causes() {
+        let ok = demo_spec();
+        let mutate = |f: &dyn Fn(&mut CampaignSpec)| {
+            let mut s = ok.clone();
+            f(&mut s);
+            s
+        };
+        let cause = |p: f64, regions: Vec<usize>, versions: Option<Vec<usize>>| CommonCauseSpec {
+            p,
+            regions,
+            versions,
+        };
+        // A well-formed cause validates.
+        assert!(
+            mutate(&|s| s.common_causes = Some(vec![cause(0.3, vec![0], None)]))
+                .validate()
+                .is_ok()
+        );
+        assert!(
+            mutate(&|s| s.common_causes = Some(vec![cause(1.5, vec![0], None)]))
+                .validate()
+                .is_err()
+        );
+        assert!(
+            mutate(&|s| s.common_causes = Some(vec![cause(-0.1, vec![0], None)]))
+                .validate()
+                .is_err()
+        );
+        assert!(
+            mutate(&|s| s.common_causes = Some(vec![cause(0.3, vec![], None)]))
+                .validate()
+                .is_err()
+        );
+        assert!(
+            mutate(&|s| s.common_causes = Some(vec![cause(0.3, vec![7], None)]))
+                .validate()
+                .is_err()
+        );
+        assert!(
+            mutate(&|s| s.common_causes = Some(vec![cause(0.3, vec![0], Some(vec![]))]))
+                .validate()
+                .is_err()
+        );
+        assert!(
+            mutate(&|s| s.common_causes = Some(vec![cause(0.3, vec![0], Some(vec![9]))]))
+                .validate()
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn system_spec_builds_flat_and_tree_systems() {
+        use divrel_demand::version::ProgramVersion;
+        let spec = demo_spec();
+        let map = spec.build_map().unwrap();
+        let channels = vec![
+            Channel::new("V0", ProgramVersion::new(vec![true, false])),
+            Channel::new("V1", ProgramVersion::new(vec![false, true])),
+        ];
+        let flat = spec.systems[0]
+            .build(channels.clone(), map.clone())
+            .unwrap();
+        assert_eq!(flat.adjudicator(), Some(Adjudicator::OneOutOfN));
+        let tree_spec = SystemSpec::with_tree(
+            "or2",
+            vec![0, 1],
+            FaultTree::AnyOf(vec![FaultTree::Channel(0), FaultTree::Channel(1)]),
+            0xF2,
+        );
+        let tree = tree_spec.build(channels.clone(), map.clone()).unwrap();
+        assert!(tree.tree().is_some());
+        // The OR tree and the flat 1oo2 decide identically.
+        let profile = spec.build_profile().unwrap();
+        assert_eq!(
+            flat.true_pfd(&profile).unwrap(),
+            tree.true_pfd(&profile).unwrap()
+        );
+        // An underdeclared spec refuses to build.
+        let mut bad = tree_spec;
+        bad.tree = None;
+        assert!(bad.build(channels, map).is_err());
     }
 
     #[test]
@@ -392,5 +661,48 @@ mod tests {
         let json = serde_json::to_string(&spec).unwrap();
         let back: CampaignSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, spec);
+        // Tree + common-cause forms round-trip too.
+        let mut rich = demo_spec();
+        rich.systems.push(SystemSpec::with_tree(
+            "2oo3-tree",
+            vec![0, 1, 0],
+            FaultTree::KOfN {
+                k: 2,
+                of: vec![
+                    FaultTree::Channel(0),
+                    FaultTree::Channel(1),
+                    FaultTree::Channel(2),
+                ],
+            },
+            0xF3,
+        ));
+        rich.common_causes = Some(vec![CommonCauseSpec {
+            p: 0.25,
+            regions: vec![0, 1],
+            versions: Some(vec![0, 1]),
+        }]);
+        rich.validate().unwrap();
+        let json = serde_json::to_string(&rich).unwrap();
+        let back: CampaignSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rich);
+    }
+
+    #[test]
+    fn pre_tree_spec_json_still_deserializes() {
+        // A system object exactly as PR 4–7 serialised it: bare variant
+        // name for the adjudicator, no `tree`, no `common_causes`
+        // anywhere. Back-compat requires it to parse into the widened
+        // vocabulary unchanged.
+        let legacy = r#"{
+            "label": "1oo2",
+            "channels": [0, 1],
+            "adjudicator": "OneOutOfN",
+            "seed_xor": 241
+        }"#;
+        let sys: SystemSpec = serde_json::from_str(legacy).unwrap();
+        assert_eq!(sys.adjudicator, Some(Adjudicator::OneOutOfN));
+        assert_eq!(sys.tree, None);
+        assert_eq!(sys.seed_xor, 0xF1);
+        sys.validate_voter().unwrap();
     }
 }

@@ -1,8 +1,10 @@
-//! The assembled protection system: channels behind an adjudicator.
+//! The assembled protection system: channels behind an adjudicator or
+//! a compiled fault tree.
 
 use crate::adjudicator::Adjudicator;
 use crate::channel::Channel;
 use crate::error::ProtectionError;
+use crate::tree::FaultTree;
 use divrel_demand::fault_set::{words_for, WORD_BITS};
 use divrel_demand::mapping::FaultRegionMap;
 use divrel_demand::profile::Profile;
@@ -18,38 +20,96 @@ pub struct SystemResponse {
     pub tripped: bool,
 }
 
+/// The adjudication logic of a system: a flat vote over all channels or
+/// a compiled [`FaultTree`] gate topology.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Voter {
+    /// A flat vote (`1ooN` / `NooN` / majority / `kooN`) over every
+    /// channel.
+    Flat(Adjudicator),
+    /// A recursive gate structure over channel subsets.
+    Tree(FaultTree),
+}
+
+impl Voter {
+    /// Validates against a channel count (every construction path goes
+    /// through here — see [`Adjudicator::validate`]).
+    fn validate(&self, channels: usize) -> Result<(), ProtectionError> {
+        if channels == 0 {
+            return Err(ProtectionError::NoChannels);
+        }
+        match self {
+            Voter::Flat(a) => a.validate(channels),
+            Voter::Tree(t) => t.validate(channels),
+        }
+    }
+
+    /// The system decision over a packed failure mask (bit `ch` set =
+    /// channel `ch` failed to trip) for an `n`-channel system.
+    #[inline]
+    fn decide_fail_mask(&self, fail_mask: u64, n: usize) -> bool {
+        match self {
+            Voter::Flat(a) => a.decide_counts(n - fail_mask.count_ones() as usize, n),
+            Voter::Tree(t) => t.decide_fail_mask(fail_mask),
+        }
+    }
+
+    /// The system decision over per-channel trip flags.
+    fn decide(&self, trips: &[bool]) -> bool {
+        match self {
+            Voter::Flat(a) => a.decide(trips),
+            Voter::Tree(t) => t.decide(trips),
+        }
+    }
+}
+
+impl fmt::Display for Voter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Voter::Flat(a) => write!(f, "{a}"),
+            Voter::Tree(t) => write!(f, "fault tree {t}"),
+        }
+    }
+}
+
 /// A plant protection system (Fig 1): `k` channels whose trip outputs are
-/// combined by an adjudicator.
+/// combined by an adjudicator or a fault tree.
 ///
 /// At construction the system precomputes one **trip table** per
-/// channel: a bit per demand-space cell saying whether that channel
+/// channel — a bit per demand-space cell saying whether that channel
 /// fails there (its sensor view applied, its version AND-ed against the
-/// map's per-cell failure mask). [`Self::respond`] is then `O(channels)`
-/// table lookups per demand, with no per-fault geometry tests.
+/// map's per-cell failure mask) — plus one **system table** holding the
+/// adjudicated outcome per cell. Flat votes and fault trees alike are
+/// thereby compiled down to the same fast path: [`Self::respond`] and
+/// [`Self::true_pfd`] are table lookups per demand, with no per-fault
+/// geometry tests and no per-demand tree walks. The direct tree walk
+/// ([`FaultTree::decide`]) remains the reference semantics and the
+/// fallback for demands outside the compiled space.
 #[derive(Debug, Clone)]
 pub struct ProtectionSystem {
     channels: Vec<Channel>,
-    adjudicator: Adjudicator,
+    voter: Voter,
     map: FaultRegionMap,
     /// Per-channel failure bitmaps over demand cells, flattened
     /// channel-major: channel `ch` owns words
     /// `[ch * words_per_table .. (ch + 1) * words_per_table]`.
     fail_tables: Vec<u64>,
+    /// The compiled adjudication: one bit per demand cell, set when the
+    /// **system** output fails there under this voter.
+    system_table: Vec<u64>,
     words_per_table: usize,
 }
 
-/// Equality is defined by the configuration (channels, adjudicator,
-/// map); the trip tables are derived data.
+/// Equality is defined by the configuration (channels, voter, map); the
+/// trip tables are derived data.
 impl PartialEq for ProtectionSystem {
     fn eq(&self, other: &Self) -> bool {
-        self.channels == other.channels
-            && self.adjudicator == other.adjudicator
-            && self.map == other.map
+        self.channels == other.channels && self.voter == other.voter && self.map == other.map
     }
 }
 
 impl ProtectionSystem {
-    /// Assembles a system and precomputes the per-channel trip tables.
+    /// Assembles a flat-vote system and precomputes the trip tables.
     ///
     /// # Errors
     ///
@@ -61,7 +121,32 @@ impl ProtectionSystem {
         adjudicator: Adjudicator,
         map: FaultRegionMap,
     ) -> Result<Self, ProtectionError> {
-        adjudicator.validate(channels.len())?;
+        Self::assemble(channels, Voter::Flat(adjudicator), map)
+    }
+
+    /// Assembles a fault-tree system: the tree is validated against the
+    /// channel count and compiled into the same per-cell tables the
+    /// flat adjudicators use.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtectionError::NoChannels`] for an empty channel list;
+    /// [`ProtectionError::InvalidConfig`] from tree validation;
+    /// otherwise as [`Self::new`].
+    pub fn with_tree(
+        channels: Vec<Channel>,
+        tree: FaultTree,
+        map: FaultRegionMap,
+    ) -> Result<Self, ProtectionError> {
+        Self::assemble(channels, Voter::Tree(tree), map)
+    }
+
+    fn assemble(
+        channels: Vec<Channel>,
+        voter: Voter,
+        map: FaultRegionMap,
+    ) -> Result<Self, ProtectionError> {
+        voter.validate(channels.len())?;
         // The trip-table fast path packs per-channel failure flags into a
         // single u64 mask (`respond_bits`); beyond 64 channels the shift
         // would wrap and silently misattribute failures.
@@ -98,11 +183,28 @@ impl ProtectionSystem {
                 }
             }
         }
+        // Compile the adjudication itself: walk the voter once per cell
+        // now so the per-demand hot paths only test one bit. This is
+        // where a fault tree of any shape collapses onto the flat-vote
+        // fast path.
+        let n = channels.len();
+        let mut system_table = vec![0u64; words_per_table];
+        for cell in 0..cells {
+            let mut fail_mask = 0u64;
+            for ch in 0..n {
+                let w = fail_tables[ch * words_per_table + cell / WORD_BITS];
+                fail_mask |= (w >> (cell % WORD_BITS) & 1) << ch;
+            }
+            if !voter.decide_fail_mask(fail_mask, n) {
+                system_table[cell / WORD_BITS] |= 1u64 << (cell % WORD_BITS);
+            }
+        }
         Ok(ProtectionSystem {
             channels,
-            adjudicator,
+            voter,
             map,
             fail_tables,
+            system_table,
             words_per_table,
         })
     }
@@ -115,14 +217,39 @@ impl ProtectionSystem {
         w >> (cell % WORD_BITS) & 1 == 1
     }
 
+    /// Whether the adjudicated **system** output fails on demand-space
+    /// cell `cell` (one compiled system-table bit).
+    #[inline]
+    pub fn system_fails_cell(&self, cell: usize) -> bool {
+        let w = self.system_table[cell / WORD_BITS];
+        w >> (cell % WORD_BITS) & 1 == 1
+    }
+
     /// The channels.
     pub fn channels(&self) -> &[Channel] {
         &self.channels
     }
 
-    /// The adjudicator.
-    pub fn adjudicator(&self) -> Adjudicator {
-        self.adjudicator
+    /// The flat adjudicator, for flat-vote systems (`None` for
+    /// fault-tree systems — see [`Self::tree`]).
+    pub fn adjudicator(&self) -> Option<Adjudicator> {
+        match &self.voter {
+            Voter::Flat(a) => Some(*a),
+            Voter::Tree(_) => None,
+        }
+    }
+
+    /// The fault tree, for tree systems (`None` for flat votes).
+    pub fn tree(&self) -> Option<&FaultTree> {
+        match &self.voter {
+            Voter::Flat(_) => None,
+            Voter::Tree(t) => Some(t),
+        }
+    }
+
+    /// The adjudication logic (flat vote or fault tree).
+    pub fn voter(&self) -> &Voter {
+        &self.voter
     }
 
     /// The fault → region map the channels are evaluated against.
@@ -138,22 +265,24 @@ impl ProtectionSystem {
     /// occur for a validated system).
     pub fn respond(&self, demand: Demand) -> Result<SystemResponse, ProtectionError> {
         let mut channel_trips = Vec::with_capacity(self.channels.len());
-        match self.map.space().index_of(demand) {
+        let tripped = match self.map.space().index_of(demand) {
             Ok(cell) => {
                 for ch in 0..self.channels.len() {
                     channel_trips.push(!self.channel_fails_cell(ch, cell));
                 }
+                !self.system_fails_cell(cell)
             }
             Err(_) => {
                 // Demands outside the space cannot be table-indexed;
                 // fall back to the geometric evaluation (sensor views
-                // may still clamp them into range).
+                // may still clamp them into range) and the direct
+                // voter walk.
                 for c in &self.channels {
                     channel_trips.push(c.trips_on(&self.map, demand)?);
                 }
+                self.voter.decide(&channel_trips)
             }
-        }
-        let tripped = self.adjudicator.decide(&channel_trips);
+        };
         Ok(SystemResponse {
             channel_trips,
             tripped,
@@ -165,26 +294,33 @@ impl ProtectionSystem {
     /// channels (bit `ch` set = channel `ch` failed to trip).
     ///
     /// The 64-channel ceiling of the `u64` mask is enforced at
-    /// [`Self::new`], so every constructed system fits.
+    /// construction, so every constructed system fits; a malformed
+    /// runtime object (impossible through the public constructors) is
+    /// reported as an error rather than aborting the process — a worker
+    /// must never die on a bad system object, it must refuse it.
     ///
     /// # Errors
     ///
-    /// Propagates channel evaluation errors for demands outside the
-    /// space (cannot occur for demands produced by a plant over the
-    /// same space).
+    /// [`ProtectionError::BadChannelCount`] if the system somehow holds
+    /// more than 64 channels; otherwise propagates channel evaluation
+    /// errors for demands outside the space (cannot occur for demands
+    /// produced by a plant over the same space).
     pub fn respond_bits(&self, demand: Demand) -> Result<(bool, u64), ProtectionError> {
-        debug_assert!(
-            self.channels.len() <= 64,
-            "respond_bits supports <= 64 channels"
-        );
+        if self.channels.len() > WORD_BITS {
+            return Err(ProtectionError::BadChannelCount {
+                got: self.channels.len(),
+                need: "<= 64",
+            });
+        }
         let mut fail_mask = 0u64;
-        match self.map.space().index_of(demand) {
+        let tripped = match self.map.space().index_of(demand) {
             Ok(cell) => {
                 for ch in 0..self.channels.len() {
                     if self.channel_fails_cell(ch, cell) {
                         fail_mask |= 1u64 << ch;
                     }
                 }
+                !self.system_fails_cell(cell)
             }
             Err(_) => {
                 for (ch, c) in self.channels.iter().enumerate() {
@@ -192,12 +328,9 @@ impl ProtectionSystem {
                         fail_mask |= 1u64 << ch;
                     }
                 }
+                self.voter.decide_fail_mask(fail_mask, self.channels.len())
             }
-        }
-        let tripped = self.adjudicator.decide_counts(
-            self.channels.len() - fail_mask.count_ones() as usize,
-            self.channels.len(),
-        );
+        };
         Ok((tripped, fail_mask))
     }
 
@@ -211,17 +344,13 @@ impl ProtectionSystem {
     ///
     /// Propagates [`Self::respond`].
     pub fn true_pfd(&self, profile: &Profile) -> Result<f64, ProtectionError> {
-        let n = self.channels.len();
         let cells = self.map.space().cell_count();
         let probs = profile.probs();
         let same_space = profile.space() == self.map.space() && probs.len() == cells;
         let mut pfd = 0.0;
         #[allow(clippy::needless_range_loop)] // cell indexes tables and probs alike
         for cell in 0..cells {
-            let trips = (0..n)
-                .filter(|&ch| !self.channel_fails_cell(ch, cell))
-                .count();
-            if !self.adjudicator.decide_counts(trips, n) {
+            if self.system_fails_cell(cell) {
                 pfd += if same_space {
                     probs[cell]
                 } else {
@@ -259,17 +388,13 @@ impl ProtectionSystem {
         {
             return self.true_pfd(profile);
         }
-        let n = self.channels.len();
         Ok(divrel_demand::parallel::chunked_sum(
             cells,
             threads,
             |range| {
                 let mut pfd = 0.0;
                 for cell in range {
-                    let trips = (0..n)
-                        .filter(|&ch| !self.channel_fails_cell(ch, cell))
-                        .count();
-                    if !self.adjudicator.decide_counts(trips, n) {
+                    if self.system_fails_cell(cell) {
                         pfd += probs[cell];
                     }
                 }
@@ -285,7 +410,7 @@ impl fmt::Display for ProtectionSystem {
             f,
             "ProtectionSystem({} channels, {})",
             self.channels.len(),
-            self.adjudicator
+            self.voter
         )
     }
 }
@@ -411,8 +536,57 @@ mod tests {
     fn display_and_accessors() {
         let sys = two_channel_system();
         assert_eq!(sys.channels().len(), 2);
-        assert_eq!(sys.adjudicator(), Adjudicator::OneOutOfN);
+        assert_eq!(sys.adjudicator(), Some(Adjudicator::OneOutOfN));
+        assert!(sys.tree().is_none());
         assert!(sys.to_string().contains("2 channels"));
+    }
+
+    #[test]
+    fn tree_system_compiles_to_the_flat_fast_path() {
+        use crate::tree::FaultTree;
+        // OR over both channels == the flat 1ooN vote: identical
+        // responses and identical true PFD on every cell.
+        let flat = two_channel_system();
+        let tree = ProtectionSystem::with_tree(
+            vec![
+                Channel::new("A", ProgramVersion::new(vec![true, false])),
+                Channel::new("B", ProgramVersion::new(vec![false, true])),
+            ],
+            FaultTree::AnyOf(vec![FaultTree::Channel(0), FaultTree::Channel(1)]),
+            map(),
+        )
+        .unwrap();
+        let profile = Profile::uniform(tree.map().space());
+        assert_eq!(
+            flat.true_pfd(&profile).unwrap(),
+            tree.true_pfd(&profile).unwrap()
+        );
+        for y in 0..10u32 {
+            for x in 0..10u32 {
+                let d = Demand::new(x, y);
+                assert_eq!(flat.respond(d).unwrap(), tree.respond(d).unwrap());
+                assert_eq!(flat.respond_bits(d).unwrap(), tree.respond_bits(d).unwrap());
+            }
+        }
+        assert!(tree.adjudicator().is_none());
+        assert!(tree.tree().is_some());
+        assert!(tree.to_string().contains("fault tree"));
+    }
+
+    #[test]
+    fn tree_construction_validates() {
+        use crate::tree::FaultTree;
+        // Leaf out of range for the channel list.
+        let err = ProtectionSystem::with_tree(
+            vec![Channel::new("A", ProgramVersion::new(vec![true, false]))],
+            FaultTree::Channel(1),
+            map(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ProtectionError::InvalidConfig(_)));
+        // No channels at all.
+        let err = ProtectionSystem::with_tree(vec![], FaultTree::Channel(0), map()).unwrap_err();
+        assert!(matches!(err, ProtectionError::NoChannels));
     }
 
     #[test]
@@ -617,7 +791,67 @@ mod tests {
                 }
                 // The mask's popcount reproduces the adjudicated tally.
                 let trips = n - fail_mask.count_ones() as usize;
-                prop_assert_eq!(sys.adjudicator().decide_counts(trips, n), tripped);
+                let adj = sys.adjudicator().expect("flat system");
+                prop_assert_eq!(adj.decide_counts(trips, n), tripped);
+            }
+
+            /// The compiled system table must agree with the direct
+            /// tree walk on every demand cell, at the channel-cap edge
+            /// cases 1, 63 and 64 — the "compiles to the trip-table
+            /// fast path bit-identically" guarantee.
+            #[test]
+            fn tree_compiled_table_matches_direct_walk_at_cap_sizes(
+                which in 0usize..3,
+                seed_flags in proptest::collection::vec(proptest::bool::ANY, 64 * 3),
+                k in 1usize..=64
+            ) {
+                use crate::tree::FaultTree;
+                let n = [1usize, 63, 64][which];
+                let space = GridSpace2D::new(8, 8).expect("valid");
+                let map = FaultRegionMap::new(
+                    space,
+                    vec![
+                        Region::rect(0, 0, 3, 3),
+                        Region::rect(2, 2, 6, 6),
+                        Region::rect(5, 0, 7, 3),
+                    ],
+                )
+                .expect("valid");
+                let channels: Vec<Channel> = (0..n)
+                    .map(|ch| {
+                        let flags: Vec<bool> =
+                            (0..3).map(|r| seed_flags[ch * 3 + r]).collect();
+                        Channel::new(format!("C{ch}"), ProgramVersion::new(flags))
+                    })
+                    .collect();
+                // A nested topology exercising every gate kind: the
+                // threshold vote over all channels OR-ed with the AND
+                // of the first and last.
+                let tree = FaultTree::AnyOf(vec![
+                    FaultTree::k_of_first_n(k.min(n), n),
+                    FaultTree::AllOf(vec![
+                        FaultTree::Channel(0),
+                        FaultTree::Channel(n - 1),
+                    ]),
+                ]);
+                let sys = ProtectionSystem::with_tree(channels, tree.clone(), map)
+                    .expect("valid tree system");
+                for cell in 0..space.cell_count() {
+                    let trips: Vec<bool> = (0..n)
+                        .map(|ch| !sys.channel_fails_cell(ch, cell))
+                        .collect();
+                    prop_assert_eq!(
+                        !sys.system_fails_cell(cell),
+                        tree.decide(&trips),
+                        "cell {} over {} channels",
+                        cell,
+                        n
+                    );
+                    let d = space.demand_at(cell).expect("cell in range");
+                    let (tripped, fail_mask) = sys.respond_bits(d).expect("ok");
+                    prop_assert_eq!(tripped, tree.decide(&trips));
+                    prop_assert_eq!(tripped, tree.decide_fail_mask(fail_mask));
+                }
             }
         }
     }

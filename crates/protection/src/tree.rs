@@ -1,0 +1,307 @@
+//! Fault-tree adjudication: arbitrary gate topologies over channels.
+//!
+//! A [`FaultTree`] generalises the flat [`crate::Adjudicator`] votes to
+//! recursive AND/OR/k-of-n gate structures over channel **trip**
+//! signals: a leaf is a channel index, a gate combines sub-trees. The
+//! tree decides whether the *system* trips on a demand, so in
+//! reliability-block terms the gates are the duals of the usual
+//! failure-space reading:
+//!
+//! * [`FaultTree::AnyOf`] (OR over trips) is **parallel redundancy** —
+//!   the system fails only when *every* branch fails (the paper's
+//!   1-out-of-2 is `AnyOf([Channel(0), Channel(1)])`);
+//! * [`FaultTree::AllOf`] (AND over trips) is a **series** structure —
+//!   the system fails as soon as *any* branch fails;
+//! * [`FaultTree::KOfN`] is the threshold gate (2oo3 voting and
+//!   friends), with the same no-tie semantics as
+//!   [`crate::Adjudicator::KOutOfN`]: exactly `k` tripping branches
+//!   trip the gate, exactly `k - 1` do not.
+//!
+//! Trees are plain data (serde + the TOML subset) so scenario files can
+//! declare topologies; [`crate::system::ProtectionSystem::with_tree`]
+//! compiles a tree over ≤ 64 channels down to the same per-demand-cell
+//! trip tables the flat adjudicators use, with [`FaultTree::decide`] as
+//! the direct-walk reference and fallback.
+
+use crate::error::ProtectionError;
+use std::fmt;
+
+/// A recursive gate structure over channel trip signals.
+///
+/// Serialisable as externally tagged variants, e.g. in TOML:
+///
+/// ```toml
+/// [experiment.Protection.systems.tree.KOfN]
+/// k = 2
+/// of = [{ Channel = 0 }, { Channel = 1 }, { Channel = 2 }]
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum FaultTree {
+    /// A leaf: the trip signal of channel `i` (0-based index into the
+    /// system's channel list).
+    Channel(usize),
+    /// OR gate: trips if **any** sub-tree trips. Parallel redundancy in
+    /// failure space — fails only when every branch fails.
+    AnyOf(Vec<FaultTree>),
+    /// AND gate: trips only if **every** sub-tree trips. A series
+    /// structure in failure space — fails when any branch fails.
+    AllOf(Vec<FaultTree>),
+    /// Threshold gate: trips iff at least `k` of the sub-trees trip.
+    /// No ties by construction (`k` trips is a trip, `k - 1` is not);
+    /// requires `1 <= k <= of.len()`.
+    KOfN {
+        /// Minimum number of tripping sub-trees for the gate to trip.
+        k: usize,
+        /// The sub-trees under the gate.
+        of: Vec<FaultTree>,
+    },
+}
+
+impl FaultTree {
+    /// Convenience: a flat threshold vote over the first `n` channels —
+    /// the tree form of [`crate::Adjudicator::KOutOfN`].
+    pub fn k_of_first_n(k: usize, n: usize) -> FaultTree {
+        FaultTree::KOfN {
+            k,
+            of: (0..n).map(FaultTree::Channel).collect(),
+        }
+    }
+
+    /// Validates the tree against a channel count: every leaf index in
+    /// range, every gate non-empty, every threshold in `1..=arity`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtectionError::InvalidConfig`] naming the offending node.
+    pub fn validate(&self, channels: usize) -> Result<(), ProtectionError> {
+        match self {
+            FaultTree::Channel(i) => {
+                if *i >= channels {
+                    return Err(ProtectionError::InvalidConfig(format!(
+                        "fault tree references channel {i}, but the system has \
+                         {channels} channels"
+                    )));
+                }
+            }
+            FaultTree::AnyOf(of) | FaultTree::AllOf(of) => {
+                if of.is_empty() {
+                    return Err(ProtectionError::InvalidConfig(
+                        "fault tree gate has no sub-trees".into(),
+                    ));
+                }
+                for sub in of {
+                    sub.validate(channels)?;
+                }
+            }
+            FaultTree::KOfN { k, of } => {
+                if of.is_empty() {
+                    return Err(ProtectionError::InvalidConfig(
+                        "fault tree k-of-n gate has no sub-trees".into(),
+                    ));
+                }
+                if *k == 0 || *k > of.len() {
+                    return Err(ProtectionError::InvalidConfig(format!(
+                        "fault tree k-of-n gate needs 1 <= k <= {}, got k = {k}",
+                        of.len()
+                    )));
+                }
+                for sub in of {
+                    sub.validate(channels)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the tree over per-channel trip decisions (the direct
+    /// tree walk — the reference semantics the compiled trip tables
+    /// must reproduce bit for bit).
+    ///
+    /// Total over any slice: an out-of-range leaf reads as "did not
+    /// trip" (validated trees never contain one).
+    pub fn decide(&self, trips: &[bool]) -> bool {
+        match self {
+            FaultTree::Channel(i) => trips.get(*i).copied().unwrap_or(false),
+            FaultTree::AnyOf(of) => of.iter().any(|t| t.decide(trips)),
+            FaultTree::AllOf(of) => of.iter().all(|t| t.decide(trips)),
+            FaultTree::KOfN { k, of } => {
+                *k >= 1 && of.iter().filter(|t| t.decide(trips)).count() >= *k
+            }
+        }
+    }
+
+    /// Evaluates the tree over a packed failure mask (bit `i` set means
+    /// channel `i` **failed** to trip) — the form the bit-table hot
+    /// path produces. Equivalent to [`Self::decide`] with
+    /// `trips[i] = !fail(i)`.
+    pub fn decide_fail_mask(&self, fail_mask: u64) -> bool {
+        match self {
+            FaultTree::Channel(i) => *i < 64 && (fail_mask >> *i) & 1 == 0,
+            FaultTree::AnyOf(of) => of.iter().any(|t| t.decide_fail_mask(fail_mask)),
+            FaultTree::AllOf(of) => of.iter().all(|t| t.decide_fail_mask(fail_mask)),
+            FaultTree::KOfN { k, of } => {
+                *k >= 1 && of.iter().filter(|t| t.decide_fail_mask(fail_mask)).count() >= *k
+            }
+        }
+    }
+
+    /// The number of channel leaves (with multiplicity).
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            FaultTree::Channel(_) => 1,
+            FaultTree::AnyOf(of) | FaultTree::AllOf(of) | FaultTree::KOfN { of, .. } => {
+                of.iter().map(FaultTree::leaf_count).sum()
+            }
+        }
+    }
+
+    /// The highest channel index referenced, if any leaf exists.
+    pub fn max_channel(&self) -> Option<usize> {
+        match self {
+            FaultTree::Channel(i) => Some(*i),
+            FaultTree::AnyOf(of) | FaultTree::AllOf(of) | FaultTree::KOfN { of, .. } => {
+                of.iter().filter_map(FaultTree::max_channel).max()
+            }
+        }
+    }
+}
+
+impl fmt::Display for FaultTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn list(f: &mut fmt::Formatter<'_>, of: &[FaultTree]) -> fmt::Result {
+            for (i, sub) in of.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{sub}")?;
+            }
+            Ok(())
+        }
+        match self {
+            FaultTree::Channel(i) => write!(f, "C{i}"),
+            FaultTree::AnyOf(of) => {
+                f.write_str("OR(")?;
+                list(f, of)?;
+                f.write_str(")")
+            }
+            FaultTree::AllOf(of) => {
+                f.write_str("AND(")?;
+                list(f, of)?;
+                f.write_str(")")
+            }
+            FaultTree::KOfN { k, of } => {
+                write!(f, "{}oo{}(", k, of.len())?;
+                list(f, of)?;
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_oo_three() -> FaultTree {
+        FaultTree::k_of_first_n(2, 3)
+    }
+
+    #[test]
+    fn gates_evaluate_truth_tables() {
+        let or = FaultTree::AnyOf(vec![FaultTree::Channel(0), FaultTree::Channel(1)]);
+        assert!(or.decide(&[true, false]));
+        assert!(or.decide(&[false, true]));
+        assert!(!or.decide(&[false, false]));
+
+        let and = FaultTree::AllOf(vec![FaultTree::Channel(0), FaultTree::Channel(1)]);
+        assert!(and.decide(&[true, true]));
+        assert!(!and.decide(&[true, false]));
+
+        let v = two_oo_three();
+        assert!(!v.decide(&[true, false, false]));
+        assert!(v.decide(&[true, true, false]));
+        assert!(v.decide(&[true, true, true]));
+    }
+
+    #[test]
+    fn nested_gates_compose() {
+        // OR(AND(0, 1), 2): the diverse pair must agree, or the hot
+        // standby trips alone.
+        let t = FaultTree::AnyOf(vec![
+            FaultTree::AllOf(vec![FaultTree::Channel(0), FaultTree::Channel(1)]),
+            FaultTree::Channel(2),
+        ]);
+        assert!(t.decide(&[true, true, false]));
+        assert!(t.decide(&[false, false, true]));
+        assert!(!t.decide(&[true, false, false]));
+    }
+
+    #[test]
+    fn fail_mask_walk_matches_trip_walk() {
+        let t = FaultTree::AnyOf(vec![
+            FaultTree::AllOf(vec![FaultTree::Channel(0), FaultTree::Channel(1)]),
+            FaultTree::KOfN {
+                k: 2,
+                of: vec![
+                    FaultTree::Channel(1),
+                    FaultTree::Channel(2),
+                    FaultTree::Channel(3),
+                ],
+            },
+        ]);
+        for mask in 0u64..16 {
+            let trips: Vec<bool> = (0..4).map(|i| (mask >> i) & 1 == 0).collect();
+            assert_eq!(
+                t.decide_fail_mask(mask),
+                t.decide(&trips),
+                "mask {mask:04b}"
+            );
+        }
+    }
+
+    #[test]
+    fn validation_rejects_malformed_trees() {
+        assert!(two_oo_three().validate(3).is_ok());
+        // Leaf out of range.
+        assert!(FaultTree::Channel(3).validate(3).is_err());
+        // Empty gates.
+        assert!(FaultTree::AnyOf(vec![]).validate(3).is_err());
+        assert!(FaultTree::AllOf(vec![]).validate(3).is_err());
+        assert!(FaultTree::KOfN { k: 1, of: vec![] }.validate(3).is_err());
+        // Threshold out of range.
+        assert!(FaultTree::k_of_first_n(0, 3).validate(3).is_err());
+        assert!(FaultTree::k_of_first_n(4, 3).validate(3).is_err());
+        // Errors propagate out of nested gates.
+        let nested = FaultTree::AnyOf(vec![FaultTree::AllOf(vec![FaultTree::Channel(9)])]);
+        assert!(nested.validate(3).is_err());
+    }
+
+    #[test]
+    fn accounting_and_display() {
+        let t = FaultTree::AnyOf(vec![
+            FaultTree::AllOf(vec![FaultTree::Channel(0), FaultTree::Channel(1)]),
+            FaultTree::Channel(2),
+        ]);
+        assert_eq!(t.leaf_count(), 3);
+        assert_eq!(t.max_channel(), Some(2));
+        assert_eq!(t.to_string(), "OR(AND(C0, C1), C2)");
+        assert_eq!(two_oo_three().to_string(), "2oo3(C0, C1, C2)");
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        use serde::{Deserialize, Serialize};
+        let t = FaultTree::AnyOf(vec![
+            FaultTree::AllOf(vec![FaultTree::Channel(0), FaultTree::Channel(1)]),
+            FaultTree::KOfN {
+                k: 2,
+                of: vec![
+                    FaultTree::Channel(1),
+                    FaultTree::Channel(2),
+                    FaultTree::Channel(3),
+                ],
+            },
+        ]);
+        assert_eq!(FaultTree::from_value(&t.to_value()).unwrap(), t);
+    }
+}

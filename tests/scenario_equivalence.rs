@@ -20,8 +20,8 @@ use divrel::devsim::factory::VersionFactory;
 use divrel::devsim::process::FaultIntroduction;
 use divrel::model::spec::FaultModelSpec;
 use divrel::numerics::sweep::SeedSpec;
-use divrel::protection::spec::{CampaignSpec, PlantSpec, ProfileSpec, SystemSpec};
-use divrel::protection::{simulation, Adjudicator, Channel, ProtectionSystem};
+use divrel::protection::spec::{CampaignSpec, CommonCauseSpec, PlantSpec, ProfileSpec, SystemSpec};
+use divrel::protection::{simulation, Adjudicator, Channel, FaultTree, ProtectionSystem};
 use divrel_bench::experiments::knight_leveson::student_experiment_model;
 use divrel_bench::experiments::workloads;
 use divrel_bench::scenario::{presets, ExperimentSpec, Scenario};
@@ -346,23 +346,53 @@ fn arb_label() -> impl Strategy<Value = String> {
         .prop_map(|bytes| bytes.into_iter().map(|b| b as char).collect())
 }
 
+fn arb_tree() -> impl Strategy<Value = FaultTree> {
+    // The vendored proptest facade has no recursion combinator, so the
+    // tree shapes are enumerated: leaves, flat gates, and nested gates
+    // covering every variant (and every serialised form).
+    (0usize..6, 1usize..4, 0usize..4).prop_map(|(shape, k, c)| match shape {
+        0 => FaultTree::Channel(c),
+        1 => FaultTree::AnyOf(vec![FaultTree::Channel(c), FaultTree::Channel(c + 1)]),
+        2 => FaultTree::AllOf(vec![FaultTree::Channel(c), FaultTree::Channel(c + 1)]),
+        3 => FaultTree::k_of_first_n(k.min(3), 3),
+        4 => FaultTree::AnyOf(vec![
+            FaultTree::AllOf(vec![FaultTree::Channel(0), FaultTree::Channel(1)]),
+            FaultTree::Channel(c),
+        ]),
+        _ => FaultTree::KOfN {
+            k: 2,
+            of: vec![
+                FaultTree::Channel(c),
+                FaultTree::AnyOf(vec![FaultTree::Channel(0), FaultTree::Channel(1)]),
+                FaultTree::AllOf(vec![FaultTree::Channel(2), FaultTree::Channel(3)]),
+            ],
+        },
+    })
+}
+
 fn arb_system() -> impl Strategy<Value = SystemSpec> {
     (
         arb_label(),
         proptest::collection::vec(0usize..8, 1..4),
         prop_oneof![
-            Just(Adjudicator::OneOutOfN),
-            Just(Adjudicator::AllOutOfN),
-            Just(Adjudicator::Majority),
+            Just(Adjudicator::OneOutOfN).prop_map(Some),
+            Just(Adjudicator::AllOutOfN).prop_map(Some),
+            Just(Adjudicator::Majority).prop_map(Some),
+            (1usize..5).prop_map(|k| Some(Adjudicator::KOutOfN { k })),
+            Just(None),
         ],
+        prop_oneof![Just(None), arb_tree().prop_map(Some)],
         0u64..(1 << 32),
     )
-        .prop_map(|(label, channels, adjudicator, seed_xor)| SystemSpec {
-            label,
-            channels,
-            adjudicator,
-            seed_xor,
-        })
+        .prop_map(
+            |(label, channels, adjudicator, tree, seed_xor)| SystemSpec {
+                label,
+                channels,
+                adjudicator,
+                tree,
+                seed_xor,
+            },
+        )
 }
 
 fn arb_campaign() -> impl Strategy<Value = CampaignSpec> {
@@ -379,12 +409,16 @@ fn arb_campaign() -> impl Strategy<Value = CampaignSpec> {
             arb_plant(),
             0u64..1_000_000_000,
             1usize..9,
+            prop_oneof![
+                Just(None),
+                proptest::collection::vec(arb_cause(), 1..3).prop_map(Some)
+            ],
         ),
     )
         .prop_map(
             |(
                 ((nx, ny), regions, profile, processes, versions),
-                (systems, plant, steps, shards),
+                (systems, plant, steps, shards, common_causes),
             )| {
                 CampaignSpec {
                     space: GridSpace2D::new(nx, ny).expect("positive dims"),
@@ -396,9 +430,26 @@ fn arb_campaign() -> impl Strategy<Value = CampaignSpec> {
                     plant,
                     steps,
                     shards,
+                    common_causes,
                 }
             },
         )
+}
+
+fn arb_cause() -> impl Strategy<Value = CommonCauseSpec> {
+    (
+        0.0..=1.0f64,
+        proptest::collection::vec(0usize..4, 1..3),
+        prop_oneof![
+            Just(None),
+            proptest::collection::vec(0usize..5, 1..3).prop_map(Some)
+        ],
+    )
+        .prop_map(|(p, regions, versions)| CommonCauseSpec {
+            p,
+            regions,
+            versions,
+        })
 }
 
 fn arb_experiment() -> impl Strategy<Value = ExperimentSpec> {

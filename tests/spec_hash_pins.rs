@@ -1,0 +1,85 @@
+//! Golden spec-hash pins for the committed `scenarios/` files.
+//!
+//! The coordinator/worker runtime, the persistent-worker compiled-spec
+//! caches, and the write-ahead lease journals are all keyed by
+//! [`spec_hash`] of the **canonical TOML** a scenario re-renders to.
+//! These pins freeze the canonical form of every committed spec: if a
+//! spec-vocabulary change (new adjudicator variants, new optional
+//! fields, renderer edits) perturbs the canonical text of an existing
+//! file, warm worker caches and resumable journals in the field would
+//! silently invalidate — so the change fails here first and must be
+//! made back-compatible instead.
+
+use divrel_bench::dist::spec_hash;
+use divrel_bench::scenario::Scenario;
+
+/// `(committed file, pinned fnv1a hash of the canonical TOML)`.
+///
+/// The first four pins date from PR 7 (before fault-tree adjudication
+/// and common-cause layers entered the vocabulary) and must never
+/// change for these files; the last two pin the canonical form of the
+/// fault-tree and common-cause specs the vocabulary change introduced.
+const PINS: &[(&str, &str)] = &[
+    (
+        "scenarios/asymmetric_difficulty.toml",
+        "fnv1a:b74c16896b9f2033",
+    ),
+    ("scenarios/kl_bimodal.toml", "fnv1a:960b976c8fb3a971"),
+    ("scenarios/slow_markov_plant.toml", "fnv1a:07add158125d75fc"),
+    (
+        "scenarios/three_channel_forced.toml",
+        "fnv1a:8991b09e4b04f926",
+    ),
+    ("scenarios/tree_2oo3.toml", "fnv1a:88c379311537d74e"),
+    (
+        "scenarios/common_cause_diversity.toml",
+        "fnv1a:51c55f1850138822",
+    ),
+];
+
+fn repo_path(rel: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+#[test]
+fn committed_scenario_spec_hashes_are_pinned() {
+    for (file, pinned) in PINS {
+        let text =
+            std::fs::read_to_string(repo_path(file)).unwrap_or_else(|e| panic!("{file}: {e}"));
+        let scenario =
+            Scenario::from_spec_text(&text).unwrap_or_else(|e| panic!("{file}: parse: {e}"));
+        scenario
+            .validate()
+            .unwrap_or_else(|e| panic!("{file}: validate: {e}"));
+        let canonical = scenario
+            .to_toml()
+            .unwrap_or_else(|e| panic!("{file}: to_toml: {e}"));
+        let hash = spec_hash(&canonical);
+        assert_eq!(
+            &hash, pinned,
+            "{file}: canonical spec hash drifted — persistent-worker \
+             caches and lease journals keyed by the old hash would be \
+             invalidated"
+        );
+    }
+}
+
+/// The canonical form must also be a fixed point: re-parsing the
+/// canonical text and re-rendering it reproduces the same bytes (and
+/// therefore the same hash) — the property the cached-spec handshake
+/// relies on when a worker re-derives the hash from shipped text.
+#[test]
+fn canonical_toml_is_a_fixed_point_for_committed_specs() {
+    for (file, _) in PINS {
+        let text =
+            std::fs::read_to_string(repo_path(file)).unwrap_or_else(|e| panic!("{file}: {e}"));
+        let scenario = Scenario::from_spec_text(&text).expect("parses");
+        let canonical = scenario.to_toml().expect("renders");
+        let reparsed = Scenario::from_spec_text(&canonical).expect("canonical parses");
+        let again = reparsed.to_toml().expect("re-renders");
+        assert_eq!(
+            canonical, again,
+            "{file}: canonical TOML is not a fixed point"
+        );
+    }
+}

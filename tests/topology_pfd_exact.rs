@@ -1,0 +1,254 @@
+//! Exact small-system PFD cross-checks: fault-tree topologies vs
+//! closed-form reliability algebra, on geometry small enough to reason
+//! about by hand.
+//!
+//! Under a uniform profile the true PFD of a system is the fraction of
+//! demand cells on which the voter fails, so every topology has a
+//! closed form in the region measures:
+//!
+//! * **series** (`AllOf` over trips — fails when any channel fails):
+//!   `q(F₀ ∪ F₁ ∪ …)`;
+//! * **parallel** (`AnyOf` — fails only when all fail):
+//!   `q(F₀ ∩ F₁ ∩ …)`;
+//! * **2oo3** (fails when ≥ 2 channels fail): inclusion–exclusion
+//!   `q(F₀∩F₁) + q(F₀∩F₂) + q(F₁∩F₂) − 2·q(F₀∩F₁∩F₂)`;
+//! * **nested** `OR(AND(C0, C1), C2)` (fails when channel 2 fails with
+//!   0 or 1): `q((F₀ ∪ F₁) ∩ F₂)`.
+//!
+//! The proptest half drives the compiled trip tables against the direct
+//! tree walk at the channel-count edge cases 1, 63 and 64 (the u64
+//! fail-mask ceiling), with and without a common-cause fault shared by
+//! every channel.
+
+use divrel::demand::mapping::FaultRegionMap;
+use divrel::demand::profile::Profile;
+use divrel::demand::region::Region;
+use divrel::demand::space::{Demand, GridSpace2D};
+use divrel::demand::version::ProgramVersion;
+use divrel::protection::{Channel, FaultTree, ProtectionSystem};
+use proptest::prelude::*;
+
+/// A 10×10 space with four disjoint regions of known uniform measure:
+/// q0 = 0.06, q1 = 0.04, q2 = 0.02, q3 = 0.01.
+fn geometry() -> FaultRegionMap {
+    let space = GridSpace2D::new(10, 10).unwrap();
+    FaultRegionMap::new(
+        space,
+        vec![
+            Region::rect(0, 0, 2, 1), // 6 cells
+            Region::rect(4, 0, 7, 0), // 4 cells
+            Region::rect(0, 4, 1, 4), // 2 cells
+            Region::rect(9, 9, 9, 9), // 1 cell
+        ],
+    )
+    .unwrap()
+}
+
+fn channel(name: &str, faults: &[usize]) -> Channel {
+    Channel::new(name, ProgramVersion::from_fault_indices(4, faults).unwrap())
+}
+
+fn tree_pfd(channels: Vec<Channel>, tree: FaultTree) -> f64 {
+    let map = geometry();
+    let profile = Profile::uniform(map.space());
+    let sys = ProtectionSystem::with_tree(channels, tree, map).unwrap();
+    sys.true_pfd(&profile).unwrap()
+}
+
+#[test]
+fn series_pfd_is_the_union_measure() {
+    // AllOf over trips = series: any failing channel fails the system.
+    let pfd = tree_pfd(
+        vec![channel("A", &[0]), channel("B", &[1])],
+        FaultTree::AllOf(vec![FaultTree::Channel(0), FaultTree::Channel(1)]),
+    );
+    // Disjoint regions: q(F_A ∪ F_B) = 0.06 + 0.04.
+    assert!((pfd - 0.10).abs() < 1e-12, "got {pfd}");
+
+    // Overlapping fault sets don't double-count.
+    let pfd = tree_pfd(
+        vec![channel("A", &[0, 2]), channel("B", &[0, 1])],
+        FaultTree::AllOf(vec![FaultTree::Channel(0), FaultTree::Channel(1)]),
+    );
+    // q(R0 ∪ R2 ∪ R1) = 0.06 + 0.02 + 0.04.
+    assert!((pfd - 0.12).abs() < 1e-12, "got {pfd}");
+}
+
+#[test]
+fn parallel_pfd_is_the_intersection_measure() {
+    // AnyOf over trips = parallel redundancy: all channels must fail.
+    let disjoint = tree_pfd(
+        vec![channel("A", &[0]), channel("B", &[1])],
+        FaultTree::AnyOf(vec![FaultTree::Channel(0), FaultTree::Channel(1)]),
+    );
+    assert_eq!(disjoint, 0.0, "disjoint failure sets never coincide");
+
+    // A shared (common-cause) fault is exactly what survives.
+    let shared = tree_pfd(
+        vec![channel("A", &[0, 3]), channel("B", &[1, 3])],
+        FaultTree::AnyOf(vec![FaultTree::Channel(0), FaultTree::Channel(1)]),
+    );
+    assert!((shared - 0.01).abs() < 1e-12, "got {shared}");
+}
+
+#[test]
+fn two_oo_three_matches_inclusion_exclusion() {
+    // F0 = R0 ∪ R3, F1 = R1 ∪ R3, F2 = R2 ∪ R3: pairwise intersections
+    // are all R3 (0.01), the triple intersection is R3 too.
+    // 2oo3 failure measure = 3·0.01 − 2·0.01 = 0.01.
+    let pfd = tree_pfd(
+        vec![
+            channel("A", &[0, 3]),
+            channel("B", &[1, 3]),
+            channel("C", &[2, 3]),
+        ],
+        FaultTree::k_of_first_n(2, 3),
+    );
+    assert!((pfd - 0.01).abs() < 1e-12, "got {pfd}");
+
+    // Asymmetric overlap: F0 = R0 ∪ R1, F1 = R1, F2 = R2.
+    // Pairwise: q(F0∩F1) = q(R1) = 0.04, q(F0∩F2) = 0, q(F1∩F2) = 0,
+    // triple = 0 → 2oo3 PFD = 0.04.
+    let pfd = tree_pfd(
+        vec![
+            channel("A", &[0, 1]),
+            channel("B", &[1]),
+            channel("C", &[2]),
+        ],
+        FaultTree::k_of_first_n(2, 3),
+    );
+    assert!((pfd - 0.04).abs() < 1e-12, "got {pfd}");
+}
+
+#[test]
+fn nested_and_or_matches_its_truth_table() {
+    // OR(AND(C0, C1), C2) fails iff channel 2 fails AND (0 or 1 fails):
+    // failure set = (F0 ∪ F1) ∩ F2.
+    // F0 = R0, F1 = R1, F2 = R0 ∪ R2 → (R0 ∪ R1) ∩ (R0 ∪ R2) = R0.
+    let tree = FaultTree::AnyOf(vec![
+        FaultTree::AllOf(vec![FaultTree::Channel(0), FaultTree::Channel(1)]),
+        FaultTree::Channel(2),
+    ]);
+    let pfd = tree_pfd(
+        vec![
+            channel("A", &[0]),
+            channel("B", &[1]),
+            channel("C", &[0, 2]),
+        ],
+        tree.clone(),
+    );
+    assert!((pfd - 0.06).abs() < 1e-12, "got {pfd}");
+
+    // Degenerate branch: if channel 2 never fails, the system never
+    // fails regardless of 0 and 1.
+    let pfd = tree_pfd(
+        vec![
+            channel("A", &[0, 1, 2]),
+            channel("B", &[0, 1, 3]),
+            channel("C", &[]),
+        ],
+        tree,
+    );
+    assert_eq!(pfd, 0.0);
+}
+
+#[test]
+fn tree_votes_agree_with_flat_adjudicators_on_every_cell() {
+    use divrel::protection::Adjudicator;
+    // The same channels under the tree form of each flat vote must fail
+    // on exactly the same demand cells.
+    let chans = || {
+        vec![
+            channel("A", &[0, 3]),
+            channel("B", &[1, 3]),
+            channel("C", &[2]),
+        ]
+    };
+    let map = geometry();
+    let cells = map.space().cell_count();
+    for (adj, tree) in [
+        (Adjudicator::OneOutOfN, FaultTree::k_of_first_n(1, 3)),
+        (Adjudicator::AllOutOfN, FaultTree::k_of_first_n(3, 3)),
+        (Adjudicator::Majority, FaultTree::k_of_first_n(2, 3)),
+        (Adjudicator::KOutOfN { k: 2 }, FaultTree::k_of_first_n(2, 3)),
+    ] {
+        let flat = ProtectionSystem::new(chans(), adj, map.clone()).unwrap();
+        let treed = ProtectionSystem::with_tree(chans(), tree, map.clone()).unwrap();
+        for cell in 0..cells {
+            assert_eq!(
+                flat.system_fails_cell(cell),
+                treed.system_fails_cell(cell),
+                "{adj} vs tree at cell {cell}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The compiled trip tables must agree with the direct tree walk on
+    /// every demand cell at 1, 63 and 64 channels — with and without a
+    /// common-cause fault planted in every channel.
+    #[test]
+    fn compiled_tables_match_tree_walk_at_cap_sizes(
+        which in 0usize..3,
+        k in 1usize..=64,
+        fault_bits in proptest::collection::vec(0u8..4, 64),
+        with_common_cause in proptest::bool::ANY,
+    ) {
+        let n = [1usize, 63, 64][which];
+        let space = GridSpace2D::new(8, 8).unwrap();
+        let map = FaultRegionMap::new(
+            space,
+            vec![
+                Region::rect(0, 0, 1, 1),
+                Region::rect(4, 0, 5, 3),
+                Region::rect(0, 6, 7, 7),
+                Region::rect(3, 3, 3, 3),
+            ],
+        )
+        .unwrap();
+        let channels: Vec<Channel> = (0..n)
+            .map(|i| {
+                // Each channel carries one assigned fault; a striking
+                // common cause plants fault 3 in every channel.
+                let mut faults = vec![fault_bits[i] as usize];
+                if with_common_cause {
+                    faults.push(3);
+                }
+                faults.sort_unstable();
+                faults.dedup();
+                Channel::new(
+                    format!("C{i}"),
+                    ProgramVersion::from_fault_indices(4, &faults).unwrap(),
+                )
+            })
+            .collect();
+        let tree = FaultTree::AnyOf(vec![
+            FaultTree::k_of_first_n(k.min(n), n),
+            FaultTree::AllOf(vec![
+                FaultTree::Channel(0),
+                FaultTree::Channel(n - 1),
+            ]),
+        ]);
+        let sys = ProtectionSystem::with_tree(channels, tree.clone(), map).unwrap();
+        for cell in 0..64usize {
+            let trips: Vec<bool> = (0..n)
+                .map(|ch| !sys.channel_fails_cell(ch, cell))
+                .collect();
+            prop_assert_eq!(
+                !sys.system_fails_cell(cell),
+                tree.decide(&trips),
+                "cell {} with {} channels (common cause: {})",
+                cell,
+                n,
+                with_common_cause
+            );
+            // The per-demand hot path agrees too.
+            let demand = Demand::new((cell % 8) as u32, (cell / 8) as u32);
+            let (tripped, _) = sys.respond_bits(demand).unwrap();
+            prop_assert_eq!(tripped, tree.decide(&trips));
+        }
+    }
+}
