@@ -1,6 +1,6 @@
 //! Before/after benchmark driver: measures the previous-PR baselines
 //! against the current fast paths and exports the results as
-//! `BENCH_<tag>.json` (default `BENCH_pr8.json` in the current
+//! `BENCH_<tag>.json` (default `BENCH_pr9.json` in the current
 //! directory; override with `DIVREL_BENCH_TAG` / first CLI argument as
 //! the output path).
 //!
@@ -48,7 +48,12 @@
 //!   per-cell tree walk over the channel trip tables; both sides are
 //!   bit-identical on every demand cell (asserted first), so the row
 //!   records the pure gain of compiling gate topologies down to the
-//!   flat-vote hot path.
+//!   flat-vote hot path. The PR 9 `rare_event/*` rows change unit:
+//!   they record **samples needed for 10% relative error** on the
+//!   committed ~2e-7 PFD scenario — closed-form exact for the naive
+//!   side, measured for the importance-tilted and count-stratified
+//!   estimators — so the speedup column is the variance-reduction
+//!   factor of the rare-event engine, gated at ≥ 50× in CI.
 
 use divrel_bench::context::default_sweep_threads;
 use divrel_bench::perf::{to_json, Comparison};
@@ -62,6 +67,8 @@ use divrel_demand::version::ProgramVersion;
 use divrel_devsim::experiment::MonteCarloExperiment;
 use divrel_devsim::factory::{SampledPair, VersionFactory};
 use divrel_devsim::process::FaultIntroduction;
+use divrel_devsim::rare::{RareEstimator, RareEventExperiment};
+use divrel_model::shared::SharedCauseModel;
 use divrel_model::spec::FaultModelSpec;
 use divrel_model::FaultModel;
 use divrel_numerics::descriptive::Moments;
@@ -162,7 +169,7 @@ fn legacy_protection_run(
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| {
-        let tag = std::env::var("DIVREL_BENCH_TAG").unwrap_or_else(|_| "pr8".into());
+        let tag = std::env::var("DIVREL_BENCH_TAG").unwrap_or_else(|_| "pr9".into());
         format!("BENCH_{tag}.json")
     });
     let mut results: Vec<Comparison> = Vec::new();
@@ -1341,7 +1348,70 @@ fn main() {
         }
     }
 
-    let json = to_json(8, &results);
+    // --- rare_event/samples to 10% relative error ----------------------
+    // Unlike every row above, this group's unit is *samples*, not
+    // nanoseconds: how many demands each estimator needs for a 10%
+    // relative error on the committed ~2e-7 PFD scenario
+    // (scenarios/rare_event_protection.toml, reconstructed here so the
+    // binary has no file dependency). The naive side is exact —
+    // `σ²/(0.1·µ)²` from the engine's closed-form per-demand variance —
+    // and each variant's side is its measured relative error at the
+    // committed budget scaled to the 10% target. The speedup column is
+    // therefore the variance-reduction factor the CI gate checks
+    // (>= 50x for the tilt row).
+    {
+        let base = FaultModel::from_params(
+            &[0.001, 0.002, 0.0005, 0.0015, 0.0008, 0.001, 0.0012, 0.0006],
+            &[0.005, 0.003, 0.008, 0.004, 0.006, 0.005, 0.002, 0.007],
+        )
+        .expect("valid parameters");
+        let shared = SharedCauseModel::new(base, 0.002).expect("valid beta");
+        let budget = 1usize << 17;
+        let exact = RareEventExperiment::from_shared(&shared, 3, 2, RareEstimator::Naive)
+            .expect("valid config");
+        let (mu, sigma) = (exact.true_pfd(), exact.exact_std_dev());
+        let naive_needed = (sigma / (0.1 * mu)).powi(2);
+        println!(
+            "{:<44} {:>23.0} samples",
+            "rare_event/naive_samples_to_10pct", naive_needed
+        );
+        for (label, est) in [
+            ("tilt", RareEstimator::ImportanceTilt { theta: 4.0 }),
+            ("stratified", RareEstimator::StratifyByCount { rounds: 3 }),
+        ] {
+            let out = RareEventExperiment::from_shared(&shared, 3, 2, est)
+                .expect("valid config")
+                .samples(budget)
+                .seed(4242)
+                .run()
+                .expect("rare-event run");
+            // Sanity: the estimate must agree with the closed form it
+            // claims to be unbiased for.
+            assert!(
+                (out.estimate - out.true_pfd).abs() < 6.0 * out.std_error,
+                "rare_event/{label}: estimate {} vs closed form {} (se {})",
+                out.estimate,
+                out.true_pfd,
+                out.std_error
+            );
+            let needed = (budget as f64 * (out.relative_error / 0.1).powi(2)).max(1.0);
+            let c = Comparison {
+                name: format!("rare_event/{label}_vs_naive_samples_to_10pct"),
+                legacy_ns: naive_needed,
+                fast_ns: needed,
+            };
+            println!(
+                "{:<44} {:>10.0} -> {:>9.0} samples  ({:.2}x)",
+                c.name,
+                c.legacy_ns,
+                c.fast_ns,
+                c.speedup()
+            );
+            results.push(c);
+        }
+    }
+
+    let json = to_json(9, &results);
     std::fs::write(&out_path, &json).expect("write bench export");
     println!("\nwrote {out_path}");
     let below: Vec<&Comparison> = results.iter().filter(|c| c.speedup() < 5.0).collect();

@@ -63,6 +63,7 @@ use crate::scenario::{CampaignRuntime, ExperimentSpec, Scenario, ScenarioOutcome
 use crate::sweep::{forced_cell, forced_grid, kl_cell, kl_grid, ForcedSweepStats, KlSweepStats};
 use divrel_devsim::experiment::{run_cell as mc_cell, McAccumulator, MonteCarloExperiment};
 use divrel_devsim::factory::VersionFactory;
+use divrel_devsim::rare::{RareAccumulator, RareEventExperiment};
 use divrel_devsim::sweep::{run_cells, CellRange, SweepCell, SweepGrid};
 use divrel_model::FaultModel;
 use divrel_numerics::sweep::SweepReduce;
@@ -472,6 +473,7 @@ fn decode_cell<'w>(wire: &'w Wire, want: &str) -> Result<&'w Wire, WireError> {
 /// | `ForcedDiversity` | ≤ 250 process pairs | [`ForcedSweepStats`] |
 /// | `MonteCarlo` | ≤ 2048 sampled pairs | [`McAccumulator`] |
 /// | `Protection` | one campaign shard of one system | [`OperationLog`] |
+/// | `RareEvent` | ≤ 4096 weighted/stratified draws | [`RareAccumulator`] |
 pub struct DistJob {
     scenario: Scenario,
     threads: usize,
@@ -488,11 +490,17 @@ enum Plan {
     },
     Mc(Box<McPlan>),
     Protection(Box<CampaignRuntime>),
+    Rare(Box<RarePlan>),
 }
 
 struct McPlan {
     exp: MonteCarloExperiment,
     factory: VersionFactory,
+    grid: SweepGrid<usize>,
+}
+
+struct RarePlan {
+    exp: RareEventExperiment,
     grid: SweepGrid<usize>,
 }
 
@@ -533,6 +541,24 @@ impl DistJob {
             ExperimentSpec::Protection(campaign) => {
                 Plan::Protection(Box::new(CampaignRuntime::new(campaign, seed)?))
             }
+            ExperimentSpec::RareEvent {
+                model,
+                channels,
+                k,
+                samples,
+                estimator,
+            } => {
+                let exp = RareEventExperiment::from_shared(
+                    &model.build_shared()?,
+                    *channels,
+                    *k,
+                    estimator.to_estimator(),
+                )?
+                .samples(*samples)
+                .seed(seed);
+                let grid = exp.grid_spec().grid(seed);
+                Plan::Rare(Box::new(RarePlan { exp, grid }))
+            }
         };
         Ok(DistJob {
             scenario,
@@ -553,6 +579,7 @@ impl DistJob {
             Plan::Forced { grid } => grid.len() as u64,
             Plan::Mc(mc) => mc.grid.len() as u64,
             Plan::Protection(rt) => rt.cell_count(),
+            Plan::Rare(rare) => rare.grid.len() as u64,
         }
     }
 
@@ -591,6 +618,11 @@ impl DistJob {
                     rt.run_cell(cell.config).map_err(|e| e.to_string())
                 })
             }
+            Plan::Rare(rare) => {
+                collect_cells(rare.grid.range_cells(range), self.threads, "rare", |cell| {
+                    Ok(rare.exp.run_cell(cell.config, cell.seed))
+                })
+            }
         }
     }
 
@@ -615,6 +647,9 @@ impl DistJob {
             }
             Plan::Protection(_) => {
                 OperationLog::from_wire(decode_cell(wire, "campaign")?)?;
+            }
+            Plan::Rare(_) => {
+                RareAccumulator::from_wire(decode_cell(wire, "rare")?)?;
             }
         }
         Ok(())
@@ -656,6 +691,11 @@ impl DistJob {
                     .map(|w| Ok(OperationLog::from_wire(decode_cell(w, "campaign")?)?))
                     .collect::<ScenarioResult<Vec<_>>>()?;
                 Ok(ScenarioOutcome::Protection(rt.finish(logs)?))
+            }
+            Plan::Rare(rare) => {
+                let acc = fold_cells::<RareAccumulator>(cells, "rare")?
+                    .ok_or("rare-event grid reduced to nothing")?;
+                Ok(ScenarioOutcome::RareEvent(rare.exp.finish(acc)?))
             }
         }
     }

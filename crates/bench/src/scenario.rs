@@ -55,6 +55,7 @@ use divrel_demand::version::ProgramVersion;
 use divrel_devsim::experiment::{ExperimentResult, MonteCarloExperiment};
 use divrel_devsim::factory::VersionFactory;
 use divrel_devsim::process::FaultIntroduction;
+use divrel_devsim::rare::{RareEstimator, RareEventExperiment, RareOutcome};
 use divrel_devsim::sweep::{run_cells, SweepCell};
 use divrel_model::spec::FaultModelSpec;
 use divrel_model::FaultModel;
@@ -115,6 +116,64 @@ pub enum ExperimentSpec {
     /// variants: any plant, channel layout, voting logic, and any number
     /// of development processes for forced diversity).
     Protection(CampaignSpec),
+    /// The rare-event engine: PFD estimation of a `k`-out-of-`channels`
+    /// protection system under a (possibly shared-cause) fault model,
+    /// with a declarative choice of estimator — naive Monte Carlo,
+    /// exact importance tilting, or fault-count stratification.
+    RareEvent {
+        /// The fault model ([`FaultModelSpec::SharedCause`] is welcome
+        /// here — the engine samples its two layers exactly).
+        model: FaultModelSpec,
+        /// Number of redundant channels.
+        channels: u32,
+        /// Voting threshold: the system works while at least `k`
+        /// channels work (`k = 1` is 1-out-of-N).
+        k: u32,
+        /// Total sample budget.
+        samples: usize,
+        /// Which estimator to run.
+        estimator: EstimatorSpec,
+    },
+}
+
+/// The declarative estimator choices of a [`ExperimentSpec::RareEvent`]
+/// scenario — the serialisable face of
+/// [`divrel_devsim::rare::RareEstimator`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EstimatorSpec {
+    /// Plain Monte Carlo (the unbiased baseline).
+    Naive,
+    /// Exponential importance tilt with exact per-sample
+    /// likelihood-ratio reweighting.
+    ImportanceTilt {
+        /// Tilt strength `θ ≥ 0` (`0` reduces exactly to `Naive`).
+        theta: f64,
+    },
+    /// Stratification by exact fault count with Neyman reallocation.
+    StratifyByCount {
+        /// Allocation rounds per sweep cell (≥ 1).
+        rounds: u32,
+    },
+}
+
+impl EstimatorSpec {
+    /// The runtime estimator this spec declares.
+    pub fn to_estimator(self) -> RareEstimator {
+        match self {
+            EstimatorSpec::Naive => RareEstimator::Naive,
+            EstimatorSpec::ImportanceTilt { theta } => RareEstimator::ImportanceTilt { theta },
+            EstimatorSpec::StratifyByCount { rounds } => RareEstimator::StratifyByCount { rounds },
+        }
+    }
+
+    /// A short human-readable label for cards and bench rows.
+    pub fn label(self) -> String {
+        match self {
+            EstimatorSpec::Naive => "naive".into(),
+            EstimatorSpec::ImportanceTilt { theta } => format!("tilt(θ={theta})"),
+            EstimatorSpec::StratifyByCount { rounds } => format!("stratified({rounds} rounds)"),
+        }
+    }
 }
 
 impl Scenario {
@@ -173,6 +232,23 @@ impl Scenario {
                 reject_shared_cause(model, "MonteCarlo")?;
             }
             ExperimentSpec::Protection(campaign) => campaign.validate()?,
+            ExperimentSpec::RareEvent {
+                model,
+                channels,
+                k,
+                samples,
+                estimator,
+            } => {
+                if *samples < 2 {
+                    return Err("RareEvent needs >= 2 samples".into());
+                }
+                // The engine's constructor is the authoritative check
+                // (k vs channels, tilt finiteness, the 64-bit
+                // stratified-universe bound) — run it on the built
+                // model so a bad spec file fails here, not mid-run.
+                let shared = model.build_shared()?;
+                RareEventExperiment::from_shared(&shared, *channels, *k, estimator.to_estimator())?;
+            }
         }
         Ok(())
     }
@@ -218,6 +294,26 @@ impl Scenario {
                 self.seed.seed,
                 threads,
             )?)),
+            ExperimentSpec::RareEvent {
+                model,
+                channels,
+                k,
+                samples,
+                estimator,
+            } => {
+                let shared = model.build_shared()?;
+                let outcome = RareEventExperiment::from_shared(
+                    &shared,
+                    *channels,
+                    *k,
+                    estimator.to_estimator(),
+                )?
+                .samples(*samples)
+                .seed(self.seed.seed)
+                .threads(threads)
+                .run()?;
+                Ok(ScenarioOutcome::RareEvent(outcome))
+            }
         }
     }
 
@@ -285,6 +381,8 @@ pub enum ScenarioOutcome {
     MonteCarlo(ExperimentResult),
     /// Protection-campaign outcome.
     Protection(CampaignOutcome),
+    /// Rare-event estimation outcome.
+    RareEvent(RareOutcome),
 }
 
 impl ScenarioOutcome {
@@ -316,6 +414,14 @@ impl ScenarioOutcome {
     pub fn as_protection(&self) -> Option<&CampaignOutcome> {
         match self {
             ScenarioOutcome::Protection(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The rare-event outcome, if applicable.
+    pub fn as_rare_event(&self) -> Option<&RareOutcome> {
+        match self {
+            ScenarioOutcome::RareEvent(r) => Some(r),
             _ => None,
         }
     }
@@ -409,6 +515,14 @@ impl ScenarioOutcome {
                     ]);
                 }
                 card.table("development processes", pt);
+            }
+            ScenarioOutcome::RareEvent(r) => {
+                card.field("samples", r.samples.to_string())
+                    .field("PFD estimate", sig(r.estimate, 4))
+                    .field("true PFD (closed form)", sig(r.true_pfd, 4))
+                    .field("std error", sig(r.std_error, 4))
+                    .field("relative error", sig(r.relative_error, 4))
+                    .field("effective sample size", sig(r.ess, 4));
             }
         }
         card
@@ -901,6 +1015,80 @@ mod tests {
             samples: 100,
         };
         assert!(s.run(1).is_err());
+    }
+
+    fn tiny_rare(estimator: EstimatorSpec) -> Scenario {
+        Scenario {
+            name: "tiny-rare".into(),
+            seed: SeedSpec::new(13),
+            experiment: ExperimentSpec::RareEvent {
+                model: FaultModelSpec::SharedCause {
+                    beta: 0.05,
+                    base: Box::new(FaultModelSpec::Uniform {
+                        n: 5,
+                        p: 0.02,
+                        q: 0.01,
+                    }),
+                },
+                channels: 3,
+                k: 2,
+                samples: 20_000,
+                estimator,
+            },
+        }
+    }
+
+    #[test]
+    fn rare_event_scenarios_run_and_round_trip() {
+        for est in [
+            EstimatorSpec::Naive,
+            EstimatorSpec::ImportanceTilt { theta: 3.0 },
+            EstimatorSpec::StratifyByCount { rounds: 2 },
+        ] {
+            let s = tiny_rare(est);
+            s.validate().unwrap();
+            let toml = s.to_toml().unwrap();
+            assert_eq!(Scenario::from_spec_text(&toml).unwrap(), s, "{est:?} TOML");
+            let json = s.to_json().unwrap();
+            assert_eq!(Scenario::from_spec_text(&json).unwrap(), s, "{est:?} JSON");
+            let base = s.run(1).unwrap();
+            assert_eq!(base, s.run(3).unwrap(), "{est:?} thread variance");
+            let r = base.as_rare_event().unwrap();
+            assert_eq!(r.samples, 20_000);
+            assert!(
+                (r.estimate - r.true_pfd).abs() < 6.0 * r.std_error,
+                "{est:?}: estimate {} vs true {}",
+                r.estimate,
+                r.true_pfd
+            );
+            let md = base.card(&s.name).to_markdown();
+            assert!(md.contains("true PFD"));
+            assert!(md.contains("relative error"));
+        }
+    }
+
+    #[test]
+    fn rare_event_validation_rejects_bad_specs() {
+        let mut s = tiny_rare(EstimatorSpec::Naive);
+        if let ExperimentSpec::RareEvent { k, .. } = &mut s.experiment {
+            *k = 5; // > channels
+        }
+        assert!(s.validate().is_err());
+        let mut s = tiny_rare(EstimatorSpec::ImportanceTilt { theta: -2.0 });
+        assert!(s.validate().is_err());
+        if let ExperimentSpec::RareEvent {
+            estimator,
+            channels,
+            k,
+            ..
+        } = &mut s.experiment
+        {
+            // 5 faults x (1 + 15 channels) = 80 bits > 64.
+            *estimator = EstimatorSpec::StratifyByCount { rounds: 2 };
+            *channels = 15;
+            *k = 1;
+        }
+        assert!(s.validate().is_err());
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod experiment;
 pub mod factory;
 pub mod kl;
 pub mod process;
+pub mod rare;
 pub mod sampler;
 pub mod sweep;
 pub mod testing;

@@ -1,0 +1,928 @@
+//! The rare-event estimation engine: exact importance sampling and
+//! fault-count stratification for PFD regimes plain Monte Carlo cannot
+//! reach.
+//!
+//! At realistic protection-system PFDs (`1e-6 … 1e-9`) almost every
+//! naive sample draws a fault-free demand and contributes nothing: the
+//! `O(1/√n)` convergence of [`crate::experiment`] needs `~100/PFD`
+//! samples for 10% relative error, which at `1e-9` is `1e11` demands —
+//! beyond what any hardware speedup buys. Variance reduction is the
+//! multiplier that remains, and this module supplies two exact forms
+//! over the β-factor shared-cause model of PR 8:
+//!
+//! * **Importance tilting** ([`RareEstimator::ImportanceTilt`]): both
+//!   the common-cause layer (`γᵢ`) and the per-channel residual layer
+//!   (`ρᵢ`) are sampled from exponentially tilted probabilities via
+//!   [`BiasedBitSampler`], and every sample is reweighted by its exact
+//!   per-word likelihood ratio — the estimate is unbiased by
+//!   construction, and the weight bookkeeping lives in the log domain
+//!   ([`WeightedMean`]) so squared weights never underflow.
+//! * **Fault-count stratification**
+//!   ([`RareEstimator::StratifyByCount`]): the concatenated
+//!   common+residual Bernoulli universe is partitioned by its exact
+//!   Poisson-binomial bit count ([`CountConditionedSampler`]); each
+//!   sweep cell spends its budget across count strata with
+//!   Neyman-style reallocation between rounds, so the all-absent
+//!   stratum — which carries nearly all the probability and exactly
+//!   zero payoff — costs almost nothing.
+//!
+//! Both estimators run on the deterministic sweep engine: cells are
+//! pure functions of `(spec, cell index)`, accumulators implement
+//! [`SweepReduce`] + [`WireForm`], and so thread-invariance,
+//! journaling and fleet distribution hold bit-for-bit, exactly as for
+//! the plain Monte-Carlo path.
+//!
+//! Because the per-fault layers stay independent of each other, the
+//! engine also knows the **exact answer** ([`RareEventExperiment::true_pfd`])
+//! — which is what makes the statistical-equivalence suite possible:
+//! every estimator is tested against the closed form, not just against
+//! another sampler.
+
+use crate::error::DevSimError;
+use crate::sampler::{BiasedBitSampler, CountConditionedSampler};
+use crate::sweep::{run_sweep, GridSpec};
+use divrel_model::shared::SharedCauseModel;
+use divrel_numerics::estimator::{StratumMoments, WeightedMean};
+use divrel_numerics::special::ln_binomial;
+use divrel_numerics::sweep::SweepReduce;
+use divrel_numerics::wire::{Wire, WireError, WireForm};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Samples per sweep cell: coarser than the plain Monte-Carlo grid
+/// (2048) because rare-event cells do less work per observation on
+/// average (most strata/words short-circuit).
+pub const RARE_CELL_SAMPLES: usize = 4096;
+
+/// Number of count strata (exact counts `0 .. STRATA-1`, final stratum
+/// `≥ STRATA-1`). Eight captures everything: beyond 7 simultaneous
+/// bits the Poisson-binomial mass is negligible for any model in the
+/// rare regime, and the tail stratum keeps the partition exhaustive
+/// regardless.
+pub const STRATA: usize = 8;
+
+/// Which rare-event estimator a run uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RareEstimator {
+    /// Plain Monte Carlo over the two-layer model (the unbiased
+    /// baseline every variance-reduced estimator is tested against).
+    Naive,
+    /// Exponential importance tilt of strength `theta` on both layers,
+    /// with exact per-sample likelihood-ratio reweighting.
+    ImportanceTilt {
+        /// Tilt strength `θ ≥ 0` (0 reduces exactly to `Naive`).
+        theta: f64,
+    },
+    /// Stratification by the exact count of set bits in the
+    /// concatenated common+residual universe, with `rounds` Neyman
+    /// reallocation rounds per sweep cell.
+    StratifyByCount {
+        /// Allocation rounds per cell (≥ 1; round 1 splits evenly,
+        /// later rounds follow `Wₕ·σ̂ₕ`).
+        rounds: u32,
+    },
+}
+
+/// Per-cell accumulator of a rare-event run: the weighted estimator
+/// state for the naive/tilted paths and the per-stratum moments for
+/// the stratified path (whichever the estimator does not use stays
+/// empty and merges as the identity).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RareAccumulator {
+    weighted: WeightedMean,
+    strata: StratumMoments,
+}
+
+impl RareAccumulator {
+    /// The weighted-mean state (naive and tilted estimators).
+    pub fn weighted(&self) -> &WeightedMean {
+        &self.weighted
+    }
+
+    /// The per-stratum moments (stratified estimator).
+    pub fn strata(&self) -> &StratumMoments {
+        &self.strata
+    }
+
+    /// Total observations in the accumulator.
+    pub fn count(&self) -> u64 {
+        self.weighted.count() + self.strata.count()
+    }
+}
+
+impl SweepReduce for RareAccumulator {
+    fn absorb(&mut self, other: Self) {
+        self.weighted.absorb(other.weighted);
+        self.strata.absorb(other.strata);
+    }
+}
+
+impl WireForm for RareAccumulator {
+    fn to_wire(&self) -> Wire {
+        Wire::record([
+            ("weighted", self.weighted.to_wire()),
+            ("strata", self.strata.to_wire()),
+        ])
+    }
+
+    fn from_wire(wire: &Wire) -> Result<Self, WireError> {
+        Ok(RareAccumulator {
+            weighted: WeightedMean::from_wire(wire.field("weighted")?)?,
+            strata: StratumMoments::from_wire(wire.field("strata")?)?,
+        })
+    }
+}
+
+/// The reduced outcome of a rare-event run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RareOutcome {
+    /// The PFD estimate.
+    pub estimate: f64,
+    /// Standard error of the estimate.
+    pub std_error: f64,
+    /// `std_error / estimate` (`+∞` when the estimate is zero — the
+    /// naive estimator at budgets that never saw a failure).
+    pub relative_error: f64,
+    /// Effective sample size: Kish `(Σw)²/Σw²` for weighted
+    /// estimators, the realised draw count for the stratified one.
+    pub ess: f64,
+    /// Total samples drawn.
+    pub samples: u64,
+    /// The exact closed-form PFD of the same system (the layers stay
+    /// independent across faults, so the engine knows the answer).
+    pub true_pfd: f64,
+}
+
+/// `P(Binomial(n, p) ≥ m)` by direct ascending tail summation in log
+/// space — exact enough at any `p`, including the `ρ ≈ 1e-3` residuals
+/// where the tail is the product of tiny per-channel probabilities.
+fn binomial_sf(n: u32, p: f64, m: u32) -> f64 {
+    if m == 0 {
+        return 1.0;
+    }
+    if m > n || p <= 0.0 {
+        return 0.0;
+    }
+    if p >= 1.0 {
+        return 1.0;
+    }
+    let (lp, lq) = (p.ln(), (1.0 - p).ln());
+    let mut acc = 0.0;
+    for j in m..=n {
+        let lb = ln_binomial(u64::from(n), u64::from(j)).unwrap_or(f64::NEG_INFINITY);
+        acc += (lb + f64::from(j) * lp + f64::from(n - j) * lq).exp();
+    }
+    acc.min(1.0)
+}
+
+/// The precompiled sampling kernel of one estimator.
+#[derive(Debug, Clone)]
+enum Kernel {
+    /// Naive and tilted paths share one shape: a biased sampler per
+    /// layer (the naive case is the exact zero tilt, every weight 1).
+    Layered {
+        common: BiasedBitSampler,
+        residual: Box<BiasedBitSampler>,
+    },
+    /// Stratified path: conditional sampler over the concatenated
+    /// `γ ++ ρ×channels` universe.
+    Stratified {
+        cond: CountConditionedSampler,
+        rounds: u32,
+    },
+}
+
+/// A rare-event estimation run over a `k`-out-of-`n` protection system
+/// with β-factor shared causes: builder-style configuration, a
+/// deterministic sweep grid, and pure per-cell evaluation — the same
+/// shape as [`crate::experiment::MonteCarloExperiment`], so the
+/// scenario and distribution layers treat it uniformly.
+///
+/// The system fails on a demand exposed to fault `i` iff at least
+/// `m = channels − k + 1` channels carry the fault (the shared cause
+/// plants it in all channels at once); the per-demand PFD is
+/// `Σᵢ qᵢ·1[fault i defeats the vote]`, matching
+/// [`SharedCauseModel::mean_pfd`] at `k = 1`.
+#[derive(Debug, Clone)]
+pub struct RareEventExperiment {
+    gammas: Vec<f64>,
+    rhos: Vec<f64>,
+    qs: Vec<f64>,
+    channels: u32,
+    /// Failing channels needed to defeat the vote: `channels − k + 1`.
+    threshold: u32,
+    fault_mask: u64,
+    samples: usize,
+    seed: u64,
+    threads: usize,
+    estimator: RareEstimator,
+    kernel: Kernel,
+}
+
+impl RareEventExperiment {
+    /// Compiles the estimator kernel for `model` protecting a
+    /// `k`-out-of-`channels` system.
+    ///
+    /// # Errors
+    ///
+    /// [`DevSimError::InvalidConfig`] for an empty fault model, more
+    /// than 64 faults, `k ∉ [1, channels]`, a non-finite/negative
+    /// tilt, zero rounds, or a stratified universe exceeding 64 bits
+    /// (`faults × (1 + channels)`).
+    pub fn from_shared(
+        model: &SharedCauseModel,
+        channels: u32,
+        k: u32,
+        estimator: RareEstimator,
+    ) -> Result<Self, DevSimError> {
+        let faults = model.base().len();
+        if faults == 0 || faults > 64 {
+            return Err(DevSimError::InvalidConfig(format!(
+                "rare-event engine needs 1..=64 faults, got {faults}"
+            )));
+        }
+        if channels == 0 || k == 0 || k > channels {
+            return Err(DevSimError::InvalidConfig(format!(
+                "need 1 <= k <= channels, got k = {k}, channels = {channels}"
+            )));
+        }
+        let mut gammas = Vec::with_capacity(faults);
+        let mut rhos = Vec::with_capacity(faults);
+        let mut qs = Vec::with_capacity(faults);
+        for f in model.base().faults() {
+            let (gamma, rho) = model.layers(f.p());
+            gammas.push(gamma);
+            rhos.push(rho);
+            qs.push(f.q());
+        }
+        let kernel = match estimator {
+            RareEstimator::Naive => Kernel::Layered {
+                common: BiasedBitSampler::exponential(&gammas, 0.0)?,
+                residual: Box::new(BiasedBitSampler::exponential(&rhos, 0.0)?),
+            },
+            RareEstimator::ImportanceTilt { theta } => {
+                if !theta.is_finite() || theta < 0.0 {
+                    return Err(DevSimError::InvalidConfig(format!(
+                        "tilt theta must be finite and >= 0, got {theta}"
+                    )));
+                }
+                // The common-cause layer sits a factor β below the
+                // residual layer (`γᵢ = β·pᵢ` vs `ρᵢ ≈ pᵢ`), so under a
+                // flat tilt it stays rare long after residual failures
+                // are commonplace — and it often carries a large share
+                // of the PFD. Give it `ln(1/β)` of extra exposure so
+                // both layers reach the same proposal scale; the
+                // likelihood ratio is exact for *any* proposal, so the
+                // estimate stays unbiased by construction. θ = 0 keeps
+                // the exact naive identity (no exposure correction).
+                let theta_common = if theta > 0.0 && model.beta() > 0.0 {
+                    (theta + (1.0 / model.beta()).ln()).min(theta + 300.0)
+                } else {
+                    theta
+                };
+                Kernel::Layered {
+                    common: BiasedBitSampler::exponential(&gammas, theta_common)?,
+                    residual: Box::new(BiasedBitSampler::exponential(&rhos, theta)?),
+                }
+            }
+            RareEstimator::StratifyByCount { rounds } => {
+                if rounds == 0 {
+                    return Err(DevSimError::InvalidConfig(
+                        "stratified estimator needs at least one round".into(),
+                    ));
+                }
+                let bits = faults * (1 + channels as usize);
+                if bits > 64 {
+                    return Err(DevSimError::InvalidConfig(format!(
+                        "stratified universe needs faults x (1 + channels) <= 64 bits, \
+                         got {faults} x {} = {bits}",
+                        1 + channels
+                    )));
+                }
+                let mut concat = gammas.clone();
+                for _ in 0..channels {
+                    concat.extend_from_slice(&rhos);
+                }
+                Kernel::Stratified {
+                    cond: CountConditionedSampler::new(&concat)?,
+                    rounds,
+                }
+            }
+        };
+        Ok(RareEventExperiment {
+            gammas,
+            rhos,
+            qs,
+            channels,
+            threshold: channels - k + 1,
+            fault_mask: u64::MAX >> (64 - faults),
+            samples: 1 << 16,
+            seed: 0,
+            threads: 1,
+            estimator,
+            kernel,
+        })
+    }
+
+    /// Sets the total sample budget.
+    #[must_use]
+    pub fn samples(mut self, samples: usize) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Sets the master sweep seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the thread count (an execution hint; results never depend
+    /// on it).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured estimator.
+    pub fn estimator(&self) -> RareEstimator {
+        self.estimator
+    }
+
+    /// The total sample budget.
+    pub fn sample_budget(&self) -> usize {
+        self.samples
+    }
+
+    /// The deterministic cell layout of this run.
+    pub fn grid_spec(&self) -> GridSpec {
+        GridSpec::new(self.samples, RARE_CELL_SAMPLES)
+    }
+
+    /// The exact PFD: `Σᵢ qᵢ·Pᵢ` with
+    /// `Pᵢ = γᵢ + (1−γᵢ)·P(Binomial(channels, ρᵢ) ≥ m)`.
+    pub fn true_pfd(&self) -> f64 {
+        self.fault_failure_probs()
+            .iter()
+            .zip(&self.qs)
+            .map(|(&pi, &q)| q * pi)
+            .sum()
+    }
+
+    /// The exact per-demand standard deviation of the payoff `Y`
+    /// (faults are independent of each other, so the cross terms
+    /// vanish): `√(Σᵢ qᵢ²·Pᵢ(1−Pᵢ))`.
+    pub fn exact_std_dev(&self) -> f64 {
+        self.fault_failure_probs()
+            .iter()
+            .zip(&self.qs)
+            .map(|(&pi, &q)| q * q * pi * (1.0 - pi))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// `Pᵢ = P(fault i defeats the vote)` per fault.
+    fn fault_failure_probs(&self) -> Vec<f64> {
+        self.gammas
+            .iter()
+            .zip(&self.rhos)
+            .map(|(&gamma, &rho)| {
+                gamma + (1.0 - gamma) * binomial_sf(self.channels, rho, self.threshold)
+            })
+            .collect()
+    }
+
+    /// The payoff of one sampled state: `Σᵢ qᵢ` over faults carried by
+    /// at least `threshold` channels (a shared-cause bit counts as all
+    /// channels at once).
+    fn payoff(&self, commons: u64, residuals: &[u64]) -> f64 {
+        let mut any = commons;
+        for &r in residuals {
+            any |= r;
+        }
+        let mut y = 0.0;
+        let mut bits = any & self.fault_mask;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            let failing = commons >> i & 1 == 1 || {
+                let mut c = 0u32;
+                for &r in residuals {
+                    c += (r >> i & 1) as u32;
+                }
+                c >= self.threshold
+            };
+            if failing {
+                y += self.qs[i];
+            }
+            bits &= bits - 1;
+        }
+        y
+    }
+
+    /// Splits a concatenated-universe word (`γ` bits low, then one
+    /// `ρ` block per channel) into the layered form and evaluates it.
+    fn payoff_concat(&self, word: u64, scratch: &mut Vec<u64>) -> f64 {
+        let f = self.qs.len();
+        let commons = word & self.fault_mask;
+        scratch.clear();
+        for ch in 0..self.channels as usize {
+            scratch.push(word >> (f * (1 + ch)) & self.fault_mask);
+        }
+        self.payoff(commons, scratch)
+    }
+
+    /// Evaluates one sweep cell: `count` observations from the cell's
+    /// split RNG stream. A pure function of `(self, count, seed)` —
+    /// the distribution layer calls this on any host and gets the
+    /// exact bits the in-process sweep produces.
+    pub fn run_cell(&self, count: usize, seed: u64) -> RareAccumulator {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut acc = RareAccumulator::default();
+        match &self.kernel {
+            Kernel::Layered { common, residual } => {
+                let mut resid = vec![0u64; self.channels as usize];
+                for _ in 0..count {
+                    let cw = common.sample(&mut rng);
+                    let mut log_w = common.log_weight(cw);
+                    for r in resid.iter_mut() {
+                        *r = residual.sample(&mut rng);
+                        log_w += residual.log_weight(*r);
+                    }
+                    acc.weighted.push(log_w, self.payoff(cw, &resid));
+                }
+            }
+            Kernel::Stratified { cond, rounds } => {
+                self.run_stratified_cell(cond, *rounds, count, &mut rng, &mut acc);
+            }
+        }
+        acc
+    }
+
+    fn run_stratified_cell(
+        &self,
+        cond: &CountConditionedSampler,
+        rounds: u32,
+        count: usize,
+        rng: &mut StdRng,
+        acc: &mut RareAccumulator,
+    ) {
+        let pmf = cond.count_pmf();
+        let strata = STRATA.min(pmf.len());
+        let weights = stratum_weights(pmf, strata);
+        acc.strata = StratumMoments::with_strata(strata);
+        let mut scratch = Vec::with_capacity(self.channels as usize);
+        let rounds = rounds.max(1) as usize;
+        let base = count / rounds;
+        for round in 0..rounds {
+            let budget = if round + 1 == rounds {
+                count - base * (rounds - 1)
+            } else {
+                base
+            };
+            // Round 1 has no variance information: split evenly across
+            // positive-probability strata. Later rounds follow Neyman
+            // scores Wₕ·σ̂ₕ from everything accumulated so far.
+            let scores: Vec<f64> = if round == 0 {
+                weights.iter().map(|&w| f64::from(w > 0.0)).collect()
+            } else {
+                weights
+                    .iter()
+                    .zip(acc.strata.strata())
+                    .map(|(&w, m)| {
+                        if w == 0.0 {
+                            0.0
+                        } else {
+                            w * m.sample_variance().unwrap_or(0.0).sqrt()
+                        }
+                    })
+                    .collect()
+            };
+            let active: Vec<bool> = weights.iter().map(|&w| w > 0.0).collect();
+            for (h, n_h) in allocate_budget(budget, &scores, &active)
+                .into_iter()
+                .enumerate()
+            {
+                for _ in 0..n_h {
+                    let word = if h + 1 < strata {
+                        cond.sample_exact(rng, h)
+                    } else {
+                        cond.sample_at_least(rng, h)
+                    };
+                    let y = self.payoff_concat(word, &mut scratch);
+                    acc.strata.push(h, y);
+                }
+            }
+        }
+    }
+
+    /// Runs the full sweep at the configured thread count.
+    ///
+    /// # Errors
+    ///
+    /// Estimator-assembly errors from [`Self::finish`].
+    pub fn run(&self) -> Result<RareOutcome, DevSimError> {
+        let grid = self.grid_spec().grid(self.seed);
+        let acc = run_sweep(grid.cells(), self.threads, |cell| {
+            self.run_cell(cell.config, cell.seed)
+        })
+        .expect("grid has at least one cell");
+        self.finish(acc)
+    }
+
+    /// Assembles the outcome from a fully folded accumulator —
+    /// bit-identical whether the cells ran in-process or across a
+    /// fleet.
+    ///
+    /// # Errors
+    ///
+    /// [`DevSimError::Numerics`] if the accumulator holds too few
+    /// observations for a variance, or a positive-probability stratum
+    /// was never sampled.
+    pub fn finish(&self, acc: RareAccumulator) -> Result<RareOutcome, DevSimError> {
+        let true_pfd = self.true_pfd();
+        match &self.kernel {
+            Kernel::Layered { .. } => {
+                let estimate = acc.weighted.estimate();
+                let std_error = acc.weighted.std_error()?;
+                let relative_error = acc.weighted.relative_error()?;
+                Ok(RareOutcome {
+                    estimate,
+                    std_error,
+                    relative_error,
+                    ess: acc.weighted.ess(),
+                    samples: acc.weighted.count(),
+                    true_pfd,
+                })
+            }
+            Kernel::Stratified { cond, .. } => {
+                let pmf = cond.count_pmf();
+                let strata = STRATA.min(pmf.len());
+                let weights = stratum_weights(pmf, strata);
+                let (estimate, std_error) = acc.strata.stratified_estimate(&weights)?;
+                let relative_error = if estimate > 0.0 {
+                    std_error / estimate
+                } else {
+                    f64::INFINITY
+                };
+                let samples = acc.strata.count();
+                Ok(RareOutcome {
+                    estimate,
+                    std_error,
+                    relative_error,
+                    ess: samples as f64,
+                    samples,
+                    true_pfd,
+                })
+            }
+        }
+    }
+}
+
+/// Stratum probabilities from a count PMF: exact counts `0..strata-1`,
+/// the final stratum absorbing the whole remaining tail.
+fn stratum_weights(pmf: &[f64], strata: usize) -> Vec<f64> {
+    let mut w: Vec<f64> = pmf[..strata - 1].to_vec();
+    w.push(pmf[strata - 1..].iter().sum());
+    w
+}
+
+/// Deterministic integer allocation of `budget` draws over strata:
+/// every active stratum gets one draw first (so variance estimates
+/// keep refining), then the remainder follows `scores` by the largest-
+/// remainder method with index-order tie-breaking. A pure function of
+/// its arguments — allocation never depends on scheduling.
+fn allocate_budget(budget: usize, scores: &[f64], active: &[bool]) -> Vec<usize> {
+    let h = scores.len();
+    let mut out = vec![0usize; h];
+    let mut left = budget;
+    for (i, &a) in active.iter().enumerate() {
+        if left == 0 {
+            return out;
+        }
+        if a {
+            out[i] = 1;
+            left -= 1;
+        }
+    }
+    let total: f64 = scores
+        .iter()
+        .zip(active)
+        .filter(|&(_, &a)| a)
+        .map(|(&s, _)| s)
+        .sum();
+    if left == 0 {
+        return out;
+    }
+    if total <= 0.0 {
+        // No variance signal yet: spread evenly over active strata.
+        let n_active = active.iter().filter(|&&a| a).count().max(1);
+        let each = left / n_active;
+        let mut rem = left - each * n_active;
+        for (i, &a) in active.iter().enumerate() {
+            if a {
+                out[i] += each + usize::from(rem > 0);
+                rem = rem.saturating_sub(1);
+            }
+        }
+        return out;
+    }
+    let mut fracs: Vec<(usize, f64)> = Vec::with_capacity(h);
+    let mut assigned = 0usize;
+    for (i, (&s, &a)) in scores.iter().zip(active).enumerate() {
+        if !a || s <= 0.0 {
+            fracs.push((i, 0.0));
+            continue;
+        }
+        let share = s / total * left as f64;
+        let floor = share.floor() as usize;
+        out[i] += floor;
+        assigned += floor;
+        fracs.push((i, share - floor as f64));
+    }
+    let mut rem = left - assigned.min(left);
+    // Largest fractional part first; ties resolve to the lower index.
+    fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    for (i, _) in fracs {
+        if rem == 0 {
+            break;
+        }
+        if active[i] {
+            out[i] += 1;
+            rem -= 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use divrel_model::FaultModel;
+
+    fn shared(beta: f64) -> SharedCauseModel {
+        let base = FaultModel::from_params(
+            &[0.02, 0.05, 0.01, 0.08, 0.03],
+            &[0.04, 0.01, 0.09, 0.02, 0.05],
+        )
+        .unwrap();
+        SharedCauseModel::new(base, beta).unwrap()
+    }
+
+    fn rare_shared() -> SharedCauseModel {
+        let base = FaultModel::from_params(
+            &[1e-3, 2e-3, 5e-4, 1.5e-3, 8e-4, 1e-3],
+            &[0.005, 0.003, 0.008, 0.004, 0.006, 0.005],
+        )
+        .unwrap();
+        SharedCauseModel::new(base, 0.002).unwrap()
+    }
+
+    #[test]
+    fn binomial_sf_matches_direct_enumeration() {
+        // n = 3, p = 0.2: P(X >= 2) = 3·0.04·0.8 + 0.008 = 0.104
+        assert!((binomial_sf(3, 0.2, 2) - 0.104).abs() < 1e-12);
+        assert_eq!(binomial_sf(3, 0.2, 0), 1.0);
+        assert_eq!(binomial_sf(3, 0.0, 1), 0.0);
+        assert_eq!(binomial_sf(3, 1.0, 3), 1.0);
+        assert_eq!(binomial_sf(3, 0.5, 4), 0.0);
+        // Tiny p: P(X >= 3) = p³ exactly (one term dominates).
+        let p = 1e-4;
+        let sf = binomial_sf(3, p, 3);
+        assert!((sf - p * p * p).abs() < 1e-24);
+    }
+
+    #[test]
+    fn true_pfd_matches_shared_cause_model_at_k_equals_one() {
+        // k = 1 (1-out-of-N): the vote is defeated only when ALL
+        // channels carry the fault — exactly mean_pfd(channels).
+        let m = shared(0.15);
+        for channels in [1u32, 2, 3] {
+            let exp =
+                RareEventExperiment::from_shared(&m, channels, 1, RareEstimator::Naive).unwrap();
+            assert!(
+                (exp.true_pfd() - m.mean_pfd(channels)).abs() < 1e-15,
+                "channels = {channels}"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_estimate_converges_to_the_closed_form() {
+        // Moderate probabilities so the naive estimator converges fast.
+        let m = shared(0.1);
+        let exp = RareEventExperiment::from_shared(&m, 3, 2, RareEstimator::Naive)
+            .unwrap()
+            .samples(200_000)
+            .seed(41)
+            .threads(2);
+        let out = exp.run().unwrap();
+        assert!(
+            (out.estimate - out.true_pfd).abs() < 4.0 * out.std_error + 1e-12,
+            "estimate {} vs true {} (se {})",
+            out.estimate,
+            out.true_pfd,
+            out.std_error
+        );
+        assert!((out.ess - out.samples as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tilted_estimate_is_unbiased_on_a_rare_system() {
+        let m = rare_shared();
+        let exp = RareEventExperiment::from_shared(
+            &m,
+            3,
+            2,
+            RareEstimator::ImportanceTilt { theta: 5.0 },
+        )
+        .unwrap()
+        .samples(1 << 16)
+        .seed(42)
+        .threads(2);
+        let out = exp.run().unwrap();
+        assert!(
+            out.true_pfd > 1e-8 && out.true_pfd < 1e-6,
+            "{}",
+            out.true_pfd
+        );
+        assert!(
+            (out.estimate - out.true_pfd).abs() < 5.0 * out.std_error,
+            "estimate {} vs true {} (se {})",
+            out.estimate,
+            out.true_pfd,
+            out.std_error
+        );
+        // The tilt must be a real variance reduction at this budget.
+        assert!(out.relative_error < 0.2, "rel err {}", out.relative_error);
+        assert!(out.ess > 0.0 && out.ess < out.samples as f64);
+    }
+
+    #[test]
+    fn stratified_estimate_is_unbiased_on_a_rare_system() {
+        let m = rare_shared();
+        let exp = RareEventExperiment::from_shared(
+            &m,
+            3,
+            2,
+            RareEstimator::StratifyByCount { rounds: 3 },
+        )
+        .unwrap()
+        .samples(1 << 16)
+        .seed(43)
+        .threads(2);
+        let out = exp.run().unwrap();
+        assert!(
+            (out.estimate - out.true_pfd).abs() < 5.0 * out.std_error,
+            "estimate {} vs true {} (se {})",
+            out.estimate,
+            out.true_pfd,
+            out.std_error
+        );
+        assert!(out.relative_error < 0.2, "rel err {}", out.relative_error);
+    }
+
+    #[test]
+    fn all_estimators_are_thread_invariant_bit_for_bit() {
+        let m = rare_shared();
+        for est in [
+            RareEstimator::Naive,
+            RareEstimator::ImportanceTilt { theta: 4.0 },
+            RareEstimator::StratifyByCount { rounds: 2 },
+        ] {
+            let run = |threads: usize| {
+                RareEventExperiment::from_shared(&m, 3, 2, est)
+                    .unwrap()
+                    .samples(20_000)
+                    .seed(7)
+                    .threads(threads)
+                    .run()
+                    .unwrap()
+            };
+            let base = run(1);
+            for threads in [2, 7] {
+                let r = run(threads);
+                assert_eq!(
+                    r.estimate.to_bits(),
+                    base.estimate.to_bits(),
+                    "{est:?} threads = {threads}"
+                );
+                assert_eq!(
+                    r.std_error.to_bits(),
+                    base.std_error.to_bits(),
+                    "{est:?} threads = {threads}"
+                );
+                assert_eq!(r.samples, base.samples);
+            }
+        }
+    }
+
+    #[test]
+    fn cell_level_wire_round_trip_reassembles_bit_identically() {
+        let m = rare_shared();
+        for est in [
+            RareEstimator::ImportanceTilt { theta: 5.0 },
+            RareEstimator::StratifyByCount { rounds: 2 },
+        ] {
+            let exp = RareEventExperiment::from_shared(&m, 3, 2, est)
+                .unwrap()
+                .samples(3 * RARE_CELL_SAMPLES + 17)
+                .seed(9);
+            let direct = exp.run().unwrap();
+            // Evaluate each cell independently, ship through JSON wire
+            // text, fold in canonical order, assemble.
+            let grid = exp.grid_spec().grid(9);
+            let mut acc: Option<RareAccumulator> = None;
+            for cell in grid.cells() {
+                let a = exp.run_cell(cell.config, cell.seed);
+                let json = serde_json::to_string(&a.to_wire()).unwrap();
+                let wire: Wire = serde_json::from_str(&json).unwrap();
+                let back = RareAccumulator::from_wire(&wire).unwrap();
+                assert_eq!(back, a);
+                match acc.as_mut() {
+                    Some(x) => x.absorb(back),
+                    None => acc = Some(back),
+                }
+            }
+            let refolded = exp.finish(acc.unwrap()).unwrap();
+            assert_eq!(refolded.estimate.to_bits(), direct.estimate.to_bits());
+            assert_eq!(refolded.std_error.to_bits(), direct.std_error.to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_tilt_reproduces_the_naive_stream_exactly() {
+        let m = shared(0.05);
+        let run = |est| {
+            RareEventExperiment::from_shared(&m, 2, 1, est)
+                .unwrap()
+                .samples(10_000)
+                .seed(5)
+                .run()
+                .unwrap()
+        };
+        let naive = run(RareEstimator::Naive);
+        let zero_tilt = run(RareEstimator::ImportanceTilt { theta: 0.0 });
+        assert_eq!(naive.estimate.to_bits(), zero_tilt.estimate.to_bits());
+        assert_eq!(naive.ess.to_bits(), zero_tilt.ess.to_bits());
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let m = shared(0.1);
+        assert!(RareEventExperiment::from_shared(&m, 0, 1, RareEstimator::Naive).is_err());
+        assert!(RareEventExperiment::from_shared(&m, 2, 3, RareEstimator::Naive).is_err());
+        assert!(RareEventExperiment::from_shared(
+            &m,
+            2,
+            1,
+            RareEstimator::ImportanceTilt { theta: -1.0 }
+        )
+        .is_err());
+        assert!(RareEventExperiment::from_shared(
+            &m,
+            2,
+            1,
+            RareEstimator::StratifyByCount { rounds: 0 }
+        )
+        .is_err());
+        // 5 faults x (1 + 15 channels) = 80 bits > 64.
+        assert!(RareEventExperiment::from_shared(
+            &m,
+            15,
+            1,
+            RareEstimator::StratifyByCount { rounds: 2 }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn allocate_budget_is_exact_and_deterministic() {
+        // Scores drive the split; every active stratum keeps >= 1.
+        let out = allocate_budget(100, &[0.0, 1.0, 3.0], &[true, true, true]);
+        assert_eq!(out.iter().sum::<usize>(), 100);
+        assert!(out[0] >= 1 && out[1] >= 1 && out[2] >= 1);
+        assert!(out[2] > out[1]);
+        // Inactive strata get nothing.
+        let out = allocate_budget(10, &[1.0, 1.0, 1.0], &[true, false, true]);
+        assert_eq!(out[1], 0);
+        assert_eq!(out.iter().sum::<usize>(), 10);
+        // No signal: even split.
+        let out = allocate_budget(9, &[0.0, 0.0, 0.0], &[true, true, true]);
+        assert_eq!(out.iter().sum::<usize>(), 9);
+        assert!(out.iter().all(|&n| n >= 2));
+        // Budget smaller than the stratum count: prefix gets it.
+        let out = allocate_budget(2, &[1.0, 1.0, 1.0], &[true, true, true]);
+        assert_eq!(out, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn stratum_weights_cover_the_whole_pmf() {
+        let pmf = [0.5, 0.3, 0.1, 0.05, 0.03, 0.01, 0.005, 0.003, 0.002];
+        let w = stratum_weights(&pmf, 4);
+        assert_eq!(w.len(), 4);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((w[3] - 0.1f64).abs() < 1e-12); // 0.05+0.03+0.01+0.005+0.003+0.002
+    }
+}

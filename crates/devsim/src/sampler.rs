@@ -42,6 +42,7 @@
 //! Every path writes into a caller-supplied [`FaultSet`], so the hot
 //! Monte-Carlo loops allocate nothing per sample.
 
+use crate::error::DevSimError;
 use crate::process::FaultIntroduction;
 use divrel_demand::fault_set::{words_for, FaultSet, WORD_BITS};
 use divrel_model::FaultModel;
@@ -331,6 +332,311 @@ impl BitSampler {
     }
 }
 
+/// Importance sampling over one ≤ 64-bit lane of independent Bernoulli
+/// draws: samples from **tilted** inclusion probabilities `p'ᵢ ≥ pᵢ`
+/// through the same bit-plane machinery as [`BitSampler`], and returns
+/// the **exact** log likelihood ratio of any sampled word against the
+/// original probabilities — so a rare-event estimator reweighting by
+/// [`Self::log_weight`] is unbiased by construction.
+///
+/// The per-word ratio factorises over bits:
+///
+/// ```text
+/// log w(word) = Σᵢ log( [pᵢ/p'ᵢ]^bᵢ · [(1−pᵢ)/(1−p'ᵢ)]^(1−bᵢ) )
+///             = total_absent + Σ_{set bits} δᵢ
+/// ```
+///
+/// with `total_absent = Σᵢ log((1−pᵢ)/(1−p'ᵢ))` precomputed and
+/// `δᵢ = log(pᵢ/p'ᵢ) − log((1−pᵢ)/(1−p'ᵢ))`, so evaluating a weight is
+/// one popcount-style loop over set bits — no per-sample logs.
+///
+/// Degenerate bits never distort the ratio: `p = 0` stays untilted
+/// (the bit cannot appear, so its factor is 1) and `p = 1` stays
+/// always-present (factor 1 again).
+#[derive(Debug, Clone)]
+pub struct BiasedBitSampler {
+    plan: WordPlan,
+    tilted: Vec<f64>,
+    /// `δᵢ` per lane bit (0 for untilted/degenerate bits).
+    delta: Vec<f64>,
+    /// `Σᵢ log((1−pᵢ)/(1−p'ᵢ))` — the all-absent log ratio.
+    total_absent: f64,
+}
+
+impl BiasedBitSampler {
+    /// Exponential tilt: `p'ᵢ = pᵢ·eᶿ / (1 − pᵢ + pᵢ·eᶿ)` — the
+    /// natural exponential family through each Bernoulli, so `θ = 0`
+    /// is the identity (every weight exactly 1) and growing `θ` pushes
+    /// fault counts up smoothly without ever leaving `(0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// [`DevSimError::InvalidConfig`] for more than 64 probabilities,
+    /// probabilities outside `[0, 1]`, or a non-finite `theta`.
+    pub fn exponential(ps: &[f64], theta: f64) -> Result<Self, DevSimError> {
+        if !theta.is_finite() {
+            return Err(DevSimError::InvalidConfig(format!(
+                "tilt theta must be finite, got {theta}"
+            )));
+        }
+        let e = theta.exp();
+        let tilted: Vec<f64> = ps
+            .iter()
+            .map(|&p| {
+                // θ = 0 is the exact identity (no rounding detour
+                // through the tilt formula), so every weight is 1.0.
+                if theta == 0.0 || p <= 0.0 || p >= 1.0 {
+                    p
+                } else {
+                    p * e / (1.0 - p + p * e)
+                }
+            })
+            .collect();
+        Self::with_tilted(ps, tilted)
+    }
+
+    /// Multiplier proposal: `p'ᵢ = min(pᵢ·factor, ½)` (probabilities
+    /// already ≥ ½ are left untouched) — the blunt instrument for
+    /// quick exploratory runs.
+    ///
+    /// # Errors
+    ///
+    /// [`DevSimError::InvalidConfig`] for more than 64 probabilities,
+    /// probabilities outside `[0, 1]`, or `factor < 1`/non-finite.
+    pub fn multiplier(ps: &[f64], factor: f64) -> Result<Self, DevSimError> {
+        if !factor.is_finite() || factor < 1.0 {
+            return Err(DevSimError::InvalidConfig(format!(
+                "tilt multiplier must be finite and >= 1, got {factor}"
+            )));
+        }
+        let tilted: Vec<f64> = ps
+            .iter()
+            .map(|&p| {
+                if p <= 0.0 || p >= 0.5 {
+                    p
+                } else {
+                    (p * factor).min(0.5)
+                }
+            })
+            .collect();
+        Self::with_tilted(ps, tilted)
+    }
+
+    fn with_tilted(ps: &[f64], tilted: Vec<f64>) -> Result<Self, DevSimError> {
+        if ps.len() > WORD_BITS {
+            return Err(DevSimError::InvalidConfig(format!(
+                "biased lane holds at most {WORD_BITS} bits, got {}",
+                ps.len()
+            )));
+        }
+        for &p in ps {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(DevSimError::InvalidConfig(format!(
+                    "bit probability {p} outside [0, 1]"
+                )));
+            }
+        }
+        let mut delta = vec![0.0f64; ps.len()];
+        let mut total_absent = 0.0f64;
+        for (b, (&p, &t)) in ps.iter().zip(&tilted).enumerate() {
+            if p <= 0.0 || p >= 1.0 || t == p {
+                continue;
+            }
+            let absent = (1.0 - p).ln() - (1.0 - t).ln();
+            delta[b] = (p.ln() - t.ln()) - absent;
+            total_absent += absent;
+        }
+        Ok(BiasedBitSampler {
+            plan: WordPlan::new(&tilted),
+            tilted,
+            delta,
+            total_absent,
+        })
+    }
+
+    /// The tilted probabilities the sampler actually draws from.
+    pub fn tilted_ps(&self) -> &[f64] {
+        &self.tilted
+    }
+
+    /// Number of lane bits.
+    pub fn len(&self) -> usize {
+        self.tilted.len()
+    }
+
+    /// True for an empty lane.
+    pub fn is_empty(&self) -> bool {
+        self.tilted.is_empty()
+    }
+
+    /// Draws one word from the **tilted** probabilities.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        self.plan.sample(rng)
+    }
+
+    /// Exact log likelihood ratio `log(P_original(word)/P_tilted(word))`
+    /// of a sampled word. Always finite for words the tilted sampler
+    /// can produce.
+    #[inline]
+    pub fn log_weight(&self, word: u64) -> f64 {
+        let mut lw = self.total_absent;
+        let mut set = word & self.plan.mask;
+        while set != 0 {
+            let b = set.trailing_zeros() as usize;
+            lw += self.delta[b];
+            set &= set - 1;
+        }
+        lw
+    }
+}
+
+/// Conditional sampling of one ≤ 64-bit lane of independent Bernoulli
+/// bits **given the number of set bits** — the per-stratum draw of a
+/// fault-count-stratified estimator.
+///
+/// Construction runs the Poisson-binomial suffix recursion
+/// `R[i][j] = P(exactly j of bits i.. present)`, so `R[0]` is the
+/// exact count PMF and the sequential conditional inclusion
+/// probability of bit `i` given `j` remaining successes is
+/// `pᵢ·R[i+1][j−1] / R[i][j]` — each conditional word costs `n`
+/// uniforms and no rejection.
+#[derive(Debug, Clone)]
+pub struct CountConditionedSampler {
+    ps: Vec<f64>,
+    /// `suffix[i][j] = P(exactly j of bits i.. present)`,
+    /// `i ∈ 0..=n`, `j ∈ 0..=n−i`.
+    suffix: Vec<Vec<f64>>,
+}
+
+impl CountConditionedSampler {
+    /// Builds the suffix tables for one lane of probabilities.
+    ///
+    /// # Errors
+    ///
+    /// [`DevSimError::InvalidConfig`] for more than 64 probabilities
+    /// or probabilities outside `[0, 1]`.
+    pub fn new(ps: &[f64]) -> Result<Self, DevSimError> {
+        if ps.len() > WORD_BITS {
+            return Err(DevSimError::InvalidConfig(format!(
+                "count-conditioned lane holds at most {WORD_BITS} bits, got {}",
+                ps.len()
+            )));
+        }
+        for &p in ps {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(DevSimError::InvalidConfig(format!(
+                    "bit probability {p} outside [0, 1]"
+                )));
+            }
+        }
+        let n = ps.len();
+        let mut suffix = vec![Vec::new(); n + 1];
+        suffix[n] = vec![1.0];
+        for i in (0..n).rev() {
+            let p = ps[i];
+            let next = &suffix[i + 1];
+            let mut row = vec![0.0f64; next.len() + 1];
+            for (j, slot) in row.iter_mut().enumerate() {
+                let stay = if j < next.len() {
+                    (1.0 - p) * next[j]
+                } else {
+                    0.0
+                };
+                let take = if j > 0 { p * next[j - 1] } else { 0.0 };
+                *slot = stay + take;
+            }
+            suffix[i] = row;
+        }
+        Ok(CountConditionedSampler {
+            ps: ps.to_vec(),
+            suffix,
+        })
+    }
+
+    /// Number of lane bits.
+    pub fn len(&self) -> usize {
+        self.ps.len()
+    }
+
+    /// True for an empty lane.
+    pub fn is_empty(&self) -> bool {
+        self.ps.is_empty()
+    }
+
+    /// The exact count PMF: entry `j` is `P(N = j)` (the
+    /// Poisson-binomial law of the lane).
+    pub fn count_pmf(&self) -> &[f64] {
+        &self.suffix[0]
+    }
+
+    /// Draws one word conditional on **exactly** `j` set bits.
+    ///
+    /// # Panics
+    ///
+    /// If `j` exceeds the lane size or `P(N = j) = 0` (callers select
+    /// strata from [`Self::count_pmf`], so a zero-probability stratum
+    /// is a logic error, not a data error).
+    pub fn sample_exact<R: Rng + ?Sized>(&self, rng: &mut R, j: usize) -> u64 {
+        let n = self.ps.len();
+        assert!(
+            j <= n && self.suffix[0][j] > 0.0,
+            "stratum N = {j} has zero probability"
+        );
+        let mut word = 0u64;
+        let mut remaining = j;
+        for i in 0..n {
+            if remaining == 0 {
+                break;
+            }
+            // All of the rest must be present, or the absent branch has
+            // zero conditional mass: include without burning a draw.
+            let rest = n - i;
+            let absent_mass = self.suffix[i + 1].get(remaining).copied().unwrap_or(0.0);
+            if remaining == rest || absent_mass == 0.0 {
+                word |= 1u64 << i;
+                remaining -= 1;
+                continue;
+            }
+            let cur = self.suffix[i][remaining];
+            let take = self.ps[i] * self.suffix[i + 1][remaining - 1] / cur;
+            if rng.gen::<f64>() < take {
+                word |= 1u64 << i;
+                remaining -= 1;
+            }
+        }
+        word
+    }
+
+    /// Draws one word conditional on **at least** `j` set bits: the
+    /// exact count is first drawn from the renormalised tail of the
+    /// count PMF (inverse CDF), then the word conditional on that
+    /// count. Returns the word.
+    ///
+    /// # Panics
+    ///
+    /// If the tail `P(N ≥ j)` has zero probability.
+    pub fn sample_at_least<R: Rng + ?Sized>(&self, rng: &mut R, j: usize) -> u64 {
+        let pmf = self.count_pmf();
+        let tail: f64 = pmf[j.min(pmf.len())..].iter().sum();
+        assert!(tail > 0.0, "tail stratum N >= {j} has zero probability");
+        let mut u = rng.gen::<f64>() * tail;
+        let mut count = j;
+        for (t, &m) in pmf.iter().enumerate().skip(j) {
+            count = t;
+            if u < m && m > 0.0 {
+                break;
+            }
+            u -= m;
+        }
+        // fp drift past the end lands on the largest positive-mass count.
+        while pmf[count] == 0.0 && count > j {
+            count -= 1;
+        }
+        self.sample_exact(rng, count)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -540,5 +846,184 @@ mod tests {
         assert!((r[1] - 0.25).abs() < 0.01);
         assert_eq!(r[2], 0.0);
         assert_eq!(r[3], 1.0);
+    }
+
+    /// Direct evaluation of `log P_q(word) − log P_{q'}(word)` from the
+    /// raw probabilities, for cross-checking the table form.
+    fn reference_log_weight(ps: &[f64], tilted: &[f64], word: u64) -> f64 {
+        let mut lw = 0.0;
+        for (b, (&p, &t)) in ps.iter().zip(tilted).enumerate() {
+            if p == t {
+                continue;
+            }
+            if word >> b & 1 == 1 {
+                lw += p.ln() - t.ln();
+            } else {
+                lw += (1.0 - p).ln() - (1.0 - t).ln();
+            }
+        }
+        lw
+    }
+
+    #[test]
+    fn biased_sampler_marginals_match_the_tilted_probabilities() {
+        let ps = [1e-3, 0.02, 0.3, 0.0, 1.0];
+        let s = BiasedBitSampler::exponential(&ps, 3.0).unwrap();
+        let tilted = s.tilted_ps().to_vec();
+        // Degenerate bits stay degenerate; interior bits move up.
+        assert_eq!(tilted[3], 0.0);
+        assert_eq!(tilted[4], 1.0);
+        assert!(tilted[0] > ps[0] && tilted[1] > ps[1] && tilted[2] > ps[2]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 60_000;
+        let mut counts = [0u64; 5];
+        for _ in 0..n {
+            let w = s.sample(&mut rng);
+            for (b, c) in counts.iter_mut().enumerate() {
+                *c += w >> b & 1;
+            }
+        }
+        for (b, &c) in counts.iter().enumerate() {
+            let rate = c as f64 / n as f64;
+            assert!(
+                (rate - tilted[b]).abs() < 0.01,
+                "bit {b}: rate {rate} vs tilted {}",
+                tilted[b]
+            );
+        }
+    }
+
+    #[test]
+    fn biased_sampler_log_weight_is_exact_per_word() {
+        let ps = [1e-4, 0.03, 0.5, 0.0, 1.0, 0.2];
+        for s in [
+            BiasedBitSampler::exponential(&ps, 5.0).unwrap(),
+            BiasedBitSampler::multiplier(&ps, 50.0).unwrap(),
+        ] {
+            let tilted = s.tilted_ps().to_vec();
+            // Enumerate every word the tilted sampler can produce: bit 3
+            // (p = 0) always absent, bit 4 (p = 1) always present.
+            for raw in 0u64..64 {
+                let word = (raw & !(1 << 3)) | (1 << 4);
+                let expect = reference_log_weight(&ps, &tilted, word);
+                let got = s.log_weight(word);
+                assert!(
+                    (got - expect).abs() < 1e-12,
+                    "word {word:#b}: {got} vs {expect}"
+                );
+                assert!(got.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_tilt_is_the_identity_with_unit_weights() {
+        let ps = [0.01, 0.3, 0.9];
+        let s = BiasedBitSampler::exponential(&ps, 0.0).unwrap();
+        assert_eq!(s.tilted_ps(), &ps);
+        for word in 0u64..8 {
+            assert_eq!(s.log_weight(word), 0.0);
+        }
+        let m = BiasedBitSampler::multiplier(&ps, 1.0).unwrap();
+        assert_eq!(m.tilted_ps(), &ps);
+    }
+
+    #[test]
+    fn biased_sampler_rejects_bad_parameters() {
+        assert!(BiasedBitSampler::exponential(&[0.5], f64::NAN).is_err());
+        assert!(BiasedBitSampler::exponential(&[1.5], 1.0).is_err());
+        assert!(BiasedBitSampler::multiplier(&[0.5], 0.5).is_err());
+        let too_many = vec![0.1; 65];
+        assert!(BiasedBitSampler::exponential(&too_many, 1.0).is_err());
+    }
+
+    #[test]
+    fn count_conditioned_pmf_matches_poisson_binomial() {
+        let ps = [0.02, 0.4, 0.11, 0.0, 0.93, 0.25];
+        let s = CountConditionedSampler::new(&ps).unwrap();
+        let pb = divrel_numerics::PoissonBinomial::new(&ps).unwrap();
+        assert_eq!(s.count_pmf().len(), ps.len() + 1);
+        for (j, &m) in s.count_pmf().iter().enumerate() {
+            assert!((m - pb.pmf(j)).abs() < 1e-14, "j = {j}");
+        }
+    }
+
+    #[test]
+    fn sample_exact_has_the_right_count_and_conditional_marginals() {
+        let ps = [0.1, 0.5, 0.25, 0.8];
+        let s = CountConditionedSampler::new(&ps).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 60_000;
+        for j in 0..=4usize {
+            if s.count_pmf()[j] == 0.0 {
+                continue;
+            }
+            let mut counts = [0u64; 4];
+            for _ in 0..n {
+                let w = s.sample_exact(&mut rng, j);
+                assert_eq!(w.count_ones() as usize, j, "stratum {j}");
+                for (b, c) in counts.iter_mut().enumerate() {
+                    *c += w >> b & 1;
+                }
+            }
+            // Exact conditional marginal: P(bit b | N = j) =
+            // p_b · P(N_{-b} = j−1) / P(N = j).
+            for (b, &c) in counts.iter().enumerate() {
+                let mut rest: Vec<f64> = ps.to_vec();
+                rest.remove(b);
+                let pb_rest = divrel_numerics::PoissonBinomial::new(&rest).unwrap();
+                let expect = if j == 0 {
+                    0.0
+                } else {
+                    ps[b] * pb_rest.pmf(j - 1) / s.count_pmf()[j]
+                };
+                let rate = c as f64 / n as f64;
+                assert!(
+                    (rate - expect).abs() < 0.012,
+                    "stratum {j} bit {b}: {rate} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sample_at_least_draws_the_renormalised_tail() {
+        let ps = [0.3, 0.3, 0.3, 0.3];
+        let s = CountConditionedSampler::new(&ps).unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        let n = 80_000;
+        let j = 2usize;
+        let mut by_count = [0u64; 5];
+        for _ in 0..n {
+            let w = s.sample_at_least(&mut rng, j);
+            let c = w.count_ones() as usize;
+            assert!(c >= j);
+            by_count[c] += 1;
+        }
+        let tail: f64 = s.count_pmf()[j..].iter().sum();
+        for (c, &hits) in by_count.iter().enumerate().skip(j) {
+            let expect = s.count_pmf()[c] / tail;
+            let rate = hits as f64 / n as f64;
+            assert!(
+                (rate - expect).abs() < 0.01,
+                "count {c}: {rate} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_bits_are_respected_in_conditional_draws() {
+        // p = 1 bits are in every word; p = 0 bits in none; the count
+        // stratum includes the forced bit.
+        let ps = [1.0, 0.0, 0.5];
+        let s = CountConditionedSampler::new(&ps).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        assert_eq!(s.count_pmf()[0], 0.0);
+        for _ in 0..2_000 {
+            let w = s.sample_exact(&mut rng, 1);
+            assert_eq!(w, 0b001);
+            let w2 = s.sample_exact(&mut rng, 2);
+            assert_eq!(w2, 0b101);
+        }
     }
 }

@@ -98,6 +98,32 @@ impl SharedCauseModel {
         gamma + (1.0 - gamma) * rho.powi(k as i32)
     }
 
+    /// The two-layer sampling decomposition of fault `i` (introduction
+    /// probability `p`): returns `(γ, ρ)` where a shared cause plants
+    /// the fault in **every** channel with probability `γ = β·p`, and
+    /// otherwise each channel independently acquires it with the
+    /// marginal-preserving residual `ρ = p(1−β)/(1−β·p)`.
+    ///
+    /// This is the generative form of [`Self::p_common`] — the hook the
+    /// rare-event samplers draw from directly (sample the common layer,
+    /// then the per-channel residual layer), so simulation and the
+    /// closed forms share one parameterisation by construction. The
+    /// degenerate `β·p = 1` denominator yields `ρ = 0`, matching
+    /// `p_common`.
+    pub fn layers(&self, p: f64) -> (f64, f64) {
+        if self.beta == 0.0 {
+            return (0.0, p);
+        }
+        let gamma = self.beta * p;
+        let denom = 1.0 - gamma;
+        let rho = if denom > 0.0 {
+            p * (1.0 - self.beta) / denom
+        } else {
+            0.0
+        };
+        (gamma, rho)
+    }
+
     /// Correlated `(probability, weight)` terms for a `k`-version
     /// system: fault `i` contributes `qᵢ` to the system PFD with
     /// probability [`Self::p_common`]`(pᵢ, k)`. Drop-in replacement for
@@ -237,6 +263,30 @@ mod tests {
                     );
                     // Correlation can only raise the coincidence probability.
                     assert!(s.p_common(p, k) >= p.powi(k as i32) - 1e-14);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layers_reproduce_p_common_and_the_marginal() {
+        for beta in [0.0, 0.002, 0.2, 0.9, 1.0] {
+            for p in [0.0, 1e-6, 0.01, 0.3, 1.0] {
+                let s = SharedCauseModel::new(FaultModel::from_params(&[p], &[0.1]).unwrap(), beta)
+                    .unwrap();
+                let (gamma, rho) = s.layers(p);
+                // The generative layers must integrate back to the
+                // closed forms: the marginal and every p_common(k).
+                assert!(
+                    (gamma + (1.0 - gamma) * rho - p).abs() < 1e-15,
+                    "beta = {beta}, p = {p}"
+                );
+                for k in 1..=4u32 {
+                    let via_layers = gamma + (1.0 - gamma) * rho.powi(k as i32);
+                    assert!(
+                        (via_layers - s.p_common(p, k)).abs() < 1e-15,
+                        "beta = {beta}, p = {p}, k = {k}"
+                    );
                 }
             }
         }

@@ -39,6 +39,7 @@ pub mod beta_dist;
 pub mod bootstrap;
 pub mod descriptive;
 pub mod error;
+pub mod estimator;
 pub mod ks;
 pub mod normal;
 pub mod poisson_binomial;
@@ -49,6 +50,7 @@ pub mod weighted_sum;
 pub mod wire;
 
 pub use error::NumericsError;
+pub use estimator::{LogSum, StratumMoments, WeightedMean};
 pub use normal::Normal;
 pub use poisson_binomial::PoissonBinomial;
 pub use weighted_sum::WeightedBernoulliSum;

@@ -414,9 +414,39 @@ impl WeightedBernoulliSum {
     }
 
     /// `P(N > 0)` — the probability at least one term is present (the
-    /// paper's "risk of any fault"), from the memoised count PMF.
+    /// paper's "risk of any fault").
+    ///
+    /// Accumulated directly as `1 − Π(1−pᵢ)` in the log domain
+    /// ([`crate::special::prob_any`]) rather than `1.0 − P(N = 0)`:
+    /// with every `pᵢ` around `1e-14` the complement form cancels to
+    /// the nearest ulp of 1.0 (≈ 1.1e-16 granularity) while the direct
+    /// form keeps full relative precision.
     pub fn prob_any_present(&self) -> f64 {
-        (1.0 - self.prob_count(0)).clamp(0.0, 1.0)
+        crate::special::prob_any(self.term_ps.iter().copied())
+            .expect("term probabilities validated at construction")
+    }
+
+    /// `log P(Θ > x)`: the natural log of [`Self::sf`], accumulated as
+    /// a log-sum-exp over the tail atoms. Down at denormal-mass tails
+    /// (products of many small per-fault probabilities) a linear sum
+    /// loses mantissa bits to gradual underflow before the caller can
+    /// take its log; accumulating in the log domain keeps the result's
+    /// precision relative to the largest tail atom.
+    ///
+    /// Returns `−∞` when no atom lies above `x` (a genuinely empty
+    /// tail).
+    pub fn log_sf(&self, x: f64) -> f64 {
+        let mut acc = crate::estimator::LogSum::new();
+        for a in self.atoms.iter().rev() {
+            if a.value > x {
+                if a.mass > 0.0 {
+                    acc.push_log(a.mass.ln());
+                }
+            } else {
+                break;
+            }
+        }
+        acc.value().min(0.0)
     }
 }
 
@@ -769,6 +799,67 @@ mod tests {
         let c = d.clone();
         assert_eq!(c, d);
         assert!((c.prob_count(1) - d.prob_count(1)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn prob_any_present_keeps_relative_precision_at_1e12_tails() {
+        // Five faults at p = 1e-14: P(any) ≈ 5e-14, but P(N = 0)
+        // rounds to within one ulp of 1.0, so the old `1 − P(N = 0)`
+        // form quantises to multiples of ~1.1e-16 (≈ 0.2% relative
+        // error here; total loss for p ≲ 1e-17).
+        let terms: Vec<(f64, f64)> = (0..5).map(|_| (1e-14, 0.1)).collect();
+        let d = WeightedBernoulliSum::enumerate(&terms).unwrap();
+        // True value: 1 − (1−p)⁵ = 5e-14 − 1e-27 + O(p³).
+        let expect = 5e-14;
+        assert!((d.prob_any_present() - expect).abs() < 1e-26);
+        // The complement form visibly disagrees at this scale (its
+        // granularity is one ulp of 1.0 ≈ 1.1e-16) — the regression
+        // this test pins.
+        let complement = (1.0 - d.prob_count(0)).clamp(0.0, 1.0);
+        assert!((complement - expect).abs() > 1e-18);
+    }
+
+    #[test]
+    fn sf_and_log_sf_are_exact_at_extreme_tails() {
+        // Three faults whose joint presence has mass 1e-36: the tail
+        // above 2q must come out as p³ exactly (one atom), and the
+        // log form must agree without losing the scale.
+        let p = 1e-12;
+        let q = 0.125;
+        let terms = [(p, q), (p, q), (p, q)];
+        let d = WeightedBernoulliSum::enumerate(&terms).unwrap();
+        let tail = d.sf(2.5 * q);
+        let expect = p * p * p;
+        assert!(
+            (tail - expect).abs() <= 1e-15 * expect,
+            "sf tail {tail} vs {expect}"
+        );
+        let log_tail = d.log_sf(2.5 * q);
+        assert!((log_tail - expect.ln()).abs() < 1e-12);
+        // A naive 1 − cdf at this scale is pure cancellation noise:
+        // the true tail is ~23 orders of magnitude below one ulp of 1.
+        assert_eq!(1.0 - d.cdf(2.5 * q), 0.0);
+        // Empty tail: log form returns −∞, sf returns 0.
+        assert_eq!(d.sf(1.0), 0.0);
+        assert_eq!(d.log_sf(1.0), f64::NEG_INFINITY);
+        // Whole support: sf(−∞ side) is 1, log_sf ≤ 0.
+        assert!((d.sf(-1.0) - 1.0).abs() < 1e-15);
+        assert!(d.log_sf(-1.0) <= 0.0 && d.log_sf(-1.0) > -1e-12);
+    }
+
+    #[test]
+    fn log_sf_agrees_with_sf_across_the_support() {
+        let terms = [(0.2, 0.1), (0.7, 0.03), (0.01, 0.5), (1e-9, 0.25)];
+        let d = WeightedBernoulliSum::enumerate(&terms).unwrap();
+        for x in [-1.0, 0.0, 0.05, 0.13, 0.3, 0.6, 0.8, 0.9] {
+            let sf = d.sf(x);
+            let lsf = d.log_sf(x);
+            if sf == 0.0 {
+                assert_eq!(lsf, f64::NEG_INFINITY, "x={x}");
+            } else {
+                assert!((lsf - sf.ln()).abs() < 1e-10, "x={x}: {lsf} vs {}", sf.ln());
+            }
+        }
     }
 
     #[test]

@@ -17,8 +17,9 @@ use divrel_bench::scenario::Scenario;
 ///
 /// The first four pins date from PR 7 (before fault-tree adjudication
 /// and common-cause layers entered the vocabulary) and must never
-/// change for these files; the last two pin the canonical form of the
-/// fault-tree and common-cause specs the vocabulary change introduced.
+/// change for these files; the next two pin the canonical form of the
+/// fault-tree and common-cause specs the vocabulary change introduced,
+/// and the last pins the PR 9 rare-event estimator spec.
 const PINS: &[(&str, &str)] = &[
     (
         "scenarios/asymmetric_difficulty.toml",
@@ -34,6 +35,10 @@ const PINS: &[(&str, &str)] = &[
     (
         "scenarios/common_cause_diversity.toml",
         "fnv1a:51c55f1850138822",
+    ),
+    (
+        "scenarios/rare_event_protection.toml",
+        "fnv1a:b03c45370317bc43",
     ),
 ];
 
