@@ -56,61 +56,149 @@ pub fn observe(prior: &PfdPrior, failures: u64, demands: u64) -> Result<PfdPoste
         return Err(BayesError::BadEvidence { failures, demands });
     }
     match prior {
-        PfdPrior::Discrete(atoms) => {
-            let survivals = demands - failures;
-            let mut out = Vec::with_capacity(atoms.len());
-            let mut total = 0.0_f64;
-            // Work with log-likelihood to survive large t.
-            let mut best_log = f64::NEG_INFINITY;
-            let logs: Vec<Option<f64>> = atoms
-                .iter()
-                .map(|a| {
-                    let theta = a.value;
-                    if a.mass == 0.0 {
-                        return None;
-                    }
-                    // 0^0 = 1 conventions:
-                    if theta == 0.0 && failures > 0 {
-                        return None;
-                    }
-                    if theta == 1.0 && survivals > 0 {
-                        return None;
-                    }
-                    let mut ll = a.mass.ln();
-                    if failures > 0 {
-                        ll += failures as f64 * theta.ln();
-                    }
-                    if survivals > 0 {
-                        ll += survivals as f64 * (-theta).ln_1p();
-                    }
-                    best_log = best_log.max(ll);
-                    Some(ll)
-                })
-                .collect();
-            if best_log == f64::NEG_INFINITY {
-                return Err(BayesError::DegeneratePosterior(
-                    "evidence excludes every prior atom",
-                ));
-            }
-            for (a, ll) in atoms.iter().zip(logs) {
-                if let Some(ll) = ll {
-                    let w = (ll - best_log).exp();
-                    if w > 0.0 {
-                        out.push(Atom {
-                            value: a.value,
-                            mass: w,
-                        });
-                        total += w;
-                    }
-                }
-            }
-            for a in &mut out {
-                a.mass /= total;
-            }
-            Ok(PfdPosterior::Discrete(out))
-        }
+        PfdPrior::Discrete(atoms) => Ok(PfdPosterior::Discrete(discrete_posterior(
+            atoms,
+            &AtomTerms::precompute(atoms),
+            failures,
+            demands - failures,
+        )?)),
         PfdPrior::Beta(b) => Ok(PfdPosterior::Beta(b.update(failures, demands)?)),
     }
+}
+
+/// Updates one prior with many independent bodies of evidence in one
+/// sweep: `evidence[i] = (failuresᵢ, demandsᵢ)` yields the posterior the
+/// `i`-th cell would get from [`observe`] — bit-identical to calling it
+/// per cell, but the per-atom log terms (`ln wₐ`, `ln θₐ`, `ln(1−θₐ)`)
+/// are computed **once** for the whole batch instead of once per cell.
+/// With the prior itself built once from the fault model (its
+/// distribution construction amortised by the `WeightedBernoulliSum`
+/// terms cache), folding a sweep's per-cell accumulators into posteriors
+/// costs one multiply-add per atom per cell — this is the batched
+/// evaluation pass the adaptive refinement driver runs between rounds.
+///
+/// # Errors
+///
+/// As [`observe`], per cell; the first failing cell aborts the batch.
+pub fn observe_batch(
+    prior: &PfdPrior,
+    evidence: &[(u64, u64)],
+) -> Result<Vec<PfdPosterior>, BayesError> {
+    match prior {
+        PfdPrior::Discrete(atoms) => {
+            let terms = AtomTerms::precompute(atoms);
+            evidence
+                .iter()
+                .map(|&(failures, demands)| {
+                    if failures > demands {
+                        return Err(BayesError::BadEvidence { failures, demands });
+                    }
+                    Ok(PfdPosterior::Discrete(discrete_posterior(
+                        atoms,
+                        &terms,
+                        failures,
+                        demands - failures,
+                    )?))
+                })
+                .collect()
+        }
+        PfdPrior::Beta(b) => evidence
+            .iter()
+            .map(|&(failures, demands)| Ok(PfdPosterior::Beta(b.update(failures, demands)?)))
+            .collect(),
+    }
+}
+
+/// Per-atom log terms of a discrete prior, shared across a batch of
+/// updates. Entries are `NAN` where the term is never used (`ln 0`
+/// guards below make sure of that), mirroring [`observe`]'s conditional
+/// evaluation exactly so batched and one-shot updates agree bit for bit.
+struct AtomTerms {
+    log_mass: Vec<f64>,
+    log_theta: Vec<f64>,
+    /// `ln(1 − θ)` via `ln_1p` — the exact-prior likelihood `(1−θ)ᵗ`
+    /// stays in log domain throughout.
+    log_surv: Vec<f64>,
+}
+
+impl AtomTerms {
+    fn precompute(atoms: &[Atom]) -> Self {
+        AtomTerms {
+            log_mass: atoms.iter().map(|a| a.mass.ln()).collect(),
+            log_theta: atoms.iter().map(|a| a.value.ln()).collect(),
+            log_surv: atoms.iter().map(|a| (-a.value).ln_1p()).collect(),
+        }
+    }
+}
+
+/// The exact discrete posterior, computed in log domain.
+///
+/// Atoms the evidence *logically* excludes (`θ = 0` with failures seen,
+/// `θ = 1` with survivals seen, prior mass 0) are annihilated. Atoms the
+/// evidence merely makes improbable are **never dropped**: a weight
+/// whose exact value underflows `f64` (below `e^{−745}` relative to the
+/// dominant atom — routine once `t ≥ 10⁷` failure-free demands meet a
+/// θ ≥ 10⁻⁴ atom) is flushed to the smallest positive `f64` instead of
+/// to 0, so the posterior support always equals the admissible prior
+/// support. The distortion is ≤ a few times `5·10⁻³²⁴` — far below any
+/// downstream tolerance — and keeps worst-case-atom audits and
+/// support-sensitive consumers honest: finite evidence never *deletes*
+/// a hypothesis.
+fn discrete_posterior(
+    atoms: &[Atom],
+    terms: &AtomTerms,
+    failures: u64,
+    survivals: u64,
+) -> Result<Vec<Atom>, BayesError> {
+    let mut out = Vec::with_capacity(atoms.len());
+    let mut total = 0.0_f64;
+    // Work with log-likelihood to survive large t.
+    let mut best_log = f64::NEG_INFINITY;
+    let logs: Vec<Option<f64>> = atoms
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let theta = a.value;
+            if a.mass == 0.0 {
+                return None;
+            }
+            // 0^0 = 1 conventions:
+            if theta == 0.0 && failures > 0 {
+                return None;
+            }
+            if theta == 1.0 && survivals > 0 {
+                return None;
+            }
+            let mut ll = terms.log_mass[i];
+            if failures > 0 {
+                ll += failures as f64 * terms.log_theta[i];
+            }
+            if survivals > 0 {
+                ll += survivals as f64 * terms.log_surv[i];
+            }
+            best_log = best_log.max(ll);
+            Some(ll)
+        })
+        .collect();
+    if best_log == f64::NEG_INFINITY {
+        return Err(BayesError::DegeneratePosterior(
+            "evidence excludes every prior atom",
+        ));
+    }
+    for (a, ll) in atoms.iter().zip(logs) {
+        if let Some(ll) = ll {
+            let w = (ll - best_log).exp().max(f64::MIN_POSITIVE);
+            out.push(Atom {
+                value: a.value,
+                mass: w,
+            });
+            total += w;
+        }
+    }
+    for a in &mut out {
+        a.mass /= total;
+    }
+    Ok(out)
 }
 
 impl PfdPosterior {
@@ -201,12 +289,28 @@ pub fn factored_fault_posterior(model: &FaultModel, t: u64) -> Result<FaultModel
         .map(|f| {
             let p = f.p();
             let q = f.q();
-            // (1-q)^t in log space.
-            let surv = (t as f64 * (-q).ln_1p()).exp();
-            let p_new = if p == 0.0 {
-                0.0
+            // Stay in log domain end to end: the update is a logistic
+            // shift of the log-odds,
+            //   ln(p'/(1−p')) = ln(p/(1−p)) + t·ln(1−q),
+            // so the survival factor (1−q)^t is never materialised.
+            // Exponentiating p·(1−q)^t piecewise (the obvious form)
+            // collapses p' to exactly 0 once (1−q)^t underflows — at
+            // t ≥ 10⁷ that already happens for q ~ 10⁻⁴ — erasing the
+            // fault from the model even where p' itself is still
+            // representable.
+            let log_surv = t as f64 * (-q).ln_1p();
+            let p_new = if p == 0.0 || log_surv == 0.0 {
+                p
+            } else if p == 1.0 {
+                1.0
             } else {
-                p * surv / (1.0 - p + p * surv)
+                let log_odds = (p / (1.0 - p)).ln() + log_surv;
+                if log_odds <= 0.0 {
+                    let e = log_odds.exp();
+                    e / (1.0 + e)
+                } else {
+                    1.0 / (1.0 + (-log_odds).exp())
+                }
             };
             PotentialFault::new(p_new, q)
         })
@@ -314,6 +418,100 @@ mod tests {
         assert!(post.mean() < 1e-6);
         let b = post.quantile(0.99).unwrap();
         assert!(b.is_finite());
+    }
+
+    #[test]
+    fn extreme_t_keeps_admissible_atoms_in_support() {
+        // t = 10^7 failure-free demands against a θ = 0.01 atom puts its
+        // posterior weight at e^{-100503} — far below f64. The atom must
+        // survive with a flushed-to-minimum mass, not vanish: finite
+        // evidence never deletes a hypothesis outright.
+        let prior = PfdPrior::from_atoms(vec![
+            Atom {
+                value: 0.0,
+                mass: 0.5,
+            },
+            Atom {
+                value: 0.01,
+                mass: 0.5,
+            },
+        ])
+        .unwrap();
+        for t in [10_000_000u64, 1_000_000_000] {
+            let post = observe(&prior, 0, t).unwrap();
+            let PfdPosterior::Discrete(atoms) = &post else {
+                panic!("expected discrete posterior");
+            };
+            assert_eq!(atoms.len(), 2, "t={t}: support collapsed");
+            assert!(atoms[1].mass > 0.0, "t={t}: atom mass collapsed to 0");
+            assert!(post.prob_perfect() > 0.999_999);
+            // The flushed tail does not distort the headline numbers.
+            assert!(post.mean() < 1e-300);
+            assert_eq!(post.quantile(0.99).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn observe_batch_matches_observe_bitwise() {
+        let prior = PfdPrior::exact_single(&model()).unwrap();
+        let evidence = [
+            (0u64, 0u64),
+            (0, 1_000),
+            (2, 500),
+            (10, 10),
+            (0, 10_000_000),
+        ];
+        let batch = observe_batch(&prior, &evidence).unwrap();
+        assert_eq!(batch.len(), evidence.len());
+        for (&(s, t), post) in evidence.iter().zip(&batch) {
+            let single = observe(&prior, s, t).unwrap();
+            let (PfdPosterior::Discrete(a), PfdPosterior::Discrete(b)) = (&single, post) else {
+                panic!("expected discrete posteriors");
+            };
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.value.to_bits(), y.value.to_bits(), "s={s} t={t}");
+                assert_eq!(x.mass.to_bits(), y.mass.to_bits(), "s={s} t={t}");
+            }
+        }
+        // Error cells abort the batch, matching the one-shot contract.
+        assert!(matches!(
+            observe_batch(&prior, &[(0, 10), (5, 3)]),
+            Err(BayesError::BadEvidence { .. })
+        ));
+        // Beta priors batch through the conjugate path.
+        let beta = PfdPrior::Beta(Beta::new(1.0, 99.0).unwrap());
+        let out = observe_batch(&beta, &[(2, 100)]).unwrap();
+        assert!(matches!(out[0], PfdPosterior::Beta(_)));
+    }
+
+    #[test]
+    fn factored_posterior_survives_extreme_t() {
+        // At t = 10^7, q = 7.465e-5 the survival factor (1-q)^t is
+        // ~e^{-746.5}: below f64's subnormal floor, so the pre-log-domain
+        // formula p·surv/(1-p+p·surv) returns exactly 0 — yet with
+        // p = 0.99 the posterior itself (~6e-323) is still representable.
+        let (p, q, t) = (0.99f64, 7.465e-5f64, 10_000_000u64);
+        let naive_surv = (t as f64 * (-q).ln_1p()).exp();
+        assert_eq!(naive_surv, 0.0, "test premise: naive form underflows");
+        let m = FaultModel::from_params(&[p], &[q]).unwrap();
+        let post = factored_fault_posterior(&m, t).unwrap();
+        let p_new = post.faults()[0].p();
+        assert!(p_new > 0.0, "log-domain update collapsed to 0");
+        assert!(p_new < 1e-300);
+        // And the log-odds form agrees with the direct formula where the
+        // direct formula is healthy.
+        let m2 = FaultModel::from_params(&[0.3], &[1e-4]).unwrap();
+        let post2 = factored_fault_posterior(&m2, 10_000).unwrap();
+        let surv = (10_000.0 * (-1e-4f64).ln_1p()).exp();
+        let direct = 0.3 * surv / (1.0 - 0.3 + 0.3 * surv);
+        assert!((post2.faults()[0].p() - direct).abs() < 1e-15 * direct.max(1e-30));
+        // p = 1 is a fixed point, not a NaN, even when surv underflows.
+        let m3 = FaultModel::from_params(&[1.0], &[q]).unwrap();
+        assert_eq!(
+            factored_fault_posterior(&m3, t).unwrap().faults()[0].p(),
+            1.0
+        );
     }
 
     #[test]

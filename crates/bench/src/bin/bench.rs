@@ -1,6 +1,6 @@
 //! Before/after benchmark driver: measures the previous-PR baselines
 //! against the current fast paths and exports the results as
-//! `BENCH_<tag>.json` (default `BENCH_pr9.json` in the current
+//! `BENCH_<tag>.json` (default `BENCH_pr10.json` in the current
 //! directory; override with `DIVREL_BENCH_TAG` / first CLI argument as
 //! the output path).
 //!
@@ -53,17 +53,30 @@
 //!   committed ~2e-7 PFD scenario — closed-form exact for the naive
 //!   side, measured for the importance-tilted and count-stratified
 //!   estimators — so the speedup column is the variance-reduction
-//!   factor of the rare-event engine, gated at ≥ 50× in CI.
+//!   factor of the rare-event engine, gated at ≥ 50× in CI. The PR 10
+//!   `sweep/adaptive_vs_fixed_samples_to_bound` row is also
+//!   samples-unit: the demand trials the posterior-driven refinement
+//!   loop needs to close every cell's 99% credible interval below the
+//!   target width, against a fixed uniform schedule reaching the same
+//!   bound (gated ≥ 3× in CI); and the PR 10
+//!   `protection/markov_sparse/16M_cells` row runs a 4096 × 4096 plant
+//!   — four times past the eager compiler's `MAX_COMPILED_CELLS`
+//!   ceiling — on the sparse on-demand backend against the PR 1 tick
+//!   loop (gated ≥ 10× in CI), after asserting the sparse backend
+//!   bit-identical to the eager compiler on a small both-backends
+//!   space.
 
+use divrel_bench::adaptive::{drive, AllocationStrategy, RefinementSpec};
 use divrel_bench::context::default_sweep_threads;
 use divrel_bench::perf::{to_json, Comparison};
-use divrel_bench::scenario::{ExperimentSpec, Scenario};
+use divrel_bench::scenario::{ExperimentSpec, Scenario, ScenarioResult};
 use divrel_bench::sweep::{forced_sweep, kl_sweep, pfd_sample_sweep};
 use divrel_demand::mapping::FaultRegionMap;
 use divrel_demand::profile::Profile;
 use divrel_demand::region::Region;
 use divrel_demand::space::{Demand, GridSpace2D};
 use divrel_demand::version::ProgramVersion;
+use divrel_devsim::adaptive::{AdaptivePfdRuntime, CellEvidence};
 use divrel_devsim::experiment::MonteCarloExperiment;
 use divrel_devsim::factory::{SampledPair, VersionFactory};
 use divrel_devsim::process::FaultIntroduction;
@@ -83,6 +96,7 @@ use divrel_protection::tree::FaultTree;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn model_of_size(n: usize) -> FaultModel {
     let ps: Vec<f64> = (0..n)
@@ -167,9 +181,21 @@ fn legacy_protection_run(
     black_box(demands + failures)
 }
 
+/// Serial in-process executor for the adaptive round-loop driver:
+/// evaluates every cell of the round on the calling thread.
+fn adaptive_exec(
+    runtime: &AdaptivePfdRuntime,
+    round: u32,
+    allocations: &[u64],
+) -> ScenarioResult<Vec<CellEvidence>> {
+    Ok((0..runtime.cells())
+        .map(|c| runtime.run_cell(c, allocations[c], round))
+        .collect())
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| {
-        let tag = std::env::var("DIVREL_BENCH_TAG").unwrap_or_else(|_| "pr9".into());
+        let tag = std::env::var("DIVREL_BENCH_TAG").unwrap_or_else(|_| "pr10".into());
         format!("BENCH_{tag}.json")
     });
     let mut results: Vec<Comparison> = Vec::new();
@@ -1411,7 +1437,193 @@ fn main() {
         }
     }
 
-    let json = to_json(9, &results);
+    // --- sweep/adaptive_vs_fixed: samples to close every bound ---------
+    // Samples-unit row (like rare_event/*): how many demand trials the
+    // posterior-driven refinement loop needs to close every cell's 99%
+    // credible interval below the target width, against a fixed uniform
+    // schedule run under the same stopping rule until it reaches the
+    // same bound. Both sides share the round-loop driver and the
+    // per-cell demand streams, so the speedup column is the pure
+    // sampling-efficiency factor of posterior-driven allocation — the
+    // CI gate checks >= 3x.
+    {
+        // The committed scenarios/adaptive_confidence.toml workload,
+        // reconstructed inline so the binary has no file dependency.
+        let spec_text = r#"
+name = "adaptive-confidence-bench"
+
+[seed]
+seed = 4242
+
+[experiment.AdaptivePfd]
+cells = 24
+
+[experiment.AdaptivePfd.model.Params]
+ps = [0.3, 0.18]
+qs = [0.004, 0.03]
+
+[experiment.AdaptivePfd.refinement]
+confidence = 0.99
+target_width = 0.002
+initial_demands = 4800
+round_demands = 9600
+max_rounds = 40
+"#;
+        let scenario = Scenario::from_spec_text(spec_text).expect("adaptive spec parses");
+        // Sanity: the adaptive loop is bit-identical at any thread
+        // count before anything is measured.
+        let one = scenario.run(1).expect("1-thread adaptive run");
+        let many = scenario
+            .run(default_sweep_threads())
+            .expect("threaded adaptive run");
+        assert_eq!(
+            format!("{one:?}"),
+            format!("{many:?}"),
+            "sweep/adaptive: outcome depends on thread count"
+        );
+        let model = Arc::new(
+            FaultModel::from_params(&[0.3, 0.18], &[0.004, 0.03]).expect("valid parameters"),
+        );
+        // Same stopping rule for both sides; the uniform baseline needs
+        // a generous round cap to reach the bound at all.
+        let refinement = RefinementSpec {
+            confidence: 0.99,
+            target_width: 0.002,
+            initial_demands: 4800,
+            round_demands: 9600,
+            max_rounds: 400,
+        };
+        let adaptive = drive(
+            Arc::clone(&model),
+            4242,
+            24,
+            &refinement,
+            AllocationStrategy::PosteriorDriven,
+            adaptive_exec,
+        )
+        .expect("adaptive drive");
+        let uniform = drive(
+            model,
+            4242,
+            24,
+            &refinement,
+            AllocationStrategy::Uniform,
+            adaptive_exec,
+        )
+        .expect("uniform drive");
+        assert!(adaptive.converged, "adaptive loop did not converge");
+        assert!(uniform.converged, "uniform baseline did not converge");
+        let c = Comparison {
+            name: "sweep/adaptive_vs_fixed_samples_to_bound".into(),
+            legacy_ns: uniform.total_demands as f64,
+            fast_ns: adaptive.total_demands as f64,
+        };
+        println!(
+            "{:<44} {:>10.0} -> {:>9.0} samples  ({:.2}x)",
+            c.name,
+            c.legacy_ns,
+            c.fast_ns,
+            c.speedup()
+        );
+        results.push(c);
+    }
+
+    // --- protection/markov_sparse: 16M cells on demand -----------------
+    // The sparse on-demand compiler: a 4096 x 4096 plant (16,777,216
+    // cells — four times past the eager compiler's MAX_COMPILED_CELLS
+    // ceiling) rides the compiled analytic fast path, with only the
+    // states the walk actually visits ever compiled. The legacy side is
+    // the PR 1 tick loop; the sparse backend is first asserted
+    // bit-identical to the eager compiler on a small both-backends
+    // space.
+    {
+        let regions = vec![Region::rect(0, 0, 2, 2), Region::rect(1, 1, 3, 3)];
+        let channels = || {
+            vec![
+                Channel::new("A", ProgramVersion::new(vec![true, false])),
+                Channel::new("B", ProgramVersion::new(vec![false, true])),
+            ]
+        };
+        // Identity gate: both backends exist for a small space and must
+        // produce the same bits for the same seed.
+        let small = GridSpace2D::new(64, 64).expect("valid space");
+        let small_map = FaultRegionMap::new(small, regions.clone()).expect("valid map");
+        let small_system = ProtectionSystem::new(channels(), Adjudicator::OneOutOfN, small_map)
+            .expect("valid system");
+        let small_plant =
+            Plant::markov_walk(small, Region::rect(0, 0, 4, 4), 2, 0.002).expect("valid plant");
+        let eager = CompiledPlant::compile_eager(&small_plant)
+            .expect("compilable")
+            .expect("markov plants compile");
+        let sparse = CompiledPlant::compile_sparse(&small_plant)
+            .expect("compilable")
+            .expect("markov plants compile");
+        assert!(!eager.is_sparse() && sparse.is_sparse());
+        for seed in 900u64..910 {
+            let mut rng_e = StdRng::seed_from_u64(seed);
+            let mut rng_s = StdRng::seed_from_u64(seed);
+            let e = simulation::run_compiled(&eager, &small_system, 50_000, &mut rng_e)
+                .expect("eager runs");
+            let s = simulation::run_compiled(&sparse, &small_system, 50_000, &mut rng_s)
+                .expect("sparse runs");
+            assert_eq!(
+                format!("{e:?}"),
+                format!("{s:?}"),
+                "sparse backend diverged from the eager compiler at seed {seed}"
+            );
+        }
+
+        let space = GridSpace2D::new(4096, 4096).expect("valid space");
+        let map = FaultRegionMap::new(space, regions).expect("valid map");
+        let system =
+            ProtectionSystem::new(channels(), Adjudicator::OneOutOfN, map).expect("valid system");
+        let plant =
+            Plant::markov_walk(space, Region::rect(0, 0, 4, 4), 2, 0.002).expect("valid plant");
+        let compiled = CompiledPlant::compile(&plant)
+            .expect("compilable")
+            .expect("markov plants compile");
+        assert!(
+            compiled.is_sparse(),
+            "a 16.7M-cell space must take the sparse path"
+        );
+        let steps = 400_000u64;
+        let mut seed_l = 900u64;
+        let mut seed_f = 900u64;
+        let c = Comparison::measure(
+            "protection/markov_sparse/16M_cells",
+            || {
+                seed_l += 1;
+                let mut rng = StdRng::seed_from_u64(seed_l);
+                black_box(
+                    simulation::run_stepwise(&plant, &system, steps, &mut rng).expect("runs"),
+                );
+            },
+            || {
+                seed_f += 1;
+                let mut rng = StdRng::seed_from_u64(seed_f);
+                black_box(
+                    simulation::run_compiled(&compiled, &system, steps, &mut rng).expect("runs"),
+                );
+            },
+        );
+        println!(
+            "{:<44} {:>10.1} -> {:>9.1} ns  ({:.2}x)",
+            c.name,
+            c.legacy_ns,
+            c.fast_ns,
+            c.speedup()
+        );
+        println!(
+            "{:<44} {} of {} states compiled ({:.5}% occupancy)",
+            "  sparse backend",
+            compiled.compiled_states(),
+            compiled.states(),
+            compiled.occupancy() * 100.0
+        );
+        results.push(c);
+    }
+
+    let json = to_json(10, &results);
     std::fs::write(&out_path, &json).expect("write bench export");
     println!("\nwrote {out_path}");
     let below: Vec<&Comparison> = results.iter().filter(|c| c.speedup() < 5.0).collect();

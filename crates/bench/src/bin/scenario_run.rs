@@ -39,6 +39,15 @@
 //!   coordinator stop dead after its `K`-th journal append — the
 //!   crash/resume rehearsal the CI chaos job runs.
 //!
+//! An `AdaptivePfd` spec is a round *loop*, not one grid:
+//! `--coordinator N` runs it through the adaptive coordinator, which
+//! pins each posterior-derived round into the spec and leases it out
+//! like any committed grid (spawned fleets respawn per round; `--bind`
+//! re-listens per round, which `--persist` workers ride out). Journals
+//! are per round (`PATH.r<round>`), and `--resume` replays complete
+//! rounds from them, finishes the interrupted one, and re-derives every
+//! allocation — bit-identical to an uninterrupted run.
+//!
 //! `--worker ... --persist` keeps a TCP worker alive across
 //! coordinators: after each run it reconnects and serves the next one,
 //! keeping its compiled-spec cache warm — a v3 coordinator re-running
@@ -49,9 +58,10 @@
 
 use divrel_bench::context::default_sweep_threads;
 use divrel_bench::dist::{
-    default_worker_threads, spawn_stdio_fleet, Coordinator, FaultPlan, JsonLines, StdioFleet,
-    Transport, Worker,
+    default_worker_threads, spawn_stdio_fleet, AdaptiveCoordinator, Coordinator, FaultPlan,
+    JsonLines, StdioFleet, Transport, Worker,
 };
+use divrel_bench::scenario::{ExperimentSpec, ScenarioOutcome};
 use divrel_bench::{Context, Scenario};
 use divrel_report::{ArtifactSink, ScenarioCard};
 use std::net::{TcpListener, TcpStream};
@@ -480,6 +490,14 @@ fn accept_tcp_workers(addr: &str, n: usize) -> Result<Vec<Box<dyn Transport>>, S
 }
 
 fn run_coordinator(args: &Args, scenario: Scenario, workers: usize) -> Result<(), String> {
+    // An un-pinned adaptive spec is a round *loop*, not one grid — it
+    // distributes round by round through its own coordinator.
+    if matches!(
+        &scenario.experiment,
+        ExperimentSpec::AdaptivePfd { round: None, .. }
+    ) {
+        return run_adaptive_coordinator(args, scenario, workers);
+    }
     let mut coordinator = Coordinator::new(scenario.clone())
         .map_err(|e| format!("cannot compile scenario for distribution: {e}"))?;
     if let Some(cells) = args.lease_cells {
@@ -589,6 +607,102 @@ fn run_coordinator(args: &Args, scenario: Scenario, workers: usize) -> Result<()
             "check passed: fleet outcome is bit-identical to the in-process run \
              ({} workers, {} leases, {} retried, {} timed out)",
             run.stats.workers, run.stats.leases, run.stats.retries, run.stats.timeouts
+        );
+    }
+    write_artifacts(args, &scenario, &card)
+}
+
+/// Coordinates an adaptive round loop over per-round worker fleets:
+/// each round the posterior-derived allocation is pinned into the spec
+/// and leased out like any committed grid. Spawned stdio fleets are
+/// respawned per round (workers exit on `Done`); with `--bind`, the
+/// listener re-opens each round and `--persist` workers reconnect to
+/// it, keeping their compiled-spec caches warm.
+fn run_adaptive_coordinator(args: &Args, scenario: Scenario, workers: usize) -> Result<(), String> {
+    let mut coordinator = AdaptiveCoordinator::new(scenario.clone())
+        .map_err(|e| format!("cannot compile scenario for distribution: {e}"))?;
+    if let Some(cells) = args.lease_cells {
+        coordinator = coordinator.lease_cells(cells);
+    }
+    if let Some(ms) = args.lease_timeout_ms {
+        coordinator = coordinator.lease_timeout(Duration::from_millis(ms));
+    }
+    if let Some(path) = &args.journal {
+        let path = Path::new(path);
+        coordinator = if args.resume {
+            eprintln!("resuming per-round journals under {}", path.display());
+            coordinator.resume(path)
+        } else {
+            coordinator.journal(path)
+        };
+    }
+    if let Some(k) = args.chaos_exit_after {
+        coordinator = coordinator.halt_after_journal_appends(k);
+        eprintln!("chaos: the first round to reach {k} journal append(s) halts the loop");
+    }
+    eprintln!(
+        "coordinating adaptive scenario {:?} (seed {}) over {workers} worker(s) per round…",
+        scenario.name, scenario.seed.seed,
+    );
+    let fleet_threads = args.threads.unwrap_or_else(default_worker_threads);
+    let extra = match &args.chaos {
+        Some(map) => parse_chaos(map, workers)?,
+        None => Vec::new(),
+    };
+    let mut children = Vec::new();
+    let started = std::time::Instant::now();
+    let run = coordinator.run(|round| match &args.bind {
+        Some(addr) => Ok(accept_tcp_workers(addr, workers)?),
+        None => {
+            eprintln!("round {round}: spawning {workers} local worker(s)…");
+            let fleet = spawn_local_workers(workers, fleet_threads, &extra)?;
+            children.extend(fleet.children);
+            Ok(fleet.transports)
+        }
+    });
+    for child in &mut children {
+        // Workers exit on Done/EOF; reap them so none outlive the run.
+        let _ = child.wait();
+    }
+    let run = run.map_err(|e| format!("distributed adaptive run failed: {e}"))?;
+    let elapsed = started.elapsed();
+    let outcome = ScenarioOutcome::Adaptive(run.outcome);
+    let mut card = outcome.card(&scenario.name);
+    if let Ok(canonical) = scenario.to_toml() {
+        card.provenance("spec hash", divrel_bench::dist::spec_hash(&canonical));
+    }
+    card.provenance("workers", format!("{workers} per round"));
+    for (i, stats) in run.rounds.iter().enumerate() {
+        let mut note = format!(
+            "{} workers, {} leases ({} retried, {} timed out), {} cells",
+            stats.workers, stats.leases, stats.retries, stats.timeouts, stats.cells
+        );
+        if stats.resumed_from_journal {
+            note.push_str(&format!(", {} cell(s) from journal", stats.resumed_cells));
+        }
+        card.provenance(format!("round {i} fleet"), note);
+    }
+    println!("{}", card.to_markdown());
+    eprintln!("completed in {:.2}s", elapsed.as_secs_f64());
+
+    if args.check_single {
+        eprintln!("re-running in process for the bit-identity check…");
+        let single = scenario
+            .run(args.threads.unwrap_or_else(default_sweep_threads))
+            .map_err(|e| format!("in-process check run failed: {e}"))?;
+        let dist_md = outcome.card(&scenario.name).results_markdown();
+        let single_md = single.card(&scenario.name).results_markdown();
+        if single != outcome || dist_md != single_md {
+            return Err(format!(
+                "BIT-IDENTITY VIOLATION: adaptive coordinator outcome differs from \
+                 the in-process run of the same spec\n--- distributed ---\n{dist_md}\n\
+                 --- in-process ---\n{single_md}"
+            ));
+        }
+        eprintln!(
+            "check passed: adaptive fleet outcome is bit-identical to the in-process \
+             run ({} round(s))",
+            run.rounds.len()
         );
     }
     write_artifacts(args, &scenario, &card)

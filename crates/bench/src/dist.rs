@@ -59,8 +59,10 @@ pub use chaos::{Fault, FaultPlan};
 pub use framing::FramingMode;
 pub use journal::{Journal, JournalError, JournalLoad};
 
+use crate::adaptive::{drive, AdaptiveOutcome, AllocationStrategy, RoundPlan};
 use crate::scenario::{CampaignRuntime, ExperimentSpec, Scenario, ScenarioOutcome, ScenarioResult};
 use crate::sweep::{forced_cell, forced_grid, kl_cell, kl_grid, ForcedSweepStats, KlSweepStats};
+use divrel_devsim::adaptive::{AdaptivePfdRuntime, CellEvidence};
 use divrel_devsim::experiment::{run_cell as mc_cell, McAccumulator, MonteCarloExperiment};
 use divrel_devsim::factory::VersionFactory;
 use divrel_devsim::rare::{RareAccumulator, RareEventExperiment};
@@ -474,6 +476,12 @@ fn decode_cell<'w>(wire: &'w Wire, want: &str) -> Result<&'w Wire, WireError> {
 /// | `MonteCarlo` | ≤ 2048 sampled pairs | [`McAccumulator`] |
 /// | `Protection` | one campaign shard of one system | [`OperationLog`] |
 /// | `RareEvent` | ≤ 4096 weighted/stratified draws | [`RareAccumulator`] |
+/// | `AdaptivePfd` (pinned round) | one cell's round demands | [`CellEvidence`] |
+///
+/// An `AdaptivePfd` spec is distributable **one pinned round at a
+/// time** (`round = Some`): the round loop itself lives in
+/// [`AdaptiveCoordinator`], which pins each derived round and runs it
+/// through an ordinary [`Coordinator`].
 pub struct DistJob {
     scenario: Scenario,
     threads: usize,
@@ -491,6 +499,13 @@ enum Plan {
     Mc(Box<McPlan>),
     Protection(Box<CampaignRuntime>),
     Rare(Box<RarePlan>),
+    Adaptive(Box<AdaptiveRoundJob>),
+}
+
+struct AdaptiveRoundJob {
+    runtime: AdaptivePfdRuntime,
+    round: u32,
+    allocations: Vec<u64>,
 }
 
 struct McPlan {
@@ -559,6 +574,23 @@ impl DistJob {
                 let grid = exp.grid_spec().grid(seed);
                 Plan::Rare(Box::new(RarePlan { exp, grid }))
             }
+            ExperimentSpec::AdaptivePfd {
+                model,
+                cells,
+                round,
+                ..
+            } => {
+                let plan = round.as_ref().ok_or(
+                    "AdaptivePfd distributes one pinned round at a time; this spec \
+                     has no round plan — run the round loop through AdaptiveCoordinator",
+                )?;
+                let runtime = AdaptivePfdRuntime::new(Arc::new(model.build()?), seed, *cells)?;
+                Plan::Adaptive(Box::new(AdaptiveRoundJob {
+                    runtime,
+                    round: plan.round,
+                    allocations: plan.allocations.clone(),
+                }))
+            }
         };
         Ok(DistJob {
             scenario,
@@ -580,6 +612,7 @@ impl DistJob {
             Plan::Mc(mc) => mc.grid.len() as u64,
             Plan::Protection(rt) => rt.cell_count(),
             Plan::Rare(rare) => rare.grid.len() as u64,
+            Plan::Adaptive(ad) => ad.allocations.len() as u64,
         }
     }
 
@@ -623,6 +656,20 @@ impl DistJob {
                     Ok(rare.exp.run_cell(cell.config, cell.seed))
                 })
             }
+            Plan::Adaptive(ad) => {
+                let cells: Vec<SweepCell<u64>> = (range.start
+                    ..range.end.min(ad.allocations.len() as u64))
+                    .map(|k| SweepCell {
+                        index: k,
+                        seed: 0,
+                        config: k,
+                    })
+                    .collect();
+                collect_cells(&cells, self.threads, "adaptive", |cell| {
+                    let c = cell.config as usize;
+                    Ok::<_, String>(ad.runtime.run_cell(c, ad.allocations[c], ad.round))
+                })
+            }
         }
     }
 
@@ -650,6 +697,9 @@ impl DistJob {
             }
             Plan::Rare(_) => {
                 RareAccumulator::from_wire(decode_cell(wire, "rare")?)?;
+            }
+            Plan::Adaptive(_) => {
+                CellEvidence::from_wire(decode_cell(wire, "adaptive")?)?;
             }
         }
         Ok(())
@@ -696,6 +746,18 @@ impl DistJob {
                 let acc = fold_cells::<RareAccumulator>(cells, "rare")?
                     .ok_or("rare-event grid reduced to nothing")?;
                 Ok(ScenarioOutcome::RareEvent(rare.exp.finish(acc)?))
+            }
+            Plan::Adaptive(ad) => {
+                let evidence = cells
+                    .iter()
+                    .map(|w| Ok(CellEvidence::from_wire(decode_cell(w, "adaptive")?)?))
+                    .collect::<ScenarioResult<Vec<_>>>()?;
+                Ok(ScenarioOutcome::AdaptiveRound(
+                    crate::adaptive::AdaptiveRoundOutcome {
+                        round: ad.round,
+                        evidence,
+                    },
+                ))
             }
         }
     }
@@ -1543,6 +1605,210 @@ fn halt_message(c: &Coordinator) -> String {
         "chaos halt: coordinator stopped after {} journal append(s)",
         c.halt_after_appends.unwrap_or(0)
     )
+}
+
+/// A distributed adaptive sweep: the full round-loop outcome plus one
+/// [`DistStats`] per round the fleet executed.
+#[derive(Debug)]
+pub struct AdaptiveDistRun {
+    /// The reduced outcome — bit-identical to [`Scenario::run`] on the
+    /// same (un-pinned) spec.
+    pub outcome: AdaptiveOutcome,
+    /// Per-round fleet provenance, round order.
+    pub rounds: Vec<DistStats>,
+}
+
+/// Runs an `AdaptivePfd` round loop over worker fleets: each round the
+/// coordinator derives the allocation from the accumulated posteriors
+/// (a pure function of evidence — nothing but the pinned round plan
+/// ever travels), pins it into the spec, and executes it through an
+/// ordinary [`Coordinator`]. Journaling is per round
+/// (`<path>.r<round>`), so a killed loop resumes mid-round: complete
+/// rounds preload entirely from their journals, the interrupted round
+/// finishes from its partial journal, and later rounds run fresh.
+///
+/// Because each round's evidence is a pure function of `(spec, round)`
+/// and each allocation a pure function of the evidence, the reduced
+/// outcome is bit-identical to the in-process driver for any fleet
+/// shape, lease layout, or crash/resume history.
+pub struct AdaptiveCoordinator {
+    scenario: Scenario,
+    lease_cells: Option<u64>,
+    lease_timeout: Option<Duration>,
+    journal: Option<std::path::PathBuf>,
+    resume: bool,
+    halt_after_appends: Option<u64>,
+}
+
+/// Round `round`'s journal file under the loop's base journal path.
+pub fn round_journal_path(base: &Path, round: u32) -> std::path::PathBuf {
+    std::path::PathBuf::from(format!("{}.r{round}", base.display()))
+}
+
+impl AdaptiveCoordinator {
+    /// Wraps an **un-pinned** `AdaptivePfd` scenario for distributed
+    /// round-loop execution.
+    ///
+    /// # Errors
+    ///
+    /// Spec validation errors; a non-adaptive spec; a spec already
+    /// pinned to one round (run that through [`Coordinator`] directly).
+    pub fn new(scenario: Scenario) -> ScenarioResult<Self> {
+        scenario.validate()?;
+        match &scenario.experiment {
+            ExperimentSpec::AdaptivePfd { round: None, .. } => {}
+            ExperimentSpec::AdaptivePfd { round: Some(_), .. } => {
+                return Err("AdaptiveCoordinator runs the whole round loop; this spec \
+                     pins one round — run it through Coordinator directly"
+                    .into());
+            }
+            _ => return Err("AdaptiveCoordinator needs an AdaptivePfd scenario".into()),
+        }
+        Ok(AdaptiveCoordinator {
+            scenario,
+            lease_cells: None,
+            lease_timeout: None,
+            journal: None,
+            resume: false,
+            halt_after_appends: None,
+        })
+    }
+
+    /// Base lease granularity of every round's coordinator (see
+    /// [`Coordinator::lease_cells`]).
+    #[must_use]
+    pub fn lease_cells(mut self, cells: u64) -> Self {
+        self.lease_cells = Some(cells);
+        self
+    }
+
+    /// Per-lease deadline of every round's coordinator (see
+    /// [`Coordinator::lease_timeout`]).
+    #[must_use]
+    pub fn lease_timeout(mut self, timeout: Duration) -> Self {
+        self.lease_timeout = Some(timeout);
+        self
+    }
+
+    /// Attaches fresh per-round write-ahead journals: round `r` of the
+    /// loop journals to [`round_journal_path`]`(path, r)`.
+    #[must_use]
+    pub fn journal(mut self, path: &Path) -> Self {
+        self.journal = Some(path.to_path_buf());
+        self.resume = false;
+        self
+    }
+
+    /// Resumes a killed round loop from its per-round journals under
+    /// `path`: rounds whose journal files exist resume them (complete
+    /// rounds preload entirely, partial rounds finish), rounds without
+    /// one journal fresh. The loop re-derives every allocation from the
+    /// replayed evidence, so the resumed run is bit-identical to an
+    /// uninterrupted one.
+    #[must_use]
+    pub fn resume(mut self, path: &Path) -> Self {
+        self.journal = Some(path.to_path_buf());
+        self.resume = true;
+        self
+    }
+
+    /// Chaos knob, applied to every round's coordinator: the first
+    /// round to reach `n` journal appends halts the loop there (see
+    /// [`Coordinator::halt_after_journal_appends`]).
+    #[must_use]
+    pub fn halt_after_journal_appends(mut self, n: u64) -> Self {
+        self.halt_after_appends = Some(n);
+        self
+    }
+
+    /// The wrapped scenario.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Runs the round loop to completion. `fleet(round)` supplies the
+    /// worker transports for each round — fleets are per round because
+    /// stdio workers exit on `Done` (persistent TCP workers simply
+    /// reconnect between rounds).
+    ///
+    /// # Errors
+    ///
+    /// Spec/model errors, fleet assembly errors, and everything
+    /// [`Coordinator::run`] reports (including the chaos halt).
+    pub fn run<F>(&self, mut fleet: F) -> ScenarioResult<AdaptiveDistRun>
+    where
+        F: FnMut(u32) -> ScenarioResult<Vec<Box<dyn Transport>>>,
+    {
+        let ExperimentSpec::AdaptivePfd {
+            model,
+            cells,
+            refinement,
+            ..
+        } = &self.scenario.experiment
+        else {
+            return Err("AdaptiveCoordinator needs an AdaptivePfd scenario".into());
+        };
+        let built = Arc::new(model.build()?);
+        let mut round_stats: Vec<DistStats> = Vec::new();
+        let outcome = drive(
+            built,
+            self.scenario.seed.seed,
+            *cells,
+            refinement,
+            AllocationStrategy::PosteriorDriven,
+            |_runtime, round, allocations| {
+                let mut pinned = self.scenario.clone();
+                let ExperimentSpec::AdaptivePfd { round: slot, .. } = &mut pinned.experiment else {
+                    unreachable!("the constructor admitted only AdaptivePfd");
+                };
+                *slot = Some(RoundPlan {
+                    round,
+                    allocations: allocations.to_vec(),
+                });
+                let mut coordinator = Coordinator::new(pinned)?;
+                if let Some(lc) = self.lease_cells {
+                    coordinator = coordinator.lease_cells(lc);
+                }
+                if let Some(lt) = self.lease_timeout {
+                    coordinator = coordinator.lease_timeout(lt);
+                }
+                let mut fully_resumed = false;
+                if let Some(base) = &self.journal {
+                    let path = round_journal_path(base, round);
+                    coordinator = if self.resume && path.exists() {
+                        let c = coordinator.resume(&path)?;
+                        fully_resumed = c.resumed.len() as u64 == c.job.cell_count();
+                        c
+                    } else {
+                        coordinator.journal(&path)?
+                    };
+                }
+                if let Some(n) = self.halt_after_appends {
+                    coordinator = coordinator.halt_after_journal_appends(n);
+                }
+                // A fully-journaled round needs no fleet: every cell
+                // preloads and the run completes without one lease.
+                let workers = if fully_resumed {
+                    Vec::new()
+                } else {
+                    fleet(round)?
+                };
+                let run = coordinator.run(workers)?;
+                round_stats.push(run.stats);
+                match run.outcome {
+                    ScenarioOutcome::AdaptiveRound(r) => Ok(r.evidence),
+                    other => Err(format!(
+                        "adaptive round {round} reduced to a non-round outcome: {other:?}"
+                    )
+                    .into()),
+                }
+            },
+        )?;
+        Ok(AdaptiveDistRun {
+            outcome,
+            rounds: round_stats,
+        })
+    }
 }
 
 /// The contiguous runs of unfilled cells, chunked to the lease size.

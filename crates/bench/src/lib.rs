@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod adaptive;
 pub mod context;
 pub mod dist;
 pub mod experiments;

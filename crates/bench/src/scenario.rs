@@ -47,11 +47,15 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use crate::adaptive::{
+    drive, AdaptiveOutcome, AdaptiveRoundOutcome, AllocationStrategy, RefinementSpec, RoundPlan,
+};
 use crate::context::Context;
 use crate::sweep::{forced_sweep, kl_sweep, ForcedSweepStats, KlSweepStats};
 use divrel_demand::region::Region;
 use divrel_demand::space::GridSpace2D;
 use divrel_demand::version::ProgramVersion;
+use divrel_devsim::adaptive::{AdaptivePfdRuntime, CellEvidence};
 use divrel_devsim::experiment::{ExperimentResult, MonteCarloExperiment};
 use divrel_devsim::factory::VersionFactory;
 use divrel_devsim::process::FaultIntroduction;
@@ -133,6 +137,23 @@ pub enum ExperimentSpec {
         samples: usize,
         /// Which estimator to run.
         estimator: EstimatorSpec,
+    },
+    /// The posterior-driven adaptive sweep: a grid of sampled versions
+    /// assessed by rounds of demand trials, each round's budget leased
+    /// to the cells with the widest posterior credible intervals, until
+    /// every cell's bound closes (see [`crate::adaptive`]).
+    AdaptivePfd {
+        /// The fault model versions are sampled from.
+        model: FaultModelSpec,
+        /// Number of grid cells (sampled versions).
+        cells: usize,
+        /// The stopping rule and round budgets.
+        refinement: RefinementSpec,
+        /// When present, pins the spec to **one** round of that plan:
+        /// the execution form the distributed runtime leases out
+        /// (committed spec files leave it absent — the round loop
+        /// derives each plan from the accumulated evidence).
+        round: Option<RoundPlan>,
     },
 }
 
@@ -249,6 +270,27 @@ impl Scenario {
                 let shared = model.build_shared()?;
                 RareEventExperiment::from_shared(&shared, *channels, *k, estimator.to_estimator())?;
             }
+            ExperimentSpec::AdaptivePfd {
+                model,
+                cells,
+                refinement,
+                round,
+            } => {
+                if *cells == 0 {
+                    return Err("AdaptivePfd needs >= 1 cell".into());
+                }
+                refinement.validate()?;
+                reject_shared_cause(model, "AdaptivePfd")?;
+                if let Some(plan) = round {
+                    if plan.allocations.len() != *cells {
+                        return Err(format!(
+                            "AdaptivePfd round plan has {} allocations, want one per cell ({cells})",
+                            plan.allocations.len()
+                        )
+                        .into());
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -313,6 +355,38 @@ impl Scenario {
                 .threads(threads)
                 .run()?;
                 Ok(ScenarioOutcome::RareEvent(outcome))
+            }
+            ExperimentSpec::AdaptivePfd {
+                model,
+                cells,
+                refinement,
+                round,
+            } => {
+                let built = Arc::new(model.build()?);
+                match round {
+                    Some(plan) => {
+                        let runtime = AdaptivePfdRuntime::new(built, self.seed.seed, *cells)?;
+                        let evidence =
+                            run_adaptive_round(&runtime, plan.round, &plan.allocations, threads)?;
+                        Ok(ScenarioOutcome::AdaptiveRound(AdaptiveRoundOutcome {
+                            round: plan.round,
+                            evidence,
+                        }))
+                    }
+                    None => {
+                        let outcome = drive(
+                            built,
+                            self.seed.seed,
+                            *cells,
+                            refinement,
+                            AllocationStrategy::PosteriorDriven,
+                            |runtime, round, allocations| {
+                                run_adaptive_round(runtime, round, allocations, threads)
+                            },
+                        )?;
+                        Ok(ScenarioOutcome::Adaptive(outcome))
+                    }
+                }
             }
         }
     }
@@ -383,6 +457,11 @@ pub enum ScenarioOutcome {
     Protection(CampaignOutcome),
     /// Rare-event estimation outcome.
     RareEvent(RareOutcome),
+    /// Adaptive-sweep outcome (the full round loop).
+    Adaptive(AdaptiveOutcome),
+    /// One pinned round of an adaptive sweep (evidence only — the
+    /// execution form the distributed runtime reduces per round).
+    AdaptiveRound(AdaptiveRoundOutcome),
 }
 
 impl ScenarioOutcome {
@@ -422,6 +501,22 @@ impl ScenarioOutcome {
     pub fn as_rare_event(&self) -> Option<&RareOutcome> {
         match self {
             ScenarioOutcome::RareEvent(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The adaptive-sweep outcome, if applicable.
+    pub fn as_adaptive(&self) -> Option<&AdaptiveOutcome> {
+        match self {
+            ScenarioOutcome::Adaptive(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The pinned-round outcome, if applicable.
+    pub fn as_adaptive_round(&self) -> Option<&AdaptiveRoundOutcome> {
+        match self {
+            ScenarioOutcome::AdaptiveRound(r) => Some(r),
             _ => None,
         }
     }
@@ -523,6 +618,56 @@ impl ScenarioOutcome {
                     .field("std error", sig(r.std_error, 4))
                     .field("relative error", sig(r.relative_error, 4))
                     .field("effective sample size", sig(r.ess, 4));
+            }
+            ScenarioOutcome::Adaptive(a) => {
+                card.field("cells", a.cells.len().to_string())
+                    .field("confidence", sig(a.confidence, 4))
+                    .field("target width", sig(a.target_width, 4))
+                    .field("rounds", a.rounds.len().to_string())
+                    .field("total demands", a.total_demands.to_string())
+                    .field("converged", a.converged.to_string());
+                let mut t = Table::new([
+                    "cell",
+                    "true PFD",
+                    "demands",
+                    "failures",
+                    "posterior mean",
+                    "credible interval",
+                    "width",
+                ]);
+                for (c, cell) in a.cells.iter().enumerate() {
+                    t.row([
+                        c.to_string(),
+                        sig(cell.true_pfd, 4),
+                        cell.demands.to_string(),
+                        cell.failures.to_string(),
+                        sig(cell.posterior_mean, 4),
+                        format!("[{}, {}]", sig(cell.lower, 4), sig(cell.upper, 4)),
+                        sig(cell.width, 4),
+                    ]);
+                }
+                card.table("cells", t);
+                // Every round's allocation is provenance: how the
+                // posterior steered the budget, replayable from the
+                // spec alone.
+                for r in &a.rounds {
+                    card.provenance(
+                        format!("round {}", r.round),
+                        format!(
+                            "{}; max width {}",
+                            r.allocation_summary(),
+                            sig(r.max_width, 4)
+                        ),
+                    );
+                }
+            }
+            ScenarioOutcome::AdaptiveRound(r) => {
+                let demands: u64 = r.evidence.iter().map(|e| e.demands).sum();
+                let failures: u64 = r.evidence.iter().map(|e| e.failures).sum();
+                card.field("round", r.round.to_string())
+                    .field("cells", r.evidence.len().to_string())
+                    .field("demands", demands.to_string())
+                    .field("failures", failures.to_string());
             }
         }
         card
@@ -808,6 +953,47 @@ fn run_campaign(spec: &CampaignSpec, seed: u64, threads: usize) -> ScenarioResul
     runtime.finish(logs)
 }
 
+/// Evaluates one adaptive round in process: every cell through
+/// [`AdaptivePfdRuntime::run_cell`] with up to `threads` work-stealing
+/// workers, reduced in cell order. Cells with a zero allocation still
+/// occupy their slot (empty evidence), so the result is always one
+/// entry per cell. Bit-identical at any thread count, and to any
+/// coordinator/worker execution of the same pinned round.
+fn run_adaptive_round(
+    runtime: &AdaptivePfdRuntime,
+    round: u32,
+    allocations: &[u64],
+    threads: usize,
+) -> ScenarioResult<Vec<CellEvidence>> {
+    if allocations.len() != runtime.cells() {
+        return Err(format!(
+            "adaptive round {round} has {} allocations, want one per cell ({})",
+            allocations.len(),
+            runtime.cells()
+        )
+        .into());
+    }
+    let cells: Vec<SweepCell<u64>> = (0..runtime.cells() as u64)
+        .map(|c| SweepCell {
+            index: c,
+            // Adaptive cells derive their streams from the round-salted
+            // split layout, not from the engine's seed field — the cell
+            // carries its index only so the engine can order results.
+            seed: 0,
+            config: c,
+        })
+        .collect();
+    let results = run_cells(&cells, threads, |cell| {
+        let c = cell.config as usize;
+        Ok::<_, String>(runtime.run_cell(c, allocations[c], round))
+    });
+    let mut evidence = Vec::with_capacity(results.len());
+    for r in results {
+        evidence.push(r?);
+    }
+    Ok(evidence)
+}
+
 /// The built-in presets: each function re-expresses one hand-coded
 /// runner as a spec, scaled by the [`Context`] exactly as the registry
 /// entry scales itself.
@@ -1087,6 +1273,124 @@ mod tests {
             *estimator = EstimatorSpec::StratifyByCount { rounds: 2 };
             *channels = 15;
             *k = 1;
+        }
+        assert!(s.validate().is_err());
+    }
+
+    fn tiny_adaptive() -> Scenario {
+        Scenario {
+            name: "tiny-adaptive".into(),
+            seed: SeedSpec::new(29),
+            experiment: ExperimentSpec::AdaptivePfd {
+                model: FaultModelSpec::Uniform {
+                    n: 2,
+                    p: 0.25,
+                    q: 0.004,
+                },
+                cells: 12,
+                refinement: RefinementSpec {
+                    confidence: 0.99,
+                    target_width: 0.002,
+                    initial_demands: 1_800,
+                    round_demands: 6_000,
+                    max_rounds: 40,
+                },
+                round: None,
+            },
+        }
+    }
+
+    #[test]
+    fn adaptive_scenario_is_thread_invariant_and_round_trips() {
+        let s = tiny_adaptive();
+        s.validate().unwrap();
+        let toml = s.to_toml().unwrap();
+        assert_eq!(Scenario::from_spec_text(&toml).unwrap(), s, "TOML");
+        // The hidden round slot leaves the committed spec text clean.
+        assert!(
+            !toml.contains("round ="),
+            "round slot leaked into TOML:\n{toml}"
+        );
+        let json = s.to_json().unwrap();
+        assert_eq!(Scenario::from_spec_text(&json).unwrap(), s, "JSON");
+        let base = s.run(1).unwrap();
+        for threads in [2, 7] {
+            assert_eq!(
+                base,
+                s.run(threads).unwrap(),
+                "thread variance at {threads}"
+            );
+        }
+        let a = base.as_adaptive().unwrap();
+        assert!(a.converged);
+        assert!(
+            a.rounds.len() >= 2,
+            "refinement should take multiple rounds"
+        );
+        let md = base.card(&s.name).to_markdown();
+        assert!(md.contains("total demands"));
+        assert!(md.contains("credible interval"));
+        // Every round's allocation is in the provenance trail.
+        for r in 0..a.rounds.len() {
+            assert!(
+                md.contains(&format!("round {r}")),
+                "round {r} missing:\n{md}"
+            );
+        }
+    }
+
+    #[test]
+    fn pinned_rounds_run_and_round_trip() {
+        let mut s = tiny_adaptive();
+        if let ExperimentSpec::AdaptivePfd { round, .. } = &mut s.experiment {
+            *round = Some(RoundPlan {
+                round: 3,
+                allocations: (0..12).map(|c| (c % 4) * 100).collect(),
+            });
+        }
+        s.validate().unwrap();
+        let toml = s.to_toml().unwrap();
+        assert_eq!(Scenario::from_spec_text(&toml).unwrap(), s, "pinned TOML");
+        let base = s.run(1).unwrap();
+        assert_eq!(base, s.run(3).unwrap(), "pinned-round thread variance");
+        let r = base.as_adaptive_round().unwrap();
+        assert_eq!(r.round, 3);
+        assert_eq!(r.evidence.len(), 12);
+        for (c, ev) in r.evidence.iter().enumerate() {
+            assert_eq!(ev.demands, ((c as u64) % 4) * 100);
+        }
+    }
+
+    #[test]
+    fn adaptive_validation_rejects_bad_specs() {
+        let mut s = tiny_adaptive();
+        if let ExperimentSpec::AdaptivePfd { cells, .. } = &mut s.experiment {
+            *cells = 0;
+        }
+        assert!(s.validate().is_err());
+        let mut s = tiny_adaptive();
+        if let ExperimentSpec::AdaptivePfd { refinement, .. } = &mut s.experiment {
+            refinement.confidence = 0.3;
+        }
+        assert!(s.validate().is_err());
+        let mut s = tiny_adaptive();
+        if let ExperimentSpec::AdaptivePfd { round, .. } = &mut s.experiment {
+            *round = Some(RoundPlan {
+                round: 0,
+                allocations: vec![5; 3], // wrong length
+            });
+        }
+        assert!(s.validate().is_err());
+        let mut s = tiny_adaptive();
+        if let ExperimentSpec::AdaptivePfd { model, .. } = &mut s.experiment {
+            *model = FaultModelSpec::SharedCause {
+                beta: 0.1,
+                base: Box::new(FaultModelSpec::Uniform {
+                    n: 2,
+                    p: 0.2,
+                    q: 0.01,
+                }),
+            };
         }
         assert!(s.validate().is_err());
     }

@@ -29,6 +29,10 @@
 //!   SplitMix64 stream splitting, executed by work-stealing workers and
 //!   reduced in canonical cell order, so every sweep statistic is
 //!   bit-identical across thread counts;
+//! * [`adaptive`] — the cell layer of posterior-driven adaptive sweeps:
+//!   grids of sampled versions exposed to per-round Bernoulli demand
+//!   trials on round-salted split streams, with the uniform and
+//!   width-proportional budget allocators;
 //! * [`kl`] — a synthetic replication of the Knight–Leveson experiment
 //!   (27 versions, all pairs) used by §7's qualitative check that
 //!   diversity shrinks both the sample mean *and* the sample standard
@@ -52,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod adaptive;
 pub mod error;
 pub mod experiment;
 pub mod factory;

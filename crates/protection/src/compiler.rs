@@ -26,21 +26,49 @@
 //! ticks per operating point does `~p · steps` iterations instead of
 //! `steps`.
 //!
+//! Two backends share the per-state algebra:
+//!
+//! * **Eager** (spaces up to [`MAX_COMPILED_CELLS`]): every state is
+//!   compiled up front into flat arrays — the densest, fastest layout
+//!   when the whole space fits.
+//! * **Sparse** (spaces up to [`MAX_SPARSE_CELLS`]): states are compiled
+//!   **on first visit** into a hash-indexed table behind a mutex, with
+//!   one reusable [`RowScratch`](crate::plant::RowScratch) so the lazy
+//!   builds allocate nothing per probed row. A slow-mixing chain visits
+//!   a vanishing fraction of a 16M-cell space, so huge plants now ride
+//!   the analytic fast path instead of falling back to the tick loop.
+//!   [`CompiledPlant::occupancy`] reports the visited fraction.
+//!
+//! Both backends build their tables with the same functions from the
+//! same exact rows and consume identically many RNG draws, so for any
+//! plant the eager compiler accepts, sparse and eager runs are
+//! **bit-identical** (held to account by this module's tests and the
+//! `markov_sparse` bench row's pre-measure assertion).
+//!
 //! Plants whose law cannot be enumerated (the rate plant, or spaces
-//! beyond [`MAX_COMPILED_CELLS`]) are simply not compilable —
+//! beyond [`MAX_SPARSE_CELLS`]) are simply not compilable —
 //! [`CompiledPlant::compile`] returns `None` and the simulation driver
 //! degrades gracefully to the tick loop.
 
 use crate::error::ProtectionError;
-use crate::plant::Plant;
+use crate::plant::{Plant, RowScratch};
 use divrel_demand::space::{Demand, GridSpace2D};
 use rand::Rng;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
-/// Largest demand-space cell count the compiler will enumerate. Each
-/// cell stores a handful of floats plus its alias rows, so this bounds
-/// compile time and memory for pathological spaces; larger plants fall
-/// back to tick-by-tick simulation.
+/// Largest demand-space cell count the compiler will enumerate
+/// **eagerly**. Each cell stores a handful of floats plus its alias
+/// rows, so this bounds up-front compile time and memory; larger plants
+/// switch to the sparse on-demand backend instead of falling back to
+/// tick-by-tick simulation.
 pub const MAX_COMPILED_CELLS: usize = 1 << 22;
+
+/// Largest demand-space cell count the **sparse** backend accepts. The
+/// per-state tables are built lazily, so this bounds only the trip-set
+/// bitmap (one bit per cell) and the cell-index width, not compile
+/// time; beyond it plants are not compilable at all.
+pub const MAX_SPARSE_CELLS: usize = 1 << 28;
 
 /// What the compiled sampler produced for one request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,94 +115,152 @@ pub enum CompiledEvent {
 pub struct CompiledPlant {
     space: GridSpace2D,
     start: u32,
+    backend: Backend,
+}
+
+#[derive(Debug, Clone)]
+enum Backend {
+    Eager(EagerTables),
+    Sparse(SparseTables),
+}
+
+/// The dwell/branch parameters of one compiled state.
+#[derive(Debug, Clone, Copy)]
+struct StateParams {
     /// `1 − R(s, s)` with self-loops inside the trip set counted as
     /// exits (they are demands).
-    exit_prob: Vec<f64>,
+    exit_prob: f64,
     /// `1 / ln(R(s, s))` — the geometric dwell sampler's constant; `0.0`
     /// encodes "exit every tick" (no quiet self-loop mass).
-    inv_log_hold: Vec<f64>,
+    inv_log_hold: f64,
     /// `p_demand(s) / p_exit(s)`; meaningless (0) where `p_exit = 0`.
+    demand_given_exit: f64,
+}
+
+/// The eager backend: every state compiled up front into flat arrays.
+#[derive(Debug, Clone)]
+struct EagerTables {
+    exit_prob: Vec<f64>,
+    inv_log_hold: Vec<f64>,
     demand_given_exit: Vec<f64>,
     quiet_moves: AliasForest,
     demands: AliasForest,
 }
 
+/// The sparse backend: states compiled on first visit into a
+/// hash-indexed table. The mutex is taken once per **state change**
+/// (lookups amortise over the geometric dwell, not per tick), and the
+/// scratch buffers live inside it so concurrent shards share one set.
+struct SparseTables {
+    plant: Plant,
+    /// Bit per cell: is this cell a demand when entered? Same bitmap
+    /// the eager compiler builds, so trip classification is identical.
+    trip_bits: Vec<u64>,
+    inner: Mutex<SparseInner>,
+}
+
+struct SparseInner {
+    states: HashMap<u32, Arc<StateRow>>,
+    scratch: CompileScratch,
+}
+
+/// One lazily-compiled state: parameters plus its two alias rows.
+#[derive(Debug)]
+struct StateRow {
+    params: StateParams,
+    demand_cells: Box<[u32]>,
+    demand_accept: Box<[f64]>,
+    demand_alias: Box<[u32]>,
+    quiet_cells: Box<[u32]>,
+    quiet_accept: Box<[f64]>,
+    quiet_alias: Box<[u32]>,
+}
+
+impl std::fmt::Debug for SparseTables {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let compiled = self
+            .inner
+            .lock()
+            .expect("sparse compiler lock")
+            .states
+            .len();
+        f.debug_struct("SparseTables")
+            .field("compiled_states", &compiled)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clone for SparseTables {
+    fn clone(&self) -> Self {
+        let inner = self.inner.lock().expect("sparse compiler lock");
+        SparseTables {
+            plant: self.plant.clone(),
+            trip_bits: self.trip_bits.clone(),
+            inner: Mutex::new(SparseInner {
+                states: inner.states.clone(),
+                scratch: CompileScratch::default(),
+            }),
+        }
+    }
+}
+
 impl CompiledPlant {
     /// Compiles `plant`, or returns `None` when the plant does not expose
     /// an enumerable transition law (rate plants) or its space exceeds
-    /// [`MAX_COMPILED_CELLS`].
+    /// [`MAX_SPARSE_CELLS`].
     ///
-    /// Compilation costs `O(cells × successors)`; one compiled plant can
-    /// drive any number of runs (it is immutable and `Sync`, so sharded
-    /// campaigns share a single instance across threads).
+    /// Spaces up to [`MAX_COMPILED_CELLS`] compile eagerly
+    /// (`O(cells × successors)` once, the densest hot-path layout);
+    /// larger spaces compile **sparsely** — `O(1)` up front, each state
+    /// built on first visit — so a 4096×4096 plant pays only for the
+    /// states its chain actually reaches. One compiled plant can drive
+    /// any number of runs (it is `Sync`, so sharded campaigns share a
+    /// single instance across threads), and for any plant both backends
+    /// accept, their event streams are bit-identical.
     ///
     /// # Errors
     ///
     /// [`ProtectionError::InvalidConfig`] if a transition row is not a
     /// probability distribution (a plant-implementation bug, not a
-    /// caller error).
+    /// caller error). The sparse backend checks the initial state here
+    /// and asserts the rest at first visit.
     pub fn compile(plant: &Plant) -> Result<Option<Self>, ProtectionError> {
+        let cells = plant.space().cell_count();
+        if cells <= MAX_COMPILED_CELLS {
+            Self::compile_eager(plant)
+        } else {
+            Self::compile_sparse(plant)
+        }
+    }
+
+    /// Compiles `plant` eagerly (every state up front), or `None` for
+    /// rate plants and spaces beyond [`MAX_COMPILED_CELLS`]. Exposed so
+    /// tests and benchmarks can pin the backend; [`CompiledPlant::compile`]
+    /// picks it automatically for spaces that fit.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledPlant::compile`].
+    pub fn compile_eager(plant: &Plant) -> Result<Option<Self>, ProtectionError> {
         let space = *plant.space();
         let cells = space.cell_count();
         if cells > MAX_COMPILED_CELLS || plant.transition_row(plant.initial_state()).is_none() {
             return Ok(None);
         }
-        let trip_set = plant
-            .trip_set()
-            .expect("plants with transition rows have trip sets");
-        // Bit per cell: is this cell a demand when entered?
-        let mut trip_bits = vec![0u64; cells.div_ceil(64)];
-        for cell in trip_set.cell_indices(&space) {
-            trip_bits[cell / 64] |= 1u64 << (cell % 64);
-        }
-        let in_trip = |cell: usize| trip_bits[cell / 64] >> (cell % 64) & 1 == 1;
-
+        let trip_bits = trip_bitmap(plant, &space);
         let mut exit_prob = Vec::with_capacity(cells);
         let mut inv_log_hold = Vec::with_capacity(cells);
         let mut demand_given_exit = Vec::with_capacity(cells);
         let mut quiet_builder = AliasForestBuilder::new(cells);
         let mut demand_builder = AliasForestBuilder::new(cells);
-        let mut quiet_row: Vec<(u32, f64)> = Vec::new();
-        let mut demand_row: Vec<(u32, f64)> = Vec::new();
+        let mut scratch = CompileScratch::default();
         for cell in 0..cells {
-            let state = space.demand_at(cell).expect("cell index in range");
-            let row = plant
-                .transition_row(state)
-                .expect("compilable plant has rows for every state");
-            let mut hold = 0.0;
-            let mut p_demand = 0.0;
-            let mut p_move = 0.0;
-            let mut total = 0.0;
-            quiet_row.clear();
-            demand_row.clear();
-            for (succ, p) in row {
-                let t = space.index_of(succ).map_err(|e| {
-                    ProtectionError::InvalidConfig(format!(
-                        "transition row of {state} leaves the space: {e}"
-                    ))
-                })?;
-                total += p;
-                if in_trip(t) {
-                    p_demand += p;
-                    demand_row.push((t as u32, p));
-                } else if t == cell {
-                    hold += p;
-                } else {
-                    p_move += p;
-                    quiet_row.push((t as u32, p));
-                }
-            }
-            if (total - 1.0).abs() > 1e-9 || total.is_nan() {
-                return Err(ProtectionError::InvalidConfig(format!(
-                    "transition row of {state} has mass {total}, expected 1"
-                )));
-            }
-            let p_exit = p_demand + p_move;
-            exit_prob.push(p_exit);
-            inv_log_hold.push(if hold > 0.0 { hold.ln().recip() } else { 0.0 });
-            demand_given_exit.push(if p_exit > 0.0 { p_demand / p_exit } else { 0.0 });
-            quiet_builder.push_state(&quiet_row);
-            demand_builder.push_state(&demand_row);
+            let params = compile_state(plant, &space, &trip_bits, cell, &mut scratch)?;
+            exit_prob.push(params.exit_prob);
+            inv_log_hold.push(params.inv_log_hold);
+            demand_given_exit.push(params.demand_given_exit);
+            quiet_builder.push_state(&scratch.quiet_row, &mut scratch.work);
+            demand_builder.push_state(&scratch.demand_row, &mut scratch.work);
         }
         let start = space
             .index_of(plant.initial_state())
@@ -182,11 +268,59 @@ impl CompiledPlant {
         Ok(Some(CompiledPlant {
             space,
             start,
-            exit_prob,
-            inv_log_hold,
-            demand_given_exit,
-            quiet_moves: quiet_builder.finish(),
-            demands: demand_builder.finish(),
+            backend: Backend::Eager(EagerTables {
+                exit_prob,
+                inv_log_hold,
+                demand_given_exit,
+                quiet_moves: quiet_builder.finish(),
+                demands: demand_builder.finish(),
+            }),
+        }))
+    }
+
+    /// Compiles `plant` with the sparse on-demand backend regardless of
+    /// its size (up to [`MAX_SPARSE_CELLS`]), or `None` for rate plants
+    /// and spaces beyond that ceiling. Exposed so the bit-identity
+    /// suite can force the lazy backend onto spaces the eager compiler
+    /// also accepts.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtectionError::InvalidConfig`] if the initial state's
+    /// transition row is not a probability distribution.
+    pub fn compile_sparse(plant: &Plant) -> Result<Option<Self>, ProtectionError> {
+        let space = *plant.space();
+        let cells = space.cell_count();
+        if cells > MAX_SPARSE_CELLS || plant.transition_row(plant.initial_state()).is_none() {
+            return Ok(None);
+        }
+        let trip_bits = trip_bitmap(plant, &space);
+        let start = space
+            .index_of(plant.initial_state())
+            .expect("initial state in space") as u32;
+        let mut inner = SparseInner {
+            states: HashMap::new(),
+            scratch: CompileScratch::default(),
+        };
+        // Compile the initial state now: its row mass check surfaces a
+        // plant-implementation bug as a typed error here rather than a
+        // panic mid-run, and every run starts there anyway.
+        let first = build_state_row(
+            plant,
+            &space,
+            &trip_bits,
+            start as usize,
+            &mut inner.scratch,
+        )?;
+        inner.states.insert(start, Arc::new(first));
+        Ok(Some(CompiledPlant {
+            space,
+            start,
+            backend: Backend::Sparse(SparseTables {
+                plant: plant.clone(),
+                trip_bits,
+                inner: Mutex::new(inner),
+            }),
         }))
     }
 
@@ -230,7 +364,29 @@ impl CompiledPlant {
 
     /// Number of compiled states (demand-space cells).
     pub fn states(&self) -> usize {
-        self.exit_prob.len()
+        self.space.cell_count()
+    }
+
+    /// Number of states whose tables have actually been built: every
+    /// state for the eager backend, the visited set for the sparse one.
+    pub fn compiled_states(&self) -> usize {
+        match &self.backend {
+            Backend::Eager(t) => t.exit_prob.len(),
+            Backend::Sparse(t) => t.inner.lock().expect("sparse compiler lock").states.len(),
+        }
+    }
+
+    /// Fraction of the state space with built tables
+    /// (`compiled_states / states`): 1.0 for the eager backend, the
+    /// visited fraction for the sparse one — the occupancy figure the
+    /// `markov_sparse` bench row records.
+    pub fn occupancy(&self) -> f64 {
+        self.compiled_states() as f64 / self.states() as f64
+    }
+
+    /// Whether this instance uses the sparse on-demand backend.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.backend, Backend::Sparse(_))
     }
 
     /// The plant's initial state as a cell index.
@@ -239,9 +395,16 @@ impl CompiledPlant {
     }
 
     /// Per-state demand probability `P(next tick is a demand | state)` —
-    /// exposed for diagnostics and tests.
+    /// exposed for diagnostics and tests. On the sparse backend this
+    /// compiles `cell` if it has not been visited yet.
     pub fn demand_prob(&self, cell: usize) -> f64 {
-        self.exit_prob[cell] * self.demand_given_exit[cell]
+        match &self.backend {
+            Backend::Eager(t) => t.exit_prob[cell] * t.demand_given_exit[cell],
+            Backend::Sparse(t) => {
+                let row = t.state_row(&self.space, cell as u32);
+                row.params.exit_prob * row.params.demand_given_exit
+            }
+        }
     }
 
     /// Advances the chain until the next demand or until `budget` ticks
@@ -253,9 +416,26 @@ impl CompiledPlant {
     /// not per tick. The exit tick used to spend up to three uniforms
     /// (demand-vs-move coin, alias bucket, alias coin); one uniform now
     /// covers all three where the chain's branch masses allow it (see
-    /// [`branch_uniform`]), halving the RNG work per state change.
+    /// [`branch_uniform`]), halving the RNG work per state change. Both
+    /// backends consume the stream identically, so swapping eager for
+    /// sparse never perturbs an event sequence.
     pub fn next_demand<R: Rng + ?Sized>(
         &self,
+        state: &mut u32,
+        budget: u64,
+        rng: &mut R,
+    ) -> CompiledEvent {
+        match &self.backend {
+            Backend::Eager(t) => t.next_demand(&self.space, state, budget, rng),
+            Backend::Sparse(t) => t.next_demand(&self.space, state, budget, rng),
+        }
+    }
+}
+
+impl EagerTables {
+    fn next_demand<R: Rng + ?Sized>(
+        &self,
+        space: &GridSpace2D,
         state: &mut u32,
         budget: u64,
         rng: &mut R,
@@ -284,8 +464,7 @@ impl CompiledPlant {
                 *state = cell;
                 return CompiledEvent::Demand {
                     quiet_gap: quiet,
-                    demand: self
-                        .space
+                    demand: space
                         .demand_at(cell as usize)
                         .expect("compiled successor in range"),
                 };
@@ -297,6 +476,175 @@ impl CompiledPlant {
         }
         CompiledEvent::Quiet { ticks: budget }
     }
+}
+
+impl SparseTables {
+    /// The compiled tables of `cell`, building them on first visit. The
+    /// lock is held for the lookup/build only, never across sampling.
+    fn state_row(&self, space: &GridSpace2D, cell: u32) -> Arc<StateRow> {
+        let mut inner = self.inner.lock().expect("sparse compiler lock");
+        if let Some(row) = inner.states.get(&cell) {
+            return Arc::clone(row);
+        }
+        let built = build_state_row(
+            &self.plant,
+            space,
+            &self.trip_bits,
+            cell as usize,
+            &mut inner.scratch,
+        )
+        .unwrap_or_else(|e| panic!("sparse lazy compile of cell {cell}: {e}"));
+        let row = Arc::new(built);
+        inner.states.insert(cell, Arc::clone(&row));
+        row
+    }
+
+    /// Mirrors [`EagerTables::next_demand`] draw for draw: the lazy
+    /// builds consume no RNG, so the two backends' event streams are
+    /// bit-identical.
+    fn next_demand<R: Rng + ?Sized>(
+        &self,
+        space: &GridSpace2D,
+        state: &mut u32,
+        budget: u64,
+        rng: &mut R,
+    ) -> CompiledEvent {
+        let mut quiet = 0u64;
+        let mut row = self.state_row(space, *state);
+        while quiet < budget {
+            if row.params.exit_prob <= 0.0 {
+                return CompiledEvent::Quiet { ticks: budget };
+            }
+            let left = budget - quiet;
+            let dwell = crate::simulation::geometric_gap(row.params.inv_log_hold, left, rng);
+            if dwell >= left {
+                return CompiledEvent::Quiet { ticks: budget };
+            }
+            quiet += dwell;
+            let u: f64 = rng.gen();
+            let dge = row.params.demand_given_exit;
+            if u < dge {
+                let v = branch_uniform(u, 0.0, dge, rng);
+                let cell = alias_pick(&row.demand_cells, &row.demand_accept, &row.demand_alias, v);
+                *state = cell;
+                return CompiledEvent::Demand {
+                    quiet_gap: quiet,
+                    demand: space
+                        .demand_at(cell as usize)
+                        .expect("compiled successor in range"),
+                };
+            }
+            quiet += 1;
+            let v = branch_uniform(u, dge, 1.0 - dge, rng);
+            *state = alias_pick(&row.quiet_cells, &row.quiet_accept, &row.quiet_alias, v);
+            row = self.state_row(space, *state);
+        }
+        CompiledEvent::Quiet { ticks: budget }
+    }
+}
+
+/// The trip-set bitmap both backends classify successors with (bit per
+/// cell: is this cell a demand when entered?).
+fn trip_bitmap(plant: &Plant, space: &GridSpace2D) -> Vec<u64> {
+    let trip_set = plant
+        .trip_set()
+        .expect("plants with transition rows have trip sets");
+    let mut trip_bits = vec![0u64; space.cell_count().div_ceil(64)];
+    for cell in trip_set.cell_indices(space) {
+        trip_bits[cell / 64] |= 1u64 << (cell % 64);
+    }
+    trip_bits
+}
+
+/// Scratch buffers shared by every per-state compilation: the plant's
+/// row buffer, the demand/quiet split, and the Walker–Vose work areas.
+/// One instance serves a whole eager sweep or a sparse backend's
+/// lifetime of lazy builds — no per-state `Vec` churn.
+#[derive(Debug, Default)]
+struct CompileScratch {
+    rows: RowScratch,
+    quiet_row: Vec<(u32, f64)>,
+    demand_row: Vec<(u32, f64)>,
+    work: AliasWork,
+}
+
+/// Splits one state's exact transition row into dwell parameters plus
+/// the demand/quiet successor rows (left in `scratch.demand_row` /
+/// `scratch.quiet_row`). This is the single per-state analysis both
+/// backends run, so their tables are bit-identical by construction.
+fn compile_state(
+    plant: &Plant,
+    space: &GridSpace2D,
+    trip_bits: &[u64],
+    cell: usize,
+    scratch: &mut CompileScratch,
+) -> Result<StateParams, ProtectionError> {
+    let state = space.demand_at(cell).expect("cell index in range");
+    assert!(
+        plant.transition_row_into(state, &mut scratch.rows),
+        "compilable plant has rows for every state"
+    );
+    let in_trip = |cell: usize| trip_bits[cell / 64] >> (cell % 64) & 1 == 1;
+    let mut hold = 0.0;
+    let mut p_demand = 0.0;
+    let mut p_move = 0.0;
+    let mut total = 0.0;
+    scratch.quiet_row.clear();
+    scratch.demand_row.clear();
+    for &(succ, p) in scratch.rows.row() {
+        let t = space.index_of(succ).map_err(|e| {
+            ProtectionError::InvalidConfig(format!(
+                "transition row of {state} leaves the space: {e}"
+            ))
+        })?;
+        total += p;
+        if in_trip(t) {
+            p_demand += p;
+            scratch.demand_row.push((t as u32, p));
+        } else if t == cell {
+            hold += p;
+        } else {
+            p_move += p;
+            scratch.quiet_row.push((t as u32, p));
+        }
+    }
+    if (total - 1.0).abs() > 1e-9 || total.is_nan() {
+        return Err(ProtectionError::InvalidConfig(format!(
+            "transition row of {state} has mass {total}, expected 1"
+        )));
+    }
+    let p_exit = p_demand + p_move;
+    Ok(StateParams {
+        exit_prob: p_exit,
+        inv_log_hold: if hold > 0.0 { hold.ln().recip() } else { 0.0 },
+        demand_given_exit: if p_exit > 0.0 { p_demand / p_exit } else { 0.0 },
+    })
+}
+
+/// Compiles one state end to end for the sparse backend: analysis plus
+/// both alias rows, boxed to their exact lengths.
+fn build_state_row(
+    plant: &Plant,
+    space: &GridSpace2D,
+    trip_bits: &[u64],
+    cell: usize,
+    scratch: &mut CompileScratch,
+) -> Result<StateRow, ProtectionError> {
+    let params = compile_state(plant, space, trip_bits, cell, scratch)?;
+    build_alias_tables(&scratch.demand_row, &mut scratch.work);
+    let demand_cells: Box<[u32]> = scratch.demand_row.iter().map(|&(c, _)| c).collect();
+    let demand_accept: Box<[f64]> = scratch.work.accept.as_slice().into();
+    let demand_alias: Box<[u32]> = scratch.work.alias.as_slice().into();
+    build_alias_tables(&scratch.quiet_row, &mut scratch.work);
+    Ok(StateRow {
+        params,
+        demand_cells,
+        demand_accept,
+        demand_alias,
+        quiet_cells: scratch.quiet_row.iter().map(|&(c, _)| c).collect(),
+        quiet_accept: scratch.work.accept.as_slice().into(),
+        quiet_alias: scratch.work.alias.as_slice().into(),
+    })
 }
 
 /// Smallest branch mass whose conditional uniform is recycled. Below
@@ -325,6 +673,31 @@ fn branch_uniform<R: Rng + ?Sized>(u: f64, lo: f64, width: f64, rng: &mut R) -> 
     }
 }
 
+/// Draws one successor from an alias row using a **single** uniform
+/// `v ∈ [0, 1)`: `⌊v·n⌋` picks the bucket and the fractional part
+/// `v·n − ⌊v·n⌋` — independent of the bucket and itself uniform — plays
+/// the accept/alias coin. One draw where Walker–Vose is usually written
+/// with two. Shared by both backends so the lookup arithmetic cannot
+/// drift between them.
+#[inline]
+fn alias_pick(cells: &[u32], accept: &[f64], alias: &[u32], v: f64) -> u32 {
+    let n = cells.len();
+    debug_assert!(n > 0, "alias sample from empty successor set");
+    debug_assert!((0.0..1.0).contains(&v), "alias uniform out of range: {v}");
+    if n == 1 {
+        return cells[0];
+    }
+    let scaled = v * n as f64;
+    let i = (scaled as usize).min(n - 1);
+    let coin = scaled - i as f64;
+    let k = if coin < accept[i] {
+        i
+    } else {
+        alias[i] as usize
+    };
+    cells[k]
+}
+
 /// Per-state Walker–Vose alias tables over variable-length successor
 /// lists, stored flat: state `s` owns entries `offsets[s]..offsets[s+1]`.
 #[derive(Debug, Clone)]
@@ -346,29 +719,68 @@ impl AliasForest {
         self.sample_with(state, rng.gen())
     }
 
-    /// Draws one successor cell for `state` from a **single** uniform
-    /// `v ∈ [0, 1)`: `⌊v·n⌋` picks the bucket and the fractional part
-    /// `v·n − ⌊v·n⌋` — independent of the bucket and itself uniform —
-    /// plays the accept/alias coin. One draw where Walker–Vose is
-    /// usually written with two.
+    /// Draws one successor cell for `state` from a single uniform
+    /// `v ∈ [0, 1)` (see [`alias_pick`]).
     #[inline]
     fn sample_with(&self, state: usize, v: f64) -> u32 {
         let lo = self.offsets[state] as usize;
-        let n = self.offsets[state + 1] as usize - lo;
-        debug_assert!(n > 0, "alias sample from empty successor set");
-        debug_assert!((0.0..1.0).contains(&v), "alias uniform out of range: {v}");
-        if n == 1 {
-            return self.cells[lo];
+        let hi = self.offsets[state + 1] as usize;
+        alias_pick(
+            &self.cells[lo..hi],
+            &self.accept[lo..hi],
+            &self.alias[lo..hi],
+            v,
+        )
+    }
+}
+
+/// Walker–Vose work areas plus the built `accept`/`alias` tables of the
+/// most recent [`build_alias_tables`] call.
+#[derive(Debug, Default)]
+struct AliasWork {
+    accept: Vec<f64>,
+    alias: Vec<u32>,
+    scaled: Vec<f64>,
+    small: Vec<usize>,
+    large: Vec<usize>,
+}
+
+/// Builds one state's Walker–Vose acceptance/alias tables over `row`
+/// (`(cell, weight)` pairs, weights positive but not necessarily
+/// normalised) into `work.accept` / `work.alias`. Split entries into
+/// under/over-full relative to the uniform share, pairing each
+/// under-full entry with an over-full alias. One function serves both
+/// backends, so their tables are bit-identical for identical rows.
+fn build_alias_tables(row: &[(u32, f64)], work: &mut AliasWork) {
+    let n = row.len();
+    work.accept.clear();
+    work.alias.clear();
+    work.scaled.clear();
+    work.small.clear();
+    work.large.clear();
+    if n == 0 {
+        return;
+    }
+    let total: f64 = row.iter().map(|&(_, w)| w).sum();
+    work.scaled
+        .extend(row.iter().map(|&(_, w)| w * n as f64 / total));
+    work.alias.resize(n, 0);
+    work.accept.resize(n, 1.0);
+    work.small.extend((0..n).filter(|&i| work.scaled[i] < 1.0));
+    work.large.extend((0..n).filter(|&i| work.scaled[i] >= 1.0));
+    while let (Some(&s), Some(&l)) = (work.small.last(), work.large.last()) {
+        work.small.pop();
+        work.accept[s] = work.scaled[s];
+        work.alias[s] = l as u32;
+        work.scaled[l] -= 1.0 - work.scaled[s];
+        if work.scaled[l] < 1.0 {
+            work.large.pop();
+            work.small.push(l);
         }
-        let scaled = v * n as f64;
-        let i = (scaled as usize).min(n - 1);
-        let coin = scaled - i as f64;
-        let k = if coin < self.accept[lo + i] {
-            i
-        } else {
-            self.alias[lo + i] as usize
-        };
-        self.cells[lo + k]
+    }
+    // Leftovers (numerical residue) accept unconditionally.
+    for &i in work.small.iter().chain(work.large.iter()) {
+        work.accept[i] = 1.0;
     }
 }
 
@@ -391,37 +803,13 @@ impl AliasForestBuilder {
         }
     }
 
-    /// Appends one state's successor distribution (`(cell, weight)`
-    /// pairs, weights positive but not necessarily normalised).
-    fn push_state(&mut self, row: &[(u32, f64)]) {
-        let n = row.len();
-        if n > 0 {
-            let total: f64 = row.iter().map(|&(_, w)| w).sum();
-            // Walker–Vose: split entries into under/over-full relative to
-            // the uniform share, pairing each under-full entry with an
-            // over-full alias.
-            let mut scaled: Vec<f64> = row.iter().map(|&(_, w)| w * n as f64 / total).collect();
-            let mut alias = vec![0u32; n];
-            let mut accept = vec![1.0f64; n];
-            let mut small: Vec<usize> = (0..n).filter(|&i| scaled[i] < 1.0).collect();
-            let mut large: Vec<usize> = (0..n).filter(|&i| scaled[i] >= 1.0).collect();
-            while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
-                small.pop();
-                accept[s] = scaled[s];
-                alias[s] = l as u32;
-                scaled[l] -= 1.0 - scaled[s];
-                if scaled[l] < 1.0 {
-                    large.pop();
-                    small.push(l);
-                }
-            }
-            // Leftovers (numerical residue) accept unconditionally.
-            for &i in small.iter().chain(large.iter()) {
-                accept[i] = 1.0;
-            }
+    /// Appends one state's successor distribution.
+    fn push_state(&mut self, row: &[(u32, f64)], work: &mut AliasWork) {
+        if !row.is_empty() {
+            build_alias_tables(row, work);
             self.cells.extend(row.iter().map(|&(c, _)| c));
-            self.accept.extend_from_slice(&accept);
-            self.alias.extend_from_slice(&alias);
+            self.accept.extend_from_slice(&work.accept);
+            self.alias.extend_from_slice(&work.alias);
         }
         self.offsets.push(self.cells.len() as u32);
     }
@@ -442,6 +830,7 @@ mod tests {
     use crate::plant::PlantEvent;
     use divrel_demand::profile::Profile;
     use divrel_demand::region::Region;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -473,6 +862,7 @@ mod tests {
         let s = GridSpace2D::new(10, 10).unwrap();
         let plant = Plant::with_demand_rate(Profile::uniform(&s), 0.1).unwrap();
         assert!(CompiledPlant::compile(&plant).unwrap().is_none());
+        assert!(CompiledPlant::compile_sparse(&plant).unwrap().is_none());
     }
 
     #[test]
@@ -482,6 +872,9 @@ mod tests {
         let c = CompiledPlant::compile(&t).unwrap().unwrap();
         assert_eq!(c.states(), 400);
         assert_eq!(c.initial_state(), 10 * 20 + 10);
+        assert!(!c.is_sparse());
+        assert_eq!(c.compiled_states(), 400);
+        assert!((c.occupancy() - 1.0).abs() < 1e-15);
         let m = markov_plant();
         assert!(CompiledPlant::compile(&m).unwrap().is_some());
     }
@@ -489,23 +882,27 @@ mod tests {
     #[test]
     fn demand_prob_matches_row_mass_into_trip_set() {
         let plant = markov_plant();
-        let c = CompiledPlant::compile(&plant).unwrap().unwrap();
-        let space = *plant.space();
-        let trip = plant.trip_set().unwrap().clone();
-        for cell in [0usize, 5, 62, 200, 465, 899] {
-            let state = space.demand_at(cell).unwrap();
-            let want: f64 = plant
-                .transition_row(state)
-                .unwrap()
-                .iter()
-                .filter(|(d, _)| trip.contains(*d))
-                .map(|&(_, p)| p)
-                .sum();
-            assert!(
-                (c.demand_prob(cell) - want).abs() < 1e-12,
-                "cell {cell}: {} vs {want}",
-                c.demand_prob(cell)
-            );
+        for c in [
+            CompiledPlant::compile(&plant).unwrap().unwrap(),
+            CompiledPlant::compile_sparse(&plant).unwrap().unwrap(),
+        ] {
+            let space = *plant.space();
+            let trip = plant.trip_set().unwrap().clone();
+            for cell in [0usize, 5, 62, 200, 465, 899] {
+                let state = space.demand_at(cell).unwrap();
+                let want: f64 = plant
+                    .transition_row(state)
+                    .unwrap()
+                    .iter()
+                    .filter(|(d, _)| trip.contains(*d))
+                    .map(|&(_, p)| p)
+                    .sum();
+                assert!(
+                    (c.demand_prob(cell) - want).abs() < 1e-12,
+                    "cell {cell}: {} vs {want}",
+                    c.demand_prob(cell)
+                );
+            }
         }
     }
 
@@ -545,6 +942,138 @@ mod tests {
             c.next_demand(&mut state, 0, &mut rng),
             CompiledEvent::Quiet { ticks: 0 }
         );
+    }
+
+    #[test]
+    fn sparse_and_eager_event_streams_are_bit_identical() {
+        // The tentpole contract: on any plant both backends accept, the
+        // same seed must produce the exact same event sequence — lazy
+        // builds consume no RNG and the table algebra is shared.
+        let plants = [
+            markov_plant(),
+            Plant::markov_walk(
+                GridSpace2D::new(57, 23).unwrap(),
+                Region::rect(0, 0, 4, 4),
+                3,
+                0.03,
+            )
+            .unwrap(),
+            Plant::trajectory(
+                GridSpace2D::new(25, 25).unwrap(),
+                Region::rect(0, 0, 2, 2),
+                2,
+            )
+            .unwrap(),
+        ];
+        for (pi, plant) in plants.iter().enumerate() {
+            let eager = CompiledPlant::compile_eager(plant).unwrap().unwrap();
+            let sparse = CompiledPlant::compile_sparse(plant).unwrap().unwrap();
+            assert!(sparse.is_sparse() && !eager.is_sparse());
+            assert_eq!(eager.initial_state(), sparse.initial_state());
+            for seed in [1u64, 7, 1234] {
+                let mut rng_e = StdRng::seed_from_u64(seed);
+                let mut rng_s = StdRng::seed_from_u64(seed);
+                let mut st_e = eager.initial_state();
+                let mut st_s = sparse.initial_state();
+                for step in 0..400 {
+                    let ev_e = eager.next_demand(&mut st_e, 2_000, &mut rng_e);
+                    let ev_s = sparse.next_demand(&mut st_s, 2_000, &mut rng_s);
+                    assert_eq!(
+                        ev_e, ev_s,
+                        "plant {pi} seed {seed} event {step}: backends diverged"
+                    );
+                    assert_eq!(st_e, st_s, "plant {pi} seed {seed} event {step}: state");
+                }
+            }
+            // The sparse side visited a strict subset of the space but
+            // produced the full stream.
+            assert!(sparse.compiled_states() <= sparse.states());
+            assert!(sparse.occupancy() > 0.0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn sparse_matches_eager_on_arbitrary_plants(
+            nx in 2u32..34,
+            ny in 2u32..34,
+            step in 1u32..4,
+            move_prob in 0.01..=1.0f64,
+            trip in (0u32..6, 0u32..6),
+            seed in 0u64..u64::MAX,
+        ) {
+            let space = GridSpace2D::new(nx, ny).unwrap();
+            let region = Region::rect(0, 0, trip.0.min(nx - 1), trip.1.min(ny - 1));
+            let plant = Plant::markov_walk(space, region, step, move_prob).unwrap();
+            let eager = CompiledPlant::compile_eager(&plant).unwrap().unwrap();
+            let sparse = CompiledPlant::compile_sparse(&plant).unwrap().unwrap();
+            let mut rng_e = StdRng::seed_from_u64(seed);
+            let mut rng_s = StdRng::seed_from_u64(seed);
+            let mut st_e = eager.initial_state();
+            let mut st_s = sparse.initial_state();
+            for _ in 0..60 {
+                let ev_e = eager.next_demand(&mut st_e, 700, &mut rng_e);
+                let ev_s = sparse.next_demand(&mut st_s, 700, &mut rng_s);
+                prop_assert_eq!(ev_e, ev_s);
+                prop_assert_eq!(st_e, st_s);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_clone_preserves_tables_and_stream() {
+        let plant = markov_plant();
+        let sparse = CompiledPlant::compile_sparse(&plant).unwrap().unwrap();
+        // Warm a few states, then clone: the clone must continue the
+        // exact same stream from the same tables.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut state = sparse.initial_state();
+        for _ in 0..20 {
+            sparse.next_demand(&mut state, 1_000, &mut rng);
+        }
+        let cloned = sparse.clone();
+        assert_eq!(cloned.compiled_states(), sparse.compiled_states());
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        let mut sa = sparse.initial_state();
+        let mut sb = cloned.initial_state();
+        for _ in 0..100 {
+            assert_eq!(
+                sparse.next_demand(&mut sa, 500, &mut rng_a),
+                cloned.next_demand(&mut sb, 500, &mut rng_b)
+            );
+        }
+    }
+
+    #[test]
+    fn huge_spaces_compile_sparsely_and_sample() {
+        // 2080 × 2080 = 4,326,400 cells: just past MAX_COMPILED_CELLS
+        // (4,194,304), so `compile` must pick the sparse backend — and a
+        // slow-mixing walk must ride it without enumerating the space.
+        let space = GridSpace2D::new(2080, 2080).unwrap();
+        assert!(space.cell_count() > MAX_COMPILED_CELLS);
+        let plant = Plant::markov_walk(space, Region::rect(0, 0, 40, 40), 2, 0.02).unwrap();
+        let c = CompiledPlant::compile(&plant).unwrap().unwrap();
+        assert!(c.is_sparse());
+        assert_eq!(c.states(), 4_326_400);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut state = c.initial_state();
+        let mut quiet_total = 0u64;
+        for _ in 0..50 {
+            match c.next_demand(&mut state, 100_000, &mut rng) {
+                CompiledEvent::Quiet { ticks } => quiet_total += ticks,
+                CompiledEvent::Demand { quiet_gap, .. } => quiet_total += quiet_gap,
+            }
+        }
+        assert!(quiet_total > 0);
+        // The chain visited a vanishing fraction of the space.
+        assert!(
+            c.compiled_states() < 100_000,
+            "sparse backend compiled {} states",
+            c.compiled_states()
+        );
+        assert!(c.occupancy() < 0.05);
     }
 
     #[test]
@@ -608,9 +1137,10 @@ mod tests {
 
     #[test]
     fn alias_forest_reproduces_weights() {
+        let mut work = AliasWork::default();
         let mut b = AliasForestBuilder::new(2);
-        b.push_state(&[(0, 0.1), (1, 0.3), (2, 0.6)]);
-        b.push_state(&[]);
+        b.push_state(&[(0, 0.1), (1, 0.3), (2, 0.6)], &mut work);
+        b.push_state(&[], &mut work);
         let f = b.finish();
         let mut rng = StdRng::seed_from_u64(4);
         let mut counts = [0u32; 3];
@@ -631,13 +1161,17 @@ mod tests {
         // grid resolution — the single-draw lookup is exact, not
         // approximate.
         let weights = [0.15, 0.05, 0.5, 0.3];
+        let mut work = AliasWork::default();
         let mut b = AliasForestBuilder::new(1);
-        b.push_state(&[
-            (0, weights[0]),
-            (1, weights[1]),
-            (2, weights[2]),
-            (3, weights[3]),
-        ]);
+        b.push_state(
+            &[
+                (0, weights[0]),
+                (1, weights[1]),
+                (2, weights[2]),
+                (3, weights[3]),
+            ],
+            &mut work,
+        );
         let f = b.finish();
         let grid = 400_000usize;
         let mut counts = [0u64; 4];

@@ -215,25 +215,45 @@ impl Plant {
     /// Rows are exact: the clamped random-walk deltas of each axis are
     /// enumerated combinatorially, so the returned distribution is the
     /// law [`Plant::step`] samples from, not an estimate of it.
+    ///
+    /// Allocates a fresh row per call; hot paths that probe many states
+    /// (the demand compiler's eager sweep, the sparse compiler's lazy
+    /// per-visit builds) use [`Plant::transition_row_into`] with a
+    /// reused [`RowScratch`] instead.
     pub fn transition_row(&self, state: Demand) -> Option<Vec<(Demand, f64)>> {
+        let mut buf = RowScratch::new();
+        self.transition_row_into(state, &mut buf).then_some(buf.row)
+    }
+
+    /// Writes the exact one-step law from `state` into `buf` (replacing
+    /// its previous contents), returning `false` for the memoryless rate
+    /// plant. Identical values in identical order to
+    /// [`Plant::transition_row`] — the compiler relies on this to build
+    /// bit-identical tables from either entry point — but free of the
+    /// per-call `Vec` allocations: after warm-up the scratch buffers are
+    /// reused across every probed state.
+    pub fn transition_row_into(&self, state: Demand, buf: &mut RowScratch) -> bool {
         match &self.kind {
-            PlantKind::Rate { .. } => None,
-            PlantKind::Trajectory { space, step, .. } => Some(walk_row(state, *step, space, 1.0)),
+            PlantKind::Rate { .. } => false,
+            PlantKind::Trajectory { space, step, .. } => {
+                walk_row_into(state, *step, space, 1.0, buf);
+                true
+            }
             PlantKind::Markov {
                 space,
                 step,
                 move_prob,
                 ..
             } => {
-                let mut row = walk_row(state, *step, space, *move_prob);
+                walk_row_into(state, *step, space, *move_prob, buf);
                 let hold = 1.0 - move_prob;
                 if hold > 0.0 {
-                    match row.iter_mut().find(|(d, _)| *d == state) {
+                    match buf.row.iter_mut().find(|(d, _)| *d == state) {
                         Some((_, p)) => *p += hold,
-                        None => row.push((state, hold)),
+                        None => buf.row.push((state, hold)),
                     }
                 }
-                Some(row)
+                true
             }
         }
     }
@@ -299,12 +319,34 @@ fn classify(next: Demand, trip_set: &Region) -> PlantEvent {
     }
 }
 
+/// Reusable scratch for [`Plant::transition_row_into`]: the row buffer
+/// plus the per-axis work areas, so row probes and lazy per-state
+/// compilation stop allocating once warm.
+#[derive(Debug, Default, Clone)]
+pub struct RowScratch {
+    xs: Vec<(u32, f64)>,
+    ys: Vec<(u32, f64)>,
+    row: Vec<(Demand, f64)>,
+}
+
+impl RowScratch {
+    /// Fresh (empty) scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The most recently built transition row.
+    pub fn row(&self) -> &[(Demand, f64)] {
+        &self.row
+    }
+}
+
 /// The exact distribution of one clamped-walk axis: each delta in
 /// `[-step, step]` is equally likely and clamping folds out-of-range
 /// deltas onto the boundary cells.
-fn axis_row(v: u32, max: u32, step: u32) -> Vec<(u32, f64)> {
+fn axis_row_into(v: u32, max: u32, step: u32, out: &mut Vec<(u32, f64)>) {
+    out.clear();
     let per = 1.0 / (2 * step + 1) as f64;
-    let mut out: Vec<(u32, f64)> = Vec::with_capacity(2 * step as usize + 1);
     for delta in -(step as i64)..=step as i64 {
         let t = (v as i64 + delta).clamp(0, max as i64 - 1) as u32;
         match out.last_mut() {
@@ -314,20 +356,19 @@ fn axis_row(v: u32, max: u32, step: u32) -> Vec<(u32, f64)> {
             _ => out.push((t, per)),
         }
     }
-    out
 }
 
 /// The joint clamped-walk row, scaled by `scale` (the move probability).
-fn walk_row(state: Demand, step: u32, space: &GridSpace2D, scale: f64) -> Vec<(Demand, f64)> {
-    let xs = axis_row(state.var1, space.nx(), step);
-    let ys = axis_row(state.var2, space.ny(), step);
-    let mut row = Vec::with_capacity(xs.len() * ys.len());
-    for &(y, py) in &ys {
-        for &(x, px) in &xs {
-            row.push((Demand::new(x, y), scale * px * py));
+fn walk_row_into(state: Demand, step: u32, space: &GridSpace2D, scale: f64, buf: &mut RowScratch) {
+    axis_row_into(state.var1, space.nx(), step, &mut buf.xs);
+    axis_row_into(state.var2, space.ny(), step, &mut buf.ys);
+    buf.row.clear();
+    buf.row.reserve(buf.xs.len() * buf.ys.len());
+    for &(y, py) in &buf.ys {
+        for &(x, px) in &buf.xs {
+            buf.row.push((Demand::new(x, y), scale * px * py));
         }
     }
-    row
 }
 
 #[cfg(test)]
@@ -481,6 +522,33 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn transition_row_into_reproduces_transition_row_bitwise() {
+        let s = GridSpace2D::new(12, 12).unwrap();
+        let trip = Region::rect(0, 0, 1, 1);
+        let mut buf = RowScratch::new();
+        for plant in [
+            Plant::trajectory(s, trip.clone(), 2).unwrap(),
+            Plant::markov_walk(s, trip.clone(), 3, 0.3).unwrap(),
+            Plant::markov_walk(s, trip, 1, 1.0).unwrap(),
+        ] {
+            // One shared scratch across states and plants: stale contents
+            // must never leak into the next row.
+            for state in [Demand::new(6, 6), Demand::new(0, 0), Demand::new(11, 3)] {
+                let owned = plant.transition_row(state).unwrap();
+                assert!(plant.transition_row_into(state, &mut buf));
+                assert_eq!(buf.row().len(), owned.len());
+                for (&(d, p), &(od, op)) in buf.row().iter().zip(&owned) {
+                    assert_eq!(d, od);
+                    assert_eq!(p.to_bits(), op.to_bits(), "{state} -> {d}");
+                }
+            }
+        }
+        let rate = Plant::with_demand_rate(Profile::uniform(&GridSpace2D::new(4, 4).unwrap()), 0.5)
+            .unwrap();
+        assert!(!rate.transition_row_into(Demand::new(0, 0), &mut buf));
     }
 
     #[test]

@@ -64,11 +64,23 @@ pub fn run<R: Rng + ?Sized>(
 }
 
 /// Whether a one-shot run of `steps` ticks should pay for compilation:
-/// the plant must be sticky ([`CompiledPlant::is_profitable`]) **and**
-/// long enough to amortise the `O(cells × successors)` compile — a
-/// short run over a huge state space is faster ticked than compiled.
+/// the plant must be sticky ([`CompiledPlant::is_profitable`]), and —
+/// for spaces the **eager** compiler enumerates — the run must be long
+/// enough to amortise the `O(cells × successors)` compile; a short run
+/// over a huge state space is faster ticked than compiled. Spaces past
+/// [`MAX_COMPILED_CELLS`](crate::compiler::MAX_COMPILED_CELLS) compile
+/// **sparsely** (per-state cost on first visit, nothing up front), so
+/// they need no amortisation test at all — any sticky plant up to
+/// [`MAX_SPARSE_CELLS`](crate::compiler::MAX_SPARSE_CELLS) rides the
+/// analytic path.
 fn compile_worthwhile(plant: &Plant, steps: u64) -> bool {
-    CompiledPlant::is_profitable(plant) && steps >= 4 * plant.space().cell_count() as u64
+    let cells = plant.space().cell_count();
+    CompiledPlant::is_profitable(plant)
+        && if cells > crate::compiler::MAX_COMPILED_CELLS {
+            cells <= crate::compiler::MAX_SPARSE_CELLS
+        } else {
+            steps >= 4 * cells as u64
+        }
 }
 
 /// Runs a pre-compiled plant for `steps` ticks via analytic demand-gap

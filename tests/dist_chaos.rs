@@ -13,7 +13,10 @@
 //! (the run is wall-clock bounded by the lease deadline machinery, not
 //! by the stall).
 
-use divrel_bench::dist::{Coordinator, DistRun, Fault, FaultPlan, JsonLines, Transport, Worker};
+use divrel_bench::dist::{
+    round_journal_path, AdaptiveCoordinator, AdaptiveDistRun, Coordinator, DistRun, Fault,
+    FaultPlan, JsonLines, Transport, Worker,
+};
 use divrel_bench::scenario::{Scenario, ScenarioOutcome};
 use divrel_bench::Context;
 use proptest::prelude::*;
@@ -245,6 +248,100 @@ fn forced_coordinator_kill_and_resume_are_bit_identical() {
     );
     assert!(exits.iter().all(Result::is_ok), "exits: {exits:?}");
     std::fs::remove_file(&path).expect("journal cleans up");
+}
+
+/// Drives an adaptive round loop against a fresh pipe fleet per round;
+/// on a chaos halt the fleet threads wake on pipe EOF and are reaped.
+fn try_adaptive_fleet(
+    coordinator: &AdaptiveCoordinator,
+    workers: usize,
+) -> Result<AdaptiveDistRun, String> {
+    let mut handles = Vec::new();
+    let run = coordinator
+        .run(|_round| {
+            let mut coord_ends: Vec<Box<dyn Transport>> = Vec::new();
+            for _ in 0..workers {
+                let (c2w_r, c2w_w) = std::io::pipe().expect("pipe");
+                let (w2c_r, w2c_w) = std::io::pipe().expect("pipe");
+                coord_ends.push(Box::new(JsonLines::new(w2c_r, c2w_w)));
+                handles.push(std::thread::spawn(move || {
+                    let mut transport = JsonLines::new(c2w_r, w2c_w);
+                    let _ = Worker::new().threads(2).serve(&mut transport);
+                }));
+            }
+            Ok(coord_ends)
+        })
+        .map_err(|e| e.to_string());
+    for h in handles {
+        h.join().expect("worker thread joins");
+    }
+    run
+}
+
+/// The adaptive round loop under the same kill/resume contract: the
+/// coordinator dies mid-round-0 leaving a partial per-round journal,
+/// and a second incarnation resumes it, re-leases only the missing
+/// cells, finishes every later round, and folds the exact bits of the
+/// uninterrupted in-process round loop.
+#[test]
+fn adaptive_mid_round_kill_and_resume_are_bit_identical() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/adaptive_confidence.toml"
+    ))
+    .expect("committed adaptive spec");
+    let scenario = Scenario::from_spec_text(&text).expect("spec parses");
+    let single = scenario.run(2).expect("in-process round loop");
+
+    let base = temp_journal("adaptive-resume");
+    // First incarnation: journals every lease into per-round journals,
+    // halts dead after the second append — a mid-round-0 kill (round 0
+    // spans five 5-cell leases over the 24 cells).
+    let first = AdaptiveCoordinator::new(scenario.clone())
+        .expect("adaptive spec")
+        .lease_cells(5)
+        .lease_timeout(Duration::from_millis(500))
+        .journal(&base)
+        .halt_after_journal_appends(2);
+    let err = try_adaptive_fleet(&first, 2).expect_err("the halted coordinator must not finish");
+    assert!(err.contains("chaos halt"), "unexpected failure: {err}");
+    assert!(
+        round_journal_path(&base, 0).exists(),
+        "the round-0 journal must survive the kill"
+    );
+
+    // Second incarnation: resumes the partial round-0 journal and runs
+    // the loop to convergence.
+    let second = AdaptiveCoordinator::new(scenario)
+        .expect("adaptive spec")
+        .lease_cells(5)
+        .lease_timeout(Duration::from_millis(500))
+        .resume(&base);
+    let run = try_adaptive_fleet(&second, 2).expect("resumed round loop completes");
+    let AdaptiveDistRun { outcome, rounds } = run;
+    let distributed = ScenarioOutcome::Adaptive(outcome);
+    assert_eq!(
+        distributed, single,
+        "kill + resume diverged structurally from the in-process loop"
+    );
+    assert_eq!(
+        format!("{distributed:?}"),
+        format!("{single:?}"),
+        "kill + resume diverged bitwise from the in-process loop"
+    );
+    assert!(
+        rounds[0].resumed_from_journal,
+        "round 0 did not resume its journal (stats: {:?})",
+        rounds[0]
+    );
+    assert!(
+        rounds[0].resumed_cells >= 10,
+        "two 5-cell leases were journaled before the halt (stats: {:?})",
+        rounds[0]
+    );
+    for round in 0..rounds.len() as u32 {
+        std::fs::remove_file(round_journal_path(&base, round)).expect("round journal cleans up");
+    }
 }
 
 #[test]

@@ -12,6 +12,7 @@
 //! additionally holds every wire-format accumulator to the
 //! `from_wire(to_wire(x)) == x` bit-identity contract with proptests.
 
+use divrel::devsim::adaptive::CellEvidence;
 use divrel::devsim::experiment::{run_cell, McAccumulator, MonteCarloExperiment};
 use divrel::devsim::process::FaultIntroduction;
 use divrel::model::FaultModel;
@@ -19,8 +20,11 @@ use divrel::numerics::descriptive::Moments;
 use divrel::numerics::sweep::SweepReduce;
 use divrel::numerics::wire::{Wire, WireForm};
 use divrel::protection::OperationLog;
-use divrel_bench::dist::{Coordinator, DistRun, JsonLines, Transport, Worker, WorkerSummary};
-use divrel_bench::scenario::{Scenario, ScenarioOutcome};
+use divrel_bench::dist::{
+    AdaptiveCoordinator, AdaptiveDistRun, Coordinator, DistRun, JsonLines, Transport, Worker,
+    WorkerSummary,
+};
+use divrel_bench::scenario::{ExperimentSpec, Scenario, ScenarioOutcome};
 use divrel_bench::sweep::{ForcedSweepStats, KlSweepStats};
 use divrel_bench::Context;
 use proptest::prelude::*;
@@ -90,14 +94,66 @@ fn committed_specs() -> Vec<(String, Scenario)> {
     out
 }
 
+/// Drives an adaptive round loop against a fresh fleet of `workers`
+/// real workers per round, over in-memory pipes. Every worker must
+/// exit cleanly.
+fn run_adaptive_fleet(coordinator: &AdaptiveCoordinator, workers: usize) -> AdaptiveDistRun {
+    let mut handles = Vec::new();
+    let run = coordinator
+        .run(|_round| {
+            let mut coord_ends: Vec<Box<dyn Transport>> = Vec::new();
+            for _ in 0..workers {
+                let (c2w_r, c2w_w) = std::io::pipe().expect("pipe");
+                let (w2c_r, w2c_w) = std::io::pipe().expect("pipe");
+                coord_ends.push(Box::new(JsonLines::new(w2c_r, c2w_w)));
+                handles.push(std::thread::spawn(move || {
+                    let mut transport = JsonLines::new(c2w_r, w2c_w);
+                    Worker::new()
+                        .threads(2)
+                        .serve(&mut transport)
+                        .map_err(|e| e.to_string())
+                }));
+            }
+            Ok(coord_ends)
+        })
+        .expect("adaptive fleet completes");
+    for h in handles {
+        h.join()
+            .expect("worker thread joins")
+            .expect("worker exits cleanly");
+    }
+    run
+}
+
 #[test]
 fn every_committed_spec_is_bit_identical_across_fleet_layouts() {
+    let mut adaptive_specs = 0;
     for (name, scenario) in committed_specs() {
         let single = scenario.run(2).expect("in-process run");
         // Two deliberately different fleet shapes: a lone worker with
         // coarse leases, and a 2-worker fleet at the finest possible
         // lease granularity (maximum interleaving).
         for (workers, lease_cells) in [(1usize, 7u64), (2, 1)] {
+            // An un-pinned adaptive spec is a round loop, not one grid:
+            // it distributes through its own coordinator, same fleet
+            // shapes.
+            if matches!(scenario.experiment, ExperimentSpec::AdaptivePfd { .. }) {
+                adaptive_specs += 1;
+                let coordinator = AdaptiveCoordinator::new(scenario.clone())
+                    .expect("compiles")
+                    .lease_cells(lease_cells);
+                let run = run_adaptive_fleet(&coordinator, workers);
+                assert_bit_identical(
+                    &format!("{name} ({workers} workers, lease {lease_cells})"),
+                    &ScenarioOutcome::Adaptive(run.outcome),
+                    &single,
+                );
+                for stats in &run.rounds {
+                    assert_eq!(stats.retries, 0, "{name}: unexpected lease retries");
+                    assert_eq!(stats.workers, workers, "{name}: fleet size drift");
+                }
+                continue;
+            }
             let coordinator = Coordinator::new(scenario.clone())
                 .expect("compiles")
                 .lease_cells(lease_cells);
@@ -113,6 +169,10 @@ fn every_committed_spec_is_bit_identical_across_fleet_layouts() {
             assert!(exits.iter().all(Result::is_ok), "{name}: worker failed");
         }
     }
+    assert!(
+        adaptive_specs >= 2,
+        "the committed adaptive spec was not exercised"
+    );
 }
 
 #[test]
@@ -319,6 +379,24 @@ proptest! {
             advantage_sum: advantage,
         };
         assert_wire_round_trip(&stats);
+    }
+
+    #[test]
+    fn cell_evidence_round_trips_and_merges_identically(
+        failures in 0u64..1 << 62,
+        extra in 0u64..1 << 62,
+        more_failures in 0u64..1 << 62,
+        more_extra in 0u64..1 << 62,
+    ) {
+        // demands >= failures by construction, as the runtime guarantees.
+        let a = CellEvidence { failures, demands: failures + extra };
+        let b = CellEvidence { failures: more_failures, demands: more_failures + more_extra };
+        assert_wire_round_trip(&a);
+        let mut direct = a;
+        direct.absorb(b);
+        let mut shipped = CellEvidence::from_wire(&through_json(&a.to_wire())).expect("decodes");
+        shipped.absorb(CellEvidence::from_wire(&through_binary(&b.to_wire())).expect("decodes"));
+        prop_assert_eq!(shipped, direct);
     }
 
     #[test]

@@ -19,7 +19,8 @@ use divrel_bench::scenario::Scenario;
 /// and common-cause layers entered the vocabulary) and must never
 /// change for these files; the next two pin the canonical form of the
 /// fault-tree and common-cause specs the vocabulary change introduced,
-/// and the last pins the PR 9 rare-event estimator spec.
+/// the next pins the PR 9 rare-event estimator spec, and the last pins
+/// the PR 10 posterior-driven adaptive sweep spec.
 const PINS: &[(&str, &str)] = &[
     (
         "scenarios/asymmetric_difficulty.toml",
@@ -39,6 +40,10 @@ const PINS: &[(&str, &str)] = &[
     (
         "scenarios/rare_event_protection.toml",
         "fnv1a:b03c45370317bc43",
+    ),
+    (
+        "scenarios/adaptive_confidence.toml",
+        "fnv1a:70a79100810d4457",
     ),
 ];
 
